@@ -1,0 +1,173 @@
+"""Experiment ABL — ablations of the design choices inside the paper's algorithms.
+
+The paper's analysis fixes several internal parameters for convenience (number of
+repetitions, number of hash buckets, the accelerated-counter epoch scale, the sampling
+constant); DESIGN.md calls these out as the knobs a practical deployment would tune.
+This module measures how each knob trades space against accuracy, holding the workload
+fixed:
+
+* Algorithm 2: repetitions (the median width), buckets per repetition (collision error),
+  and the epoch scale (when probabilistic counting kicks in);
+* Algorithm 1: the sample-size constant (how much slack Lemma 3 is given).
+
+Each ablation prints a table and asserts the qualitative direction the analysis
+predicts (more repetitions / more buckets / more samples never hurt accuracy; smaller
+epoch scales reduce counter space).
+"""
+
+import pytest
+
+from bench_common import print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.analysis.metrics import evaluate_heavy_hitters
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream
+from repro.streams.truth import exact_frequencies
+
+EPSILON = 0.02
+PHI = 0.05
+UNIVERSE = 3000
+STREAM_LENGTH = 25000
+HEAVY = {1: 0.15, 2: 0.09, 3: 0.055, 4: 0.03}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    stream = planted_heavy_hitters_stream(
+        STREAM_LENGTH, UNIVERSE, HEAVY, rng=RandomSource(77)
+    )
+    return stream, exact_frequencies(stream)
+
+
+def _run_optimal(stream, truth, seeds=range(3), **kwargs):
+    """Average error / worst recall over a few seeds for one parameter setting."""
+    max_errors, recalls, space = [], [], []
+    for seed in seeds:
+        algo = OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=STREAM_LENGTH, rng=RandomSource(100 + seed), **kwargs,
+        )
+        algo.consume(stream)
+        report = algo.report()
+        accuracy = evaluate_heavy_hitters(report, truth)
+        max_errors.append(accuracy.max_frequency_error / STREAM_LENGTH)
+        recalls.append(accuracy.recall)
+        space.append(algo.space_bits())
+    return {
+        "mean_max_error_over_m": sum(max_errors) / len(max_errors),
+        "min_recall": min(recalls),
+        "mean_space_bits": sum(space) / len(space),
+    }
+
+
+class TestAlgorithm2Ablations:
+    def test_repetitions_ablation(self, workload):
+        stream, truth = workload
+        rows = []
+        errors = {}
+        for repetitions in (1, 5, 17, 33):
+            stats = _run_optimal(stream, truth, repetitions=repetitions)
+            errors[repetitions] = stats["mean_max_error_over_m"]
+            rows.append(ExperimentRow(
+                "ABL repetitions", {"repetitions": repetitions}, stats,
+            ))
+        print_experiment_table(
+            "ABL: Algorithm 2 — number of repetitions (median width) vs error and space",
+            rows, ["label", "repetitions", "mean_max_error_over_m", "min_recall", "mean_space_bits"],
+        )
+        # The high-repetition settings must not be less accurate than the single run,
+        # and must find every heavy item.
+        assert errors[33] <= errors[1] + 0.005
+        assert rows[-1].measurements["min_recall"] == 1.0
+        # Space grows roughly linearly with the repetition count.
+        assert rows[-1].measurements["mean_space_bits"] > 5 * rows[0].measurements["mean_space_bits"]
+
+    def test_buckets_ablation(self, workload):
+        stream, truth = workload
+        rows = []
+        errors = {}
+        for buckets in (50, 200, 800, 3200):
+            stats = _run_optimal(stream, truth, buckets_per_repetition=buckets)
+            errors[buckets] = stats["mean_max_error_over_m"]
+            rows.append(ExperimentRow(
+                "ABL buckets", {"buckets": buckets}, stats,
+            ))
+        print_experiment_table(
+            "ABL: Algorithm 2 — buckets per repetition (hash collision error) vs error and space",
+            rows, ["label", "buckets", "mean_max_error_over_m", "min_recall", "mean_space_bits"],
+        )
+        # Collisions dominate with very few buckets: error decreases as buckets grow.
+        assert errors[3200] <= errors[50]
+        assert rows[-1].measurements["min_recall"] == 1.0
+
+    def test_epoch_scale_ablation(self, workload):
+        stream, truth = workload
+        rows = []
+        for epoch_scale in (1e-6, 1e-2, 1.0, 100.0):
+            stats = _run_optimal(stream, truth, epoch_scale=epoch_scale)
+            rows.append(ExperimentRow(
+                "ABL epoch scale", {"epoch_scale": epoch_scale}, stats,
+            ))
+        print_experiment_table(
+            "ABL: Algorithm 2 — accelerated-counter epoch scale "
+            "(paper: 1e-6 for l=1e5/eps^2; this repo defaults to 1.0)",
+            rows, ["label", "epoch_scale", "mean_max_error_over_m", "min_recall", "mean_space_bits"],
+        )
+        by_scale = {row.parameters["epoch_scale"]: row.measurements for row in rows}
+        # With the paper's 1e-6 scale the epochs never activate on a stream this short,
+        # so every estimate collapses to ~0 and nothing clears the reporting threshold ...
+        assert by_scale[1e-6]["min_recall"] == 0.0
+        # ... while the practical scales keep full recall and the +-eps guarantee.
+        assert by_scale[1.0]["min_recall"] == 1.0
+        assert by_scale[1.0]["mean_max_error_over_m"] <= EPSILON
+        # Larger scales make the counters activate earlier (and cap at probability 1
+        # sooner), buying accuracy with space: both move monotonically with the scale.
+        assert by_scale[100.0]["mean_space_bits"] >= by_scale[1.0]["mean_space_bits"] >= \
+            by_scale[1e-6]["mean_space_bits"]
+        assert by_scale[100.0]["mean_max_error_over_m"] <= by_scale[1e-2]["mean_max_error_over_m"]
+
+
+class TestAlgorithm1Ablations:
+    def test_sample_constant_ablation(self, workload):
+        stream, truth = workload
+        rows = []
+        for constant in (0.5, 2.0, 6.0, 24.0):
+            errors, recalls, space = [], [], []
+            for seed in range(3):
+                algo = SimpleListHeavyHitters(
+                    epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+                    stream_length=STREAM_LENGTH, rng=RandomSource(200 + seed),
+                )
+                # Rescale the sampling rate to emulate a different Lemma 3 constant.
+                algo.target_sample_size = int(algo.target_sample_size * constant / 6.0)
+                algo._sampler = type(algo._sampler)(
+                    min(1.0, 6.0 * algo.target_sample_size / STREAM_LENGTH),
+                    rng=RandomSource(300 + seed),
+                )
+                algo.consume(stream)
+                accuracy = evaluate_heavy_hitters(algo.report(), truth)
+                errors.append(accuracy.max_frequency_error / STREAM_LENGTH)
+                recalls.append(accuracy.recall)
+                space.append(algo.space_bits())
+            rows.append(ExperimentRow(
+                "ABL sample constant", {"constant": constant},
+                {
+                    "mean_max_error_over_m": sum(errors) / len(errors),
+                    "min_recall": min(recalls),
+                    "mean_space_bits": sum(space) / len(space),
+                },
+            ))
+        print_experiment_table(
+            "ABL: Algorithm 1 — Lemma 3 sampling constant vs error (smaller samples, larger error)",
+            rows, ["label", "constant", "mean_max_error_over_m", "min_recall", "mean_space_bits"],
+        )
+        errors_by_constant = {row.parameters["constant"]: row.measurements["mean_max_error_over_m"]
+                              for row in rows}
+        # The full-constant setting must meet the eps guarantee; the heavily starved
+        # sampler (12x fewer samples) is allowed to be worse.
+        assert errors_by_constant[6.0] <= EPSILON
+        assert errors_by_constant[24.0] <= EPSILON
+        assert errors_by_constant[0.5] >= errors_by_constant[24.0]

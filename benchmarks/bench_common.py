@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_table1_*.py`` module reproduces one row of the paper's Table 1: it runs
+the corresponding algorithm across a parameter sweep, measures the bit-level space with
+the same :class:`~repro.primitives.space.SpaceMeter` accounting the library uses
+everywhere, compares the measured scaling shape against the closed-form bound from
+:mod:`repro.lowerbounds.bounds`, and times the update path with ``pytest-benchmark``.
+
+The printed tables are the ones recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, List, Mapping, Sequence
+
+# Ensure the src layout is importable when the package is not installed.
+import os
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.harness import ExperimentRow, format_table  # noqa: E402
+from repro.analysis.theory import scaling_exponent  # noqa: E402
+
+
+def print_experiment_table(title: str, rows: Iterable[ExperimentRow], columns: Sequence[str]) -> None:
+    """Print one experiment's table so ``pytest -s`` / the tee'd bench log records it."""
+    print()
+    print(f"### {title}")
+    print(format_table(rows, columns=columns))
+    print()
+
+
+def check_scaling_shape(
+    parameter_values: Sequence[float],
+    measured_bits: Sequence[float],
+    bound_bits: Sequence[float],
+    slack: float = 0.6,
+) -> None:
+    """Assert the measured space grows with the same log-log slope as the bound formula.
+
+    ``slack`` is the allowed absolute difference between the two exponents; the paper
+    states asymptotic bounds, so the shape (slope), not the constant, is what a
+    reproduction can check.
+    """
+    measured_exponent = scaling_exponent(parameter_values, measured_bits)
+    bound_exponent = scaling_exponent(parameter_values, bound_bits)
+    assert abs(measured_exponent - bound_exponent) <= slack, (
+        f"measured exponent {measured_exponent:.2f} vs bound exponent {bound_exponent:.2f}"
+    )

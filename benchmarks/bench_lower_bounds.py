@@ -1,0 +1,211 @@
+"""Experiment LB — the lower-bound reductions of Section 4, run end to end.
+
+A space lower bound cannot be "measured", but its *reduction* can be executed: if the
+streaming algorithm meets its accuracy guarantee, Bob must decode Alice's input
+correctly, and the algorithm's state at the hand-off point (the "message") must carry at
+least the information content of that input.  This module runs every reduction
+(Theorems 9, 10, 11, 12, 14) with the corresponding algorithm from this package and
+tabulates: decode success rate, measured message (state) size, and the
+information-theoretic floor for the instance.
+"""
+
+import pytest
+
+from bench_common import print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.core.borda import ListBorda
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximin import ListMaximin
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.lowerbounds.greater_than import GreaterThanInstance, GreaterThanReduction
+from repro.lowerbounds.indexing import (
+    HeavyHittersIndexingReduction,
+    MaximumIndexingReduction,
+    MinimumIndexingReduction,
+)
+from repro.lowerbounds.maximin_gadget import MaximinGadgetInstance, MaximinIndexingReduction
+from repro.lowerbounds.perm import BordaPermReduction, PermInstance
+from repro.primitives.rng import RandomSource
+
+
+class TestReductionsEndToEnd:
+    def test_theorem9_indexing_to_heavy_hitters(self):
+        reduction = HeavyHittersIndexingReduction(epsilon=0.1, phi=0.25, stream_length=4000)
+        rows, correct = [], 0
+        trials = 6
+        for seed in range(trials):
+            instance = reduction.random_instance(rng=RandomSource(seed))
+            run = reduction.run(
+                instance,
+                lambda n, m, s=seed: SimpleListHeavyHitters(
+                    epsilon=0.1, phi=0.25, universe_size=n, stream_length=m,
+                    rng=RandomSource(1000 + s),
+                ),
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 9", {"trial": seed},
+                {"decoded_ok": float(run.correct),
+                 "message_bits": float(run.message_bits),
+                 "information_floor_bits": run.information_lower_bound_bits},
+            ))
+        print_experiment_table(
+            "LB / Theorem 9: Indexing -> (eps, phi)-Heavy Hitters (Algorithm 1 as channel)",
+            rows, ["label", "trial", "decoded_ok", "message_bits", "information_floor_bits"],
+        )
+        assert correct >= trials - 1
+
+    def test_theorem10_indexing_to_maximum(self):
+        reduction = MaximumIndexingReduction(epsilon=0.25, stream_length=4000)
+        rows, correct = [], 0
+        trials = 5
+        for seed in range(trials):
+            instance = reduction.random_instance(rng=RandomSource(50 + seed))
+            run = reduction.run(
+                instance,
+                lambda n, m, s=seed: EpsilonMaximum(
+                    epsilon=0.05, universe_size=n, stream_length=m,
+                    rng=RandomSource(2000 + s),
+                ),
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 10", {"trial": seed},
+                {"decoded_ok": float(run.correct),
+                 "message_bits": float(run.message_bits),
+                 "information_floor_bits": run.information_lower_bound_bits},
+            ))
+        print_experiment_table(
+            "LB / Theorem 10: Indexing -> eps-Maximum",
+            rows, ["label", "trial", "decoded_ok", "message_bits", "information_floor_bits"],
+        )
+        assert correct >= trials - 1
+
+    def test_theorem11_indexing_to_minimum(self):
+        reduction = MinimumIndexingReduction(epsilon=0.4)
+        rows, correct = [], 0
+        trials = 6
+        for seed in range(trials):
+            instance = reduction.random_instance(rng=RandomSource(70 + seed))
+            run = reduction.run(
+                instance,
+                lambda n, m, s=seed: EpsilonMinimum(
+                    epsilon=0.05, universe_size=n, stream_length=max(1, m),
+                    delta=0.05, rng=RandomSource(3000 + s),
+                ),
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 11", {"trial": seed},
+                {"decoded_ok": float(run.correct),
+                 "message_bits": float(run.message_bits),
+                 "information_floor_bits": run.information_lower_bound_bits},
+            ))
+        print_experiment_table(
+            "LB / Theorem 11: Indexing (binary) -> eps-Minimum",
+            rows, ["label", "trial", "decoded_ok", "message_bits", "information_floor_bits"],
+        )
+        assert correct >= trials - 2
+
+    def test_theorem12_perm_to_borda(self):
+        rows, correct = [], 0
+        trials = 3
+        for seed in range(trials):
+            instance = PermInstance.random(8, 4, rng=RandomSource(90 + seed))
+            reduction = BordaPermReduction(instance)
+            run = reduction.run(
+                lambda n, m, s=seed: ListBorda(
+                    epsilon=0.02, num_candidates=n, stream_length=m,
+                    rng=RandomSource(4000 + s),
+                ),
+                repetitions=40,
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 12", {"trial": seed},
+                {"decoded_ok": float(run.correct),
+                 "message_bits": float(run.message_bits),
+                 "information_floor_bits": run.information_lower_bound_bits},
+            ))
+        print_experiment_table(
+            "LB / Theorem 12: eps-Perm -> eps-Borda",
+            rows, ["label", "trial", "decoded_ok", "message_bits", "information_floor_bits"],
+        )
+        assert correct == trials
+
+    def test_theorem13_maximin_gadget(self):
+        rows, correct = [], 0
+        trials = 3
+        for seed in range(trials):
+            instance = MaximinGadgetInstance.random(4, 64, rng=RandomSource(600 + seed))
+            reduction = MaximinIndexingReduction(instance)
+            run = reduction.run(
+                lambda n, m, s=seed: ListMaximin(
+                    epsilon=0.02, num_candidates=n, stream_length=m,
+                    rng=RandomSource(700 + s),
+                ),
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 13", {"trial": seed},
+                {"decoded_ok": float(run.correct),
+                 "hamming_distance": float(run.metadata["hamming_distance"]),
+                 "message_bits": float(run.message_bits),
+                 "information_floor_bits": run.information_lower_bound_bits},
+            ))
+        print_experiment_table(
+            "LB / Theorem 13: Indexing -> eps-Maximin via the Hamming-distance gadget",
+            rows,
+            ["label", "trial", "decoded_ok", "hamming_distance", "message_bits",
+             "information_floor_bits"],
+        )
+        assert correct == trials
+
+    def test_theorem14_greater_than(self):
+        reduction = GreaterThanReduction(epsilon=0.2)
+        cases = [
+            GreaterThanInstance(x=9, y=5),
+            GreaterThanInstance(x=5, y=12),
+            GreaterThanInstance(x=13, y=2),
+            GreaterThanInstance(x=2, y=8),
+        ]
+        rows, correct = [], 0
+        for index, instance in enumerate(cases):
+            run = reduction.run(
+                instance,
+                lambda n, m, s=index: EpsilonMaximum(
+                    epsilon=0.2, universe_size=n, stream_length=m,
+                    rng=RandomSource(5000 + s),
+                ),
+            )
+            correct += run.correct
+            rows.append(ExperimentRow(
+                "Thm 14", {"x": instance.x, "y": instance.y},
+                {"decoded_ok": float(run.correct),
+                 "stream_length": float(run.metadata["stream_length"]),
+                 "message_bits": float(run.message_bits)},
+            ))
+        print_experiment_table(
+            "LB / Theorem 14: Greater-Than -> 2-item eps-winner (the log log m term)",
+            rows, ["label", "x", "y", "decoded_ok", "stream_length", "message_bits"],
+        )
+        assert correct == len(cases)
+
+
+class TestTimedReductionKernels:
+    def test_indexing_reduction_kernel(self, benchmark):
+        reduction = HeavyHittersIndexingReduction(epsilon=0.1, phi=0.25, stream_length=2000)
+        instance = reduction.random_instance(rng=RandomSource(7))
+
+        def run():
+            return reduction.run(
+                instance,
+                lambda n, m: SimpleListHeavyHitters(
+                    epsilon=0.1, phi=0.25, universe_size=n, stream_length=m,
+                    rng=RandomSource(8),
+                ),
+            )
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

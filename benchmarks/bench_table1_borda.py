@@ -1,0 +1,125 @@
+"""Experiment T1-BORDA — Table 1, row 4: ε-Borda / (ε,ϕ)-List Borda.
+
+Paper claim: space O(n (log n + log ε⁻¹) + log log m) bits (Theorem 5), lower bound
+Ω(n (log ε⁻¹ + log n) + log log m) (Theorem 12 plus the trivial n log n term).
+
+Measured here:
+
+* space sweep over the number of candidates n (shape ~ n log n),
+* space sweep over ε (shape: only log ε⁻¹ per candidate — flat compared to maximin),
+* Borda score estimation error vs the ±εmn guarantee on Mallows vote streams,
+* timed updates.
+"""
+
+import pytest
+
+from bench_common import check_scaling_shape, print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.core.borda import ListBorda
+from repro.lowerbounds.bounds import borda_lower_bound_bits, borda_upper_bound_bits
+from repro.primitives.rng import RandomSource
+from repro.voting.generators import mallows_votes
+from repro.voting.rankings import Ranking
+from repro.voting.scores import borda_scores
+
+NUM_VOTES = 4000
+
+
+def _votes(num_candidates, seed=0, dispersion=0.5):
+    return mallows_votes(NUM_VOTES, num_candidates, dispersion=dispersion,
+                         rng=RandomSource(seed))
+
+
+def _algo(epsilon, num_candidates, seed=1):
+    return ListBorda(
+        epsilon=epsilon, num_candidates=num_candidates, stream_length=NUM_VOTES,
+        rng=RandomSource(seed),
+    )
+
+
+class TestSpaceScaling:
+    def test_space_sweep_candidates(self):
+        epsilon = 0.05
+        candidate_counts = [4, 8, 16, 32]
+        rows, measured = [], []
+        for n in candidate_counts:
+            votes = _votes(n, seed=n)
+            algo = _algo(epsilon, n, seed=n + 1)
+            algo.consume(votes)
+            bits = float(algo.space_bits())
+            measured.append(bits)
+            rows.append(ExperimentRow(
+                "T1-BORDA n sweep", {"candidates": n},
+                {"space_bits": bits,
+                 "upper_bound_bits": borda_upper_bound_bits(epsilon, n, NUM_VOTES),
+                 "lower_bound_bits": borda_lower_bound_bits(epsilon, n, NUM_VOTES)},
+            ))
+        print_experiment_table(
+            "T1-BORDA: space vs number of candidates (eps=0.05, m=4k votes)", rows,
+            ["label", "candidates", "space_bits", "upper_bound_bits", "lower_bound_bits"],
+        )
+        bound = [borda_upper_bound_bits(epsilon, n, NUM_VOTES) for n in candidate_counts]
+        check_scaling_shape(candidate_counts, measured, bound, slack=0.5)
+
+    def test_space_sweep_epsilon_is_logarithmic(self):
+        """Halving eps adds only ~n bits (one extra bit per counter), not a factor."""
+        n = 10
+        votes = _votes(n, seed=5)
+        rows, measured = [], []
+        for inverse_epsilon in (10, 40, 160):
+            epsilon = 1.0 / inverse_epsilon
+            algo = _algo(epsilon, n, seed=6)
+            algo.consume(votes)
+            measured.append(float(algo.space_bits()))
+            rows.append(ExperimentRow(
+                "T1-BORDA eps sweep", {"1/eps": inverse_epsilon},
+                {"space_bits": measured[-1],
+                 "upper_bound_bits": borda_upper_bound_bits(epsilon, n, NUM_VOTES)},
+            ))
+        print_experiment_table(
+            "T1-BORDA: space vs 1/eps (n=10) — logarithmic dependence only", rows,
+            ["label", "1/eps", "space_bits", "upper_bound_bits"],
+        )
+        # 16x finer epsilon costs at most ~2x the space (log-factor growth).
+        assert measured[-1] <= 2.5 * measured[0]
+
+
+class TestAccuracy:
+    def test_borda_score_error_within_eps_mn(self):
+        epsilon = 0.05
+        rows = []
+        for n, dispersion in ((6, 0.3), (12, 0.5), (20, 0.8)):
+            votes = _votes(n, seed=n * 7, dispersion=dispersion)
+            truth = borda_scores(votes)
+            algo = _algo(epsilon, n, seed=n * 7 + 1)
+            algo.consume(votes)
+            report = algo.report()
+            max_error = max(
+                abs(report.scores[c] - truth[c]) for c in range(n)
+            ) / (NUM_VOTES * n)
+            winner_matches = report.approximate_winner() == min(
+                truth, key=lambda c: (-truth[c], c)
+            )
+            rows.append(ExperimentRow(
+                "T1-BORDA accuracy", {"candidates": n, "dispersion": dispersion},
+                {"max_error_over_mn": max_error, "winner_recovered": float(winner_matches)},
+            ))
+            assert max_error <= epsilon
+        print_experiment_table(
+            "T1-BORDA: score error / (m*n) on Mallows streams (guarantee: <= eps = 0.05)",
+            rows, ["label", "candidates", "dispersion", "max_error_over_mn", "winner_recovered"],
+        )
+
+
+class TestUpdateThroughput:
+    def test_borda_updates(self, benchmark):
+        n = 10
+        votes = _votes(n, seed=9)[:1500]
+        algo = _algo(0.05, n, seed=10)
+
+        def run():
+            for vote in votes:
+                algo.insert(vote)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,221 @@
+"""Experiment T1-HH — Table 1, row 1: (ε,ϕ)-Heavy Hitters.
+
+Paper claim: space O(ε⁻¹ log ϕ⁻¹ + ϕ⁻¹ log n + log log m) bits (Theorems 1, 2, 7),
+versus the prior-art Misra–Gries bound O(ε⁻¹ (log n + log m)); matching lower bound
+(Theorems 9, 14).
+
+What this module measures:
+
+* ``test_space_sweep_epsilon`` — measured space of Algorithm 1, Algorithm 2 and
+  Misra–Gries while sweeping ε (shape: linear in 1/ε for all three).
+* ``test_space_sweep_universe`` — sweeping log n (shape: our algorithms grow like
+  ϕ⁻¹ log n, Misra–Gries like ε⁻¹ log n, so the gap widens — the paper's headline).
+* ``test_space_sweep_phi`` — sweeping ϕ (ϕ⁻¹ log n term).
+* ``test_bound_formula_comparison`` — the Table 1 formulas themselves, evaluated on the
+  same grid (who wins, by what factor, where the crossover lies).
+* timed update benchmarks for Algorithm 1, Algorithm 2 and Misra–Gries.
+"""
+
+import pytest
+
+from bench_common import check_scaling_shape, print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.baselines.misra_gries import MisraGries
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.lowerbounds.bounds import (
+    heavy_hitters_lower_bound_bits,
+    heavy_hitters_upper_bound_bits,
+    misra_gries_bound_bits,
+)
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+STREAM_LENGTH = 20000
+PHI = 0.05
+HEAVY_ITEMS = {1: 0.15, 2: 0.09, 3: 0.06}
+
+
+def _stream(universe_size, seed=0):
+    return planted_heavy_hitters_stream(
+        STREAM_LENGTH, universe_size, HEAVY_ITEMS, rng=RandomSource(seed)
+    )
+
+
+def _simple(epsilon, phi, universe_size, seed=1):
+    return SimpleListHeavyHitters(
+        epsilon=epsilon, phi=phi, universe_size=universe_size,
+        stream_length=STREAM_LENGTH, rng=RandomSource(seed),
+    )
+
+
+def _optimal(epsilon, phi, universe_size, seed=2):
+    return OptimalListHeavyHitters(
+        epsilon=epsilon, phi=phi, universe_size=universe_size,
+        stream_length=STREAM_LENGTH, rng=RandomSource(seed),
+    )
+
+
+def _measure(algorithm, stream):
+    algorithm.consume(stream)
+    return float(algorithm.space_bits())
+
+
+class TestSpaceScaling:
+    def test_space_sweep_epsilon(self):
+        universe = 2 ** 16
+        stream = _stream(universe)
+        truth = exact_frequencies(stream)
+        inverse_epsilons = [25, 50, 100, 200]
+        rows, simple_bits, mg_bits = [], [], []
+        for inverse_epsilon in inverse_epsilons:
+            epsilon = 1.0 / inverse_epsilon
+            simple = _simple(epsilon, PHI, universe)
+            optimal = _optimal(epsilon, PHI, universe)
+            misra = MisraGries(epsilon=epsilon, universe_size=universe,
+                               stream_length_hint=STREAM_LENGTH)
+            measurements = {
+                "simple_bits": _measure(simple, stream),
+                "optimal_bits": _measure(optimal, stream),
+                "misra_gries_bits": _measure(misra, stream),
+                "bound_bits": heavy_hitters_upper_bound_bits(epsilon, PHI, universe, STREAM_LENGTH),
+                "mg_bound_bits": misra_gries_bound_bits(epsilon, universe, STREAM_LENGTH),
+            }
+            assert simple.report().contains_all_heavy(truth)
+            rows.append(ExperimentRow("T1-HH eps sweep", {"1/eps": inverse_epsilon}, measurements))
+            simple_bits.append(measurements["simple_bits"])
+            mg_bits.append(measurements["misra_gries_bits"])
+        print_experiment_table(
+            "T1-HH: space vs 1/eps (n=2^16, phi=0.05, m=20k)",
+            rows,
+            ["label", "1/eps", "simple_bits", "optimal_bits", "misra_gries_bits",
+             "bound_bits", "mg_bound_bits"],
+        )
+        bound = [heavy_hitters_upper_bound_bits(1.0 / x, PHI, universe, STREAM_LENGTH)
+                 for x in inverse_epsilons]
+        check_scaling_shape(inverse_epsilons, simple_bits, bound, slack=0.7)
+        check_scaling_shape(inverse_epsilons, mg_bits,
+                            [misra_gries_bound_bits(1.0 / x, universe, STREAM_LENGTH)
+                             for x in inverse_epsilons], slack=0.7)
+
+    def test_space_sweep_universe(self):
+        epsilon = 0.01
+        log_universes = [12, 20, 28, 36]
+        rows, gaps = [], []
+        for log_n in log_universes:
+            universe = 2 ** log_n
+            stream = _stream(2 ** 12)  # items fit in the smallest universe; ids are what matter
+            simple = _simple(epsilon, PHI, universe)
+            misra = MisraGries(epsilon=epsilon, universe_size=universe,
+                               stream_length_hint=STREAM_LENGTH)
+            simple_bits = _measure(simple, stream)
+            mg_bits = _measure(misra, stream)
+            gaps.append(mg_bits - simple_bits)
+            rows.append(ExperimentRow(
+                "T1-HH n sweep", {"log2_n": log_n},
+                {
+                    "simple_bits": simple_bits,
+                    "misra_gries_bits": mg_bits,
+                    "gap_bits": mg_bits - simple_bits,
+                    "bound_bits": heavy_hitters_upper_bound_bits(epsilon, PHI, universe, STREAM_LENGTH),
+                    "mg_bound_bits": misra_gries_bound_bits(epsilon, universe, STREAM_LENGTH),
+                },
+            ))
+        print_experiment_table(
+            "T1-HH: space vs log n (eps=0.01, phi=0.05) — the gap widens with log n",
+            rows,
+            ["label", "log2_n", "simple_bits", "misra_gries_bits", "gap_bits",
+             "bound_bits", "mg_bound_bits"],
+        )
+        # The paper's headline: the advantage over Misra-Gries grows with log n.
+        assert gaps == sorted(gaps)
+        assert gaps[-1] > gaps[0]
+
+    def test_space_sweep_phi(self):
+        epsilon = 0.02
+        universe = 2 ** 20
+        stream = _stream(2 ** 12)
+        inverse_phis = [4, 8, 16]
+        rows, t2_bits = [], []
+        for inverse_phi in inverse_phis:
+            phi = 1.0 / inverse_phi
+            simple = _simple(epsilon, phi, universe)
+            simple.consume(stream)
+            breakdown = simple.space_breakdown()
+            rows.append(ExperimentRow(
+                "T1-HH phi sweep", {"1/phi": inverse_phi},
+                {
+                    "total_bits": float(simple.space_bits()),
+                    "id_table_bits": float(breakdown["T2"]),
+                    "bound_bits": heavy_hitters_upper_bound_bits(epsilon, phi, universe, STREAM_LENGTH),
+                },
+            ))
+            t2_bits.append(float(breakdown["T2"]))
+        print_experiment_table(
+            "T1-HH: space vs 1/phi (eps=0.02, n=2^20) — the phi^-1 log n term",
+            rows,
+            ["label", "1/phi", "total_bits", "id_table_bits", "bound_bits"],
+        )
+        # The id table grows linearly with 1/phi.
+        check_scaling_shape(inverse_phis, t2_bits,
+                            [x * 20.0 for x in inverse_phis], slack=0.5)
+
+    def test_bound_formula_comparison(self):
+        """Reproduce Table 1 row 1 at the formula level: upper == lower, and the
+        crossover against Misra-Gries."""
+        rows = []
+        for log_n in (10, 16, 24, 40, 64):
+            n = 2 ** log_n
+            upper = heavy_hitters_upper_bound_bits(0.01, PHI, n, 10 ** 6)
+            lower = heavy_hitters_lower_bound_bits(0.01, PHI, n, 10 ** 6)
+            mg = misra_gries_bound_bits(0.01, n, 10 ** 6)
+            rows.append(ExperimentRow(
+                "Table1 row 1", {"log2_n": log_n},
+                {"upper_bits": upper, "lower_bits": lower, "misra_gries_bits": mg,
+                 "mg_over_ours": mg / upper},
+            ))
+            assert upper == pytest.approx(lower)
+        print_experiment_table(
+            "Table 1 row 1 (formulas): ours vs Misra-Gries, eps=0.01, phi=0.05, m=1e6",
+            rows,
+            ["label", "log2_n", "upper_bits", "lower_bits", "misra_gries_bits", "mg_over_ours"],
+        )
+        assert rows[-1].measurements["mg_over_ours"] > rows[0].measurements["mg_over_ours"]
+
+
+class TestUpdateThroughput:
+    @pytest.fixture(scope="class")
+    def zipf(self):
+        return zipfian_stream(20000, 2 ** 16, skew=1.2, rng=RandomSource(9))
+
+    def test_simple_algorithm_updates(self, benchmark, zipf):
+        algo = _simple(0.01, PHI, 2 ** 16, seed=10)
+        items = list(zipf)
+
+        def run():
+            for item in items:
+                algo.insert(item)
+
+        benchmark(run)
+
+    def test_optimal_algorithm_updates(self, benchmark, zipf):
+        algo = _optimal(0.01, PHI, 2 ** 16, seed=11)
+        items = list(zipf)
+
+        def run():
+            for item in items:
+                algo.insert(item)
+
+        benchmark(run)
+
+    def test_misra_gries_updates(self, benchmark, zipf):
+        algo = MisraGries(epsilon=0.01, universe_size=2 ** 16)
+        items = list(zipf)
+
+        def run():
+            for item in items:
+                algo.insert(item)
+
+        benchmark(run)

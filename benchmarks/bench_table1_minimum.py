@@ -1,0 +1,149 @@
+"""Experiment T1-MIN — Table 1, row 3: ε-Minimum.
+
+Paper claim: space O(ε⁻¹ log log(1/(εδ)) + log log m) bits (Theorem 4), lower bound
+Ω(ε⁻¹ + log log m) (Theorems 11, 14).  The interesting comparison is against running an
+(ε, ε)-heavy-hitters algorithm, which would cost Ω(ε⁻¹ log ε⁻¹) — the minimum problem is
+strictly cheaper because per-item counters can be truncated at a polylog cap.
+
+Measured here:
+
+* space sweep over ε, with the per-counter width shown to be log log (the truncation cap),
+* space compared against the heavy-hitters route and exact counting,
+* correctness rate of the reported minimum on skewed small-universe streams,
+* timed updates.
+"""
+
+import math
+
+import pytest
+
+from bench_common import check_scaling_shape, print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.core.minimum import EpsilonMinimum
+from repro.lowerbounds.bounds import (
+    heavy_hitters_upper_bound_bits,
+    minimum_lower_bound_bits,
+    minimum_upper_bound_bits,
+)
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+from repro.streams.generators import zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+STREAM_LENGTH = 30000
+
+
+def _algo(epsilon, universe_size, seed=1, delta=0.1):
+    return EpsilonMinimum(
+        epsilon=epsilon, universe_size=universe_size, stream_length=STREAM_LENGTH,
+        delta=delta, rng=RandomSource(seed),
+    )
+
+
+class TestSpaceScaling:
+    def test_space_sweep_epsilon(self):
+        rows, measured, inverse_epsilons = [], [], [8, 16, 32, 64]
+        for inverse_epsilon in inverse_epsilons:
+            epsilon = 1.0 / inverse_epsilon
+            # Keep the universe just below the large-universe shortcut threshold so the
+            # full data-structure path is exercised (that is the regime Table 1 is about).
+            universe = max(4, int(0.9 / ((1 - 0.1) * epsilon)))
+            stream = zipfian_stream(STREAM_LENGTH, universe, skew=1.3,
+                                    rng=RandomSource(inverse_epsilon))
+            algo = _algo(epsilon, universe, seed=inverse_epsilon)
+            algo.consume(stream)
+            bits = float(algo.space_bits())
+            measured.append(bits)
+            rows.append(ExperimentRow(
+                "T1-MIN eps sweep", {"1/eps": inverse_epsilon, "universe": universe},
+                {
+                    "space_bits": bits,
+                    "counter_width_bits": float(bits_for_value(algo.truncation_cap)),
+                    "upper_bound_bits": minimum_upper_bound_bits(epsilon, STREAM_LENGTH),
+                    "lower_bound_bits": minimum_lower_bound_bits(epsilon, STREAM_LENGTH),
+                    "hh_route_bits": heavy_hitters_upper_bound_bits(
+                        epsilon, epsilon, universe, STREAM_LENGTH
+                    ),
+                },
+            ))
+        print_experiment_table(
+            "T1-MIN: space vs 1/eps — counters are log log wide; cheaper than the HH route",
+            rows,
+            ["label", "1/eps", "universe", "space_bits", "counter_width_bits",
+             "upper_bound_bits", "lower_bound_bits", "hh_route_bits"],
+        )
+        bound = [minimum_upper_bound_bits(1.0 / x, STREAM_LENGTH) for x in inverse_epsilons]
+        check_scaling_shape(inverse_epsilons, measured, bound, slack=0.7)
+
+    def test_counter_width_is_loglog_in_epsilon(self):
+        """The per-counter width grows like log log(1/eps), not log(1/eps)."""
+        widths = []
+        for epsilon in (0.1, 0.01, 0.001):
+            algo = _algo(epsilon, universe_size=8, seed=3)
+            widths.append(bits_for_value(algo.truncation_cap))
+        # Tripling the number of decades in 1/eps should add only a few bits.
+        assert widths[-1] - widths[0] <= 3 * math.log2(math.log2(1000) / math.log2(10)) + 6
+        assert widths == sorted(widths)
+
+    def test_space_versus_exact_counting(self):
+        """The win over exact per-item counters comes from truncation: counter width is
+        log log(1/(eps*delta)), independent of the stream length, so for long streams
+        (here a declared m of 10^9) the truncated structure is strictly smaller."""
+        epsilon = 0.02
+        declared_length = 10 ** 9
+        universe = int(0.9 / ((1 - 0.1) * epsilon))
+        stream = zipfian_stream(STREAM_LENGTH, universe, skew=1.4, rng=RandomSource(4))
+        algo = EpsilonMinimum(
+            epsilon=epsilon, universe_size=universe, stream_length=declared_length,
+            delta=0.1, rng=RandomSource(5),
+        )
+        algo.consume(stream)
+        exact_bits = universe * (bits_for_value(declared_length) + bits_for_value(universe - 1))
+        rows = [ExperimentRow(
+            "T1-MIN vs exact", {"universe": universe, "declared_m": declared_length},
+            {"minimum_bits": float(algo.space_bits()), "exact_bits": float(exact_bits)},
+        )]
+        print_experiment_table(
+            "T1-MIN: truncated counters vs exact per-item counters (m = 1e9)", rows,
+            ["label", "universe", "declared_m", "minimum_bits", "exact_bits"],
+        )
+        assert algo.space_bits() < exact_bits
+
+
+class TestAccuracy:
+    def test_minimum_correctness_rate(self):
+        epsilon = 0.05
+        universe = 12
+        stream = zipfian_stream(STREAM_LENGTH, universe, skew=1.5, rng=RandomSource(6))
+        truth = exact_frequencies(stream)
+        correct = 0
+        trials = 10
+        for seed in range(trials):
+            algo = _algo(epsilon, universe, seed=100 + seed)
+            algo.consume(stream)
+            if algo.report().is_correct(truth, universe_size=universe):
+                correct += 1
+        rows = [ExperimentRow(
+            "T1-MIN accuracy", {"eps": epsilon, "universe": universe},
+            {"success_rate": correct / trials},
+        )]
+        print_experiment_table(
+            "T1-MIN: success rate over 10 seeded runs (target >= 1 - delta = 0.9)",
+            rows, ["label", "eps", "universe", "success_rate"],
+        )
+        assert correct >= 7
+
+
+class TestUpdateThroughput:
+    def test_minimum_updates(self, benchmark):
+        epsilon = 0.05
+        universe = 12
+        stream = list(zipfian_stream(5000, universe, skew=1.3, rng=RandomSource(7)))
+        algo = _algo(epsilon, universe, seed=8)
+
+        def run():
+            for item in stream:
+                algo.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,134 @@
+"""Experiment UNKNOWN-M — Theorems 7 and 8: streams of unknown length.
+
+The doubling/restart wrapper must (a) keep at most two live instances, so its space stays
+within a constant factor of the known-length algorithm, (b) still find the heavy items /
+the maximum, and (c) track the stream position with a Morris counter whose own footprint
+is O(log log m).  This module measures all three as the stream grows by two orders of
+magnitude, and times the wrapper's update path against the known-length algorithm to
+quantify the overhead of running two instances.
+"""
+
+import pytest
+
+from bench_common import print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.unknown_length import UnknownLengthHeavyHitters, UnknownLengthMaximum
+from repro.primitives.morris import MorrisCounter
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream
+from repro.streams.truth import exact_frequencies
+
+UNIVERSE = 500
+HEAVY = {7: 0.35, 8: 0.2}
+
+
+def _stream(length, seed=0):
+    return planted_heavy_hitters_stream(length, UNIVERSE, HEAVY, rng=RandomSource(seed))
+
+
+class TestUnknownLengthBehaviour:
+    def test_space_and_recall_as_stream_grows(self):
+        rows = []
+        for length in (2000, 8000, 32000, 128000):
+            stream = _stream(length, seed=length)
+            truth = exact_frequencies(stream)
+            wrapper = UnknownLengthHeavyHitters(
+                epsilon=0.1, phi=0.3, universe_size=UNIVERSE,
+                rng=RandomSource(1), use_morris_counter=False,
+            )
+            wrapper.consume(stream)
+            report = wrapper.report()
+            known = SimpleListHeavyHitters(
+                epsilon=0.1, phi=0.3, universe_size=UNIVERSE, stream_length=length,
+                rng=RandomSource(2),
+            )
+            known.consume(stream)
+            rows.append(ExperimentRow(
+                "UNKNOWN-M growth", {"m": length},
+                {
+                    "recall_item7": float(7 in report),
+                    "restarts": float(wrapper.restarts),
+                    "wrapper_space_bits": float(wrapper.space_bits()),
+                    "known_length_space_bits": float(known.space_bits()),
+                    "overhead_factor": wrapper.space_bits() / max(1, known.space_bits()),
+                },
+            ))
+        print_experiment_table(
+            "UNKNOWN-M: unknown-length wrapper vs known-length Algorithm 1 as m grows",
+            rows,
+            ["label", "m", "recall_item7", "restarts", "wrapper_space_bits",
+             "known_length_space_bits", "overhead_factor"],
+        )
+        for row in rows:
+            assert row.measurements["recall_item7"] == 1.0
+            # Two live instances plus the Morris counter: small constant-factor overhead.
+            assert row.measurements["overhead_factor"] <= 4.0
+
+    def test_maximum_variant(self):
+        stream = _stream(50000, seed=3)
+        truth = exact_frequencies(stream)
+        wrapper = UnknownLengthMaximum(
+            epsilon=0.1, universe_size=UNIVERSE, rng=RandomSource(4),
+            use_morris_counter=False,
+        )
+        wrapper.consume(stream)
+        result = wrapper.report()
+        rows = [ExperimentRow(
+            "UNKNOWN-M maximum", {"m": len(stream)},
+            {"reported_item": float(result.item),
+             "item_is_true_max": float(result.item == 7),
+             "space_bits": float(wrapper.space_bits())},
+        )]
+        print_experiment_table(
+            "UNKNOWN-M: eps-Maximum with unknown stream length", rows,
+            ["label", "m", "reported_item", "item_is_true_max", "space_bits"],
+        )
+        assert result.item == 7
+
+    def test_morris_counter_footprint(self):
+        """The log log m term: tracking the position of a 10^5-item stream in < 10 bits
+        per repetition."""
+        counter = MorrisCounter(rng=RandomSource(5), repetitions=5)
+        rows = []
+        for checkpoint in (10**3, 10**4, 10**5):
+            while counter.true_count < checkpoint:
+                counter.increment()
+            rows.append(ExperimentRow(
+                "Morris", {"true_count": checkpoint},
+                {"estimate": counter.estimate(), "space_bits": float(counter.space_bits())},
+            ))
+        print_experiment_table(
+            "UNKNOWN-M: Morris counter estimate and footprint", rows,
+            ["label", "true_count", "estimate", "space_bits"],
+        )
+        assert rows[-1].measurements["space_bits"] <= 5 * 8
+        assert 10**5 / 8 <= rows[-1].measurements["estimate"] <= 10**5 * 8
+
+
+class TestTimedKernels:
+    def test_wrapper_update_kernel(self, benchmark):
+        stream = list(_stream(20000, seed=6))
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=UNIVERSE, rng=RandomSource(7),
+        )
+
+        def run():
+            for item in stream:
+                wrapper.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_known_length_update_kernel(self, benchmark):
+        stream = list(_stream(20000, seed=8))
+        algo = SimpleListHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=UNIVERSE, stream_length=len(stream),
+            rng=RandomSource(9),
+        )
+
+        def run():
+            for item in stream:
+                algo.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

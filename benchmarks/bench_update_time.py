@@ -1,0 +1,135 @@
+"""Experiment TIME — the O(1) update-time claim.
+
+The paper claims O(1) worst-case update time for the heavy-hitters algorithms (under the
+standard assumption that the stream is long enough to spread sampled-item work).  In a
+reproduction we can measure the *amortized* per-item cost and check two things:
+
+* the per-item cost of Algorithm 1 is comparable to (within a small factor of) the
+  classical Misra–Gries update, and
+* it does not blow up as ε shrinks — because most items are simply not sampled, the cost
+  of processing one stream item is dominated by the sampling coin flip.
+"""
+
+import time
+
+import pytest
+
+from bench_common import print_experiment_table
+
+from repro.analysis.harness import ExperimentRow
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximum import EpsilonMaximum
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import zipfian_stream
+
+UNIVERSE = 2 ** 16
+STREAM_LENGTH = 200_000  # long stream: the sampling rate, hence the per-item work, is low
+
+
+def _long_stream(length=30000):
+    return list(zipfian_stream(length, UNIVERSE, skew=1.2, rng=RandomSource(1)))
+
+
+class TestPerItemCost:
+    def test_per_item_cost_does_not_grow_with_inverse_epsilon(self):
+        """For a fixed-length pass, shrinking eps by 8x must not inflate per-item time
+        by more than a small factor (most arrivals are never sampled)."""
+        stream = _long_stream()
+        rows, seconds = [], []
+        for epsilon in (0.04, 0.01, 0.005):
+            algo = SimpleListHeavyHitters(
+                epsilon=epsilon, phi=0.05, universe_size=UNIVERSE,
+                stream_length=STREAM_LENGTH, rng=RandomSource(2),
+            )
+            start = time.perf_counter()
+            for item in stream:
+                algo.insert(item)
+            elapsed = time.perf_counter() - start
+            seconds.append(elapsed)
+            rows.append(ExperimentRow(
+                "TIME eps sweep", {"eps": epsilon},
+                {"seconds_per_item_us": 1e6 * elapsed / len(stream)},
+            ))
+        print_experiment_table(
+            "TIME: per-item update cost of Algorithm 1 vs eps (m_hint=200k)",
+            rows, ["label", "eps", "seconds_per_item_us"],
+        )
+        assert seconds[-1] <= 6 * seconds[0] + 0.05
+
+    def test_update_cost_comparison_table(self):
+        stream = _long_stream()
+        contenders = {
+            "simple (Thm 1)": SimpleListHeavyHitters(
+                epsilon=0.01, phi=0.05, universe_size=UNIVERSE,
+                stream_length=STREAM_LENGTH, rng=RandomSource(3),
+            ),
+            "optimal (Thm 2)": OptimalListHeavyHitters(
+                epsilon=0.01, phi=0.05, universe_size=UNIVERSE,
+                stream_length=STREAM_LENGTH, rng=RandomSource(4),
+            ),
+            "eps-maximum (Thm 3)": EpsilonMaximum(
+                epsilon=0.01, universe_size=UNIVERSE,
+                stream_length=STREAM_LENGTH, rng=RandomSource(5),
+            ),
+            "misra-gries": MisraGries(epsilon=0.01, universe_size=UNIVERSE),
+            "space-saving": SpaceSaving(epsilon=0.01, universe_size=UNIVERSE),
+        }
+        rows = []
+        for label, algo in contenders.items():
+            start = time.perf_counter()
+            for item in stream:
+                algo.insert(item)
+            elapsed = time.perf_counter() - start
+            rows.append(ExperimentRow(
+                "TIME comparison", {"algorithm": label},
+                {"seconds_per_item_us": 1e6 * elapsed / len(stream),
+                 "items_per_second": len(stream) / elapsed},
+            ))
+        print_experiment_table(
+            "TIME: amortized per-item cost, all algorithms, eps=0.01 (m_hint=200k)",
+            rows, ["label", "algorithm", "seconds_per_item_us", "items_per_second"],
+        )
+        # Sanity: every algorithm sustains a reasonable throughput in pure Python.
+        for row in rows:
+            assert row.measurements["items_per_second"] > 10_000
+
+
+class TestTimedKernels:
+    def test_simple_insert_kernel(self, benchmark):
+        stream = _long_stream(20000)
+        algo = SimpleListHeavyHitters(
+            epsilon=0.01, phi=0.05, universe_size=UNIVERSE,
+            stream_length=STREAM_LENGTH, rng=RandomSource(6),
+        )
+
+        def run():
+            for item in stream:
+                algo.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_optimal_insert_kernel(self, benchmark):
+        stream = _long_stream(20000)
+        algo = OptimalListHeavyHitters(
+            epsilon=0.01, phi=0.05, universe_size=UNIVERSE,
+            stream_length=STREAM_LENGTH, rng=RandomSource(7),
+        )
+
+        def run():
+            for item in stream:
+                algo.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)
+
+    def test_misra_gries_insert_kernel(self, benchmark):
+        stream = _long_stream(20000)
+        algo = MisraGries(epsilon=0.01, universe_size=UNIVERSE)
+
+        def run():
+            for item in stream:
+                algo.insert(item)
+
+        benchmark.pedantic(run, rounds=3, iterations=1)

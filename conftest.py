@@ -1,0 +1,15 @@
+"""Test-session bootstrap.
+
+Makes the ``src`` layout importable even when the package has not been installed (for
+example on an air-gapped machine where ``pip install -e .`` cannot resolve build
+dependencies).  When the package *is* installed, the installed version takes precedence
+only if it appears earlier on ``sys.path``; inserting ``src`` at the front keeps tests
+running against the working tree, which is what a contributor editing the code wants.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

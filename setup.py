@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this file exists so that editable
+installs keep working on machines without network access to build-isolation wheels
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — a reproduction of "An Optimal Algorithm for ℓ1-Heavy Hitters in Insertion
+Streams and Related Problems" (Bhattacharyya, Dey, Woodruff, PODS 2016).
+
+The package is organized the way the paper is:
+
+* :mod:`repro.core` — the paper's algorithms: Algorithm 1 and Algorithm 2 for
+  (ε,ϕ)-List heavy hitters, ε-Maximum, Algorithm 3 for ε-Minimum, the Borda and Maximin
+  algorithms, and the unknown-stream-length wrappers.
+* :mod:`repro.baselines` — the prior art the paper compares against (Misra–Gries,
+  Count-Min, CountSketch, Space-Saving, Lossy Counting, Sticky Sampling).
+* :mod:`repro.primitives` — hash families, samplers, Morris counters, accelerated
+  counters and bit-level space accounting.
+* :mod:`repro.streams` / :mod:`repro.voting` — synthetic item streams and vote streams
+  with known ground truth.
+* :mod:`repro.lowerbounds` — executable versions of the paper's lower-bound reductions
+  and the Table 1 bound formulas.
+* :mod:`repro.analysis` — accuracy metrics and the experiment harness used by the
+  benchmark suite.
+
+Quickstart::
+
+    from repro import SimpleListHeavyHitters, zipfian_stream
+
+    stream = zipfian_stream(length=200_000, universe_size=10_000, skew=1.2)
+    algo = SimpleListHeavyHitters(
+        epsilon=0.01, phi=0.05, universe_size=stream.universe_size,
+        stream_length=len(stream),
+    )
+    algo.consume(stream)
+    report = algo.report()
+    for item, estimate in sorted(report.items.items(), key=lambda kv: -kv[1]):
+        print(item, estimate)
+    print("space:", algo.space_bits(), "bits")
+"""
+
+from repro.core import (
+    SimpleListHeavyHitters,
+    OptimalListHeavyHitters,
+    EpsilonMaximum,
+    EpsilonMinimum,
+    ListBorda,
+    ListMaximin,
+    UnknownLengthHeavyHitters,
+    UnknownLengthMaximum,
+    UnknownLengthWrapper,
+    HeavyHittersReport,
+    MaximumResult,
+    MinimumResult,
+    ScoreReport,
+)
+from repro.baselines import (
+    ExactCounter,
+    MisraGries,
+    CountMinSketch,
+    CountSketch,
+    SpaceSaving,
+    LossyCounting,
+    StickySampling,
+)
+from repro.primitives import RandomSource, SpaceMeter
+from repro.streams import (
+    Stream,
+    uniform_stream,
+    zipfian_stream,
+    planted_heavy_hitters_stream,
+    planted_maximum_stream,
+)
+from repro.voting import Ranking, Election, impartial_culture, mallows_votes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimpleListHeavyHitters",
+    "OptimalListHeavyHitters",
+    "EpsilonMaximum",
+    "EpsilonMinimum",
+    "ListBorda",
+    "ListMaximin",
+    "UnknownLengthHeavyHitters",
+    "UnknownLengthMaximum",
+    "UnknownLengthWrapper",
+    "HeavyHittersReport",
+    "MaximumResult",
+    "MinimumResult",
+    "ScoreReport",
+    "ExactCounter",
+    "MisraGries",
+    "CountMinSketch",
+    "CountSketch",
+    "SpaceSaving",
+    "LossyCounting",
+    "StickySampling",
+    "RandomSource",
+    "SpaceMeter",
+    "Stream",
+    "uniform_stream",
+    "zipfian_stream",
+    "planted_heavy_hitters_stream",
+    "planted_maximum_stream",
+    "Ranking",
+    "Election",
+    "impartial_culture",
+    "mallows_votes",
+    "__version__",
+]

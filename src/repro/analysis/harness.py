@@ -1,0 +1,151 @@
+"""The experiment harness: run algorithms on workloads and tabulate the results.
+
+The benchmark modules under ``benchmarks/`` and the example scripts both use these
+helpers, so the numbers recorded in EXPERIMENTS.md come from exactly the code a user
+would run themselves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import HeavyHitterAccuracy, evaluate_heavy_hitters
+from repro.core.base import FrequencyEstimator
+from repro.streams.stream import Stream
+from repro.streams.truth import exact_frequencies
+
+
+@dataclass
+class ExperimentRow:
+    """One row of an experiment table: a label, parameters and measured quantities."""
+
+    label: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    measurements: Dict[str, float] = field(default_factory=dict)
+
+    def as_flat_dict(self) -> Dict[str, object]:
+        flat: Dict[str, object] = {"label": self.label}
+        flat.update(self.parameters)
+        flat.update(self.measurements)
+        return flat
+
+
+def run_algorithm_on_stream(
+    algorithm,
+    stream: Stream,
+) -> Dict[str, float]:
+    """Consume a stream, timing the updates, and return space/time measurements."""
+    start = time.perf_counter()
+    for item in stream:
+        algorithm.insert(item)
+    elapsed = time.perf_counter() - start
+    length = max(1, len(stream))
+    return {
+        "total_seconds": elapsed,
+        "seconds_per_update": elapsed / length,
+        "updates_per_second": length / elapsed if elapsed > 0 else float("inf"),
+        "space_bits": float(algorithm.space_bits()),
+    }
+
+
+def run_heavy_hitter_comparison(
+    algorithms: Mapping[str, Callable[[], FrequencyEstimator]],
+    stream: Stream,
+    phi: float,
+) -> List[ExperimentRow]:
+    """Run several heavy-hitter algorithms on the same stream and tabulate accuracy/space.
+
+    ``algorithms`` maps a label to a zero-argument factory (so each algorithm starts
+    fresh); the factory's product must expose ``insert``, ``report`` and ``space_bits``.
+    """
+    truth = exact_frequencies(stream)
+    rows: List[ExperimentRow] = []
+    for label, factory in algorithms.items():
+        algorithm = factory()
+        timing = run_algorithm_on_stream(algorithm, stream)
+        report = algorithm.report()
+        accuracy: Optional[HeavyHitterAccuracy] = None
+        try:
+            accuracy = evaluate_heavy_hitters(report, truth)
+        except AttributeError:
+            accuracy = None
+        measurements = dict(timing)
+        if accuracy is not None:
+            measurements.update(
+                {
+                    "recall": accuracy.recall,
+                    "precision": accuracy.precision,
+                    "max_error_fraction_of_m": accuracy.max_frequency_error / max(1, len(stream)),
+                    "reported": float(accuracy.reported_count),
+                }
+            )
+        rows.append(
+            ExperimentRow(
+                label=label,
+                parameters={
+                    "stream": stream.name,
+                    "m": len(stream),
+                    "n": stream.universe_size,
+                    "phi": phi,
+                },
+                measurements=measurements,
+            )
+        )
+    return rows
+
+
+def run_space_scaling_experiment(
+    factory: Callable[[Dict[str, float]], object],
+    stream_factory: Callable[[Dict[str, float]], Stream],
+    parameter_grid: Sequence[Dict[str, float]],
+    label: str = "algorithm",
+) -> List[ExperimentRow]:
+    """Sweep a parameter grid, measuring the algorithm's space on each configuration.
+
+    ``factory(params)`` builds the algorithm for one grid point, ``stream_factory(params)``
+    the workload; each grid point contributes one row with the measured peak space.
+    """
+    rows: List[ExperimentRow] = []
+    for params in parameter_grid:
+        stream = stream_factory(params)
+        algorithm = factory(params)
+        for item in stream:
+            algorithm.insert(item)
+        rows.append(
+            ExperimentRow(
+                label=label,
+                parameters=dict(params),
+                measurements={
+                    "space_bits": float(algorithm.space_bits()),
+                    "peak_space_bits": float(
+                        getattr(algorithm, "peak_space_bits", algorithm.space_bits)()
+                    ),
+                },
+            )
+        )
+    return rows
+
+
+def format_table(rows: Iterable[ExperimentRow], columns: Optional[Sequence[str]] = None) -> str:
+    """Render experiment rows as a GitHub-flavoured markdown table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].as_flat_dict().keys())
+    header = "| " + " | ".join(columns) + " |"
+    divider = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, divider]
+    for row in rows:
+        flat = row.as_flat_dict()
+        cells = []
+        for column in columns:
+            value = flat.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

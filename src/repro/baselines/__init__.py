@@ -1,0 +1,31 @@
+"""Classical heavy-hitter algorithms the paper compares against.
+
+The paper's introduction surveys the prior art for the (ε,ϕ)-Heavy Hitters problem:
+the deterministic Misra–Gries / Frequent algorithm [MG82, DLOM02, KSP03] using
+``O(ε⁻¹ (log n + log m))`` bits, and the randomized CountSketch [CCFC04], Count-Min
+sketch [CM05], Lossy Counting and Sticky Sampling [MM02], and Space-Saving [MAE05].
+Every one of those is implemented here behind the common
+:class:`~repro.core.base.FrequencyEstimator` interface so the benchmark harness can put
+them side by side with the paper's algorithms, both on accuracy and on measured space.
+
+``ExactCounter`` keeps exact counts and is the ground-truth oracle used by tests and by
+the accuracy experiments.
+"""
+
+from repro.baselines.exact import ExactCounter
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.sticky_sampling import StickySampling
+
+__all__ = [
+    "ExactCounter",
+    "MisraGries",
+    "CountMinSketch",
+    "CountSketch",
+    "SpaceSaving",
+    "LossyCounting",
+    "StickySampling",
+]

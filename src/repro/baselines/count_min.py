@@ -1,0 +1,111 @@
+"""The Count-Min sketch [CM05].
+
+A randomized baseline: ``d = ceil(ln(1/delta))`` rows of ``w = ceil(e/eps)`` counters
+each, one universal hash function per row.  Every estimate overestimates by at most
+``eps * m`` with probability ``1 - delta``.  Space is ``O(eps^-1 log(1/delta) log m)``
+bits plus the hash function descriptions — asymptotically worse than the paper's
+``O(eps^-1 log(1/phi))`` for reporting heavy hitters, which is exactly the comparison
+the Table 1 benchmark (experiment T1-HH) draws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+
+
+class CountMinSketch(FrequencyEstimator):
+    """Count-Min sketch with conservative parameter choices from the original paper."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float,
+        universe_size: int,
+        rng: Optional[RandomSource] = None,
+        track_heavy_candidates: bool = True,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.universe_size = universe_size
+        self.width = max(2, int(math.ceil(math.e / epsilon)))
+        self.depth = max(1, int(math.ceil(math.log(1.0 / delta))))
+        rng = rng if rng is not None else RandomSource()
+        family = UniversalHashFamily(universe_size, self.width, rng=rng)
+        self.hash_functions: List[UniversalHashFunction] = family.draw_many(self.depth)
+        self.table: List[List[int]] = [[0] * self.width for _ in range(self.depth)]
+        # A Count-Min sketch alone cannot enumerate the heavy hitters; real deployments
+        # pair it with a heap of candidates, which we model here (and charge for).
+        self.track_heavy_candidates = track_heavy_candidates
+        self.candidates: dict = {}
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        for row, hash_function in enumerate(self.hash_functions):
+            self.table[row][hash_function(item)] += 1
+        if self.track_heavy_candidates:
+            estimate = self.estimate(item)
+            threshold = self.epsilon * self.items_processed
+            if estimate >= threshold:
+                self.candidates[item] = estimate
+            # Prune stale candidates occasionally to keep the candidate set O(1/eps).
+            if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
+                self._prune_candidates()
+
+    def _prune_candidates(self) -> None:
+        threshold = self.epsilon * self.items_processed
+        self.candidates = {
+            item: self.estimate(item)
+            for item in self.candidates
+            if self.estimate(item) >= threshold
+        }
+
+    def estimate(self, item: int) -> float:
+        return float(
+            min(
+                self.table[row][hash_function(item)]
+                for row, hash_function in enumerate(self.hash_functions)
+            )
+        )
+
+    def report(self, phi: Optional[float] = None) -> HeavyHittersReport:
+        """Report tracked candidates whose estimate exceeds (ϕ−ε/2)·m."""
+        phi_value = phi if phi is not None else self.epsilon
+        threshold = (phi_value - self.epsilon / 2.0) * self.items_processed
+        items = {
+            item: self.estimate(item)
+            for item in self.candidates
+            if self.estimate(item) > threshold
+        }
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=phi_value,
+        )
+
+    def refresh_space(self) -> None:
+        count_bits = bits_for_value(max(1, self.items_processed))
+        self.space.set_component("table", self.depth * self.width * count_bits)
+        self.space.set_component(
+            "hash_functions",
+            sum(hash_function.description_bits() for hash_function in self.hash_functions),
+        )
+        if self.track_heavy_candidates:
+            id_bits = bits_for_value(self.universe_size - 1)
+            self.space.set_component("candidates", len(self.candidates) * (id_bits + count_bits))

@@ -1,0 +1,114 @@
+"""CountSketch [CCFC04].
+
+Like Count-Min but with a random sign per (row, item) pair and a median instead of a
+minimum, which makes the estimator unbiased and gives an ℓ2-type error guarantee.  It is
+included because the paper cites it as one of the standard randomized baselines and
+because the ℓ2 guarantee is the natural comparison point for the ℓ1 algorithms built
+here.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import List, Optional
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+
+
+class CountSketch(FrequencyEstimator):
+    """CountSketch with ``depth`` rows of ``width`` signed counters each."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float,
+        universe_size: int,
+        rng: Optional[RandomSource] = None,
+        track_heavy_candidates: bool = True,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.epsilon = epsilon
+        self.delta = delta
+        self.universe_size = universe_size
+        self.width = max(2, int(math.ceil(3.0 / (epsilon * epsilon))))
+        self.depth = max(1, int(math.ceil(math.log(4.0 / delta))))
+        # Keep the sketch from becoming absurdly wide for tiny epsilon in benchmarks:
+        # the width is the defining cost of CountSketch and we report it faithfully.
+        rng = rng if rng is not None else RandomSource()
+        bucket_family = UniversalHashFamily(universe_size, self.width, rng=rng.spawn(1))
+        sign_family = UniversalHashFamily(universe_size, 2, rng=rng.spawn(2))
+        self.bucket_hashes: List[UniversalHashFunction] = bucket_family.draw_many(self.depth)
+        self.sign_hashes: List[UniversalHashFunction] = sign_family.draw_many(self.depth)
+        self.table: List[List[int]] = [[0] * self.width for _ in range(self.depth)]
+        self.track_heavy_candidates = track_heavy_candidates
+        self.candidates: dict = {}
+
+    def _sign(self, row: int, item: int) -> int:
+        return 1 if self.sign_hashes[row](item) == 1 else -1
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        for row in range(self.depth):
+            bucket = self.bucket_hashes[row](item)
+            self.table[row][bucket] += self._sign(row, item)
+        if self.track_heavy_candidates:
+            estimate = self.estimate(item)
+            if estimate >= self.epsilon * self.items_processed:
+                self.candidates[item] = estimate
+            if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
+                self._prune_candidates()
+
+    def _prune_candidates(self) -> None:
+        threshold = self.epsilon * self.items_processed
+        self.candidates = {
+            item: self.estimate(item)
+            for item in self.candidates
+            if self.estimate(item) >= threshold
+        }
+
+    def estimate(self, item: int) -> float:
+        votes = [
+            self._sign(row, item) * self.table[row][self.bucket_hashes[row](item)]
+            for row in range(self.depth)
+        ]
+        return float(statistics.median(votes))
+
+    def report(self, phi: Optional[float] = None) -> HeavyHittersReport:
+        phi_value = phi if phi is not None else self.epsilon
+        threshold = (phi_value - self.epsilon / 2.0) * self.items_processed
+        items = {
+            item: self.estimate(item)
+            for item in self.candidates
+            if self.estimate(item) > threshold
+        }
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=phi_value,
+        )
+
+    def refresh_space(self) -> None:
+        count_bits = bits_for_value(max(1, self.items_processed)) + 1  # signed counters
+        self.space.set_component("table", self.depth * self.width * count_bits)
+        self.space.set_component(
+            "hash_functions",
+            sum(h.description_bits() for h in self.bucket_hashes)
+            + sum(h.description_bits() for h in self.sign_hashes),
+        )
+        if self.track_heavy_candidates:
+            id_bits = bits_for_value(self.universe_size - 1)
+            self.space.set_component("candidates", len(self.candidates) * (id_bits + count_bits))

@@ -1,0 +1,63 @@
+"""Exact frequency counting — the ground-truth oracle.
+
+Not a small-space algorithm (it stores every distinct item), but the reference against
+which every approximate algorithm's output is judged in the tests and in the accuracy
+experiments (experiment id ACC in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.space import bits_for_value
+
+
+class ExactCounter(FrequencyEstimator):
+    """Keeps an exact count for every distinct item seen."""
+
+    def __init__(self, universe_size: int) -> None:
+        super().__init__()
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.universe_size = universe_size
+        self.counts: Dict[int, int] = {}
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        self.counts[item] = self.counts.get(item, 0) + 1
+
+    def estimate(self, item: int) -> float:
+        return float(self.counts.get(item, 0))
+
+    def frequencies(self) -> Dict[int, int]:
+        """A copy of the exact frequency table."""
+        return dict(self.counts)
+
+    def most_common(self, count: int) -> List[Tuple[int, int]]:
+        """The ``count`` most frequent items and their exact counts."""
+        ordered = sorted(self.counts.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ordered[:count]
+
+    def heavy_hitters(self, phi: float) -> Dict[int, int]:
+        """All items with frequency strictly greater than ϕ·m."""
+        threshold = phi * self.items_processed
+        return {item: count for item, count in self.counts.items() if count > threshold}
+
+    def report(self, epsilon: float = 0.0, phi: float = 0.0) -> HeavyHittersReport:
+        """Report the exact heavy hitters above ϕ·m (with exact frequencies)."""
+        heavy = self.heavy_hitters(phi)
+        return HeavyHittersReport(
+            items={item: float(count) for item, count in heavy.items()},
+            stream_length=self.items_processed,
+            epsilon=epsilon,
+            phi=phi,
+        )
+
+    def refresh_space(self) -> None:
+        id_bits = bits_for_value(self.universe_size - 1)
+        count_bits = bits_for_value(max(self.counts.values(), default=0))
+        self.space.set_component("counts", len(self.counts) * (id_bits + count_bits))

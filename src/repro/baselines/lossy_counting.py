@@ -1,0 +1,80 @@
+"""Lossy Counting [MM02].
+
+The stream is processed in buckets of width ``ceil(1/eps)``; at the end of every bucket,
+entries whose count plus slack falls below the bucket index are deleted.  The surviving
+entries underestimate true frequencies by at most ``eps * m``, so reporting entries above
+``(phi - eps) * m`` solves (ε,ϕ)-Heavy Hitters.  Space is ``O(eps^-1 log(eps * m))``
+entries in the worst case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.space import bits_for_value
+
+
+class LossyCounting(FrequencyEstimator):
+    """Lossy Counting with bucket width ``ceil(1/eps)``."""
+
+    def __init__(self, epsilon: float, universe_size: int) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.epsilon = epsilon
+        self.universe_size = universe_size
+        self.bucket_width = int(math.ceil(1.0 / epsilon))
+        self.current_bucket = 1
+        # item -> (count, delta) where delta is the maximum possible undercount.
+        self.entries: Dict[int, Tuple[int, int]] = {}
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        if item in self.entries:
+            count, delta = self.entries[item]
+            self.entries[item] = (count + 1, delta)
+        else:
+            self.entries[item] = (1, self.current_bucket - 1)
+        if self.items_processed % self.bucket_width == 0:
+            self._prune()
+            self.current_bucket += 1
+
+    def _prune(self) -> None:
+        """Delete entries that cannot be frequent: count + delta <= current bucket."""
+        self.entries = {
+            item: (count, delta)
+            for item, (count, delta) in self.entries.items()
+            if count + delta > self.current_bucket
+        }
+
+    def estimate(self, item: int) -> float:
+        if item not in self.entries:
+            return 0.0
+        return float(self.entries[item][0])
+
+    def report(self, phi: Optional[float] = None) -> HeavyHittersReport:
+        phi_value = phi if phi is not None else self.epsilon
+        threshold = (phi_value - self.epsilon) * self.items_processed
+        items = {
+            item: float(count)
+            for item, (count, _delta) in self.entries.items()
+            if count > threshold
+        }
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=phi_value,
+        )
+
+    def refresh_space(self) -> None:
+        id_bits = bits_for_value(self.universe_size - 1)
+        count_bits = bits_for_value(max(1, self.items_processed))
+        self.space.set_component("entries", len(self.entries) * (id_bits + 2 * count_bits))

@@ -1,0 +1,132 @@
+"""The Misra–Gries / Frequent algorithm [MG82], rediscovered by [DLOM02] and [KSP03].
+
+This is the main prior-art baseline the paper improves upon: with ``k = ceil(1/eps)``
+counters it guarantees, deterministically, that every item's estimated frequency is
+within ``m/k <= eps*m`` of the truth (underestimates only), and therefore solves the
+(ε,ϕ)-Heavy Hitters problem in ``O(eps^-1 (log n + log m))`` bits of space.
+
+The same data structure is also used *inside* the paper's Algorithm 1 (on hashed ids of
+sampled items) and Algorithm 2 (as the candidate filter ``T1``), so this implementation
+doubles as the substrate for the core algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.space import bits_for_value
+
+
+class MisraGriesTable:
+    """The bare Misra–Gries summary over an abstract key space.
+
+    Kept separate from the :class:`MisraGries` baseline so the paper's algorithms can
+    run it over *hashed* ids with their own space accounting.
+    """
+
+    def __init__(self, num_counters: int) -> None:
+        if num_counters <= 0:
+            raise ValueError("num_counters must be positive")
+        self.num_counters = num_counters
+        self.counters: Dict[int, int] = {}
+        self.total_decrements = 0
+
+    def update(self, key: int, weight: int = 1) -> None:
+        """Standard Misra–Gries update with an integer weight (default one)."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        if key in self.counters:
+            self.counters[key] += weight
+            return
+        if len(self.counters) < self.num_counters:
+            self.counters[key] = weight
+            return
+        # Table full: decrement every counter by the largest amount that keeps all
+        # counters non-negative (at most `weight`), then insert any remainder.
+        decrement = min(weight, min(self.counters.values()))
+        self.total_decrements += decrement
+        for existing_key in list(self.counters):
+            self.counters[existing_key] -= decrement
+            if self.counters[existing_key] == 0:
+                del self.counters[existing_key]
+        remainder = weight - decrement
+        if remainder > 0 and len(self.counters) < self.num_counters:
+            self.counters[key] = remainder
+
+    def get(self, key: int) -> int:
+        """The (under-)estimate of ``key``'s frequency stored in the table."""
+        return self.counters.get(key, 0)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self.counters
+
+    def __len__(self) -> int:
+        return len(self.counters)
+
+    def items_by_count(self) -> List[Tuple[int, int]]:
+        """All (key, counter) pairs sorted by decreasing counter value."""
+        return sorted(self.counters.items(), key=lambda pair: (-pair[1], pair[0]))
+
+    def top_keys(self, count: int) -> List[int]:
+        """The keys of the ``count`` largest counters."""
+        return [key for key, _ in self.items_by_count()[:count]]
+
+    def space_bits(self, key_bits: int, value_bits: int) -> int:
+        """Declared space for a table of this capacity with the given field widths."""
+        return self.num_counters * (key_bits + value_bits)
+
+
+class MisraGries(FrequencyEstimator):
+    """The classic deterministic baseline for (ε,ϕ)-Heavy Hitters.
+
+    Guarantee: for every item, ``f_i - eps*m <= estimate(i) <= f_i``.  Reporting every
+    stored item whose counter exceeds ``(phi - eps) * m`` therefore returns all
+    ϕ-heavy items and no (ϕ−ε)-light ones... *if* the counter error is at most εm, which
+    holds because the table has ``ceil(1/eps)`` counters.
+    """
+
+    def __init__(self, epsilon: float, universe_size: int, stream_length_hint: Optional[int] = None) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.epsilon = epsilon
+        self.universe_size = universe_size
+        self.stream_length_hint = stream_length_hint
+        self.table = MisraGriesTable(num_counters=int(1.0 / epsilon) + 1)
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        self.table.update(item)
+
+    def estimate(self, item: int) -> float:
+        return float(self.table.get(item))
+
+    def report(self, phi: Optional[float] = None) -> HeavyHittersReport:
+        """Report all stored items above the (ϕ−ε)·m threshold (ϕ defaults to ε)."""
+        phi_value = phi if phi is not None else self.epsilon
+        threshold = (phi_value - self.epsilon) * self.items_processed
+        items = {
+            item: float(count)
+            for item, count in self.table.counters.items()
+            if count > threshold
+        }
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=phi_value,
+        )
+
+    def refresh_space(self) -> None:
+        # The classic accounting: each of the ceil(1/eps) slots stores an id of
+        # ceil(log2 n) bits and a counter of ceil(log2 (m+1)) bits.
+        length = self.stream_length_hint or max(1, self.items_processed)
+        id_bits = bits_for_value(self.universe_size - 1)
+        count_bits = bits_for_value(length)
+        self.space.set_component("table", self.table.space_bits(id_bits, count_bits))

@@ -1,0 +1,98 @@
+"""Sticky Sampling [MM02].
+
+A randomized counter-based baseline: items already in the table are counted exactly;
+new items enter the table with a sampling probability that halves as the stream grows.
+With sampling rate ``r = t / eps`` (``t = log(1/(phi*delta))``) it reports all ϕ-heavy
+items with probability ``1 - delta``, using ``O(eps^-1 log(1/(phi*delta)))`` expected
+entries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+
+
+class StickySampling(FrequencyEstimator):
+    """Sticky Sampling with the original paper's parameterization."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        phi: float,
+        delta: float,
+        universe_size: int,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not epsilon < phi <= 1.0:
+            raise ValueError("phi must satisfy epsilon < phi <= 1")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.epsilon = epsilon
+        self.phi = phi
+        self.delta = delta
+        self.universe_size = universe_size
+        self._rng = rng if rng is not None else RandomSource()
+        # First window holds 2t items with sampling rate 1, then rate halves each window.
+        self.t = math.log(1.0 / (phi * delta))
+        self.window_size = max(1, int(math.ceil(2.0 * self.t / epsilon)))
+        self.sampling_rate = 1.0
+        self.next_window_end = self.window_size
+        self.entries: Dict[int, int] = {}
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        if item in self.entries:
+            self.entries[item] += 1
+        elif self._rng.bernoulli(self.sampling_rate):
+            self.entries[item] = 1
+        if self.items_processed >= self.next_window_end:
+            self._advance_window()
+
+    def _advance_window(self) -> None:
+        """Halve the sampling rate and thin existing entries accordingly."""
+        self.sampling_rate /= 2.0
+        self.next_window_end += self.window_size * int(round(1.0 / self.sampling_rate))
+        for item in list(self.entries):
+            # For each entry, toss unbiased coins and decrement until a head appears,
+            # deleting entries that hit zero (the original adjustment step).
+            while self.entries[item] > 0 and self._rng.bernoulli(0.5):
+                self.entries[item] -= 1
+            if self.entries[item] <= 0:
+                del self.entries[item]
+
+    def estimate(self, item: int) -> float:
+        return float(self.entries.get(item, 0))
+
+    def report(self, phi: Optional[float] = None) -> HeavyHittersReport:
+        phi_value = phi if phi is not None else self.phi
+        threshold = (phi_value - self.epsilon) * self.items_processed
+        items = {
+            item: float(count)
+            for item, count in self.entries.items()
+            if count > threshold
+        }
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=phi_value,
+        )
+
+    def refresh_space(self) -> None:
+        id_bits = bits_for_value(self.universe_size - 1)
+        count_bits = bits_for_value(max(1, self.items_processed))
+        self.space.set_component("entries", len(self.entries) * (id_bits + count_bits))
+        self.space.set_component("rate", 32)

@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points for quick use on
+on-disk traces without writing any Python:
+
+* ``generate``       — write a synthetic stream (uniform / zipf / planted) to a file;
+* ``heavy-hitters``  — run Algorithm 1 (or Algorithm 2 / Misra–Gries) over a stream file
+  and print the reported heavy hitters, their estimates and the space used;
+* ``maximum`` / ``minimum`` — the ε-Maximum / ε-Minimum problems over a stream file;
+* ``borda`` / ``maximin``   — the ranking problems over an election file (one vote per
+  line, candidate ids in preference order);
+* ``bounds``         — evaluate the Table 1 space-bound formulas for given parameters.
+
+Every command prints a small, stable, line-oriented report so the CLI can be scripted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.misra_gries import MisraGries
+from repro.core.borda import ListBorda
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximin import ListMaximin
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.lowerbounds.bounds import TABLE1_ROWS
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import (
+    planted_heavy_hitters_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from repro.streams.io import load_election, load_stream, save_stream
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal l1-heavy hitters in insertion streams (PODS 2016) - command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic stream to a file")
+    generate.add_argument("output", help="path of the stream file to write")
+    generate.add_argument("--kind", choices=["uniform", "zipf", "planted"], default="zipf")
+    generate.add_argument("--length", type=int, default=100_000)
+    generate.add_argument("--universe", type=int, default=10_000)
+    generate.add_argument("--skew", type=float, default=1.2, help="Zipf skew (kind=zipf)")
+    generate.add_argument(
+        "--heavy", action="append", default=[], metavar="ITEM:FRACTION",
+        help="planted heavy item, e.g. --heavy 7:0.2 (kind=planted, repeatable)",
+    )
+    generate.add_argument("--seed", type=int, default=None)
+
+    def add_stream_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("stream", help="path of the stream file (one integer item per line)")
+        sub.add_argument("--epsilon", type=float, default=0.01)
+        sub.add_argument("--universe", type=int, default=None,
+                         help="universe size (defaults to the file header or max item + 1)")
+        sub.add_argument("--seed", type=int, default=None)
+
+    heavy = subparsers.add_parser("heavy-hitters", help="report the (eps, phi)-heavy hitters")
+    add_stream_options(heavy)
+    heavy.add_argument("--phi", type=float, default=0.05)
+    heavy.add_argument(
+        "--algorithm", choices=["simple", "optimal", "misra-gries"], default="simple",
+        help="simple = Algorithm 1 (Theorem 1), optimal = Algorithm 2 (Theorem 2)",
+    )
+
+    maximum = subparsers.add_parser("maximum", help="estimate the maximum frequency (eps-Maximum)")
+    add_stream_options(maximum)
+
+    minimum = subparsers.add_parser("minimum", help="estimate the minimum frequency (eps-Minimum)")
+    add_stream_options(minimum)
+
+    def add_election_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("election", help="path of the election file (one vote per line)")
+        sub.add_argument("--epsilon", type=float, default=0.05)
+        sub.add_argument("--phi", type=float, default=None,
+                         help="optional reporting threshold for the List variant")
+        sub.add_argument("--seed", type=int, default=None)
+
+    borda = subparsers.add_parser("borda", help="estimate Borda scores from a vote stream")
+    add_election_options(borda)
+
+    maximin = subparsers.add_parser("maximin", help="estimate maximin scores from a vote stream")
+    add_election_options(maximin)
+
+    bounds = subparsers.add_parser("bounds", help="evaluate the Table 1 space-bound formulas")
+    bounds.add_argument("--epsilon", type=float, default=0.01)
+    bounds.add_argument("--phi", type=float, default=0.05)
+    bounds.add_argument("--universe", type=int, default=1 << 20)
+    bounds.add_argument("--stream-length", type=int, default=10 ** 6)
+
+    return parser
+
+
+def _parse_heavy_spec(specs: Sequence[str]) -> Dict[int, float]:
+    heavy: Dict[int, float] = {}
+    for spec in specs:
+        item_text, _, fraction_text = spec.partition(":")
+        if not fraction_text:
+            raise SystemExit(f"--heavy expects ITEM:FRACTION, got {spec!r}")
+        heavy[int(item_text)] = float(fraction_text)
+    return heavy
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    rng = RandomSource(args.seed)
+    if args.kind == "uniform":
+        stream = uniform_stream(args.length, args.universe, rng=rng)
+    elif args.kind == "zipf":
+        stream = zipfian_stream(args.length, args.universe, skew=args.skew, rng=rng)
+    else:
+        heavy = _parse_heavy_spec(args.heavy) or {0: 0.2, 1: 0.1}
+        stream = planted_heavy_hitters_stream(args.length, args.universe, heavy, rng=rng)
+    save_stream(stream, args.output)
+    print(f"wrote {len(stream)} items over universe {stream.universe_size} to {args.output}")
+    return 0
+
+
+def _command_heavy_hitters(args: argparse.Namespace) -> int:
+    stream = load_stream(args.stream, universe_size=args.universe)
+    rng = RandomSource(args.seed)
+    if args.algorithm == "simple":
+        algorithm = SimpleListHeavyHitters(
+            epsilon=args.epsilon, phi=args.phi, universe_size=stream.universe_size,
+            stream_length=len(stream), rng=rng,
+        )
+    elif args.algorithm == "optimal":
+        algorithm = OptimalListHeavyHitters(
+            epsilon=args.epsilon, phi=args.phi, universe_size=stream.universe_size,
+            stream_length=len(stream), rng=rng,
+        )
+    else:
+        algorithm = MisraGries(epsilon=args.epsilon, universe_size=stream.universe_size,
+                               stream_length_hint=len(stream))
+    algorithm.consume(stream)
+    report = (
+        algorithm.report(phi=args.phi) if args.algorithm == "misra-gries" else algorithm.report()
+    )
+    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+    print(f"algorithm: {args.algorithm}  epsilon={args.epsilon}  phi={args.phi}")
+    print(f"space_bits: {algorithm.space_bits()}")
+    print(f"reported: {len(report)}")
+    for item in report.reported_items():
+        estimate = report.estimated_frequency(item)
+        print(f"item {item}\testimate {estimate:.0f}\tshare {estimate / len(stream):.4f}")
+    return 0
+
+
+def _command_maximum(args: argparse.Namespace) -> int:
+    stream = load_stream(args.stream, universe_size=args.universe)
+    algorithm = EpsilonMaximum(
+        epsilon=args.epsilon, universe_size=stream.universe_size,
+        stream_length=len(stream), rng=RandomSource(args.seed),
+    )
+    algorithm.consume(stream)
+    result = algorithm.report()
+    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+    print(f"space_bits: {algorithm.space_bits()}")
+    print(f"maximum_item: {result.item}")
+    print(f"estimated_frequency: {result.estimated_frequency:.0f}")
+    return 0
+
+
+def _command_minimum(args: argparse.Namespace) -> int:
+    stream = load_stream(args.stream, universe_size=args.universe)
+    algorithm = EpsilonMinimum(
+        epsilon=args.epsilon, universe_size=stream.universe_size,
+        stream_length=len(stream), rng=RandomSource(args.seed),
+    )
+    algorithm.consume(stream)
+    result = algorithm.report()
+    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+    print(f"space_bits: {algorithm.space_bits()}")
+    print(f"minimum_item: {result.item}")
+    print(f"estimated_frequency: {result.estimated_frequency:.0f}")
+    return 0
+
+
+def _command_borda(args: argparse.Namespace) -> int:
+    election = load_election(args.election)
+    algorithm = ListBorda(
+        epsilon=args.epsilon, num_candidates=election.num_candidates,
+        stream_length=len(election), phi=args.phi, rng=RandomSource(args.seed),
+    )
+    algorithm.consume(election.votes)
+    report = algorithm.report()
+    print(f"votes: {len(election)}  candidates: {election.num_candidates}")
+    print(f"space_bits: {algorithm.space_bits()}")
+    print(f"approximate_winner: {report.approximate_winner()}")
+    for candidate, score in report.top_candidates(election.num_candidates):
+        print(f"candidate {candidate}\tborda {score:.0f}")
+    if args.phi is not None:
+        print(f"heavy_candidates: {' '.join(map(str, report.heavy_items))}")
+    return 0
+
+
+def _command_maximin(args: argparse.Namespace) -> int:
+    election = load_election(args.election)
+    algorithm = ListMaximin(
+        epsilon=args.epsilon, num_candidates=election.num_candidates,
+        stream_length=len(election), phi=args.phi, rng=RandomSource(args.seed),
+    )
+    algorithm.consume(election.votes)
+    report = algorithm.report()
+    print(f"votes: {len(election)}  candidates: {election.num_candidates}")
+    print(f"space_bits: {algorithm.space_bits()}")
+    print(f"approximate_winner: {report.approximate_winner()}")
+    for candidate, score in report.top_candidates(election.num_candidates):
+        print(f"candidate {candidate}\tmaximin {score:.0f}")
+    if args.phi is not None:
+        print(f"heavy_candidates: {' '.join(map(str, report.heavy_items))}")
+    return 0
+
+
+def _command_bounds(args: argparse.Namespace) -> int:
+    parameters = {
+        "epsilon": args.epsilon, "phi": args.phi, "n": args.universe, "m": args.stream_length,
+    }
+    print(f"epsilon={args.epsilon} phi={args.phi} n={args.universe} m={args.stream_length}")
+    for key, row in TABLE1_ROWS.items():
+        kwargs = {name: parameters[name] for name in row.parameters}
+        upper = row.upper_bound(**kwargs)
+        lower = row.lower_bound(**kwargs)
+        print(f"{key}\tupper_bits {upper:.1f}\tlower_bits {lower:.1f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "heavy-hitters": _command_heavy_hitters,
+    "maximum": _command_maximum,
+    "minimum": _command_minimum,
+    "borda": _command_borda,
+    "maximin": _command_maximin,
+    "bounds": _command_bounds,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

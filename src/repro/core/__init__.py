@@ -1,0 +1,61 @@
+"""The paper's streaming algorithms (upper bounds of Table 1).
+
+This subpackage contains the reproduction of every upper-bound result in the paper:
+
+* :mod:`repro.core.heavy_hitters_simple` — Algorithm 1 / Theorem 1, the "simpler,
+  near-optimal" (ε,ϕ)-List heavy hitters algorithm.
+* :mod:`repro.core.heavy_hitters_optimal` — Algorithm 2 / Theorem 2, the space-optimal
+  algorithm built from accelerated counters.
+* :mod:`repro.core.maximum` — Theorem 3, the ε-Maximum (approximate ℓ∞ / plurality
+  winner) algorithm.
+* :mod:`repro.core.minimum` — Algorithm 3 / Theorem 4, the ε-Minimum (approximate veto
+  winner) algorithm.
+* :mod:`repro.core.borda` — Theorem 5, (ε,ϕ)-List Borda.
+* :mod:`repro.core.maximin` — Theorem 6, (ε,ϕ)-List Maximin.
+* :mod:`repro.core.unknown_length` — Theorems 7 and 8, the doubling/restart wrappers
+  that remove the assumption that the stream length ``m`` is known in advance.
+
+All algorithms share the small protocol defined in :mod:`repro.core.base`
+(``insert`` / ``report`` / ``space_bits``) and return typed results from
+:mod:`repro.core.results`.
+"""
+
+from repro.core.base import StreamingAlgorithm, FrequencyEstimator, RankingStreamingAlgorithm
+from repro.core.results import (
+    HeavyHitterResult,
+    HeavyHittersReport,
+    MaximumResult,
+    MinimumResult,
+    ScoreReport,
+)
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.core.borda import ListBorda
+from repro.core.maximin import ListMaximin
+from repro.core.unknown_length import (
+    UnknownLengthHeavyHitters,
+    UnknownLengthMaximum,
+    UnknownLengthWrapper,
+)
+
+__all__ = [
+    "StreamingAlgorithm",
+    "FrequencyEstimator",
+    "RankingStreamingAlgorithm",
+    "HeavyHitterResult",
+    "HeavyHittersReport",
+    "MaximumResult",
+    "MinimumResult",
+    "ScoreReport",
+    "SimpleListHeavyHitters",
+    "OptimalListHeavyHitters",
+    "EpsilonMaximum",
+    "EpsilonMinimum",
+    "ListBorda",
+    "ListMaximin",
+    "UnknownLengthHeavyHitters",
+    "UnknownLengthMaximum",
+    "UnknownLengthWrapper",
+]

@@ -1,0 +1,126 @@
+"""Common protocol for all streaming algorithms in the package.
+
+The paper's model (Section 2.1) is a single pass over an insertion-only stream; the
+algorithm keeps a small state between items, and at the end of the stream reports its
+answer.  Every algorithm and baseline in this package therefore exposes the same three
+operations:
+
+* ``insert(item)`` — process one stream insertion,
+* ``report()`` — produce the algorithm's answer (type depends on the problem),
+* ``space_bits()`` — the number of bits of state the algorithm currently holds, as
+  accounted by its :class:`~repro.primitives.space.SpaceMeter`.
+
+Item streams use non-negative integer ids in ``[0, n)`` (the paper's universe ``[n]``);
+ranking streams use :class:`~repro.voting.rankings.Ranking` objects.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, Mapping
+
+from repro.primitives.space import SpaceMeter
+
+
+class StreamingAlgorithm(abc.ABC):
+    """A one-pass algorithm over an insertion-only stream of integer items."""
+
+    def __init__(self) -> None:
+        self.space = SpaceMeter()
+        self.items_processed = 0
+
+    @abc.abstractmethod
+    def insert(self, item: int) -> None:
+        """Process one stream insertion."""
+
+    @abc.abstractmethod
+    def report(self) -> Any:
+        """Produce the algorithm's answer after the stream has been consumed."""
+
+    def consume(self, stream: Iterable[int]) -> "StreamingAlgorithm":
+        """Insert every item of an iterable stream; returns ``self`` for chaining."""
+        for item in stream:
+            self.insert(item)
+        return self
+
+    def space_bits(self) -> int:
+        """Current working-memory footprint in bits (see :class:`SpaceMeter`)."""
+        self.refresh_space()
+        return self.space.total_bits()
+
+    def peak_space_bits(self) -> int:
+        """Peak working-memory footprint in bits observed so far."""
+        self.refresh_space()
+        return self.space.peak_bits()
+
+    def space_breakdown(self) -> Mapping[str, int]:
+        """Per-component view of the current space usage."""
+        self.refresh_space()
+        return self.space.breakdown()
+
+    def refresh_space(self) -> None:
+        """Recompute the space meter from the live data structures.
+
+        Subclasses that keep the meter up to date incrementally may leave this as a
+        no-op; subclasses that prefer to recompute on demand override it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(items_processed={self.items_processed})"
+
+
+class FrequencyEstimator(StreamingAlgorithm):
+    """A streaming algorithm that can additionally estimate individual frequencies.
+
+    All heavy-hitter baselines (Misra–Gries, Count-Min, CountSketch, Space-Saving,
+    Lossy Counting, Sticky Sampling) satisfy this richer interface, as do the paper's
+    heavy-hitter algorithms.
+    """
+
+    @abc.abstractmethod
+    def estimate(self, item: int) -> float:
+        """Estimate the absolute frequency of ``item`` in the stream seen so far."""
+
+    def estimates(self, items: Iterable[int]) -> Dict[int, float]:
+        """Estimate the frequency of several items at once."""
+        return {item: self.estimate(item) for item in items}
+
+
+class RankingStreamingAlgorithm(abc.ABC):
+    """A one-pass algorithm over an insertion-only stream of rankings (votes).
+
+    Used by the Borda and Maximin problems, whose stream items are total orders over the
+    candidate set rather than single ids (paper Definitions 6–9).
+    """
+
+    def __init__(self) -> None:
+        self.space = SpaceMeter()
+        self.votes_processed = 0
+
+    @abc.abstractmethod
+    def insert(self, ranking: Any) -> None:
+        """Process one vote (a ranking of all candidates)."""
+
+    @abc.abstractmethod
+    def report(self) -> Any:
+        """Produce the algorithm's answer after the stream has been consumed."""
+
+    def consume(self, stream: Iterable[Any]) -> "RankingStreamingAlgorithm":
+        for ranking in stream:
+            self.insert(ranking)
+        return self
+
+    def space_bits(self) -> int:
+        self.refresh_space()
+        return self.space.total_bits()
+
+    def peak_space_bits(self) -> int:
+        self.refresh_space()
+        return self.space.peak_bits()
+
+    def space_breakdown(self) -> Mapping[str, int]:
+        self.refresh_space()
+        return self.space.breakdown()
+
+    def refresh_space(self) -> None:
+        """Recompute the space meter from the live data structures (see above)."""

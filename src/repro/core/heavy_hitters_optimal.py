@@ -1,0 +1,207 @@
+"""Algorithm 2 / Theorem 2 — the space-optimal (ε,ϕ)-List heavy hitters.
+
+Space: ``O(ε⁻¹ log ϕ⁻¹ + ϕ⁻¹ log n + log log m)`` bits — the paper's headline result,
+matching the lower bound of Theorems 9 and 14 up to constants.
+
+Structure (paper Section 3.1.2, Algorithm 2):
+
+* Sample ``ℓ = O(ε⁻²)`` stream items (line 10); solve the problem on the sample.
+* ``T1`` — a Misra–Gries table over the *actual* ids with ``O(1/ϕ)`` counters
+  (line 11): it produces the candidate set, every ϕ-heavy item of the sample is in it.
+* For each of ``O(log ϕ⁻¹)`` independent repetitions ``j``, hash the universe into
+  ``O(1/ε)`` buckets (line 13) and maintain per bucket an *accelerated counter*:
+
+  - ``T2[i, j]`` counts an ε-rate subsample of the bucket's arrivals (line 14) and
+    provides a running factor-4 approximation of the bucket's sampled frequency
+    (Claim 1);
+  - ``T3[i, j, t]`` counts arrivals assigned to epoch ``t = ⌊log(c·T2[i,j]²)⌋`` and
+    accepted with probability ``min(ε·2ᵗ, 1)`` (lines 15–17).
+
+  The bucket frequency estimate is ``Σ_t T3[i,j,t] / min(ε·2ᵗ,1)`` (line 23), which is
+  unbiased with variance ``O(ε⁻²)`` (Claim 2).
+* At reporting time, each candidate's frequency is the **median** over the ``j``
+  repetitions of its bucket's estimate (line 24), and candidates above
+  ``(ϕ − ε/2)·s`` are returned (lines 25–26).
+
+The numerical constants in the paper (ℓ = 10⁵ ε⁻², 200 log(12/ϕ) repetitions,
+100/ε buckets, epoch scale 10⁻⁶) are chosen for convenience of the analysis, not for
+practice; they are exposed as constructor parameters with practical defaults (in
+particular ``epoch_scale`` defaults to 1.0, matched to the smaller sample this
+reproduction uses — see :mod:`repro.primitives.accelerated`), and the benchmark in
+``benchmarks/bench_table1_heavy_hitters.py`` reports the measured behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Dict, List, Optional
+
+from repro.baselines.misra_gries import MisraGriesTable
+from repro.core.base import FrequencyEstimator
+from repro.core.results import HeavyHittersReport
+from repro.primitives.accelerated import EpochAcceleratedCounter
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.primitives.rng import RandomSource
+from repro.primitives.sampling import CoinFlipSampler
+from repro.primitives.space import bits_for_value
+
+
+class OptimalListHeavyHitters(FrequencyEstimator):
+    """Algorithm 2 of the paper: Misra–Gries candidates + hashed accelerated counters."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        phi: float,
+        universe_size: int,
+        stream_length: int,
+        delta: float = 0.1,
+        rng: Optional[RandomSource] = None,
+        repetitions: Optional[int] = None,
+        buckets_per_repetition: Optional[int] = None,
+        sample_size_constant: float = 6.0,
+        epoch_scale: float = 1.0,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if not epsilon < phi <= 1.0:
+            raise ValueError("phi must satisfy epsilon < phi <= 1")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        if stream_length <= 0:
+            raise ValueError("stream_length must be positive (use the unknown-length wrapper otherwise)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+
+        self.epsilon = epsilon
+        self.phi = phi
+        self.delta = delta
+        self.universe_size = universe_size
+        self.stream_length = stream_length
+        rng = rng if rng is not None else RandomSource()
+
+        # Error budget split as in Algorithm 1: half for sampling, half for counting.
+        self._sampling_epsilon = epsilon / 2.0
+        # Line 2: the sampled-stream length l = Theta(eps^-2).
+        self.target_sample_size = int(
+            math.ceil(
+                sample_size_constant
+                * math.log(6.0 / delta)
+                / (self._sampling_epsilon ** 2)
+            )
+        )
+        probability = min(1.0, 6.0 * self.target_sample_size / stream_length)
+        self._sampler = CoinFlipSampler(probability, rng=rng.spawn(1))
+        self.sample_size = 0
+
+        # Line 5: T1, the candidate filter — Misra–Gries over actual ids, O(1/phi) slots.
+        self.candidate_capacity = int(math.ceil(2.0 / phi)) + 1
+        self.t1 = MisraGriesTable(num_counters=self.candidate_capacity)
+
+        # Line 4: the per-repetition bucket hashes into O(1/eps) buckets.
+        self.repetitions = (
+            repetitions
+            if repetitions is not None
+            else max(3, int(math.ceil(4.0 * math.log2(max(2.0, 1.0 / phi)))) | 1)
+        )
+        if self.repetitions % 2 == 0:
+            self.repetitions += 1  # odd, so the median is a single repetition's value
+        self.num_buckets = (
+            buckets_per_repetition
+            if buckets_per_repetition is not None
+            else int(math.ceil(16.0 / epsilon))
+        )
+        family = UniversalHashFamily(universe_size, self.num_buckets, rng=rng.spawn(2))
+        self.hash_functions: List[UniversalHashFunction] = family.draw_many(self.repetitions)
+
+        # Lines 6-7: T2 / T3 — one epoch-structured accelerated counter per
+        # (repetition, bucket) pair, allocated lazily.
+        self.epoch_scale = epoch_scale
+        self._counter_rng = rng.spawn(3)
+        self.counters: List[Dict[int, EpochAcceleratedCounter]] = [
+            {} for _ in range(self.repetitions)
+        ]
+
+    # -- stream interface ---------------------------------------------------------------
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        # Line 10: sample with rate l/m.
+        if not self._sampler.decide():
+            return
+        self.sample_size += 1
+        # Line 11: Misra–Gries update of the candidate table with the actual id.
+        self.t1.update(item)
+        # Lines 12-17: update every repetition's accelerated counter for this id's bucket.
+        for repetition in range(self.repetitions):
+            bucket = self.hash_functions[repetition](item)
+            counter = self.counters[repetition].get(bucket)
+            if counter is None:
+                counter = EpochAcceleratedCounter(
+                    epsilon=self.epsilon,
+                    rng=self._counter_rng.spawn(repetition * self.num_buckets + bucket),
+                    epoch_scale=self.epoch_scale,
+                )
+                self.counters[repetition][bucket] = counter
+            counter.offer()
+
+    # -- queries ------------------------------------------------------------------------
+
+    def _scale(self) -> float:
+        if self.sample_size == 0:
+            return 0.0
+        return self.items_processed / self.sample_size
+
+    def _sampled_estimate(self, item: int) -> float:
+        """Median over repetitions of the item's bucket estimate (Algorithm 2 line 24)."""
+        estimates = []
+        for repetition in range(self.repetitions):
+            bucket = self.hash_functions[repetition](item)
+            counter = self.counters[repetition].get(bucket)
+            estimates.append(counter.estimate() if counter is not None else 0.0)
+        return float(statistics.median(estimates))
+
+    def estimate(self, item: int) -> float:
+        """Estimated absolute frequency of ``item`` in the stream seen so far."""
+        return self._sampled_estimate(item) * self._scale()
+
+    def report(self) -> HeavyHittersReport:
+        """Lines 20-27: estimate every candidate, keep those above (ϕ − ε/2)·m."""
+        threshold = (self.phi - self.epsilon / 2.0) * self.items_processed
+        scale = self._scale()
+        items: Dict[int, float] = {}
+        for candidate in self.t1.counters:
+            estimated = self._sampled_estimate(candidate) * scale
+            if estimated > threshold:
+                items[candidate] = estimated
+        return HeavyHittersReport(
+            items=items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=self.phi,
+        )
+
+    # -- space accounting ----------------------------------------------------------------
+
+    def refresh_space(self) -> None:
+        # Sampler (Lemma 1): O(log log m) bits.
+        self.space.set_component("sampler", self._sampler.space_bits())
+        # T1: O(1/phi) slots of (log n + log sample-size) bits — the phi^-1 log n term.
+        id_bits = bits_for_value(self.universe_size - 1)
+        value_bits = bits_for_value(max(1, 11 * self.target_sample_size))
+        self.space.set_component("T1", self.t1.space_bits(id_bits, value_bits))
+        # Hash function descriptions: O(log n) bits each, O(log phi^-1) of them.
+        self.space.set_component(
+            "hash_functions",
+            sum(h.description_bits() for h in self.hash_functions),
+        )
+        # T2/T3: the accelerated counters — the eps^-1 log phi^-1 term.
+        counter_bits = 0
+        for repetition in range(self.repetitions):
+            for counter in self.counters[repetition].values():
+                counter_bits += counter.space_bits()
+        self.space.set_component("T2_T3", counter_bits)

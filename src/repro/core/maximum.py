@@ -1,0 +1,138 @@
+"""Theorem 3 — the ε-Maximum problem (approximate ℓ∞ norm / plurality winner).
+
+Space: ``O(min(ε⁻¹, n)(log ε⁻¹ + log log δ⁻¹) + log n + log log m)`` bits.
+
+The algorithm is Algorithm 1 with one change (paper Section 3.2): instead of the table
+``T2`` of the top ``1/ϕ`` ids, only the single id of the item currently holding the
+largest counter in ``T1`` is remembered.  This both answers the ε-Maximum question
+("what is the maximum frequency, up to ±εm?") and the plurality-winner question
+("which item achieves it?"), resolving IITK 2006 Open Question 3 for ℓ1-heavy hitters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.baselines.misra_gries import MisraGriesTable
+from repro.core.base import FrequencyEstimator
+from repro.core.results import MaximumResult
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.primitives.rng import RandomSource
+from repro.primitives.sampling import CoinFlipSampler
+from repro.primitives.space import bits_for_value
+
+
+class EpsilonMaximum(FrequencyEstimator):
+    """Theorem 3: Algorithm 1 tweaked to remember only the arg-max id."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        universe_size: int,
+        stream_length: int,
+        delta: float = 0.1,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        if stream_length <= 0:
+            raise ValueError("stream_length must be positive (use the unknown-length wrapper otherwise)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+
+        self.epsilon = epsilon
+        self.delta = delta
+        self.universe_size = universe_size
+        self.stream_length = stream_length
+        rng = rng if rng is not None else RandomSource()
+
+        self._sampling_epsilon = epsilon / 2.0
+        self.target_sample_size = int(
+            math.ceil(6.0 * math.log(6.0 / delta) / (self._sampling_epsilon ** 2))
+        )
+        probability = min(1.0, 6.0 * self.target_sample_size / stream_length)
+        self._sampler = CoinFlipSampler(probability, rng=rng.spawn(1))
+        self.sample_size = 0
+
+        self.hash_range = int(math.ceil(10.0 * (self.target_sample_size ** 2) / delta))
+        family = UniversalHashFamily(universe_size, self.hash_range, rng=rng.spawn(2))
+        self.hash_function: UniversalHashFunction = family.draw()
+
+        # The Misra–Gries table needs only min(2/eps, n) + 1 counters: with fewer than
+        # 1/eps distinct items the table is exact anyway.
+        self.table_capacity = min(int(math.ceil(2.0 / epsilon)) + 1, universe_size + 1)
+        self.t1 = MisraGriesTable(num_counters=self.table_capacity)
+
+        # The single remembered id (the paper's replacement for table T2).
+        self.best_item: Optional[int] = None
+        self.best_hash: Optional[int] = None
+
+    # -- stream interface ---------------------------------------------------------------
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        if not self._sampler.decide():
+            return
+        self.sample_size += 1
+        hashed = self.hash_function(item)
+        self.t1.update(hashed)
+        self._update_best(hashed, item)
+
+    def _update_best(self, hashed: int, item: int) -> None:
+        """Remember the actual id of the hash currently holding the largest counter."""
+        if self.best_hash is None:
+            self.best_item, self.best_hash = item, hashed
+            return
+        current_best_value = self.t1.get(self.best_hash)
+        if self.t1.get(hashed) >= current_best_value:
+            self.best_item, self.best_hash = item, hashed
+
+    # -- queries ------------------------------------------------------------------------
+
+    def _scale(self) -> float:
+        if self.sample_size == 0:
+            return 0.0
+        return self.items_processed / self.sample_size
+
+    def estimate(self, item: int) -> float:
+        return self.t1.get(self.hash_function(item)) * self._scale()
+
+    def report(self) -> MaximumResult:
+        """The estimated maximum frequency and an item achieving it."""
+        if self.best_item is None or self.best_hash is None:
+            return MaximumResult(
+                item=0,
+                estimated_frequency=0.0,
+                stream_length=self.items_processed,
+                epsilon=self.epsilon,
+            )
+        # The remembered id may have drifted from the true argmax of T1 if its hash was
+        # displaced; re-check against the table's current maximum value.
+        top_hash = self.t1.top_keys(1)
+        best_hash = self.best_hash
+        if top_hash and self.t1.get(top_hash[0]) > self.t1.get(best_hash):
+            best_hash = top_hash[0]
+        estimated = self.t1.get(self.best_hash) * self._scale()
+        return MaximumResult(
+            item=self.best_item,
+            estimated_frequency=estimated,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+        )
+
+    # -- space accounting ----------------------------------------------------------------
+
+    def refresh_space(self) -> None:
+        self.space.set_component("sampler", self._sampler.space_bits())
+        self.space.set_component("hash_function", self.hash_function.description_bits())
+        key_bits = bits_for_value(self.hash_range - 1)
+        value_bits = bits_for_value(max(1, 11 * self.target_sample_size))
+        self.space.set_component("T1", self.t1.space_bits(key_bits, value_bits))
+        # A single id of log n bits replaces the whole T2 table.
+        self.space.set_component("best_id", bits_for_value(self.universe_size - 1))

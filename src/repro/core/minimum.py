@@ -1,0 +1,198 @@
+"""Algorithm 3 / Theorem 4 — the ε-Minimum problem.
+
+Space: ``O(ε⁻¹ log log(1/(εδ)) + log log m)`` bits — note there is *no* dependence on the
+universe size ``n`` or on ``log ε⁻¹``; the whole point of the algorithm is to beat the
+``Ω(ε⁻¹ log ε⁻¹)`` cost that running a heavy-hitters algorithm would incur.
+
+The algorithm (paper Section 3.3) distinguishes four regimes, mirrored one-to-one in
+:meth:`EpsilonMinimum.report`:
+
+1. **Large universe** (``|U| ≥ 1/((1−δ)ε)``): a uniformly random item from the first
+   ``1/((1−δ)ε)`` universe items has frequency below ``εm`` with probability ``1−δ``
+   (there are at most ``1/ε`` items with frequency ``≥ εm``), so just output one.
+2. **Some item never sampled into S1**: S1 is a ``Θ(log(1/(εδ))/ε)``-rate sample recorded
+   only as a *bit vector* over the (small) universe.  Any item with frequency
+   ``≥ εm·ln(6/δ)/ln(6/(εδ))`` lands in S1 with high probability, so an item absent from
+   S1 is a valid answer.
+3. **Few distinct items** (``≤ 1/(ε log(1/ε))``): S2 keeps exact per-item counters of a
+   ``Θ(ε⁻²)``-rate sample, which is affordable because there are few of them; the
+   minimum counter (rescaled) is the answer.
+4. **Otherwise**: the minimum frequency is sandwiched in
+   ``[εm/log(1/ε), εm·log(1/ε)]``, so S3 — a ``Θ(log⁶(1/(εδ))/ε)``-rate sample with
+   per-item counters *truncated* at ``2 log⁷(2/(εδ))`` — preserves the minimum up to
+   ``±εm`` while each counter needs only ``O(log log(1/(εδ)))`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.base import StreamingAlgorithm
+from repro.core.results import MinimumResult
+from repro.primitives.counters import TruncatedCounter
+from repro.primitives.rng import RandomSource
+from repro.primitives.sampling import CoinFlipSampler
+from repro.primitives.space import bits_for_value
+
+
+class EpsilonMinimum(StreamingAlgorithm):
+    """Algorithm 3 of the paper: three nested samples S1/S2/S3 plus a small-universe shortcut."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        universe_size: int,
+        stream_length: int,
+        delta: float = 0.1,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        if stream_length <= 0:
+            raise ValueError("stream_length must be positive (use the unknown-length wrapper otherwise)")
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+
+        self.epsilon = epsilon
+        self.delta = delta
+        self.universe_size = universe_size
+        self.stream_length = stream_length
+        self._rng = rng if rng is not None else RandomSource()
+
+        # Line 14: the large-universe shortcut threshold.
+        self.large_universe_threshold = 1.0 / ((1.0 - delta) * epsilon)
+        self.large_universe = universe_size >= self.large_universe_threshold
+
+        # Line 2: the three sample-size parameters.
+        self.l1 = math.log(6.0 / (epsilon * delta)) / epsilon
+        self.l2 = math.log(6.0 / delta) / (epsilon * epsilon)
+        self.l3 = (math.log(6.0 / (delta * epsilon)) ** 6) / epsilon
+        # Line 3: the corresponding sampling probabilities (capped at 1).
+        self.p1 = min(1.0, 6.0 * self.l1 / stream_length)
+        self.p2 = min(1.0, 6.0 * self.l2 / stream_length)
+        self.p3 = min(1.0, 6.0 * self.l3 / stream_length)
+        self._sampler1 = CoinFlipSampler(self.p1, rng=self._rng.spawn(1))
+        self._sampler2 = CoinFlipSampler(self.p2, rng=self._rng.spawn(2))
+        self._sampler3 = CoinFlipSampler(self.p3, rng=self._rng.spawn(3))
+
+        # Line 5: B1 — a bit vector over the universe recording membership in S1.
+        # Only needed (and only charged) in the small-universe regime.
+        self.s1_seen: set = set()
+        # Line 10: S2 — exact counters, maintained only while the number of distinct
+        # items stays below the threshold.
+        self.distinct_threshold = 1.0 / (epsilon * max(math.log(1.0 / epsilon), 1.0))
+        self.s2_counts: Dict[int, int] = {}
+        self.s2_sample_size = 0
+        self.s2_abandoned = False
+        # Line 11: S3 — counters truncated at 2 log^7(2/(eps*delta)).
+        self.truncation_cap = max(
+            2, int(math.ceil(2.0 * (math.log(2.0 / (epsilon * delta)) ** 7)))
+        )
+        self.s3_counts: Dict[int, TruncatedCounter] = {}
+        self.s3_sample_size = 0
+
+        # Exact distinct-item tracking; affordable because the interesting regime has
+        # |U| = O(1/eps) (in the large-universe regime the algorithm never looks at it).
+        self.distinct_seen: set = set()
+
+    # -- stream interface ---------------------------------------------------------------
+
+    def insert(self, item: int) -> None:
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        self.items_processed += 1
+        if self.large_universe:
+            # The shortcut answer does not look at the stream at all.
+            return
+        self.distinct_seen.add(item)
+        # Line 8: S1 membership bit vector.
+        if self._sampler1.decide():
+            self.s1_seen.add(item)
+        # Lines 9-10: S2 exact counters while the distinct count is small.
+        if not self.s2_abandoned:
+            if len(self.distinct_seen) <= self.distinct_threshold:
+                if self._sampler2.decide():
+                    self.s2_sample_size += 1
+                    self.s2_counts[item] = self.s2_counts.get(item, 0) + 1
+            else:
+                # Too many distinct items: S2 would exceed its budget, abandon it.
+                self.s2_abandoned = True
+                self.s2_counts.clear()
+        # Line 11: S3 truncated counters.
+        if self._sampler3.decide():
+            self.s3_sample_size += 1
+            counter = self.s3_counts.get(item)
+            if counter is None:
+                counter = TruncatedCounter(cap=self.truncation_cap)
+                self.s3_counts[item] = counter
+            counter.increment()
+
+    # -- queries ------------------------------------------------------------------------
+
+    def report(self) -> MinimumResult:
+        """Lines 13-20 of Algorithm 3, in order."""
+        # Line 14-15: large universe — answer with a random item among the first
+        # 1/((1-delta) eps) universe items.
+        if self.large_universe:
+            bound = min(self.universe_size, int(self.large_universe_threshold))
+            item = self._rng.randint(0, max(0, bound - 1))
+            return self._result(item, estimated_frequency=0.0)
+        # Line 16-17: some universe item never made it into S1.
+        missing = [item for item in range(self.universe_size) if item not in self.s1_seen]
+        if missing:
+            return self._result(missing[0], estimated_frequency=0.0)
+        # Line 18-19: few distinct items — S2's exact counters decide.
+        if not self.s2_abandoned and len(self.distinct_seen) <= self.distinct_threshold:
+            item, count = min(
+                self.s2_counts.items(), key=lambda pair: (pair[1], pair[0])
+            )
+            scale = self.items_processed / max(1, self.s2_sample_size)
+            return self._result(item, estimated_frequency=count * scale)
+        # Line 20: S3's truncated counters decide.
+        item, counter = min(
+            self.s3_counts.items(), key=lambda pair: (int(pair[1]), pair[0])
+        )
+        scale = self.items_processed / max(1, self.s3_sample_size)
+        return self._result(item, estimated_frequency=int(counter) * scale)
+
+    def _result(self, item: int, estimated_frequency: float) -> MinimumResult:
+        return MinimumResult(
+            item=item,
+            estimated_frequency=estimated_frequency,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+        )
+
+    # -- space accounting ----------------------------------------------------------------
+
+    def refresh_space(self) -> None:
+        if self.large_universe:
+            # The shortcut stores nothing beyond the answer-range bound, O(log(1/eps)).
+            self.space.set_component("shortcut", bits_for_value(int(self.large_universe_threshold)))
+            return
+        # Sampler states (Lemma 1): O(log log m) each.
+        self.space.set_component(
+            "samplers",
+            self._sampler1.space_bits()
+            + self._sampler2.space_bits()
+            + self._sampler3.space_bits(),
+        )
+        # B1: one bit per universe item, |U| = O(1/eps) in this regime.
+        self.space.set_component("B1", self.universe_size)
+        # Distinct-item bit vector (same regime, same O(1/eps) bits).
+        self.space.set_component("distinct", self.universe_size)
+        # S2: ids of O(log 1/eps) bits and counters of O(log l2) bits, only while alive.
+        if not self.s2_abandoned:
+            id_bits = bits_for_value(self.universe_size - 1)
+            count_bits = bits_for_value(max(1, int(11 * self.l2)))
+            self.space.set_component("S2", len(self.s2_counts) * (id_bits + count_bits))
+        else:
+            self.space.set_component("S2", 0)
+        # S3: one truncated counter per universe item seen — O(log log(1/(eps delta))) bits each.
+        cap_bits = bits_for_value(self.truncation_cap)
+        id_bits = bits_for_value(self.universe_size - 1)
+        self.space.set_component("S3", len(self.s3_counts) * (id_bits + cap_bits))

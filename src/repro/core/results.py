@@ -1,0 +1,182 @@
+"""Typed result objects returned by the algorithms' ``report()`` methods.
+
+Keeping the results as small frozen dataclasses (rather than bare tuples or dicts) makes
+the guarantees of Definition 1 and Definitions 3–9 easy to check in tests: a
+:class:`HeavyHittersReport` knows which items were returned and with what estimated
+frequencies, and offers the convenience predicates the paper's correctness statement is
+phrased in terms of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class HeavyHitterResult:
+    """A single reported heavy hitter: the item id and its estimated frequency."""
+
+    item: int
+    estimated_frequency: float
+
+    def estimated_relative_frequency(self, stream_length: int) -> float:
+        """The estimate as a fraction of the stream length."""
+        if stream_length <= 0:
+            raise ValueError("stream_length must be positive")
+        return self.estimated_frequency / stream_length
+
+
+@dataclass
+class HeavyHittersReport:
+    """The output of an (ε,ϕ)-List heavy hitters algorithm (paper Definition 3).
+
+    ``items`` maps each reported item to its estimated absolute frequency.
+    ``stream_length`` is the number of stream insertions the algorithm processed (or the
+    algorithm's estimate of it, for unknown-length variants).
+    """
+
+    items: Dict[int, float]
+    stream_length: int
+    epsilon: float
+    phi: float
+
+    def __contains__(self, item: int) -> bool:
+        return item in self.items
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.items)
+
+    def reported_items(self) -> List[int]:
+        """Item ids sorted by decreasing estimated frequency."""
+        return sorted(self.items, key=lambda item: (-self.items[item], item))
+
+    def estimated_frequency(self, item: int) -> Optional[float]:
+        """The estimate for a reported item, or ``None`` if it was not reported."""
+        return self.items.get(item)
+
+    def as_results(self) -> List[HeavyHitterResult]:
+        return [HeavyHitterResult(item, self.items[item]) for item in self.reported_items()]
+
+    # -- correctness predicates (Definition 1 / Definition 3) ------------------------
+
+    def contains_all_heavy(self, true_frequencies: Mapping[int, int]) -> bool:
+        """True iff every item with true frequency > ϕ·m was reported."""
+        threshold = self.phi * self.stream_length
+        return all(
+            item in self.items
+            for item, frequency in true_frequencies.items()
+            if frequency > threshold
+        )
+
+    def excludes_all_light(self, true_frequencies: Mapping[int, int]) -> bool:
+        """True iff no reported item has true frequency ≤ (ϕ−ε)·m."""
+        threshold = (self.phi - self.epsilon) * self.stream_length
+        return all(true_frequencies.get(item, 0) > threshold for item in self.items)
+
+    def max_frequency_error(self, true_frequencies: Mapping[int, int]) -> float:
+        """Largest absolute error |f̃_i − f_i| over the reported items."""
+        if not self.items:
+            return 0.0
+        return max(
+            abs(estimate - true_frequencies.get(item, 0))
+            for item, estimate in self.items.items()
+        )
+
+    def satisfies_definition(self, true_frequencies: Mapping[int, int]) -> bool:
+        """The full (ε,ϕ) guarantee of Definition 1: recall, precision and ±εm error."""
+        return (
+            self.contains_all_heavy(true_frequencies)
+            and self.excludes_all_light(true_frequencies)
+            and self.max_frequency_error(true_frequencies) <= self.epsilon * self.stream_length
+        )
+
+
+@dataclass(frozen=True)
+class MaximumResult:
+    """The output of an ε-Maximum algorithm (paper Definition 4).
+
+    ``item`` is the algorithm's guess at a maximum-frequency item and
+    ``estimated_frequency`` its estimate of that item's frequency.
+    """
+
+    item: int
+    estimated_frequency: float
+    stream_length: int
+    epsilon: float
+
+    def is_correct(self, true_frequencies: Mapping[int, int]) -> bool:
+        """True iff the estimate is within ε·m of the true maximum frequency."""
+        true_max = max(true_frequencies.values()) if true_frequencies else 0
+        return abs(self.estimated_frequency - true_max) <= self.epsilon * self.stream_length
+
+    def item_is_near_maximum(self, true_frequencies: Mapping[int, int]) -> bool:
+        """True iff the reported *item*'s true frequency is within ε·m of the maximum."""
+        true_max = max(true_frequencies.values()) if true_frequencies else 0
+        own = true_frequencies.get(self.item, 0)
+        return true_max - own <= self.epsilon * self.stream_length
+
+
+@dataclass(frozen=True)
+class MinimumResult:
+    """The output of an ε-Minimum algorithm (paper Definition 5)."""
+
+    item: int
+    estimated_frequency: float
+    stream_length: int
+    epsilon: float
+
+    def is_correct(self, true_frequencies: Mapping[int, int], universe_size: int) -> bool:
+        """True iff the reported item's true frequency is within ε·m of the minimum.
+
+        Items that never appear in the stream have frequency zero and are valid answers
+        (paper Section 1.2), which is why the universe size matters: the minimum is taken
+        over the whole universe, not just over the stream's support.
+        """
+        support_min = min(true_frequencies.values()) if true_frequencies else 0
+        true_min = 0 if len(true_frequencies) < universe_size else support_min
+        own = true_frequencies.get(self.item, 0)
+        return own - true_min <= self.epsilon * self.stream_length
+
+
+@dataclass
+class ScoreReport:
+    """The output of the Borda / Maximin algorithms: a score estimate per candidate.
+
+    ``scores`` maps candidate id to its estimated score (Borda score up to ±ε·m·n, or
+    maximin score up to ±ε·m).  ``heavy_items`` lists the candidates whose estimated
+    score exceeds the reporting threshold ϕ (scaled appropriately), for the List
+    variants (Definitions 6 and 8).
+    """
+
+    scores: Dict[int, float]
+    stream_length: int
+    epsilon: float
+    phi: Optional[float] = None
+    heavy_items: List[int] = field(default_factory=list)
+
+    def approximate_winner(self) -> int:
+        """The candidate with the largest estimated score (ties broken by smallest id)."""
+        if not self.scores:
+            raise ValueError("no candidates were scored")
+        return min(self.scores, key=lambda candidate: (-self.scores[candidate], candidate))
+
+    def score(self, candidate: int) -> float:
+        return self.scores[candidate]
+
+    def max_score_error(self, true_scores: Mapping[int, float]) -> float:
+        """Largest absolute error over all candidates with a true score."""
+        if not self.scores:
+            return 0.0
+        return max(
+            abs(self.scores[candidate] - true_scores.get(candidate, 0.0))
+            for candidate in self.scores
+        )
+
+    def top_candidates(self, count: int) -> List[Tuple[int, float]]:
+        """The ``count`` candidates with the highest estimated scores."""
+        ordered = sorted(self.scores.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ordered[:count]

@@ -1,0 +1,280 @@
+"""Theorems 7 and 8 — handling streams whose length is not known in advance.
+
+Every algorithm in this package is parameterized by the stream length ``m`` (it fixes
+the sampling rate).  When ``m`` is unknown, the paper's recipe (Section 3.5) is:
+
+* keep a **Morris counter** to track the current stream position up to a constant
+  factor, using ``O(log log m)`` bits;
+* maintain a geometric sequence of **length guesses** ``m₀ < m₁ < m₂ < ...``; at any
+  point in time at most two instances of the base algorithm are alive — the *older*
+  instance, parameterized for the current guess, and a *younger* instance, parameterized
+  for the next guess, started early so that by the time the older instance's guess is
+  exceeded the younger one has already seen all but an ``ε`` fraction of the stream;
+* when the (approximate) position crosses a guess boundary, retire the oldest instance,
+  free its space, and start a new instance for the following guess;
+* report from the oldest live instance.
+
+:class:`UnknownLengthWrapper` implements this generically for any algorithm built by a
+``factory(stream_length_hint)`` callable.  :class:`UnknownLengthHeavyHitters` and
+:class:`UnknownLengthMaximum` are the two concrete instantiations Theorem 7 names;
+Theorem 8 notes the same wrapper works for ε-Minimum, Borda and Maximin, which
+:func:`unknown_length_minimum`, :func:`unknown_length_borda` and
+:func:`unknown_length_maximin` provide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.core.base import StreamingAlgorithm
+from repro.core.borda import ListBorda
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximin import ListMaximin
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.core.results import HeavyHittersReport, MaximumResult
+from repro.primitives.morris import MorrisCounter
+from repro.primitives.rng import RandomSource
+
+
+class UnknownLengthWrapper:
+    """Doubling/restart wrapper around a length-parameterized streaming algorithm.
+
+    ``factory(stream_length_hint)`` must build a fresh instance of the base algorithm
+    tuned for streams of (at most) ``stream_length_hint`` items.  ``growth_factor``
+    controls how aggressively the guesses grow; the paper uses ``1/ε`` (so at most an
+    ``ε`` fraction of the stream is missed by the reporting instance), and that is the
+    default, capped to keep the number of restarts sensible on short test streams.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[int], Any],
+        epsilon: float,
+        initial_guess: Optional[int] = None,
+        growth_factor: Optional[float] = None,
+        rng: Optional[RandomSource] = None,
+        use_morris_counter: bool = True,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.factory = factory
+        self.epsilon = epsilon
+        self.growth_factor = (
+            growth_factor
+            if growth_factor is not None
+            else max(2.0, min(1.0 / epsilon, 16.0))
+        )
+        # The paper starts guessing at 1/eps^2 (shorter streams are handled by the
+        # known-length algorithm directly, since O(1/eps^2) items fit in the sample).
+        self.initial_guess = (
+            initial_guess
+            if initial_guess is not None
+            else max(16, int(math.ceil(1.0 / (epsilon * epsilon))))
+        )
+        rng = rng if rng is not None else RandomSource()
+        self.use_morris_counter = use_morris_counter
+        self.morris = MorrisCounter(rng=rng.spawn(1), repetitions=5)
+        self.items_processed = 0  # exact, used only for reporting diagnostics
+        self.restarts = 0
+
+        # The two live instances: (horizon, algorithm). instances[0] is the older.
+        first_horizon = self.initial_guess
+        second_horizon = int(math.ceil(first_horizon * self.growth_factor))
+        self.instances: List[List[Any]] = [
+            [first_horizon, factory(first_horizon)],
+            [second_horizon, factory(second_horizon)],
+        ]
+
+    # -- stream interface ---------------------------------------------------------------
+
+    def _estimated_position(self) -> float:
+        if self.use_morris_counter:
+            return self.morris.estimate()
+        return float(self.items_processed)
+
+    def insert(self, item: Any) -> None:
+        self.items_processed += 1
+        if self.use_morris_counter:
+            self.morris.increment()
+        # Retire the older instance once the stream has outgrown its horizon.
+        while self._estimated_position() > self.instances[0][0] and len(self.instances) >= 2:
+            self.instances.pop(0)
+            next_horizon = int(math.ceil(self.instances[-1][0] * self.growth_factor))
+            self.instances.append([next_horizon, self.factory(next_horizon)])
+            self.restarts += 1
+        for _horizon, algorithm in self.instances:
+            algorithm.insert(item)
+
+    def consume(self, stream) -> "UnknownLengthWrapper":
+        for item in stream:
+            self.insert(item)
+        return self
+
+    # -- queries ------------------------------------------------------------------------
+
+    @property
+    def reporting_instance(self) -> Any:
+        """The oldest live instance — the one whose answer is returned."""
+        return self.instances[0][1]
+
+    def report(self) -> Any:
+        return self.reporting_instance.report()
+
+    def space_bits(self) -> int:
+        total = self.morris.space_bits() if self.use_morris_counter else 0
+        for _horizon, algorithm in self.instances:
+            total += algorithm.space_bits()
+        return total
+
+    def space_breakdown(self) -> dict:
+        breakdown = {"morris": self.morris.space_bits() if self.use_morris_counter else 0}
+        for index, (horizon, algorithm) in enumerate(self.instances):
+            breakdown[f"instance_{index}(horizon={horizon})"] = algorithm.space_bits()
+        return breakdown
+
+
+class UnknownLengthHeavyHitters(UnknownLengthWrapper):
+    """Theorem 7 instantiated for (ε,ϕ)-List heavy hitters (Algorithm 1 inside)."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        phi: float,
+        universe_size: int,
+        delta: float = 0.1,
+        rng: Optional[RandomSource] = None,
+        **wrapper_kwargs: Any,
+    ) -> None:
+        rng = rng if rng is not None else RandomSource()
+        self.phi = phi
+        self.universe_size = universe_size
+
+        def factory(stream_length_hint: int) -> SimpleListHeavyHitters:
+            return SimpleListHeavyHitters(
+                epsilon=epsilon,
+                phi=phi,
+                universe_size=universe_size,
+                stream_length=stream_length_hint,
+                delta=delta,
+                rng=rng.spawn(stream_length_hint),
+            )
+
+        super().__init__(factory=factory, epsilon=epsilon, rng=rng, **wrapper_kwargs)
+
+    def report(self) -> HeavyHittersReport:
+        report = self.reporting_instance.report()
+        # Rescale the stream length to the exact number of items the wrapper has seen
+        # (the inner instance only saw the suffix it was alive for).
+        return HeavyHittersReport(
+            items=report.items,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+            phi=self.phi,
+        )
+
+
+class UnknownLengthMaximum(UnknownLengthWrapper):
+    """Theorem 7 instantiated for ε-Maximum."""
+
+    def __init__(
+        self,
+        epsilon: float,
+        universe_size: int,
+        delta: float = 0.1,
+        rng: Optional[RandomSource] = None,
+        **wrapper_kwargs: Any,
+    ) -> None:
+        rng = rng if rng is not None else RandomSource()
+        self.universe_size = universe_size
+
+        def factory(stream_length_hint: int) -> EpsilonMaximum:
+            return EpsilonMaximum(
+                epsilon=epsilon,
+                universe_size=universe_size,
+                stream_length=stream_length_hint,
+                delta=delta,
+                rng=rng.spawn(stream_length_hint),
+            )
+
+        super().__init__(factory=factory, epsilon=epsilon, rng=rng, **wrapper_kwargs)
+
+    def report(self) -> MaximumResult:
+        result = self.reporting_instance.report()
+        return MaximumResult(
+            item=result.item,
+            estimated_frequency=result.estimated_frequency,
+            stream_length=self.items_processed,
+            epsilon=self.epsilon,
+        )
+
+
+def unknown_length_minimum(
+    epsilon: float,
+    universe_size: int,
+    delta: float = 0.1,
+    rng: Optional[RandomSource] = None,
+    **wrapper_kwargs: Any,
+) -> UnknownLengthWrapper:
+    """Theorem 8 instantiated for ε-Minimum."""
+    rng = rng if rng is not None else RandomSource()
+
+    def factory(stream_length_hint: int) -> EpsilonMinimum:
+        return EpsilonMinimum(
+            epsilon=epsilon,
+            universe_size=universe_size,
+            stream_length=stream_length_hint,
+            delta=delta,
+            rng=rng.spawn(stream_length_hint),
+        )
+
+    return UnknownLengthWrapper(factory=factory, epsilon=epsilon, rng=rng, **wrapper_kwargs)
+
+
+def unknown_length_borda(
+    epsilon: float,
+    num_candidates: int,
+    phi: Optional[float] = None,
+    delta: float = 0.1,
+    rng: Optional[RandomSource] = None,
+    **wrapper_kwargs: Any,
+) -> UnknownLengthWrapper:
+    """Theorem 8 instantiated for (ε,ϕ)-List Borda."""
+    rng = rng if rng is not None else RandomSource()
+
+    def factory(stream_length_hint: int) -> ListBorda:
+        return ListBorda(
+            epsilon=epsilon,
+            num_candidates=num_candidates,
+            stream_length=stream_length_hint,
+            phi=phi,
+            delta=delta,
+            rng=rng.spawn(stream_length_hint),
+        )
+
+    return UnknownLengthWrapper(factory=factory, epsilon=epsilon, rng=rng, **wrapper_kwargs)
+
+
+def unknown_length_maximin(
+    epsilon: float,
+    num_candidates: int,
+    phi: Optional[float] = None,
+    delta: float = 0.1,
+    rng: Optional[RandomSource] = None,
+    **wrapper_kwargs: Any,
+) -> UnknownLengthWrapper:
+    """Theorem 8 instantiated for (ε,ϕ)-List Maximin."""
+    rng = rng if rng is not None else RandomSource()
+
+    def factory(stream_length_hint: int) -> ListMaximin:
+        return ListMaximin(
+            epsilon=epsilon,
+            num_candidates=num_candidates,
+            stream_length=stream_length_hint,
+            phi=phi,
+            delta=delta,
+            rng=rng.spawn(stream_length_hint),
+        )
+
+    return UnknownLengthWrapper(factory=factory, epsilon=epsilon, rng=rng, **wrapper_kwargs)

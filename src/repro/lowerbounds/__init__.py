@@ -1,0 +1,75 @@
+"""Executable versions of the paper's lower-bound reductions (Section 4).
+
+The space lower bounds in Table 1 are proved by reductions from one-way communication
+problems: if a streaming algorithm used fewer bits than the bound, Alice could run it on
+a carefully constructed prefix of a stream, send its state to Bob, and Bob — by
+appending a suffix and reading the answer — would solve a communication problem below
+its known communication complexity.
+
+These reductions are *constructive*, so we can run them: this subpackage builds the
+exact gadget streams of Theorems 9–14 and verifies, end to end, that the decoded answer
+matches Alice's input when the streaming algorithm meets its accuracy guarantee.  That
+demonstrates the information-theoretic content of the lower bounds (the algorithm's
+state must carry the Indexing / Greater-Than / Perm instance) without, of course,
+proving the bound — proofs aren't executable; reductions are.
+
+Modules:
+
+* :mod:`repro.lowerbounds.protocols` — the one-way protocol simulation framework.
+* :mod:`repro.lowerbounds.indexing` — Indexing reductions (Theorems 9, 10, 11).
+* :mod:`repro.lowerbounds.greater_than` — Greater-Than reduction (Theorem 14).
+* :mod:`repro.lowerbounds.perm` — ε-Perm reduction to ε-Borda (Theorem 12).
+* :mod:`repro.lowerbounds.bounds` — closed-form bit formulas for every row of Table 1.
+"""
+
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+from repro.lowerbounds.indexing import (
+    IndexingInstance,
+    HeavyHittersIndexingReduction,
+    MaximumIndexingReduction,
+    MinimumIndexingReduction,
+)
+from repro.lowerbounds.greater_than import GreaterThanInstance, GreaterThanReduction
+from repro.lowerbounds.perm import PermInstance, BordaPermReduction
+from repro.lowerbounds.maximin_gadget import MaximinGadgetInstance, MaximinIndexingReduction
+from repro.lowerbounds.bounds import (
+    heavy_hitters_upper_bound_bits,
+    heavy_hitters_lower_bound_bits,
+    maximum_upper_bound_bits,
+    maximum_lower_bound_bits,
+    minimum_upper_bound_bits,
+    minimum_lower_bound_bits,
+    borda_upper_bound_bits,
+    borda_lower_bound_bits,
+    maximin_upper_bound_bits,
+    maximin_lower_bound_bits,
+    misra_gries_bound_bits,
+    TABLE1_ROWS,
+)
+
+__all__ = [
+    "OneWayProtocolRun",
+    "StreamingChannel",
+    "IndexingInstance",
+    "HeavyHittersIndexingReduction",
+    "MaximumIndexingReduction",
+    "MinimumIndexingReduction",
+    "GreaterThanInstance",
+    "GreaterThanReduction",
+    "PermInstance",
+    "BordaPermReduction",
+    "MaximinGadgetInstance",
+    "MaximinIndexingReduction",
+    "heavy_hitters_upper_bound_bits",
+    "heavy_hitters_lower_bound_bits",
+    "maximum_upper_bound_bits",
+    "maximum_lower_bound_bits",
+    "minimum_upper_bound_bits",
+    "minimum_lower_bound_bits",
+    "borda_upper_bound_bits",
+    "borda_lower_bound_bits",
+    "maximin_upper_bound_bits",
+    "maximin_lower_bound_bits",
+    "misra_gries_bound_bits",
+    "TABLE1_ROWS",
+]

@@ -1,0 +1,152 @@
+"""Closed-form space-bound formulas — the rows of Table 1.
+
+Every function returns a bit count *without* hidden constants (i.e. it evaluates the
+asymptotic expression literally, with base-2 logarithms).  The benchmark harness uses
+these as reference curves: measured space should track the upper-bound curve's *shape*
+(slope in each parameter) and sit above the lower-bound curve.
+
+Table 1 of the paper:
+
+====================  ==============================================  ==============================================
+Problem               Upper bound (bits)                              Lower bound (bits)
+====================  ==============================================  ==============================================
+(ε,ϕ)-Heavy Hitters   O(ε⁻¹ log ϕ⁻¹ + ϕ⁻¹ log n + log log m)          Ω(ε⁻¹ log ϕ⁻¹ + ϕ⁻¹ log n + log log m)
+ε-Maximum             O(ε⁻¹ log ε⁻¹ + log n + log log m)              Ω(ε⁻¹ log ε⁻¹ + log n + log log m)
+ε-Minimum             O(ε⁻¹ log log ε⁻¹ + log log m)                  Ω(ε⁻¹ + log log m)
+ε-Borda               O(n (log ε⁻¹ + log n) + log log m)              Ω(n (log ε⁻¹ + log n) + log log m)
+ε-Maximin             O(n ε⁻² log² n + log log m)                     Ω(n (ε⁻² + log n) + log log m)
+====================  ==============================================  ==============================================
+
+For comparison, :func:`misra_gries_bound_bits` gives the prior state of the art for
+heavy hitters, ``O(ε⁻¹ (log n + log m))`` bits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, NamedTuple
+
+
+def _log2(value: float) -> float:
+    return math.log2(max(2.0, value))
+
+
+def _loglog2(value: float) -> float:
+    return math.log2(max(2.0, math.log2(max(2.0, value))))
+
+
+# -- (eps, phi)-Heavy Hitters -------------------------------------------------------------
+
+
+def heavy_hitters_upper_bound_bits(epsilon: float, phi: float, n: int, m: int) -> float:
+    """Theorem 2 / 7: ε⁻¹ log ϕ⁻¹ + ϕ⁻¹ log n + log log m."""
+    return (1.0 / epsilon) * _log2(1.0 / phi) + (1.0 / phi) * _log2(n) + _loglog2(m)
+
+
+def heavy_hitters_lower_bound_bits(epsilon: float, phi: float, n: int, m: int) -> float:
+    """Theorems 9 and 14: the same expression (the bounds match)."""
+    return heavy_hitters_upper_bound_bits(epsilon, phi, n, m)
+
+
+def misra_gries_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Prior art [MG82]: ε⁻¹ (log n + log m)."""
+    return (1.0 / epsilon) * (_log2(n) + _log2(m))
+
+
+# -- eps-Maximum ---------------------------------------------------------------------------
+
+
+def maximum_upper_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorem 3 / 7: ε⁻¹ log ε⁻¹ + log n + log log m."""
+    return (1.0 / epsilon) * _log2(1.0 / epsilon) + _log2(n) + _loglog2(m)
+
+
+def maximum_lower_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorems 10 and 14: the same expression (the bounds match)."""
+    return maximum_upper_bound_bits(epsilon, n, m)
+
+
+# -- eps-Minimum ---------------------------------------------------------------------------
+
+
+def minimum_upper_bound_bits(epsilon: float, m: int) -> float:
+    """Theorem 4 / 8: ε⁻¹ log log ε⁻¹ + log log m."""
+    return (1.0 / epsilon) * _loglog2(1.0 / epsilon) + _loglog2(m)
+
+
+def minimum_lower_bound_bits(epsilon: float, m: int) -> float:
+    """Theorems 11 and 14: ε⁻¹ + log log m."""
+    return (1.0 / epsilon) + _loglog2(m)
+
+
+# -- eps-Borda -----------------------------------------------------------------------------
+
+
+def borda_upper_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorem 5 / 8: n (log ε⁻¹ + log n) + log log m."""
+    return n * (_log2(1.0 / epsilon) + _log2(n)) + _loglog2(m)
+
+
+def borda_lower_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorems 12 and 14: n log ε⁻¹ + log log m (plus the trivial n log n for List)."""
+    return n * _log2(1.0 / epsilon) + _loglog2(m)
+
+
+# -- eps-Maximin ---------------------------------------------------------------------------
+
+
+def maximin_upper_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorem 6 / 8: n ε⁻² log² n + log log m."""
+    return n * (1.0 / epsilon ** 2) * (_log2(n) ** 2) + _loglog2(m)
+
+
+def maximin_lower_bound_bits(epsilon: float, n: int, m: int) -> float:
+    """Theorem 13: n (ε⁻² + log n) + log log m."""
+    return n * ((1.0 / epsilon ** 2) + _log2(n)) + _loglog2(m)
+
+
+class Table1Row(NamedTuple):
+    """One row of Table 1: the problem name and its two bound formulas.
+
+    The formulas take keyword arguments drawn from ``{epsilon, phi, n, m}``; which of
+    them each formula actually uses mirrors the paper's expressions.
+    """
+
+    problem: str
+    upper_bound: Callable[..., float]
+    lower_bound: Callable[..., float]
+    parameters: tuple
+
+
+TABLE1_ROWS: Dict[str, Table1Row] = {
+    "heavy_hitters": Table1Row(
+        problem="(eps, phi)-Heavy Hitters",
+        upper_bound=heavy_hitters_upper_bound_bits,
+        lower_bound=heavy_hitters_lower_bound_bits,
+        parameters=("epsilon", "phi", "n", "m"),
+    ),
+    "maximum": Table1Row(
+        problem="eps-Maximum / l_inf approximation",
+        upper_bound=maximum_upper_bound_bits,
+        lower_bound=maximum_lower_bound_bits,
+        parameters=("epsilon", "n", "m"),
+    ),
+    "minimum": Table1Row(
+        problem="eps-Minimum",
+        upper_bound=minimum_upper_bound_bits,
+        lower_bound=minimum_lower_bound_bits,
+        parameters=("epsilon", "m"),
+    ),
+    "borda": Table1Row(
+        problem="eps-Borda",
+        upper_bound=borda_upper_bound_bits,
+        lower_bound=borda_lower_bound_bits,
+        parameters=("epsilon", "n", "m"),
+    ),
+    "maximin": Table1Row(
+        problem="eps-Maximin",
+        upper_bound=maximin_upper_bound_bits,
+        lower_bound=maximin_lower_bound_bits,
+        parameters=("epsilon", "n", "m"),
+    ),
+}

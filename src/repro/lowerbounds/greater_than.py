@@ -1,0 +1,99 @@
+"""The Greater-Than reduction (paper Theorem 14) — the Ω(log log m) term.
+
+``Greater-Than_n``: Alice holds ``x ∈ [n]``, Bob holds ``y ∈ [n]`` with ``y ≠ x``, and
+Bob must decide whether ``x > y`` from one message.  Its one-way communication
+complexity is ``Ω(log n)`` (Lemma 7, via Augmented-Indexing).
+
+Theorem 14 turns any ε-Heavy Hitters (or Maximum / Minimum / Borda / Maximin) algorithm
+over a *two-item* universe into a Greater-Than protocol: Alice inserts ``2^x`` copies of
+item 1, Bob inserts ``2^y`` copies of item 0, and the ε-winner is item 1 exactly when
+``x > y``.  Since the stream length is ``m ≈ 2^x + 2^y``, the ``Ω(log n)`` communication
+bound becomes an ``Ω(log log m)`` space bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+from repro.primitives.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class GreaterThanInstance:
+    """One instance of Greater-Than: Alice's exponent ``x`` and Bob's exponent ``y``."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if self.x == self.y:
+            raise ValueError("Greater-Than requires x != y")
+        if self.x < 0 or self.y < 0:
+            raise ValueError("exponents must be non-negative")
+
+    @property
+    def answer(self) -> bool:
+        return self.x > self.y
+
+    def communication_lower_bound_bits(self) -> float:
+        """Ω(log n) where n bounds the exponents."""
+        return math.log2(max(2, max(self.x, self.y) + 1))
+
+    @classmethod
+    def random(cls, max_exponent: int, rng: Optional[RandomSource] = None) -> "GreaterThanInstance":
+        rng = rng if rng is not None else RandomSource()
+        x = rng.randint(0, max_exponent)
+        y = rng.randint(0, max_exponent)
+        while y == x:
+            y = rng.randint(0, max_exponent)
+        return cls(x=x, y=y)
+
+
+class GreaterThanReduction:
+    """Theorem 14: Greater-Than → ε-Heavy Hitters (or ε-Maximum) over a 2-item universe."""
+
+    UNIVERSE_SIZE = 2
+
+    def __init__(self, epsilon: float = 0.2) -> None:
+        if not 0.0 < epsilon < 0.25:
+            raise ValueError("the reduction needs epsilon < 1/4")
+        self.epsilon = epsilon
+
+    def alice_stream(self, instance: GreaterThanInstance) -> List[int]:
+        """2^x copies of item 1."""
+        return [1] * (2 ** instance.x)
+
+    def bob_stream(self, instance: GreaterThanInstance) -> List[int]:
+        """2^y copies of item 0."""
+        return [0] * (2 ** instance.y)
+
+    def run(
+        self,
+        instance: GreaterThanInstance,
+        algorithm_factory: Callable[[int, int], object],
+    ) -> OneWayProtocolRun:
+        """``algorithm_factory(universe_size, stream_length)`` builds an ε-Maximum solver.
+
+        The decoded bit is whether item 1 (Alice's item) is the ε-winner, which equals
+        ``x > y`` because the two frequencies differ by at least a factor of two, far
+        more than the ``εm < m/4`` additive slack.
+        """
+        alice_items = self.alice_stream(instance)
+        bob_items = self.bob_stream(instance)
+        total_length = len(alice_items) + len(bob_items)
+        algorithm = algorithm_factory(self.UNIVERSE_SIZE, total_length)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice_items)
+        channel.bob_phase(bob_items)
+        result = channel.report()
+        decoded = bool(result.item == 1)
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=instance.answer,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=instance.communication_lower_bound_bits(),
+            metadata={"stream_length": total_length, "universe_size": self.UNIVERSE_SIZE},
+        )

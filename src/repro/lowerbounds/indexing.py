@@ -1,0 +1,268 @@
+"""Indexing reductions (paper Theorems 9, 10 and 11).
+
+The Indexing problem ``Indexing_{m,t}``: Alice holds a string ``x ∈ [m]^t``, Bob an index
+``i ∈ [t]``, and Bob must output ``x_i`` after receiving a single message from Alice.
+Its one-way randomized communication complexity is ``Ω(t log m)`` (Lemma 5), and it is
+the source of three of the paper's lower bounds:
+
+* **Theorem 9** — the ``Ω(ε⁻¹ log ϕ⁻¹)`` term for (ε,ϕ)-Heavy Hitters: the universe is
+  the grid ``[1/(2(ϕ−ε))] × [1/(2ε)]``; Alice inserts ``εm`` copies of ``(x_j, j)`` for
+  every column ``j``; Bob inserts ``(ϕ−ε)m`` copies of ``(v, i)`` for every row ``v``.
+  Exactly one item — ``(x_i, i)`` — reaches frequency ``ϕm``, so the heavy-hitters
+  output reveals ``x_i``.
+* **Theorem 10** — the ``Ω(ε⁻¹ log ε⁻¹)`` bound for ε-Maximum: the same construction on
+  the grid ``[1/ε] × [1/ε]`` with ``εm/2``-sized blocks; the unique maximum is
+  ``(x_i, i)``.
+* **Theorem 11** — the ``Ω(ε⁻¹)`` bound for ε-Minimum: Alice holds a *bit* string; she
+  inserts two copies of every item ``j`` with ``x_j = 1``; Bob inserts two copies of
+  everything except ``i`` and a reserve item, and one copy of the reserve item.  The
+  minimum-frequency item is ``i`` if ``x_i = 0`` and the reserve item otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+from repro.primitives.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class IndexingInstance:
+    """One instance of ``Indexing_{alphabet_size, length}``."""
+
+    alphabet_size: int
+    values: Tuple[int, ...]
+    query_index: int
+
+    @property
+    def length(self) -> int:
+        return len(self.values)
+
+    @property
+    def answer(self) -> int:
+        return self.values[self.query_index]
+
+    def communication_lower_bound_bits(self) -> float:
+        """Ω(t log m): the information content of Alice's string."""
+        return self.length * math.log2(max(2, self.alphabet_size))
+
+    @classmethod
+    def random(
+        cls,
+        alphabet_size: int,
+        length: int,
+        rng: Optional[RandomSource] = None,
+    ) -> "IndexingInstance":
+        rng = rng if rng is not None else RandomSource()
+        values = tuple(rng.randint(0, alphabet_size - 1) for _ in range(length))
+        query_index = rng.randint(0, length - 1)
+        return cls(alphabet_size=alphabet_size, values=values, query_index=query_index)
+
+
+class HeavyHittersIndexingReduction:
+    """Theorem 9: Indexing → (ε,ϕ)-Heavy Hitters over the grid universe.
+
+    ``epsilon`` and ``phi`` are the heavy-hitter parameters; the Indexing instance has
+    ``t = 1/(2ε)`` positions over the alphabet ``[1/(2(ϕ−ε))]``.  The stream has length
+    ``stream_length`` (``m`` in the paper), half contributed by Alice, half by Bob.
+    """
+
+    def __init__(self, epsilon: float, phi: float, stream_length: int) -> None:
+        if not 0.0 < epsilon < phi <= 1.0:
+            raise ValueError("need 0 < epsilon < phi <= 1")
+        if phi <= 2 * epsilon:
+            raise ValueError("the reduction requires phi > 2*epsilon")
+        self.epsilon = epsilon
+        self.phi = phi
+        self.stream_length = stream_length
+        self.num_columns = max(1, int(math.floor(1.0 / (2.0 * epsilon))))
+        self.num_rows = max(1, int(math.floor(1.0 / (2.0 * (phi - epsilon)))))
+        self.universe_size = self.num_rows * self.num_columns
+
+    def encode_pair(self, row: int, column: int) -> int:
+        """The grid item (row, column) as a single universe id."""
+        return row * self.num_columns + column
+
+    def decode_pair(self, item: int) -> Tuple[int, int]:
+        return item // self.num_columns, item % self.num_columns
+
+    def random_instance(self, rng: Optional[RandomSource] = None) -> IndexingInstance:
+        return IndexingInstance.random(self.num_rows, self.num_columns, rng=rng)
+
+    def alice_stream(self, instance: IndexingInstance) -> List[int]:
+        """εm copies of (x_j, j) for every column j."""
+        copies = max(1, int(round(self.epsilon * self.stream_length)))
+        items: List[int] = []
+        for column, value in enumerate(instance.values):
+            items.extend([self.encode_pair(value, column)] * copies)
+        return items
+
+    def bob_stream(self, instance: IndexingInstance) -> List[int]:
+        """(ϕ−ε)m copies of (v, i) for every row v."""
+        copies = max(1, int(round((self.phi - self.epsilon) * self.stream_length)))
+        items: List[int] = []
+        for row in range(self.num_rows):
+            items.extend([self.encode_pair(row, instance.query_index)] * copies)
+        return items
+
+    def run(
+        self,
+        instance: IndexingInstance,
+        algorithm_factory: Callable[[int, int], object],
+    ) -> OneWayProtocolRun:
+        """Run the reduction end to end.
+
+        ``algorithm_factory(universe_size, stream_length)`` must build an (ε,ϕ)-List
+        heavy hitters algorithm whose ``report()`` returns a
+        :class:`~repro.core.results.HeavyHittersReport`.
+        """
+        alice_items = self.alice_stream(instance)
+        bob_items = self.bob_stream(instance)
+        total_length = len(alice_items) + len(bob_items)
+        algorithm = algorithm_factory(self.universe_size, total_length)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice_items)
+        channel.bob_phase(bob_items)
+        report = channel.report()
+        decoded = self._decode(report, instance)
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=instance.answer,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=instance.communication_lower_bound_bits(),
+            metadata={
+                "stream_length": total_length,
+                "universe_size": self.universe_size,
+            },
+        )
+
+    def _decode(self, report, instance: IndexingInstance) -> Optional[int]:
+        """Bob's decoding: the reported item in column i with the largest estimate."""
+        best_row, best_estimate = None, -1.0
+        for item, estimate in report.items.items():
+            row, column = self.decode_pair(item)
+            if column == instance.query_index and estimate > best_estimate:
+                best_row, best_estimate = row, estimate
+        return best_row
+
+
+class MaximumIndexingReduction:
+    """Theorem 10: Indexing → ε-Maximum over the grid universe ``[1/ε] × [1/ε]``."""
+
+    def __init__(self, epsilon: float, stream_length: int) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.stream_length = stream_length
+        self.side = max(1, int(math.floor(1.0 / epsilon)))
+        self.universe_size = self.side * self.side
+
+    def encode_pair(self, row: int, column: int) -> int:
+        return row * self.side + column
+
+    def decode_pair(self, item: int) -> Tuple[int, int]:
+        return item // self.side, item % self.side
+
+    def random_instance(self, rng: Optional[RandomSource] = None) -> IndexingInstance:
+        return IndexingInstance.random(self.side, self.side, rng=rng)
+
+    def alice_stream(self, instance: IndexingInstance) -> List[int]:
+        copies = max(1, int(self.epsilon * self.stream_length / 2))
+        items: List[int] = []
+        for column, value in enumerate(instance.values):
+            items.extend([self.encode_pair(value, column)] * copies)
+        return items
+
+    def bob_stream(self, instance: IndexingInstance) -> List[int]:
+        copies = max(1, int(self.epsilon * self.stream_length / 2))
+        items: List[int] = []
+        for row in range(self.side):
+            items.extend([self.encode_pair(row, instance.query_index)] * copies)
+        return items
+
+    def run(
+        self,
+        instance: IndexingInstance,
+        algorithm_factory: Callable[[int, int], object],
+    ) -> OneWayProtocolRun:
+        """``algorithm_factory(universe_size, stream_length)`` builds an ε-Maximum solver."""
+        alice_items = self.alice_stream(instance)
+        bob_items = self.bob_stream(instance)
+        total_length = len(alice_items) + len(bob_items)
+        algorithm = algorithm_factory(self.universe_size, total_length)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice_items)
+        channel.bob_phase(bob_items)
+        result = channel.report()
+        decoded_row, decoded_column = self.decode_pair(result.item)
+        decoded = decoded_row if decoded_column == instance.query_index else None
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=instance.answer,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=instance.communication_lower_bound_bits(),
+            metadata={"stream_length": total_length, "universe_size": self.universe_size},
+        )
+
+
+class MinimumIndexingReduction:
+    """Theorem 11: Indexing (binary alphabet) → ε-Minimum.
+
+    Universe: ``[t + 1]`` where ``t = 5/ε`` positions plus one reserve item ``t``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        self.epsilon = epsilon
+        self.length = max(2, int(math.floor(5.0 / epsilon)))
+        self.reserve_item = self.length
+        self.universe_size = self.length + 1
+
+    def random_instance(self, rng: Optional[RandomSource] = None) -> IndexingInstance:
+        return IndexingInstance.random(2, self.length, rng=rng)
+
+    def alice_stream(self, instance: IndexingInstance) -> List[int]:
+        """Two copies of every item j with x_j = 1."""
+        items: List[int] = []
+        for position, bit in enumerate(instance.values):
+            if bit == 1:
+                items.extend([position, position])
+        return items
+
+    def bob_stream(self, instance: IndexingInstance) -> List[int]:
+        """Two copies of everything except i and the reserve item; one reserve copy."""
+        items: List[int] = []
+        for position in range(self.length):
+            if position != instance.query_index:
+                items.extend([position, position])
+        items.append(self.reserve_item)
+        return items
+
+    def run(
+        self,
+        instance: IndexingInstance,
+        algorithm_factory: Callable[[int, int], object],
+    ) -> OneWayProtocolRun:
+        """``algorithm_factory(universe_size, stream_length)`` builds an ε-Minimum solver."""
+        alice_items = self.alice_stream(instance)
+        bob_items = self.bob_stream(instance)
+        total_length = len(alice_items) + len(bob_items)
+        algorithm = algorithm_factory(self.universe_size, total_length)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice_items)
+        channel.bob_phase(bob_items)
+        result = channel.report()
+        # Decoding: the minimum is i when x_i = 0 (frequency 0 vs everything >= 1),
+        # and the reserve item when x_i = 1 (frequency 1 vs everything >= 2).
+        decoded = 0 if result.item == instance.query_index else 1
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=instance.answer,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=float(self.length),
+            metadata={"stream_length": total_length, "universe_size": self.universe_size},
+        )

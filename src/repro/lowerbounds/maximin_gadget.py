@@ -1,0 +1,209 @@
+"""The Theorem 13 gadget: Indexing → ε-Maximin via Hamming-distance votes.
+
+Theorem 13 of the paper proves the Ω(n/ε²) lower bound for ε-Maximin by a reduction from
+Indexing through a Hamming-distance gadget (Lemma 8, borrowed from [VWWZ15]): Alice
+encodes her bit string into a Boolean matrix ``P`` whose rows are candidates and whose
+columns are votes, such that the Hamming distance between rows ``i`` and ``j`` is large
+or small depending on the indexed bit.  She then adjoins the complement of ``P`` (so
+every column has exactly as many ones as zeros), casts one vote per column — the
+candidates with a one in that column ranked on top — and sends the algorithm state.
+Bob casts votes putting candidate ``i`` first and ``j`` second; after his votes, ``j``'s
+maximin score equals the number of Alice columns in which ``j`` beats ``i``, which is
+``(Δ(Pᵢ, Pⱼ) + |Pⱼ| − |Pᵢ|)/2`` — so an additively accurate maximin estimate recovers
+the Hamming distance and hence the indexed bit.
+
+Reproducing Lemma 8 verbatim would require its specific randomized code construction;
+what this module implements — and what the tests verify end to end — is the *reduction
+machinery* around it: the vote gadget, the exact algebraic identity linking ``j``'s
+maximin score to ``Δ(Pᵢ, Pⱼ)``, and the decoding rule, with Alice's matrix drawn so that
+the two cases of the indexed bit are separated by a known Hamming-distance gap.  This
+demonstrates why any streaming ε-Maximin algorithm must remember Ω(one bit per matrix
+entry) ≈ n/ε² bits of Alice's input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+from repro.primitives.rng import RandomSource
+from repro.voting.rankings import Ranking
+
+
+@dataclass(frozen=True)
+class MaximinGadgetInstance:
+    """One instance of the Theorem 13 gadget.
+
+    ``matrix`` is Alice's ``num_candidates × num_columns`` Boolean matrix (one row per
+    original candidate); ``row_i``/``row_j`` are Bob's query pair; ``hidden_bit`` is the
+    indexed bit, encoded as "Δ(P_i, P_j) is above / below the midpoint".
+    """
+
+    matrix: Tuple[Tuple[int, ...], ...]
+    row_i: int
+    row_j: int
+    hidden_bit: int
+    distance_gap: int
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.matrix)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.matrix[0]) if self.matrix else 0
+
+    def hamming_distance(self) -> int:
+        """Δ(P_i, P_j), the quantity the reduction forces Bob to learn."""
+        return sum(
+            1
+            for column in range(self.num_columns)
+            if self.matrix[self.row_i][column] != self.matrix[self.row_j][column]
+        )
+
+    def row_weight(self, row: int) -> int:
+        return sum(self.matrix[row])
+
+    def information_lower_bound_bits(self) -> float:
+        """Ω(n/ε²) — one bit per matrix entry in the full construction."""
+        return float(self.num_candidates * self.num_columns)
+
+    @classmethod
+    def random(
+        cls,
+        num_candidates: int,
+        num_columns: int,
+        rng: Optional[RandomSource] = None,
+    ) -> "MaximinGadgetInstance":
+        """Draw an instance whose query pair has a controlled Hamming-distance gap.
+
+        The hidden bit decides whether rows ``i`` and ``j`` agree on (bit = 0) or
+        disagree on (bit = 1) an extra ``distance_gap`` ≈ √(num_columns) columns beyond
+        the midpoint — the same gap Lemma 8 guarantees.
+        """
+        if num_candidates < 2:
+            raise ValueError("need at least two candidates")
+        if num_columns < 4:
+            raise ValueError("need at least four columns")
+        rng = rng if rng is not None else RandomSource()
+        hidden_bit = rng.randint(0, 1)
+        distance_gap = max(1, int(math.isqrt(num_columns)))
+        row_i, row_j = 0, 1
+        matrix: List[List[int]] = [
+            [rng.randint(0, 1) for _ in range(num_columns)] for _ in range(num_candidates)
+        ]
+        # Force Δ(P_i, P_j) to be midpoint ± gap depending on the hidden bit.
+        half = num_columns // 2
+        target_distance = half + distance_gap if hidden_bit == 1 else max(0, half - distance_gap)
+        disagree_columns = set(rng.sample(range(num_columns), target_distance))
+        for column in range(num_columns):
+            if column in disagree_columns:
+                matrix[row_j][column] = 1 - matrix[row_i][column]
+            else:
+                matrix[row_j][column] = matrix[row_i][column]
+        return cls(
+            matrix=tuple(tuple(row) for row in matrix),
+            row_i=row_i,
+            row_j=row_j,
+            hidden_bit=hidden_bit,
+            distance_gap=distance_gap,
+        )
+
+
+class MaximinIndexingReduction:
+    """Theorem 13: the Hamming-distance gadget as an executable election.
+
+    The election has ``2 * num_candidates`` candidates: the original rows of ``P`` plus
+    one "complement" candidate per row (the paper adjoins the complement matrix so every
+    column is balanced).  Alice casts one vote per column; Bob casts ``bob_vote_copies``
+    votes with ``i`` first and ``j`` second, making ``j``'s overall maximin score equal
+    to its pairwise deficit against ``i`` over Alice's votes.
+    """
+
+    def __init__(self, instance: MaximinGadgetInstance, bob_vote_copies: int = 0) -> None:
+        self.instance = instance
+        self.bob_vote_copies = (
+            bob_vote_copies if bob_vote_copies > 0 else instance.num_columns
+        )
+        self.num_election_candidates = 2 * instance.num_candidates
+
+    # Candidate numbering: row r keeps id r; its complement row has id num_candidates + r.
+
+    def _column_vote(self, column: int) -> Ranking:
+        """Alice's vote for one column: candidates with a 1 on top (ascending ids),
+        then the candidates with a 0 (ascending ids); complements mirror them."""
+        ones: List[int] = []
+        zeros: List[int] = []
+        n = self.instance.num_candidates
+        for row in range(n):
+            value = self.instance.matrix[row][column]
+            if value == 1:
+                ones.append(row)
+                zeros.append(n + row)  # complement row has a 0 here
+            else:
+                zeros.append(row)
+                ones.append(n + row)
+        return Ranking(ones + zeros)
+
+    def alice_votes(self) -> List[Ranking]:
+        return [self._column_vote(column) for column in range(self.instance.num_columns)]
+
+    def bob_votes(self) -> List[Ranking]:
+        """Bob's votes: i first, j second, everyone else in a fixed order behind."""
+        i, j = self.instance.row_i, self.instance.row_j
+        rest = [c for c in range(self.num_election_candidates) if c not in (i, j)]
+        vote = Ranking([i, j] + rest)
+        return [vote] * self.bob_vote_copies
+
+    # -- the algebraic identity the decoding rests on -------------------------------------
+
+    def expected_j_beats_i_count(self) -> int:
+        """Number of Alice columns in which j is ranked above i.
+
+        j beats i in exactly the columns where P_j = 1 and P_i = 0, whose count is
+        (Δ(P_i, P_j) + |P_j| − |P_i|) / 2 — the identity from the proof of Theorem 13.
+        """
+        delta = self.instance.hamming_distance()
+        weight_j = self.instance.row_weight(self.instance.row_j)
+        weight_i = self.instance.row_weight(self.instance.row_i)
+        return (delta + weight_j - weight_i) // 2
+
+    def decode_bit(self, estimated_j_score: float) -> int:
+        """Bob's decoding: recover Δ(P_i, P_j) from j's maximin score and threshold it."""
+        weight_j = self.instance.row_weight(self.instance.row_j)
+        weight_i = self.instance.row_weight(self.instance.row_i)
+        estimated_distance = 2.0 * estimated_j_score - weight_j + weight_i
+        midpoint = self.instance.num_columns / 2.0
+        return 1 if estimated_distance > midpoint else 0
+
+    def run(
+        self,
+        algorithm_factory: Callable[[int, int], object],
+    ) -> OneWayProtocolRun:
+        """Run the reduction with a streaming maximin algorithm as the channel.
+
+        ``algorithm_factory(num_candidates, stream_length)`` must build an algorithm
+        whose ``report()`` exposes per-candidate maximin score estimates (absolute).
+        """
+        alice = self.alice_votes()
+        bob = self.bob_votes()
+        total_votes = len(alice) + len(bob)
+        algorithm = algorithm_factory(self.num_election_candidates, total_votes)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice)
+        channel.bob_phase(bob)
+        report = channel.report()
+        decoded = self.decode_bit(report.scores[self.instance.row_j])
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=self.instance.hidden_bit,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=self.instance.information_lower_bound_bits(),
+            metadata={
+                "num_candidates": self.num_election_candidates,
+                "total_votes": total_votes,
+                "hamming_distance": self.instance.hamming_distance(),
+            },
+        )

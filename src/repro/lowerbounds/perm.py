@@ -1,0 +1,187 @@
+"""The ε-Perm reduction to ε-Borda (paper Theorem 12) — the Ω(n log(1/ε)) term.
+
+``ε-Perm``: Alice holds a permutation ``σ`` of ``[n]``, partitioned into ``1/ε``
+contiguous blocks; Bob holds an index ``i`` and must output the block of ``σ``
+containing ``i``.  Its one-way communication complexity is ``Ω(n log(1/ε))`` (Lemma 6).
+
+The reduction (Theorem 12) builds an election over ``3n`` items: the ``n`` real items
+plus ``2n`` dummies.  Alice casts a single vote in which block ``j`` of ``σ`` appears —
+surrounded by its own private run of dummies — at positions that encode ``j``; Bob casts
+a few votes putting his item ``i`` first and the dummies in forward/reverse order (the
+reversal cancels the dummies' contribution between his votes).  An additively accurate
+Borda score for ``i`` then pins down ``i``'s position in Alice's vote to within a block.
+
+We keep the construction's structure but make Bob's votes complete rankings (the paper
+leaves them partial), and parameterize the number of Bob vote pairs; decoding inverts
+the position → score map and returns the block index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+from repro.primitives.rng import RandomSource
+from repro.voting.rankings import Ranking
+
+
+@dataclass(frozen=True)
+class PermInstance:
+    """An ε-Perm instance: a permutation of ``[n]`` split into equal contiguous blocks."""
+
+    permutation: Tuple[int, ...]
+    num_blocks: int
+    query_item: int
+
+    @property
+    def num_items(self) -> int:
+        return len(self.permutation)
+
+    @property
+    def block_size(self) -> int:
+        return self.num_items // self.num_blocks
+
+    def block_of(self, item: int) -> int:
+        """The block index (0-based) of the block of σ containing ``item``."""
+        position = self.permutation.index(item)
+        return min(position // self.block_size, self.num_blocks - 1)
+
+    @property
+    def answer(self) -> int:
+        return self.block_of(self.query_item)
+
+    def communication_lower_bound_bits(self) -> float:
+        """Ω(n log(1/ε)) = n · log2(num_blocks)."""
+        return self.num_items * math.log2(max(2, self.num_blocks))
+
+    @classmethod
+    def random(
+        cls,
+        num_items: int,
+        num_blocks: int,
+        rng: Optional[RandomSource] = None,
+    ) -> "PermInstance":
+        if num_items % num_blocks != 0:
+            raise ValueError("num_items must be a multiple of num_blocks")
+        rng = rng if rng is not None else RandomSource()
+        permutation = tuple(rng.permutation(num_items))
+        query_item = rng.randint(0, num_items - 1)
+        return cls(permutation=permutation, num_blocks=num_blocks, query_item=query_item)
+
+
+class BordaPermReduction:
+    """Theorem 12: ε-Perm → ε-Borda over ``3n`` candidates (n real + 2n dummies)."""
+
+    def __init__(self, instance: PermInstance, bob_vote_pairs: int = 2) -> None:
+        if bob_vote_pairs <= 0:
+            raise ValueError("bob_vote_pairs must be positive")
+        self.instance = instance
+        self.bob_vote_pairs = bob_vote_pairs
+        self.num_real = instance.num_items
+        self.num_dummies = 2 * instance.num_items
+        self.num_candidates = self.num_real + self.num_dummies
+
+    # Candidate numbering: real items keep ids 0..n-1; dummy k has id n + k.
+
+    def dummy(self, index: int) -> int:
+        return self.num_real + index
+
+    def alice_vote(self) -> Ranking:
+        """Alice's single vote: block j's dummies, then block j's σ-items, then more dummies."""
+        order: List[int] = []
+        block_size = self.instance.block_size
+        dummies_per_block = 2 * block_size
+        for block in range(self.instance.num_blocks):
+            dummy_base = block * dummies_per_block
+            real_base = block * block_size
+            # First half of this block's dummies.
+            for offset in range(block_size):
+                order.append(self.dummy(dummy_base + offset))
+            # The block's real items, in σ order.
+            for offset in range(block_size):
+                order.append(self.instance.permutation[real_base + offset])
+            # Second half of this block's dummies.
+            for offset in range(block_size, dummies_per_block):
+                order.append(self.dummy(dummy_base + offset))
+        return Ranking(order)
+
+    def bob_votes(self) -> List[Ranking]:
+        """Bob's votes: query item first, dummies forward/reverse, other reals last.
+
+        Each forward/reverse pair gives every dummy the same total contribution, so the
+        pairs cancel among themselves and only shift every candidate's score by a known
+        constant; the real items other than ``i`` are placed last in a fixed order.
+        """
+        i = self.instance.query_item
+        other_reals = [item for item in range(self.num_real) if item != i]
+        dummies = [self.dummy(index) for index in range(self.num_dummies)]
+        forward = Ranking([i] + dummies + other_reals)
+        backward = Ranking([i] + list(reversed(dummies)) + other_reals)
+        votes: List[Ranking] = []
+        for _ in range(self.bob_vote_pairs):
+            votes.extend([forward, backward])
+        return votes
+
+    def total_votes(self) -> int:
+        return 1 + 2 * self.bob_vote_pairs
+
+    def expected_score_for_block(self, block: int) -> Tuple[float, float]:
+        """The (min, max) exact Borda score of the query item if it lies in ``block``.
+
+        Bob's votes contribute exactly ``2 * bob_vote_pairs * (num_candidates - 1)`` to
+        the query item; Alice's vote contributes ``num_candidates - 1 - position`` where
+        ``position`` ranges over the block's real-item slots.
+        """
+        block_size = self.instance.block_size
+        bob_contribution = 2.0 * self.bob_vote_pairs * (self.num_candidates - 1)
+        positions = [
+            block * 3 * block_size + block_size + offset for offset in range(block_size)
+        ]
+        scores = [bob_contribution + (self.num_candidates - 1 - p) for p in positions]
+        return min(scores), max(scores)
+
+    def decode_block(self, approximate_score: float) -> int:
+        """Bob's decoding: the block whose expected score range is closest to the estimate."""
+        best_block, best_distance = 0, float("inf")
+        for block in range(self.instance.num_blocks):
+            low, high = self.expected_score_for_block(block)
+            center = (low + high) / 2.0
+            distance = abs(approximate_score - center)
+            if distance < best_distance:
+                best_block, best_distance = block, distance
+        return best_block
+
+    def run(
+        self,
+        algorithm_factory: Callable[[int, int], object],
+        repetitions: int = 1,
+    ) -> OneWayProtocolRun:
+        """Run the reduction with a streaming Borda algorithm as the channel.
+
+        ``algorithm_factory(num_candidates, stream_length)`` must build an ε-Borda
+        algorithm whose report exposes per-candidate score estimates.  ``repetitions``
+        repeats the whole election that many times (scores scale linearly), which lets
+        the streaming algorithm's sampling error average out on small instances.
+        """
+        alice_votes = [self.alice_vote()] * repetitions
+        bob_votes = self.bob_votes() * repetitions
+        total_votes = len(alice_votes) + len(bob_votes)
+        algorithm = algorithm_factory(self.num_candidates, total_votes)
+        channel = StreamingChannel(algorithm)
+        channel.alice_phase(alice_votes)
+        channel.bob_phase(bob_votes)
+        report = channel.report()
+        estimated_score = report.scores[self.instance.query_item] / repetitions
+        decoded = self.decode_block(estimated_score)
+        return OneWayProtocolRun(
+            decoded=decoded,
+            expected=self.instance.answer,
+            message_bits=channel.message_bits(),
+            information_lower_bound_bits=self.instance.communication_lower_bound_bits(),
+            metadata={
+                "num_candidates": self.num_candidates,
+                "total_votes": total_votes,
+            },
+        )

@@ -1,0 +1,55 @@
+"""Primitive building blocks shared by every streaming algorithm in the package.
+
+The paper (Bhattacharyya, Dey, Woodruff, PODS 2016) builds its algorithms out of a
+small set of reusable ingredients:
+
+* a universal hash family over a prime field (paper Section 2.4, Lemma 2),
+* samplers that pick stream items with a power-of-two probability using only
+  ``O(log log m)`` bits of state (Lemma 1), plus classic Bernoulli / reservoir samplers,
+* Morris approximate counters for tracking the stream length when ``m`` is unknown
+  (Section 3.5),
+* variable-length and truncated counters (Section 2.3 and Algorithm 3),
+* "accelerated" counters whose increment probability grows with the current count
+  (Algorithm 2),
+* a :class:`~repro.primitives.space.SpaceMeter` that accounts for the number of bits
+  each data structure is entitled to under the algorithm's own invariants, which is the
+  quantity Table 1 of the paper bounds.
+
+Everything here is deterministic given a :class:`~repro.primitives.rng.RandomSource`
+seed, so experiments and tests are reproducible.
+"""
+
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import SpaceMeter, bits_for_value, bits_for_range
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction, next_prime
+from repro.primitives.sampling import (
+    BernoulliSampler,
+    CoinFlipSampler,
+    ReservoirSampler,
+    FixedSizeSampler,
+    round_down_to_power_of_two_probability,
+)
+from repro.primitives.morris import MorrisCounter
+from repro.primitives.counters import VariableLengthCounter, TruncatedCounter, SaturatingCounter
+from repro.primitives.accelerated import AcceleratedCounter, EpochAcceleratedCounter
+
+__all__ = [
+    "RandomSource",
+    "SpaceMeter",
+    "bits_for_value",
+    "bits_for_range",
+    "UniversalHashFamily",
+    "UniversalHashFunction",
+    "next_prime",
+    "BernoulliSampler",
+    "CoinFlipSampler",
+    "ReservoirSampler",
+    "FixedSizeSampler",
+    "round_down_to_power_of_two_probability",
+    "MorrisCounter",
+    "VariableLengthCounter",
+    "TruncatedCounter",
+    "SaturatingCounter",
+    "AcceleratedCounter",
+    "EpochAcceleratedCounter",
+]

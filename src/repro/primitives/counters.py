@@ -1,0 +1,92 @@
+"""Integer counters with explicit space semantics (paper Sections 2.3, 3.3).
+
+Three kinds of counters appear in the paper:
+
+* **Variable-length counters** ([BB08], Section 2.3): an integer ``C`` is stored in
+  ``O(log C)`` bits and supports constant-time reads and updates.  We model the space
+  cost exactly (``bits_for_value(C)``) and the behaviour as a plain integer.
+* **Truncated counters** (Algorithm 3, line 11): counts are capped at a threshold known
+  to exceed the minimum frequency, so each counter needs only ``O(log threshold)`` =
+  ``O(log log (1/eps*delta))``-ish bits.  Reads above the cap return the cap.
+* **Saturating counters** — a generic bounded counter used by some baselines.
+"""
+
+from __future__ import annotations
+
+from repro.primitives.space import bits_for_value
+
+
+class VariableLengthCounter:
+    """An exact counter whose declared space is ``O(log C)`` bits (paper [BB08])."""
+
+    def __init__(self, initial: int = 0) -> None:
+        if initial < 0:
+            raise ValueError("counter value cannot be negative")
+        self.value = initial
+
+    def increment(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("use decrement() for negative updates")
+        self.value += amount
+        return self.value
+
+    def decrement(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("decrement amount must be non-negative")
+        self.value = max(0, self.value - amount)
+        return self.value
+
+    def space_bits(self) -> int:
+        return bits_for_value(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VariableLengthCounter({self.value})"
+
+
+class TruncatedCounter:
+    """A counter truncated at a cap (Algorithm 3: "Truncate counters of S3 at 2 log^7(2/eps*delta)").
+
+    The point of truncation is purely space: values at or above the cap are irrelevant to
+    the minimum-frequency question, so the counter never needs more than
+    ``ceil(log2(cap+1))`` bits.
+    """
+
+    def __init__(self, cap: int, initial: int = 0) -> None:
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        if initial < 0:
+            raise ValueError("counter value cannot be negative")
+        self.cap = cap
+        self.value = min(initial, cap)
+
+    def increment(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("increment amount must be non-negative")
+        self.value = min(self.cap, self.value + amount)
+        return self.value
+
+    @property
+    def is_saturated(self) -> bool:
+        return self.value >= self.cap
+
+    def space_bits(self) -> int:
+        return bits_for_value(self.cap)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TruncatedCounter({self.value}/{self.cap})"
+
+
+class SaturatingCounter(TruncatedCounter):
+    """Alias with decrement support, used by baseline data structures."""
+
+    def decrement(self, amount: int = 1) -> int:
+        if amount < 0:
+            raise ValueError("decrement amount must be non-negative")
+        self.value = max(0, self.value - amount)
+        return self.value

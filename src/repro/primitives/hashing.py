@@ -1,0 +1,119 @@
+"""Universal hash families (paper Section 2.4).
+
+The paper uses a universal family ``H = {h : [k] -> [l]}`` in two places:
+
+* Algorithm 1 hashes the ids of the ``O(eps^-2)`` sampled items into a space of size
+  ``O(l^2 / delta)`` so that, by Lemma 2, no two sampled items collide and the
+  Misra–Gries table can store hashed ids of ``O(log(1/eps) + log(1/delta))`` bits
+  instead of ``log n`` bits.
+* Algorithm 2 hashes the whole universe into ``[100 / eps]`` buckets so that the
+  accelerated counters only need to track ``O(1/eps)`` distinct hashed ids; the error
+  introduced by collisions is bounded in expectation by universality (Equation 1).
+
+We implement the classic Carter–Wegman construction ``h(x) = ((a*x + b) mod p) mod l``
+with ``p`` a prime larger than the universe and ``a`` drawn uniformly from ``[1, p-1]``,
+``b`` from ``[0, p-1]``.  This family is universal (collision probability at most
+``1/l``), and describing one function costs ``2 * ceil(log2 p)`` bits, matching the
+``O(log n)`` bits the paper charges for storing the hash function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+
+
+def _is_prime(candidate: int) -> bool:
+    """Deterministic Miller–Rabin primality test, exact for 64-bit-ish inputs."""
+    if candidate < 2:
+        return False
+    small_primes = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+    for p in small_primes:
+        if candidate % p == 0:
+            return candidate == p
+    # Write candidate - 1 as d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in small_primes:
+        x = pow(a, d, candidate)
+        if x == 1 or x == candidate - 1:
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(lower_bound: int) -> int:
+    """Smallest prime ``p >= lower_bound``."""
+    candidate = max(2, lower_bound)
+    while not _is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class UniversalHashFunction:
+    """A single Carter–Wegman hash function ``x -> ((a*x + b) mod p) mod range_size``."""
+
+    multiplier: int
+    offset: int
+    prime: int
+    range_size: int
+
+    def __call__(self, item: int) -> int:
+        if item < 0:
+            raise ValueError("hash input must be a non-negative integer")
+        return ((self.multiplier * item + self.offset) % self.prime) % self.range_size
+
+    def description_bits(self) -> int:
+        """Bits needed to store this function (the pair ``(a, b)`` modulo ``p``)."""
+        return 2 * bits_for_value(self.prime - 1)
+
+
+class UniversalHashFamily:
+    """A universal family ``{h : [universe_size] -> [range_size]}``.
+
+    Drawing a function uniformly at random from the family costs
+    ``2 * ceil(log2 p) = O(log universe_size)`` bits to remember, which is the cost the
+    paper charges in Algorithm 1 ("picking a hash function h uniformly at random from H
+    can be done using O(log n) bits of space").
+    """
+
+    def __init__(self, universe_size: int, range_size: int, rng: Optional[RandomSource] = None) -> None:
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        if range_size <= 0:
+            raise ValueError("range_size must be positive")
+        self.universe_size = universe_size
+        self.range_size = range_size
+        self.prime = next_prime(max(universe_size, range_size, 2))
+        self._rng = rng if rng is not None else RandomSource()
+
+    def draw(self) -> UniversalHashFunction:
+        """Draw one hash function uniformly at random from the family."""
+        multiplier = self._rng.randint(1, self.prime - 1)
+        offset = self._rng.randint(0, self.prime - 1)
+        return UniversalHashFunction(
+            multiplier=multiplier,
+            offset=offset,
+            prime=self.prime,
+            range_size=self.range_size,
+        )
+
+    def draw_many(self, count: int) -> list:
+        """Draw ``count`` independent functions from the family."""
+        return [self.draw() for _ in range(count)]
+
+    def collision_probability(self) -> float:
+        """Upper bound on ``Pr[h(a) = h(b)]`` for distinct ``a, b`` (Definition 2)."""
+        return 1.0 / self.range_size

@@ -1,0 +1,57 @@
+"""Morris approximate counting (paper Section 3.5, [Mor78], [Fla85]).
+
+When the stream length ``m`` is not known in advance, the paper's Theorem 7 keeps a
+Morris counter to approximate the current position within a constant factor using
+``O(log log m + k)`` bits (error probability ``2^{-k/2}``).  The doubling/restart wrapper
+in :mod:`repro.core.unknown_length` consults this counter to decide when to retire one
+instance of the base algorithm and start the next.
+
+A Morris counter stores only an exponent ``X``; on each increment the exponent grows
+with probability ``2^{-X}``, and the estimate of the true count is ``2^X - 1``.  The
+estimate is unbiased and concentrates within a constant factor; averaging several
+independent counters sharpens the constant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.primitives.rng import RandomSource
+from repro.primitives.space import bits_for_value
+
+
+class MorrisCounter:
+    """A single Morris approximate counter.
+
+    ``repetitions`` independent counters can be averaged to reduce variance; the paper
+    drives the failure probability down by choosing ``k = 2 log2(log2(m)/delta)`` extra
+    bits, which in our implementation corresponds to using a handful of repetitions.
+    """
+
+    def __init__(self, rng: Optional[RandomSource] = None, repetitions: int = 1) -> None:
+        if repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        self._rng = rng if rng is not None else RandomSource()
+        self.repetitions = repetitions
+        self.exponents = [0] * repetitions
+        self.true_count = 0  # kept only for testing/diagnostics, not charged as space
+
+    def increment(self) -> None:
+        """Register one new stream item."""
+        self.true_count += 1
+        for index in range(self.repetitions):
+            exponent = self.exponents[index]
+            if self._rng.bernoulli(2.0 ** (-exponent)):
+                self.exponents[index] = exponent + 1
+
+    def estimate(self) -> float:
+        """Unbiased estimate of the number of increments seen so far."""
+        estimates = [(2.0 ** exponent) - 1.0 for exponent in self.exponents]
+        return sum(estimates) / len(estimates)
+
+    def space_bits(self) -> int:
+        """Bits of state: each counter stores only its exponent, i.e. ``O(log log m)``."""
+        return sum(max(1, bits_for_value(exponent)) for exponent in self.exponents)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MorrisCounter(estimate={self.estimate():.1f}, exponents={self.exponents})"

@@ -1,0 +1,98 @@
+"""Seeded randomness shared by all randomized data structures.
+
+Every randomized structure in the package receives a :class:`RandomSource` (or derives a
+child from one) instead of touching the global :mod:`random` state.  This keeps the
+whole reproduction deterministic under a fixed seed, which matters for tests, for the
+benchmark harness, and for the lower-bound reductions where Alice and Bob must share
+public randomness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class RandomSource:
+    """A thin, seedable wrapper around :class:`random.Random`.
+
+    The wrapper exists for three reasons:
+
+    * child generators (:meth:`spawn`) let a parent algorithm hand independent,
+      reproducible randomness to each of its sub-structures (hash functions, samplers,
+      repetitions) without them interfering with one another;
+    * convenience helpers used throughout the code base (:meth:`bernoulli`,
+      :meth:`random_bits`, :meth:`choice_index`) keep call sites short and explicit;
+    * it gives a single choke point if one ever wants to swap the underlying generator.
+    """
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The seed this source was created with (``None`` if unseeded)."""
+        return self._seed
+
+    def spawn(self, salt: int = 0) -> "RandomSource":
+        """Return a new, independent :class:`RandomSource` derived from this one.
+
+        The child is seeded from the parent's stream, offset by ``salt`` so multiple
+        children spawned in a loop are distinct even if spawned from the same state.
+        """
+        child_seed = self._rng.getrandbits(62) ^ (salt * 0x9E3779B97F4A7C15 & ((1 << 62) - 1))
+        return RandomSource(child_seed)
+
+    # -- basic draws -------------------------------------------------------------
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)``."""
+        return self._rng.random()
+
+    def bernoulli(self, probability: float) -> bool:
+        """Return ``True`` with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._rng.random() < probability
+
+    def random_bits(self, num_bits: int) -> int:
+        """Return a uniformly random integer with ``num_bits`` bits."""
+        if num_bits <= 0:
+            return 0
+        return self._rng.getrandbits(num_bits)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in the inclusive range ``[low, high]``."""
+        return self._rng.randint(low, high)
+
+    def choice_index(self, length: int) -> int:
+        """Uniform index into a sequence of the given length."""
+        if length <= 0:
+            raise ValueError("cannot choose an index from an empty sequence")
+        return self._rng.randrange(length)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Uniformly choose one element of ``items``."""
+        return items[self.choice_index(len(items))]
+
+    def sample(self, items: Sequence[T], k: int) -> List[T]:
+        """Sample ``k`` distinct elements of ``items`` uniformly without replacement."""
+        return self._rng.sample(list(items), k)
+
+    def shuffle(self, items: Iterable[T]) -> List[T]:
+        """Return a uniformly shuffled copy of ``items``."""
+        out = list(items)
+        self._rng.shuffle(out)
+        return out
+
+    def permutation(self, n: int) -> List[int]:
+        """Return a uniformly random permutation of ``range(n)``."""
+        return self.shuffle(range(n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RandomSource(seed={self._seed!r})"

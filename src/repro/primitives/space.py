@@ -1,0 +1,108 @@
+"""Bit-level space accounting.
+
+The quantity Table 1 of the paper bounds is the number of *bits of working memory* a
+streaming algorithm keeps between stream updates, in the unit-cost RAM model with
+``O(log n)``-bit words.  CPython objects carry large constant overheads (a small ``int``
+costs 28 bytes), so ``sys.getsizeof`` would say nothing about the quantity the paper is
+about.  Instead, every data structure in this package *declares* how many bits it is
+entitled to under its own invariants — e.g. a Misra–Gries table with ``k`` entries over a
+universe of size ``n`` and stream length ``m`` declares ``k * (ceil(log2 n) +
+ceil(log2 (m+1)))`` bits — and a :class:`SpaceMeter` aggregates those declarations per
+component.
+
+This is exactly the accounting the paper itself performs when it says, for example, that
+table ``T1`` of Algorithm 1 stores keys in ``[0, 400 l^2 / delta]`` and values in
+``[0, 11 l]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+def bits_for_value(value: int) -> int:
+    """Number of bits needed to write down the non-negative integer ``value``.
+
+    ``bits_for_value(0) == 1`` by convention (a counter that can only hold zero still
+    occupies one bit of addressable state).
+    """
+    if value < 0:
+        raise ValueError("bits_for_value expects a non-negative integer")
+    if value <= 1:
+        return 1
+    return int(math.ceil(math.log2(value + 1)))
+
+
+def bits_for_range(num_values: int) -> int:
+    """Number of bits needed to index one of ``num_values`` distinct values."""
+    if num_values <= 0:
+        raise ValueError("bits_for_range expects a positive count of values")
+    if num_values == 1:
+        return 1
+    return int(math.ceil(math.log2(num_values)))
+
+
+@dataclass
+class SpaceMeter:
+    """Aggregates per-component bit counts for a streaming data structure.
+
+    Components are named so benchmark output can break space down the same way the
+    paper's analysis does (sampler, hash function description, table T1, table T2, ...).
+
+    The meter distinguishes *current* usage (what the structure holds right now) from
+    *peak* usage (the maximum ever held), because several algorithms in the paper bound
+    expected space and abort if a run exceeds its budget; peak usage is what such a
+    budget must cover.
+    """
+
+    components: Dict[str, int] = field(default_factory=dict)
+    _peak_components: Dict[str, int] = field(default_factory=dict)
+
+    def set_component(self, name: str, bits: int) -> None:
+        """Set the current bit count of a named component."""
+        if bits < 0:
+            raise ValueError(f"component {name!r} cannot use a negative number of bits")
+        self.components[name] = bits
+        if bits > self._peak_components.get(name, 0):
+            self._peak_components[name] = bits
+
+    def add_component(self, name: str, bits: int) -> None:
+        """Add ``bits`` to a named component (creating it at zero if absent)."""
+        self.set_component(name, self.components.get(name, 0) + bits)
+
+    def get_component(self, name: str) -> int:
+        """Current bit count of a component (zero if never set)."""
+        return self.components.get(name, 0)
+
+    def total_bits(self) -> int:
+        """Total current space in bits across all components."""
+        return sum(self.components.values())
+
+    def peak_bits(self) -> int:
+        """Total peak space in bits (sum of per-component peaks)."""
+        return sum(self._peak_components.values())
+
+    def peak_component(self, name: str) -> int:
+        """Peak bit count of a single component."""
+        return self._peak_components.get(name, 0)
+
+    def breakdown(self) -> Mapping[str, int]:
+        """A read-only snapshot of the current per-component usage."""
+        return dict(self.components)
+
+    def merge(self, other: "SpaceMeter", prefix: str = "") -> None:
+        """Fold another meter's components into this one, optionally prefixed."""
+        for name, bits in other.components.items():
+            self.add_component(prefix + name, bits)
+        for name, bits in other._peak_components.items():
+            key = prefix + name
+            if bits > self._peak_components.get(key, 0):
+                self._peak_components[key] = bits
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        return iter(self.components.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpaceMeter(total={self.total_bits()} bits, components={self.components})"

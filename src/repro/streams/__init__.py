@@ -1,0 +1,52 @@
+"""Synthetic insertion-only streams and exact ground-truth oracles.
+
+The paper evaluates nothing empirically (it is a theory paper), but its motivation —
+network flow identification, iceberg queries, frequent itemsets, voting streams — fixes
+the workloads a reproduction should exercise: skewed (Zipfian) item streams, streams
+with planted heavy hitters, adversarially ordered streams (the paper explicitly makes no
+ordering assumption), and the two-phase "Alice then Bob" gadget streams used by the
+lower-bound reductions.
+
+:mod:`repro.streams.generators` builds these streams, :mod:`repro.streams.stream` wraps
+them with metadata, and :mod:`repro.streams.truth` computes exact statistics for
+evaluating the approximate algorithms.
+"""
+
+from repro.streams.stream import Stream
+from repro.streams.truth import exact_frequencies, exact_maximum, exact_minimum, top_k
+from repro.streams.generators import (
+    uniform_stream,
+    zipfian_stream,
+    planted_heavy_hitters_stream,
+    planted_maximum_stream,
+    adversarial_block_stream,
+    two_phase_stream,
+)
+from repro.streams.io import (
+    save_stream,
+    load_stream,
+    save_election,
+    load_election,
+    iterate_stream_file,
+    stream_file_statistics,
+)
+
+__all__ = [
+    "Stream",
+    "exact_frequencies",
+    "exact_maximum",
+    "exact_minimum",
+    "top_k",
+    "uniform_stream",
+    "zipfian_stream",
+    "planted_heavy_hitters_stream",
+    "planted_maximum_stream",
+    "adversarial_block_stream",
+    "two_phase_stream",
+    "save_stream",
+    "load_stream",
+    "save_election",
+    "load_election",
+    "iterate_stream_file",
+    "stream_file_statistics",
+]

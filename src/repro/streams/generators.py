@@ -1,0 +1,223 @@
+"""Synthetic stream generators for the benchmark and test workloads.
+
+All generators are deterministic given a :class:`~repro.primitives.rng.RandomSource`
+seed and return :class:`~repro.streams.stream.Stream` objects carrying metadata about
+how they were built (so EXPERIMENTS.md can record workload parameters exactly).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.primitives.rng import RandomSource
+from repro.streams.stream import Stream
+
+
+def uniform_stream(
+    length: int,
+    universe_size: int,
+    rng: Optional[RandomSource] = None,
+    name: str = "uniform",
+) -> Stream:
+    """Each item drawn independently and uniformly from the universe."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    rng = rng if rng is not None else RandomSource()
+    items = [rng.randint(0, universe_size - 1) for _ in range(length)]
+    return Stream(items=items, universe_size=universe_size, name=name, metadata={"kind": "uniform"})
+
+
+def zipfian_stream(
+    length: int,
+    universe_size: int,
+    skew: float = 1.1,
+    rng: Optional[RandomSource] = None,
+    name: str = "zipf",
+) -> Stream:
+    """Items drawn from a Zipf(skew) distribution over the universe.
+
+    Zipfian streams are the standard model for the network-traffic and iceberg-query
+    workloads the paper's introduction motivates: a few very frequent items and a long
+    tail.  Item ``i`` has probability proportional to ``1 / (i+1)^skew``.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = rng if rng is not None else RandomSource()
+    weights = [1.0 / ((rank + 1) ** skew) for rank in range(universe_size)]
+    total = sum(weights)
+    cumulative: List[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+    items: List[int] = []
+    for _ in range(length):
+        target = rng.random()
+        items.append(_binary_search(cumulative, target))
+    return Stream(
+        items=items,
+        universe_size=universe_size,
+        name=name,
+        metadata={"kind": "zipf", "skew": skew},
+    )
+
+
+def _binary_search(cumulative: Sequence[float], target: float) -> int:
+    low, high = 0, len(cumulative) - 1
+    while low < high:
+        mid = (low + high) // 2
+        if cumulative[mid] < target:
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def planted_heavy_hitters_stream(
+    length: int,
+    universe_size: int,
+    heavy_items: Dict[int, float],
+    rng: Optional[RandomSource] = None,
+    name: str = "planted",
+    shuffle: bool = True,
+) -> Stream:
+    """A stream with specified relative frequencies for chosen heavy items.
+
+    ``heavy_items`` maps item id to its target relative frequency; the rest of the
+    stream is filled with uniformly random light items (those not in ``heavy_items``),
+    so the heavy set is exactly known.  This is the workload used by the correctness
+    benchmarks: the ground-truth heavy-hitter set is planted by construction.
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    total_heavy_fraction = sum(heavy_items.values())
+    if total_heavy_fraction > 1.0 + 1e-9:
+        raise ValueError("planted relative frequencies sum to more than 1")
+    rng = rng if rng is not None else RandomSource()
+    items: List[int] = []
+    for item, fraction in heavy_items.items():
+        if not 0 <= item < universe_size:
+            raise ValueError(f"heavy item {item} outside universe")
+        items.extend([item] * int(round(fraction * length)))
+    light_candidates = [item for item in range(universe_size) if item not in heavy_items]
+    if not light_candidates and len(items) < length:
+        raise ValueError("no light items available to fill the stream")
+    while len(items) < length:
+        items.append(light_candidates[rng.choice_index(len(light_candidates))])
+    items = items[:length]
+    if shuffle:
+        items = rng.shuffle(items)
+    return Stream(
+        items=items,
+        universe_size=universe_size,
+        name=name,
+        metadata={"kind": "planted", "heavy_items": dict(heavy_items)},
+    )
+
+
+def planted_maximum_stream(
+    length: int,
+    universe_size: int,
+    maximum_item: int,
+    maximum_fraction: float,
+    runner_up_fraction: Optional[float] = None,
+    rng: Optional[RandomSource] = None,
+    name: str = "planted-max",
+) -> Stream:
+    """A stream whose unique maximum-frequency item is planted with a known margin.
+
+    Used by the ε-Maximum experiments: the maximum item gets ``maximum_fraction`` of the
+    stream, an (optional) runner-up gets ``runner_up_fraction``, and the rest is uniform
+    noise over the remaining universe.
+    """
+    if not 0 <= maximum_item < universe_size:
+        raise ValueError("maximum_item outside universe")
+    if not 0.0 < maximum_fraction <= 1.0:
+        raise ValueError("maximum_fraction must be in (0, 1]")
+    heavy: Dict[int, float] = {maximum_item: maximum_fraction}
+    if runner_up_fraction is not None and universe_size > 1:
+        runner_up = (maximum_item + 1) % universe_size
+        heavy[runner_up] = runner_up_fraction
+    return planted_heavy_hitters_stream(
+        length=length,
+        universe_size=universe_size,
+        heavy_items=heavy,
+        rng=rng,
+        name=name,
+    )
+
+
+def adversarial_block_stream(
+    length: int,
+    universe_size: int,
+    heavy_items: Dict[int, float],
+    rng: Optional[RandomSource] = None,
+    name: str = "adversarial-blocks",
+) -> Stream:
+    """A planted stream delivered in sorted blocks (all copies of an item contiguous).
+
+    The paper explicitly makes no assumption on stream order; block order is the classic
+    adversarial arrival pattern for counter-based algorithms (all heavy items arrive
+    after the table has been filled by light ones).  Light items arrive first, then the
+    heavy items in increasing order of weight.
+    """
+    planted = planted_heavy_hitters_stream(
+        length=length,
+        universe_size=universe_size,
+        heavy_items=heavy_items,
+        rng=rng,
+        name=name,
+        shuffle=False,
+    )
+    counts: Dict[int, int] = {}
+    for item in planted.items:
+        counts[item] = counts.get(item, 0) + 1
+    light_first = sorted(counts.items(), key=lambda pair: (pair[1], pair[0]))
+    items = list(
+        itertools.chain.from_iterable([item] * count for item, count in light_first)
+    )
+    return Stream(
+        items=items,
+        universe_size=universe_size,
+        name=name,
+        metadata={"kind": "adversarial-blocks", "heavy_items": dict(heavy_items)},
+    )
+
+
+def two_phase_stream(
+    alice_items: Sequence[int],
+    bob_items: Sequence[int],
+    universe_size: int,
+    name: str = "two-phase",
+) -> Stream:
+    """Alice's items followed by Bob's items — the shape of every lower-bound gadget.
+
+    The communication-complexity reductions in Section 4 of the paper all build streams
+    of this form: Alice encodes her input as a prefix, sends the algorithm state, and
+    Bob appends a suffix determined by his input.
+    """
+    items = list(alice_items) + list(bob_items)
+    return Stream(
+        items=items,
+        universe_size=universe_size,
+        name=name,
+        metadata={"kind": "two-phase", "alice_length": len(alice_items), "bob_length": len(bob_items)},
+    )
+
+
+def exponential_lengths(minimum: int, maximum: int, base: float = 2.0) -> List[int]:
+    """Geometrically spaced stream lengths, used by the log log m scaling experiments."""
+    if minimum <= 0 or maximum < minimum:
+        raise ValueError("need 0 < minimum <= maximum")
+    lengths: List[int] = []
+    value = float(minimum)
+    while value <= maximum:
+        lengths.append(int(round(value)))
+        value *= base
+    if lengths[-1] != maximum:
+        lengths.append(maximum)
+    return lengths

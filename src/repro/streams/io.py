@@ -1,0 +1,120 @@
+"""Reading and writing streams and elections to disk.
+
+The benchmark workloads are synthetic, but a downstream user of the library will want to
+run the algorithms over their own traces (a packet log, a query log, a file of ballots).
+These helpers define two minimal, dependency-free on-disk formats:
+
+* **item streams** — one integer item id per line, with optional ``# key: value`` header
+  comments carrying the universe size and metadata;
+* **elections** — one vote per line, the candidate ids in preference order separated by
+  spaces, with an optional ``# candidates: n`` header.
+
+Both formats round-trip exactly through :func:`save_stream`/:func:`load_stream` and
+:func:`save_election`/:func:`load_election`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.streams.stream import Stream
+from repro.voting.elections import Election
+from repro.voting.rankings import Ranking
+
+
+def save_stream(stream: Stream, path: str) -> None:
+    """Write a stream to ``path`` (one item per line, header comments for metadata)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# universe_size: {stream.universe_size}\n")
+        handle.write(f"# name: {stream.name}\n")
+        for key, value in stream.metadata.items():
+            handle.write(f"# meta {key}: {value!r}\n")
+        for item in stream.items:
+            handle.write(f"{item}\n")
+
+
+def load_stream(path: str, universe_size: Optional[int] = None) -> Stream:
+    """Read a stream written by :func:`save_stream` (or any file of one item per line)."""
+    items: List[int] = []
+    header_universe: Optional[int] = None
+    name = os.path.basename(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# universe_size:"):
+                    header_universe = int(line.split(":", 1)[1].strip())
+                elif line.startswith("# name:"):
+                    name = line.split(":", 1)[1].strip()
+                continue
+            items.append(int(line))
+    resolved_universe = universe_size or header_universe
+    if resolved_universe is None:
+        resolved_universe = (max(items) + 1) if items else 1
+    return Stream(items=items, universe_size=resolved_universe, name=name)
+
+
+def save_election(election: Election, path: str) -> None:
+    """Write an election to ``path`` (one vote per line, candidates in preference order)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# candidates: {election.num_candidates}\n")
+        for vote in election.votes:
+            handle.write(" ".join(str(candidate) for candidate in vote.order) + "\n")
+
+
+def load_election(path: str) -> Election:
+    """Read an election written by :func:`save_election`."""
+    votes: List[Ranking] = []
+    num_candidates: Optional[int] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# candidates:"):
+                    num_candidates = int(line.split(":", 1)[1].strip())
+                continue
+            votes.append(Ranking([int(token) for token in line.split()]))
+    if num_candidates is None:
+        num_candidates = votes[0].num_candidates if votes else 1
+    election = Election(num_candidates=num_candidates)
+    election.extend(votes)
+    return election
+
+
+def iterate_stream_file(path: str) -> Iterable[int]:
+    """Yield the items of a stream file one at a time without materializing it.
+
+    This is the interface a truly single-pass consumer would use; the algorithms accept
+    any iterable, so ``algo.consume(iterate_stream_file(path))`` processes an on-disk
+    trace with O(1) extra memory beyond the algorithm's own state.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield int(line)
+
+
+def stream_file_statistics(path: str) -> Dict[str, int]:
+    """Cheap one-pass statistics of a stream file (length, max id, distinct count)."""
+    length = 0
+    max_item = -1
+    distinct: set = set()
+    for item in iterate_stream_file(path):
+        length += 1
+        if item > max_item:
+            max_item = item
+        distinct.add(item)
+    return {"length": length, "max_item": max_item, "distinct_items": len(distinct)}

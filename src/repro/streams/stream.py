@@ -1,0 +1,71 @@
+"""A light container for an insertion-only stream and its metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+
+@dataclass
+class Stream:
+    """An insertion-only stream of integer items over the universe ``[0, universe_size)``.
+
+    The items are materialized in memory (these are synthetic benchmark streams, not the
+    internet traffic the paper motivates), but all algorithms consume them one at a time
+    through the single-pass interface, so nothing about the reproduction depends on the
+    stream being materialized.
+    """
+
+    items: List[int]
+    universe_size: int
+    name: str = "stream"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        for item in self.items:
+            if not 0 <= item < self.universe_size:
+                raise ValueError(
+                    f"stream item {item} outside universe [0, {self.universe_size})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.items)
+
+    def __getitem__(self, index: int) -> int:
+        return self.items[index]
+
+    @property
+    def length(self) -> int:
+        return len(self.items)
+
+    def prefix(self, length: int) -> "Stream":
+        """The first ``length`` items as a new stream (same universe)."""
+        return Stream(
+            items=list(self.items[:length]),
+            universe_size=self.universe_size,
+            name=f"{self.name}[:{length}]",
+            metadata=dict(self.metadata),
+        )
+
+    def concatenate(self, other: "Stream", name: Optional[str] = None) -> "Stream":
+        """This stream followed by another over the same (or compatible) universe."""
+        universe = max(self.universe_size, other.universe_size)
+        return Stream(
+            items=list(self.items) + list(other.items),
+            universe_size=universe,
+            name=name or f"{self.name}+{other.name}",
+            metadata={**self.metadata, **other.metadata},
+        )
+
+    @classmethod
+    def from_items(cls, items: Sequence[int], universe_size: Optional[int] = None, name: str = "stream") -> "Stream":
+        """Build a stream from raw items, inferring the universe size if not given."""
+        materialized = list(items)
+        if universe_size is None:
+            universe_size = (max(materialized) + 1) if materialized else 1
+        return cls(items=materialized, universe_size=universe_size, name=name)

@@ -1,0 +1,53 @@
+"""Exact statistics of a stream, used as ground truth by tests and benchmarks."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+def exact_frequencies(stream: Iterable[int]) -> Dict[int, int]:
+    """Exact frequency of every item that appears in the stream."""
+    return dict(Counter(stream))
+
+
+def exact_maximum(stream: Iterable[int]) -> Tuple[Optional[int], int]:
+    """The (item, frequency) pair of a maximum-frequency item; ``(None, 0)`` if empty.
+
+    Ties are broken towards the smallest item id so the answer is deterministic.
+    """
+    counts = exact_frequencies(stream)
+    if not counts:
+        return None, 0
+    best_item = min(counts, key=lambda item: (-counts[item], item))
+    return best_item, counts[best_item]
+
+
+def exact_minimum(stream: Iterable[int], universe_size: int) -> Tuple[int, int]:
+    """The (item, frequency) pair of a minimum-frequency item over the whole universe.
+
+    Items that never appear have frequency zero and are valid answers (paper
+    Section 1.2); ties are broken towards the smallest item id.
+    """
+    counts = exact_frequencies(stream)
+    if len(counts) < universe_size:
+        for item in range(universe_size):
+            if item not in counts:
+                return item, 0
+    best_item = min(counts, key=lambda item: (counts[item], item))
+    return best_item, counts[best_item]
+
+
+def top_k(stream: Iterable[int], k: int) -> List[Tuple[int, int]]:
+    """The ``k`` most frequent items with their exact counts (deterministic order)."""
+    counts = exact_frequencies(stream)
+    ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    return ordered[:k]
+
+
+def heavy_hitters(stream: Iterable[int], phi: float) -> Dict[int, int]:
+    """All items whose frequency exceeds ``phi`` times the stream length."""
+    items = list(stream)
+    counts = exact_frequencies(items)
+    threshold = phi * len(items)
+    return {item: count for item, count in counts.items() if count > threshold}

@@ -1,0 +1,46 @@
+"""Rank-aggregation (voting) substrate for the Borda and Maximin problems.
+
+The paper's Definitions 6–9 consider streams whose items are *rankings* (total orders
+over a candidate set) rather than single ids, motivated by rank aggregation on the web
+and by voting streams: plurality and veto winners correspond to the ε-Maximum and
+ε-Minimum problems, and Borda / maximin winners need the new algorithms of Theorems 5
+and 6.
+
+This subpackage provides:
+
+* :mod:`repro.voting.rankings` — the :class:`Ranking` value type and permutation helpers,
+* :mod:`repro.voting.scores` — exact Borda, maximin, plurality and veto scores,
+* :mod:`repro.voting.elections` — an election container and winners under each rule,
+* :mod:`repro.voting.generators` — vote-stream generators (impartial culture, Mallows
+  model, planted winners, clickstream-style orderings).
+"""
+
+from repro.voting.rankings import Ranking
+from repro.voting.scores import (
+    borda_scores,
+    maximin_scores,
+    pairwise_defeats,
+    plurality_scores,
+    veto_scores,
+)
+from repro.voting.elections import Election
+from repro.voting.generators import (
+    impartial_culture,
+    mallows_votes,
+    planted_borda_winner,
+    clickstream_orderings,
+)
+
+__all__ = [
+    "Ranking",
+    "borda_scores",
+    "maximin_scores",
+    "pairwise_defeats",
+    "plurality_scores",
+    "veto_scores",
+    "Election",
+    "impartial_culture",
+    "mallows_votes",
+    "planted_borda_winner",
+    "clickstream_orderings",
+]

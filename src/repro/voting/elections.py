@@ -1,0 +1,79 @@
+"""An election container: a list of votes plus winners under the standard rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from repro.voting.rankings import Ranking
+from repro.voting import scores as scoring
+
+
+@dataclass
+class Election:
+    """A (streamed or materialized) election over ``num_candidates`` candidates."""
+
+    num_candidates: int
+    votes: List[Ranking] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_candidates <= 0:
+            raise ValueError("num_candidates must be positive")
+        for vote in self.votes:
+            self._check(vote)
+
+    def _check(self, vote: Ranking) -> None:
+        if vote.num_candidates != self.num_candidates:
+            raise ValueError(
+                f"vote over {vote.num_candidates} candidates added to an election "
+                f"with {self.num_candidates}"
+            )
+
+    def add_vote(self, vote: Ranking) -> None:
+        self._check(vote)
+        self.votes.append(vote)
+
+    def extend(self, votes: Sequence[Ranking]) -> None:
+        for vote in votes:
+            self.add_vote(vote)
+
+    def __len__(self) -> int:
+        return len(self.votes)
+
+    def __iter__(self) -> Iterator[Ranking]:
+        return iter(self.votes)
+
+    # -- exact scores and winners --------------------------------------------------------
+
+    def borda_scores(self) -> Dict[int, int]:
+        return scoring.borda_scores(self.votes)
+
+    def maximin_scores(self) -> Dict[int, int]:
+        return scoring.maximin_scores(self.votes)
+
+    def plurality_scores(self) -> Dict[int, int]:
+        return scoring.plurality_scores(self.votes)
+
+    def veto_scores(self) -> Dict[int, int]:
+        return scoring.veto_scores(self.votes)
+
+    def borda_winner(self) -> int:
+        return scoring.borda_winner(self.votes)
+
+    def maximin_winner(self) -> int:
+        return scoring.maximin_winner(self.votes)
+
+    def plurality_winner(self) -> int:
+        plurality = self.plurality_scores()
+        return min(plurality, key=lambda candidate: (-plurality[candidate], candidate))
+
+    def veto_winner(self) -> int:
+        """The candidate with the fewest last-place votes (the veto rule's winner)."""
+        veto = self.veto_scores()
+        return min(veto, key=lambda candidate: (veto[candidate], candidate))
+
+    def max_borda_score(self) -> int:
+        return max(self.borda_scores().values())
+
+    def max_maximin_score(self) -> int:
+        return max(self.maximin_scores().values())

@@ -1,0 +1,127 @@
+"""Rankings (total orders over a candidate set).
+
+A vote in the paper's ranking-based problems is an element of ``L(U)``: a permutation of
+the ``n`` candidates.  :class:`Ranking` stores the permutation in "preference order"
+(most preferred candidate first) and offers the queries the scoring rules need: the
+position of a candidate, whether one candidate is ranked ahead of another, and the
+number of candidates a given candidate beats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+class Ranking:
+    """A total order over the candidates ``0, 1, ..., n-1`` (most preferred first)."""
+
+    __slots__ = ("order", "_positions")
+
+    def __init__(self, order: Sequence[int]) -> None:
+        order_list = list(order)
+        n = len(order_list)
+        seen = [False] * n
+        for candidate in order_list:
+            if not 0 <= candidate < n or seen[candidate]:
+                raise ValueError(f"{order_list!r} is not a permutation of 0..{n - 1}")
+            seen[candidate] = True
+        self.order: Tuple[int, ...] = tuple(order_list)
+        positions: Dict[int, int] = {}
+        for position, candidate in enumerate(order_list):
+            positions[candidate] = position
+        self._positions = positions
+
+    # -- basic container protocol -----------------------------------------------------
+
+    @property
+    def num_candidates(self) -> int:
+        return len(self.order)
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.order)
+
+    def __getitem__(self, position: int) -> int:
+        return self.order[position]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Ranking) and self.order == other.order
+
+    def __hash__(self) -> int:
+        return hash(self.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ranking({list(self.order)!r})"
+
+    # -- queries used by the scoring rules ---------------------------------------------
+
+    def position_of(self, candidate: int) -> int:
+        """Zero-based position of the candidate (0 = most preferred)."""
+        return self._positions[candidate]
+
+    def prefers(self, candidate_a: int, candidate_b: int) -> bool:
+        """True iff ``candidate_a`` is ranked ahead of ``candidate_b``."""
+        return self._positions[candidate_a] < self._positions[candidate_b]
+
+    def candidates_beaten_by(self, candidate: int) -> int:
+        """Number of candidates ranked behind ``candidate`` (its Borda contribution)."""
+        return self.num_candidates - 1 - self._positions[candidate]
+
+    def top(self) -> int:
+        """The most preferred candidate (the plurality vote)."""
+        return self.order[0]
+
+    def bottom(self) -> int:
+        """The least preferred candidate (the veto vote)."""
+        return self.order[-1]
+
+    def restricted_to(self, candidates: Sequence[int]) -> "Ranking":
+        """The induced ranking over a subset of candidates, relabelled to 0..k-1.
+
+        The relabelling maps the i-th smallest id in ``candidates`` to i, preserving the
+        preference order among the kept candidates.
+        """
+        keep = sorted(set(candidates))
+        relabel = {candidate: index for index, candidate in enumerate(keep)}
+        induced = [relabel[c] for c in self.order if c in relabel]
+        return Ranking(induced)
+
+    def reversed(self) -> "Ranking":
+        """The reverse ranking (least preferred candidate first)."""
+        return Ranking(list(reversed(self.order)))
+
+    # -- constructors -------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_candidates: int) -> "Ranking":
+        """The ranking 0 ≻ 1 ≻ ... ≻ n-1."""
+        return cls(range(num_candidates))
+
+    @classmethod
+    def from_positions(cls, positions: Dict[int, int]) -> "Ranking":
+        """Build a ranking from a candidate -> position map."""
+        order: List[int] = [0] * len(positions)
+        for candidate, position in positions.items():
+            order[position] = candidate
+        return cls(order)
+
+
+def kendall_tau_distance(ranking_a: Ranking, ranking_b: Ranking) -> int:
+    """Number of discordant pairs between two rankings (the Kendall tau distance).
+
+    Used by the Mallows vote generator and by tests that check the generator's
+    concentration around its reference ranking.
+    """
+    if ranking_a.num_candidates != ranking_b.num_candidates:
+        raise ValueError("rankings must be over the same number of candidates")
+    n = ranking_a.num_candidates
+    distance = 0
+    for first in range(n):
+        for second in range(first + 1, n):
+            a_prefers = ranking_a.prefers(first, second)
+            b_prefers = ranking_b.prefers(first, second)
+            if a_prefers != b_prefers:
+                distance += 1
+    return distance

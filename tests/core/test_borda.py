@@ -1,0 +1,113 @@
+"""Tests for the (ε,ϕ)-List Borda algorithm (Theorem 5)."""
+
+import pytest
+
+from repro.core.borda import ListBorda
+from repro.primitives.rng import RandomSource
+from repro.voting.generators import impartial_culture, mallows_votes, planted_borda_winner
+from repro.voting.rankings import Ranking
+from repro.voting.scores import borda_scores
+
+
+def make_algo(epsilon, num_candidates, stream_length, phi=None, seed=0):
+    return ListBorda(
+        epsilon=epsilon,
+        num_candidates=num_candidates,
+        stream_length=stream_length,
+        phi=phi,
+        rng=RandomSource(seed),
+    )
+
+
+class TestValidation:
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            make_algo(0.0, 5, 100)
+        with pytest.raises(ValueError):
+            make_algo(0.1, 0, 100)
+        with pytest.raises(ValueError):
+            make_algo(0.1, 5, 100, phi=0.05)
+
+    def test_wrong_vote_size_rejected(self):
+        algo = make_algo(0.1, 4, 100)
+        with pytest.raises(ValueError):
+            algo.insert(Ranking([0, 1, 2]))
+
+
+class TestScoreEstimation:
+    def test_scores_within_eps_mn(self):
+        """The Theorem 5 guarantee: every Borda score within an additive eps*m*n."""
+        num_candidates = 8
+        votes = impartial_culture(4000, num_candidates, rng=RandomSource(1))
+        truth = borda_scores(votes)
+        algo = make_algo(0.05, num_candidates, len(votes), seed=2)
+        algo.consume(votes)
+        report = algo.report()
+        tolerance = 0.05 * len(votes) * num_candidates
+        for candidate in range(num_candidates):
+            assert abs(report.scores[candidate] - truth[candidate]) <= tolerance
+
+    def test_planted_winner_recovered(self):
+        num_candidates = 6
+        votes = planted_borda_winner(
+            3000, num_candidates, winner=4, boost_fraction=0.7, rng=RandomSource(3)
+        )
+        algo = make_algo(0.05, num_candidates, len(votes), seed=4)
+        algo.consume(votes)
+        assert algo.report().approximate_winner() == 4
+
+    def test_mallows_reference_top_candidate_wins(self):
+        reference = Ranking([2, 0, 1, 3, 4])
+        votes = mallows_votes(2500, 5, dispersion=0.3, reference=reference, rng=RandomSource(5))
+        algo = make_algo(0.05, 5, len(votes), seed=6)
+        algo.consume(votes)
+        assert algo.report().approximate_winner() == 2
+
+    def test_list_variant_reports_heavy_candidates(self):
+        """The List variant returns candidates above phi*m*n and omits light ones."""
+        num_candidates = 5
+        reference = Ranking([0, 1, 2, 3, 4])
+        votes = mallows_votes(3000, num_candidates, dispersion=0.2, reference=reference,
+                              rng=RandomSource(7))
+        truth = borda_scores(votes)
+        phi = 0.6
+        algo = make_algo(0.05, num_candidates, len(votes), phi=phi, seed=8)
+        algo.consume(votes)
+        report = algo.report()
+        scale = len(votes) * num_candidates
+        for candidate, score in truth.items():
+            if score > phi * scale:
+                assert candidate in report.heavy_items
+            if score <= (phi - 0.05) * scale:
+                assert candidate not in report.heavy_items
+
+    def test_exact_when_sampling_probability_is_one(self):
+        votes = impartial_culture(100, 4, rng=RandomSource(9))
+        truth = borda_scores(votes)
+        algo = make_algo(0.2, 4, len(votes), seed=10)
+        algo.consume(votes)
+        report = algo.report()
+        for candidate in range(4):
+            assert report.scores[candidate] == pytest.approx(truth[candidate])
+
+    def test_single_candidate(self):
+        votes = [Ranking([0]) for _ in range(50)]
+        algo = make_algo(0.2, 1, 50, seed=11)
+        algo.consume(votes)
+        assert algo.report().scores[0] == 0.0
+
+
+class TestSpaceAccounting:
+    def test_counter_space_scales_linearly_in_candidates(self):
+        small = make_algo(0.1, 10, 1000, seed=12)
+        large = make_algo(0.1, 100, 1000, seed=12)
+        small.insert(Ranking(list(range(10))))
+        large.insert(Ranking(list(range(100))))
+        assert large.space_breakdown()["borda_counters"] > 5 * small.space_breakdown()["borda_counters"]
+
+    def test_space_does_not_grow_with_stream_length_beyond_loglog(self):
+        short = make_algo(0.1, 10, 10**3, seed=13)
+        long = make_algo(0.1, 10, 10**9, seed=13)
+        short.insert(Ranking(list(range(10))))
+        long.insert(Ranking(list(range(10))))
+        assert long.space_bits() <= short.space_bits() + 8

@@ -1,0 +1,122 @@
+"""Tests for the ε-Maximum algorithm (Theorem 3)."""
+
+import pytest
+
+from repro.core.maximum import EpsilonMaximum
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_maximum_stream, uniform_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies, exact_maximum
+
+
+def make_algo(epsilon, universe_size, stream_length, seed=0):
+    return EpsilonMaximum(
+        epsilon=epsilon,
+        universe_size=universe_size,
+        stream_length=stream_length,
+        rng=RandomSource(seed),
+    )
+
+
+class TestValidation:
+    def test_epsilon_range(self):
+        with pytest.raises(ValueError):
+            make_algo(0.0, 10, 100)
+        with pytest.raises(ValueError):
+            make_algo(1.0, 10, 100)
+
+    def test_universe_and_length_positive(self):
+        with pytest.raises(ValueError):
+            make_algo(0.1, 0, 100)
+        with pytest.raises(ValueError):
+            make_algo(0.1, 10, 0)
+
+    def test_out_of_universe_item(self):
+        algo = make_algo(0.1, 4, 100)
+        with pytest.raises(ValueError):
+            algo.insert(4)
+
+
+class TestMaximumEstimation:
+    def test_planted_maximum_is_found(self):
+        stream = planted_maximum_stream(
+            20000, 2000, maximum_item=17, maximum_fraction=0.3,
+            runner_up_fraction=0.15, rng=RandomSource(1),
+        )
+        truth = exact_frequencies(stream)
+        algo = make_algo(0.05, 2000, len(stream), seed=2)
+        algo.consume(stream)
+        result = algo.report()
+        assert result.item == 17
+        assert result.is_correct(truth)
+
+    def test_estimate_within_eps_m(self):
+        stream = planted_maximum_stream(
+            30000, 500, maximum_item=3, maximum_fraction=0.4, rng=RandomSource(3)
+        )
+        truth = exact_frequencies(stream)
+        algo = make_algo(0.03, 500, len(stream), seed=4)
+        algo.consume(stream)
+        result = algo.report()
+        true_max = max(truth.values())
+        assert abs(result.estimated_frequency - true_max) <= 0.03 * len(stream)
+
+    def test_zipfian_maximum(self):
+        stream = zipfian_stream(30000, 1000, skew=1.3, rng=RandomSource(5))
+        truth = exact_frequencies(stream)
+        algo = make_algo(0.05, 1000, len(stream), seed=6)
+        algo.consume(stream)
+        result = algo.report()
+        assert result.is_correct(truth)
+        assert result.item_is_near_maximum(truth)
+
+    def test_near_uniform_stream_any_item_is_near_maximum(self):
+        stream = uniform_stream(20000, 50, rng=RandomSource(7))
+        truth = exact_frequencies(stream)
+        algo = make_algo(0.1, 50, len(stream), seed=8)
+        algo.consume(stream)
+        result = algo.report()
+        assert result.is_correct(truth)
+
+    def test_empty_stream_report(self):
+        algo = make_algo(0.1, 10, 100)
+        result = algo.report()
+        assert result.estimated_frequency == 0.0
+
+    def test_single_distinct_item(self):
+        algo = make_algo(0.1, 10, 1000, seed=9)
+        algo.consume([4] * 1000)
+        result = algo.report()
+        assert result.item == 4
+        assert abs(result.estimated_frequency - 1000) <= 100
+
+
+class TestResolutionOfIITKQuestion:
+    """The algorithm answers IITK Open Question 3: additive-eps*m estimate of l_inf."""
+
+    def test_linf_estimate_across_skews(self):
+        for skew, seed in ((1.1, 10), (1.5, 11), (2.0, 12)):
+            stream = zipfian_stream(20000, 500, skew=skew, rng=RandomSource(seed))
+            truth = exact_frequencies(stream)
+            algo = make_algo(0.05, 500, len(stream), seed=seed + 100)
+            algo.consume(stream)
+            result = algo.report()
+            _, true_max = exact_maximum(stream)
+            assert abs(result.estimated_frequency - true_max) <= 0.05 * len(stream)
+
+
+class TestSpaceAccounting:
+    def test_only_one_id_is_stored(self):
+        """Theorem 3's saving over Theorem 1: one id instead of a phi^-1 table."""
+        algo = make_algo(0.05, 2**30, 10000, seed=13)
+        algo.insert(5)
+        breakdown = algo.space_breakdown()
+        assert breakdown["best_id"] == 30
+
+    def test_table_capped_by_universe(self):
+        algo = make_algo(0.001, 16, 10000, seed=14)
+        assert algo.table_capacity <= 17
+
+    def test_components(self):
+        algo = make_algo(0.05, 100, 1000, seed=15)
+        algo.insert(1)
+        assert set(algo.space_breakdown()) == {"sampler", "hash_function", "T1", "best_id"}

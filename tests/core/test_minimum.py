@@ -1,0 +1,145 @@
+"""Tests for Algorithm 3 (ε-Minimum, Theorem 4)."""
+
+import pytest
+
+from repro.core.minimum import EpsilonMinimum
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import uniform_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+def make_algo(epsilon, universe_size, stream_length, seed=0, delta=0.1):
+    return EpsilonMinimum(
+        epsilon=epsilon,
+        universe_size=universe_size,
+        stream_length=stream_length,
+        delta=delta,
+        rng=RandomSource(seed),
+    )
+
+
+class TestValidation:
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            make_algo(0.0, 10, 100)
+        with pytest.raises(ValueError):
+            make_algo(0.1, 0, 100)
+        with pytest.raises(ValueError):
+            make_algo(0.1, 10, -5)
+
+    def test_out_of_universe_item(self):
+        algo = make_algo(0.2, 5, 100)
+        with pytest.raises(ValueError):
+            algo.insert(7)
+
+
+class TestLargeUniverseShortcut:
+    def test_large_universe_returns_light_item(self):
+        """Line 14-15: with |U| >> 1/eps a random early item is almost surely light."""
+        epsilon = 0.1
+        universe = 10_000  # far above 1/((1-delta) eps) ~ 11
+        stream = zipfian_stream(5000, universe, skew=1.5, rng=RandomSource(1))
+        truth = exact_frequencies(stream)
+        correct = 0
+        for seed in range(10):
+            algo = make_algo(epsilon, universe, len(stream), seed=seed)
+            algo.consume(stream)
+            result = algo.report()
+            if result.is_correct(truth, universe_size=universe):
+                correct += 1
+        # The paper's guarantee is success probability >= 1 - delta = 0.9, but on a
+        # heavily skewed stream a handful of the first 1/((1-delta) eps) universe items
+        # are themselves heavy, so allow a bit of slack over 10 trials.
+        assert correct >= 6
+
+    def test_large_universe_uses_almost_no_space(self):
+        algo = make_algo(0.1, 10_000, 1000, seed=2)
+        algo.consume(uniform_stream(1000, 10_000, rng=RandomSource(3)))
+        assert algo.space_bits() <= 16
+
+
+class TestSmallUniverse:
+    def test_absent_item_detected(self):
+        """Line 16-17: an item that never appears is a valid (frequency-0) answer."""
+        universe = 8
+        stream = [item for item in range(7) for _ in range(500)]  # item 7 never appears
+        algo = make_algo(0.05, universe, len(stream), seed=4)
+        algo.consume(stream)
+        result = algo.report()
+        assert result.item == 7
+
+    def test_minimum_found_in_skewed_small_universe(self):
+        universe = 10
+        stream = zipfian_stream(20000, universe, skew=1.5, rng=RandomSource(5))
+        truth = exact_frequencies(stream)
+        correct = 0
+        for seed in range(8):
+            algo = make_algo(0.05, universe, len(stream), seed=seed + 10)
+            algo.consume(stream)
+            result = algo.report()
+            if result.is_correct(truth, universe_size=universe):
+                correct += 1
+        assert correct >= 6
+
+    def test_few_distinct_items_regime_is_exact_enough(self):
+        """Line 18-19: with few distinct items S2's counters give the minimum."""
+        universe = 6
+        # Build a stream over only 4 distinct items with a clear minimum.
+        stream = [0] * 4000 + [1] * 3000 + [2] * 2500 + [3] * 500
+        stream = RandomSource(6).shuffle(stream)
+        algo = make_algo(0.05, universe, len(stream), seed=7)
+        algo.consume(stream)
+        result = algo.report()
+        # Items 4 and 5 never appear -> frequency 0 answers are also correct.
+        truth = exact_frequencies(stream)
+        assert result.is_correct(truth, universe_size=universe)
+
+    def test_estimated_frequency_reasonable(self):
+        universe = 6
+        stream = [0] * 5000 + [1] * 4000 + [2] * 3000 + [3] * 2000 + [4] * 1000 + [5] * 300
+        stream = RandomSource(8).shuffle(stream)
+        truth = exact_frequencies(stream)
+        algo = make_algo(0.05, universe, len(stream), seed=9)
+        algo.consume(stream)
+        result = algo.report()
+        assert result.is_correct(truth, universe_size=universe)
+        # The reported estimate should be within eps*m of the item's true frequency.
+        assert abs(result.estimated_frequency - truth[result.item]) <= 0.1 * len(stream)
+
+
+class TestSpaceAccounting:
+    def test_small_universe_components(self):
+        algo = make_algo(0.1, 8, 1000, seed=10)
+        algo.insert(0)
+        breakdown = algo.space_breakdown()
+        assert "B1" in breakdown
+        assert "S3" in breakdown
+
+    def test_truncation_cap_bits_are_loglog(self):
+        """The S3 counters use O(log log(1/(eps delta))) bits each."""
+        algo = make_algo(0.01, 8, 10**6, seed=11)
+        from repro.primitives.space import bits_for_value
+
+        cap_bits = bits_for_value(algo.truncation_cap)
+        # log2(2 * log^7(2/(eps*delta))) is about 3 + 7*log2(log(...)) ~ 35 bits max.
+        assert cap_bits <= 40
+
+    def test_space_much_smaller_than_exact_counting_for_long_streams(self):
+        universe = 16
+        stream_length = 10**6
+        algo = make_algo(0.05, universe, stream_length, seed=12)
+        # Simulate a long stream cheaply: only insert a prefix, the space accounting
+        # depends on the declared capacities, not the items seen.
+        algo.consume([i % universe for i in range(20000)])
+        exact_bits = universe * 20  # exact counters: log2(10^6) ~ 20 bits each
+        assert algo.space_breakdown()["S3"] <= exact_bits * 4
+
+    def test_s2_abandoned_when_too_many_distinct(self):
+        epsilon = 0.05
+        universe = 18  # below 1/((1-0.1)*0.05) = 22.2 so the small-universe path runs
+        algo = make_algo(epsilon, universe, 20000, seed=13)
+        # distinct threshold = 1/(eps ln(1/eps)) ~ 6.7; feed 18 distinct items.
+        stream = uniform_stream(20000, universe, rng=RandomSource(14))
+        algo.consume(stream)
+        assert algo.s2_abandoned
+        assert algo.space_breakdown()["S2"] == 0

@@ -1,0 +1,152 @@
+"""Tests for the unknown-stream-length wrappers (Theorems 7 and 8)."""
+
+import pytest
+
+from repro.core.unknown_length import (
+    UnknownLengthHeavyHitters,
+    UnknownLengthMaximum,
+    UnknownLengthWrapper,
+    unknown_length_borda,
+    unknown_length_maximin,
+    unknown_length_minimum,
+)
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, planted_maximum_stream
+from repro.streams.truth import exact_frequencies
+from repro.voting.generators import mallows_votes
+from repro.voting.rankings import Ranking
+
+
+class TestWrapperMechanics:
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            UnknownLengthWrapper(factory=lambda m: None, epsilon=0.0)
+
+    def test_two_instances_alive(self):
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=100, rng=RandomSource(1)
+        )
+        assert len(wrapper.instances) == 2
+
+    def test_restarts_happen_as_stream_grows(self):
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.2, phi=0.45, universe_size=50, rng=RandomSource(2),
+            use_morris_counter=False,
+        )
+        initial_horizon = wrapper.instances[0][0]
+        stream = planted_heavy_hitters_stream(
+            initial_horizon * 40, 50, {1: 0.5}, rng=RandomSource(3)
+        )
+        wrapper.consume(stream)
+        assert wrapper.restarts >= 1
+
+    def test_horizons_grow_geometrically(self):
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.2, phi=0.45, universe_size=50, rng=RandomSource(4)
+        )
+        first, second = wrapper.instances[0][0], wrapper.instances[1][0]
+        assert second >= 2 * first
+
+    def test_space_breakdown_lists_instances(self):
+        wrapper = UnknownLengthMaximum(epsilon=0.2, universe_size=50, rng=RandomSource(5))
+        wrapper.insert(1)
+        breakdown = wrapper.space_breakdown()
+        assert "morris" in breakdown
+        assert sum(1 for key in breakdown if key.startswith("instance_")) == 2
+
+
+class TestUnknownLengthHeavyHitters:
+    def test_heavy_items_still_found(self):
+        universe = 200
+        stream = planted_heavy_hitters_stream(
+            60000, universe, {7: 0.35, 8: 0.2}, rng=RandomSource(6)
+        )
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=universe, rng=RandomSource(7),
+            use_morris_counter=False,
+        )
+        wrapper.consume(stream)
+        report = wrapper.report()
+        assert 7 in report
+        assert report.stream_length == len(stream)
+
+    def test_light_items_not_reported(self):
+        universe = 200
+        stream = planted_heavy_hitters_stream(
+            40000, universe, {3: 0.4}, rng=RandomSource(8)
+        )
+        truth = exact_frequencies(stream)
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=universe, rng=RandomSource(9),
+            use_morris_counter=False,
+        )
+        wrapper.consume(stream)
+        report = wrapper.report()
+        threshold = (0.3 - 0.1) * len(stream)
+        for item in report:
+            assert truth.get(item, 0) > threshold * 0.5  # generous: instance saw a suffix
+
+    def test_morris_counter_variant_runs(self):
+        universe = 100
+        stream = planted_heavy_hitters_stream(
+            30000, universe, {5: 0.4}, rng=RandomSource(10)
+        )
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.3, universe_size=universe, rng=RandomSource(11)
+        )
+        wrapper.consume(stream)
+        assert 5 in wrapper.report()
+
+
+class TestUnknownLengthMaximum:
+    def test_planted_maximum_found(self):
+        universe = 100
+        stream = planted_maximum_stream(
+            50000, universe, maximum_item=9, maximum_fraction=0.4, rng=RandomSource(12)
+        )
+        truth = exact_frequencies(stream)
+        wrapper = UnknownLengthMaximum(
+            epsilon=0.1, universe_size=universe, rng=RandomSource(13),
+            use_morris_counter=False,
+        )
+        wrapper.consume(stream)
+        result = wrapper.report()
+        assert result.item == 9
+        assert result.stream_length == len(stream)
+
+
+class TestOtherProblems:
+    def test_unknown_length_minimum(self):
+        universe = 8
+        stream = [item for item in range(7) for _ in range(3000)]
+        stream = RandomSource(14).shuffle(stream)
+        wrapper = unknown_length_minimum(
+            epsilon=0.1, universe_size=universe, rng=RandomSource(15),
+            use_morris_counter=False,
+        )
+        wrapper.consume(stream)
+        result = wrapper.report()
+        # Item 7 never appears, so any frequency-0 answer (or near-minimum) is correct.
+        truth = exact_frequencies(stream)
+        own = truth.get(result.item, 0)
+        assert own <= min(truth.values()) + 0.2 * len(stream)
+
+    def test_unknown_length_borda(self):
+        reference = Ranking([1, 0, 2, 3])
+        votes = mallows_votes(6000, 4, dispersion=0.2, reference=reference, rng=RandomSource(16))
+        wrapper = unknown_length_borda(
+            epsilon=0.1, num_candidates=4, rng=RandomSource(17),
+            use_morris_counter=False,
+        )
+        wrapper.consume(votes)
+        assert wrapper.report().approximate_winner() == 1
+
+    def test_unknown_length_maximin(self):
+        reference = Ranking([2, 0, 1, 3])
+        votes = mallows_votes(5000, 4, dispersion=0.2, reference=reference, rng=RandomSource(18))
+        wrapper = unknown_length_maximin(
+            epsilon=0.15, num_candidates=4, rng=RandomSource(19),
+            use_morris_counter=False,
+        )
+        wrapper.consume(votes)
+        assert wrapper.report().approximate_winner() == 2

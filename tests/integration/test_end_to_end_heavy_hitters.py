@@ -1,0 +1,144 @@
+"""Integration tests: the paper's algorithms against baselines on shared workloads.
+
+These tests exercise the whole stack (stream generators -> algorithms -> reports ->
+metrics) the same way the benchmark harness does, and assert the qualitative claims of
+the paper: everyone meets the accuracy guarantee, the paper's algorithms track the
+Table 1 space shape, and the measured space scales in the right parameter.
+"""
+
+import pytest
+
+from repro.analysis.harness import run_heavy_hitter_comparison
+from repro.analysis.metrics import evaluate_heavy_hitters
+from repro.analysis.theory import scaling_exponent
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+EPSILON = 0.02
+PHI = 0.05
+UNIVERSE = 4000
+
+
+@pytest.fixture(scope="module")
+def planted_stream():
+    return planted_heavy_hitters_stream(
+        30000,
+        UNIVERSE,
+        {1: 0.18, 2: 0.11, 3: 0.07, 4: 0.052, 5: 0.02},
+        rng=RandomSource(42),
+    )
+
+
+@pytest.fixture(scope="module")
+def zipf_stream():
+    return zipfian_stream(30000, UNIVERSE, skew=1.3, rng=RandomSource(43))
+
+
+def all_algorithms(stream_length):
+    return {
+        "simple (Thm 1)": lambda: SimpleListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=stream_length, rng=RandomSource(1),
+        ),
+        "optimal (Thm 2)": lambda: OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=stream_length, rng=RandomSource(2),
+        ),
+        "misra-gries": lambda: MisraGries(epsilon=EPSILON, universe_size=UNIVERSE),
+        "space-saving": lambda: SpaceSaving(epsilon=EPSILON, universe_size=UNIVERSE),
+        "count-min": lambda: CountMinSketch(
+            epsilon=EPSILON, delta=0.05, universe_size=UNIVERSE, rng=RandomSource(3),
+        ),
+    }
+
+
+class TestAccuracyAcrossAlgorithms:
+    def test_everyone_finds_the_planted_heavy_hitters(self, planted_stream):
+        truth = exact_frequencies(planted_stream)
+        for label, factory in all_algorithms(len(planted_stream)).items():
+            algorithm = factory()
+            algorithm.consume(planted_stream)
+            report = (
+                algorithm.report(phi=PHI)
+                if label in ("misra-gries", "space-saving", "count-min")
+                else algorithm.report()
+            )
+            accuracy = evaluate_heavy_hitters(report, truth)
+            assert accuracy.recall == 1.0, label
+            assert accuracy.precision == 1.0, label
+
+    def test_paper_algorithms_meet_definition_on_zipf(self, zipf_stream):
+        truth = exact_frequencies(zipf_stream)
+        for label, factory in all_algorithms(len(zipf_stream)).items():
+            if "Thm" not in label:
+                continue
+            algorithm = factory()
+            algorithm.consume(zipf_stream)
+            assert algorithm.report().satisfies_definition(truth), label
+
+    def test_harness_comparison_rows(self, planted_stream):
+        rows = run_heavy_hitter_comparison(
+            all_algorithms(len(planted_stream)), planted_stream, phi=PHI
+        )
+        assert len(rows) == 5
+        for row in rows:
+            assert row.measurements["space_bits"] > 0
+            assert row.measurements["recall"] >= 0.99
+
+
+class TestSpaceShape:
+    def test_simple_algorithm_space_is_sublinear_in_log_universe(self):
+        """Sweeping n: Misra-Gries space grows by eps^-1 bits per doubling of n, the
+        paper's algorithm by only ~phi^-1 bits per doubling (T2) — so the gap widens."""
+        stream = planted_heavy_hitters_stream(
+            8000, 1024, {1: 0.3, 2: 0.1}, rng=RandomSource(44)
+        )
+        gaps = []
+        for log_n in (10, 20, 40):
+            universe = 2 ** log_n
+            ours = SimpleListHeavyHitters(
+                epsilon=0.01, phi=0.1, universe_size=universe,
+                stream_length=len(stream), rng=RandomSource(4),
+            )
+            theirs = MisraGries(epsilon=0.01, universe_size=universe,
+                                stream_length_hint=len(stream))
+            ours.consume(stream)
+            theirs.consume(stream)
+            gaps.append(theirs.space_bits() - ours.space_bits())
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_measured_space_scales_linearly_in_inverse_epsilon(self):
+        stream = zipfian_stream(6000, 500, skew=1.3, rng=RandomSource(45))
+        inverse_epsilons = [16, 32, 64, 128]
+        measured = []
+        for inverse_epsilon in inverse_epsilons:
+            algo = SimpleListHeavyHitters(
+                epsilon=1.0 / inverse_epsilon, phi=0.1, universe_size=500,
+                stream_length=len(stream), rng=RandomSource(5),
+            )
+            algo.consume(stream)
+            measured.append(algo.space_breakdown()["T1"])
+        exponent = scaling_exponent(inverse_epsilons, measured)
+        assert 0.7 <= exponent <= 1.3
+
+    def test_update_time_roughly_constant_per_item(self, zipf_stream):
+        """The O(1) update claim, loosely: per-item time does not blow up with eps."""
+        import time
+
+        times = []
+        for epsilon in (0.05, 0.01):
+            algo = SimpleListHeavyHitters(
+                epsilon=epsilon, phi=0.1, universe_size=UNIVERSE,
+                stream_length=len(zipf_stream), rng=RandomSource(6),
+            )
+            start = time.perf_counter()
+            algo.consume(zipf_stream)
+            times.append(time.perf_counter() - start)
+        # A 5x finer epsilon should not cost 10x the time (sampling dominates).
+        assert times[1] < 10 * times[0] + 0.5

@@ -1,0 +1,99 @@
+"""Integration tests for the voting pipeline: generators -> streaming algorithms -> winners."""
+
+import pytest
+
+from repro.core.borda import ListBorda
+from repro.core.maximin import ListMaximin
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.primitives.rng import RandomSource
+from repro.voting.elections import Election
+from repro.voting.generators import clickstream_orderings, mallows_votes, planted_borda_winner
+from repro.voting.rankings import Ranking
+from repro.streams.truth import exact_frequencies
+
+
+class TestStreamingElection:
+    """One election, all four voting-rule questions answered from a single pass each."""
+
+    @pytest.fixture(scope="class")
+    def election(self):
+        reference = Ranking([4, 2, 0, 1, 3, 5])
+        votes = mallows_votes(4000, 6, dispersion=0.35, reference=reference, rng=RandomSource(1))
+        return Election(num_candidates=6, votes=votes)
+
+    def test_streaming_borda_matches_exact_winner(self, election):
+        algo = ListBorda(
+            epsilon=0.05, num_candidates=6, stream_length=len(election), rng=RandomSource(2)
+        )
+        algo.consume(election.votes)
+        assert algo.report().approximate_winner() == election.borda_winner()
+
+    def test_streaming_maximin_matches_exact_winner(self, election):
+        algo = ListMaximin(
+            epsilon=0.05, num_candidates=6, stream_length=len(election), rng=RandomSource(3)
+        )
+        algo.consume(election.votes)
+        assert algo.report().approximate_winner() == election.maximin_winner()
+
+    def test_streaming_plurality_via_epsilon_maximum(self, election):
+        """Plurality winner = eps-Maximum over the stream of top choices (paper Section 1.2)."""
+        tops = [vote.top() for vote in election.votes]
+        algo = EpsilonMaximum(
+            epsilon=0.05, universe_size=6, stream_length=len(tops), rng=RandomSource(4)
+        )
+        algo.consume(tops)
+        result = algo.report()
+        truth = exact_frequencies(tops)
+        assert result.item_is_near_maximum(truth)
+
+    def test_streaming_veto_via_epsilon_minimum(self, election):
+        """Veto winner = eps-Minimum over the stream of bottom choices."""
+        bottoms = [vote.bottom() for vote in election.votes]
+        algo = EpsilonMinimum(
+            epsilon=0.05, universe_size=6, stream_length=len(bottoms), rng=RandomSource(5)
+        )
+        algo.consume(bottoms)
+        result = algo.report()
+        truth = exact_frequencies(bottoms)
+        veto_counts = {c: truth.get(c, 0) for c in range(6)}
+        best = min(veto_counts.values())
+        assert veto_counts[result.item] <= best + 0.1 * len(bottoms)
+
+    def test_borda_and_maximin_agree_on_strong_consensus(self, election):
+        """With a concentrated Mallows election both rules pick the reference top item."""
+        borda = ListBorda(
+            epsilon=0.05, num_candidates=6, stream_length=len(election), rng=RandomSource(6)
+        )
+        maximin = ListMaximin(
+            epsilon=0.05, num_candidates=6, stream_length=len(election), rng=RandomSource(7)
+        )
+        for vote in election.votes:
+            borda.insert(vote)
+            maximin.insert(vote)
+        assert borda.report().approximate_winner() == maximin.report().approximate_winner() == 4
+
+
+class TestClickstreamAggregation:
+    """The web-clickstream motivation from Section 1.2 of the paper."""
+
+    def test_most_popular_page_by_borda(self):
+        sessions = clickstream_orderings(3000, 8, popularity_skew=1.2, rng=RandomSource(8))
+        algo = ListBorda(
+            epsilon=0.05, num_candidates=8, stream_length=len(sessions), rng=RandomSource(9)
+        )
+        algo.consume(sessions)
+        # Page 0 has the largest Plackett-Luce weight, so it should win Borda.
+        assert algo.report().approximate_winner() == 0
+
+    def test_planted_winner_detected_by_both_rules(self):
+        votes = planted_borda_winner(3000, 7, winner=5, boost_fraction=0.65, rng=RandomSource(10))
+        borda = ListBorda(epsilon=0.05, num_candidates=7, stream_length=len(votes),
+                          rng=RandomSource(11))
+        maximin = ListMaximin(epsilon=0.08, num_candidates=7, stream_length=len(votes),
+                              rng=RandomSource(12))
+        for vote in votes:
+            borda.insert(vote)
+            maximin.insert(vote)
+        assert borda.report().approximate_winner() == 5
+        assert maximin.report().approximate_winner() == 5

@@ -1,0 +1,138 @@
+"""Tests for the Greater-Than (Theorem 14) and ε-Perm/Borda (Theorem 12) reductions."""
+
+import pytest
+
+from repro.core.borda import ListBorda
+from repro.core.maximum import EpsilonMaximum
+from repro.lowerbounds.greater_than import GreaterThanInstance, GreaterThanReduction
+from repro.lowerbounds.perm import BordaPermReduction, PermInstance
+from repro.lowerbounds.protocols import StreamingChannel
+from repro.primitives.rng import RandomSource
+from repro.voting.elections import Election
+from repro.voting.scores import borda_scores
+
+
+class TestGreaterThanInstance:
+    def test_answer(self):
+        assert GreaterThanInstance(x=5, y=3).answer is True
+        assert GreaterThanInstance(x=2, y=7).answer is False
+
+    def test_equal_exponents_rejected(self):
+        with pytest.raises(ValueError):
+            GreaterThanInstance(x=3, y=3)
+
+    def test_random_instance(self):
+        instance = GreaterThanInstance.random(10, rng=RandomSource(1))
+        assert instance.x != instance.y
+        assert 0 <= instance.x <= 10
+
+
+class TestGreaterThanReduction:
+    def test_epsilon_constraint(self):
+        with pytest.raises(ValueError):
+            GreaterThanReduction(epsilon=0.3)
+
+    def test_stream_lengths_are_exponential(self):
+        reduction = GreaterThanReduction(epsilon=0.2)
+        instance = GreaterThanInstance(x=6, y=3)
+        assert len(reduction.alice_stream(instance)) == 64
+        assert len(reduction.bob_stream(instance)) == 8
+
+    def test_reduction_decodes_with_streaming_maximum(self):
+        """Any eps-Maximum algorithm over {0, 1} decides Greater-Than."""
+        reduction = GreaterThanReduction(epsilon=0.2)
+        correct = 0
+        cases = [
+            GreaterThanInstance(x=8, y=4),
+            GreaterThanInstance(x=4, y=9),
+            GreaterThanInstance(x=11, y=6),
+            GreaterThanInstance(x=3, y=10),
+        ]
+        for index, instance in enumerate(cases):
+
+            def factory(universe_size, stream_length):
+                return EpsilonMaximum(
+                    epsilon=0.2, universe_size=universe_size,
+                    stream_length=stream_length, rng=RandomSource(500 + index),
+                )
+
+            run = reduction.run(instance, factory)
+            correct += run.correct
+            # The message is the algorithm state; it must be at least a few bits.
+            assert run.message_bits >= 1
+        assert correct == len(cases)
+
+
+class TestPermInstance:
+    def test_block_structure(self):
+        instance = PermInstance(permutation=(3, 1, 0, 2), num_blocks=2, query_item=0)
+        assert instance.block_size == 2
+        assert instance.block_of(3) == 0
+        assert instance.block_of(0) == 1
+        assert instance.answer == 1
+
+    def test_random_instance(self):
+        instance = PermInstance.random(8, 4, rng=RandomSource(2))
+        assert sorted(instance.permutation) == list(range(8))
+        assert 0 <= instance.answer < 4
+
+    def test_block_count_must_divide(self):
+        with pytest.raises(ValueError):
+            PermInstance.random(7, 3)
+
+    def test_communication_lower_bound(self):
+        instance = PermInstance.random(8, 4, rng=RandomSource(3))
+        assert instance.communication_lower_bound_bits() == pytest.approx(16.0)
+
+
+class TestBordaPermReduction:
+    def test_alice_vote_is_valid_ranking(self):
+        instance = PermInstance.random(8, 4, rng=RandomSource(4))
+        reduction = BordaPermReduction(instance)
+        vote = reduction.alice_vote()
+        assert vote.num_candidates == 3 * 8
+        assert sorted(vote.order) == list(range(24))
+
+    def test_bob_votes_are_valid(self):
+        instance = PermInstance.random(6, 3, rng=RandomSource(5))
+        reduction = BordaPermReduction(instance, bob_vote_pairs=2)
+        votes = reduction.bob_votes()
+        assert len(votes) == 4
+        for vote in votes:
+            assert vote.top() == instance.query_item
+            assert sorted(vote.order) == list(range(18))
+
+    def test_exact_borda_scores_decode_the_block(self):
+        """With exact Borda scores, the query item's score pins down its block."""
+        for seed in range(4):
+            instance = PermInstance.random(8, 4, rng=RandomSource(10 + seed))
+            reduction = BordaPermReduction(instance)
+            election = Election(
+                num_candidates=reduction.num_candidates,
+                votes=[reduction.alice_vote()] + reduction.bob_votes(),
+            )
+            scores = election.borda_scores()
+            decoded = reduction.decode_block(scores[instance.query_item])
+            assert decoded == instance.answer, seed
+
+    def test_expected_score_ranges_are_disjoint_across_blocks(self):
+        instance = PermInstance.random(12, 4, rng=RandomSource(20))
+        reduction = BordaPermReduction(instance)
+        ranges = [reduction.expected_score_for_block(b) for b in range(4)]
+        for (low_a, high_a), (low_b, high_b) in zip(ranges, ranges[1:]):
+            assert high_b < low_a  # later blocks have strictly lower scores
+
+    def test_reduction_with_streaming_borda(self):
+        """ListBorda (with small enough epsilon) carries enough information to decode."""
+        instance = PermInstance.random(8, 4, rng=RandomSource(30))
+        reduction = BordaPermReduction(instance)
+
+        def factory(num_candidates, stream_length):
+            return ListBorda(
+                epsilon=0.02, num_candidates=num_candidates,
+                stream_length=stream_length, rng=RandomSource(31),
+            )
+
+        run = reduction.run(factory, repetitions=40)
+        assert run.correct
+        assert run.message_bits > 0

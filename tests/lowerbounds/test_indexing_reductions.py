@@ -1,0 +1,200 @@
+"""Tests for the Indexing reductions (Theorems 9, 10, 11)."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.lowerbounds.indexing import (
+    HeavyHittersIndexingReduction,
+    IndexingInstance,
+    MaximumIndexingReduction,
+    MinimumIndexingReduction,
+)
+from repro.primitives.rng import RandomSource
+
+
+class TestIndexingInstance:
+    def test_random_instance_shape(self):
+        instance = IndexingInstance.random(4, 10, rng=RandomSource(1))
+        assert instance.length == 10
+        assert all(0 <= value < 4 for value in instance.values)
+        assert 0 <= instance.query_index < 10
+
+    def test_answer(self):
+        instance = IndexingInstance(alphabet_size=3, values=(2, 0, 1), query_index=2)
+        assert instance.answer == 1
+
+    def test_communication_lower_bound(self):
+        instance = IndexingInstance(alphabet_size=4, values=(0,) * 8, query_index=0)
+        assert instance.communication_lower_bound_bits() == pytest.approx(16.0)
+
+
+class TestHeavyHittersReduction:
+    def setup_method(self):
+        self.reduction = HeavyHittersIndexingReduction(epsilon=0.1, phi=0.25, stream_length=4000)
+
+    def test_construction_constraints(self):
+        with pytest.raises(ValueError):
+            HeavyHittersIndexingReduction(epsilon=0.2, phi=0.3, stream_length=100)
+
+    def test_pair_encoding_roundtrip(self):
+        for row in range(self.reduction.num_rows):
+            for column in range(self.reduction.num_columns):
+                item = self.reduction.encode_pair(row, column)
+                assert self.reduction.decode_pair(item) == (row, column)
+                assert 0 <= item < self.reduction.universe_size
+
+    def test_planted_item_is_phi_heavy(self):
+        """The gadget really makes (x_i, i) the only phi-heavy item."""
+        instance = self.reduction.random_instance(rng=RandomSource(2))
+        alice = self.reduction.alice_stream(instance)
+        bob = self.reduction.bob_stream(instance)
+        stream = alice + bob
+        target = self.reduction.encode_pair(instance.answer, instance.query_index)
+        count = stream.count(target)
+        assert count > 0.25 * len(stream)
+        # Every other item stays strictly below the target's frequency.
+        from collections import Counter
+
+        counts = Counter(stream)
+        for item, c in counts.items():
+            if item != target:
+                assert c < count
+
+    def test_reduction_decodes_with_exact_oracle(self):
+        """With an exact heavy-hitters oracle the decoding is always right."""
+        for seed in range(5):
+            instance = self.reduction.random_instance(rng=RandomSource(seed))
+
+            def factory(universe_size, stream_length):
+                counter = ExactCounter(universe_size)
+                original_report = counter.report
+                counter.report = lambda: original_report(epsilon=0.1, phi=0.24)
+                return counter
+
+            run = self.reduction.run(instance, factory)
+            assert run.correct, seed
+
+    def test_reduction_decodes_with_streaming_algorithm(self):
+        """The real thing: Algorithm 1 as the message carrier decodes the index."""
+        correct = 0
+        trials = 5
+        for seed in range(trials):
+            instance = self.reduction.random_instance(rng=RandomSource(100 + seed))
+
+            def factory(universe_size, stream_length):
+                return SimpleListHeavyHitters(
+                    epsilon=0.1, phi=0.25, universe_size=universe_size,
+                    stream_length=stream_length, rng=RandomSource(200 + seed),
+                )
+
+            run = self.reduction.run(instance, factory)
+            correct += run.correct
+            assert run.message_bits > 0
+        assert correct >= trials - 1
+
+
+class TestMaximumReduction:
+    def test_reduction_with_exact_oracle(self):
+        reduction = MaximumIndexingReduction(epsilon=0.2, stream_length=2000)
+        for seed in range(5):
+            instance = reduction.random_instance(rng=RandomSource(seed))
+
+            def factory(universe_size, stream_length):
+                counter = ExactCounter(universe_size)
+
+                class _MaxReport:
+                    def __init__(self, counter):
+                        self.counter = counter
+
+                    def insert(self, item):
+                        self.counter.insert(item)
+
+                    def space_bits(self):
+                        return self.counter.space_bits()
+
+                    def report(self):
+                        from repro.core.results import MaximumResult
+
+                        item, count = self.counter.most_common(1)[0]
+                        return MaximumResult(
+                            item=item, estimated_frequency=float(count),
+                            stream_length=self.counter.items_processed, epsilon=0.2,
+                        )
+
+                return _MaxReport(counter)
+
+            run = reduction.run(instance, factory)
+            assert run.correct
+
+    def test_reduction_with_streaming_maximum(self):
+        reduction = MaximumIndexingReduction(epsilon=0.25, stream_length=4000)
+        correct = 0
+        trials = 4
+        for seed in range(trials):
+            instance = reduction.random_instance(rng=RandomSource(300 + seed))
+
+            def factory(universe_size, stream_length):
+                return EpsilonMaximum(
+                    epsilon=0.05, universe_size=universe_size,
+                    stream_length=stream_length, rng=RandomSource(400 + seed),
+                )
+
+            run = reduction.run(instance, factory)
+            correct += run.correct
+        assert correct >= trials - 1
+
+
+class TestMinimumReduction:
+    def test_stream_construction(self):
+        reduction = MinimumIndexingReduction(epsilon=0.5)
+        instance = IndexingInstance(alphabet_size=2, values=(1, 0, 1, 0, 1, 0, 1, 0, 1, 0),
+                                    query_index=1)
+        alice = reduction.alice_stream(instance)
+        bob = reduction.bob_stream(instance)
+        # Alice inserts 2 copies per set bit; Bob 2 copies per non-query position + 1 reserve.
+        assert len(alice) == 2 * sum(instance.values)
+        assert len(bob) == 2 * (reduction.length - 1) + 1
+
+    def test_reduction_with_exact_minimum(self):
+        reduction = MinimumIndexingReduction(epsilon=0.3)
+        for seed in range(6):
+            instance = reduction.random_instance(rng=RandomSource(seed))
+
+            def factory(universe_size, stream_length):
+                counter = ExactCounter(universe_size)
+
+                class _MinReport:
+                    def __init__(self, counter):
+                        self.counter = counter
+
+                    def insert(self, item):
+                        self.counter.insert(item)
+
+                    def space_bits(self):
+                        return self.counter.space_bits()
+
+                    def report(self):
+                        from repro.core.results import MinimumResult
+
+                        counts = self.counter.frequencies()
+                        candidates = {
+                            item: counts.get(item, 0) for item in range(universe_size)
+                        }
+                        item = min(candidates, key=lambda key: (candidates[key], key))
+                        return MinimumResult(
+                            item=item, estimated_frequency=float(candidates[item]),
+                            stream_length=self.counter.items_processed, epsilon=0.3,
+                        )
+
+                return _MinReport(counter)
+
+            run = reduction.run(instance, factory)
+            assert run.correct, seed
+
+    def test_information_lower_bound_scales_with_inverse_epsilon(self):
+        fine = MinimumIndexingReduction(epsilon=0.01)
+        coarse = MinimumIndexingReduction(epsilon=0.1)
+        assert fine.length > coarse.length

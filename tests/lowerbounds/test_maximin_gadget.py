@@ -1,0 +1,101 @@
+"""Tests for the Theorem 13 gadget (Indexing -> eps-Maximin via Hamming distances)."""
+
+import pytest
+
+from repro.core.maximin import ListMaximin
+from repro.lowerbounds.maximin_gadget import MaximinGadgetInstance, MaximinIndexingReduction
+from repro.primitives.rng import RandomSource
+from repro.voting.elections import Election
+from repro.voting.scores import maximin_scores
+
+
+class TestGadgetInstance:
+    def test_random_instance_shape(self):
+        instance = MaximinGadgetInstance.random(6, 16, rng=RandomSource(1))
+        assert instance.num_candidates == 6
+        assert instance.num_columns == 16
+        assert instance.hidden_bit in (0, 1)
+        assert all(value in (0, 1) for row in instance.matrix for value in row)
+
+    def test_hamming_distance_encodes_the_bit(self):
+        for seed in range(8):
+            instance = MaximinGadgetInstance.random(4, 36, rng=RandomSource(seed))
+            midpoint = instance.num_columns / 2
+            distance = instance.hamming_distance()
+            if instance.hidden_bit == 1:
+                assert distance > midpoint
+            else:
+                assert distance < midpoint
+
+    def test_information_lower_bound(self):
+        instance = MaximinGadgetInstance.random(5, 25, rng=RandomSource(2))
+        assert instance.information_lower_bound_bits() == 125.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaximinGadgetInstance.random(1, 16)
+        with pytest.raises(ValueError):
+            MaximinGadgetInstance.random(4, 2)
+
+
+class TestReductionConstruction:
+    def test_votes_are_valid_rankings(self):
+        instance = MaximinGadgetInstance.random(4, 16, rng=RandomSource(3))
+        reduction = MaximinIndexingReduction(instance)
+        for vote in reduction.alice_votes() + reduction.bob_votes():
+            assert sorted(vote.order) == list(range(8))
+
+    def test_alice_votes_respect_matrix(self):
+        instance = MaximinGadgetInstance.random(4, 16, rng=RandomSource(4))
+        reduction = MaximinIndexingReduction(instance)
+        votes = reduction.alice_votes()
+        for column, vote in enumerate(votes):
+            for row in range(instance.num_candidates):
+                complement = instance.num_candidates + row
+                if instance.matrix[row][column] == 1:
+                    assert vote.prefers(row, complement)
+                else:
+                    assert vote.prefers(complement, row)
+
+    def test_exact_maximin_score_matches_identity(self):
+        """The algebraic core of Theorem 13: j's maximin score (after Bob's votes) equals
+        the number of Alice columns with P_j = 1, P_i = 0."""
+        for seed in range(5):
+            instance = MaximinGadgetInstance.random(4, 20, rng=RandomSource(10 + seed))
+            reduction = MaximinIndexingReduction(instance)
+            election = Election(
+                num_candidates=reduction.num_election_candidates,
+                votes=reduction.alice_votes() + reduction.bob_votes(),
+            )
+            scores = election.maximin_scores()
+            assert scores[instance.row_j] == reduction.expected_j_beats_i_count()
+
+    def test_exact_scores_decode_the_bit(self):
+        for seed in range(6):
+            instance = MaximinGadgetInstance.random(4, 36, rng=RandomSource(20 + seed))
+            reduction = MaximinIndexingReduction(instance)
+            scores = maximin_scores(reduction.alice_votes() + reduction.bob_votes())
+            decoded = reduction.decode_bit(float(scores[instance.row_j]))
+            assert decoded == instance.hidden_bit, seed
+
+
+class TestReductionWithStreamingAlgorithm:
+    def test_streaming_maximin_decodes(self):
+        """ListMaximin with eps below the gap/columns ratio carries enough information."""
+        correct = 0
+        trials = 4
+        for seed in range(trials):
+            instance = MaximinGadgetInstance.random(4, 64, rng=RandomSource(30 + seed))
+            reduction = MaximinIndexingReduction(instance)
+
+            def factory(num_candidates, stream_length, s=seed):
+                return ListMaximin(
+                    epsilon=0.02, num_candidates=num_candidates,
+                    stream_length=stream_length, rng=RandomSource(40 + s),
+                )
+
+            run = reduction.run(factory)
+            correct += run.correct
+            assert run.message_bits > 0
+            assert run.metadata["hamming_distance"] == instance.hamming_distance()
+        assert correct >= trials - 1

@@ -1,0 +1,63 @@
+"""Tests for the one-way protocol simulation framework (repro.lowerbounds.protocols)."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.lowerbounds.protocols import OneWayProtocolRun, StreamingChannel
+
+
+class TestStreamingChannel:
+    def test_phases_feed_the_algorithm_in_order(self):
+        counter = ExactCounter(universe_size=4)
+        channel = StreamingChannel(counter)
+        channel.alice_phase([0, 0, 1])
+        channel.bob_phase([2, 2, 2, 3])
+        assert counter.frequencies() == {0: 2, 1: 1, 2: 3, 3: 1}
+        assert channel.alice_items == 3
+        assert channel.bob_items == 4
+
+    def test_message_bits_snapshot_taken_at_handoff(self):
+        """The message size is the state *at the hand-off*, not at the end."""
+        counter = ExactCounter(universe_size=100)
+        channel = StreamingChannel(counter)
+        channel.alice_phase([1])
+        at_handoff = channel.message_bits()
+        channel.bob_phase(list(range(50)))
+        assert channel.message_bits() == at_handoff
+        assert counter.space_bits() > at_handoff
+
+    def test_bob_before_alice_rejected(self):
+        channel = StreamingChannel(ExactCounter(universe_size=4))
+        with pytest.raises(RuntimeError):
+            channel.bob_phase([1])
+
+    def test_message_bits_before_handoff_rejected(self):
+        channel = StreamingChannel(ExactCounter(universe_size=4))
+        with pytest.raises(RuntimeError):
+            channel.message_bits()
+
+    def test_report_delegates_to_algorithm(self):
+        counter = ExactCounter(universe_size=4)
+        channel = StreamingChannel(counter)
+        channel.alice_phase([1, 1, 1, 0])
+        channel.bob_phase([])
+        report = channel.report(phi=0.5) if False else counter.report(phi=0.5)
+        assert list(report.items) == [1]
+
+
+class TestOneWayProtocolRun:
+    def test_correct_flag(self):
+        run = OneWayProtocolRun(
+            decoded=3, expected=3, message_bits=10, information_lower_bound_bits=2.0,
+        )
+        assert run.correct
+        wrong = OneWayProtocolRun(
+            decoded=2, expected=3, message_bits=10, information_lower_bound_bits=2.0,
+        )
+        assert not wrong.correct
+
+    def test_metadata_default(self):
+        run = OneWayProtocolRun(
+            decoded=True, expected=True, message_bits=1, information_lower_bound_bits=1.0,
+        )
+        assert run.metadata == {}

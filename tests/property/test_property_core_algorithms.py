@@ -1,0 +1,162 @@
+"""Property-based tests for the paper's core algorithms.
+
+Hypothesis drives the *workload* (planted frequency profiles, universe sizes, seeds) and
+the tests assert the guarantees of Definitions 1, 4 and 5 hold on every generated
+instance.  Streams are kept small so the whole suite stays fast; the algorithms' sampling
+probabilities saturate at 1 on such streams, which makes the guarantees deterministic up
+to hash collisions — exactly the regime where a property test can demand they always
+hold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.maximum import EpsilonMaximum
+from repro.core.minimum import EpsilonMinimum
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream
+from repro.streams.truth import exact_frequencies
+
+
+@st.composite
+def planted_profiles(draw):
+    """A planted heavy-hitter profile: (universe, heavy fractions, seed)."""
+    universe = draw(st.integers(min_value=50, max_value=400))
+    num_heavy = draw(st.integers(min_value=1, max_value=4))
+    fractions = draw(
+        st.lists(
+            st.floats(min_value=0.08, max_value=0.25),
+            min_size=num_heavy,
+            max_size=num_heavy,
+        ).filter(lambda fs: sum(fs) <= 0.8)
+    )
+    heavy_items = {index * 3 + 1: fraction for index, fraction in enumerate(fractions)}
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return universe, heavy_items, seed
+
+
+class TestHeavyHittersProperties:
+    @given(planted_profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_definition_one_holds_on_planted_streams(self, profile):
+        universe, heavy_items, seed = profile
+        stream = planted_heavy_hitters_stream(
+            6000, universe, heavy_items, rng=RandomSource(seed)
+        )
+        truth = exact_frequencies(stream)
+        algo = SimpleListHeavyHitters(
+            epsilon=0.04, phi=0.07, universe_size=universe,
+            stream_length=len(stream), rng=RandomSource(seed + 1),
+        )
+        algo.consume(stream)
+        report = algo.report()
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)
+        assert report.max_frequency_error(truth) <= 0.04 * len(stream)
+
+    @given(planted_profiles())
+    @settings(max_examples=20, deadline=None)
+    def test_report_never_exceeds_phi_budget(self, profile):
+        """At most ~1/(phi - eps) items can be reported, whatever the stream."""
+        universe, heavy_items, seed = profile
+        stream = planted_heavy_hitters_stream(
+            4000, universe, heavy_items, rng=RandomSource(seed)
+        )
+        epsilon, phi = 0.04, 0.07
+        algo = SimpleListHeavyHitters(
+            epsilon=epsilon, phi=phi, universe_size=universe,
+            stream_length=len(stream), rng=RandomSource(seed + 2),
+        )
+        algo.consume(stream)
+        report = algo.report()
+        assert len(report) <= 1.0 / (phi - epsilon) + 2
+
+    @given(planted_profiles())
+    @settings(max_examples=20, deadline=None)
+    def test_space_accounting_is_stable_over_the_run(self, profile):
+        """The declared space never depends on which items happened to arrive."""
+        universe, heavy_items, seed = profile
+        stream = planted_heavy_hitters_stream(
+            3000, universe, heavy_items, rng=RandomSource(seed)
+        )
+        algo = SimpleListHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=universe,
+            stream_length=len(stream), rng=RandomSource(seed + 3),
+        )
+        algo.insert(stream[0])
+        after_one = algo.space_bits()
+        algo.consume(stream[1:])
+        assert algo.space_bits() == after_one
+
+
+class TestMaximumProperties:
+    @given(planted_profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_estimate_within_eps_of_true_maximum(self, profile):
+        universe, heavy_items, seed = profile
+        stream = planted_heavy_hitters_stream(
+            5000, universe, heavy_items, rng=RandomSource(seed)
+        )
+        truth = exact_frequencies(stream)
+        epsilon = 0.05
+        algo = EpsilonMaximum(
+            epsilon=epsilon, universe_size=universe, stream_length=len(stream),
+            rng=RandomSource(seed + 4),
+        )
+        algo.consume(stream)
+        result = algo.report()
+        assert result.is_correct(truth)
+
+    @given(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_stream_is_always_identified(self, item, copies):
+        universe = 32
+        algo = EpsilonMaximum(
+            epsilon=0.2, universe_size=universe, stream_length=copies,
+            rng=RandomSource(item),
+        )
+        algo.consume([item] * copies)
+        result = algo.report()
+        assert result.item == item
+        assert abs(result.estimated_frequency - copies) <= 0.5 * copies + 1
+
+
+class TestMinimumProperties:
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_absent_item_regime(self, universe, seed):
+        """If some universe item never appears, the answer's true frequency must be
+        within eps*m of zero."""
+        rng = RandomSource(seed)
+        present = list(range(universe - 1))  # the last item never appears
+        stream = [present[rng.choice_index(len(present))] for _ in range(3000)]
+        truth = exact_frequencies(stream)
+        algo = EpsilonMinimum(
+            epsilon=0.1, universe_size=universe, stream_length=len(stream),
+            rng=RandomSource(seed + 1),
+        )
+        algo.consume(stream)
+        result = algo.report()
+        assert truth.get(result.item, 0) <= 0.1 * len(stream)
+
+    @given(st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_strongly_separated_minimum_is_found(self, seed):
+        """One item is 100x rarer than the rest; the report must not name a frequent item."""
+        universe = 8
+        stream = []
+        for item in range(universe - 1):
+            stream.extend([item] * 2000)
+        stream.extend([universe - 1] * 20)
+        stream = RandomSource(seed).shuffle(stream)
+        truth = exact_frequencies(stream)
+        algo = EpsilonMinimum(
+            epsilon=0.05, universe_size=universe, stream_length=len(stream),
+            rng=RandomSource(seed + 7),
+        )
+        algo.consume(stream)
+        result = algo.report()
+        assert result.is_correct(truth, universe_size=universe)

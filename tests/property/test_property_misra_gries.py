@@ -1,0 +1,66 @@
+"""Property-based tests for the Misra-Gries table (the substrate both the baseline and
+the paper's algorithms rely on)."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.misra_gries import MisraGriesTable
+
+streams = st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=400)
+capacities = st.integers(min_value=1, max_value=20)
+
+
+class TestMisraGriesInvariants:
+    @given(streams, capacities)
+    @settings(max_examples=100)
+    def test_never_overestimates(self, stream, capacity):
+        table = MisraGriesTable(capacity)
+        truth = Counter()
+        for item in stream:
+            table.update(item)
+            truth[item] += 1
+        for item in set(stream):
+            assert table.get(item) <= truth[item]
+
+    @given(streams, capacities)
+    @settings(max_examples=100)
+    def test_undercount_bounded_by_m_over_k(self, stream, capacity):
+        table = MisraGriesTable(capacity)
+        truth = Counter()
+        for item in stream:
+            table.update(item)
+            truth[item] += 1
+        bound = len(stream) / capacity
+        for item in set(stream):
+            assert table.get(item) >= truth[item] - bound - 1e-9
+
+    @given(streams, capacities)
+    @settings(max_examples=100)
+    def test_capacity_never_exceeded(self, stream, capacity):
+        table = MisraGriesTable(capacity)
+        for item in stream:
+            table.update(item)
+            assert len(table) <= capacity
+
+    @given(streams, capacities)
+    @settings(max_examples=100)
+    def test_total_stored_counts_never_exceed_stream_length(self, stream, capacity):
+        table = MisraGriesTable(capacity)
+        for item in stream:
+            table.update(item)
+        assert sum(table.counters.values()) <= len(stream)
+
+    @given(streams, capacities)
+    @settings(max_examples=60)
+    def test_majority_item_survives(self, stream, capacity):
+        """Any item with frequency > m / (capacity + 1) must still be in the table."""
+        table = MisraGriesTable(capacity)
+        truth = Counter()
+        for item in stream:
+            table.update(item)
+            truth[item] += 1
+        threshold = len(stream) / (capacity + 1)
+        for item, count in truth.items():
+            if count > threshold:
+                assert item in table

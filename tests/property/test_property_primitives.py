@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for the primitive substrates."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.primitives.hashing import UniversalHashFamily, next_prime
+from repro.primitives.rng import RandomSource
+from repro.primitives.sampling import CoinFlipSampler, round_down_to_power_of_two_probability
+from repro.primitives.space import SpaceMeter, bits_for_range, bits_for_value
+
+
+class TestSpaceProperties:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_bits_for_value_sufficient(self, value):
+        """2^bits is always enough to represent the value."""
+        bits = bits_for_value(value)
+        assert 2 ** bits > value
+        assert bits >= 1
+
+    @given(st.integers(min_value=0, max_value=10**9), st.integers(min_value=0, max_value=10**9))
+    def test_bits_for_value_monotone(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert bits_for_value(low) <= bits_for_value(high)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bits_for_range_covers_all_indices(self, count):
+        assert 2 ** bits_for_range(count) >= count
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(min_value=0, max_value=10**6), max_size=8))
+    def test_space_meter_total_is_sum(self, components):
+        meter = SpaceMeter()
+        for name, bits in components.items():
+            meter.set_component(name, bits)
+        assert meter.total_bits() == sum(components.values())
+        assert meter.peak_bits() >= meter.total_bits()
+
+
+class TestHashingProperties:
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_next_prime_is_at_least_input(self, value):
+        p = next_prime(value)
+        assert p >= value
+        # No divisor below sqrt(p).
+        assert all(p % d != 0 for d in range(2, min(int(math.isqrt(p)) + 1, 1000)))
+
+    @given(
+        st.integers(min_value=2, max_value=10**5),
+        st.integers(min_value=2, max_value=1000),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=50)
+    def test_hash_output_always_in_range(self, universe, range_size, seed):
+        family = UniversalHashFamily(universe, range_size, rng=RandomSource(seed))
+        h = family.draw()
+        for item in range(0, universe, max(1, universe // 13)):
+            assert 0 <= h(item) < range_size
+
+
+class TestSamplingProperties:
+    @given(st.floats(min_value=1e-9, max_value=1.0, allow_nan=False))
+    def test_power_of_two_rounding_is_below_input(self, probability):
+        rounded = round_down_to_power_of_two_probability(probability)
+        assert rounded <= probability + 1e-12
+        assert rounded > 0
+        # 1/rounded is a power of two.
+        inverse = 1.0 / rounded
+        assert abs(inverse - 2 ** round(math.log2(inverse))) < 1e-6
+
+    @given(st.floats(min_value=1e-6, max_value=1.0), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=40)
+    def test_coin_flip_sampler_space_is_loglog(self, probability, seed):
+        sampler = CoinFlipSampler(probability, rng=RandomSource(seed))
+        # num_coins = log2(1/p); the state is just that number.
+        assert sampler.space_bits() <= max(1, math.ceil(math.log2(max(2, sampler.num_coins + 1)))) + 1

@@ -1,0 +1,95 @@
+"""Property-based tests for the report predicates and the exact-counter oracle."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exact import ExactCounter
+from repro.core.results import HeavyHittersReport
+
+streams = st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=300)
+
+
+class TestExactCounterAsOracle:
+    @given(streams)
+    @settings(max_examples=80)
+    def test_exact_report_always_satisfies_definition(self, stream):
+        """The exact counter's report satisfies Definition 1 for any (eps, phi)."""
+        counter = ExactCounter(universe_size=16)
+        for item in stream:
+            counter.insert(item)
+        truth = counter.frequencies()
+        report = counter.report(epsilon=0.1, phi=0.3)
+        assert report.satisfies_definition(truth)
+
+    @given(streams, st.floats(min_value=0.05, max_value=0.9))
+    @settings(max_examples=80)
+    def test_heavy_hitter_count_bounded_by_inverse_phi(self, stream, phi):
+        counter = ExactCounter(universe_size=16)
+        for item in stream:
+            counter.insert(item)
+        heavy = counter.heavy_hitters(phi)
+        assert len(heavy) <= 1.0 / phi
+
+    @given(streams)
+    @settings(max_examples=80)
+    def test_frequencies_sum_to_stream_length(self, stream):
+        counter = ExactCounter(universe_size=16)
+        for item in stream:
+            counter.insert(item)
+        assert sum(counter.frequencies().values()) == len(stream)
+        assert counter.frequencies() == dict(Counter(stream))
+
+
+class TestReportPredicateConsistency:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=1, max_value=100),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=80)
+    def test_truthful_report_satisfies_definition(self, truth):
+        """A report that returns exactly the heavy items with exact counts always passes."""
+        stream_length = sum(truth.values())
+        epsilon, phi = 0.1, 0.3
+        items = {
+            item: float(count)
+            for item, count in truth.items()
+            if count > (phi - epsilon / 2) * stream_length
+        }
+        report = HeavyHittersReport(
+            items=items, stream_length=stream_length, epsilon=epsilon, phi=phi
+        )
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)
+        assert report.max_frequency_error(truth) == 0.0
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=10),
+            st.integers(min_value=1, max_value=100),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.0, max_value=0.2),
+    )
+    @settings(max_examples=80)
+    def test_definition_is_monotone_in_error(self, truth, noise_fraction):
+        """If estimates within eps/2 of truth are reported above the midpoint threshold,
+        the definition holds; this mirrors how the algorithms pick their thresholds."""
+        stream_length = sum(truth.values())
+        epsilon, phi = 0.4, 0.6
+        noise = noise_fraction * epsilon / 2 * stream_length
+        items = {}
+        for item, count in truth.items():
+            estimate = count + noise
+            if estimate > (phi - epsilon / 2) * stream_length:
+                items[item] = estimate
+        report = HeavyHittersReport(
+            items=items, stream_length=stream_length, epsilon=epsilon, phi=phi
+        )
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)

@@ -1,0 +1,105 @@
+"""Property-based tests for rankings and the exact scoring rules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.voting.rankings import Ranking, kendall_tau_distance
+from repro.voting.scores import (
+    borda_scores,
+    maximin_scores,
+    pairwise_defeats,
+    plurality_scores,
+    veto_scores,
+)
+
+
+@st.composite
+def rankings(draw, min_candidates=1, max_candidates=8):
+    n = draw(st.integers(min_value=min_candidates, max_value=max_candidates))
+    return Ranking(draw(st.permutations(list(range(n)))))
+
+
+@st.composite
+def elections(draw, min_votes=1, max_votes=20, min_candidates=2, max_candidates=6):
+    n = draw(st.integers(min_value=min_candidates, max_value=max_candidates))
+    num_votes = draw(st.integers(min_value=min_votes, max_value=max_votes))
+    votes = [
+        Ranking(draw(st.permutations(list(range(n))))) for _ in range(num_votes)
+    ]
+    return votes
+
+
+class TestRankingProperties:
+    @given(rankings())
+    def test_positions_are_a_bijection(self, ranking):
+        positions = [ranking.position_of(c) for c in range(ranking.num_candidates)]
+        assert sorted(positions) == list(range(ranking.num_candidates))
+
+    @given(rankings())
+    def test_borda_contributions_sum_to_pairs(self, ranking):
+        n = ranking.num_candidates
+        total = sum(ranking.candidates_beaten_by(c) for c in range(n))
+        assert total == n * (n - 1) // 2
+
+    @given(rankings())
+    def test_reverse_is_involution(self, ranking):
+        assert ranking.reversed().reversed() == ranking
+
+    @given(rankings(min_candidates=2))
+    def test_kendall_distance_to_reverse_is_maximal(self, ranking):
+        n = ranking.num_candidates
+        assert kendall_tau_distance(ranking, ranking.reversed()) == n * (n - 1) // 2
+
+
+class TestScoreProperties:
+    @given(elections())
+    @settings(max_examples=60)
+    def test_borda_total_is_fixed(self, votes):
+        n = votes[0].num_candidates
+        scores = borda_scores(votes)
+        assert sum(scores.values()) == len(votes) * n * (n - 1) // 2
+
+    @given(elections())
+    @settings(max_examples=60)
+    def test_pairwise_matrix_is_complementary(self, votes):
+        n = votes[0].num_candidates
+        matrix = pairwise_defeats(votes)
+        for i in range(n):
+            assert matrix[i][i] == 0
+            for j in range(n):
+                if i != j:
+                    assert matrix[i][j] + matrix[j][i] == len(votes)
+
+    @given(elections())
+    @settings(max_examples=60)
+    def test_borda_score_equals_pairwise_row_sum(self, votes):
+        """Borda score of i = sum over j of D(i, j) — a classic identity."""
+        n = votes[0].num_candidates
+        matrix = pairwise_defeats(votes)
+        scores = borda_scores(votes)
+        for i in range(n):
+            assert scores[i] == sum(matrix[i][j] for j in range(n) if j != i)
+
+    @given(elections())
+    @settings(max_examples=60)
+    def test_maximin_bounded_by_votes(self, votes):
+        scores = maximin_scores(votes)
+        for score in scores.values():
+            assert 0 <= score <= len(votes)
+
+    @given(elections())
+    @settings(max_examples=60)
+    def test_maximin_at_most_borda_average(self, votes):
+        """maximin(i) <= Borda(i) / (n - 1) since the min is at most the average."""
+        n = votes[0].num_candidates
+        borda = borda_scores(votes)
+        maximin = maximin_scores(votes)
+        for candidate in range(n):
+            assert maximin[candidate] <= borda[candidate] / (n - 1) + 1e-9
+
+    @given(elections())
+    @settings(max_examples=60)
+    def test_plurality_and_veto_sum_to_votes(self, votes):
+        plurality = plurality_scores(votes)
+        veto = veto_scores(votes)
+        assert sum(plurality.values()) == len(votes)
+        assert sum(veto.values()) == len(votes)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.primitives.accelerated (the Algorithm 2 counters)."""
+
+import statistics
+
+import pytest
+
+from repro.primitives.accelerated import AcceleratedCounter, EpochAcceleratedCounter
+from repro.primitives.rng import RandomSource
+
+
+class TestAcceleratedCounter:
+    def test_probability_one_is_exact(self):
+        counter = AcceleratedCounter(1.0, rng=RandomSource(1))
+        for _ in range(137):
+            counter.offer()
+        assert counter.estimate() == 137
+
+    def test_estimate_is_roughly_unbiased(self):
+        """Averaged over repetitions, count/p tracks the true count."""
+        estimates = []
+        for seed in range(40):
+            counter = AcceleratedCounter(0.1, rng=RandomSource(seed))
+            for _ in range(2000):
+                counter.offer()
+            estimates.append(counter.estimate())
+        assert abs(statistics.mean(estimates) - 2000) < 200
+
+    def test_space_grows_slower_than_count(self):
+        counter = AcceleratedCounter(0.01, rng=RandomSource(2))
+        for _ in range(10000):
+            counter.offer()
+        # Roughly 100 increments: ~7 bits, far fewer than log2(10000) * anything big.
+        assert counter.space_bits() <= 10
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            AcceleratedCounter(0.0)
+        with pytest.raises(ValueError):
+            AcceleratedCounter(1.5)
+
+
+class TestEpochAcceleratedCounter:
+    def test_zero_offers_zero_estimate(self):
+        counter = EpochAcceleratedCounter(epsilon=0.1, rng=RandomSource(1))
+        assert counter.estimate() == 0.0
+        assert counter.current_epoch() == -1
+
+    def test_estimate_tracks_count_within_additive_error(self):
+        """The end-to-end additive error stays O(1/eps) (Lemma 4's role in Algorithm 2)."""
+        epsilon = 0.05
+        true_count = 4000
+        errors = []
+        for seed in range(15):
+            counter = EpochAcceleratedCounter(epsilon=epsilon, rng=RandomSource(seed))
+            for _ in range(true_count):
+                counter.offer()
+            errors.append(abs(counter.estimate() - true_count))
+        # The median error should be a small multiple of 1/eps = 20.
+        assert statistics.median(errors) <= 30 / epsilon
+
+    def test_epoch_grows_with_count(self):
+        counter = EpochAcceleratedCounter(epsilon=0.05, rng=RandomSource(3))
+        epochs = []
+        for _ in range(5000):
+            counter.offer()
+            epochs.append(counter.current_epoch())
+        assert epochs[-1] > epochs[0]
+        assert epochs[-1] >= 1
+
+    def test_increment_probability_caps_at_one(self):
+        counter = EpochAcceleratedCounter(epsilon=0.05, rng=RandomSource(4))
+        assert counter.increment_probability(-1) == 0.0
+        assert counter.increment_probability(0) == pytest.approx(0.05)
+        assert counter.increment_probability(10) == 1.0
+
+    def test_space_stays_small(self):
+        """Counting 10^4 arrivals uses polylogarithmically many bits (one small counter
+        per epoch), far fewer than the ~14 bits/arrival an exact per-item table of
+        10^4 ids would need in aggregate."""
+        counter = EpochAcceleratedCounter(epsilon=0.02, rng=RandomSource(5))
+        for _ in range(10000):
+            counter.offer()
+        assert counter.space_bits() <= 200
+
+    def test_paper_epoch_scale_counts_little(self):
+        """With the paper's 1e-6 scale and a small stream, epochs never activate."""
+        counter = EpochAcceleratedCounter(epsilon=0.05, rng=RandomSource(6), epoch_scale=1e-6)
+        for _ in range(2000):
+            counter.offer()
+        assert counter.current_epoch() == -1
+        assert counter.estimate() == 0.0
+
+    def test_running_frequency_approximation(self):
+        counter = EpochAcceleratedCounter(epsilon=0.1, rng=RandomSource(7))
+        for _ in range(3000):
+            counter.offer()
+        approx = counter.approximate_running_frequency()
+        assert 3000 / 4 <= approx <= 3000 * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EpochAcceleratedCounter(epsilon=0.0)
+        with pytest.raises(ValueError):
+            EpochAcceleratedCounter(epsilon=0.1, epoch_scale=0.0)

@@ -1,0 +1,136 @@
+"""Unit tests for the Table 1 formulas (lowerbounds.bounds) and analysis.theory."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    heavy_hitters_crossover_universe_size,
+    improvement_factor,
+    scaling_exponent,
+    space_ratio_to_bound,
+)
+from repro.lowerbounds.bounds import (
+    TABLE1_ROWS,
+    borda_lower_bound_bits,
+    borda_upper_bound_bits,
+    heavy_hitters_lower_bound_bits,
+    heavy_hitters_upper_bound_bits,
+    maximin_lower_bound_bits,
+    maximin_upper_bound_bits,
+    maximum_upper_bound_bits,
+    minimum_lower_bound_bits,
+    minimum_upper_bound_bits,
+    misra_gries_bound_bits,
+)
+
+
+class TestTable1Formulas:
+    def test_heavy_hitters_bounds_match(self):
+        """The paper's upper and lower bounds for heavy hitters are the same expression."""
+        assert heavy_hitters_upper_bound_bits(0.01, 0.05, 2**20, 10**6) == pytest.approx(
+            heavy_hitters_lower_bound_bits(0.01, 0.05, 2**20, 10**6)
+        )
+
+    def test_heavy_hitters_terms(self):
+        value = heavy_hitters_upper_bound_bits(0.01, 0.05, 2**20, 2**30)
+        expected = 100 * math.log2(20) + 20 * 20 + math.log2(30)
+        assert value == pytest.approx(expected)
+
+    def test_minimum_upper_below_heavy_hitters(self):
+        """The point of Theorem 4: eps-Minimum needs far less than (eps, eps)-HH."""
+        epsilon, m = 0.01, 10**6
+        assert minimum_upper_bound_bits(epsilon, m) < heavy_hitters_upper_bound_bits(
+            epsilon, epsilon, 2**20, m
+        )
+
+    def test_minimum_lower_below_upper(self):
+        assert minimum_lower_bound_bits(0.01, 10**6) <= minimum_upper_bound_bits(0.01, 10**6) * 5
+
+    def test_maximin_much_larger_than_borda(self):
+        """Theorem 6 vs Theorem 5: maximin costs a factor ~eps^-2 more than Borda."""
+        epsilon, n, m = 0.05, 50, 10**6
+        assert maximin_upper_bound_bits(epsilon, n, m) > 10 * borda_upper_bound_bits(epsilon, n, m)
+
+    def test_borda_lower_below_upper(self):
+        assert borda_lower_bound_bits(0.1, 20, 10**4) <= borda_upper_bound_bits(0.1, 20, 10**4)
+
+    def test_maximin_lower_below_upper(self):
+        assert maximin_lower_bound_bits(0.1, 20, 10**4) <= maximin_upper_bound_bits(0.1, 20, 10**4)
+
+    def test_maximum_grows_with_inverse_epsilon(self):
+        assert maximum_upper_bound_bits(0.001, 1000, 10**6) > maximum_upper_bound_bits(
+            0.1, 1000, 10**6
+        )
+
+    def test_table_rows_cover_all_problems(self):
+        assert set(TABLE1_ROWS) == {"heavy_hitters", "maximum", "minimum", "borda", "maximin"}
+        for row in TABLE1_ROWS.values():
+            assert callable(row.upper_bound)
+            assert callable(row.lower_bound)
+
+    def test_table_rows_evaluate(self):
+        params = {"epsilon": 0.01, "phi": 0.05, "n": 2**16, "m": 10**6}
+        for key, row in TABLE1_ROWS.items():
+            kwargs = {name: params[name] for name in row.parameters}
+            assert row.upper_bound(**kwargs) > 0
+            assert row.lower_bound(**kwargs) > 0
+
+    def test_misra_gries_grows_with_log_n_times_inverse_eps(self):
+        small = misra_gries_bound_bits(0.01, 2**10, 10**6)
+        large = misra_gries_bound_bits(0.01, 2**30, 10**6)
+        assert large - small == pytest.approx(100 * 20)
+
+
+class TestPaperHeadlineComparisons:
+    def test_paper_bound_beats_misra_gries_for_large_n(self):
+        """The nearly-quadratic gap the introduction highlights, at log n ~ 1/eps."""
+        epsilon, phi, m = 0.01, 0.1, 10**9
+        n = 2 ** int(1 / epsilon)
+        ours = heavy_hitters_upper_bound_bits(epsilon, phi, n, m)
+        theirs = misra_gries_bound_bits(epsilon, n, m)
+        assert theirs > 5 * ours
+
+    def test_crossover_universe_size_is_finite(self):
+        crossover = heavy_hitters_crossover_universe_size(0.01, 0.05, 10**6)
+        assert 2 <= crossover <= 2**60
+        # Beyond the crossover the improvement factor exceeds one and keeps growing.
+        assert improvement_factor(0.01, 0.05, crossover * 4, 10**6) > 1.0
+
+    def test_improvement_factor_increases_with_n(self):
+        small = improvement_factor(0.01, 0.05, 2**12, 10**6)
+        large = improvement_factor(0.01, 0.05, 2**40, 10**6)
+        assert large > small
+
+
+class TestScalingTools:
+    def test_scaling_exponent_linear(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x for x in xs]
+        assert scaling_exponent(xs, ys) == pytest.approx(1.0, abs=0.01)
+
+    def test_scaling_exponent_quadratic(self):
+        xs = [1, 2, 4, 8]
+        ys = [5 * x * x for x in xs]
+        assert scaling_exponent(xs, ys) == pytest.approx(2.0, abs=0.01)
+
+    def test_scaling_exponent_constant(self):
+        xs = [1, 2, 4, 8]
+        ys = [7, 7, 7, 7]
+        assert abs(scaling_exponent(xs, ys)) < 0.01
+
+    def test_scaling_exponent_validation(self):
+        with pytest.raises(ValueError):
+            scaling_exponent([1], [1])
+        with pytest.raises(ValueError):
+            scaling_exponent([1, 1], [1, 2])
+
+    def test_space_ratio_to_bound(self):
+        stats = space_ratio_to_bound([10, 20, 40], [5, 10, 20])
+        assert stats["min_ratio"] == pytest.approx(2.0)
+        assert stats["max_ratio"] == pytest.approx(2.0)
+        assert stats["spread"] == pytest.approx(1.0)
+
+    def test_space_ratio_validation(self):
+        with pytest.raises(ValueError):
+            space_ratio_to_bound([1, 2], [1])

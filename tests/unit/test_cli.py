@@ -1,0 +1,127 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream
+from repro.streams.io import save_election, save_stream
+from repro.voting.elections import Election
+from repro.voting.generators import mallows_votes
+from repro.voting.rankings import Ranking
+
+
+@pytest.fixture
+def planted_trace(tmp_path):
+    stream = planted_heavy_hitters_stream(
+        8000, 300, {5: 0.3, 9: 0.1}, rng=RandomSource(1)
+    )
+    path = os.path.join(tmp_path, "trace.txt")
+    save_stream(stream, path)
+    return path
+
+
+@pytest.fixture
+def election_file(tmp_path):
+    reference = Ranking([2, 0, 1, 3])
+    votes = mallows_votes(600, 4, dispersion=0.3, reference=reference, rng=RandomSource(2))
+    election = Election(num_candidates=4, votes=votes)
+    path = os.path.join(tmp_path, "votes.txt")
+    save_election(election, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_zipf(self, tmp_path, capsys):
+        output = os.path.join(tmp_path, "zipf.txt")
+        code = main(["generate", output, "--kind", "zipf", "--length", "1000",
+                     "--universe", "100", "--seed", "3"])
+        assert code == 0
+        assert os.path.exists(output)
+        assert "wrote 1000 items" in capsys.readouterr().out
+
+    def test_generate_planted_with_heavy_spec(self, tmp_path, capsys):
+        output = os.path.join(tmp_path, "planted.txt")
+        code = main(["generate", output, "--kind", "planted", "--length", "2000",
+                     "--universe", "50", "--heavy", "3:0.4", "--heavy", "7:0.2",
+                     "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2000 items" in out
+
+    def test_generate_bad_heavy_spec(self, tmp_path):
+        output = os.path.join(tmp_path, "bad.txt")
+        with pytest.raises(SystemExit):
+            main(["generate", output, "--kind", "planted", "--heavy", "nonsense"])
+
+
+class TestHeavyHitters:
+    def test_simple_algorithm(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "simple", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "space_bits:" in out
+        assert "item 5" in out
+
+    def test_misra_gries_algorithm(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "misra-gries"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "item 5" in out
+
+    def test_optimal_algorithm(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "optimal", "--seed", "6"])
+        assert code == 0
+        assert "item 5" in capsys.readouterr().out
+
+
+class TestMaximumMinimum:
+    def test_maximum(self, planted_trace, capsys):
+        code = main(["maximum", planted_trace, "--epsilon", "0.05", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "maximum_item: 5" in out
+
+    def test_minimum(self, tmp_path, capsys):
+        # A small-universe stream where item 7 never appears.
+        from repro.streams.stream import Stream
+
+        stream = Stream(items=[i % 7 for i in range(5000)], universe_size=8)
+        path = os.path.join(tmp_path, "small.txt")
+        save_stream(stream, path)
+        code = main(["minimum", path, "--epsilon", "0.05", "--seed", "8"])
+        assert code == 0
+        assert "minimum_item: 7" in capsys.readouterr().out
+
+
+class TestVotingCommands:
+    def test_borda(self, election_file, capsys):
+        code = main(["borda", election_file, "--epsilon", "0.05", "--seed", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approximate_winner: 2" in out
+        assert "borda" in out
+
+    def test_maximin_with_phi(self, election_file, capsys):
+        code = main(["maximin", election_file, "--epsilon", "0.05", "--phi", "0.5",
+                     "--seed", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "approximate_winner: 2" in out
+        assert "heavy_candidates:" in out
+
+
+class TestBoundsCommand:
+    def test_bounds_prints_all_rows(self, capsys):
+        code = main(["bounds", "--epsilon", "0.01", "--phi", "0.05",
+                     "--universe", "1048576", "--stream-length", "1000000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for problem in ("heavy_hitters", "maximum", "minimum", "borda", "maximin"):
+            assert problem in out
+        assert "upper_bits" in out

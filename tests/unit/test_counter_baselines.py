@@ -1,0 +1,162 @@
+"""Unit tests for the counter-based baselines: Space-Saving, Lossy Counting, Sticky Sampling, Exact."""
+
+import pytest
+
+from repro.baselines.exact import ExactCounter
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.sticky_sampling import StickySampling
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+class TestExactCounter:
+    def test_exact_frequencies(self):
+        counter = ExactCounter(universe_size=10)
+        for item in [1, 2, 1, 3, 1]:
+            counter.insert(item)
+        assert counter.estimate(1) == 3
+        assert counter.estimate(2) == 1
+        assert counter.estimate(9) == 0
+        assert counter.frequencies() == {1: 3, 2: 1, 3: 1}
+
+    def test_most_common(self):
+        counter = ExactCounter(universe_size=10)
+        for item in [5] * 4 + [2] * 2 + [7]:
+            counter.insert(item)
+        assert counter.most_common(2) == [(5, 4), (2, 2)]
+
+    def test_heavy_hitters_threshold_is_strict(self):
+        counter = ExactCounter(universe_size=10)
+        for item in [1] * 5 + [2] * 5:
+            counter.insert(item)
+        assert counter.heavy_hitters(phi=0.5) == {}
+        assert counter.heavy_hitters(phi=0.49) == {1: 5, 2: 5}
+
+    def test_report_matches_definition(self):
+        counter = ExactCounter(universe_size=10)
+        for item in [1] * 8 + [2] * 2:
+            counter.insert(item)
+        report = counter.report(epsilon=0.1, phi=0.5)
+        assert list(report.items) == [1]
+        assert report.satisfies_definition(counter.frequencies())
+
+    def test_universe_bounds(self):
+        counter = ExactCounter(universe_size=3)
+        with pytest.raises(ValueError):
+            counter.insert(3)
+
+
+class TestSpaceSaving:
+    def test_overestimates_only(self):
+        rng = RandomSource(1)
+        stream = zipfian_stream(5000, 200, skew=1.3, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = SpaceSaving(epsilon=0.02, universe_size=200)
+        algo.consume(stream)
+        for item in algo.counts:
+            assert algo.estimate(item) >= truth.get(item, 0)
+
+    def test_error_bounded_by_eps_m(self):
+        rng = RandomSource(2)
+        stream = zipfian_stream(8000, 200, skew=1.2, rng=rng)
+        truth = exact_frequencies(stream)
+        epsilon = 0.02
+        algo = SpaceSaving(epsilon=epsilon, universe_size=200)
+        algo.consume(stream)
+        for item in algo.counts:
+            assert algo.estimate(item) - truth.get(item, 0) <= epsilon * len(stream) + 1
+
+    def test_capacity_respected(self):
+        algo = SpaceSaving(epsilon=0.1, universe_size=1000)
+        rng = RandomSource(3)
+        for _ in range(5000):
+            algo.insert(rng.randint(0, 999))
+            assert len(algo.counts) <= algo.capacity
+
+    def test_heavy_hitters_found(self):
+        rng = RandomSource(4)
+        stream = planted_heavy_hitters_stream(20000, 2000, {11: 0.2, 22: 0.09}, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = SpaceSaving(epsilon=0.02, universe_size=2000)
+        algo.consume(stream)
+        report = algo.report(phi=0.08)
+        assert report.contains_all_heavy(truth)
+
+    def test_guaranteed_count_is_lower_bound(self):
+        rng = RandomSource(5)
+        stream = zipfian_stream(3000, 100, skew=1.5, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = SpaceSaving(epsilon=0.05, universe_size=100)
+        algo.consume(stream)
+        for item in algo.counts:
+            assert algo.guaranteed_count(item) <= truth.get(item, 0)
+
+
+class TestLossyCounting:
+    def test_underestimates_only(self):
+        rng = RandomSource(6)
+        stream = zipfian_stream(6000, 300, skew=1.3, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = LossyCounting(epsilon=0.02, universe_size=300)
+        algo.consume(stream)
+        for item, count in truth.items():
+            assert algo.estimate(item) <= count
+
+    def test_undercount_bounded_by_eps_m(self):
+        rng = RandomSource(7)
+        stream = zipfian_stream(6000, 300, skew=1.3, rng=rng)
+        truth = exact_frequencies(stream)
+        epsilon = 0.02
+        algo = LossyCounting(epsilon=epsilon, universe_size=300)
+        algo.consume(stream)
+        for item, count in truth.items():
+            assert algo.estimate(item) >= count - epsilon * len(stream) - 1
+
+    def test_heavy_hitters_found(self):
+        rng = RandomSource(8)
+        stream = planted_heavy_hitters_stream(20000, 2000, {7: 0.15, 8: 0.1}, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = LossyCounting(epsilon=0.02, universe_size=2000)
+        algo.consume(stream)
+        report = algo.report(phi=0.08)
+        assert report.contains_all_heavy(truth)
+
+    def test_pruning_keeps_table_small(self):
+        algo = LossyCounting(epsilon=0.01, universe_size=100000)
+        rng = RandomSource(9)
+        stream = zipfian_stream(30000, 100000, skew=1.05, rng=rng)
+        algo.consume(stream)
+        # The classic bound: at most (1/eps) * log(eps*m) entries; allow slack.
+        assert len(algo.entries) <= 4 * (1 / 0.01) * 12
+
+
+class TestStickySampling:
+    def test_heavy_hitters_found_with_high_probability(self):
+        rng = RandomSource(10)
+        stream = planted_heavy_hitters_stream(20000, 2000, {3: 0.2, 4: 0.1}, rng=rng)
+        algo = StickySampling(
+            epsilon=0.02, phi=0.08, delta=0.05, universe_size=2000, rng=RandomSource(11)
+        )
+        algo.consume(stream)
+        report = algo.report()
+        assert 3 in report
+        assert 4 in report
+
+    def test_estimates_never_exceed_truth(self):
+        rng = RandomSource(12)
+        stream = zipfian_stream(5000, 100, skew=1.4, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = StickySampling(
+            epsilon=0.05, phi=0.1, delta=0.1, universe_size=100, rng=RandomSource(13)
+        )
+        algo.consume(stream)
+        for item in algo.entries:
+            assert algo.estimate(item) <= truth.get(item, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.2, phi=0.1, delta=0.1, universe_size=10)
+        with pytest.raises(ValueError):
+            StickySampling(epsilon=0.05, phi=0.1, delta=1.5, universe_size=10)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.primitives.counters."""
+
+import pytest
+
+from repro.primitives.counters import SaturatingCounter, TruncatedCounter, VariableLengthCounter
+
+
+class TestVariableLengthCounter:
+    def test_starts_at_zero(self):
+        assert int(VariableLengthCounter()) == 0
+
+    def test_increment_and_decrement(self):
+        counter = VariableLengthCounter()
+        counter.increment()
+        counter.increment(5)
+        assert int(counter) == 6
+        counter.decrement(2)
+        assert int(counter) == 4
+
+    def test_decrement_clamps_at_zero(self):
+        counter = VariableLengthCounter(3)
+        counter.decrement(10)
+        assert int(counter) == 0
+
+    def test_space_grows_logarithmically(self):
+        counter = VariableLengthCounter()
+        counter.increment(1)
+        one_bit = counter.space_bits()
+        counter.increment(2**20)
+        assert counter.space_bits() > one_bit
+        assert counter.space_bits() <= 22
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            VariableLengthCounter(-1)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            VariableLengthCounter().increment(-1)
+
+
+class TestTruncatedCounter:
+    def test_truncates_at_cap(self):
+        counter = TruncatedCounter(cap=10)
+        for _ in range(100):
+            counter.increment()
+        assert int(counter) == 10
+        assert counter.is_saturated
+
+    def test_below_cap_is_exact(self):
+        counter = TruncatedCounter(cap=100)
+        for _ in range(37):
+            counter.increment()
+        assert int(counter) == 37
+        assert not counter.is_saturated
+
+    def test_space_depends_only_on_cap(self):
+        small = TruncatedCounter(cap=10)
+        large = TruncatedCounter(cap=10)
+        for _ in range(5):
+            small.increment()
+        for _ in range(1000):
+            large.increment()
+        assert small.space_bits() == large.space_bits()
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            TruncatedCounter(cap=0)
+
+    def test_initial_value_clamped(self):
+        counter = TruncatedCounter(cap=5, initial=100)
+        assert int(counter) == 5
+
+
+class TestSaturatingCounter:
+    def test_decrement(self):
+        counter = SaturatingCounter(cap=10, initial=5)
+        counter.decrement(3)
+        assert int(counter) == 2
+        counter.decrement(10)
+        assert int(counter) == 0
+
+    def test_increment_still_saturates(self):
+        counter = SaturatingCounter(cap=4)
+        counter.increment(100)
+        assert int(counter) == 4

@@ -1,0 +1,114 @@
+"""Unit tests for repro.primitives.hashing."""
+
+import pytest
+
+from repro.primitives.hashing import (
+    UniversalHashFamily,
+    UniversalHashFunction,
+    next_prime,
+    _is_prime,
+)
+from repro.primitives.rng import RandomSource
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert _is_prime(p), p
+
+    def test_small_composites(self):
+        for c in (1, 4, 6, 8, 9, 100, 7917, 7921):
+            assert not _is_prime(c), c
+
+    def test_next_prime(self):
+        assert next_prime(2) == 2
+        assert next_prime(8) == 11
+        assert next_prime(14) == 17
+        assert next_prime(1000) == 1009
+
+    def test_next_prime_of_prime_is_itself(self):
+        assert next_prime(101) == 101
+
+    def test_next_prime_large(self):
+        p = next_prime(10**6)
+        assert p >= 10**6
+        assert _is_prime(p)
+
+
+class TestUniversalHashFunction:
+    def test_output_in_range(self):
+        family = UniversalHashFamily(universe_size=10_000, range_size=97, rng=RandomSource(1))
+        h = family.draw()
+        for item in range(0, 10_000, 37):
+            assert 0 <= h(item) < 97
+
+    def test_deterministic_for_same_item(self):
+        family = UniversalHashFamily(1000, 50, rng=RandomSource(2))
+        h = family.draw()
+        assert h(123) == h(123)
+
+    def test_negative_input_rejected(self):
+        family = UniversalHashFamily(1000, 50, rng=RandomSource(2))
+        h = family.draw()
+        with pytest.raises(ValueError):
+            h(-1)
+
+    def test_description_bits_positive(self):
+        family = UniversalHashFamily(1 << 20, 100, rng=RandomSource(3))
+        h = family.draw()
+        # Two coefficients modulo a ~2^20 prime: about 2 * 21 bits.
+        assert 30 <= h.description_bits() <= 50
+
+
+class TestUniversalHashFamily:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            UniversalHashFamily(0, 10)
+        with pytest.raises(ValueError):
+            UniversalHashFamily(10, 0)
+
+    def test_prime_exceeds_universe(self):
+        family = UniversalHashFamily(1000, 10, rng=RandomSource(1))
+        assert family.prime >= 1000
+
+    def test_collision_probability_bound(self):
+        family = UniversalHashFamily(1000, 64, rng=RandomSource(1))
+        assert family.collision_probability() == pytest.approx(1 / 64)
+
+    def test_draw_many(self):
+        family = UniversalHashFamily(1000, 64, rng=RandomSource(1))
+        functions = family.draw_many(5)
+        assert len(functions) == 5
+        assert all(isinstance(f, UniversalHashFunction) for f in functions)
+
+    def test_empirical_collision_rate_is_universal(self):
+        """The measured collision rate over random pairs stays near 1/range (Definition 2)."""
+        rng = RandomSource(42)
+        range_size = 128
+        family = UniversalHashFamily(universe_size=100_000, range_size=range_size, rng=rng)
+        trials = 400
+        collisions = 0
+        for _ in range(trials):
+            h = family.draw()
+            a = rng.randint(0, 99_999)
+            b = rng.randint(0, 99_999)
+            while b == a:
+                b = rng.randint(0, 99_999)
+            if h(a) == h(b):
+                collisions += 1
+        # Expected collisions ~ trials / range_size ~ 3; allow generous slack.
+        assert collisions <= 20
+
+    def test_lemma2_no_collision_on_small_sets(self):
+        """Lemma 2: hashing |S| items into >= |S|^2/delta buckets rarely collides."""
+        rng = RandomSource(7)
+        sample = [rng.randint(0, 10**6) for _ in range(50)]
+        range_size = int(len(sample) ** 2 / 0.05)
+        family = UniversalHashFamily(10**6 + 1, range_size, rng=rng)
+        collision_runs = 0
+        for _ in range(50):
+            h = family.draw()
+            hashed = [h(x) for x in set(sample)]
+            if len(set(hashed)) != len(set(sample)):
+                collision_runs += 1
+        assert collision_runs <= 10

@@ -1,0 +1,113 @@
+"""Unit tests for the Misra-Gries baseline and the underlying table."""
+
+import pytest
+
+from repro.baselines.misra_gries import MisraGries, MisraGriesTable
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+class TestMisraGriesTable:
+    def test_exact_when_few_distinct_items(self):
+        table = MisraGriesTable(num_counters=10)
+        for item in [1, 2, 1, 3, 1, 2]:
+            table.update(item)
+        assert table.get(1) == 3
+        assert table.get(2) == 2
+        assert table.get(3) == 1
+
+    def test_never_overestimates(self):
+        table = MisraGriesTable(num_counters=3)
+        stream = [1, 2, 3, 4, 5, 1, 1, 1, 2, 2, 6, 7, 1]
+        truth = {}
+        for item in stream:
+            table.update(item)
+            truth[item] = truth.get(item, 0) + 1
+        for item, count in truth.items():
+            assert table.get(item) <= count
+
+    def test_undercount_bounded_by_m_over_k(self):
+        """The classic guarantee: estimate >= f - m/k."""
+        k = 10
+        table = MisraGriesTable(num_counters=k)
+        rng = RandomSource(1)
+        stream = zipfian_stream(5000, 200, skew=1.3, rng=rng)
+        truth = exact_frequencies(stream)
+        for item in stream:
+            table.update(item)
+        for item, count in truth.items():
+            assert table.get(item) >= count - len(stream) / k
+
+    def test_weighted_updates(self):
+        table = MisraGriesTable(num_counters=2)
+        table.update(1, weight=5)
+        table.update(2, weight=3)
+        table.update(3, weight=4)  # forces decrement by min(4, 3) = 3
+        assert table.get(1) == 2
+        assert table.get(2) == 0
+        assert table.get(3) == 1
+
+    def test_capacity_never_exceeded(self):
+        table = MisraGriesTable(num_counters=4)
+        rng = RandomSource(2)
+        for _ in range(2000):
+            table.update(rng.randint(0, 100))
+            assert len(table) <= 4
+
+    def test_top_keys_sorted(self):
+        table = MisraGriesTable(num_counters=5)
+        for item, times in ((1, 5), (2, 3), (3, 8)):
+            for _ in range(times):
+                table.update(item)
+        assert table.top_keys(2) == [3, 1]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            MisraGriesTable(0)
+        with pytest.raises(ValueError):
+            MisraGriesTable(3).update(1, weight=0)
+
+    def test_space_bits_formula(self):
+        table = MisraGriesTable(num_counters=7)
+        assert table.space_bits(key_bits=10, value_bits=20) == 7 * 30
+
+
+class TestMisraGriesBaseline:
+    def test_definition_guarantee_on_planted_stream(self):
+        rng = RandomSource(3)
+        stream = planted_heavy_hitters_stream(
+            20000, 500, {1: 0.2, 2: 0.12, 3: 0.06}, rng=rng
+        )
+        truth = exact_frequencies(stream)
+        algo = MisraGries(epsilon=0.02, universe_size=500)
+        algo.consume(stream)
+        report = algo.report(phi=0.05)
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)
+
+    def test_estimates_never_exceed_truth(self):
+        rng = RandomSource(4)
+        stream = zipfian_stream(5000, 100, skew=1.2, rng=rng)
+        truth = exact_frequencies(stream)
+        algo = MisraGries(epsilon=0.05, universe_size=100)
+        algo.consume(stream)
+        for item, count in truth.items():
+            assert algo.estimate(item) <= count
+
+    def test_space_accounting_matches_capacity(self):
+        algo = MisraGries(epsilon=0.1, universe_size=1 << 16, stream_length_hint=(1 << 20) - 1)
+        algo.insert(3)
+        # 11 counters, each 16 id bits + 20 count bits.
+        assert algo.space_bits() == (int(1 / 0.1) + 1) * (16 + 20)
+
+    def test_out_of_universe_item_rejected(self):
+        algo = MisraGries(epsilon=0.1, universe_size=10)
+        with pytest.raises(ValueError):
+            algo.insert(10)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            MisraGries(epsilon=0.0, universe_size=10)
+        with pytest.raises(ValueError):
+            MisraGries(epsilon=1.0, universe_size=10)

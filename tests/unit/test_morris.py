@@ -1,0 +1,63 @@
+"""Unit tests for repro.primitives.morris (Morris approximate counter)."""
+
+import pytest
+
+from repro.primitives.morris import MorrisCounter
+from repro.primitives.rng import RandomSource
+
+
+class TestMorrisCounter:
+    def test_initially_zero(self):
+        counter = MorrisCounter(rng=RandomSource(1))
+        assert counter.estimate() == 0.0
+        assert counter.true_count == 0
+
+    def test_estimate_grows_with_increments(self):
+        counter = MorrisCounter(rng=RandomSource(2), repetitions=8)
+        for _ in range(1000):
+            counter.increment()
+        assert counter.estimate() > 100
+
+    def test_constant_factor_accuracy_with_repetitions(self):
+        """Averaged Morris counters track the true count within a small constant factor."""
+        counter = MorrisCounter(rng=RandomSource(3), repetitions=30)
+        for _ in range(4096):
+            counter.increment()
+        estimate = counter.estimate()
+        assert 4096 / 4 <= estimate <= 4096 * 4
+
+    def test_space_is_loglog(self):
+        """The counter stores only exponents: O(log log count) bits."""
+        counter = MorrisCounter(rng=RandomSource(4), repetitions=1)
+        for _ in range(100_000):
+            counter.increment()
+        # The exponent is around log2(100000) ~ 17, which needs ~5 bits.
+        assert counter.space_bits() <= 8
+
+    def test_space_smaller_than_exact_counting(self):
+        counter = MorrisCounter(rng=RandomSource(5), repetitions=1)
+        for _ in range(1 << 15):
+            counter.increment()
+        exact_bits = 15
+        assert counter.space_bits() < exact_bits
+
+    def test_monotone_nondecreasing_estimate(self):
+        counter = MorrisCounter(rng=RandomSource(6), repetitions=4)
+        previous = 0.0
+        for _ in range(2000):
+            counter.increment()
+            current = counter.estimate()
+            assert current >= previous
+            previous = current
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            MorrisCounter(repetitions=0)
+
+    def test_deterministic_under_seed(self):
+        a = MorrisCounter(rng=RandomSource(7), repetitions=3)
+        b = MorrisCounter(rng=RandomSource(7), repetitions=3)
+        for _ in range(500):
+            a.increment()
+            b.increment()
+        assert a.exponents == b.exponents

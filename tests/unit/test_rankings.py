@@ -1,0 +1,90 @@
+"""Unit tests for repro.voting.rankings."""
+
+import pytest
+
+from repro.voting.rankings import Ranking, kendall_tau_distance
+
+
+class TestRankingConstruction:
+    def test_valid_permutation(self):
+        ranking = Ranking([2, 0, 1])
+        assert ranking.num_candidates == 3
+        assert list(ranking) == [2, 0, 1]
+
+    def test_invalid_permutations_rejected(self):
+        with pytest.raises(ValueError):
+            Ranking([0, 0, 1])
+        with pytest.raises(ValueError):
+            Ranking([0, 1, 3])
+
+    def test_identity(self):
+        assert list(Ranking.identity(4)) == [0, 1, 2, 3]
+
+    def test_from_positions(self):
+        ranking = Ranking.from_positions({0: 2, 1: 0, 2: 1})
+        assert list(ranking) == [1, 2, 0]
+
+    def test_equality_and_hash(self):
+        assert Ranking([1, 0]) == Ranking([1, 0])
+        assert Ranking([1, 0]) != Ranking([0, 1])
+        assert hash(Ranking([1, 0])) == hash(Ranking([1, 0]))
+
+
+class TestRankingQueries:
+    def test_position_of(self):
+        ranking = Ranking([2, 0, 1])
+        assert ranking.position_of(2) == 0
+        assert ranking.position_of(0) == 1
+        assert ranking.position_of(1) == 2
+
+    def test_prefers(self):
+        ranking = Ranking([2, 0, 1])
+        assert ranking.prefers(2, 0)
+        assert ranking.prefers(0, 1)
+        assert not ranking.prefers(1, 2)
+
+    def test_candidates_beaten_by(self):
+        ranking = Ranking([2, 0, 1])
+        assert ranking.candidates_beaten_by(2) == 2
+        assert ranking.candidates_beaten_by(0) == 1
+        assert ranking.candidates_beaten_by(1) == 0
+
+    def test_top_and_bottom(self):
+        ranking = Ranking([3, 1, 0, 2])
+        assert ranking.top() == 3
+        assert ranking.bottom() == 2
+
+    def test_reversed(self):
+        ranking = Ranking([3, 1, 0, 2])
+        assert list(ranking.reversed()) == [2, 0, 1, 3]
+
+    def test_restricted_to_preserves_order(self):
+        ranking = Ranking([3, 1, 0, 2])
+        induced = ranking.restricted_to([0, 2, 3])
+        # Kept candidates in preference order: 3, 0, 2 -> relabelled 2, 0, 1.
+        assert list(induced) == [2, 0, 1]
+
+    def test_getitem(self):
+        ranking = Ranking([3, 1, 0, 2])
+        assert ranking[0] == 3
+        assert ranking[3] == 2
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        a = Ranking([0, 1, 2, 3])
+        assert kendall_tau_distance(a, a) == 0
+
+    def test_reversed_rankings_are_maximal(self):
+        a = Ranking([0, 1, 2, 3])
+        b = a.reversed()
+        assert kendall_tau_distance(a, b) == 6  # C(4, 2)
+
+    def test_single_swap(self):
+        a = Ranking([0, 1, 2])
+        b = Ranking([1, 0, 2])
+        assert kendall_tau_distance(a, b) == 1
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_distance(Ranking([0, 1]), Ranking([0, 1, 2]))

@@ -1,0 +1,137 @@
+"""Unit tests for repro.core.results (the typed report objects)."""
+
+import pytest
+
+from repro.core.results import (
+    HeavyHitterResult,
+    HeavyHittersReport,
+    MaximumResult,
+    MinimumResult,
+    ScoreReport,
+)
+
+
+class TestHeavyHitterResult:
+    def test_relative_frequency(self):
+        result = HeavyHitterResult(item=3, estimated_frequency=250.0)
+        assert result.estimated_relative_frequency(1000) == pytest.approx(0.25)
+
+    def test_invalid_stream_length(self):
+        with pytest.raises(ValueError):
+            HeavyHitterResult(1, 1.0).estimated_relative_frequency(0)
+
+
+class TestHeavyHittersReport:
+    def make_report(self):
+        return HeavyHittersReport(
+            items={1: 300.0, 2: 150.0},
+            stream_length=1000,
+            epsilon=0.05,
+            phi=0.1,
+        )
+
+    def test_container_protocol(self):
+        report = self.make_report()
+        assert 1 in report
+        assert 3 not in report
+        assert len(report) == 2
+        assert set(iter(report)) == {1, 2}
+
+    def test_reported_items_sorted_by_estimate(self):
+        assert self.make_report().reported_items() == [1, 2]
+
+    def test_estimated_frequency(self):
+        report = self.make_report()
+        assert report.estimated_frequency(1) == 300.0
+        assert report.estimated_frequency(9) is None
+
+    def test_as_results(self):
+        results = self.make_report().as_results()
+        assert results[0] == HeavyHitterResult(1, 300.0)
+
+    def test_contains_all_heavy(self):
+        report = self.make_report()
+        assert report.contains_all_heavy({1: 305, 2: 160, 3: 50})
+        assert not report.contains_all_heavy({1: 305, 4: 200})
+
+    def test_excludes_all_light(self):
+        report = self.make_report()
+        # (phi - eps) * m = 50; both reported items must truly exceed 50.
+        assert report.excludes_all_light({1: 305, 2: 160})
+        assert not report.excludes_all_light({1: 305, 2: 40})
+
+    def test_max_frequency_error(self):
+        report = self.make_report()
+        assert report.max_frequency_error({1: 310, 2: 150}) == pytest.approx(10.0)
+        empty = HeavyHittersReport(items={}, stream_length=10, epsilon=0.1, phi=0.2)
+        assert empty.max_frequency_error({}) == 0.0
+
+    def test_satisfies_definition(self):
+        report = self.make_report()
+        truth = {1: 310, 2: 160, 3: 40}
+        assert report.satisfies_definition(truth)
+        # An error larger than eps*m = 50 breaks it.
+        assert not report.satisfies_definition({1: 400, 2: 160})
+
+
+class TestMaximumResult:
+    def test_is_correct(self):
+        result = MaximumResult(item=1, estimated_frequency=95.0, stream_length=1000, epsilon=0.05)
+        assert result.is_correct({1: 100, 2: 60})
+        assert not result.is_correct({1: 100, 2: 200})
+
+    def test_item_is_near_maximum(self):
+        result = MaximumResult(item=2, estimated_frequency=90.0, stream_length=1000, epsilon=0.05)
+        assert result.item_is_near_maximum({1: 100, 2: 40}) is False
+        assert result.item_is_near_maximum({1: 100, 2: 95}) is True
+
+    def test_empty_truth(self):
+        result = MaximumResult(item=0, estimated_frequency=0.0, stream_length=10, epsilon=0.1)
+        assert result.is_correct({})
+
+
+class TestMinimumResult:
+    def test_correct_when_item_has_minimum_frequency(self):
+        result = MinimumResult(item=5, estimated_frequency=2.0, stream_length=100, epsilon=0.1)
+        truth = {0: 50, 1: 40, 5: 3}
+        # Universe fully covered by truth plus item 5: min over support is 3 (item 5).
+        assert result.is_correct(truth, universe_size=3)
+
+    def test_absent_item_is_valid_answer(self):
+        result = MinimumResult(item=9, estimated_frequency=0.0, stream_length=100, epsilon=0.05)
+        truth = {0: 50, 1: 50}
+        assert result.is_correct(truth, universe_size=10)
+
+    def test_incorrect_when_too_frequent(self):
+        result = MinimumResult(item=0, estimated_frequency=50.0, stream_length=100, epsilon=0.05)
+        truth = {0: 50, 1: 1}
+        assert not result.is_correct(truth, universe_size=2)
+
+
+class TestScoreReport:
+    def make_report(self):
+        return ScoreReport(
+            scores={0: 10.0, 1: 30.0, 2: 20.0},
+            stream_length=10,
+            epsilon=0.1,
+            phi=0.5,
+            heavy_items=[1],
+        )
+
+    def test_approximate_winner(self):
+        assert self.make_report().approximate_winner() == 1
+
+    def test_empty_scores_raise(self):
+        empty = ScoreReport(scores={}, stream_length=1, epsilon=0.1)
+        with pytest.raises(ValueError):
+            empty.approximate_winner()
+
+    def test_score_lookup(self):
+        assert self.make_report().score(2) == 20.0
+
+    def test_max_score_error(self):
+        report = self.make_report()
+        assert report.max_score_error({0: 10, 1: 25, 2: 20}) == pytest.approx(5.0)
+
+    def test_top_candidates(self):
+        assert self.make_report().top_candidates(2) == [(1, 30.0), (2, 20.0)]

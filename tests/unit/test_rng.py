@@ -1,0 +1,101 @@
+"""Unit tests for repro.primitives.rng."""
+
+import pytest
+
+from repro.primitives.rng import RandomSource
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(123)
+        b = RandomSource(123)
+        assert [a.randint(0, 1000) for _ in range(20)] == [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [
+            b.randint(0, 10**9) for _ in range(5)
+        ]
+
+    def test_seed_property(self):
+        assert RandomSource(77).seed == 77
+        assert RandomSource().seed is None
+
+    def test_spawn_is_deterministic(self):
+        parent_a = RandomSource(5)
+        parent_b = RandomSource(5)
+        child_a = parent_a.spawn(3)
+        child_b = parent_b.spawn(3)
+        assert [child_a.randint(0, 10**6) for _ in range(10)] == [
+            child_b.randint(0, 10**6) for _ in range(10)
+        ]
+
+    def test_spawned_children_are_independent_streams(self):
+        parent = RandomSource(5)
+        child_one = parent.spawn(1)
+        child_two = parent.spawn(2)
+        assert [child_one.randint(0, 10**9) for _ in range(5)] != [
+            child_two.randint(0, 10**9) for _ in range(5)
+        ]
+
+
+class TestDraws:
+    def test_random_in_unit_interval(self):
+        rng = RandomSource(0)
+        for _ in range(100):
+            value = rng.random()
+            assert 0.0 <= value < 1.0
+
+    def test_bernoulli_extremes(self):
+        rng = RandomSource(0)
+        assert rng.bernoulli(1.0) is True
+        assert rng.bernoulli(0.0) is False
+        assert rng.bernoulli(-0.5) is False
+        assert rng.bernoulli(1.5) is True
+
+    def test_bernoulli_rate_roughly_matches(self):
+        rng = RandomSource(42)
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert 0.25 < hits / 20000 < 0.35
+
+    def test_random_bits_range(self):
+        rng = RandomSource(9)
+        for _ in range(100):
+            assert 0 <= rng.random_bits(8) < 256
+        assert rng.random_bits(0) == 0
+
+    def test_randint_bounds(self):
+        rng = RandomSource(9)
+        values = [rng.randint(3, 7) for _ in range(200)]
+        assert min(values) >= 3
+        assert max(values) <= 7
+        assert set(values) == {3, 4, 5, 6, 7}
+
+    def test_choice_and_choice_index(self):
+        rng = RandomSource(1)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+        assert 0 <= rng.choice_index(3) < 3
+
+    def test_choice_index_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(1).choice_index(0)
+
+    def test_sample_distinct(self):
+        rng = RandomSource(3)
+        sample = rng.sample(range(100), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_shuffle_is_permutation(self):
+        rng = RandomSource(3)
+        shuffled = rng.shuffle(range(50))
+        assert sorted(shuffled) == list(range(50))
+
+    def test_permutation(self):
+        rng = RandomSource(3)
+        perm = rng.permutation(10)
+        assert sorted(perm) == list(range(10))

@@ -1,0 +1,159 @@
+"""Unit tests for repro.primitives.sampling."""
+
+import math
+
+import pytest
+
+from repro.primitives.rng import RandomSource
+from repro.primitives.sampling import (
+    BernoulliSampler,
+    CoinFlipSampler,
+    FixedSizeSampler,
+    ReservoirSampler,
+    recommended_sample_size,
+    round_down_to_power_of_two_probability,
+)
+
+
+class TestPowerOfTwoRounding:
+    def test_exact_powers_preserved(self):
+        assert round_down_to_power_of_two_probability(0.5) == 0.5
+        assert round_down_to_power_of_two_probability(0.25) == 0.25
+        assert round_down_to_power_of_two_probability(1.0) == 1.0
+
+    def test_rounds_down(self):
+        assert round_down_to_power_of_two_probability(0.3) == 0.25
+        assert round_down_to_power_of_two_probability(0.6) == 0.5
+        assert round_down_to_power_of_two_probability(0.001) == 1 / 1024
+
+    def test_above_one_clamped(self):
+        assert round_down_to_power_of_two_probability(2.0) == 1.0
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            round_down_to_power_of_two_probability(0.0)
+
+
+class TestCoinFlipSampler:
+    def test_probability_one_always_selects(self):
+        sampler = CoinFlipSampler(1.0, rng=RandomSource(1))
+        assert all(sampler.decide() for _ in range(50))
+
+    def test_rate_roughly_matches(self):
+        sampler = CoinFlipSampler(1 / 8, rng=RandomSource(2))
+        hits = sum(sampler.decide() for _ in range(40000))
+        assert 0.09 < hits / 40000 < 0.16
+
+    def test_space_is_loglog(self):
+        """Lemma 1: choosing with probability 1/m uses O(log log m) bits."""
+        small = CoinFlipSampler(1 / 2**4, rng=RandomSource(3))
+        large = CoinFlipSampler(1 / 2**40, rng=RandomSource(3))
+        assert small.space_bits() <= large.space_bits()
+        # For p = 2^-40 the state is the number 40, i.e. 6 bits.
+        assert large.space_bits() <= 8
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            CoinFlipSampler(0.0)
+        with pytest.raises(ValueError):
+            CoinFlipSampler(1.5)
+
+
+class TestBernoulliSampler:
+    def test_offer_counts_stream_length(self):
+        sampler = BernoulliSampler(0.5, rng=RandomSource(4))
+        sampler.extend(range(100))
+        assert sampler.stream_length == 100
+        assert sampler.sample_size == len(sampler.items)
+
+    def test_sample_size_concentrates(self):
+        sampler = BernoulliSampler(0.25, rng=RandomSource(5))
+        sampler.extend(range(20000))
+        assert 0.2 * 20000 < sampler.sample_size < 0.3 * 20000
+
+    def test_keep_items_false_stores_nothing(self):
+        sampler = BernoulliSampler(0.5, rng=RandomSource(6), keep_items=False)
+        sampler.extend(range(1000))
+        assert sampler.items == []
+        assert sampler.sample_size > 0
+
+    def test_lemma3_frequency_preservation(self):
+        """Lemma 3: a Theta(eps^-2) sample preserves relative frequencies to +-eps."""
+        rng = RandomSource(7)
+        epsilon = 0.05
+        stream = [0] * 5000 + [1] * 3000 + [2] * 2000
+        stream = rng.shuffle(stream)
+        rate = recommended_sample_size(epsilon, 0.05) / len(stream)
+        sampler = BernoulliSampler(min(1.0, rate), rng=rng)
+        sampler.extend(stream)
+        sample = sampler.items
+        for item, true_fraction in ((0, 0.5), (1, 0.3), (2, 0.2)):
+            sampled_fraction = sample.count(item) / max(1, len(sample))
+            assert abs(sampled_fraction - true_fraction) <= 2 * epsilon
+
+    def test_expected_sample_size(self):
+        sampler = BernoulliSampler(0.125, rng=RandomSource(8))
+        assert sampler.expected_sample_size(800) == pytest.approx(100.0)
+
+
+class TestReservoirSampler:
+    def test_capacity_respected(self):
+        sampler = ReservoirSampler(10, rng=RandomSource(9))
+        sampler.extend(range(1000))
+        assert len(sampler.reservoir) == 10
+
+    def test_short_stream_fully_kept(self):
+        sampler = ReservoirSampler(10, rng=RandomSource(9))
+        sampler.extend(range(5))
+        assert sorted(sampler.reservoir) == [0, 1, 2, 3, 4]
+
+    def test_uniformity_rough(self):
+        """Each item should land in the reservoir with probability k/n, roughly."""
+        hits = [0] * 20
+        for seed in range(300):
+            sampler = ReservoirSampler(5, rng=RandomSource(seed))
+            sampler.extend(range(20))
+            for value in sampler.reservoir:
+                hits[value] += 1
+        expected = 300 * 5 / 20
+        assert all(0.4 * expected < h < 1.8 * expected for h in hits)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReservoirSampler(0)
+
+
+class TestFixedSizeSampler:
+    def test_sample_size_near_target(self):
+        sampler = FixedSizeSampler(target_size=100, stream_length=10000, rng=RandomSource(10))
+        for item in range(10000):
+            sampler.offer(item)
+        # The 6x oversampled rate is rounded down to a power-of-two reciprocal
+        # (1/32 here), so roughly 312 items are expected.
+        assert 200 <= sampler.sample_size <= 1000
+
+    def test_short_stream_samples_everything(self):
+        sampler = FixedSizeSampler(target_size=100, stream_length=50, rng=RandomSource(11))
+        for item in range(50):
+            sampler.offer(item)
+        assert sampler.sample_size == 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FixedSizeSampler(0, 100)
+        with pytest.raises(ValueError):
+            FixedSizeSampler(10, 0)
+
+
+class TestRecommendedSampleSize:
+    def test_matches_formula(self):
+        assert recommended_sample_size(0.1, 0.1) == math.ceil(6 * math.log(60) / 0.01)
+
+    def test_decreasing_in_epsilon(self):
+        assert recommended_sample_size(0.01, 0.1) > recommended_sample_size(0.1, 0.1)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.0, 0.1)
+        with pytest.raises(ValueError):
+            recommended_sample_size(0.1, 1.5)

@@ -1,0 +1,98 @@
+"""Unit tests for the sketch baselines: Count-Min and CountSketch."""
+
+import pytest
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        rng = RandomSource(1)
+        stream = zipfian_stream(5000, 300, skew=1.2, rng=rng)
+        truth = exact_frequencies(stream)
+        sketch = CountMinSketch(epsilon=0.02, delta=0.05, universe_size=300, rng=rng)
+        sketch.consume(stream)
+        for item, count in truth.items():
+            assert sketch.estimate(item) >= count
+
+    def test_overestimate_bounded_by_eps_m(self):
+        rng = RandomSource(2)
+        stream = zipfian_stream(8000, 300, skew=1.2, rng=rng)
+        truth = exact_frequencies(stream)
+        epsilon = 0.02
+        sketch = CountMinSketch(epsilon=epsilon, delta=0.01, universe_size=300, rng=rng)
+        sketch.consume(stream)
+        violations = sum(
+            1
+            for item, count in truth.items()
+            if sketch.estimate(item) - count > epsilon * len(stream)
+        )
+        # The guarantee is per-item with probability 1 - delta; allow a few violations.
+        assert violations <= 0.05 * len(truth)
+
+    def test_heavy_hitters_recall(self):
+        rng = RandomSource(3)
+        stream = planted_heavy_hitters_stream(20000, 1000, {5: 0.2, 9: 0.1}, rng=rng)
+        truth = exact_frequencies(stream)
+        sketch = CountMinSketch(epsilon=0.02, delta=0.05, universe_size=1000, rng=rng)
+        sketch.consume(stream)
+        report = sketch.report(phi=0.08)
+        assert 5 in report
+        assert 9 in report
+        assert report.contains_all_heavy(truth)
+
+    def test_dimensions_follow_parameters(self):
+        sketch = CountMinSketch(epsilon=0.01, delta=0.01, universe_size=100, rng=RandomSource(4))
+        assert sketch.width >= int(2.718 / 0.01)
+        assert sketch.depth >= 4
+
+    def test_space_grows_with_inverse_epsilon(self):
+        coarse = CountMinSketch(epsilon=0.1, delta=0.1, universe_size=1000, rng=RandomSource(5))
+        fine = CountMinSketch(epsilon=0.01, delta=0.1, universe_size=1000, rng=RandomSource(5))
+        coarse.insert(1)
+        fine.insert(1)
+        assert fine.space_bits() > coarse.space_bits()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.0, delta=0.1, universe_size=10)
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.1, delta=0.0, universe_size=10)
+        with pytest.raises(ValueError):
+            CountMinSketch(epsilon=0.1, delta=0.1, universe_size=0)
+
+
+class TestCountSketch:
+    def test_estimates_near_truth_for_heavy_items(self):
+        rng = RandomSource(6)
+        stream = planted_heavy_hitters_stream(20000, 500, {1: 0.25, 2: 0.15}, rng=rng)
+        truth = exact_frequencies(stream)
+        sketch = CountSketch(epsilon=0.05, delta=0.05, universe_size=500, rng=rng)
+        sketch.consume(stream)
+        for item in (1, 2):
+            assert abs(sketch.estimate(item) - truth[item]) <= 0.1 * len(stream)
+
+    def test_heavy_hitters_recall(self):
+        rng = RandomSource(7)
+        stream = planted_heavy_hitters_stream(15000, 500, {3: 0.3, 4: 0.12}, rng=rng)
+        sketch = CountSketch(epsilon=0.05, delta=0.05, universe_size=500, rng=rng)
+        sketch.consume(stream)
+        report = sketch.report(phi=0.1)
+        assert 3 in report
+        assert 4 in report
+
+    def test_signed_counters_can_go_negative(self):
+        sketch = CountSketch(epsilon=0.3, delta=0.3, universe_size=100, rng=RandomSource(8))
+        for item in range(100):
+            sketch.insert(item)
+        assert any(value < 0 for row in sketch.table for value in row)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CountSketch(epsilon=2.0, delta=0.1, universe_size=10)
+        with pytest.raises(ValueError):
+            CountSketch(epsilon=0.1, delta=0.1, universe_size=-1)

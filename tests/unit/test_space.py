@@ -1,0 +1,97 @@
+"""Unit tests for repro.primitives.space."""
+
+import pytest
+
+from repro.primitives.space import SpaceMeter, bits_for_range, bits_for_value
+
+
+class TestBitsForValue:
+    def test_zero_and_one_take_one_bit(self):
+        assert bits_for_value(0) == 1
+        assert bits_for_value(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_for_value(2) == 2
+        assert bits_for_value(3) == 2
+        assert bits_for_value(4) == 3
+        assert bits_for_value(255) == 8
+        assert bits_for_value(256) == 9
+
+    def test_monotone(self):
+        previous = 0
+        for value in range(0, 2000, 7):
+            current = bits_for_value(value)
+            assert current >= previous
+            previous = current
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bits_for_value(-1)
+
+
+class TestBitsForRange:
+    def test_single_value(self):
+        assert bits_for_range(1) == 1
+
+    def test_exact_powers(self):
+        assert bits_for_range(2) == 1
+        assert bits_for_range(4) == 2
+        assert bits_for_range(1024) == 10
+
+    def test_non_powers_round_up(self):
+        assert bits_for_range(3) == 2
+        assert bits_for_range(1000) == 10
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError):
+            bits_for_range(0)
+
+
+class TestSpaceMeter:
+    def test_empty_meter(self):
+        meter = SpaceMeter()
+        assert meter.total_bits() == 0
+        assert meter.peak_bits() == 0
+        assert meter.breakdown() == {}
+
+    def test_set_and_total(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 10)
+        meter.set_component("b", 20)
+        assert meter.total_bits() == 30
+        assert meter.get_component("a") == 10
+        assert meter.get_component("missing") == 0
+
+    def test_add_component(self):
+        meter = SpaceMeter()
+        meter.add_component("a", 5)
+        meter.add_component("a", 7)
+        assert meter.get_component("a") == 12
+
+    def test_peak_tracks_maximum(self):
+        meter = SpaceMeter()
+        meter.set_component("a", 100)
+        meter.set_component("a", 10)
+        assert meter.total_bits() == 10
+        assert meter.peak_bits() == 100
+        assert meter.peak_component("a") == 100
+
+    def test_negative_bits_rejected(self):
+        meter = SpaceMeter()
+        with pytest.raises(ValueError):
+            meter.set_component("a", -1)
+
+    def test_merge_with_prefix(self):
+        inner = SpaceMeter()
+        inner.set_component("table", 8)
+        outer = SpaceMeter()
+        outer.set_component("own", 2)
+        outer.merge(inner, prefix="inner.")
+        assert outer.get_component("inner.table") == 8
+        assert outer.total_bits() == 10
+
+    def test_iteration(self):
+        meter = SpaceMeter()
+        meter.set_component("x", 1)
+        meter.set_component("y", 2)
+        assert dict(iter(meter)) == {"x": 1, "y": 2}

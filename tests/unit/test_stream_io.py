@@ -1,0 +1,116 @@
+"""Unit tests for repro.streams.io (on-disk stream and election formats)."""
+
+import os
+
+import pytest
+
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import zipfian_stream
+from repro.streams.io import (
+    iterate_stream_file,
+    load_election,
+    load_stream,
+    save_election,
+    save_stream,
+    stream_file_statistics,
+)
+from repro.streams.stream import Stream
+from repro.voting.elections import Election
+from repro.voting.generators import impartial_culture
+
+
+class TestStreamRoundTrip:
+    def test_round_trip_preserves_items_and_universe(self, tmp_path):
+        stream = zipfian_stream(500, 64, skew=1.3, rng=RandomSource(1))
+        path = os.path.join(tmp_path, "trace.txt")
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert list(loaded) == list(stream)
+        assert loaded.universe_size == stream.universe_size
+
+    def test_universe_override(self, tmp_path):
+        stream = Stream(items=[0, 1, 2], universe_size=3, name="tiny")
+        path = os.path.join(tmp_path, "tiny.txt")
+        save_stream(stream, path)
+        loaded = load_stream(path, universe_size=100)
+        assert loaded.universe_size == 100
+
+    def test_load_headerless_file(self, tmp_path):
+        path = os.path.join(tmp_path, "raw.txt")
+        with open(path, "w") as handle:
+            handle.write("3\n1\n4\n1\n5\n")
+        loaded = load_stream(path)
+        assert list(loaded) == [3, 1, 4, 1, 5]
+        assert loaded.universe_size == 6
+
+    def test_iterate_stream_file_is_lazy_and_complete(self, tmp_path):
+        stream = zipfian_stream(200, 16, skew=1.1, rng=RandomSource(2))
+        path = os.path.join(tmp_path, "lazy.txt")
+        save_stream(stream, path)
+        iterator = iterate_stream_file(path)
+        assert list(iterator) == list(stream)
+
+    def test_stream_file_statistics(self, tmp_path):
+        stream = Stream(items=[0, 3, 3, 7], universe_size=8)
+        path = os.path.join(tmp_path, "stats.txt")
+        save_stream(stream, path)
+        stats = stream_file_statistics(path)
+        assert stats == {"length": 4, "max_item": 7, "distinct_items": 3}
+
+    def test_creates_directories(self, tmp_path):
+        stream = Stream(items=[0], universe_size=1)
+        path = os.path.join(tmp_path, "nested", "dir", "s.txt")
+        save_stream(stream, path)
+        assert os.path.exists(path)
+
+
+class TestElectionRoundTrip:
+    def test_round_trip(self, tmp_path):
+        votes = impartial_culture(30, 5, rng=RandomSource(3))
+        election = Election(num_candidates=5, votes=votes)
+        path = os.path.join(tmp_path, "election.txt")
+        save_election(election, path)
+        loaded = load_election(path)
+        assert loaded.num_candidates == 5
+        assert len(loaded) == 30
+        assert [tuple(v.order) for v in loaded.votes] == [tuple(v.order) for v in votes]
+
+    def test_round_trip_preserves_winners(self, tmp_path):
+        votes = impartial_culture(80, 4, rng=RandomSource(4))
+        election = Election(num_candidates=4, votes=votes)
+        path = os.path.join(tmp_path, "e2.txt")
+        save_election(election, path)
+        loaded = load_election(path)
+        assert loaded.borda_scores() == election.borda_scores()
+        assert loaded.maximin_scores() == election.maximin_scores()
+
+    def test_load_headerless_election(self, tmp_path):
+        path = os.path.join(tmp_path, "raw_votes.txt")
+        with open(path, "w") as handle:
+            handle.write("0 1 2\n2 1 0\n")
+        loaded = load_election(path)
+        assert loaded.num_candidates == 3
+        assert len(loaded) == 2
+
+
+class TestStreamingFromDisk:
+    def test_algorithm_consumes_file_iterator(self, tmp_path):
+        """End to end: a heavy-hitters algorithm consuming an on-disk trace lazily."""
+        from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+        from repro.streams.generators import planted_heavy_hitters_stream
+        from repro.streams.truth import exact_frequencies
+
+        stream = planted_heavy_hitters_stream(
+            8000, 200, {5: 0.3, 9: 0.1}, rng=RandomSource(5)
+        )
+        path = os.path.join(tmp_path, "trace.txt")
+        save_stream(stream, path)
+        stats = stream_file_statistics(path)
+        algo = SimpleListHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=200,
+            stream_length=stats["length"], rng=RandomSource(6),
+        )
+        algo.consume(iterate_stream_file(path))
+        report = algo.report()
+        assert report.satisfies_definition(exact_frequencies(stream))
+        assert 5 in report

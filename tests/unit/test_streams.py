@@ -1,0 +1,143 @@
+"""Unit tests for repro.streams (Stream container, generators, truth oracles)."""
+
+import pytest
+
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import (
+    adversarial_block_stream,
+    exponential_lengths,
+    planted_heavy_hitters_stream,
+    planted_maximum_stream,
+    two_phase_stream,
+    uniform_stream,
+    zipfian_stream,
+)
+from repro.streams.stream import Stream
+from repro.streams.truth import (
+    exact_frequencies,
+    exact_maximum,
+    exact_minimum,
+    heavy_hitters,
+    top_k,
+)
+
+
+class TestStreamContainer:
+    def test_length_and_iteration(self):
+        stream = Stream(items=[1, 2, 1], universe_size=5)
+        assert len(stream) == 3
+        assert list(stream) == [1, 2, 1]
+        assert stream[1] == 2
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            Stream(items=[5], universe_size=5)
+        with pytest.raises(ValueError):
+            Stream(items=[0], universe_size=0)
+
+    def test_prefix(self):
+        stream = Stream(items=list(range(10)), universe_size=10, name="s")
+        prefix = stream.prefix(4)
+        assert list(prefix) == [0, 1, 2, 3]
+        assert prefix.universe_size == 10
+
+    def test_concatenate(self):
+        a = Stream(items=[0, 1], universe_size=2, name="a")
+        b = Stream(items=[2, 3], universe_size=4, name="b")
+        c = a.concatenate(b)
+        assert list(c) == [0, 1, 2, 3]
+        assert c.universe_size == 4
+
+    def test_from_items_infers_universe(self):
+        stream = Stream.from_items([3, 7, 2])
+        assert stream.universe_size == 8
+
+
+class TestGenerators:
+    def test_uniform_stream_properties(self):
+        stream = uniform_stream(1000, 50, rng=RandomSource(1))
+        assert len(stream) == 1000
+        assert stream.universe_size == 50
+        assert all(0 <= item < 50 for item in stream)
+
+    def test_zipfian_is_skewed(self):
+        stream = zipfian_stream(20000, 1000, skew=1.5, rng=RandomSource(2))
+        counts = exact_frequencies(stream)
+        # Item 0 should be far more frequent than item 100.
+        assert counts.get(0, 0) > 10 * counts.get(100, 0)
+
+    def test_zipfian_invalid_skew(self):
+        with pytest.raises(ValueError):
+            zipfian_stream(10, 10, skew=0.0)
+
+    def test_planted_heavy_hitters_frequencies(self):
+        heavy = {1: 0.2, 2: 0.1}
+        stream = planted_heavy_hitters_stream(10000, 500, heavy, rng=RandomSource(3))
+        counts = exact_frequencies(stream)
+        assert abs(counts[1] - 2000) <= 20
+        assert abs(counts[2] - 1000) <= 20
+        assert len(stream) == 10000
+
+    def test_planted_fractions_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            planted_heavy_hitters_stream(100, 10, {1: 0.7, 2: 0.6})
+
+    def test_planted_maximum_stream_has_planted_max(self):
+        stream = planted_maximum_stream(
+            5000, 200, maximum_item=7, maximum_fraction=0.3, runner_up_fraction=0.1,
+            rng=RandomSource(4),
+        )
+        item, count = exact_maximum(stream)
+        assert item == 7
+        assert count >= 0.28 * 5000
+
+    def test_adversarial_block_stream_sorted_blocks(self):
+        stream = adversarial_block_stream(
+            2000, 100, {5: 0.3, 6: 0.2}, rng=RandomSource(5)
+        )
+        items = list(stream)
+        # The heaviest item must arrive last (blocks ordered light-to-heavy).
+        assert items[-1] == 5
+        counts = exact_frequencies(items)
+        assert counts[5] >= counts[6] >= max(
+            count for item, count in counts.items() if item not in (5, 6)
+        )
+
+    def test_two_phase_stream_metadata(self):
+        stream = two_phase_stream([0, 0, 1], [2, 2], universe_size=3)
+        assert list(stream) == [0, 0, 1, 2, 2]
+        assert stream.metadata["alice_length"] == 3
+        assert stream.metadata["bob_length"] == 2
+
+    def test_exponential_lengths(self):
+        lengths = exponential_lengths(10, 1000, base=10)
+        assert lengths == [10, 100, 1000]
+        with pytest.raises(ValueError):
+            exponential_lengths(0, 10)
+
+
+class TestTruthOracles:
+    def test_exact_frequencies(self):
+        assert exact_frequencies([1, 1, 2]) == {1: 2, 2: 1}
+        assert exact_frequencies([]) == {}
+
+    def test_exact_maximum_tie_breaking(self):
+        item, count = exact_maximum([1, 2, 1, 2])
+        assert (item, count) == (1, 2)
+        assert exact_maximum([]) == (None, 0)
+
+    def test_exact_minimum_prefers_absent_items(self):
+        item, count = exact_minimum([0, 0, 1], universe_size=3)
+        assert (item, count) == (2, 0)
+
+    def test_exact_minimum_full_support(self):
+        item, count = exact_minimum([0, 0, 1, 2, 2], universe_size=3)
+        assert (item, count) == (1, 1)
+
+    def test_top_k(self):
+        assert top_k([1, 1, 1, 2, 2, 3], 2) == [(1, 3), (2, 2)]
+
+    def test_heavy_hitters_threshold(self):
+        stream = [1] * 60 + [2] * 40
+        assert heavy_hitters(stream, phi=0.5) == {1: 60}
+        assert heavy_hitters(stream, phi=0.39) == {1: 60, 2: 40}

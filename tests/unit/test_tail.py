@@ -1,0 +1,95 @@
+"""Unit tests for repro.analysis.tail (Berinde-style residual guarantees)."""
+
+import pytest
+
+from repro.analysis.tail import (
+    achieved_tail_error,
+    counter_summary_residual_bound,
+    guarantee_comparison,
+    head_tail_split,
+    residual_mass,
+    tail_error_bound,
+    top_k_mass,
+)
+from repro.baselines.misra_gries import MisraGries
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+FREQ = {1: 100, 2: 50, 3: 25, 4: 10, 5: 5}
+
+
+class TestResidualMass:
+    def test_basic_values(self):
+        assert residual_mass(FREQ, 0) == 190
+        assert residual_mass(FREQ, 1) == 90
+        assert residual_mass(FREQ, 2) == 40
+        assert residual_mass(FREQ, 5) == 0
+        assert residual_mass(FREQ, 10) == 0
+
+    def test_top_k_complements_residual(self):
+        for k in range(6):
+            assert top_k_mass(FREQ, k) + residual_mass(FREQ, k) == 190
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            residual_mass(FREQ, -1)
+
+    def test_head_tail_split(self):
+        head, tail = head_tail_split(FREQ, 2)
+        assert head == {1: 100, 2: 50}
+        assert tail == {3: 25, 4: 10, 5: 5}
+
+
+class TestBounds:
+    def test_tail_error_bound(self):
+        assert tail_error_bound(FREQ, 2, 0.1) == pytest.approx(0.1 / 2 * 40)
+
+    def test_tail_bound_validation(self):
+        with pytest.raises(ValueError):
+            tail_error_bound(FREQ, 0, 0.1)
+        with pytest.raises(ValueError):
+            tail_error_bound(FREQ, 1, 0.0)
+
+    def test_achieved_tail_error(self):
+        estimates = {1: 95.0, 2: 52.0}
+        assert achieved_tail_error(estimates, FREQ) == pytest.approx(5.0)
+        assert achieved_tail_error({}, FREQ) == 0.0
+
+    def test_counter_summary_residual_bound(self):
+        # capacity 11, k = 1: error <= F_res(1) / (11 - 1)
+        assert counter_summary_residual_bound(FREQ, 11, 1) == pytest.approx(90 / 10)
+        with pytest.raises(ValueError):
+            counter_summary_residual_bound(FREQ, 5, 5)
+
+    def test_guarantee_comparison_skewed_vs_flat(self):
+        """On a skewed table the tail budget is far below the classical eps*m budget."""
+        skewed = {1: 900, 2: 50, 3: 30, 4: 20}
+        flat = {i: 100 for i in range(10)}
+        skewed_cmp = guarantee_comparison(skewed, stream_length=1000, epsilon=0.1, k=1)
+        flat_cmp = guarantee_comparison(flat, stream_length=1000, epsilon=0.1, k=1)
+        assert skewed_cmp["tail_over_classical"] < flat_cmp["tail_over_classical"]
+        assert skewed_cmp["classical_budget"] == pytest.approx(100.0)
+
+
+class TestAgainstRealSummaries:
+    def test_misra_gries_respects_residual_bound(self):
+        """The [BICS10]-style refinement: MG error is bounded by F_res(k)/(capacity-k+1)."""
+        stream = zipfian_stream(20000, 500, skew=1.5, rng=RandomSource(1))
+        truth = exact_frequencies(stream)
+        algo = MisraGries(epsilon=0.02, universe_size=500)
+        algo.consume(stream)
+        capacity = algo.table.num_counters
+        for k in (0, 1, 5):
+            bound = counter_summary_residual_bound(truth, capacity, k)
+            for item, count in truth.items():
+                assert count - algo.estimate(item) <= bound + 1e-9
+
+    def test_residual_bound_tighter_than_classical_on_skewed_stream(self):
+        stream = zipfian_stream(20000, 500, skew=1.5, rng=RandomSource(2))
+        truth = exact_frequencies(stream)
+        capacity = 51
+        classical = len(stream) / capacity
+        residual = counter_summary_residual_bound(truth, capacity, 5)
+        assert residual < classical

@@ -1,0 +1,93 @@
+"""Unit tests for repro.voting.generators."""
+
+import pytest
+
+from repro.primitives.rng import RandomSource
+from repro.voting.generators import (
+    clickstream_orderings,
+    impartial_culture,
+    mallows_votes,
+    planted_borda_winner,
+)
+from repro.voting.rankings import Ranking, kendall_tau_distance
+from repro.voting.scores import borda_scores
+
+
+class TestImpartialCulture:
+    def test_shape(self):
+        votes = impartial_culture(50, 6, rng=RandomSource(1))
+        assert len(votes) == 50
+        assert all(isinstance(vote, Ranking) and vote.num_candidates == 6 for vote in votes)
+
+    def test_roughly_uniform_top_choice(self):
+        votes = impartial_culture(3000, 4, rng=RandomSource(2))
+        tops = [vote.top() for vote in votes]
+        for candidate in range(4):
+            assert 0.15 < tops.count(candidate) / 3000 < 0.35
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            impartial_culture(-1, 3)
+        with pytest.raises(ValueError):
+            impartial_culture(3, 0)
+
+
+class TestMallows:
+    def test_low_dispersion_concentrates_on_reference(self):
+        reference = Ranking([3, 1, 0, 2, 4])
+        votes = mallows_votes(200, 5, dispersion=0.1, reference=reference, rng=RandomSource(3))
+        average_distance = sum(
+            kendall_tau_distance(vote, reference) for vote in votes
+        ) / len(votes)
+        assert average_distance < 1.0
+
+    def test_dispersion_one_is_diffuse(self):
+        reference = Ranking.identity(5)
+        votes = mallows_votes(300, 5, dispersion=1.0, reference=reference, rng=RandomSource(4))
+        average_distance = sum(
+            kendall_tau_distance(vote, reference) for vote in votes
+        ) / len(votes)
+        # Uniform permutations have expected Kendall distance C(5,2)/2 = 5.
+        assert 3.5 < average_distance < 6.5
+
+    def test_invalid_dispersion(self):
+        with pytest.raises(ValueError):
+            mallows_votes(10, 3, dispersion=0.0)
+
+    def test_wrong_reference_size(self):
+        with pytest.raises(ValueError):
+            mallows_votes(10, 3, reference=Ranking.identity(4))
+
+
+class TestPlantedBordaWinner:
+    def test_planted_candidate_wins(self):
+        votes = planted_borda_winner(400, 6, winner=2, boost_fraction=0.6, rng=RandomSource(5))
+        scores = borda_scores(votes)
+        assert max(scores, key=scores.get) == 2
+
+    def test_zero_boost_is_impartial(self):
+        votes = planted_borda_winner(100, 4, winner=1, boost_fraction=0.0, rng=RandomSource(6))
+        assert len(votes) == 100
+
+    def test_invalid_winner(self):
+        with pytest.raises(ValueError):
+            planted_borda_winner(10, 3, winner=5)
+
+
+class TestClickstream:
+    def test_shape_and_validity(self):
+        sessions = clickstream_orderings(40, 8, rng=RandomSource(7))
+        assert len(sessions) == 40
+        assert all(vote.num_candidates == 8 for vote in sessions)
+
+    def test_popular_pages_visited_earlier(self):
+        sessions = clickstream_orderings(500, 6, popularity_skew=1.5, rng=RandomSource(8))
+        average_position_first = sum(vote.position_of(0) for vote in sessions) / len(sessions)
+        average_position_last = sum(vote.position_of(5) for vote in sessions) / len(sessions)
+        assert average_position_first < average_position_last
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clickstream_orderings(-1, 5)
+        with pytest.raises(ValueError):
+            clickstream_orderings(5, 0)

@@ -1,0 +1,121 @@
+"""Unit tests for repro.voting.scores and repro.voting.elections."""
+
+import pytest
+
+from repro.voting.elections import Election
+from repro.voting.rankings import Ranking
+from repro.voting.scores import (
+    borda_scores,
+    borda_winner,
+    maximin_scores,
+    maximin_winner,
+    pairwise_defeats,
+    plurality_scores,
+    veto_scores,
+)
+
+
+def small_election():
+    """A 3-candidate election with easily hand-checked scores."""
+    return [
+        Ranking([0, 1, 2]),
+        Ranking([0, 2, 1]),
+        Ranking([1, 0, 2]),
+        Ranking([2, 1, 0]),
+    ]
+
+
+class TestBordaScores:
+    def test_hand_checked_values(self):
+        scores = borda_scores(small_election())
+        # Vote by vote: candidate 0 beats 2+2+1+0 = 5, candidate 1 beats 1+0+2+1 = 4,
+        # candidate 2 beats 0+1+0+2 = 3.
+        assert scores == {0: 5, 1: 4, 2: 3}
+
+    def test_total_is_m_times_pairs(self):
+        votes = small_election()
+        scores = borda_scores(votes)
+        n = 3
+        assert sum(scores.values()) == len(votes) * n * (n - 1) // 2
+
+    def test_winner(self):
+        assert borda_winner(small_election()) == 0
+
+    def test_single_vote(self):
+        scores = borda_scores([Ranking([2, 1, 0])])
+        assert scores == {2: 2, 1: 1, 0: 0}
+
+    def test_empty_election_rejected(self):
+        with pytest.raises(ValueError):
+            borda_scores([])
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            borda_scores([Ranking([0, 1]), Ranking([0, 1, 2])])
+
+
+class TestPairwiseAndMaximin:
+    def test_pairwise_matrix_hand_checked(self):
+        matrix = pairwise_defeats(small_election())
+        # 0 beats 1 in votes 0, 1 and 3?  Votes: [0,1,2], [0,2,1], [1,0,2], [2,1,0].
+        # 0 over 1: votes 0 and 1 -> 2.  1 over 0: votes 2 and 3 -> 2.
+        assert matrix[0][1] == 2
+        assert matrix[1][0] == 2
+        # 0 over 2: votes 0, 1, 2 -> 3.
+        assert matrix[0][2] == 3
+        assert matrix[2][0] == 1
+
+    def test_pairwise_complementarity(self):
+        votes = small_election()
+        matrix = pairwise_defeats(votes)
+        n = 3
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    assert matrix[i][j] + matrix[j][i] == len(votes)
+
+    def test_maximin_scores_hand_checked(self):
+        scores = maximin_scores(small_election())
+        # Candidate 0: min(2, 3) = 2; candidate 1: min(2, 3) = 2; candidate 2: min(1, 1) = 1.
+        assert scores == {0: 2, 1: 2, 2: 1}
+
+    def test_maximin_winner_tie_breaks_to_smaller_id(self):
+        assert maximin_winner(small_election()) == 0
+
+    def test_single_candidate(self):
+        scores = maximin_scores([Ranking([0]), Ranking([0])])
+        assert scores == {0: 2}
+
+
+class TestPluralityAndVeto:
+    def test_plurality(self):
+        assert plurality_scores(small_election()) == {0: 2, 1: 1, 2: 1}
+
+    def test_veto(self):
+        assert veto_scores(small_election()) == {0: 1, 1: 1, 2: 2}
+
+
+class TestElection:
+    def test_add_and_len(self):
+        election = Election(num_candidates=3)
+        election.add_vote(Ranking([0, 1, 2]))
+        election.extend([Ranking([2, 1, 0])])
+        assert len(election) == 2
+
+    def test_vote_size_validation(self):
+        election = Election(num_candidates=3)
+        with pytest.raises(ValueError):
+            election.add_vote(Ranking([0, 1]))
+
+    def test_winners_consistent_with_scores(self):
+        election = Election(num_candidates=3, votes=small_election())
+        assert election.borda_winner() == 0
+        assert election.plurality_winner() == 0
+        assert election.veto_winner() in (0, 1)  # fewest last places: 0 and 1 tie at 1
+        assert election.maximin_winner() == 0
+        assert election.max_borda_score() == 5
+        assert election.max_maximin_score() == 2
+
+    def test_invalid_candidate_count(self):
+        with pytest.raises(ValueError):
+            Election(num_candidates=0)
