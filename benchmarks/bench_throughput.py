@@ -1,0 +1,133 @@
+"""Experiment THROUGHPUT — per-item vs. batched ingestion across all eight sketches.
+
+Measures items/second for the reference per-item ``insert`` path and for the chunked
+``insert_many`` fast path (geometric skip-ahead sampling, vectorized Carter–Wegman
+hashing, pre-aggregated counter merges) on a Zipf(1.2) stream, and writes the results
+to ``BENCH_throughput.json``.  This is the experiment behind the repository's claim
+that the paper's O(1)-amortized-update guarantee survives contact with the Python
+interpreter once ingestion is batched.
+
+Run directly (the full 10^6-item stream takes a few minutes, dominated by the per-item
+reference path)::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py
+
+or as a CI smoke test with a shorter stream::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --length 100000 --output smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+# Ensure the src layout is importable when the package is not installed.
+import os
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.baselines.count_min import CountMinSketch  # noqa: E402
+from repro.baselines.count_sketch import CountSketch  # noqa: E402
+from repro.baselines.lossy_counting import LossyCounting  # noqa: E402
+from repro.baselines.misra_gries import MisraGries  # noqa: E402
+from repro.baselines.space_saving import SpaceSaving  # noqa: E402
+from repro.baselines.sticky_sampling import StickySampling  # noqa: E402
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters  # noqa: E402
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters  # noqa: E402
+from repro.primitives.rng import RandomSource  # noqa: E402
+from repro.streams.generators import zipfian_stream  # noqa: E402
+
+EPSILON = 0.01
+PHI = 0.05
+DELTA = 0.1
+SKEW = 1.2
+UNIVERSE = 1 << 16
+DEFAULT_LENGTH = 10**6
+DEFAULT_BATCH = 1 << 18
+SEED = 20160626  # PODS 2016
+
+
+def sketch_factories(universe: int, stream_length: int):
+    """The eight sketches of the throughput experiment, fresh instance per call."""
+    return {
+        "optimal (Thm 2)": lambda seed: OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=universe,
+            stream_length=stream_length, rng=RandomSource(seed),
+        ),
+        "simple (Thm 1)": lambda seed: SimpleListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=universe,
+            stream_length=stream_length, rng=RandomSource(seed),
+        ),
+        "misra-gries": lambda seed: MisraGries(EPSILON, universe),
+        "space-saving": lambda seed: SpaceSaving(EPSILON, universe),
+        "count-min": lambda seed: CountMinSketch(EPSILON, DELTA, universe, rng=RandomSource(seed)),
+        "count-sketch": lambda seed: CountSketch(0.05, DELTA, universe, rng=RandomSource(seed)),
+        "lossy-counting": lambda seed: LossyCounting(EPSILON, universe),
+        "sticky-sampling": lambda seed: StickySampling(
+            EPSILON, PHI, DELTA, universe, rng=RandomSource(seed)
+        ),
+    }
+
+
+def measure(algorithm, stream, batch_size=None) -> dict:
+    start = time.perf_counter()
+    algorithm.consume(stream, batch_size=batch_size)
+    elapsed = time.perf_counter() - start
+    return {
+        "total_seconds": elapsed,
+        "items_per_second": len(stream) / elapsed if elapsed > 0 else float("inf"),
+        "space_bits": int(algorithm.space_bits()),
+    }
+
+
+def run(length: int, batch_size: int, output: str) -> dict:
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    results = {
+        "experiment": "throughput",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "delta": DELTA, "batch_size": batch_size,
+        },
+        "sketches": {},
+    }
+    for label, build in sketch_factories(UNIVERSE, length).items():
+        per_item = measure(build(1), stream)
+        batched = measure(build(1), stream, batch_size=batch_size)
+        speedup = batched["items_per_second"] / per_item["items_per_second"]
+        results["sketches"][label] = {
+            "per_item": per_item,
+            "insert_many": batched,
+            "speedup": speedup,
+        }
+        print(
+            f"{label:16s} per-item {per_item['items_per_second']:>12,.0f} it/s   "
+            f"insert_many {batched['items_per_second']:>12,.0f} it/s   "
+            f"speedup {speedup:5.1f}x"
+        )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--output", default="BENCH_throughput.json")
+    args = parser.parse_args(argv)
+    run(args.length, args.batch_size, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

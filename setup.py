@@ -1,7 +1,8 @@
 """Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this file exists so that editable
-installs keep working on machines without network access to build-isolation wheels
+The project metadata (name, version, the numpy dependency, pytest configuration) lives
+in ``pyproject.toml``; this file exists so that editable installs keep working on
+machines without network access to build-isolation wheels
 (``pip install -e . --no-build-isolation --no-use-pep517``).
 """
 

@@ -11,10 +11,13 @@ the Table 1 benchmark (experiment T1-HH) draws.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import bits_for_value
@@ -46,7 +49,7 @@ class CountMinSketch(FrequencyEstimator):
         rng = rng if rng is not None else RandomSource()
         family = UniversalHashFamily(universe_size, self.width, rng=rng)
         self.hash_functions: List[UniversalHashFunction] = family.draw_many(self.depth)
-        self.table: List[List[int]] = [[0] * self.width for _ in range(self.depth)]
+        self.table = np.zeros((self.depth, self.width), dtype=np.int64)
         # A Count-Min sketch alone cannot enumerate the heavy hitters; real deployments
         # pair it with a heap of candidates, which we model here (and charge for).
         self.track_heavy_candidates = track_heavy_candidates
@@ -57,13 +60,44 @@ class CountMinSketch(FrequencyEstimator):
             raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
         self.items_processed += 1
         for row, hash_function in enumerate(self.hash_functions):
-            self.table[row][hash_function(item)] += 1
+            self.table[row, hash_function(item)] += 1
         if self.track_heavy_candidates:
             estimate = self.estimate(item)
             threshold = self.epsilon * self.items_processed
             if estimate >= threshold:
                 self.candidates[item] = estimate
             # Prune stale candidates occasionally to keep the candidate set O(1/eps).
+            if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
+                self._prune_candidates()
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion: per row, one vectorized hash pass and one bincount.
+
+        The counter table after a batch is *exactly* equal to sequential insertion
+        (counter additions commute).  Candidate tracking is evaluated once per distinct
+        id against the batch-end threshold instead of per arrival, so the candidate
+        set — a reporting heuristic, not part of the sketch's guarantee — can differ
+        slightly; estimates only grow within a batch, so no ε-heavy item is missed.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return
+        self.items_processed += int(array.size)
+        distinct, multiplicities = aggregate_counts(array)
+        weights = multiplicities.astype(np.float64)
+        row_estimates: List[np.ndarray] = []
+        for row, hash_function in enumerate(self.hash_functions):
+            buckets = hash_function.hash_many(distinct)
+            added = np.bincount(buckets, weights=weights, minlength=self.width)
+            self.table[row] += added.astype(np.int64)
+            row_estimates.append(self.table[row][buckets])
+        if self.track_heavy_candidates:
+            estimates = np.min(np.stack(row_estimates), axis=0)
+            threshold = self.epsilon * self.items_processed
+            heavy = estimates >= threshold
+            for item, estimate in zip(distinct[heavy].tolist(), estimates[heavy].tolist()):
+                self.candidates[item] = float(estimate)
             if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
                 self._prune_candidates()
 
@@ -78,7 +112,7 @@ class CountMinSketch(FrequencyEstimator):
     def estimate(self, item: int) -> float:
         return float(
             min(
-                self.table[row][hash_function(item)]
+                self.table[row, hash_function(item)]
                 for row, hash_function in enumerate(self.hash_functions)
             )
         )

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import math
 import statistics
-from typing import List, Optional
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import bits_for_value
@@ -50,7 +53,7 @@ class CountSketch(FrequencyEstimator):
         sign_family = UniversalHashFamily(universe_size, 2, rng=rng.spawn(2))
         self.bucket_hashes: List[UniversalHashFunction] = bucket_family.draw_many(self.depth)
         self.sign_hashes: List[UniversalHashFunction] = sign_family.draw_many(self.depth)
-        self.table: List[List[int]] = [[0] * self.width for _ in range(self.depth)]
+        self.table = np.zeros((self.depth, self.width), dtype=np.int64)
         self.track_heavy_candidates = track_heavy_candidates
         self.candidates: dict = {}
 
@@ -63,11 +66,42 @@ class CountSketch(FrequencyEstimator):
         self.items_processed += 1
         for row in range(self.depth):
             bucket = self.bucket_hashes[row](item)
-            self.table[row][bucket] += self._sign(row, item)
+            self.table[row, bucket] += self._sign(row, item)
         if self.track_heavy_candidates:
             estimate = self.estimate(item)
             if estimate >= self.epsilon * self.items_processed:
                 self.candidates[item] = estimate
+            if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
+                self._prune_candidates()
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion: per row, vectorized bucket/sign hashing and one bincount.
+
+        The signed counter table after a batch is *exactly* equal to sequential
+        insertion (signed additions commute).  As with Count-Min, candidate tracking is
+        evaluated once per distinct id at batch end (a reporting heuristic; the sketch's
+        ℓ2 guarantee is untouched).
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return
+        self.items_processed += int(array.size)
+        distinct, multiplicities = aggregate_counts(array)
+        weights = multiplicities.astype(np.float64)
+        row_estimates: List[np.ndarray] = []
+        for row in range(self.depth):
+            buckets = self.bucket_hashes[row].hash_many(distinct)
+            signs = np.where(self.sign_hashes[row].hash_many(distinct) == 1, 1.0, -1.0)
+            added = np.bincount(buckets, weights=weights * signs, minlength=self.width)
+            self.table[row] += added.astype(np.int64)
+            row_estimates.append(signs * self.table[row][buckets])
+        if self.track_heavy_candidates:
+            estimates = np.median(np.stack(row_estimates), axis=0)
+            threshold = self.epsilon * self.items_processed
+            heavy = estimates >= threshold
+            for item, estimate in zip(distinct[heavy].tolist(), estimates[heavy].tolist()):
+                self.candidates[item] = float(estimate)
             if len(self.candidates) > 4 * int(1.0 / self.epsilon) + 4:
                 self._prune_candidates()
 
@@ -81,7 +115,7 @@ class CountSketch(FrequencyEstimator):
 
     def estimate(self, item: int) -> float:
         votes = [
-            self._sign(row, item) * self.table[row][self.bucket_hashes[row](item)]
+            self._sign(row, item) * self.table[row, self.bucket_hashes[row](item)]
             for row in range(self.depth)
         ]
         return float(statistics.median(votes))

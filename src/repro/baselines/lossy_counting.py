@@ -10,10 +10,11 @@ entries in the worst case.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.space import bits_for_value
 
 
@@ -43,6 +44,42 @@ class LossyCounting(FrequencyEstimator):
         else:
             self.entries[item] = (1, self.current_bucket - 1)
         if self.items_processed % self.bucket_width == 0:
+            self._prune()
+            self.current_bucket += 1
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion with chunk-deferred pruning (guarantee-preserving).
+
+        The whole chunk is pre-aggregated in one C-speed pass and applied with one
+        update per distinct id; the per-window prunes that sequential insertion runs
+        every ``bucket_width`` items are deferred to the end of the chunk.  Deferral is
+        sound: deletions only ever happen at chunk ends, so when a first-seen item is
+        recorded mid-chunk, everything it could have lost earlier happened at buckets
+        ``<= current_bucket - 1`` — the ``delta`` assigned is still a valid undercount
+        bound, and the deletion rule ``count + delta <= bucket`` still only discards
+        entries whose true count is at most ``eps * m``.  Estimates never decrease
+        relative to sequential insertion (entries survive longer); the εm guarantee is
+        identical, the table can be transiently larger (time/space trade of the fast
+        path).  When chunks are exactly one bucket window, the behavior — including
+        space — coincides with sequential insertion.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return
+        values, counts = aggregate_counts(array)
+        entries = self.entries
+        new_delta = self.current_bucket - 1
+        for item, count in zip(values.tolist(), counts.tolist()):
+            entry = entries.get(item)
+            if entry is not None:
+                entries[item] = (entry[0] + count, entry[1])
+            else:
+                entries[item] = (count, new_delta)
+        self.items_processed += int(array.size)
+        boundaries_crossed = self.items_processed // self.bucket_width - (self.current_bucket - 1)
+        if boundaries_crossed > 0:
+            self.current_bucket += boundaries_crossed - 1
             self._prune()
             self.current_bucket += 1
 

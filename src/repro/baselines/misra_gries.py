@@ -12,10 +12,11 @@ doubles as the substrate for the core algorithms.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.space import bits_for_value
 
 
@@ -54,6 +55,24 @@ class MisraGriesTable:
         remainder = weight - decrement
         if remainder > 0 and len(self.counters) < self.num_counters:
             self.counters[key] = remainder
+
+    def update_many(self, keys: Sequence[int], weights: Sequence[int]) -> None:
+        """Apply one weighted update per distinct key (the batched merge).
+
+        The classic merge-and-decrement is applied once per ``(key, weight)`` pair
+        instead of once per arrival.  The Misra–Gries invariant — every counter
+        undercounts by at most ``total weight / num_counters`` — holds for weighted
+        updates exactly as for unit ones, so the εm guarantee is preserved; the
+        *content* of the table can differ from sequential insertion (decrements land in
+        different places), which is why batch ingestion through this path is
+        statistically rather than bitwise equivalent.
+        """
+        counters = self.counters
+        for key, weight in zip(keys, weights):
+            if key in counters:
+                counters[key] += weight
+            else:
+                self.update(key, weight)
 
     def get(self, key: int) -> int:
         """The (under-)estimate of ``key``'s frequency stored in the table."""
@@ -103,6 +122,19 @@ class MisraGries(FrequencyEstimator):
             raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
         self.items_processed += 1
         self.table.update(item)
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion: pre-aggregate the batch, then merge once per distinct id.
+
+        Statistically equivalent to sequential insertion (the deterministic εm
+        undercount guarantee holds verbatim for weighted updates); the table content
+        may differ because decrements are applied per distinct id, not per arrival.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        self.items_processed += int(array.size)
+        values, counts = aggregate_counts(array)
+        self.table.update_many(values.tolist(), counts.tolist())
 
     def estimate(self, item: int) -> float:
         return float(self.table.get(item))

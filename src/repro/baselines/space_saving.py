@@ -9,10 +9,11 @@ Misra–Gries.  Included as the strongest practical baseline in the accuracy exp
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.space import bits_for_value
 
 
@@ -48,6 +49,35 @@ class SpaceSaving(FrequencyEstimator):
         self.errors.pop(victim, None)
         self.counts[item] = victim_count + 1
         self.errors[item] = victim_count
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion: aggregate, then one monitored-entry update per distinct id.
+
+        A distinct id with multiplicity ``c`` either bumps its monitored counter by
+        ``c``, claims a free slot, or evicts the current minimum and inherits its count
+        as error — the standard weighted Space-Saving step.  The invariant
+        ``f_i <= estimate(i) <= f_i + min-count`` is preserved, so the ε-guarantee is
+        unchanged; entry content can differ from sequential insertion (statistical
+        equivalence, though the algorithm itself is deterministic given the batch
+        boundaries).
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        self.items_processed += int(array.size)
+        values, multiplicities = aggregate_counts(array)
+        counts = self.counts
+        for item, weight in zip(values.tolist(), multiplicities.tolist()):
+            if item in counts:
+                counts[item] += weight
+            elif len(counts) < self.capacity:
+                counts[item] = weight
+                self.errors[item] = 0
+            else:
+                victim = min(counts, key=lambda key: (counts[key], key))
+                victim_count = counts.pop(victim)
+                self.errors.pop(victim, None)
+                counts[item] = victim_count + weight
+                self.errors[item] = victim_count
 
     def estimate(self, item: int) -> float:
         return float(self.counts.get(item, 0))

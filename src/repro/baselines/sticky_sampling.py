@@ -10,10 +10,11 @@ entries.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import bits_for_value
 
@@ -60,6 +61,39 @@ class StickySampling(FrequencyEstimator):
             self.entries[item] = 1
         if self.items_processed >= self.next_window_end:
             self._advance_window()
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion, statistically equivalent to sequential insertion.
+
+        The batch is split at window boundaries (the sampling rate only changes there).
+        Within a window, a tracked item's occurrences are exact increments, and an
+        untracked item with ``c`` occurrences enters the table iff a geometric draw at
+        the window's rate lands within ``c`` trials — the same law as ``c`` individual
+        coin flips, in one draw; the surviving count ``c - g + 1`` matches the
+        sequential "exact from first success" rule.  While the rate is 1 (the first
+        window) no randomness is consumed at all, so there the batch path is exactly
+        equal to sequential insertion.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        position, total = 0, int(array.size)
+        while position < total:
+            room = self.next_window_end - self.items_processed
+            window = array[position : position + room]
+            values, counts = aggregate_counts(window)
+            entries = self.entries
+            rate = self.sampling_rate
+            for item, count in zip(values.tolist(), counts.tolist()):
+                if item in entries:
+                    entries[item] += count
+                else:
+                    first_success = 1 if rate >= 1.0 else self._rng.geometric(rate)
+                    if first_success <= count:
+                        entries[item] = count - first_success + 1
+            self.items_processed += int(window.size)
+            position += int(window.size)
+            if self.items_processed >= self.next_window_end:
+                self._advance_window()
 
     def _advance_window(self) -> None:
         """Halve the sampling rate and thin existing entries accordingly."""

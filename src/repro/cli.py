@@ -62,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--universe", type=int, default=None,
                          help="universe size (defaults to the file header or max item + 1)")
         sub.add_argument("--seed", type=int, default=None)
+        sub.add_argument("--batch-size", type=int, default=None, metavar="ITEMS",
+                         help="ingest the stream in chunks of this many items through the "
+                              "insert_many fast path (default: one item at a time)")
 
     heavy = subparsers.add_parser("heavy-hitters", help="report the (eps, phi)-heavy hitters")
     add_stream_options(heavy)
@@ -139,7 +142,7 @@ def _command_heavy_hitters(args: argparse.Namespace) -> int:
     else:
         algorithm = MisraGries(epsilon=args.epsilon, universe_size=stream.universe_size,
                                stream_length_hint=len(stream))
-    algorithm.consume(stream)
+    algorithm.consume(stream, batch_size=args.batch_size)
     report = (
         algorithm.report(phi=args.phi) if args.algorithm == "misra-gries" else algorithm.report()
     )
@@ -159,7 +162,7 @@ def _command_maximum(args: argparse.Namespace) -> int:
         epsilon=args.epsilon, universe_size=stream.universe_size,
         stream_length=len(stream), rng=RandomSource(args.seed),
     )
-    algorithm.consume(stream)
+    algorithm.consume(stream, batch_size=args.batch_size)
     result = algorithm.report()
     print(f"stream: {len(stream)} items, universe {stream.universe_size}")
     print(f"space_bits: {algorithm.space_bits()}")
@@ -174,7 +177,7 @@ def _command_minimum(args: argparse.Namespace) -> int:
         epsilon=args.epsilon, universe_size=stream.universe_size,
         stream_length=len(stream), rng=RandomSource(args.seed),
     )
-    algorithm.consume(stream)
+    algorithm.consume(stream, batch_size=args.batch_size)
     result = algorithm.report()
     print(f"stream: {len(stream)} items, universe {stream.universe_size}")
     print(f"space_bits: {algorithm.space_bits()}")

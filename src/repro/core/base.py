@@ -2,22 +2,54 @@
 
 The paper's model (Section 2.1) is a single pass over an insertion-only stream; the
 algorithm keeps a small state between items, and at the end of the stream reports its
-answer.  Every algorithm and baseline in this package therefore exposes the same three
+answer.  Every algorithm and baseline in this package therefore exposes the same
 operations:
 
 * ``insert(item)`` — process one stream insertion,
+* ``insert_many(items)`` — process a batch of insertions (see the contract below),
 * ``report()`` — produce the algorithm's answer (type depends on the problem),
 * ``space_bits()`` — the number of bits of state the algorithm currently holds, as
   accounted by its :class:`~repro.primitives.space.SpaceMeter`.
 
 Item streams use non-negative integer ids in ``[0, n)`` (the paper's universe ``[n]``);
 ranking streams use :class:`~repro.voting.rankings.Ranking` objects.
+
+The ``insert`` / ``insert_many`` contract
+-----------------------------------------
+
+``insert`` is the reference semantics: one arrival, processed exactly as the paper's
+pseudocode says, and it never changes behavior because a batched path exists.  Use it
+when arrivals trickle in one at a time, when bit-for-bit reproducibility against a
+recorded RNG schedule matters, or in adversarial-order experiments where the item
+granularity is the point.
+
+``insert_many(items)`` is the ingestion fast path.  The base-class default simply loops
+over ``insert`` — so every algorithm supports it, exactly — while the heavy-hitter
+sketches override it with vectorized implementations (geometric skip-ahead sampling,
+numpy Carter–Wegman hashing, pre-aggregated counter merges).  Use it whenever items are
+already available in chunks (file replay, benchmark streams, upstream network buffers):
+it is the entry point that makes the paper's O(1)-amortized-update claim visible in
+Python instead of being drowned by interpreter overhead.
+
+Every override preserves three invariants:
+
+* the algorithm's estimation guarantee (same estimator, same ε/ϕ/δ guarantees);
+* the space accounting — batching is a *time* optimization only, ``space_bits()`` is
+  charged identically;
+* ``items_processed`` and report semantics match sequential consumption.
+
+What an override may change is the RNG *consumption order* (a geometric skip draws one
+uniform where m coin flips drew m) and, for the deterministic counter sketches, the
+tie-breaking order of evictions (a pre-aggregated Misra–Gries decrement is applied once
+per distinct id rather than interleaved).  Each override documents whether it is
+**exactly** equal to sequential insertion or **statistically** equivalent (same output
+distribution, identical guarantees).  The default loop implementation is always exact.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, Mapping
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.primitives.space import SpaceMeter
 
@@ -33,14 +65,34 @@ class StreamingAlgorithm(abc.ABC):
     def insert(self, item: int) -> None:
         """Process one stream insertion."""
 
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Process a batch of stream insertions (see the module docstring contract).
+
+        This default loops over :meth:`insert` and is therefore exactly equivalent to
+        sequential insertion; subclasses override it with vectorized fast paths.
+        """
+        for item in items:
+            self.insert(item)
+
     @abc.abstractmethod
     def report(self) -> Any:
         """Produce the algorithm's answer after the stream has been consumed."""
 
-    def consume(self, stream: Iterable[int]) -> "StreamingAlgorithm":
-        """Insert every item of an iterable stream; returns ``self`` for chaining."""
-        for item in stream:
-            self.insert(item)
+    def consume(self, stream: Iterable[int], batch_size: Optional[int] = None) -> "StreamingAlgorithm":
+        """Insert every item of an iterable stream; returns ``self`` for chaining.
+
+        With ``batch_size`` set, the stream is consumed in chunks through
+        :meth:`insert_many` (the batched fast path); otherwise items are inserted one
+        at a time (the reference path).
+        """
+        if batch_size is None:
+            for item in stream:
+                self.insert(item)
+            return self
+        from repro.primitives.batching import iter_chunks
+
+        for chunk in iter_chunks(stream, batch_size):
+            self.insert_many(chunk)
         return self
 
     def space_bits(self) -> int:

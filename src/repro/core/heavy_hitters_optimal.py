@@ -35,12 +35,15 @@ from __future__ import annotations
 
 import math
 import statistics
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.baselines.misra_gries import MisraGriesTable
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport
 from repro.primitives.accelerated import EpochAcceleratedCounter
+from repro.primitives.batching import aggregate_counts, as_item_array, validate_universe
 from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
 from repro.primitives.rng import RandomSource
 from repro.primitives.sampling import CoinFlipSampler
@@ -123,6 +126,9 @@ class OptimalListHeavyHitters(FrequencyEstimator):
         self.counters: List[Dict[int, EpochAcceleratedCounter]] = [
             {} for _ in range(self.repetitions)
         ]
+        # Bulk randomness for the batched ingestion path (vectorized binomial draws
+        # across a whole repetition's buckets); the per-item path never touches it.
+        self._batch_source = rng.spawn(4)
 
     # -- stream interface ---------------------------------------------------------------
 
@@ -139,15 +145,109 @@ class OptimalListHeavyHitters(FrequencyEstimator):
         # Lines 12-17: update every repetition's accelerated counter for this id's bucket.
         for repetition in range(self.repetitions):
             bucket = self.hash_functions[repetition](item)
-            counter = self.counters[repetition].get(bucket)
-            if counter is None:
-                counter = EpochAcceleratedCounter(
-                    epsilon=self.epsilon,
-                    rng=self._counter_rng.spawn(repetition * self.num_buckets + bucket),
-                    epoch_scale=self.epoch_scale,
+            self._counter_for(repetition, bucket).offer()
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion (statistically equivalent to sequential insertion).
+
+        The three batch tricks of the fast path, matched to Algorithm 2's lines:
+
+        * line 10 — geometric skip-ahead sampling: RNG work proportional to the number
+          of *sampled* arrivals, not the batch length;
+        * lines 12-13 — per repetition, one vectorized Carter–Wegman pass over the
+          distinct sampled ids followed by a ``bincount`` groups the whole batch by
+          (repetition, bucket);
+        * lines 14-17 — each bucket's accelerated counter absorbs its group with
+          :meth:`~repro.primitives.accelerated.EpochAcceleratedCounter.offer_many`,
+          whose geometric/binomial run decomposition is distributionally identical to
+          per-occurrence offers.  Occurrence order across buckets does not matter: a
+          counter's law depends only on its own occurrence count.
+
+        ``T1`` receives one weighted Misra–Gries update per distinct sampled id.  RNG
+        consumption order differs from the per-item path (same seed diverges bit-wise);
+        estimator, (ε, ϕ) guarantee and space accounting are identical.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return
+        self.items_processed += int(array.size)
+        # Line 10: skip-ahead sampling.
+        sampled_indices = self._sampler.accepted_indices(int(array.size))
+        if not sampled_indices:
+            return
+        sampled = array[sampled_indices]
+        self.sample_size += int(sampled.size)
+        values, counts = aggregate_counts(sampled)
+        # Line 11: one weighted Misra–Gries merge per distinct sampled id.
+        self.t1.update_many(values.tolist(), counts.tolist())
+        # Lines 12-17: group by (repetition, bucket), then absorb each bucket's group
+        # with vectorized binomial draws across the whole repetition.
+        weights = counts.astype(np.float64)
+        generator = self._batch_source.numpy_generator()
+        epsilon, scale = self.epsilon, self.epoch_scale
+        for repetition in range(self.repetitions):
+            buckets = self.hash_functions[repetition].hash_many(values)
+            per_bucket = np.bincount(buckets, weights=weights, minlength=self.num_buckets)
+            occupied = np.nonzero(per_bucket)[0]
+            occurrence_counts = per_bucket[occupied].astype(np.int64)
+            # Counters are allocated for every touched bucket, as the per-item path
+            # does, so the space accounting after a batch matches sequential ingestion.
+            counters = [
+                self._counter_for(repetition, bucket) for bucket in occupied.tolist()
+            ]
+            # Line 14: how many of each bucket's occurrences increment T2 — one
+            # vectorized binomial for the whole repetition.
+            t2_increments = generator.binomial(occurrence_counts, epsilon)
+            # Line 15: each bucket's current epoch and acceptance probability,
+            # vectorized (matches EpochAcceleratedCounter.current_epoch /
+            # increment_probability bit for bit).
+            subsamples = np.fromiter(
+                (counter.subsample_count for counter in counters),
+                dtype=np.int64,
+                count=len(counters),
+            )
+            squared = scale * subsamples.astype(np.float64) ** 2
+            active = squared >= 1.0
+            epochs = np.full(len(counters), -1, dtype=np.int64)
+            epochs[active] = np.floor(np.log2(squared[active])).astype(np.int64)
+            probabilities = np.zeros(len(counters))
+            probabilities[active] = np.minimum(
+                epsilon * np.exp2(epochs[active].astype(np.float64)), 1.0
+            )
+            # Common case (light buckets): T2 does not move, so the epoch is fixed for
+            # the whole group and T3 takes one binomial — vectorized across buckets.
+            fixed_epoch = t2_increments == 0
+            t3_mask = fixed_epoch & active
+            t3_increments = np.zeros(len(counters), dtype=np.int64)
+            if t3_mask.any():
+                t3_increments[t3_mask] = generator.binomial(
+                    occurrence_counts[t3_mask], probabilities[t3_mask]
                 )
-                self.counters[repetition][bucket] = counter
-            counter.offer()
+            for index in np.nonzero(t3_increments)[0].tolist():
+                counter = counters[index]
+                epoch = int(epochs[index])
+                counter.epoch_counts[epoch] = counter.epoch_counts.get(epoch, 0) + int(
+                    t3_increments[index]
+                )
+            # Heavy buckets: T2 moves mid-group, so replay the group conditioned on the
+            # drawn number of T2 increments (exact run decomposition).
+            for index in np.nonzero(~fixed_epoch)[0].tolist():
+                counters[index].offer_many_given_successes(
+                    int(occurrence_counts[index]), int(t2_increments[index])
+                )
+
+    def _counter_for(self, repetition: int, bucket: int) -> EpochAcceleratedCounter:
+        """The (repetition, bucket) accelerated counter, allocated on first touch."""
+        counter = self.counters[repetition].get(bucket)
+        if counter is None:
+            counter = EpochAcceleratedCounter(
+                epsilon=self.epsilon,
+                rng=self._counter_rng.spawn(repetition * self.num_buckets + bucket),
+                epoch_scale=self.epoch_scale,
+            )
+            self.counters[repetition][bucket] = counter
+        return counter
 
     # -- queries ------------------------------------------------------------------------
 

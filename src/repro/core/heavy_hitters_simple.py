@@ -25,11 +25,14 @@ holds, which the paper's constant-free prose glosses over).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
+
+import numpy as np
 
 from repro.baselines.misra_gries import MisraGriesTable
 from repro.core.base import FrequencyEstimator
 from repro.core.results import HeavyHittersReport, MaximumResult
+from repro.primitives.batching import as_item_array, validate_universe
 from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
 from repro.primitives.rng import RandomSource
 from repro.primitives.sampling import CoinFlipSampler
@@ -109,6 +112,49 @@ class SimpleListHeavyHitters(FrequencyEstimator):
         self.t1.update(hashed)
         # Lines 10-16: keep T2 consistent with the top-1/phi hashed keys of T1.
         self._synchronize_id_table(hashed, item)
+
+    def insert_many(self, items: Sequence[int]) -> None:
+        """Batched ingestion (statistically equivalent to sequential insertion).
+
+        Three batch tricks, in the order of Algorithm 1's lines:
+
+        * line 8 — the Lemma 1 sampler skips ahead geometrically, touching the RNG only
+          ``O(p * batch + 1)`` times instead of once per arrival;
+        * line 9 — the sampled ids are pre-aggregated and hashed *per distinct id* with
+          one vectorized Carter–Wegman pass (the id-hash prime is huge, so hashing
+          distinct ids with multiplicities is what keeps the big-int work small), and
+          ``T1`` receives one weighted Misra–Gries update per distinct id;
+        * lines 10-16 — the ``T2`` id side-table is synchronized once per distinct
+          sampled id, in first-occurrence order.
+
+        RNG consumption order and Misra–Gries decrement interleaving differ from the
+        per-item path, so runs with the same seed diverge bit-wise; the estimator, the
+        (ε, ϕ) guarantee and the space accounting are identical.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return
+        self.items_processed += int(array.size)
+        # Line 8: skip-ahead sampling.
+        sampled_indices = self._sampler.accepted_indices(int(array.size))
+        if not sampled_indices:
+            return
+        sampled = array[sampled_indices]
+        self.sample_size += int(sampled.size)
+        # Pre-aggregate in first-occurrence order (T2 displacement is order-sensitive).
+        values, first_positions, counts = np.unique(
+            sampled, return_index=True, return_counts=True
+        )
+        order = np.argsort(first_positions, kind="stable")
+        values, counts = values[order], counts[order]
+        # Line 9: one vectorized hash pass over the distinct sampled ids.
+        hashed_values = self.hash_function.hash_many(values)
+        for item, hashed, count in zip(
+            values.tolist(), hashed_values.tolist(), counts.tolist()
+        ):
+            self.t1.update(hashed, count)
+            self._synchronize_id_table(hashed, item)
 
     def _synchronize_id_table(self, hashed: int, item: int) -> None:
         """Maintain T2 = actual ids of the highest-valued hashed keys in T1.

@@ -58,6 +58,16 @@ class AcceleratedCounter:
         if self._rng.bernoulli(self.probability):
             self.count += 1
 
+    def offer_many(self, occurrences: int) -> None:
+        """Register many occurrences at once: one binomial draw replaces the coin flips.
+
+        Distributionally identical to calling :meth:`offer` ``occurrences`` times (the
+        counter's law depends only on the number of occurrences), but O(1) RNG work.
+        """
+        if occurrences < 0:
+            raise ValueError("occurrences must be non-negative")
+        self.count += self._rng.binomial(occurrences, self.probability)
+
     def estimate(self) -> float:
         """Unbiased estimate of the number of occurrences offered."""
         return self.count / self.probability
@@ -111,6 +121,74 @@ class EpochAcceleratedCounter:
             return
         if self._rng.bernoulli(self.increment_probability(epoch)):
             self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + 1
+
+    def offer_many(self, occurrences: int) -> None:
+        """Register a run of occurrences at once (batched Algorithm 2 lines 14-17).
+
+        The per-occurrence process is a Markov chain whose epoch only changes when the
+        ``T2`` subsample counter increments, so a batch decomposes into runs ending at a
+        ``T2`` increment: the run length is geometric with rate ``eps``, the ``T3``
+        increments within a run are binomial at the run's (fixed) epoch probability, and
+        the occurrence that bumps ``T2`` is re-evaluated at the *new* epoch — exactly
+        the order :meth:`offer` uses.  The result is distributionally identical to
+        ``occurrences`` calls of :meth:`offer` while doing ``O(eps * occurrences + 1)``
+        RNG work, which is what makes the batched ingestion path of
+        :class:`~repro.core.heavy_hitters_optimal.OptimalListHeavyHitters` fast.
+        """
+        if occurrences < 0:
+            raise ValueError("occurrences must be non-negative")
+        remaining = occurrences
+        while remaining > 0:
+            gap = self._rng.geometric(self.epsilon)
+            if gap > remaining:
+                # No T2 increment in the rest of the batch: every remaining occurrence
+                # sees the current epoch.
+                self._record_run(self.current_epoch(), remaining)
+                return
+            # gap - 1 occurrences at the old epoch, then the occurrence whose T2 coin
+            # came up heads, whose T3 coin is tossed at the updated epoch.
+            self._record_run(self.current_epoch(), gap - 1)
+            self.subsample_count += 1
+            epoch = self.current_epoch()
+            if epoch >= 0 and self._rng.bernoulli(self.increment_probability(epoch)):
+                self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + 1
+            remaining -= gap
+
+    def offer_many_given_successes(self, occurrences: int, successes: int) -> None:
+        """Absorb ``occurrences`` arrivals of which exactly ``successes`` increment T2.
+
+        Used by the repetition-level vectorized path of Algorithm 2's batched
+        ingestion: the caller has already drawn the binomial number of T2 increments
+        for every bucket in one vectorized pass, so this method simulates the rest of
+        the per-occurrence process *conditioned* on that count.  Given the count, the
+        T2-increment positions are uniform among the ``occurrences`` trials (binomial
+        thinning); the failure runs between them are credited at their run's epoch and
+        each incrementing occurrence re-evaluates its T3 coin at the updated epoch,
+        exactly as :meth:`offer` orders the steps.
+        """
+        if occurrences < 0 or not 0 <= successes <= occurrences:
+            raise ValueError("need 0 <= successes <= occurrences")
+        if successes == 0:
+            self._record_run(self.current_epoch(), occurrences)
+            return
+        positions = sorted(self._rng.sample(range(occurrences), successes))
+        previous = -1
+        for position in positions:
+            self._record_run(self.current_epoch(), position - previous - 1)
+            self.subsample_count += 1
+            epoch = self.current_epoch()
+            if epoch >= 0 and self._rng.bernoulli(self.increment_probability(epoch)):
+                self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + 1
+            previous = position
+        self._record_run(self.current_epoch(), occurrences - 1 - previous)
+
+    def _record_run(self, epoch: int, run_length: int) -> None:
+        """Credit ``run_length`` same-epoch occurrences to ``T3`` with one binomial."""
+        if run_length <= 0 or epoch < 0:
+            return
+        accepted = self._rng.binomial(run_length, self.increment_probability(epoch))
+        if accepted:
+            self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + accepted
 
     def estimate(self) -> float:
         """Estimate of the number of occurrences offered (Algorithm 2 line 23)."""

@@ -1,0 +1,64 @@
+"""Shared helpers for the batched (``insert_many``) ingestion fast path.
+
+Every batched override follows the same preamble: normalize the incoming batch to a
+contiguous int64 numpy array, bounds-check it against the universe in one vectorized
+pass, and (usually) pre-aggregate it into ``(distinct ids, multiplicities)`` so the
+per-id work is paid once per *distinct* id instead of once per arrival.  These helpers
+keep that preamble identical across the eight sketches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+
+def as_item_array(items: Sequence[int]) -> np.ndarray:
+    """Normalize a batch of stream items to a 1-D int64 numpy array.
+
+    Already-int64 arrays (the backing of :class:`~repro.streams.stream.Stream`) pass
+    through without a copy.
+    """
+    array = np.asarray(items)
+    if array.dtype != np.int64:
+        array = array.astype(np.int64)
+    if array.ndim != 1:
+        array = np.atleast_1d(array).reshape(-1)
+    return array
+
+
+def validate_universe(array: np.ndarray, universe_size: int) -> None:
+    """Vectorized version of the per-item universe check, same error message."""
+    if array.size == 0:
+        return
+    if int(array.min()) < 0 or int(array.max()) >= universe_size:
+        offending = array[(array < 0) | (array >= universe_size)]
+        item = int(offending[0])
+        raise ValueError(f"item {item} outside universe [0, {universe_size})")
+
+
+def aggregate_counts(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct ids and their multiplicities, sorted by id (one C-speed pass)."""
+    return np.unique(array, return_counts=True)
+
+
+def iter_chunks(items: Iterable[int], chunk_size: int) -> Iterator[np.ndarray]:
+    """Split a stream (array-backed or plain iterable) into int64 array chunks."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    backing = getattr(items, "array", None)
+    if backing is None and isinstance(items, np.ndarray):
+        backing = items
+    if backing is not None:
+        for start in range(0, len(backing), chunk_size):
+            yield as_item_array(backing[start : start + chunk_size])
+        return
+    buffer = []
+    for item in items:
+        buffer.append(item)
+        if len(buffer) >= chunk_size:
+            yield as_item_array(buffer)
+            buffer = []
+    if buffer:
+        yield as_item_array(buffer)

@@ -22,8 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import bits_for_value
+
+# ((a*x + b) mod p) stays inside int64 for every x < p as long as p*(p-1) + (p-1) < 2^63;
+# any prime below 2^31 satisfies this with room to spare.
+_INT64_SAFE_PRIME = 1 << 31
 
 
 def _is_prime(candidate: int) -> bool:
@@ -74,6 +80,26 @@ class UniversalHashFunction:
         if item < 0:
             raise ValueError("hash input must be a non-negative integer")
         return ((self.multiplier * item + self.offset) % self.prime) % self.range_size
+
+    def hash_many(self, items: "np.ndarray") -> "np.ndarray":
+        """Vectorized evaluation: ``((a*x + b) mod p) mod range_size`` over an array.
+
+        Produces exactly the same values as calling the function item by item.  When the
+        prime is small enough for the arithmetic to stay inside int64 the whole
+        computation is one numpy expression; for the huge primes Algorithm 1 uses for id
+        hashing (``p ~ poly(eps^-2, delta^-1)``) the multiply would overflow, so the
+        computation falls back to Python big integers element-wise — callers therefore
+        want to hash *distinct* ids with their multiplicities rather than raw batches.
+        """
+        array = np.asarray(items, dtype=np.int64)
+        if array.size == 0:
+            return array.copy()
+        if array.min() < 0:
+            raise ValueError("hash input must be a non-negative integer")
+        if self.prime < _INT64_SAFE_PRIME and int(array.max()) < self.prime:
+            return ((self.multiplier * array + self.offset) % self.prime) % self.range_size
+        mixed = (self.multiplier * array.astype(object) + self.offset) % self.prime % self.range_size
+        return mixed.astype(np.int64)
 
     def description_bits(self) -> int:
         """Bits needed to store this function (the pair ``(a, b)`` modulo ``p``)."""

@@ -9,6 +9,7 @@ public randomness.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, List, Optional, Sequence, TypeVar
 
@@ -30,7 +31,18 @@ class RandomSource:
 
     def __init__(self, seed: Optional[int] = None) -> None:
         self._seed = seed
-        self._rng = random.Random(seed)
+        self._random: Optional[random.Random] = None
+        self._numpy_rng = None
+
+    @property
+    def _rng(self) -> random.Random:
+        # Seeding a Mersenne Twister costs ~15us; structures that spawn one source per
+        # component (e.g. one per accelerated counter) create thousands that the batched
+        # ingestion path never draws from, so the generator is built on first use.
+        generator = self._random
+        if generator is None:
+            generator = self._random = random.Random(self._seed)
+        return generator
 
     @property
     def seed(self) -> Optional[int]:
@@ -70,6 +82,52 @@ class RandomSource:
         """Uniform integer in the inclusive range ``[low, high]``."""
         return self._rng.randint(low, high)
 
+    def geometric(self, probability: float) -> int:
+        """Number of Bernoulli(``probability``) trials up to and including the first success.
+
+        The support is ``{1, 2, ...}``: a return of ``g`` means ``g - 1`` failures then a
+        success.  Implemented by inverse-CDF from one uniform draw, so a batch of ``m``
+        trials at rate ``p`` costs ``O(p*m)`` RNG work instead of ``m`` — the geometric
+        skip behind the batched samplers.  ``probability >= 1`` returns ``1`` without
+        consuming randomness (matching :meth:`bernoulli`).
+        """
+        if probability >= 1.0:
+            return 1
+        if probability <= 0.0:
+            raise ValueError("geometric requires a positive probability")
+        uniform = self._rng.random()
+        return 1 + int(math.log1p(-uniform) / math.log1p(-probability))
+
+    def binomial(self, trials: int, probability: float) -> int:
+        """Number of successes among ``trials`` Bernoulli(``probability``) draws.
+
+        Degenerate probabilities consume no randomness; small trial counts use the
+        Python generator directly, larger ones a numpy generator derived from this
+        source (see :meth:`numpy_generator`), so one call replaces up to ``trials``
+        individual coin flips.
+        """
+        if trials <= 0 or probability <= 0.0:
+            return 0
+        if probability >= 1.0:
+            return trials
+        if trials < 32:
+            random_draw = self._rng.random
+            return sum(random_draw() < probability for _ in range(trials))
+        return int(self.numpy_generator().binomial(trials, probability))
+
+    def numpy_generator(self):
+        """A numpy :class:`~numpy.random.Generator` seeded from this source, lazily built.
+
+        Bulk draws (vectorized stream generation, binomial counter updates) go through
+        this generator; it is created on first use from the Python stream, so the whole
+        hierarchy remains deterministic under a fixed seed.
+        """
+        if self._numpy_rng is None:
+            import numpy
+
+            self._numpy_rng = numpy.random.default_rng(self._rng.getrandbits(64))
+        return self._numpy_rng
+
     def choice_index(self, length: int) -> int:
         """Uniform index into a sequence of the given length."""
         if length <= 0:
@@ -82,6 +140,8 @@ class RandomSource:
 
     def sample(self, items: Sequence[T], k: int) -> List[T]:
         """Sample ``k`` distinct elements of ``items`` uniformly without replacement."""
+        if isinstance(items, (range, list, tuple)):
+            return self._rng.sample(items, k)
         return self._rng.sample(list(items), k)
 
     def shuffle(self, items: Iterable[T]) -> List[T]:

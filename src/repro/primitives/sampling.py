@@ -16,7 +16,7 @@ sampler the algorithms use for this, and :class:`FixedSizeSampler`/
 from __future__ import annotations
 
 import math
-from typing import Generic, Iterable, List, Optional, TypeVar
+from typing import Generic, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import SpaceMeter, bits_for_value
@@ -62,6 +62,48 @@ class CoinFlipSampler:
             return True
         return self._rng.random_bits(self.num_coins) == 0
 
+    def next_accepted(self, batch_len: int) -> Optional[int]:
+        """Offset in ``[0, batch_len)`` of the first accepted item among the next
+        ``batch_len`` arrivals, or ``None`` if all of them are rejected.
+
+        Distributionally equivalent to calling :meth:`decide` once per arrival and
+        returning the index of the first ``True``, but costs a single geometric draw
+        (Lemma 1's coins, skipped ahead in one jump).  Because Bernoulli trials are
+        memoryless, rejecting a whole batch carries no state into the next call.  Note
+        the RNG *consumption order* differs from per-item :meth:`decide` calls, so
+        batched and per-item runs of the same seed diverge (by design; see the
+        ``insert_many`` contract in :mod:`repro.core.base`).
+        """
+        if batch_len <= 0:
+            return None
+        if self.num_coins == 0:
+            return 0
+        gap = self._rng.geometric(self.probability)
+        return gap - 1 if gap <= batch_len else None
+
+    def accepted_indices(self, batch_len: int) -> List[int]:
+        """Indices of all accepted items among the next ``batch_len`` arrivals.
+
+        Built on :meth:`next_accepted`, so the expected RNG work is
+        ``O(probability * batch_len + 1)`` — for the paper's ``l/m`` sampling rates this
+        is what turns the O(1) amortized update claim into practice: almost every
+        arrival is skipped without touching the generator.
+        """
+        indices: List[int] = []
+        if batch_len <= 0:
+            return indices
+        if self.num_coins == 0:
+            return list(range(batch_len))
+        position = 0
+        while position < batch_len:
+            offset = self.next_accepted(batch_len - position)
+            if offset is None:
+                break
+            position += offset
+            indices.append(position)
+            position += 1
+        return indices
+
     def space_bits(self) -> int:
         """Bits of state kept between items: the counter length ``k``."""
         return max(1, bits_for_value(self.num_coins))
@@ -106,6 +148,21 @@ class BernoulliSampler(Generic[T]):
         for item in items:
             self.offer(item)
         return self.sample_size - before
+
+    def offer_many(self, items: Sequence[T]) -> List[T]:
+        """Offer a whole batch at once and return the items that were sampled.
+
+        Uses the coin sampler's geometric skip (:meth:`CoinFlipSampler.accepted_indices`)
+        so the cost is proportional to the number of *sampled* items, not the batch
+        length.  Statistically equivalent to :meth:`extend`, but consumes the RNG in a
+        different order.
+        """
+        self.stream_length += len(items)
+        sampled = [items[index] for index in self._coin.accepted_indices(len(items))]
+        self.sample_size += len(sampled)
+        if self.keep_items:
+            self.items.extend(sampled)
+        return sampled
 
     def expected_sample_size(self, stream_length: int) -> float:
         """Expected number of sampled items for a stream of the given length."""

@@ -7,9 +7,9 @@ how they were built (so EXPERIMENTS.md can record workload parameters exactly).
 
 from __future__ import annotations
 
-import itertools
-import math
 from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from repro.primitives.rng import RandomSource
 from repro.streams.stream import Stream
@@ -25,7 +25,7 @@ def uniform_stream(
     if length < 0:
         raise ValueError("length must be non-negative")
     rng = rng if rng is not None else RandomSource()
-    items = [rng.randint(0, universe_size - 1) for _ in range(length)]
+    items = rng.numpy_generator().integers(0, universe_size, size=length, dtype=np.int64)
     return Stream(items=items, universe_size=universe_size, name=name, metadata={"kind": "uniform"})
 
 
@@ -41,40 +41,40 @@ def zipfian_stream(
     Zipfian streams are the standard model for the network-traffic and iceberg-query
     workloads the paper's introduction motivates: a few very frequent items and a long
     tail.  Item ``i`` has probability proportional to ``1 / (i+1)^skew``.
+
+    The cumulative distribution is computed once (one vectorized pass over the
+    universe) and every draw is inverse-CDF sampled with a binary search
+    (``np.searchsorted``), so generating a stream costs ``O(n + m log n)`` instead of
+    the former per-draw weight-list rebuild.
     """
     if length < 0:
         raise ValueError("length must be non-negative")
     if skew <= 0:
         raise ValueError("skew must be positive")
     rng = rng if rng is not None else RandomSource()
-    weights = [1.0 / ((rank + 1) ** skew) for rank in range(universe_size)]
-    total = sum(weights)
-    cumulative: List[float] = []
-    running = 0.0
-    for weight in weights:
-        running += weight / total
-        cumulative.append(running)
-    items: List[int] = []
-    for _ in range(length):
-        target = rng.random()
-        items.append(_binary_search(cumulative, target))
+    cumulative = zipf_cumulative_weights(universe_size, skew)
+    generator = rng.numpy_generator()
+    targets = generator.random(length)
+    items = np.searchsorted(cumulative, targets, side="left")
+    np.clip(items, 0, universe_size - 1, out=items)
     return Stream(
-        items=items,
+        items=items.astype(np.int64),
         universe_size=universe_size,
         name=name,
         metadata={"kind": "zipf", "skew": skew},
     )
 
 
-def _binary_search(cumulative: Sequence[float], target: float) -> int:
-    low, high = 0, len(cumulative) - 1
-    while low < high:
-        mid = (low + high) // 2
-        if cumulative[mid] < target:
-            low = mid + 1
-        else:
-            high = mid
-    return low
+def zipf_cumulative_weights(universe_size: int, skew: float) -> np.ndarray:
+    """The normalized Zipf(skew) CDF over ``[0, universe_size)``, computed once.
+
+    Exposed so callers drawing repeatedly from the same distribution (benchmark
+    harnesses, sharded generators) can amortize the ``O(universe_size)`` setup.
+    """
+    weights = np.power(np.arange(1, universe_size + 1, dtype=np.float64), -skew)
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    return cumulative
 
 
 def planted_heavy_hitters_stream(
@@ -98,19 +98,26 @@ def planted_heavy_hitters_stream(
     if total_heavy_fraction > 1.0 + 1e-9:
         raise ValueError("planted relative frequencies sum to more than 1")
     rng = rng if rng is not None else RandomSource()
-    items: List[int] = []
+    parts: List[np.ndarray] = []
     for item, fraction in heavy_items.items():
         if not 0 <= item < universe_size:
             raise ValueError(f"heavy item {item} outside universe")
-        items.extend([item] * int(round(fraction * length)))
-    light_candidates = [item for item in range(universe_size) if item not in heavy_items]
-    if not light_candidates and len(items) < length:
-        raise ValueError("no light items available to fill the stream")
-    while len(items) < length:
-        items.append(light_candidates[rng.choice_index(len(light_candidates))])
+        parts.append(np.full(int(round(fraction * length)), item, dtype=np.int64))
+    heavy_total = int(sum(part.size for part in parts))
+    if heavy_total < length:
+        light_candidates = np.setdiff1d(
+            np.arange(universe_size, dtype=np.int64),
+            np.fromiter(heavy_items.keys(), dtype=np.int64, count=len(heavy_items)),
+        )
+        if light_candidates.size == 0:
+            raise ValueError("no light items available to fill the stream")
+        generator = rng.numpy_generator()
+        slots = generator.integers(0, light_candidates.size, size=length - heavy_total)
+        parts.append(light_candidates[slots])
+    items = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
     items = items[:length]
     if shuffle:
-        items = rng.shuffle(items)
+        items = items[rng.numpy_generator().permutation(items.size)]
     return Stream(
         items=items,
         universe_size=universe_size,
@@ -173,13 +180,9 @@ def adversarial_block_stream(
         name=name,
         shuffle=False,
     )
-    counts: Dict[int, int] = {}
-    for item in planted.items:
-        counts[item] = counts.get(item, 0) + 1
-    light_first = sorted(counts.items(), key=lambda pair: (pair[1], pair[0]))
-    items = list(
-        itertools.chain.from_iterable([item] * count for item, count in light_first)
-    )
+    values, counts = np.unique(planted.array, return_counts=True)
+    light_first = np.lexsort((values, counts))  # ascending (count, item), light items first
+    items = np.repeat(values[light_first], counts[light_first])
     return Stream(
         items=items,
         universe_size=universe_size,

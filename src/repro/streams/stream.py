@@ -1,22 +1,27 @@
-"""A light container for an insertion-only stream and its metadata."""
+"""A light container for an insertion-only stream and its metadata.
+
+The items are backed by a contiguous int64 numpy array (the batched ingestion path
+feeds whole slices of it to ``insert_many`` without copying), but the container keeps a
+``Sequence[int]`` facade: iteration yields plain Python ints, indexing returns ints,
+and slicing-based helpers (:meth:`Stream.prefix`, :meth:`Stream.concatenate`) behave as
+they did when the backing was a list.  Nothing about the reproduction depends on the
+stream being materialized — the algorithms consume any iterable one item (or one chunk)
+at a time.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
+
+import numpy as np
 
 
 @dataclass
 class Stream:
-    """An insertion-only stream of integer items over the universe ``[0, universe_size)``.
+    """An insertion-only stream of integer items over the universe ``[0, universe_size)``."""
 
-    The items are materialized in memory (these are synthetic benchmark streams, not the
-    internet traffic the paper motivates), but all algorithms consume them one at a time
-    through the single-pass interface, so nothing about the reproduction depends on the
-    stream being materialized.
-    """
-
-    items: List[int]
+    items: Sequence[int]
     universe_size: int
     name: str = "stream"
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -24,29 +29,47 @@ class Stream:
     def __post_init__(self) -> None:
         if self.universe_size <= 0:
             raise ValueError("universe_size must be positive")
-        for item in self.items:
-            if not 0 <= item < self.universe_size:
+        array = np.asarray(self.items)
+        if array.dtype != np.int64:
+            array = array.astype(np.int64)
+        array = np.atleast_1d(array).reshape(-1)
+        if array.size:
+            low, high = int(array.min()), int(array.max())
+            if low < 0 or high >= self.universe_size:
+                offending = array[(array < 0) | (array >= self.universe_size)]
                 raise ValueError(
-                    f"stream item {item} outside universe [0, {self.universe_size})"
+                    f"stream item {int(offending[0])} outside universe [0, {self.universe_size})"
                 )
+        self.items = array
+
+    @property
+    def array(self) -> np.ndarray:
+        """The int64 numpy backing, shared (not copied) — the batched fast path input."""
+        return self.items
 
     def __len__(self) -> int:
-        return len(self.items)
+        return int(self.items.size)
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self.items)
+        return map(int, self.items)
 
-    def __getitem__(self, index: int) -> int:
-        return self.items[index]
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.items[index]
+        return int(self.items[index])
 
     @property
     def length(self) -> int:
-        return len(self.items)
+        return len(self)
+
+    def tolist(self) -> list:
+        """The items as a plain list of Python ints."""
+        return self.items.tolist()
 
     def prefix(self, length: int) -> "Stream":
         """The first ``length`` items as a new stream (same universe)."""
         return Stream(
-            items=list(self.items[:length]),
+            items=self.items[:length].copy(),
             universe_size=self.universe_size,
             name=f"{self.name}[:{length}]",
             metadata=dict(self.metadata),
@@ -56,7 +79,7 @@ class Stream:
         """This stream followed by another over the same (or compatible) universe."""
         universe = max(self.universe_size, other.universe_size)
         return Stream(
-            items=list(self.items) + list(other.items),
+            items=np.concatenate([self.array, other.array]),
             universe_size=universe,
             name=name or f"{self.name}+{other.name}",
             metadata={**self.metadata, **other.metadata},
@@ -65,7 +88,8 @@ class Stream:
     @classmethod
     def from_items(cls, items: Sequence[int], universe_size: Optional[int] = None, name: str = "stream") -> "Stream":
         """Build a stream from raw items, inferring the universe size if not given."""
-        materialized = list(items)
+        array = np.atleast_1d(np.asarray(list(items) if not hasattr(items, "__len__") else items)).reshape(-1)
+        array = array.astype(np.int64) if array.dtype != np.int64 else array
         if universe_size is None:
-            universe_size = (max(materialized) + 1) if materialized else 1
-        return cls(items=materialized, universe_size=universe_size, name=name)
+            universe_size = (int(array.max()) + 1) if array.size else 1
+        return cls(items=array, universe_size=universe_size, name=name)

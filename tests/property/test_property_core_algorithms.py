@@ -8,6 +8,8 @@ to hash collisions — exactly the regime where a property test can demand they 
 hold.
 """
 
+import math
+
 from hypothesis import given, settings, strategies as st
 
 from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
@@ -140,7 +142,12 @@ class TestMinimumProperties:
         )
         algo.consume(stream)
         result = algo.report()
-        assert truth.get(result.item, 0) <= 0.1 * len(stream)
+        # The eps*m bound holds with probability 1-delta per run; a uniform stream puts
+        # every present item's frequency within sampling noise of eps*m, so allow a few
+        # standard deviations of slack (sd ~ sqrt(m/universe)) lest the example search
+        # hunt down the boundary case where the answer's frequency is eps*m + O(sd).
+        slack = 4.0 * math.sqrt(len(stream) / max(1, universe - 1))
+        assert truth.get(result.item, 0) <= 0.1 * len(stream) + slack
 
     @given(st.integers(min_value=0, max_value=5_000))
     @settings(max_examples=15, deadline=None)

@@ -1,0 +1,283 @@
+"""Equivalence of batched (``insert_many``) and sequential (``insert``) ingestion.
+
+The contract (see :mod:`repro.core.base`) distinguishes two strengths:
+
+* **exact** overrides reproduce sequential state bit for bit — the Count-Min /
+  CountSketch tables (counter additions commute), Lossy Counting fed window-aligned
+  chunks, Sticky Sampling while its sampling rate is 1, and the base-class default
+  loop;
+* **statistical** overrides change RNG consumption order or decrement interleaving but
+  keep the estimator and its ε/ϕ guarantees — Misra–Gries, Space-Saving, the two paper
+  algorithms, and the general-chunk paths of Lossy Counting / Sticky Sampling.
+
+The tests below pin each override to its documented strength: exact paths are compared
+field by field, statistical paths are held to the same accuracy guarantees the
+sequential path is tested for (fixed seeds, planted ground truth).  A final test locks
+the acceptance criterion that batching never changes the *space accounting*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.sticky_sampling import StickySampling
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.primitives.rng import RandomSource
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+UNIVERSE = 2_000
+LENGTH = 12_000
+HEAVY = {3: 0.25, 11: 0.12, 42: 0.08}
+PHI = 0.07
+EPSILON = 0.02
+
+# Chunk sizes chosen to exercise ragged boundaries (prime), tiny batches, and
+# one-big-batch ingestion.
+CHUNKINGS = [997, 1, 12_000, 5_000]
+
+
+def _planted(seed=5):
+    return planted_heavy_hitters_stream(
+        LENGTH, UNIVERSE, HEAVY, rng=RandomSource(seed)
+    )
+
+
+def _consume_chunked(algorithm, stream, chunk):
+    array = stream.array
+    for start in range(0, len(array), chunk):
+        algorithm.insert_many(array[start : start + chunk])
+    return algorithm
+
+
+def _true_heavy_items(stream, phi):
+    truth = exact_frequencies(stream)
+    return {item for item, count in truth.items() if count > phi * len(stream)}
+
+
+class TestDefaultPathIsExact:
+    """The base-class default (a loop over insert) must be bitwise exact."""
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_exact_counter_matches(self, chunk):
+        stream = _planted()
+        sequential = ExactCounter(universe_size=UNIVERSE).consume(stream)
+        batched = _consume_chunked(ExactCounter(universe_size=UNIVERSE), stream, chunk)
+        assert batched.counts == sequential.counts
+        assert batched.items_processed == sequential.items_processed
+
+
+class TestExactOverrides:
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_count_min_table_identical(self, chunk):
+        stream = _planted()
+        sequential = CountMinSketch(EPSILON, 0.1, UNIVERSE, rng=RandomSource(1))
+        batched = CountMinSketch(EPSILON, 0.1, UNIVERSE, rng=RandomSource(1))
+        sequential.consume(stream)
+        _consume_chunked(batched, stream, chunk)
+        assert np.array_equal(batched.table, sequential.table)
+        assert batched.items_processed == sequential.items_processed
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_count_sketch_table_identical(self, chunk):
+        stream = _planted()
+        sequential = CountSketch(0.05, 0.1, UNIVERSE, rng=RandomSource(2))
+        batched = CountSketch(0.05, 0.1, UNIVERSE, rng=RandomSource(2))
+        sequential.consume(stream)
+        _consume_chunked(batched, stream, chunk)
+        assert np.array_equal(batched.table, sequential.table)
+
+    def test_lossy_counting_window_aligned_chunks_identical(self):
+        stream = _planted()
+        sequential = LossyCounting(EPSILON, UNIVERSE).consume(stream)
+        batched = LossyCounting(EPSILON, UNIVERSE)
+        _consume_chunked(batched, stream, batched.bucket_width)
+        assert batched.entries == sequential.entries
+        assert batched.current_bucket == sequential.current_bucket
+
+    def test_sticky_sampling_rate_one_regime_identical(self):
+        # Keep the stream strictly inside the first window, where the sampling rate
+        # is 1 and neither path consumes randomness (nor reaches the randomized
+        # window-advance thinning).
+        sticky = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        short = _planted().prefix(min(sticky.window_size - 1, LENGTH))
+        sequential = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        sequential.consume(short)
+        batched = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        _consume_chunked(batched, short, 611)
+        assert batched.entries == sequential.entries
+
+
+class TestStatisticalOverridesKeepGuarantees:
+    """Batched paths must satisfy the same guarantees the sequential paths are held to."""
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_misra_gries_deterministic_guarantee(self, chunk):
+        stream = _planted()
+        truth = exact_frequencies(stream)
+        batched = _consume_chunked(MisraGries(EPSILON, UNIVERSE), stream, chunk)
+        for item, count in truth.items():
+            estimate = batched.estimate(item)
+            assert count - EPSILON * LENGTH <= estimate <= count
+        report = batched.report(phi=PHI)
+        assert _true_heavy_items(stream, PHI) <= set(report.items)
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_space_saving_deterministic_guarantee(self, chunk):
+        stream = _planted()
+        truth = exact_frequencies(stream)
+        batched = _consume_chunked(SpaceSaving(EPSILON, UNIVERSE), stream, chunk)
+        for item in batched.counts:
+            true_count = truth.get(item, 0)
+            assert true_count <= batched.counts[item] <= true_count + LENGTH / batched.capacity
+        report = batched.report(phi=PHI)
+        assert _true_heavy_items(stream, PHI) <= set(report.items)
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    def test_lossy_counting_guarantee_any_chunking(self, chunk):
+        stream = _planted()
+        truth = exact_frequencies(stream)
+        batched = _consume_chunked(LossyCounting(EPSILON, UNIVERSE), stream, chunk)
+        for item, (count, _delta) in batched.entries.items():
+            assert count <= truth[item]
+            assert truth[item] - count <= EPSILON * LENGTH
+        report = batched.report(phi=PHI)
+        assert _true_heavy_items(stream, PHI) <= set(report.items)
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sticky_sampling_finds_planted_heavies(self, chunk, seed):
+        stream = _planted()
+        batched = _consume_chunked(
+            StickySampling(EPSILON, PHI, 0.1, UNIVERSE, rng=RandomSource(seed)),
+            stream,
+            chunk,
+        )
+        report = batched.report()
+        assert _true_heavy_items(stream, PHI) <= set(report.items)
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_simple_batched_report_matches_sequential_quality(self, chunk, seed):
+        stream = _planted()
+        heavy = _true_heavy_items(stream, PHI)
+
+        def build():
+            return SimpleListHeavyHitters(
+                epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+                stream_length=LENGTH, rng=RandomSource(seed),
+            )
+
+        sequential = build().consume(stream)
+        batched = _consume_chunked(build(), stream, chunk)
+        assert set(sequential.report().items) == heavy
+        assert set(batched.report().items) == heavy
+        for item in heavy:
+            true_count = exact_frequencies(stream)[item]
+            assert abs(batched.estimate(item) - true_count) <= EPSILON * LENGTH
+
+    @pytest.mark.parametrize("chunk", CHUNKINGS)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_optimal_batched_report_matches_sequential_quality(self, chunk, seed):
+        stream = _planted()
+        heavy = _true_heavy_items(stream, PHI)
+
+        def build():
+            return OptimalListHeavyHitters(
+                epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+                stream_length=LENGTH, rng=RandomSource(seed),
+            )
+
+        sequential = build().consume(stream)
+        batched = _consume_chunked(build(), stream, chunk)
+        assert set(sequential.report().items) == heavy
+        assert set(batched.report().items) == heavy
+
+    def test_optimal_sample_rate_matches(self):
+        """The skip-ahead sampler must sample at the same rate as per-item coin flips."""
+        stream = zipfian_stream(30_000, UNIVERSE, skew=1.2, rng=RandomSource(9))
+        build = lambda s: OptimalListHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=UNIVERSE,
+            stream_length=10 ** 6, rng=RandomSource(s),
+        )
+        sequential = build(1).consume(stream)
+        batched = _consume_chunked(build(1), stream, 4_096)
+        assert sequential.sample_size > 0 and batched.sample_size > 0
+        ratio = batched.sample_size / sequential.sample_size
+        assert 0.7 <= ratio <= 1.4
+
+
+class TestSpaceAccountingUnchangedByBatching:
+    """Acceptance: the fast path is a time optimization only — space_breakdown() after
+    batch ingestion equals sequential ingestion of the same sampled set."""
+
+    def test_deterministic_sketches_equal_breakdown(self):
+        stream = _planted()
+        cases = {
+            "misra-gries": lambda: MisraGries(EPSILON, UNIVERSE, stream_length_hint=LENGTH),
+            "space-saving": lambda: SpaceSaving(EPSILON, UNIVERSE),
+            "count-min": lambda: CountMinSketch(
+                EPSILON, 0.1, UNIVERSE, rng=RandomSource(4), track_heavy_candidates=False
+            ),
+            "count-sketch": lambda: CountSketch(
+                0.05, 0.1, UNIVERSE, rng=RandomSource(4), track_heavy_candidates=False
+            ),
+        }
+        for label, build in cases.items():
+            sequential = build().consume(stream)
+            batched = _consume_chunked(build(), stream, 997)
+            assert dict(batched.space_breakdown()) == dict(sequential.space_breakdown()), label
+
+    def test_lossy_counting_equal_breakdown_window_chunks(self):
+        stream = _planted()
+        sequential = LossyCounting(EPSILON, UNIVERSE).consume(stream)
+        batched = LossyCounting(EPSILON, UNIVERSE)
+        _consume_chunked(batched, stream, batched.bucket_width)
+        assert dict(batched.space_breakdown()) == dict(sequential.space_breakdown())
+
+    def test_sticky_sampling_equal_breakdown_rate_one(self):
+        sticky = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        short = _planted().prefix(min(sticky.window_size - 1, LENGTH))
+        sequential = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        sequential.consume(short)
+        batched = StickySampling(0.05, 0.2, 0.1, UNIVERSE, rng=RandomSource(3))
+        _consume_chunked(batched, short, 61)
+        assert dict(batched.space_breakdown()) == dict(sequential.space_breakdown())
+
+    def test_simple_equal_breakdown(self):
+        # Every component of Algorithm 1's accounting is capacity-derived, so exact
+        # equality holds even though batch ingestion is only statistically equivalent.
+        stream = _planted()
+        build = lambda: SimpleListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=LENGTH, rng=RandomSource(6),
+        )
+        sequential = build().consume(stream)
+        batched = _consume_chunked(build(), stream, 997)
+        assert dict(batched.space_breakdown()) == dict(sequential.space_breakdown())
+
+    def test_optimal_breakdown_components(self):
+        """Parameter-derived components are exactly equal; the T2/T3 counter bits are
+        content-dependent (the batch path draws statistically-equivalent counters), so
+        they are held to a tight relative tolerance, and no new components appear."""
+        stream = _planted()
+        build = lambda: OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=LENGTH, rng=RandomSource(6),
+        )
+        sequential = build().consume(stream)
+        batched = _consume_chunked(build(), stream, 997)
+        sequential_parts = dict(sequential.space_breakdown())
+        batched_parts = dict(batched.space_breakdown())
+        assert set(batched_parts) == set(sequential_parts)
+        for component in ("sampler", "T1", "hash_functions"):
+            assert batched_parts[component] == sequential_parts[component]
+        assert batched_parts["T2_T3"] == pytest.approx(
+            sequential_parts["T2_T3"], rel=0.15
+        )
