@@ -1,16 +1,25 @@
-"""Experiment THROUGHPUT — per-item vs. batched ingestion across all eight sketches.
+"""Experiments THROUGHPUT and SHARDING — batched and sharded ingestion end to end.
 
-Measures items/second for the reference per-item ``insert`` path and for the chunked
-``insert_many`` fast path (geometric skip-ahead sampling, vectorized Carter–Wegman
-hashing, pre-aggregated counter merges) on a Zipf(1.2) stream, and writes the results
-to ``BENCH_throughput.json``.  This is the experiment behind the repository's claim
-that the paper's O(1)-amortized-update guarantee survives contact with the Python
-interpreter once ingestion is batched.
+``--mode throughput`` (the default) measures items/second for the reference per-item
+``insert`` path and for the chunked ``insert_many`` fast path (geometric skip-ahead
+sampling, vectorized Carter–Wegman hashing, pre-aggregated counter merges) on a
+Zipf(1.2) stream, and writes the results to ``BENCH_throughput.json``.  This is the
+experiment behind the repository's claim that the paper's O(1)-amortized-update
+guarantee survives contact with the Python interpreter once ingestion is batched.
+
+``--mode sharded`` measures the sharded subsystem (:mod:`repro.sharding`) for
+k ∈ {1, 2, 4, 8} shards: wall-clock of the serial and ``multiprocessing``-parallel
+drivers, combined space, and the merged report's recall/precision against a
+single-instance run on the same stream, written to ``BENCH_sharding.json``.  The
+parallel numbers are only meaningful with real cores — the JSON records
+``cpu_count`` so a single-core container's inversion (parallel >= serial, pure
+overhead) is visible for what it is.
 
 Run directly (the full 10^6-item stream takes a few minutes, dominated by the per-item
 reference path)::
 
     PYTHONPATH=src python benchmarks/bench_throughput.py
+    PYTHONPATH=src python benchmarks/bench_throughput.py --mode sharded
 
 or as a CI smoke test with a shorter stream::
 
@@ -119,13 +128,134 @@ def run(length: int, batch_size: int, output: str) -> dict:
     return results
 
 
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _sharded_factory(seed_base, universe, stream_length):
+    """Per-shard Algorithm 2 factory: one distinct seed per shard index."""
+
+    def build(shard: int) -> OptimalListHeavyHitters:
+        return OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=universe,
+            stream_length=stream_length, rng=RandomSource(seed_base + shard),
+        )
+
+    return build
+
+
+def _row_payload(row, length: int) -> dict:
+    """JSON payload for one harness row (single or sharded, either driver)."""
+    measurements = row.measurements
+    seconds = measurements["total_seconds"]
+    payload = {
+        "total_seconds": seconds,
+        "items_per_second": length / seconds if seconds else float("inf"),
+        "space_bits": int(measurements["space_bits"]),
+        "accuracy": {
+            "recall": measurements["recall"],
+            "precision": measurements["precision"],
+            "max_error_fraction_of_m": measurements["max_error_fraction_of_m"],
+            "reported": int(measurements["reported"]),
+            "satisfies_definition": bool(measurements["satisfies_definition"]),
+        },
+    }
+    if "report_symmetric_difference" in measurements:
+        payload["report_symmetric_difference_vs_single"] = int(
+            measurements["report_symmetric_difference"]
+        )
+    return payload
+
+
+def run_sharded(length: int, batch_size: int, output: str) -> dict:
+    """Experiment SHARDING: serial vs parallel sharded drivers + merged accuracy.
+
+    Delegates the actual sharded-vs-single comparison to
+    ``repro.analysis.harness.run_sharded_comparison`` (the combine-phase accuracy
+    experiment the ROADMAP cites), once per driver, so the benchmark and the harness
+    can never measure different things.
+    """
+    from repro.analysis.harness import run_sharded_comparison, run_single_reference  # noqa: E402
+    from repro.streams.truth import exact_frequencies  # noqa: E402
+
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    truth = exact_frequencies(stream)
+    factory = _sharded_factory(SEED + 1, UNIVERSE, length)
+    results = {
+        "experiment": "sharding",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "batch_size": batch_size,
+            "sketch": "optimal (Thm 2)", "shard_counts": list(SHARD_COUNTS),
+        },
+        "cpu_count": os.cpu_count(),
+        "single": None,
+        "sharded": {str(shards): {} for shards in SHARD_COUNTS},
+    }
+    # One reference run, shared by both drivers' comparisons.
+    single_row, single_report = run_single_reference(
+        factory, stream, PHI, batch_size=batch_size, true_frequencies=truth
+    )
+    results["single"] = _row_payload(single_row, length)
+    # Parallel first: the fork-based driver pays copy-on-write for every object on
+    # the parent heap.  The reference run above is unavoidable pre-fork heap (the
+    # comparison needs its report), but ordering parallel before the serial sharded
+    # runs at least keeps k more consumed sketches off the heap when forking.
+    for parallel in (True, False):
+        rows = run_sharded_comparison(
+            factory=factory,
+            stream=stream,
+            phi=PHI,
+            shard_counts=SHARD_COUNTS,
+            batch_size=batch_size,
+            parallel=parallel,
+            rng=RandomSource(SEED + (2 if parallel else 3)),
+            reference_report=single_report,
+            true_frequencies=truth,
+        )
+        driver = "parallel" if parallel else "serial"
+        for shards, row in zip(SHARD_COUNTS, rows):
+            results["sharded"][str(shards)][driver] = _row_payload(row, length)
+    single = results["single"]
+    print(
+        f"single          {single['total_seconds']:7.2f}s   "
+        f"recall {single['accuracy']['recall']:.2f}   "
+        f"precision {single['accuracy']['precision']:.2f}"
+    )
+    for shards in SHARD_COUNTS:
+        row = results["sharded"][str(shards)]
+        row["parallel_speedup_over_serial"] = (
+            row["serial"]["total_seconds"] / row["parallel"]["total_seconds"]
+            if row["parallel"]["total_seconds"]
+            else float("inf")
+        )
+        print(
+            f"k={shards}  serial {row['serial']['total_seconds']:6.2f}s   "
+            f"parallel {row['parallel']['total_seconds']:6.2f}s   "
+            f"speedup {row['parallel_speedup_over_serial']:4.2f}x   "
+            f"recall {row['serial']['accuracy']['recall']:.2f}   "
+            f"precision {row['serial']['accuracy']['precision']:.2f}"
+        )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=["throughput", "sharded"], default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
-    parser.add_argument("--output", default="BENCH_throughput.json")
+    parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
-    run(args.length, args.batch_size, args.output)
+    if args.mode == "sharded":
+        run_sharded(args.length, args.batch_size, args.output or "BENCH_sharding.json")
+    else:
+        run(args.length, args.batch_size, args.output or "BENCH_throughput.json")
     return 0
 
 

@@ -12,6 +12,11 @@ The package is organized the way the paper is:
   counters and bit-level space accounting.
 * :mod:`repro.streams` / :mod:`repro.voting` — synthetic item streams and vote streams
   with known ground truth.
+* :mod:`repro.sharding` — the sharded ingestion subsystem: a hash-partitioning
+  :class:`~repro.sharding.ShardRouter`, the :class:`~repro.sharding.Mergeable`
+  summary protocol (every heavy-hitter sketch implements ``merge``), and a
+  :class:`~repro.sharding.ShardedExecutor` with serial and process-parallel drivers —
+  see that package's docstring for the split → sketch → merge guarantees.
 * :mod:`repro.lowerbounds` — executable versions of the paper's lower-bound reductions
   and the Table 1 bound formulas.
 * :mod:`repro.analysis` — accuracy metrics and the experiment harness used by the
@@ -58,6 +63,7 @@ from repro.baselines import (
     StickySampling,
 )
 from repro.primitives import RandomSource, SpaceMeter
+from repro.sharding import Mergeable, ShardRouter, ShardedExecutor, ShardedRunResult
 from repro.streams import (
     Stream,
     uniform_stream,
@@ -92,6 +98,10 @@ __all__ = [
     "StickySampling",
     "RandomSource",
     "SpaceMeter",
+    "Mergeable",
+    "ShardRouter",
+    "ShardedExecutor",
+    "ShardedRunResult",
     "Stream",
     "uniform_stream",
     "zipfian_stream",

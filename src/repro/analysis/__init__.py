@@ -22,6 +22,8 @@ from repro.analysis.theory import (
 from repro.analysis.harness import (
     ExperimentRow,
     run_heavy_hitter_comparison,
+    run_sharded_comparison,
+    run_single_reference,
     run_space_scaling_experiment,
     format_table,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "heavy_hitters_crossover_universe_size",
     "ExperimentRow",
     "run_heavy_hitter_comparison",
+    "run_sharded_comparison",
+    "run_single_reference",
     "run_space_scaling_experiment",
     "format_table",
     "residual_mass",

@@ -14,6 +14,8 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.analysis.metrics import HeavyHitterAccuracy, evaluate_heavy_hitters
 from repro.core.base import FrequencyEstimator
 from repro.primitives.batching import iter_chunks
+from repro.primitives.rng import RandomSource
+from repro.sharding import ShardedExecutor
 from repro.streams.stream import Stream
 from repro.streams.truth import exact_frequencies
 
@@ -105,6 +107,139 @@ def run_heavy_hitter_comparison(
                     "n": stream.universe_size,
                     "phi": phi,
                 },
+                measurements=measurements,
+            )
+        )
+    return rows
+
+
+def _heavy_hitter_measurements(
+    report,
+    true_frequencies: Mapping[int, int],
+    stream_length: int,
+    elapsed: float,
+    space_bits: float,
+) -> Dict[str, float]:
+    """The shared measurement set of the sharded-vs-single comparison rows."""
+    accuracy = evaluate_heavy_hitters(report, true_frequencies)
+    return {
+        "total_seconds": elapsed,
+        "space_bits": space_bits,
+        "recall": accuracy.recall,
+        "precision": accuracy.precision,
+        "max_error_fraction_of_m": accuracy.max_frequency_error / max(1, stream_length),
+        "reported": float(accuracy.reported_count),
+        "satisfies_definition": float(accuracy.satisfies_definition),
+    }
+
+
+def run_single_reference(
+    factory: Callable[[int], FrequencyEstimator],
+    stream: Stream,
+    phi: float,
+    batch_size: Optional[int] = None,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+    true_frequencies: Optional[Mapping[int, int]] = None,
+):
+    """One single-instance reference run for the sharded comparison.
+
+    Returns ``(row, report)`` so callers that compare several sharded drivers
+    against the same reference (e.g. the sharding benchmark) pay for the reference
+    ingestion once and hand the report to :func:`run_sharded_comparison` via
+    ``reference_report``.
+    """
+    truth = true_frequencies if true_frequencies is not None else exact_frequencies(stream)
+    single = factory(0)
+    timing = run_algorithm_on_stream(single, stream, batch_size=batch_size)
+    # Include report construction in the timed span, as the sharded rows do (their
+    # seconds cover routing + ingestion + merge + report), so single-vs-sharded
+    # total_seconds compare the same pipeline.
+    report_start = time.perf_counter()
+    report = single.report(**dict(report_kwargs or {}))
+    elapsed = timing["total_seconds"] + (time.perf_counter() - report_start)
+    row = ExperimentRow(
+        label="single",
+        parameters={"stream": stream.name, "m": len(stream), "n": stream.universe_size,
+                    "phi": phi, "shards": 1},
+        measurements=_heavy_hitter_measurements(
+            report, truth, len(stream), elapsed, timing["space_bits"]
+        ),
+    )
+    return row, report
+
+
+def run_sharded_comparison(
+    factory: Callable[[int], FrequencyEstimator],
+    stream: Stream,
+    phi: float,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    batch_size: Optional[int] = None,
+    parallel: bool = False,
+    rng: Optional[RandomSource] = None,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+    reference_report=None,
+    true_frequencies: Optional[Mapping[int, int]] = None,
+) -> List[ExperimentRow]:
+    """The combine-phase accuracy experiment: sharded vs. single-instance reports.
+
+    Splitting a stream across shards must not silently degrade the (ε,ϕ) guarantee,
+    so the merge step gets its own measurement rather than an assumption: one
+    single-instance run (the reference) and one sharded run per entry of
+    ``shard_counts`` all consume the *same* stream, and each row records
+    recall/precision/max-error against the exact frequencies plus the symmetric
+    difference between the sharded and single-instance reported sets.  Matching
+    within the guarantee means: recall 1.0 over the ϕ-heavy items, no
+    (ϕ−ε)-light item reported, and max error at most ε·m — the same Definition 1
+    criteria the single-instance run is held to.
+
+    ``factory(instance_index)`` builds a fresh sketch; seed per index for independent
+    instances.  Index 0 is the single-instance reference, and every sharded run
+    receives its own disjoint index range (1..k₁, k₁+1..k₁+k₂, ...), so no shard
+    shares a seed with the reference — otherwise the k=1 row would compare a sketch
+    against a bit-identical twin and the measured agreement would be tautological
+    rather than evidence about the combine step.  ``parallel`` switches the sharded
+    runs to the multiprocessing driver; wall-clock for either driver lands in
+    ``total_seconds``.
+
+    With ``reference_report`` set (from :func:`run_single_reference`), the reference
+    run is not repeated and the returned rows contain only the sharded entries —
+    used by callers comparing several drivers against one reference.
+    """
+    rng = rng if rng is not None else RandomSource()
+    truth = true_frequencies if true_frequencies is not None else exact_frequencies(stream)
+    kwargs = dict(report_kwargs or {})
+    rows: List[ExperimentRow] = []
+    if reference_report is None:
+        single_row, reference_report = run_single_reference(
+            factory, stream, phi, batch_size=batch_size, report_kwargs=kwargs,
+            true_frequencies=truth,
+        )
+        rows.append(single_row)
+    single_set = set(reference_report.items)
+    next_instance_index = 1
+    for shards in shard_counts:
+        base_index = next_instance_index
+        next_instance_index += shards
+        executor = ShardedExecutor(
+            factory=lambda shard, base=base_index: factory(base + shard),
+            num_shards=shards,
+            universe_size=stream.universe_size,
+            rng=rng.spawn(shards),
+        )
+        result = executor.run(
+            stream, batch_size=batch_size, parallel=parallel, report_kwargs=kwargs
+        )
+        measurements = _heavy_hitter_measurements(
+            result.report, truth, len(stream), result.seconds, float(result.space_bits())
+        )
+        measurements["report_symmetric_difference"] = float(
+            len(single_set.symmetric_difference(result.report.items))
+        )
+        rows.append(
+            ExperimentRow(
+                label=f"sharded(k={shards}{',parallel' if parallel else ''})",
+                parameters={"stream": stream.name, "m": len(stream), "n": stream.universe_size,
+                            "phi": phi, "shards": shards},
                 measurements=measurements,
             )
         )

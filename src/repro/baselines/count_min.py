@@ -109,6 +109,37 @@ class CountMinSketch(FrequencyEstimator):
             if self.estimate(item) >= threshold
         }
 
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold another sketch into this one (exact linear-sketch combine).
+
+        Requires the two sketches to share their row hash functions (the sharded
+        executor arranges this); counter cells then add, and the merged table is
+        *bit-for-bit* the table a single sketch would hold after the concatenated
+        stream — Count-Min is a linear sketch, so the merge is lossless.  The heavy
+        candidate sets (a reporting heuristic, not part of the guarantee) are unioned
+        and re-estimated against the merged table.
+        """
+        if not isinstance(other, CountMinSketch):
+            raise TypeError(f"cannot merge CountMinSketch with {type(other).__name__}")
+        if (
+            other.epsilon != self.epsilon
+            or other.universe_size != self.universe_size
+            or other.width != self.width
+            or other.depth != self.depth
+        ):
+            raise ValueError("cannot merge Count-Min sketches with different parameters")
+        if other.hash_functions != self.hash_functions:
+            raise ValueError(
+                "cannot merge Count-Min sketches with different hash functions; "
+                "build the shards with shared hash functions (see repro.sharding)"
+            )
+        self.table += other.table
+        self.items_processed += other.items_processed
+        if self.track_heavy_candidates:
+            for item in other.candidates:
+                self.candidates[item] = self.estimate(item)
+            self._prune_candidates()
+
     def estimate(self, item: int) -> float:
         return float(
             min(

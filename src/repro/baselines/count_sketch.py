@@ -113,6 +113,37 @@ class CountSketch(FrequencyEstimator):
             if self.estimate(item) >= threshold
         }
 
+    def merge(self, other: "CountSketch") -> None:
+        """Fold another sketch into this one (exact linear-sketch combine).
+
+        CountSketch is a linear sketch: with shared bucket and sign hashes the signed
+        counter tables add, and the merged table equals a single sketch's table over
+        the concatenated stream exactly.  Candidate sets are unioned and re-estimated.
+        """
+        if not isinstance(other, CountSketch):
+            raise TypeError(f"cannot merge CountSketch with {type(other).__name__}")
+        if (
+            other.epsilon != self.epsilon
+            or other.universe_size != self.universe_size
+            or other.width != self.width
+            or other.depth != self.depth
+        ):
+            raise ValueError("cannot merge CountSketch sketches with different parameters")
+        if (
+            other.bucket_hashes != self.bucket_hashes
+            or other.sign_hashes != self.sign_hashes
+        ):
+            raise ValueError(
+                "cannot merge CountSketch sketches with different hash functions; "
+                "build the shards with shared hash functions (see repro.sharding)"
+            )
+        self.table += other.table
+        self.items_processed += other.items_processed
+        if self.track_heavy_candidates:
+            for item in other.candidates:
+                self.candidates[item] = self.estimate(item)
+            self._prune_candidates()
+
     def estimate(self, item: int) -> float:
         votes = [
             self._sign(row, item) * self.table[row, self.bucket_hashes[row](item)]

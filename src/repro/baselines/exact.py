@@ -30,6 +30,17 @@ class ExactCounter(FrequencyEstimator):
         self.items_processed += 1
         self.counts[item] = self.counts.get(item, 0) + 1
 
+    def merge(self, other: "ExactCounter") -> None:
+        """Fold another exact table into this one — trivially lossless (counts add)."""
+        if not isinstance(other, ExactCounter):
+            raise TypeError(f"cannot merge ExactCounter with {type(other).__name__}")
+        if other.universe_size != self.universe_size:
+            raise ValueError("cannot merge exact counters over different universes")
+        counts = self.counts
+        for item, count in other.counts.items():
+            counts[item] = counts.get(item, 0) + count
+        self.items_processed += other.items_processed
+
     def estimate(self, item: int) -> float:
         return float(self.counts.get(item, 0))
 

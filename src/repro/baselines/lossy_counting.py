@@ -83,6 +83,43 @@ class LossyCounting(FrequencyEstimator):
             self._prune()
             self.current_bucket += 1
 
+    def merge(self, other: "LossyCounting") -> None:
+        """Fold another shard's table into this one (guarantee-preserving combine).
+
+        Counts add; the undercount bounds (``delta``) add, with an absent entry on
+        either side charged that side's maximum possible undercount
+        (``current_bucket - 1``).  Every merged ``delta`` is therefore still a valid
+        undercount bound and is at most ``ε·m₁ + ε·m₂``, so the merged table keeps the
+        εm guarantee over the concatenated stream.  The bucket clock restarts at the
+        combined stream position and a prune is applied immediately.
+        """
+        if not isinstance(other, LossyCounting):
+            raise TypeError(f"cannot merge LossyCounting with {type(other).__name__}")
+        if other.epsilon != self.epsilon or other.universe_size != self.universe_size:
+            raise ValueError("cannot merge Lossy Counting tables with different parameters")
+        own_slack = self.current_bucket - 1
+        other_slack = other.current_bucket - 1
+        entries = self.entries
+        for item, (count, delta) in other.entries.items():
+            if item in entries:
+                own_count, own_delta = entries[item]
+                entries[item] = (own_count + count, own_delta + delta)
+            else:
+                entries[item] = (count, delta + own_slack)
+        for item in list(entries):
+            if item not in other.entries:
+                count, delta = entries[item]
+                entries[item] = (count, delta + other_slack)
+        self.items_processed += other.items_processed
+        # Prune against the number of *completed* buckets of the combined stream
+        # (the same threshold a boundary prune would have used), then restart the
+        # bucket clock at the combined position.
+        completed_buckets = self.items_processed // self.bucket_width
+        if completed_buckets > 0:
+            self.current_bucket = completed_buckets
+            self._prune()
+        self.current_bucket = completed_buckets + 1
+
     def _prune(self) -> None:
         """Delete entries that cannot be frequent: count + delta <= current bucket."""
         self.entries = {

@@ -74,6 +74,34 @@ class MisraGriesTable:
             else:
                 self.update(key, weight)
 
+    def merge(self, other: "MisraGriesTable") -> None:
+        """Fold another Misra–Gries summary into this one (mergeable-summaries combine).
+
+        The classic ACHPWY-style merge: add the two counter sets, then, if more than
+        ``num_counters`` keys survive, subtract the ``(num_counters + 1)``-st largest
+        counter value from every counter and drop the non-positive ones.  Each counter's
+        undercount is at most the sum of the two inputs' undercount bounds plus the
+        subtracted value, which keeps the total undercount at most
+        ``(m₁ + m₂) / num_counters`` — the εm guarantee is preserved for the
+        concatenated stream, which is what makes hash-sharded ingestion sound.
+        """
+        if other.num_counters != self.num_counters:
+            raise ValueError(
+                "cannot merge Misra-Gries tables of different capacities "
+                f"({self.num_counters} vs {other.num_counters})"
+            )
+        counters = self.counters
+        for key, count in other.counters.items():
+            counters[key] = counters.get(key, 0) + count
+        self.total_decrements += other.total_decrements
+        if len(counters) > self.num_counters:
+            ordered = sorted(counters.values(), reverse=True)
+            cutoff = ordered[self.num_counters]
+            self.total_decrements += cutoff
+            self.counters = {
+                key: count - cutoff for key, count in counters.items() if count > cutoff
+            }
+
     def get(self, key: int) -> int:
         """The (under-)estimate of ``key``'s frequency stored in the table."""
         return self.counters.get(key, 0)
@@ -135,6 +163,21 @@ class MisraGries(FrequencyEstimator):
         self.items_processed += int(array.size)
         values, counts = aggregate_counts(array)
         self.table.update_many(values.tolist(), counts.tolist())
+
+    def merge(self, other: "MisraGries") -> None:
+        """Fold another shard's summary into this one (lossless mergeable combine).
+
+        Both summaries must share ε and the universe; the merged table satisfies the
+        deterministic εm undercount guarantee for the *concatenated* stream (see
+        :meth:`MisraGriesTable.merge`), so a hash-partitioned run merges back into a
+        summary as good as a single-instance run.
+        """
+        if not isinstance(other, MisraGries):
+            raise TypeError(f"cannot merge MisraGries with {type(other).__name__}")
+        if other.epsilon != self.epsilon or other.universe_size != self.universe_size:
+            raise ValueError("cannot merge Misra-Gries summaries with different parameters")
+        self.table.merge(other.table)
+        self.items_processed += other.items_processed
 
     def estimate(self, item: int) -> float:
         return float(self.table.get(item))

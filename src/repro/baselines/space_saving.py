@@ -79,6 +79,39 @@ class SpaceSaving(FrequencyEstimator):
                 counts[item] = victim_count + weight
                 self.errors[item] = victim_count
 
+    def merge(self, other: "SpaceSaving") -> None:
+        """Fold another shard's summary into this one (mergeable-summaries combine).
+
+        Sum-then-prune: counts and error bounds add entrywise over the union of the
+        two entry sets, then only the ``capacity`` largest merged counts are kept.
+        Per-entry guarantees for *stored* items are the sum of the inputs' guarantees,
+        i.e. within ±ε(m₁+m₂) (under hash-partitioned sharding the supports are
+        disjoint, so counts are untouched and the classic overestimate property
+        ``f <= estimate <= f + ε(m₁+m₂)`` carries over exactly).  A pruned entry's
+        merged count was at most ``(m₁+m₂)/(capacity+1) <= ε(m₁+m₂)`` (total counts
+        sum to the stream length), so any item the merged summary no longer stores has
+        true frequency at most ``2ε(m₁+m₂)`` — in particular every ϕ-heavy item of the
+        concatenated stream survives the prune whenever ϕ > 2ε, which is the regime
+        Definition 3 operates in.
+        """
+        if not isinstance(other, SpaceSaving):
+            raise TypeError(f"cannot merge SpaceSaving with {type(other).__name__}")
+        if (
+            other.epsilon != self.epsilon
+            or other.universe_size != self.universe_size
+            or other.capacity != self.capacity
+        ):
+            raise ValueError("cannot merge Space-Saving summaries with different parameters")
+        counts, errors = self.counts, self.errors
+        for item, count in other.counts.items():
+            counts[item] = counts.get(item, 0) + count
+            errors[item] = errors.get(item, 0) + other.errors.get(item, 0)
+        if len(counts) > self.capacity:
+            kept = sorted(counts, key=lambda key: (-counts[key], key))[: self.capacity]
+            self.counts = {item: counts[item] for item in kept}
+            self.errors = {item: errors.get(item, 0) for item in kept}
+        self.items_processed += other.items_processed
+
     def estimate(self, item: int) -> float:
         return float(self.counts.get(item, 0))
 

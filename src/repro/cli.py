@@ -29,12 +29,26 @@ from repro.core.maximum import EpsilonMaximum
 from repro.core.minimum import EpsilonMinimum
 from repro.lowerbounds.bounds import TABLE1_ROWS
 from repro.primitives.rng import RandomSource
+from repro.sharding import ShardedExecutor
 from repro.streams.generators import (
     planted_heavy_hitters_stream,
     uniform_stream,
     zipfian_stream,
 )
-from repro.streams.io import load_election, load_stream, save_stream
+from repro.streams.io import (
+    iterate_stream_file,
+    iterate_stream_file_chunks,
+    load_election,
+    save_stream,
+    stream_file_metadata,
+)
+
+# Chunk size for out-of-core replay of on-disk traces: the stream commands read their
+# input through repro.streams.io's chunked iterator, so memory stays bounded by this
+# many items (plus the algorithm's own state) no matter how large the trace is — except
+# under --shards --parallel, whose driver materializes the partitioned trace to ship
+# whole shards to worker processes (see ShardedExecutor.run_chunks).
+REPLAY_CHUNK_ITEMS = 1 << 16
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     heavy.add_argument(
         "--algorithm", choices=["simple", "optimal", "misra-gries"], default="simple",
         help="simple = Algorithm 1 (Theorem 1), optimal = Algorithm 2 (Theorem 2)",
+    )
+    heavy.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="hash-partition the stream across K independent sketch instances and "
+             "merge their summaries at reporting time (see repro.sharding)",
+    )
+    heavy.add_argument(
+        "--parallel", action="store_true",
+        help="with --shards, consume the shards in parallel worker processes "
+             "(materializes the partitioned stream in memory, unlike the serial "
+             "driver's bounded-memory replay)",
     )
 
     maximum = subparsers.add_parser("maximum", help="estimate the maximum frequency (eps-Maximum)")
@@ -126,45 +151,89 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_stream_file(algorithm, path: str, batch_size: Optional[int]) -> None:
+    """Out-of-core replay of an on-disk trace into one algorithm instance.
+
+    With a batch size, chunks flow straight from disk into ``insert_many`` (the fast
+    path); without one, items are inserted one at a time (the paper's per-arrival
+    reference semantics).  Either way the trace is never materialized in memory —
+    ``consume`` does the per-item/batched dispatch over the lazy file iterator.
+    """
+    algorithm.consume(iterate_stream_file(path), batch_size=batch_size)
+
+
 def _command_heavy_hitters(args: argparse.Namespace) -> int:
-    stream = load_stream(args.stream, universe_size=args.universe)
+    metadata = stream_file_metadata(args.stream)
+    length = metadata["length"]
+    universe = args.universe if args.universe is not None else metadata["universe_size"]
     rng = RandomSource(args.seed)
-    if args.algorithm == "simple":
-        algorithm = SimpleListHeavyHitters(
-            epsilon=args.epsilon, phi=args.phi, universe_size=stream.universe_size,
-            stream_length=len(stream), rng=rng,
+
+    def build(instance_rng: RandomSource):
+        if args.algorithm == "simple":
+            return SimpleListHeavyHitters(
+                epsilon=args.epsilon, phi=args.phi, universe_size=universe,
+                stream_length=length, rng=instance_rng,
+            )
+        if args.algorithm == "optimal":
+            return OptimalListHeavyHitters(
+                epsilon=args.epsilon, phi=args.phi, universe_size=universe,
+                stream_length=length, rng=instance_rng,
+            )
+        return MisraGries(epsilon=args.epsilon, universe_size=universe,
+                          stream_length_hint=length)
+
+    report_kwargs = {"phi": args.phi} if args.algorithm == "misra-gries" else {}
+    replay_chunk = args.batch_size or REPLAY_CHUNK_ITEMS
+    if args.shards is not None:
+        executor = ShardedExecutor(
+            factory=lambda shard: build(rng.spawn(shard)),
+            num_shards=args.shards,
+            universe_size=universe,
+            rng=rng.spawn(-1),
         )
-    elif args.algorithm == "optimal":
-        algorithm = OptimalListHeavyHitters(
-            epsilon=args.epsilon, phi=args.phi, universe_size=stream.universe_size,
-            stream_length=len(stream), rng=rng,
+        result = executor.run_chunks(
+            iterate_stream_file_chunks(args.stream, replay_chunk),
+            batch_size=args.batch_size,
+            parallel=args.parallel,
+            report_kwargs=report_kwargs,
+        )
+        report = result.report
+        space_bits = result.space_bits()
+        shard_line = (
+            f"shards: {result.num_shards}  "
+            f"driver: {'parallel' if result.parallel else 'serial'}  "
+            f"sizes: {' '.join(map(str, result.shard_sizes))}"
         )
     else:
-        algorithm = MisraGries(epsilon=args.epsilon, universe_size=stream.universe_size,
-                               stream_length_hint=len(stream))
-    algorithm.consume(stream, batch_size=args.batch_size)
-    report = (
-        algorithm.report(phi=args.phi) if args.algorithm == "misra-gries" else algorithm.report()
-    )
-    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+        if args.parallel:
+            raise SystemExit("--parallel requires --shards")
+        algorithm = build(rng)
+        _replay_stream_file(algorithm, args.stream, args.batch_size)
+        report = algorithm.report(**report_kwargs)
+        space_bits = algorithm.space_bits()
+        shard_line = None
+    print(f"stream: {length} items, universe {universe}")
     print(f"algorithm: {args.algorithm}  epsilon={args.epsilon}  phi={args.phi}")
-    print(f"space_bits: {algorithm.space_bits()}")
+    if shard_line is not None:
+        print(shard_line)
+    print(f"space_bits: {space_bits}")
     print(f"reported: {len(report)}")
     for item in report.reported_items():
         estimate = report.estimated_frequency(item)
-        print(f"item {item}\testimate {estimate:.0f}\tshare {estimate / len(stream):.4f}")
+        print(f"item {item}\testimate {estimate:.0f}\tshare {estimate / max(1, length):.4f}")
     return 0
 
 
 def _command_maximum(args: argparse.Namespace) -> int:
-    stream = load_stream(args.stream, universe_size=args.universe)
+    metadata = stream_file_metadata(args.stream)
+    universe = args.universe if args.universe is not None else metadata["universe_size"]
     algorithm = EpsilonMaximum(
-        epsilon=args.epsilon, universe_size=stream.universe_size,
-        stream_length=len(stream), rng=RandomSource(args.seed),
+        epsilon=args.epsilon, universe_size=universe,
+        stream_length=metadata["length"], rng=RandomSource(args.seed),
     )
-    algorithm.consume(stream, batch_size=args.batch_size)
+    _replay_stream_file(algorithm, args.stream, args.batch_size)
     result = algorithm.report()
-    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+    print(f"stream: {metadata['length']} items, universe {universe}")
     print(f"space_bits: {algorithm.space_bits()}")
     print(f"maximum_item: {result.item}")
     print(f"estimated_frequency: {result.estimated_frequency:.0f}")
@@ -172,14 +241,15 @@ def _command_maximum(args: argparse.Namespace) -> int:
 
 
 def _command_minimum(args: argparse.Namespace) -> int:
-    stream = load_stream(args.stream, universe_size=args.universe)
+    metadata = stream_file_metadata(args.stream)
+    universe = args.universe if args.universe is not None else metadata["universe_size"]
     algorithm = EpsilonMinimum(
-        epsilon=args.epsilon, universe_size=stream.universe_size,
-        stream_length=len(stream), rng=RandomSource(args.seed),
+        epsilon=args.epsilon, universe_size=universe,
+        stream_length=metadata["length"], rng=RandomSource(args.seed),
     )
-    algorithm.consume(stream, batch_size=args.batch_size)
+    _replay_stream_file(algorithm, args.stream, args.batch_size)
     result = algorithm.report()
-    print(f"stream: {len(stream)} items, universe {stream.universe_size}")
+    print(f"stream: {metadata['length']} items, universe {universe}")
     print(f"space_bits: {algorithm.space_bits()}")
     print(f"minimum_item: {result.item}")
     print(f"estimated_frequency: {result.estimated_frequency:.0f}")

@@ -153,6 +153,11 @@ class RankingStreamingAlgorithm(abc.ABC):
     def insert(self, ranking: Any) -> None:
         """Process one vote (a ranking of all candidates)."""
 
+    def insert_many(self, rankings: Iterable[Any]) -> None:
+        """Process a batch of votes (default: exact sequential loop over insert)."""
+        for ranking in rankings:
+            self.insert(ranking)
+
     @abc.abstractmethod
     def report(self) -> Any:
         """Produce the algorithm's answer after the stream has been consumed."""

@@ -237,6 +237,62 @@ class OptimalListHeavyHitters(FrequencyEstimator):
                     int(occurrence_counts[index]), int(t2_increments[index])
                 )
 
+    def merge(self, other: "OptimalListHeavyHitters") -> None:
+        """Fold another shard's Algorithm 2 state into this one.
+
+        Requirements (the sharded executor arranges both): identical parameters
+        (ε, ϕ, repetitions, buckets, epoch scale) and *shared* bucket hash functions,
+        so that bucket ``i`` of repetition ``j`` means the same slice of the universe
+        in both instances.  The combine is then:
+
+        * ``T1`` — the Misra–Gries candidate tables merge losslessly
+          (:meth:`~repro.baselines.misra_gries.MisraGriesTable.merge`), so every item
+          that is ϕ-heavy in the concatenated sample survives as a candidate;
+        * ``T2``/``T3`` — per (repetition, bucket), the accelerated counters combine
+          *additively* (:meth:`~repro.primitives.accelerated.EpochAcceleratedCounter.merge`):
+          the bucket estimate is unbiased for the summed occurrence count, with summed
+          (not inflated) variance — see that method for the expectation/variance
+          caveats;
+        * sample and stream counts add, so the sample-to-stream rescaling factor is the
+          combined one.
+
+        Each shard must have been built with the *full* stream length (the sampling
+        rate is global), which :class:`repro.sharding.ShardedExecutor` does.
+        """
+        if not isinstance(other, OptimalListHeavyHitters):
+            raise TypeError(
+                f"cannot merge OptimalListHeavyHitters with {type(other).__name__}"
+            )
+        if (
+            other.epsilon != self.epsilon
+            or other.phi != self.phi
+            or other.universe_size != self.universe_size
+            or other.repetitions != self.repetitions
+            or other.num_buckets != self.num_buckets
+            or other.epoch_scale != self.epoch_scale
+            # The sampling rate is derived from the (full) stream length, so a
+            # mismatch would silently combine samples drawn at different rates.
+            or other.stream_length != self.stream_length
+        ):
+            raise ValueError("cannot merge Algorithm 2 instances with different parameters")
+        if other.hash_functions != self.hash_functions:
+            raise ValueError(
+                "cannot merge Algorithm 2 instances with different bucket hash "
+                "functions; build the shards with shared hash functions "
+                "(see repro.sharding)"
+            )
+        self.t1.merge(other.t1)
+        for repetition in range(self.repetitions):
+            mine = self.counters[repetition]
+            for bucket, counter in other.counters[repetition].items():
+                existing = mine.get(bucket)
+                if existing is None:
+                    mine[bucket] = counter
+                else:
+                    existing.merge(counter)
+        self.sample_size += other.sample_size
+        self.items_processed += other.items_processed
+
     def _counter_for(self, repetition: int, bucket: int) -> EpochAcceleratedCounter:
         """The (repetition, bucket) accelerated counter, allocated on first touch."""
         counter = self.counters[repetition].get(bucket)
@@ -248,6 +304,80 @@ class OptimalListHeavyHitters(FrequencyEstimator):
             )
             self.counters[repetition][bucket] = counter
         return counter
+
+    # -- pickling -----------------------------------------------------------------------
+    #
+    # The sharded executor ships sketches across process boundaries; a consumed sketch
+    # holds tens of thousands of per-bucket counter objects, so the default pickling
+    # (one object + one dict each) dominates the parallel driver's overhead.  Instead
+    # the counters are packed into a handful of numpy arrays per repetition: bucket
+    # ids, subsample counts, flattened (epoch, count) pairs with offsets, and one
+    # derived RNG seed per counter (RandomSource re-seeds on serialize — see
+    # repro.primitives.rng).  Transport cost is bounded by the summary size.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        packed = []
+        for per_repetition in self.counters:
+            size = len(per_repetition)
+            buckets = np.fromiter(per_repetition.keys(), dtype=np.int64, count=size)
+            subsamples = np.fromiter(
+                (counter.subsample_count for counter in per_repetition.values()),
+                dtype=np.int64,
+                count=size,
+            )
+            seeds = np.empty(size, dtype=np.int64)
+            epochs_flat: List[int] = []
+            counts_flat: List[int] = []
+            offsets = np.empty(size + 1, dtype=np.int64)
+            offsets[0] = 0
+            for index, counter in enumerate(per_repetition.values()):
+                seed = counter._rng.__getstate__()["seed"]
+                seeds[index] = -1 if seed is None else seed
+                for epoch, count in counter.epoch_counts.items():
+                    epochs_flat.append(epoch)
+                    counts_flat.append(count)
+                offsets[index + 1] = len(epochs_flat)
+            packed.append(
+                (
+                    buckets,
+                    subsamples,
+                    seeds,
+                    np.asarray(epochs_flat, dtype=np.int64),
+                    np.asarray(counts_flat, dtype=np.int64),
+                    offsets,
+                )
+            )
+        state["counters"] = ("packed-v1", packed)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        counters = state.pop("counters")
+        self.__dict__.update(state)
+        if not (isinstance(counters, tuple) and counters[0] == "packed-v1"):
+            self.counters = counters
+            return
+        rebuilt: List[Dict[int, EpochAcceleratedCounter]] = []
+        for buckets, subsamples, seeds, epochs, counts, offsets in counters[1]:
+            per_repetition: Dict[int, EpochAcceleratedCounter] = {}
+            bucket_list = buckets.tolist()
+            subsample_list = subsamples.tolist()
+            seed_list = seeds.tolist()
+            epoch_list = epochs.tolist()
+            count_list = counts.tolist()
+            offset_list = offsets.tolist()
+            for index, bucket in enumerate(bucket_list):
+                counter = EpochAcceleratedCounter.__new__(EpochAcceleratedCounter)
+                counter.epsilon = self.epsilon
+                counter.epoch_scale = self.epoch_scale
+                counter.subsample_count = subsample_list[index]
+                begin, end = offset_list[index], offset_list[index + 1]
+                counter.epoch_counts = dict(zip(epoch_list[begin:end], count_list[begin:end]))
+                seed = seed_list[index]
+                counter._rng = RandomSource(None if seed < 0 else seed)
+                per_repetition[bucket] = counter
+            rebuilt.append(per_repetition)
+        self.counters = rebuilt
 
     # -- queries ------------------------------------------------------------------------
 

@@ -180,6 +180,52 @@ class SimpleListHeavyHitters(FrequencyEstimator):
             del self.t2[weakest_hash]
             self.t2[hashed] = item
 
+    def merge(self, other: "SimpleListHeavyHitters") -> None:
+        """Fold another shard's Algorithm 1 state into this one.
+
+        Requires identical parameters and a *shared* id hash function (the sharded
+        executor arranges this), so hashed ids are comparable across instances.  ``T1``
+        (Misra–Gries over hashed ids) merges losslessly; the merged ``T2`` id
+        side-table keeps the actual ids of the highest-valued hashed keys of the
+        merged ``T1``, which is exactly the invariant the incremental case analysis of
+        lines 10-16 maintains; sample and stream counts add.
+        """
+        if not isinstance(other, SimpleListHeavyHitters):
+            raise TypeError(
+                f"cannot merge SimpleListHeavyHitters with {type(other).__name__}"
+            )
+        if (
+            other.epsilon != self.epsilon
+            or other.phi != self.phi
+            or other.universe_size != self.universe_size
+            or other.hash_range != self.hash_range
+            or other.table_capacity != self.table_capacity
+            or other.id_table_capacity != self.id_table_capacity
+            # The sampling rate is derived from the (full) stream length, so a
+            # mismatch would silently combine samples drawn at different rates.
+            or other.stream_length != self.stream_length
+        ):
+            raise ValueError("cannot merge Algorithm 1 instances with different parameters")
+        if other.hash_function != self.hash_function:
+            raise ValueError(
+                "cannot merge Algorithm 1 instances with different id hash functions; "
+                "build the shards with shared hash functions (see repro.sharding)"
+            )
+        self.t1.merge(other.t1)
+        combined = dict(other.t2)
+        combined.update(self.t2)  # on collision both map hash -> some occurrence's id
+        survivors = sorted(
+            (
+                (hashed, item)
+                for hashed, item in combined.items()
+                if self.t1.get(hashed) > 0
+            ),
+            key=lambda pair: (-self.t1.get(pair[0]), pair[0]),
+        )
+        self.t2 = dict(survivors[: self.id_table_capacity])
+        self.sample_size += other.sample_size
+        self.items_processed += other.items_processed
+
     # -- queries ------------------------------------------------------------------------
 
     def _scale(self) -> float:

@@ -61,6 +61,56 @@ class HeavyHittersReport:
     def as_results(self) -> List[HeavyHitterResult]:
         return [HeavyHitterResult(item, self.items[item]) for item in self.reported_items()]
 
+    # -- combine (sharded / distributed runs) ----------------------------------------
+
+    def merge(self, other: "HeavyHittersReport", rethreshold: bool = True) -> "HeavyHittersReport":
+        """Combine two shard reports over disjoint sub-streams into one report.
+
+        Both reports must carry the same (ε, ϕ) — the guarantee of Definition 3 is not
+        comparable across parameterizations, so mismatches raise instead of silently
+        degrading it.  Estimates of items reported by both sides add (under
+        hash-partitioned routing the supports are disjoint, so at most one side
+        reports any item; summing also covers replicated runs), and the stream length
+        becomes the combined length.
+
+        Per-shard reports were filtered against *per-shard* thresholds (a fraction of
+        ``m_shard < m``), so a merged report can contain items that are heavy in
+        their shard but light globally.  Recall is never hurt by the merge itself
+        (every globally ϕ-heavy item is ϕ-heavy in the one shard that received it);
+        ``rethreshold=True`` (the default) restores precision by dropping items whose
+        combined estimate is at most ``(ϕ − ε)·m`` — the *loosest* filter Definition 1
+        permits, chosen so that it cannot evict a ϕ-heavy item from any sketch whose
+        estimates are within ±εm (an underestimating sketch like Misra–Gries reports
+        a ϕ-heavy item with estimate > ``(ϕ − ε)·m``, which a tighter cutoff such as
+        ``(ϕ − ε/2)·m`` could wrongly discard).  Items that survive with an
+        accurate-or-under estimate are guaranteed not ``(ϕ − ε)``-light;
+        overestimating sketches may keep items up to their εm overshoot below the
+        boundary.  Prefer merging *sketches* and reporting once when possible — that
+        is what :class:`repro.sharding.ShardedExecutor` does — and merge reports when
+        only reports survived (e.g. returned by remote workers).
+        """
+        if not isinstance(other, HeavyHittersReport):
+            raise TypeError(f"cannot merge HeavyHittersReport with {type(other).__name__}")
+        if abs(other.epsilon - self.epsilon) > 1e-12 or abs(other.phi - self.phi) > 1e-12:
+            raise ValueError(
+                "cannot merge reports with different guarantees: "
+                f"(epsilon={self.epsilon}, phi={self.phi}) vs "
+                f"(epsilon={other.epsilon}, phi={other.phi})"
+            )
+        items = dict(self.items)
+        for item, estimate in other.items.items():
+            items[item] = items.get(item, 0.0) + estimate
+        stream_length = self.stream_length + other.stream_length
+        if rethreshold:
+            threshold = (self.phi - self.epsilon) * stream_length
+            items = {item: estimate for item, estimate in items.items() if estimate > threshold}
+        return HeavyHittersReport(
+            items=items,
+            stream_length=stream_length,
+            epsilon=self.epsilon,
+            phi=self.phi,
+        )
+
     # -- correctness predicates (Definition 1 / Definition 3) ------------------------
 
     def contains_all_heavy(self, true_frequencies: Mapping[int, int]) -> bool:

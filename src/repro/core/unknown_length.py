@@ -99,17 +99,103 @@ class UnknownLengthWrapper:
         if self.use_morris_counter:
             self.morris.increment()
         # Retire the older instance once the stream has outgrown its horizon.
+        self._retire_outgrown()
+        for _horizon, algorithm in self.instances:
+            algorithm.insert(item)
+
+    def _retire_outgrown(self) -> None:
+        """Retire instances whose horizon the (estimated) position has passed."""
         while self._estimated_position() > self.instances[0][0] and len(self.instances) >= 2:
             self.instances.pop(0)
             next_horizon = int(math.ceil(self.instances[-1][0] * self.growth_factor))
             self.instances.append([next_horizon, self.factory(next_horizon)])
             self.restarts += 1
-        for _horizon, algorithm in self.instances:
-            algorithm.insert(item)
 
-    def consume(self, stream) -> "UnknownLengthWrapper":
-        for item in stream:
-            self.insert(item)
+    def insert_many(self, items: Any) -> None:
+        """Batched ingestion that splits batches exactly at restart boundaries.
+
+        The doubling/restart schedule must see the same boundaries as per-item
+        insertion — a restart falling silently mid-batch would hand part of the batch
+        to an instance that should already have been retired.  The batch is therefore
+        cut into maximal runs that provably cannot cross a boundary, and each run is
+        fed to the live instances through their own ``insert_many`` fast path:
+
+        * with the **Morris counter** (the paper's O(log log m)-bit position track),
+          the estimated position only moves when an exponent bumps, so
+          :meth:`~repro.primitives.morris.MorrisCounter.advance_until_change` skips
+          ahead geometrically to the next bump (distributionally identical to
+          per-item increments), the run before the bump is batch-inserted, and the
+          bump item itself is inserted after the retirement check it may trigger —
+          the exact order :meth:`insert` uses;
+        * with **exact counting**, the distance to the current horizon is known, so
+          runs are cut deterministically at it.
+
+        Equivalent to sequential :meth:`insert` up to the inner algorithms' own
+        ``insert_many`` contracts (same restart schedule in distribution; the Morris
+        RNG is consumed in skip-ahead order).
+        """
+        if not hasattr(items, "__getitem__"):
+            items = list(items)
+        total = len(items)
+        position = 0
+        while position < total:
+            remaining = total - position
+            if self.use_morris_counter:
+                steps, changed = self.morris.advance_until_change(remaining)
+                if not changed:
+                    # No estimate movement in the rest of the batch: no boundary.
+                    self._insert_run(items[position:position + remaining])
+                    self.items_processed += remaining
+                    position += remaining
+                    continue
+                run = steps - 1
+                if run > 0:
+                    # Items before the bump see an unchanged estimate (no boundary).
+                    self._insert_run(items[position:position + run])
+                    self.items_processed += run
+                    position += run
+                # The bump item: retirement first, then insertion, as insert() does.
+                self.items_processed += 1
+                self._retire_outgrown()
+                self._insert_run(items[position:position + 1])
+                position += 1
+            else:
+                gap = self.instances[0][0] - self.items_processed
+                run = min(remaining, max(gap, 0))
+                if run == 0:
+                    self.items_processed += 1
+                    self._retire_outgrown()
+                    self._insert_run(items[position:position + 1])
+                    position += 1
+                else:
+                    self._insert_run(items[position:position + run])
+                    self.items_processed += run
+                    position += run
+
+    def _insert_run(self, run: Any) -> None:
+        """Feed one boundary-free run to every live instance's batched fast path."""
+        for _horizon, algorithm in self.instances:
+            insert_many = getattr(algorithm, "insert_many", None)
+            if insert_many is not None:
+                insert_many(run)
+            else:  # pragma: no cover - all current algorithms expose insert_many
+                for item in run:
+                    algorithm.insert(item)
+
+    def consume(self, stream, batch_size: Optional[int] = None) -> "UnknownLengthWrapper":
+        """Insert a whole stream; ``batch_size`` switches to chunked :meth:`insert_many`.
+
+        Chunked consumption is for integer item streams (the chunker materializes
+        numpy batches); ranking streams should consume per item.
+        """
+        if batch_size is None:
+            for item in stream:
+                self.insert(item)
+            return self
+        from repro.primitives.batching import iter_chunks
+
+        for chunk in iter_chunks(stream, batch_size):
+            self.insert_many(chunk)
         return self
 
     # -- queries ------------------------------------------------------------------------

@@ -190,6 +190,36 @@ class EpochAcceleratedCounter:
         if accepted:
             self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + accepted
 
+    def merge(self, other: "EpochAcceleratedCounter") -> None:
+        """Additively combine another counter's T2/T3 state into this one.
+
+        ``subsample_count`` and the per-epoch ``T3`` counts simply add.  This is sound
+        because the estimator (line 23) credits every accepted arrival ``1/p_t`` for
+        the probability ``p_t`` it was accepted at — unbiasedness holds arrival by
+        arrival, regardless of which counter instance accepted it, so the merged
+        estimate is unbiased for the *total* occurrence count (additive in
+        expectation).  Two caveats, documented rather than hidden:
+
+        * **Variance**: each input ran its own epoch schedule over a smaller count, so
+          its arrivals were accepted at *lower* epochs (higher probabilities) than a
+          single counter over the concatenation would have used.  Merged variance is
+          the sum of the inputs' variances, which is at most — typically less than —
+          the single-run variance bound of Claim 2; the guarantee is preserved.
+        * **Uncounted prefix**: each input independently skipped its first
+          ``O(1/(eps*sqrt(epoch_scale)))`` occurrences (negative epochs), so the merged
+          counter can miss up to k such prefixes for k-way merges.  With the default
+          ``epoch_scale`` and practical shard counts this stays within the
+          ``O(eps * sample)`` additive budget.
+
+        After the merge the counter continues at the epoch implied by the combined
+        ``subsample_count``, exactly as a single counter at that count would.
+        """
+        if other.epsilon != self.epsilon or other.epoch_scale != self.epoch_scale:
+            raise ValueError("cannot merge accelerated counters with different parameters")
+        self.subsample_count += other.subsample_count
+        for epoch, count in other.epoch_counts.items():
+            self.epoch_counts[epoch] = self.epoch_counts.get(epoch, 0) + count
+
     def estimate(self) -> float:
         """Estimate of the number of occurrences offered (Algorithm 2 line 23)."""
         total = 0.0

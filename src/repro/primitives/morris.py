@@ -14,7 +14,7 @@ independent counters sharpens the constant.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.primitives.rng import RandomSource
 from repro.primitives.space import bits_for_value
@@ -43,6 +43,43 @@ class MorrisCounter:
             exponent = self.exponents[index]
             if self._rng.bernoulli(2.0 ** (-exponent)):
                 self.exponents[index] = exponent + 1
+
+    def advance_until_change(self, max_steps: int) -> Tuple[int, bool]:
+        """Advance up to ``max_steps`` increments, stopping at the first estimate change.
+
+        Returns ``(steps_consumed, changed)``: if ``changed`` is true, exactly
+        ``steps_consumed <= max_steps`` increments were absorbed and the *last* one
+        bumped at least one repetition's exponent (so :meth:`estimate` just moved);
+        otherwise all ``max_steps`` increments were absorbed with no exponent change.
+
+        Distributionally identical to ``steps_consumed`` calls of :meth:`increment`:
+        each repetition's waiting time until its next exponent bump is geometric with
+        its current rate ``2^-X``, so one geometric draw per repetition replaces up to
+        ``max_steps`` coin flips — and because geometrics are memoryless, stopping at
+        ``max_steps`` without a change discards no information.  Repetitions whose
+        draws tie with the minimum all bump on the same step, exactly as simultaneous
+        per-item coin flips would.  This is what lets the unknown-length wrapper's
+        batched ingestion split batches at the (stochastic) restart boundaries without
+        per-item RNG work.
+        """
+        if max_steps <= 0:
+            return 0, False
+        waits = []
+        for index in range(self.repetitions):
+            exponent = self.exponents[index]
+            if exponent == 0:
+                waits.append(1)  # probability 1: bumps on the very next increment
+            else:
+                waits.append(self._rng.geometric(2.0 ** (-exponent)))
+        first = min(waits)
+        if first > max_steps:
+            self.true_count += max_steps
+            return max_steps, False
+        self.true_count += first
+        for index, wait in enumerate(waits):
+            if wait == first:
+                self.exponents[index] += 1
+        return first, True
 
     def estimate(self) -> float:
         """Unbiased estimate of the number of increments seen so far."""

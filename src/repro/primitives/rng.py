@@ -49,6 +49,40 @@ class RandomSource:
         """The seed this source was created with (``None`` if unseeded)."""
         return self._seed
 
+    # -- pickling ----------------------------------------------------------------
+    #
+    # A RandomSource pickles as a fresh *seed*, not as the full generator state: an
+    # initialized Mersenne Twister weighs ~2.5 KB, and structures like Algorithm 2
+    # hold tens of thousands of sources, which would make shipping a sketch to a
+    # worker process (repro.sharding's parallel driver) cost tens of megabytes.
+    # The copy's seed is derived by hashing the generator's current state — a pure
+    # read, so serialization never perturbs the source object: pickling the same
+    # source twice yields identical bytes, and the original's future draws are
+    # unaffected.  The unpickled copy is deterministic given the original's state and
+    # draws a fresh, well-distributed stream — but it does NOT replay the original's
+    # future draws bit for bit (two copies of the same state are identical to each
+    # other, not to the original's continuation).  The same applies to
+    # copy.deepcopy, which dispatches through these hooks: a deepcopied source is a
+    # re-seeded sibling, not a bit-exact snapshot.  Every use in this package (ship
+    # to a shard worker, ingest, ship back, merge) only needs distributional
+    # correctness, which this preserves.
+
+    def __getstate__(self) -> dict:
+        if self._random is None:
+            return {"seed": self._seed}
+        # Hash only the Mersenne Twister word tuple (state[1]): it determines the
+        # generator completely, and a tuple of ints hashes identically in every
+        # process.  The full getstate() tuple must NOT be hashed — it ends with
+        # gauss_next, which can be None, and hash(None) varies per process under
+        # ASLR on CPython < 3.12, which would silently break run-to-run
+        # reproducibility of the parallel sharded driver.
+        return {"seed": hash(self._rng.getstate()[1]) & ((1 << 62) - 1)}
+
+    def __setstate__(self, state: dict) -> None:
+        self._seed = state["seed"]
+        self._random = None
+        self._numpy_rng = None
+
     def spawn(self, salt: int = 0) -> "RandomSource":
         """Return a new, independent :class:`RandomSource` derived from this one.
 

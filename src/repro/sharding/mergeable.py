@@ -1,0 +1,97 @@
+"""The :class:`Mergeable` protocol and helpers for building merge-compatible shards.
+
+A summary is *mergeable* when two instances built with the same parameters can be
+combined into one whose guarantee matches a single instance run over the concatenation
+of their inputs.  This is the property that lets a stream be split across k independent
+sketch instances (one per shard) and recombined at reporting time without silently
+degrading the (ε,ϕ) guarantee of Definition 3:
+
+* **Misra–Gries** and **Space-Saving** merge losslessly in the mergeable-summaries
+  sense — the additive error bounds of the inputs add, staying within ε(m₁+m₂);
+* **Count-Min** and **CountSketch** are linear sketches — with shared hash functions
+  their tables literally add, and the merge is bit-for-bit exact;
+* the paper's **Algorithm 1** merges its hashed Misra–Gries table losslessly and
+  rebuilds the id side-table invariant; the paper's **Algorithm 2** combines its
+  T2/T3 accelerated counters *additively*, which is unbiased in expectation with
+  summed variance (see
+  :meth:`repro.primitives.accelerated.EpochAcceleratedCounter.merge` for the
+  expectation/variance caveats);
+* the **exact baseline** merges trivially (counts add), which is what the sharded
+  accuracy experiments use as ground truth.
+
+Randomized sketches are only merge-compatible when their hash functions agree (a
+Count-Min cell or an Algorithm 2 bucket must mean the same thing in every shard).
+:func:`share_hash_functions` imposes that on a freshly built shard group, while each
+shard keeps its *own* sampler/counter randomness — shards stay statistically
+independent where the analysis needs them to be, and identical where the merge needs
+them to be.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, TypeVar, runtime_checkable
+
+
+@runtime_checkable
+class Mergeable(Protocol):
+    """Anything that can fold a same-parameter peer into itself in place."""
+
+    def merge(self, other: "Mergeable") -> None:
+        """Absorb ``other``'s state; ``other`` must not be used afterwards."""
+        ...
+
+
+MergeableT = TypeVar("MergeableT")
+
+# Attributes that must be *shared objects* across shards for merges to line up.
+# Covers: Algorithm 1 (hash_function), Algorithm 2 / Count-Min (hash_functions),
+# CountSketch (bucket_hashes + sign_hashes).  A new Mergeable sketch that stores
+# hash state under a different name MUST be added here, or alignment is silently a
+# no-op for it — its merge() equality check will then reject the shard group at
+# combine time rather than at construction.
+_SHARED_HASH_ATTRIBUTES = ("hash_function", "hash_functions", "bucket_hashes", "sign_hashes")
+
+
+def share_hash_functions(sketches: Sequence[MergeableT]) -> Sequence[MergeableT]:
+    """Make every sketch in a shard group use the first sketch's hash functions.
+
+    The sketches must all be of the same type and built with the same parameters
+    (same shape tables); only their hash-function attributes are overwritten, so each
+    shard keeps its own independent sampler and counter randomness.  Sketches with no
+    hash-function attributes (Misra–Gries, Space-Saving, Lossy Counting, the exact
+    baseline) pass through untouched — their merges need no alignment.
+    """
+    if len(sketches) < 2:
+        return sketches
+    reference = sketches[0]
+    for other in sketches[1:]:
+        if type(other) is not type(reference):
+            raise TypeError(
+                "cannot align hash functions across mixed sketch types: "
+                f"{type(reference).__name__} vs {type(other).__name__}"
+            )
+    for attribute in _SHARED_HASH_ATTRIBUTES:
+        value = getattr(reference, attribute, None)
+        if value is None:
+            continue
+        for other in sketches[1:]:
+            setattr(other, attribute, value)
+    return sketches
+
+
+def merge_all(sketches: Sequence[MergeableT]) -> MergeableT:
+    """Fold a shard group left-to-right into its first element and return it.
+
+    Every sketch after the first is consumed (its state is absorbed; it must not be
+    used again).  Raises on an empty group, and surfaces the per-type compatibility
+    errors (parameter or hash-function mismatches) unchanged.
+    """
+    remaining: List[MergeableT] = list(sketches)
+    if not remaining:
+        raise ValueError("cannot merge an empty group of sketches")
+    combined = remaining[0]
+    if len(remaining) > 1 and not hasattr(combined, "merge"):
+        raise TypeError(f"{type(combined).__name__} does not implement merge()")
+    for other in remaining[1:]:
+        combined.merge(other)  # type: ignore[attr-defined]
+    return combined

@@ -1,0 +1,137 @@
+"""Hash-partitioned stream routing (the split half of split → sketch → merge).
+
+:class:`ShardRouter` assigns every universe item to one of ``k`` shards with a single
+Carter–Wegman hash function drawn from the universal family of
+:mod:`repro.primitives.hashing` (paper Section 2.4).  Routing by a hash of the *item
+id* — rather than round-robin over arrival order — is what makes the downstream merge
+step easy to reason about: all occurrences of an item land in the same shard, so an
+item's true frequency is wholly contained in one shard's sub-stream and per-shard
+frequency estimates never need cross-shard reconciliation.  Universality gives the
+usual load guarantee in expectation: each shard receives ``m/k`` arrivals in
+expectation, and no adversary that is oblivious to the hash draw can do better than
+constant-factor imbalance on the heavy mass.
+
+The router is batch-native: :meth:`partition` turns one incoming chunk into ``k``
+contiguous numpy sub-arrays (one vectorized hash pass + one stable argsort), each of
+which feeds the matching sketch's ``insert_many`` fast path directly.  The stable sort
+preserves arrival order within a shard, so order-sensitive structures (Lossy
+Counting's windows, Sticky Sampling's rate schedule) see exactly the sub-stream they
+would have seen with per-item routing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.primitives.batching import as_item_array, iter_chunks, validate_universe
+from repro.primitives.hashing import UniversalHashFamily, UniversalHashFunction
+from repro.primitives.rng import RandomSource
+
+
+def chunk_stream(items, batch_size: Optional[int] = None):
+    """Normalize any stream-like input into an iterable of contiguous item arrays.
+
+    Array-backed input (a :class:`~repro.streams.stream.Stream` or a numpy array)
+    passes through in one piece when ``batch_size`` is unset; everything else is
+    chunked through :func:`~repro.primitives.batching.iter_chunks` (default 2^16
+    items).  Shared by :meth:`ShardRouter.route` and the sharded executor so the two
+    cannot drift apart on chunking behavior.
+    """
+    if batch_size is None:
+        backing = getattr(items, "array", None)
+        if backing is None and isinstance(items, np.ndarray):
+            backing = items
+        if backing is not None:
+            return [backing]
+        return iter_chunks(items, 1 << 16)
+    return iter_chunks(items, batch_size)
+
+
+class ShardRouter:
+    """Route stream items to ``num_shards`` shards by a universal hash of their id."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        universe_size: int,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if universe_size <= 0:
+            raise ValueError("universe_size must be positive")
+        self.num_shards = num_shards
+        self.universe_size = universe_size
+        family = UniversalHashFamily(universe_size, num_shards, rng=rng)
+        self.hash_function: UniversalHashFunction = family.draw()
+
+    def shard_of(self, item: int) -> int:
+        """The shard index an item routes to (same id, same shard — always)."""
+        if not 0 <= item < self.universe_size:
+            raise ValueError(f"item {item} outside universe [0, {self.universe_size})")
+        return self.hash_function(item)
+
+    def partition(self, items: Sequence[int]) -> List[np.ndarray]:
+        """Split one chunk into ``num_shards`` contiguous per-shard sub-arrays.
+
+        One vectorized Carter–Wegman pass assigns shards, one stable argsort groups
+        them; within each returned sub-array the items keep their arrival order.
+        Empty shards yield empty arrays, so ``partition(chunk)[j]`` always lines up
+        with shard ``j``'s sketch.
+        """
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if self.num_shards == 1:
+            return [array]
+        if array.size == 0:
+            return [array[:0] for _ in range(self.num_shards)]
+        shards = self.hash_function.hash_many(array)
+        order = np.argsort(shards, kind="stable")
+        grouped = array[order]
+        counts = np.bincount(shards, minlength=self.num_shards)
+        boundaries = np.cumsum(counts)[:-1]
+        return np.split(grouped, boundaries)
+
+    def shard_sizes(self, items: Sequence[int]) -> List[int]:
+        """How many arrivals of a chunk each shard would receive (no copying)."""
+        array = as_item_array(items)
+        validate_universe(array, self.universe_size)
+        if array.size == 0:
+            return [0] * self.num_shards
+        shards = self.hash_function.hash_many(array)
+        return np.bincount(shards, minlength=self.num_shards).tolist()
+
+    def route_chunks(self, chunks, sinks: Sequence) -> List[int]:
+        """Partition pre-chunked batches and feed ``sinks[j].insert_many`` per shard.
+
+        The single implementation of the serial routing loop: :meth:`route` and the
+        sharded executor's serial driver both land here.  Returns the number of items
+        each sink received.
+        """
+        if len(sinks) != self.num_shards:
+            raise ValueError(
+                f"expected {self.num_shards} sinks (one per shard), got {len(sinks)}"
+            )
+        delivered = [0] * self.num_shards
+        for chunk in chunks:
+            for shard, part in enumerate(self.partition(chunk)):
+                if part.size:
+                    sinks[shard].insert_many(part)
+                    delivered[shard] += int(part.size)
+        return delivered
+
+    def route(self, items, sinks: Sequence, batch_size: Optional[int] = None) -> List[int]:
+        """Feed a stream through ``sinks[j].insert_many`` per shard, chunk by chunk.
+
+        ``items`` may be anything :func:`chunk_stream` accepts (an array-backed
+        stream or a plain iterable); with ``batch_size`` unset, array-backed input is
+        routed in one pass.  Returns the number of items each sink received.  The
+        parallel driver partitions first and ships whole shards to workers instead.
+        """
+        return self.route_chunks(chunk_stream(items, batch_size), sinks)
+
+    def description_bits(self) -> int:
+        """Bits to store the routing function (one Carter–Wegman pair, O(log n))."""
+        return self.hash_function.description_bits()

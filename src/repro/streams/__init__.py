@@ -28,6 +28,8 @@ from repro.streams.io import (
     save_election,
     load_election,
     iterate_stream_file,
+    iterate_stream_file_chunks,
+    stream_file_metadata,
     stream_file_statistics,
 )
 
@@ -48,5 +50,7 @@ __all__ = [
     "save_election",
     "load_election",
     "iterate_stream_file",
+    "iterate_stream_file_chunks",
+    "stream_file_metadata",
     "stream_file_statistics",
 ]

@@ -16,8 +16,11 @@ Both formats round-trip exactly through :func:`save_stream`/:func:`load_stream` 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
+import numpy as np
+
+from repro.primitives.batching import iter_chunks
 from repro.streams.stream import Stream
 from repro.voting.elections import Election
 from repro.voting.rankings import Ranking
@@ -105,6 +108,53 @@ def iterate_stream_file(path: str) -> Iterable[int]:
             if not line or line.startswith("#"):
                 continue
             yield int(line)
+
+
+def iterate_stream_file_chunks(path: str, chunk_size: int = 1 << 16) -> Iterator[np.ndarray]:
+    """Yield a stream file as contiguous int64 numpy batches (out-of-core replay).
+
+    The chunked counterpart of :func:`iterate_stream_file`: each yielded array feeds
+    ``insert_many`` (or a :class:`~repro.sharding.ShardRouter`) directly, so replaying
+    an on-disk trace costs O(``chunk_size``) memory beyond the algorithm's own state
+    while still ingesting through the batched fast path.  The concatenation of the
+    yielded chunks is exactly the item sequence of the file — same comment/blank-line
+    handling as the one-at-a-time iterator.
+    """
+    yield from iter_chunks(iterate_stream_file(path), chunk_size)
+
+
+def stream_file_metadata(path: str) -> Dict[str, int]:
+    """One O(1)-memory pass over a stream file: length, max item and universe size.
+
+    The universe size is the header's ``# universe_size`` when present — accepted
+    anywhere in the file, like :func:`load_stream` — otherwise ``max item + 1``
+    (matching :func:`load_stream`'s inference).  Exactly what a consumer needs to
+    size its sketches before replaying the file out of core: unlike
+    :func:`stream_file_statistics` (which retains a distinct-item set), nothing is
+    accumulated here, so the pass stays bounded-memory on high-cardinality traces.
+    """
+    header_universe: Optional[int] = None
+    length = 0
+    max_item = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# universe_size:"):
+                    header_universe = int(line.split(":", 1)[1].strip())
+                continue
+            item = int(line)
+            length += 1
+            if item > max_item:
+                max_item = item
+    inferred = max_item + 1 if length else 1
+    return {
+        "length": length,
+        "max_item": max_item,
+        "universe_size": header_universe if header_universe is not None else inferred,
+    }
 
 
 def stream_file_statistics(path: str) -> Dict[str, int]:

@@ -1,0 +1,358 @@
+"""Property tests for merge semantics (the combine step of the sharded subsystem).
+
+The mergeability claims each sketch's ``merge`` documents are checked against their
+definitions, not assumed:
+
+* **Misra–Gries / Space-Saving** — a merged pair of summaries over an arbitrary split
+  of a stream satisfies the same deterministic additive error bound (within the
+  guarantee) as a single instance run on the concatenated stream;
+* **Count-Min / CountSketch** — with shared hash functions the merge is *exactly* the
+  single-run table (linear sketches);
+* **accelerated-counter sketches** — hash-sharded Algorithm 2 (and Algorithm 1) stay
+  within the (ε,ϕ) bound of Definition 1 on Zipf and planted-frequency streams;
+* **HeavyHittersReport.merge** — compatibility checks and combined thresholds.
+"""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.misra_gries import MisraGries, MisraGriesTable
+from repro.baselines.space_saving import SpaceSaving
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.results import HeavyHittersReport
+from repro.primitives.rng import RandomSource
+from repro.sharding import ShardedExecutor, merge_all, share_hash_functions
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+streams = st.lists(st.integers(min_value=0, max_value=40), min_size=0, max_size=500)
+capacities = st.integers(min_value=1, max_value=16)
+splits = st.floats(min_value=0.0, max_value=1.0)
+
+
+def _split(stream, fraction):
+    cut = int(len(stream) * fraction)
+    return stream[:cut], stream[cut:]
+
+
+class TestMisraGriesMerge:
+    @given(streams, capacities, splits)
+    @settings(max_examples=100)
+    def test_merged_table_keeps_combined_error_bound(self, stream, capacity, fraction):
+        left, right = _split(stream, fraction)
+        merged = MisraGriesTable(capacity)
+        other = MisraGriesTable(capacity)
+        for item in left:
+            merged.update(item)
+        for item in right:
+            other.update(item)
+        merged.merge(other)
+        truth = Counter(stream)
+        bound = len(stream) / capacity
+        assert len(merged) <= capacity
+        for item in truth:
+            assert merged.get(item) <= truth[item]
+            assert merged.get(item) >= truth[item] - bound - 1e-9
+
+    @given(streams, splits)
+    @settings(max_examples=60)
+    def test_merged_summary_matches_single_run_within_guarantee(self, stream, fraction):
+        """Merged shards and a single run agree on every estimate within εm each way."""
+        epsilon = 0.125
+        left, right = _split(stream, fraction)
+        single = MisraGries(epsilon, universe_size=64)
+        single.insert_many(stream) if stream else None
+        a, b = MisraGries(epsilon, universe_size=64), MisraGries(epsilon, universe_size=64)
+        if left:
+            a.insert_many(left)
+        if right:
+            b.insert_many(right)
+        a.merge(b)
+        assert a.items_processed == len(stream)
+        truth = Counter(stream)
+        bound = epsilon * len(stream)
+        for item in truth:
+            # Both sides are within εm of the truth, hence within 2εm of each other;
+            # assert each against the truth (the guarantee actually promised).
+            assert truth[item] - bound <= a.estimate(item) <= truth[item]
+            assert truth[item] - bound <= single.estimate(item) <= truth[item]
+
+    def test_capacity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MisraGriesTable(4).merge(MisraGriesTable(5))
+        with pytest.raises(ValueError):
+            a, b = MisraGries(0.1, 10), MisraGries(0.2, 10)
+            a.merge(b)
+
+
+class TestSpaceSavingMerge:
+    @given(streams, splits)
+    @settings(max_examples=60)
+    def test_merged_summary_within_guarantee(self, stream, fraction):
+        epsilon = 0.125
+        left, right = _split(stream, fraction)
+        a, b = SpaceSaving(epsilon, 64), SpaceSaving(epsilon, 64)
+        if left:
+            a.insert_many(left)
+        if right:
+            b.insert_many(right)
+        a.merge(b)
+        assert a.items_processed == len(stream)
+        assert len(a.counts) <= a.capacity
+        truth = Counter(stream)
+        bound = epsilon * len(stream)
+        for item in truth:
+            if item in a.counts:
+                # Stored items: the inputs' ±εmᵢ guarantees add.
+                assert abs(a.estimate(item) - truth[item]) <= bound + 1e-9
+            else:
+                # Pruned/absent items: true frequency at most 2ε(m₁+m₂).
+                assert truth[item] <= 2 * bound + 1e-9
+
+    def test_disjoint_supports_preserve_overestimates(self):
+        """Hash-routed shards have disjoint supports: estimates stay >= truth."""
+        rng = RandomSource(3)
+        stream = zipfian_stream(4000, 128, skew=1.4, rng=rng)
+        evens = [item for item in stream if item % 2 == 0]
+        odds = [item for item in stream if item % 2 == 1]
+        a, b = SpaceSaving(0.05, 128), SpaceSaving(0.05, 128)
+        a.insert_many(evens)
+        b.insert_many(odds)
+        a.merge(b)
+        truth = Counter(stream)
+        for item, count in truth.items():
+            if item in a.counts:
+                assert a.counts[item] >= count
+
+
+class TestLinearSketchMergeIsExact:
+    @given(streams, splits)
+    @settings(max_examples=40)
+    def test_count_min_merge_equals_single_run(self, stream, fraction):
+        left, right = _split(stream, fraction)
+        single = CountMinSketch(0.1, 0.2, 64, rng=RandomSource(7))
+        shards = [
+            CountMinSketch(0.1, 0.2, 64, rng=RandomSource(7)),
+            CountMinSketch(0.1, 0.2, 64, rng=RandomSource(8)),
+        ]
+        share_hash_functions(shards)
+        if stream:
+            single.insert_many(stream)
+        if left:
+            shards[0].insert_many(left)
+        if right:
+            shards[1].insert_many(right)
+        merged = merge_all(shards)
+        assert (merged.table == single.table).all()
+        assert merged.items_processed == single.items_processed
+
+    @given(streams, splits)
+    @settings(max_examples=40)
+    def test_count_sketch_merge_equals_single_run(self, stream, fraction):
+        left, right = _split(stream, fraction)
+        single = CountSketch(0.2, 0.2, 64, rng=RandomSource(9))
+        shards = [
+            CountSketch(0.2, 0.2, 64, rng=RandomSource(9)),
+            CountSketch(0.2, 0.2, 64, rng=RandomSource(10)),
+        ]
+        share_hash_functions(shards)
+        if stream:
+            single.insert_many(stream)
+        if left:
+            shards[0].insert_many(left)
+        if right:
+            shards[1].insert_many(right)
+        merged = merge_all(shards)
+        assert (merged.table == single.table).all()
+
+    def test_unshared_hash_functions_rejected(self):
+        a = CountMinSketch(0.1, 0.2, 64, rng=RandomSource(1))
+        b = CountMinSketch(0.1, 0.2, 64, rng=RandomSource(2))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestExactAndLossyMerge:
+    @given(streams, splits)
+    @settings(max_examples=60)
+    def test_exact_counter_merge_is_lossless(self, stream, fraction):
+        left, right = _split(stream, fraction)
+        a, b = ExactCounter(64), ExactCounter(64)
+        for item in left:
+            a.insert(item)
+        for item in right:
+            b.insert(item)
+        a.merge(b)
+        assert a.frequencies() == dict(Counter(stream))
+
+    @given(streams, splits)
+    @settings(max_examples=60)
+    def test_lossy_counting_merge_keeps_guarantee(self, stream, fraction):
+        epsilon = 0.125
+        left, right = _split(stream, fraction)
+        a, b = LossyCounting(epsilon, 64), LossyCounting(epsilon, 64)
+        if left:
+            a.insert_many(left)
+        if right:
+            b.insert_many(right)
+        a.merge(b)
+        truth = Counter(stream)
+        bound = epsilon * len(stream)
+        for item in truth:
+            assert a.estimate(item) <= truth[item]
+            assert a.estimate(item) >= truth[item] - bound - 1e-9
+
+
+ZIPF = ("zipf", 1.2)
+PLANTED = ("planted", {7: 0.22, 13: 0.11, 29: 0.08})
+
+
+def _stream_for(kind, seed, length=40_000, universe=4096):
+    name, parameter = kind
+    if name == "zipf":
+        return zipfian_stream(length, universe, skew=parameter, rng=RandomSource(seed))
+    return planted_heavy_hitters_stream(length, universe, parameter, rng=RandomSource(seed))
+
+
+class TestShardedAcceleratedCounters:
+    """Sharded paper algorithms stay within the (ε,ϕ) bound of Definition 1."""
+
+    @pytest.mark.parametrize("kind", [ZIPF, PLANTED], ids=["zipf", "planted"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_optimal_within_guarantee(self, kind, shards):
+        epsilon, phi = 0.02, 0.06
+        stream = _stream_for(kind, seed=31 + shards)
+        truth = exact_frequencies(stream)
+        rng = RandomSource(17 + shards)
+        executor = ShardedExecutor(
+            factory=lambda shard: OptimalListHeavyHitters(
+                epsilon=epsilon, phi=phi, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            ),
+            num_shards=shards,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        result = executor.run(stream, batch_size=8192)
+        report = result.report
+        assert report.stream_length == len(stream)
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)
+        assert report.max_frequency_error(truth) <= epsilon * len(stream)
+
+    @pytest.mark.parametrize("kind", [ZIPF, PLANTED], ids=["zipf", "planted"])
+    def test_sharded_simple_within_guarantee(self, kind):
+        epsilon, phi = 0.02, 0.06
+        stream = _stream_for(kind, seed=53)
+        truth = exact_frequencies(stream)
+        rng = RandomSource(71)
+        executor = ShardedExecutor(
+            factory=lambda shard: SimpleListHeavyHitters(
+                epsilon=epsilon, phi=phi, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            ),
+            num_shards=3,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        result = executor.run(stream, batch_size=8192)
+        report = result.report
+        assert report.contains_all_heavy(truth)
+        assert report.excludes_all_light(truth)
+        assert report.max_frequency_error(truth) <= epsilon * len(stream)
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_matches_single_instance_within_guarantee(self, shards):
+        """The acceptance comparison: merged report vs single-instance report."""
+        epsilon, phi = 0.02, 0.06
+        stream = _stream_for(ZIPF, seed=97)
+        truth = exact_frequencies(stream)
+        single = OptimalListHeavyHitters(
+            epsilon=epsilon, phi=phi, universe_size=stream.universe_size,
+            stream_length=len(stream), rng=RandomSource(5),
+        )
+        single.consume(stream, batch_size=8192)
+        single_report = single.report()
+        rng = RandomSource(6)
+        executor = ShardedExecutor(
+            factory=lambda shard: OptimalListHeavyHitters(
+                epsilon=epsilon, phi=phi, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            ),
+            num_shards=shards,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        sharded_report = executor.run(stream, batch_size=8192).report
+        # Both reports satisfy Definition 1 against the same truth, so they can only
+        # disagree on items in the (ϕ−ε, ϕ]·m band; check that directly.
+        for report in (single_report, sharded_report):
+            assert report.contains_all_heavy(truth)
+            assert report.excludes_all_light(truth)
+        band_low = (phi - epsilon) * len(stream)
+        band_high = phi * len(stream)
+        for item in set(single_report.items).symmetric_difference(sharded_report.items):
+            assert band_low < truth.get(item, 0) <= band_high
+
+
+class TestSamplingRateCompatibility:
+    def test_stream_length_mismatch_rejected_by_both_algorithms(self):
+        # The sampling rate is derived from the stream length; merging instances
+        # built for different lengths would mix samples drawn at different rates.
+        for algorithm_type in (OptimalListHeavyHitters, SimpleListHeavyHitters):
+            a = algorithm_type(
+                epsilon=0.05, phi=0.15, universe_size=256,
+                stream_length=10_000, rng=RandomSource(1),
+            )
+            b = algorithm_type(
+                epsilon=0.05, phi=0.15, universe_size=256,
+                stream_length=20_000, rng=RandomSource(2),
+            )
+            share_hash_functions([a, b])
+            with pytest.raises(ValueError):
+                a.merge(b)
+
+
+class TestReportMerge:
+    def test_estimates_add_and_length_combines(self):
+        left = HeavyHittersReport({1: 500.0}, 1000, epsilon=0.02, phi=0.1)
+        right = HeavyHittersReport({1: 200.0, 2: 450.0}, 3000, epsilon=0.02, phi=0.1)
+        merged = left.merge(right, rethreshold=False)
+        assert merged.stream_length == 4000
+        assert merged.items == {1: 700.0, 2: 450.0}
+
+    def test_rethreshold_drops_globally_light_items(self):
+        # Item 2 is heavy for the right shard alone but light at the combined scale.
+        left = HeavyHittersReport({1: 5000.0}, 10_000, epsilon=0.02, phi=0.1)
+        right = HeavyHittersReport({2: 120.0}, 1000, epsilon=0.02, phi=0.1)
+        merged = left.merge(right)
+        assert 1 in merged and 2 not in merged
+        threshold = (0.1 - 0.02) * merged.stream_length
+        assert all(estimate > threshold for estimate in merged.items.values())
+
+    def test_rethreshold_keeps_underestimated_heavy_items(self):
+        # A Misra-Gries-style shard report can carry a phi-heavy item with an
+        # estimate as low as f - eps*m_shard, just above (phi - eps)*m_shard; the
+        # combined filter must not evict it (the code-review repro case).
+        epsilon, phi = 0.1, 0.3
+        # Item 1: f = 601 of m = 2000 (phi-heavy: 601 > 600); MG undercount leaves 483.
+        left = HeavyHittersReport({1: 483.0}, 1900, epsilon=epsilon, phi=phi)
+        right = HeavyHittersReport({}, 100, epsilon=epsilon, phi=phi)
+        merged = left.merge(right)
+        assert 1 in merged
+
+    def test_incompatible_guarantees_rejected(self):
+        base = HeavyHittersReport({}, 10, epsilon=0.02, phi=0.1)
+        with pytest.raises(ValueError):
+            base.merge(HeavyHittersReport({}, 10, epsilon=0.03, phi=0.1))
+        with pytest.raises(ValueError):
+            base.merge(HeavyHittersReport({}, 10, epsilon=0.02, phi=0.2))
+        with pytest.raises(TypeError):
+            base.merge("not a report")

@@ -79,6 +79,34 @@ class TestHeavyHitters:
         assert code == 0
         assert "item 5" in capsys.readouterr().out
 
+    def test_batched_replay_matches_flags(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "optimal", "--seed", "6", "--batch-size", "1024"])
+        assert code == 0
+        assert "item 5" in capsys.readouterr().out
+
+    def test_sharded_serial_run(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "optimal", "--seed", "6", "--shards", "3",
+                     "--batch-size", "2048"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards: 3" in out
+        assert "driver: serial" in out
+        assert "item 5" in out
+
+    def test_sharded_parallel_run(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "misra-gries", "--shards", "2", "--parallel"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "driver: parallel" in out
+        assert "item 5" in out
+
+    def test_parallel_requires_shards(self, planted_trace):
+        with pytest.raises(SystemExit):
+            main(["heavy-hitters", planted_trace, "--parallel"])
+
 
 class TestMaximumMinimum:
     def test_maximum(self, planted_trace, capsys):

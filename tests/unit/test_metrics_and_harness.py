@@ -7,6 +7,7 @@ from repro.analysis.harness import (
     format_table,
     run_algorithm_on_stream,
     run_heavy_hitter_comparison,
+    run_sharded_comparison,
     run_space_scaling_experiment,
 )
 from repro.analysis.metrics import (
@@ -100,6 +101,31 @@ class TestHarness:
         assert row.label == "misra-gries"
         assert row.measurements["recall"] == 1.0
         assert row.parameters["m"] == 5000
+
+    def test_run_sharded_comparison(self):
+        stream = planted_heavy_hitters_stream(
+            20_000, 500, {1: 0.3, 2: 0.1}, rng=RandomSource(4)
+        )
+        rng = RandomSource(5)
+        rows = run_sharded_comparison(
+            factory=lambda instance: MisraGries(epsilon=0.02, universe_size=500),
+            stream=stream,
+            phi=0.08,
+            shard_counts=(2, 4),
+            rng=rng,
+            report_kwargs={"phi": 0.08},
+        )
+        assert [row.label for row in rows] == ["single", "sharded(k=2)", "sharded(k=4)"]
+        for row in rows:
+            # The combine-phase accuracy check: every run, sharded or not, keeps the
+            # (eps, phi) guarantee on this planted stream.
+            assert row.measurements["recall"] == 1.0
+            assert row.measurements["precision"] == 1.0
+            assert row.measurements["satisfies_definition"] == 1.0
+        assert rows[1].measurements["report_symmetric_difference"] == 0.0
+        assert rows[1].parameters["shards"] == 2
+        # k sharded tables cost more bits than one.
+        assert rows[2].measurements["space_bits"] > rows[0].measurements["space_bits"]
 
     def test_run_space_scaling_experiment(self):
         grid = [{"epsilon": 0.1}, {"epsilon": 0.05}]

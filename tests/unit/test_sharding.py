@@ -1,0 +1,364 @@
+"""Unit tests for the sharded ingestion subsystem (repro.sharding)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.exact import ExactCounter
+from repro.baselines.misra_gries import MisraGries
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.unknown_length import UnknownLengthHeavyHitters
+from repro.primitives.morris import MorrisCounter
+from repro.primitives.rng import RandomSource
+from repro.sharding import (
+    Mergeable,
+    ShardRouter,
+    ShardedExecutor,
+    merge_all,
+    share_hash_functions,
+)
+from repro.streams.generators import planted_heavy_hitters_stream, zipfian_stream
+from repro.streams.truth import exact_frequencies
+
+
+class TestShardRouter:
+    def test_partition_is_a_per_shard_order_preserving_split(self):
+        stream = zipfian_stream(5000, 512, skew=1.3, rng=RandomSource(1))
+        router = ShardRouter(4, 512, rng=RandomSource(2))
+        parts = router.partition(stream.array)
+        assert len(parts) == 4
+        assert sum(part.size for part in parts) == len(stream)
+        for shard, part in enumerate(parts):
+            # Every item of shard j hashes to j...
+            assert all(router.shard_of(int(item)) == shard for item in part)
+            # ...and the shard sees exactly the sub-stream it would have seen with
+            # per-item routing: the original sequence filtered to its items, in order.
+            expected = [item for item in stream if router.shard_of(item) == shard]
+            assert part.tolist() == expected
+
+    def test_single_shard_is_passthrough(self):
+        router = ShardRouter(1, 64, rng=RandomSource(3))
+        array = np.arange(10, dtype=np.int64)
+        parts = router.partition(array)
+        assert len(parts) == 1
+        assert (parts[0] == array).all()
+
+    def test_empty_chunk_yields_empty_shards(self):
+        router = ShardRouter(3, 64, rng=RandomSource(4))
+        parts = router.partition(np.empty(0, dtype=np.int64))
+        assert len(parts) == 3
+        assert all(part.size == 0 for part in parts)
+
+    def test_out_of_universe_items_rejected(self):
+        router = ShardRouter(2, 8, rng=RandomSource(5))
+        with pytest.raises(ValueError):
+            router.partition(np.asarray([3, 9], dtype=np.int64))
+        with pytest.raises(ValueError):
+            router.shard_of(-1)
+
+    def test_route_feeds_sinks_and_counts(self):
+        stream = zipfian_stream(3000, 128, skew=1.2, rng=RandomSource(6))
+        router = ShardRouter(3, 128, rng=RandomSource(7))
+        sinks = [ExactCounter(128) for _ in range(3)]
+        delivered = router.route(stream, sinks, batch_size=700)
+        assert sum(delivered) == len(stream)
+        combined = merge_all(sinks)
+        assert combined.frequencies() == exact_frequencies(stream)
+
+    def test_shard_sizes_match_partition(self):
+        stream = zipfian_stream(2000, 256, skew=1.1, rng=RandomSource(8))
+        router = ShardRouter(4, 256, rng=RandomSource(9))
+        sizes = router.shard_sizes(stream.array)
+        assert sizes == [part.size for part in router.partition(stream.array)]
+
+
+class TestMergeableHelpers:
+    def test_sketches_satisfy_protocol(self):
+        assert isinstance(MisraGries(0.1, 64), Mergeable)
+        assert isinstance(ExactCounter(64), Mergeable)
+
+    def test_share_hash_functions_aligns_count_min(self):
+        shards = [CountMinSketch(0.1, 0.2, 64, rng=RandomSource(seed)) for seed in (1, 2)]
+        assert shards[0].hash_functions != shards[1].hash_functions
+        share_hash_functions(shards)
+        assert shards[0].hash_functions == shards[1].hash_functions
+
+    def test_share_hash_functions_rejects_mixed_types(self):
+        with pytest.raises(TypeError):
+            share_hash_functions([MisraGries(0.1, 64), ExactCounter(64)])
+
+    def test_merge_all_requires_nonempty_group(self):
+        with pytest.raises(ValueError):
+            merge_all([])
+
+    def test_merge_all_rejects_unmergeable(self):
+        with pytest.raises(TypeError):
+            merge_all([object(), object()])
+
+
+class TestShardedExecutor:
+    def _stream(self):
+        return planted_heavy_hitters_stream(
+            30_000, 1024, {5: 0.25, 9: 0.12}, rng=RandomSource(11)
+        )
+
+    def test_serial_run_matches_guarantee_and_counts(self):
+        stream = self._stream()
+        truth = exact_frequencies(stream)
+        rng = RandomSource(12)
+        executor = ShardedExecutor(
+            factory=lambda shard: OptimalListHeavyHitters(
+                epsilon=0.02, phi=0.08, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            ),
+            num_shards=4,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        result = executor.run(stream, batch_size=4096)
+        assert result.items_processed == len(stream)
+        assert result.num_shards == 4
+        assert not result.parallel
+        assert result.report.satisfies_definition(truth)
+        assert {5, 9} <= set(result.report.items)
+
+    def test_parallel_run_matches_guarantee(self):
+        stream = self._stream()
+        truth = exact_frequencies(stream)
+        rng = RandomSource(13)
+        executor = ShardedExecutor(
+            factory=lambda shard: OptimalListHeavyHitters(
+                epsilon=0.02, phi=0.08, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            ),
+            num_shards=2,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        result = executor.run(stream, parallel=True)
+        assert result.parallel
+        assert result.items_processed == len(stream)
+        assert result.report.satisfies_definition(truth)
+
+    def test_combined_space_meter_has_router_and_per_shard_components(self):
+        stream = self._stream()
+        rng = RandomSource(14)
+        executor = ShardedExecutor(
+            factory=lambda shard: MisraGries(0.02, stream.universe_size),
+            num_shards=3,
+            universe_size=stream.universe_size,
+            rng=rng,
+        )
+        result = executor.run(stream, report_kwargs={"phi": 0.08})
+        breakdown = result.space.breakdown()
+        assert breakdown["router"] > 0
+        for shard in range(3):
+            assert any(name.startswith(f"shard{shard}/") for name in breakdown)
+        assert result.space_bits() == sum(breakdown.values())
+        # k sharded Misra-Gries tables cost ~k times one table, plus the router.
+        single = MisraGries(0.02, stream.universe_size)
+        single.insert_many(stream.array)
+        assert result.space_bits() > single.space_bits()
+
+    def test_non_mergeable_sketch_rejected_before_ingestion(self):
+        from repro.baselines.sticky_sampling import StickySampling
+
+        with pytest.raises(TypeError):
+            ShardedExecutor(
+                factory=lambda shard: StickySampling(
+                    0.02, 0.08, 0.1, 1024, rng=RandomSource(shard)
+                ),
+                num_shards=2,
+                universe_size=1024,
+                rng=RandomSource(30),
+            )
+
+    def test_executor_is_single_shot(self):
+        stream = self._stream()
+        executor = ShardedExecutor(
+            factory=lambda shard: ExactCounter(stream.universe_size),
+            num_shards=2,
+            universe_size=stream.universe_size,
+            rng=RandomSource(15),
+        )
+        executor.run(stream, report_kwargs={"phi": 0.08})
+        with pytest.raises(RuntimeError):
+            executor.run(stream)
+
+    def test_run_chunks_streams_without_materializing(self):
+        stream = self._stream()
+        executor = ShardedExecutor(
+            factory=lambda shard: ExactCounter(stream.universe_size),
+            num_shards=2,
+            universe_size=stream.universe_size,
+            rng=RandomSource(16),
+        )
+        chunks = (stream.array[start:start + 7000] for start in range(0, len(stream), 7000))
+        result = executor.run_chunks(chunks, report_kwargs={"phi": 0.08})
+        assert result.sketch.frequencies() == exact_frequencies(stream)
+
+    def test_exact_sharded_run_is_lossless(self):
+        stream = self._stream()
+        executor = ShardedExecutor(
+            factory=lambda shard: ExactCounter(stream.universe_size),
+            num_shards=5,
+            universe_size=stream.universe_size,
+            rng=RandomSource(17),
+        )
+        result = executor.run(stream, report_kwargs={"phi": 0.08})
+        assert result.sketch.frequencies() == exact_frequencies(stream)
+
+
+class TestPicklingForParallelShards:
+    def test_random_source_pickles_as_fresh_seed(self):
+        source = RandomSource(42)
+        source.random()  # initialize the generator
+        blob = pickle.dumps(source)
+        assert len(blob) < 200  # a seed, not a Mersenne state
+        clone = pickle.loads(blob)
+        assert isinstance(clone.random(), float)
+
+    def test_derived_seed_is_reproducible_across_processes(self):
+        # Regression: hashing the full Random.getstate() tuple would hash None
+        # (gauss_next), which is ASLR-variant per process on CPython < 3.12.
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        source_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        environment = dict(os.environ, PYTHONPATH=source_root)
+        code = (
+            "import pickle\n"
+            "from repro.primitives.rng import RandomSource\n"
+            "s = RandomSource(42); s.random()\n"
+            "print(pickle.loads(pickle.dumps(s)).seed)\n"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True, env=environment,
+            ).stdout
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+
+    def test_pickling_does_not_perturb_the_source(self):
+        # Serialization is a pure read: same bytes twice, and the original's future
+        # draws are identical to a never-pickled twin's.
+        source, twin = RandomSource(42), RandomSource(42)
+        source.random(), twin.random()
+        first = pickle.dumps(source)
+        second = pickle.dumps(source)
+        assert first == second
+        assert [source.random() for _ in range(5)] == [twin.random() for _ in range(5)]
+
+    def test_optimal_sketch_pickle_round_trip_preserves_report_and_space(self):
+        stream = zipfian_stream(50_000, 4096, skew=1.2, rng=RandomSource(18))
+        algo = OptimalListHeavyHitters(
+            epsilon=0.02, phi=0.06, universe_size=stream.universe_size,
+            stream_length=len(stream), rng=RandomSource(19),
+        )
+        algo.insert_many(stream.array)
+        clone = pickle.loads(pickle.dumps(algo))
+        assert clone.report().items == algo.report().items
+        assert clone.space_bits() == algo.space_bits()
+        assert clone.sample_size == algo.sample_size
+        # The clone keeps working: it can ingest more and still report.
+        clone.insert_many(stream.array[:1000])
+        assert clone.items_processed == algo.items_processed + 1000
+
+    def test_merge_after_round_trip(self):
+        stream = zipfian_stream(20_000, 1024, skew=1.3, rng=RandomSource(20))
+        rng = RandomSource(21)
+        shards = [
+            OptimalListHeavyHitters(
+                epsilon=0.03, phi=0.09, universe_size=stream.universe_size,
+                stream_length=len(stream), rng=rng.spawn(shard),
+            )
+            for shard in range(2)
+        ]
+        share_hash_functions(shards)
+        half = len(stream) // 2
+        shards[0].insert_many(stream.array[:half])
+        shards[1].insert_many(stream.array[half:])
+        shards = [pickle.loads(pickle.dumps(sketch)) for sketch in shards]
+        merged = merge_all(shards)
+        assert merged.items_processed == len(stream)
+
+
+class TestUnknownLengthBatching:
+    def test_exact_count_restart_schedule_is_identical(self):
+        stream = zipfian_stream(40_000, 2048, skew=1.2, rng=RandomSource(22))
+        per_item = UnknownLengthHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=2048,
+            rng=RandomSource(23), use_morris_counter=False,
+        )
+        per_item.consume(stream)
+        batched = UnknownLengthHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=2048,
+            rng=RandomSource(23), use_morris_counter=False,
+        )
+        batched.consume(stream, batch_size=3333)
+        assert batched.restarts == per_item.restarts
+        assert [h for h, _ in batched.instances] == [h for h, _ in per_item.instances]
+        assert batched.items_processed == per_item.items_processed == len(stream)
+
+    def test_morris_batched_wrapper_reports_heavy_hitters(self):
+        stream = planted_heavy_hitters_stream(
+            50_000, 1024, {3: 0.3, 7: 0.15}, rng=RandomSource(24)
+        )
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.05, phi=0.1, universe_size=1024, rng=RandomSource(25)
+        )
+        wrapper.consume(stream, batch_size=4096)
+        assert wrapper.items_processed == len(stream)
+        report = wrapper.report()
+        assert report.stream_length == len(stream)
+        assert {3, 7} <= set(report.items)
+
+    def test_ragged_and_tiny_batches_cover_whole_stream(self):
+        stream = zipfian_stream(5000, 256, skew=1.1, rng=RandomSource(26))
+        wrapper = UnknownLengthHeavyHitters(
+            epsilon=0.1, phi=0.2, universe_size=256, rng=RandomSource(27)
+        )
+        position = 0
+        for size in (1, 997, 3, 4000, 5000):
+            chunk = stream.array[position:position + size]
+            if chunk.size:
+                wrapper.insert_many(chunk)
+                position += int(chunk.size)
+        wrapper.insert_many(stream.array[position:])
+        assert wrapper.items_processed == len(stream)
+
+
+class TestMorrisAdvanceUntilChange:
+    def test_consumes_exactly_the_reported_steps(self):
+        morris = MorrisCounter(rng=RandomSource(28), repetitions=3)
+        total = 0
+        while total < 10_000:
+            steps, changed = morris.advance_until_change(10_000 - total)
+            assert steps >= 1 or not changed
+            total += steps
+            if not changed:
+                break
+        assert morris.true_count == total
+
+    def test_zero_budget_is_a_no_op(self):
+        morris = MorrisCounter(rng=RandomSource(29))
+        assert morris.advance_until_change(0) == (0, False)
+        assert morris.true_count == 0
+
+    def test_estimate_tracks_count_within_constant_factor(self):
+        morris = MorrisCounter(rng=RandomSource(30), repetitions=7)
+        remaining = 100_000
+        while remaining > 0:
+            steps, _changed = morris.advance_until_change(remaining)
+            if steps == 0:
+                break
+            remaining -= steps
+        assert morris.true_count == 100_000
+        assert 0.2 * 100_000 <= morris.estimate() <= 5.0 * 100_000

@@ -6,12 +6,16 @@ import pytest
 
 from repro.primitives.rng import RandomSource
 from repro.streams.generators import zipfian_stream
+import numpy as np
+
 from repro.streams.io import (
     iterate_stream_file,
+    iterate_stream_file_chunks,
     load_election,
     load_stream,
     save_election,
     save_stream,
+    stream_file_metadata,
     stream_file_statistics,
 )
 from repro.streams.stream import Stream
@@ -62,6 +66,63 @@ class TestStreamRoundTrip:
         path = os.path.join(tmp_path, "nested", "dir", "s.txt")
         save_stream(stream, path)
         assert os.path.exists(path)
+
+    def test_chunked_iteration_concatenates_to_the_file(self, tmp_path):
+        stream = zipfian_stream(1000, 64, skew=1.2, rng=RandomSource(7))
+        path = os.path.join(tmp_path, "chunked.txt")
+        save_stream(stream, path)
+        chunks = list(iterate_stream_file_chunks(path, chunk_size=97))
+        assert all(isinstance(chunk, np.ndarray) and chunk.dtype == np.int64 for chunk in chunks)
+        assert all(chunk.size <= 97 for chunk in chunks)
+        assert np.concatenate(chunks).tolist() == list(stream)
+
+    def test_chunked_iteration_single_big_chunk_and_validation(self, tmp_path):
+        stream = Stream(items=[3, 1, 4], universe_size=8)
+        path = os.path.join(tmp_path, "one.txt")
+        save_stream(stream, path)
+        chunks = list(iterate_stream_file_chunks(path, chunk_size=1000))
+        assert len(chunks) == 1
+        assert chunks[0].tolist() == [3, 1, 4]
+        with pytest.raises(ValueError):
+            next(iterate_stream_file_chunks(path, chunk_size=0))
+
+    def test_chunked_iteration_feeds_insert_many(self, tmp_path):
+        from repro.baselines.exact import ExactCounter
+        from repro.streams.truth import exact_frequencies
+
+        stream = zipfian_stream(3000, 128, skew=1.1, rng=RandomSource(8))
+        path = os.path.join(tmp_path, "replay.txt")
+        save_stream(stream, path)
+        counter = ExactCounter(128)
+        for chunk in iterate_stream_file_chunks(path, chunk_size=256):
+            counter.insert_many(chunk)
+        assert counter.frequencies() == exact_frequencies(stream)
+
+    def test_stream_file_metadata_prefers_header_universe(self, tmp_path):
+        stream = Stream(items=[0, 3, 3, 7], universe_size=100)
+        path = os.path.join(tmp_path, "meta.txt")
+        save_stream(stream, path)
+        metadata = stream_file_metadata(path)
+        assert metadata["universe_size"] == 100
+        assert metadata["length"] == 4
+        assert metadata["max_item"] == 7
+
+    def test_stream_file_metadata_infers_universe_without_header(self, tmp_path):
+        path = os.path.join(tmp_path, "raw.txt")
+        with open(path, "w") as handle:
+            handle.write("3\n1\n4\n")
+        metadata = stream_file_metadata(path)
+        assert metadata["universe_size"] == 5
+
+    def test_stream_file_metadata_accepts_header_after_data(self, tmp_path):
+        # load_stream accepts the header anywhere in the file; the metadata pass
+        # must agree, or CLI replay would size sketches differently.
+        path = os.path.join(tmp_path, "late_header.txt")
+        with open(path, "w") as handle:
+            handle.write("3\n1\n# universe_size: 50\n4\n")
+        metadata = stream_file_metadata(path)
+        assert metadata["universe_size"] == 50
+        assert metadata["universe_size"] == load_stream(path).universe_size
 
 
 class TestElectionRoundTrip:
