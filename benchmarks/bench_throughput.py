@@ -1,4 +1,4 @@
-"""Experiments THROUGHPUT and SHARDING — batched and sharded ingestion end to end.
+"""Experiments THROUGHPUT, SHARDING and ASYNC — batched, sharded and pipelined ingestion.
 
 ``--mode throughput`` (the default) measures items/second for the reference per-item
 ``insert`` path and for the chunked ``insert_many`` fast path (geometric skip-ahead
@@ -14,6 +14,12 @@ single-instance run on the same stream, written to ``BENCH_sharding.json``.  The
 parallel numbers are only meaningful with real cores — the JSON records
 ``cpu_count`` so a single-core container's inversion (parallel >= serial, pure
 overhead) is visible for what it is.
+
+``--mode async`` measures the pipelined replay subsystem (:mod:`repro.pipeline`):
+the trace is saved to disk and replayed twice per shard count — serially through
+``run_chunks`` and through the bounded-queue producer/consumer pipeline — with
+identical seeds, recording the ingest/combine time split and verifying the two
+reports are bit-for-bit identical.  Written to ``BENCH_async.json``.
 
 Run directly (the full 10^6-item stream takes a few minutes, dominated by the per-item
 reference path)::
@@ -149,6 +155,8 @@ def _row_payload(row, length: int) -> dict:
     seconds = measurements["total_seconds"]
     payload = {
         "total_seconds": seconds,
+        "ingest_seconds": measurements.get("ingest_seconds"),
+        "combine_seconds": measurements.get("combine_seconds"),
         "items_per_second": length / seconds if seconds else float("inf"),
         "space_bits": int(measurements["space_bits"]),
         "accuracy": {
@@ -245,15 +253,100 @@ def run_sharded(length: int, batch_size: int, output: str) -> dict:
     return results
 
 
+ASYNC_SHARD_COUNTS = (1, 4)
+ASYNC_CHUNK = 1 << 16
+ASYNC_QUEUE_DEPTH = 4
+
+
+def run_async(length: int, batch_size: int, output: str) -> dict:
+    """Experiment ASYNC: serial vs queue-pipelined disk replay + report equality.
+
+    The trace is written to disk first (the pipeline exists to overlap *file replay*
+    with compute), then :func:`repro.analysis.harness.run_pipelined_comparison`
+    replays it twice per shard count — serial ``run_chunks`` and the
+    :class:`~repro.pipeline.PipelinedExecutor` queue — with identical seeds, so the
+    JSON records both the ingest/combine time split and the bit-for-bit report
+    equality the pipeline contract promises (``identical_report``).  As with the
+    parallel sharded driver, the overlap only buys wall-clock when parsing and
+    compute can actually run concurrently; ``cpu_count`` is recorded so a
+    single-core container's numbers read for what they are.
+    """
+    import tempfile
+
+    from repro.analysis.harness import run_pipelined_comparison  # noqa: E402
+    from repro.streams.io import save_stream  # noqa: E402
+    from repro.streams.truth import exact_frequencies  # noqa: E402
+
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    truth = exact_frequencies(stream)
+    results = {
+        "experiment": "async",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "chunk_size": ASYNC_CHUNK,
+            "queue_depth": ASYNC_QUEUE_DEPTH, "sketch": "optimal (Thm 2)",
+            "shard_counts": list(ASYNC_SHARD_COUNTS),
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.txt")
+        save_stream(stream, path)
+        for shards in ASYNC_SHARD_COUNTS:
+            factory = _sharded_factory(SEED + 1, UNIVERSE, length)
+            rows = run_pipelined_comparison(
+                factory, path, PHI, shards=shards, chunk_size=ASYNC_CHUNK,
+                queue_depth=ASYNC_QUEUE_DEPTH, rng=RandomSource(SEED + 10 + shards),
+                true_frequencies=truth,
+            )
+            serial, pipelined = rows
+            entry = {
+                "serial": _row_payload(serial, length),
+                "pipelined": _row_payload(pipelined, length),
+                "identical_report": bool(pipelined.measurements["identical_report"]),
+                "report_symmetric_difference": int(
+                    pipelined.measurements["report_symmetric_difference"]
+                ),
+                "max_queue_depth": int(pipelined.measurements["max_queue_depth"]),
+            }
+            entry["pipelined_speedup_over_serial"] = (
+                entry["serial"]["total_seconds"] / entry["pipelined"]["total_seconds"]
+                if entry["pipelined"]["total_seconds"]
+                else float("inf")
+            )
+            results["runs"][str(shards)] = entry
+            print(
+                f"k={shards}  serial {entry['serial']['total_seconds']:6.2f}s "
+                f"(ingest {entry['serial']['ingest_seconds']:.2f} + "
+                f"combine {entry['serial']['combine_seconds']:.2f})   "
+                f"pipelined {entry['pipelined']['total_seconds']:6.2f}s "
+                f"(ingest {entry['pipelined']['ingest_seconds']:.2f} + "
+                f"combine {entry['pipelined']['combine_seconds']:.2f})   "
+                f"speedup {entry['pipelined_speedup_over_serial']:4.2f}x   "
+                f"identical_report {entry['identical_report']}"
+            )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["throughput", "sharded"], default="throughput")
+    parser.add_argument("--mode", choices=["throughput", "sharded", "async"], default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
     parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
     if args.mode == "sharded":
         run_sharded(args.length, args.batch_size, args.output or "BENCH_sharding.json")
+    elif args.mode == "async":
+        run_async(args.length, args.batch_size, args.output or "BENCH_async.json")
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json")
     return 0

@@ -17,6 +17,11 @@ The package is organized the way the paper is:
   summary protocol (every heavy-hitter sketch implements ``merge``), and a
   :class:`~repro.sharding.ShardedExecutor` with serial and process-parallel drivers —
   see that package's docstring for the split → sketch → merge guarantees.
+* :mod:`repro.pipeline` — async pipelined ingestion: a bounded-queue
+  :class:`~repro.pipeline.ChunkProducer` thread overlaps stream parsing with sketch
+  updates, and a :class:`~repro.pipeline.PipelinedExecutor` drives a single sketch or
+  the sharded fan-out, with consistent mid-ingest ``snapshot()`` queries — see that
+  package's docstring for the backpressure/ordering/determinism contract.
 * :mod:`repro.lowerbounds` — executable versions of the paper's lower-bound reductions
   and the Table 1 bound formulas.
 * :mod:`repro.analysis` — accuracy metrics and the experiment harness used by the
@@ -63,6 +68,7 @@ from repro.baselines import (
     StickySampling,
 )
 from repro.primitives import RandomSource, SpaceMeter
+from repro.pipeline import ChunkProducer, PipelinedExecutor, PipelinedRunResult
 from repro.sharding import Mergeable, ShardRouter, ShardedExecutor, ShardedRunResult
 from repro.streams import (
     Stream,
@@ -102,6 +108,9 @@ __all__ = [
     "ShardRouter",
     "ShardedExecutor",
     "ShardedRunResult",
+    "ChunkProducer",
+    "PipelinedExecutor",
+    "PipelinedRunResult",
     "Stream",
     "uniform_stream",
     "zipfian_stream",

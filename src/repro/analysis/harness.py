@@ -7,15 +7,18 @@ would run themselves.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.analysis.metrics import HeavyHitterAccuracy, evaluate_heavy_hitters
 from repro.core.base import FrequencyEstimator
+from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
 from repro.sharding import ShardedExecutor
+from repro.streams.io import iterate_stream_file, iterate_stream_file_chunks, stream_file_metadata
 from repro.streams.stream import Stream
 from repro.streams.truth import exact_frequencies
 
@@ -156,14 +159,20 @@ def run_single_reference(
     # total_seconds compare the same pipeline.
     report_start = time.perf_counter()
     report = single.report(**dict(report_kwargs or {}))
-    elapsed = timing["total_seconds"] + (time.perf_counter() - report_start)
+    report_seconds = time.perf_counter() - report_start
+    elapsed = timing["total_seconds"] + report_seconds
+    measurements = _heavy_hitter_measurements(
+        report, truth, len(stream), elapsed, timing["space_bits"]
+    )
+    # The single-instance analogue of the sharded ingest/combine split: ingestion is
+    # the stream consumption, "combine" degenerates to report construction.
+    measurements["ingest_seconds"] = timing["total_seconds"]
+    measurements["combine_seconds"] = report_seconds
     row = ExperimentRow(
         label="single",
         parameters={"stream": stream.name, "m": len(stream), "n": stream.universe_size,
                     "phi": phi, "shards": 1},
-        measurements=_heavy_hitter_measurements(
-            report, truth, len(stream), elapsed, timing["space_bits"]
-        ),
+        measurements=measurements,
     )
     return row, report
 
@@ -232,6 +241,8 @@ def run_sharded_comparison(
         measurements = _heavy_hitter_measurements(
             result.report, truth, len(stream), result.seconds, float(result.space_bits())
         )
+        measurements["ingest_seconds"] = result.ingest_seconds
+        measurements["combine_seconds"] = result.combine_seconds
         measurements["report_symmetric_difference"] = float(
             len(single_set.symmetric_difference(result.report.items))
         )
@@ -243,6 +254,104 @@ def run_sharded_comparison(
                 measurements=measurements,
             )
         )
+    return rows
+
+
+def run_pipelined_comparison(
+    factory: Callable[[int], FrequencyEstimator],
+    path: str,
+    phi: float,
+    shards: int = 1,
+    chunk_size: int = 1 << 16,
+    queue_depth: int = 4,
+    rng: Optional[RandomSource] = None,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+    true_frequencies: Optional[Mapping[int, int]] = None,
+    universe_size: Optional[int] = None,
+) -> List[ExperimentRow]:
+    """The pipelining-changes-nothing experiment: serial vs queue-backed disk replay.
+
+    Pipelined ingestion reorders *work* (parsing overlaps sketch updates), not
+    *data* — so its report must equal the serial chunked replay's bit for bit, not
+    merely within the (ε,ϕ) guarantee.  This experiment measures that equality
+    instead of assuming it: one serial :meth:`~repro.sharding.ShardedExecutor.run_chunks`
+    replay of the trace at ``path`` and one
+    :class:`~repro.pipeline.PipelinedExecutor` replay of the same trace are built
+    with *identical* seeds (same factory indices, same router draw, same chunk
+    size), and each row records the usual Definition 1 accuracy numbers, the
+    ingest/combine time split, and — on the pipelined row — the symmetric
+    difference against the serial report plus an ``identical_report`` indicator
+    (1.0 when the reported (item → estimate) maps match exactly).
+
+    ``factory(instance_index)`` builds a fresh sketch, seeded per index as in
+    :func:`run_sharded_comparison`; both runs use indices ``0..shards-1``, which is
+    what makes the comparison exact rather than statistical.  The exact frequencies
+    are computed from the file in one streaming pass unless ``true_frequencies`` is
+    supplied.
+    """
+    rng = rng if rng is not None else RandomSource()
+    metadata = stream_file_metadata(path)
+    length = metadata["length"]
+    universe = universe_size if universe_size is not None else metadata["universe_size"]
+    truth = (
+        true_frequencies
+        if true_frequencies is not None
+        else exact_frequencies(iterate_stream_file(path))
+    )
+    kwargs = dict(report_kwargs or {})
+    # One shared seed so the two executors draw identical routers; the factory
+    # indices coincide too, so shard j's sketch is the same object state in both runs.
+    router_seed = rng.random_bits(62)
+
+    def build_executor() -> ShardedExecutor:
+        return ShardedExecutor(
+            factory=factory,
+            num_shards=shards,
+            universe_size=universe,
+            rng=RandomSource(router_seed),
+        )
+
+    name = os.path.basename(path)
+
+    def make_row(label: str, result, extra: Optional[Dict[str, float]] = None) -> ExperimentRow:
+        measurements = _heavy_hitter_measurements(
+            result.report, truth, length, result.seconds, float(result.space_bits())
+        )
+        measurements["ingest_seconds"] = result.ingest_seconds
+        measurements["combine_seconds"] = result.combine_seconds
+        measurements.update(extra or {})
+        return ExperimentRow(
+            label=label,
+            parameters={"stream": name, "m": length, "n": universe, "phi": phi,
+                        "shards": shards, "chunk_size": chunk_size,
+                        "queue_depth": queue_depth},
+            measurements=measurements,
+        )
+
+    serial_result = build_executor().run_chunks(
+        iterate_stream_file_chunks(path, chunk_size), report_kwargs=kwargs
+    )
+    pipelined = PipelinedExecutor(
+        executor=build_executor(), chunk_size=chunk_size, queue_depth=queue_depth
+    )
+    pipelined_result = pipelined.run(path, report_kwargs=kwargs)
+    identical = dict(serial_result.report.items) == dict(pipelined_result.report.items)
+    rows = [
+        make_row("serial", serial_result),
+        make_row(
+            "pipelined",
+            pipelined_result,
+            extra={
+                "identical_report": 1.0 if identical else 0.0,
+                "report_symmetric_difference": float(
+                    len(set(serial_result.report.items).symmetric_difference(
+                        pipelined_result.report.items
+                    ))
+                ),
+                "max_queue_depth": float(pipelined_result.max_queue_depth),
+            },
+        ),
+    ]
     return rows
 
 

@@ -5,7 +5,9 @@ on-disk traces without writing any Python:
 
 * ``generate``       — write a synthetic stream (uniform / zipf / planted) to a file;
 * ``heavy-hitters``  — run Algorithm 1 (or Algorithm 2 / Misra–Gries) over a stream file
-  and print the reported heavy hitters, their estimates and the space used;
+  and print the reported heavy hitters, their estimates and the space used; scaling
+  flags: ``--shards K`` (hash-partitioned fan-out), ``--parallel`` (process pool),
+  ``--pipelined`` / ``--queue-depth`` (async replay: parsing overlaps sketch updates);
 * ``maximum`` / ``minimum`` — the ε-Maximum / ε-Minimum problems over a stream file;
 * ``borda`` / ``maximin``   — the ranking problems over an election file (one vote per
   line, candidate ids in preference order);
@@ -28,6 +30,7 @@ from repro.core.maximin import ListMaximin
 from repro.core.maximum import EpsilonMaximum
 from repro.core.minimum import EpsilonMinimum
 from repro.lowerbounds.bounds import TABLE1_ROWS
+from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
 from repro.sharding import ShardedExecutor
 from repro.streams.generators import (
@@ -97,6 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --shards, consume the shards in parallel worker processes "
              "(materializes the partitioned stream in memory, unlike the serial "
              "driver's bounded-memory replay)",
+    )
+    heavy.add_argument(
+        "--pipelined", action="store_true",
+        help="replay the trace through the async pipeline (repro.pipeline): a "
+             "background thread parses the file into a bounded chunk queue while "
+             "this process runs the sketch updates, overlapping IO/parsing with "
+             "compute; combines with --shards (serial fan-out), not with --parallel",
+    )
+    heavy.add_argument(
+        "--queue-depth", type=int, default=4, metavar="CHUNKS",
+        help="with --pipelined, the bound on the parse-ahead chunk queue "
+             "(backpressure: memory stays around QUEUE_DEPTH x batch-size items; "
+             "default 4)",
     )
 
     maximum = subparsers.add_parser("maximum", help="estimate the maximum frequency (eps-Maximum)")
@@ -184,7 +200,40 @@ def _command_heavy_hitters(args: argparse.Namespace) -> int:
 
     report_kwargs = {"phi": args.phi} if args.algorithm == "misra-gries" else {}
     replay_chunk = args.batch_size or REPLAY_CHUNK_ITEMS
-    if args.shards is not None:
+    if args.pipelined:
+        if args.parallel:
+            raise SystemExit("--pipelined is incompatible with --parallel (the async "
+                             "pipeline drives the serial fan-out)")
+        if args.shards is not None:
+            pipelined = PipelinedExecutor(
+                executor=ShardedExecutor(
+                    factory=lambda shard: build(rng.spawn(shard)),
+                    num_shards=args.shards,
+                    universe_size=universe,
+                    rng=rng.spawn(-1),
+                ),
+                chunk_size=replay_chunk,
+                queue_depth=args.queue_depth,
+            )
+        else:
+            pipelined = PipelinedExecutor(
+                sketch=build(rng), chunk_size=replay_chunk, queue_depth=args.queue_depth
+            )
+        result = pipelined.run(args.stream, report_kwargs=report_kwargs)
+        report = result.report
+        space_bits = result.space_bits()
+        shard_line = (
+            f"pipelined: queue_depth={result.queue_depth}  "
+            f"max_queue_depth={result.max_queue_depth}  "
+            f"ingest_seconds={result.ingest_seconds:.3f}  "
+            f"combine_seconds={result.combine_seconds:.3f}"
+        )
+        if args.shards is not None:
+            shard_line += (
+                f"\nshards: {result.num_shards}  driver: pipelined  "
+                f"sizes: {' '.join(map(str, result.shard_sizes))}"
+            )
+    elif args.shards is not None:
         executor = ShardedExecutor(
             factory=lambda shard: build(rng.spawn(shard)),
             num_shards=args.shards,

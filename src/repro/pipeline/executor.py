@@ -1,0 +1,207 @@
+"""The consumer half of the pipelined ingestion seam: queue-fed sketch updates.
+
+:class:`PipelinedExecutor` drains a :class:`~repro.pipeline.producer.ChunkProducer`
+into either a single sketch's ``insert_many`` fast path or a
+:class:`~repro.sharding.ShardedExecutor`'s router fan-out, one chunk at a time under
+a lock — which is what makes :meth:`snapshot` sound: a snapshot taken mid-ingest
+copies shard states that all correspond to the same chunk-aligned stream prefix, so
+its merged report answers heavy-hitter queries about that prefix under the usual
+(ε,ϕ) semantics.  See :mod:`repro.pipeline` for the full contract.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional
+
+from repro.pipeline.producer import DEFAULT_CHUNK_ITEMS, DEFAULT_QUEUE_DEPTH, ChunkProducer
+from repro.primitives.space import SpaceMeter
+from repro.sharding.executor import ShardedExecutor
+from repro.sharding.mergeable import merge_all
+
+
+@dataclass
+class PipelineSnapshot:
+    """A consistent mid-ingest copy: the merged sketch and its report on the prefix.
+
+    ``items_processed`` is the exact length of the stream prefix the snapshot
+    reflects (chunk ingestion is atomic under the executor's lock, so the state is
+    never a partial chunk); the report's Definition 1 thresholds are computed
+    against that prefix length, because every sketch reports against its own
+    ``items_processed``.
+    """
+
+    report: Any
+    sketch: Any
+    items_processed: int
+
+
+@dataclass
+class PipelinedRunResult:
+    """Everything a pipelined run produces, with the time split by phase.
+
+    ``ingest_seconds`` covers the queue-overlapped span (producer parsing ‖ consumer
+    ``insert_many``) up to the last chunk landing in a sketch; ``combine_seconds``
+    covers merge + space accounting + report.  ``max_queue_depth`` is the deepest
+    producer backlog observed — ``queue_depth`` means the parser was ahead and the
+    sketches were the bottleneck, 0–1 means parsing dominated and a deeper queue
+    cannot help.
+    """
+
+    sketch: Any
+    report: Any
+    num_shards: int
+    shard_sizes: List[int]
+    items_processed: int
+    chunks: int
+    queue_depth: int
+    max_queue_depth: int
+    seconds: float
+    ingest_seconds: float
+    combine_seconds: float
+    space: SpaceMeter = field(default_factory=SpaceMeter)
+
+    def space_bits(self) -> int:
+        """Combined space of the (merged) sketch state, in bits."""
+        return self.space.total_bits()
+
+
+class PipelinedExecutor:
+    """Overlap stream parsing with sketch updates through a bounded chunk queue.
+
+    Exactly one of ``sketch`` / ``executor`` selects the sink:
+
+    * ``sketch`` — a single algorithm instance; every queued chunk feeds its
+      ``insert_many`` fast path;
+    * ``executor`` — a fresh :class:`~repro.sharding.ShardedExecutor`; every queued
+      chunk goes through its router into the shard sketches
+      (:meth:`~repro.sharding.ShardedExecutor.ingest_chunk`), and the end-of-stream
+      merge/report is its :meth:`~repro.sharding.ShardedExecutor.combine`.
+
+    The executor is single-shot, like the sharded one: :meth:`run` consumes the
+    sink.  :meth:`snapshot` may be called from any thread while :meth:`run` is in
+    flight (or before it); after :meth:`run` returns the merge has consumed the
+    shard state, so snapshots are refused — use the result's report.
+    """
+
+    def __init__(
+        self,
+        sketch: Any = None,
+        executor: Optional[ShardedExecutor] = None,
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> None:
+        if (sketch is None) == (executor is None):
+            raise ValueError("provide exactly one of sketch= or executor=")
+        self.sketch = sketch
+        self.executor = executor
+        self.chunk_size = chunk_size
+        self.queue_depth = queue_depth
+        self.num_shards = 1 if executor is None else executor.num_shards
+        self.shard_sizes = [0] * self.num_shards
+        self.items_processed = 0
+        self._lock = threading.Lock()
+        self._started = False
+        self._finished = False
+
+    # -- ingestion ----------------------------------------------------------------------
+
+    def _ingest_chunk(self, chunk) -> None:
+        """One chunk into the sink, atomically with respect to :meth:`snapshot`."""
+        with self._lock:
+            if self.executor is None:
+                self.sketch.insert_many(chunk)
+                self.shard_sizes[0] += len(chunk)
+            else:
+                for shard, delivered in enumerate(self.executor.ingest_chunk(chunk)):
+                    self.shard_sizes[shard] += delivered
+            self.items_processed += len(chunk)
+
+    def run(
+        self,
+        source,
+        report_kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> PipelinedRunResult:
+        """Replay ``source`` through the queue, then merge and report.
+
+        ``source`` is anything :class:`ChunkProducer` accepts — a stream-file path
+        (the motivating case: disk reads and ``int`` parsing overlap the sketch
+        updates), a ``Stream``, an array, or an iterable.  A producer-side
+        exception propagates out of this call as itself; the producer thread is
+        joined on every exit path.
+        """
+        if self._started or self._finished:
+            # _started alone (no _finished) means a previous run died mid-ingest;
+            # the sketches hold that run's prefix, so re-running would double-count.
+            raise RuntimeError(
+                "this PipelinedExecutor has already run; build a fresh one per run"
+            )
+        self._started = True
+        producer = ChunkProducer(
+            source, chunk_size=self.chunk_size, queue_depth=self.queue_depth
+        )
+        chunks = 0
+        start = time.perf_counter()
+        try:
+            for chunk in producer:
+                self._ingest_chunk(chunk)
+                chunks += 1
+        finally:
+            producer.close()
+        ingest_seconds = time.perf_counter() - start
+        with self._lock:
+            self._finished = True
+            if self.executor is None:
+                report = self.sketch.report(**dict(report_kwargs or {}))
+                self.sketch.refresh_space()
+                merged, space = self.sketch, self.sketch.space
+            else:
+                merged, report, space = self.executor.combine(report_kwargs)
+        combine_seconds = time.perf_counter() - start - ingest_seconds
+        return PipelinedRunResult(
+            sketch=merged,
+            report=report,
+            num_shards=self.num_shards,
+            shard_sizes=list(self.shard_sizes),
+            items_processed=self.items_processed,
+            chunks=chunks,
+            queue_depth=self.queue_depth,
+            max_queue_depth=producer.max_queue_depth,
+            seconds=ingest_seconds + combine_seconds,
+            ingest_seconds=ingest_seconds,
+            combine_seconds=combine_seconds,
+            space=space,
+        )
+
+    # -- mid-ingest queries -------------------------------------------------------------
+
+    def snapshot(
+        self, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> PipelineSnapshot:
+        """A consistent copy of the current state, merged, with its prefix report.
+
+        Takes the ingestion lock, deep-copies the sketch (or the whole shard group
+        in one pass, so shared hash functions stay shared in the copy), releases
+        the lock, and merges/reports on the copy — ingestion is paused only for
+        the copy, not for the report.  The copy reflects a chunk-aligned prefix of
+        the stream; with a deterministic sketch (or within the (ε,ϕ) guarantee for
+        the randomized ones) the report is exactly what a fresh run over that
+        prefix would answer.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "ingestion has finished and the shards are merged; "
+                    "use the run result's report"
+                )
+            items = self.items_processed
+            if self.executor is None:
+                copies = [copy.deepcopy(self.sketch)]
+            else:
+                copies = copy.deepcopy(self.executor.sketches)
+        merged = merge_all(copies)
+        report = merged.report(**dict(report_kwargs or {}))
+        return PipelineSnapshot(report=report, sketch=merged, items_processed=items)

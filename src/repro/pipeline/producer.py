@@ -1,0 +1,168 @@
+"""The producer half of the pipelined ingestion seam: a chunk-reading thread.
+
+:class:`ChunkProducer` turns any chunk source — an on-disk trace path, a
+:class:`~repro.streams.stream.Stream`, a numpy array, or a plain iterable of items —
+into a bounded, thread-fed queue of contiguous int64 numpy chunks.  Parsing (file
+reads, ``int()`` conversion, numpy materialization) happens on the producer thread;
+the consumer iterates the producer and spends its time in ``insert_many``, which is
+the overlap the pipelined executor exists to buy.  See :mod:`repro.pipeline` for the
+backpressure/ordering/determinism contract.
+
+Three properties the tests hold this class to:
+
+* **backpressure** — the internal queue holds at most ``queue_depth`` chunks; when
+  the consumer falls behind, the producer thread blocks in ``put`` instead of
+  buffering the stream, so memory stays O(``queue_depth`` × ``chunk_size``);
+* **exception propagation** — an exception raised by the source (a corrupt trace
+  line, a failing generator) is captured on the producer thread and re-raised, as
+  itself, out of the consumer's iteration;
+* **clean shutdown** — :meth:`close` (also run by ``with`` and by normal iterator
+  exhaustion) unblocks and joins the thread, so no run leaves a live thread behind
+  whether the stream completed, errored, or was abandoned mid-way.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.primitives.batching import iter_chunks
+from repro.streams.io import iterate_stream_file_chunks
+
+#: Default number of items per queued chunk (matches the CLI's replay chunking).
+DEFAULT_CHUNK_ITEMS = 1 << 16
+
+#: Default bound on the chunk queue: deep enough to ride out consumer jitter,
+#: shallow enough that a stalled consumer caps the producer's read-ahead at a few
+#: chunks.
+DEFAULT_QUEUE_DEPTH = 4
+
+_DONE = object()  # queue sentinel: the source is exhausted (or the producer died)
+
+
+class ChunkProducer:
+    """Read a chunk source on a background thread into a bounded queue.
+
+    ``source`` may be a path (``str``/``os.PathLike`` — replayed out of core via
+    :func:`repro.streams.io.iterate_stream_file_chunks`), or anything
+    :func:`repro.primitives.batching.iter_chunks` accepts (a ``Stream``, a numpy
+    array, any iterable of items).  Iterating the producer yields the chunks in
+    source order; the concatenation of the yielded chunks is exactly the item
+    sequence of the source.
+
+    The producer is single-shot: one ``start()``/iteration per instance.  Iteration
+    starts the thread implicitly; ``close()`` is idempotent and safe to call from
+    ``finally`` blocks whether or not iteration ran to the end.
+    """
+
+    def __init__(
+        self,
+        source,
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if isinstance(source, (str, os.PathLike)):
+            self._chunks = iterate_stream_file_chunks(os.fspath(source), chunk_size)
+        else:
+            self._chunks = iter_chunks(source, chunk_size)
+        self.chunk_size = chunk_size
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._started = False
+        self._closed = False
+        self.max_queue_depth = 0  # deepest backlog the producer ever observed
+        self.chunks_produced = 0
+        self._thread = threading.Thread(
+            target=self._produce, name="repro-chunk-producer", daemon=True
+        )
+
+    # -- producer side ------------------------------------------------------------------
+
+    def _put(self, item) -> bool:
+        """Enqueue with backpressure, giving up promptly once ``close`` is called."""
+        while not self._stop.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _produce(self) -> None:
+        try:
+            for chunk in self._chunks:
+                self.chunks_produced += 1
+                if not self._put(chunk):
+                    return  # closed mid-stream: drop the rest, no sentinel needed
+                depth = self._queue.qsize()
+                if depth > self.max_queue_depth:
+                    self.max_queue_depth = depth
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
+            self._error = exc
+        finally:
+            self._put(_DONE)
+
+    # -- consumer side ------------------------------------------------------------------
+
+    def start(self) -> "ChunkProducer":
+        """Start the producer thread (idempotent; iteration calls this for you)."""
+        if self._closed:
+            raise RuntimeError("this ChunkProducer has been closed")
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        self.start()
+        try:
+            while True:
+                chunk = self._queue.get()
+                if chunk is _DONE:
+                    if self._error is not None:
+                        raise self._error
+                    return
+                yield chunk
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the producer, unblock it if it is waiting, and join the thread.
+
+        Safe to call at any point (before starting, mid-stream, after exhaustion)
+        and more than once.  A producer error that was never observed through
+        iteration is swallowed here — closing is an abandonment path, not a query.
+        """
+        self._closed = True
+        if not self._started:
+            return
+        self._stop.set()
+        # Drain so a producer blocked in put() sees the stop event immediately
+        # rather than after its current timeout slice.
+        while True:
+            try:
+                self._queue.get_nowait()
+            except queue.Empty:
+                break
+        self._thread.join(timeout=5.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the producer thread is currently running."""
+        return self._thread.is_alive()
+
+    def __enter__(self) -> "ChunkProducer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -69,7 +69,14 @@ def _consume_shard(payload):
 
 @dataclass
 class ShardedRunResult:
-    """Everything a sharded run produces: the merged sketch, its report, and accounting."""
+    """Everything a sharded run produces: the merged sketch, its report, and accounting.
+
+    ``seconds`` is the whole run (kept for compatibility); it splits into
+    ``ingest_seconds`` (partition materialization + routing + ``insert_many``, i.e.
+    everything up to the last item landing in a shard sketch) and
+    ``combine_seconds`` (merge + space accounting + report construction), so the
+    driver's cost is attributed to the phase that actually paid it.
+    """
 
     sketch: Any
     report: Any
@@ -77,6 +84,8 @@ class ShardedRunResult:
     shard_sizes: List[int]
     parallel: bool
     seconds: float
+    ingest_seconds: float = 0.0
+    combine_seconds: float = 0.0
     space: SpaceMeter = field(default_factory=SpaceMeter)
 
     @property
@@ -125,6 +134,7 @@ class ShardedExecutor:
             )
         if align_hash_functions:
             share_hash_functions(self.sketches)
+        self._started = False
         self._finished = False
 
     # -- drivers ------------------------------------------------------------------------
@@ -169,29 +179,64 @@ class ShardedExecutor:
         summaries); the parallel driver must materialize per-shard arrays first, so
         its working set is the partitioned stream.
         """
-        if self._finished:
+        if self._started or self._finished:
             raise RuntimeError(
-                "this ShardedExecutor has already run and merged its shards; "
+                "this ShardedExecutor has already ingested a stream; "
                 "build a fresh executor per run"
             )
-        self._finished = True
+        self._started = True
         start = time.perf_counter()
         if parallel:
             shard_sizes = self._consume_parallel(chunks, batch_size, processes)
         else:
-            shard_sizes = self.router.route_chunks(chunks, self.sketches)
-        merged, space = self._merge_and_account()
-        report = merged.report(**dict(report_kwargs or {}))
-        seconds = time.perf_counter() - start
+            shard_sizes = [0] * self.num_shards
+            for chunk in chunks:
+                for shard, delivered in enumerate(self.ingest_chunk(chunk)):
+                    shard_sizes[shard] += delivered
+        ingest_seconds = time.perf_counter() - start
+        merged, report, space = self.combine(report_kwargs)
+        combine_seconds = time.perf_counter() - start - ingest_seconds
         return ShardedRunResult(
             sketch=merged,
             report=report,
             num_shards=self.num_shards,
             shard_sizes=shard_sizes,
             parallel=parallel,
-            seconds=seconds,
+            seconds=ingest_seconds + combine_seconds,
+            ingest_seconds=ingest_seconds,
+            combine_seconds=combine_seconds,
             space=space,
         )
+
+    def ingest_chunk(self, chunk: Sequence[int]) -> List[int]:
+        """Route one chunk into the shard sketches; returns per-shard arrival counts.
+
+        The single-chunk unit of the serial driver, exposed so an external loop (the
+        pipelined executor's queue consumer) can drive ingestion chunk by chunk —
+        e.g. holding a lock per chunk so a concurrent snapshot sees shard states that
+        all correspond to the same stream prefix.  Call :meth:`combine` when the
+        stream is exhausted.
+        """
+        if self._finished:
+            raise RuntimeError("this ShardedExecutor has already merged its shards")
+        self._started = True  # claim the executor: run_chunks on top would double-ingest
+        return self.router.route_chunks([chunk], self.sketches)
+
+    def combine(self, report_kwargs: Optional[Mapping[str, Any]] = None):
+        """Merge the shards, account combined space, and report — single-shot.
+
+        Returns ``(merged_sketch, report, space_meter)``.  The merge consumes the
+        shard sketches, so the executor cannot ingest or combine again afterwards.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "this ShardedExecutor has already run and merged its shards; "
+                "build a fresh executor per run"
+            )
+        self._finished = True
+        merged, space = self._merge_and_account()
+        report = merged.report(**dict(report_kwargs or {}))
+        return merged, report, space
 
     def _consume_parallel(
         self,

@@ -15,6 +15,7 @@ Both formats round-trip exactly through :func:`save_stream`/:func:`load_stream` 
 
 from __future__ import annotations
 
+import ast
 import os
 from typing import Dict, Iterable, Iterator, List, Optional
 
@@ -27,24 +28,65 @@ from repro.voting.rankings import Ranking
 
 
 def save_stream(stream: Stream, path: str) -> None:
-    """Write a stream to ``path`` (one item per line, header comments for metadata)."""
+    """Write a stream to ``path`` (one item per line, header comments for metadata).
+
+    Metadata is written as ``# meta key: repr(value)`` header lines, one per entry,
+    which :func:`load_stream` parses back — so keys must not contain ``:`` or
+    newlines and each value's ``repr`` must be a single line (a multiline repr
+    would corrupt the line-oriented format).  Both are validated *before* the file
+    is opened, so a bad entry never truncates an existing file at ``path``.
+    """
+    meta_lines: List[str] = []
+    for key, value in stream.metadata.items():
+        if ":" in key or "\n" in key:
+            raise ValueError(f"metadata key {key!r} cannot contain ':' or newlines")
+        rendered = repr(value)
+        if "\n" in rendered:
+            raise ValueError(
+                f"metadata value for {key!r} has a multiline repr and cannot be "
+                "stored in the line-oriented stream format"
+            )
+        meta_lines.append(f"# meta {key}: {rendered}\n")
     directory = os.path.dirname(os.path.abspath(path))
     if directory:
         os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# universe_size: {stream.universe_size}\n")
         handle.write(f"# name: {stream.name}\n")
-        for key, value in stream.metadata.items():
-            handle.write(f"# meta {key}: {value!r}\n")
+        for line in meta_lines:
+            handle.write(line)
         for item in stream.items:
             handle.write(f"{item}\n")
 
 
+def _parse_meta_value(text: str) -> object:
+    """Invert the ``{value!r}`` a ``# meta`` header line carries.
+
+    Values are written as Python reprs, so literals (numbers, strings, tuples, dicts,
+    booleans, ``None``) round-trip exactly through :func:`ast.literal_eval`; a repr
+    that is not a literal (a custom object slipped into ``Stream.metadata``) degrades
+    to the repr string itself rather than failing the whole load.
+    """
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
 def load_stream(path: str, universe_size: Optional[int] = None) -> Stream:
-    """Read a stream written by :func:`save_stream` (or any file of one item per line)."""
+    """Read a stream written by :func:`save_stream` (or any file of one item per line).
+
+    ``universe_size`` overrides the file header when given; it must be positive, and
+    the loaded items are validated against the resolved universe here — a too-small
+    caller-supplied (or corrupted-header) universe fails at load time with the file
+    named, not later inside the ingestion path's ``validate_universe``.
+    """
+    if universe_size is not None and universe_size <= 0:
+        raise ValueError(f"universe_size must be positive, got {universe_size}")
     items: List[int] = []
     header_universe: Optional[int] = None
     name = os.path.basename(path)
+    metadata: Dict[str, object] = {}
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -55,12 +97,24 @@ def load_stream(path: str, universe_size: Optional[int] = None) -> Stream:
                     header_universe = int(line.split(":", 1)[1].strip())
                 elif line.startswith("# name:"):
                     name = line.split(":", 1)[1].strip()
+                elif line.startswith("# meta "):
+                    key, separator, value = line[len("# meta "):].partition(":")
+                    if separator:
+                        metadata[key.strip()] = _parse_meta_value(value.strip())
                 continue
             items.append(int(line))
-    resolved_universe = universe_size or header_universe
+    resolved_universe = universe_size if universe_size is not None else header_universe
     if resolved_universe is None:
         resolved_universe = (max(items) + 1) if items else 1
-    return Stream(items=items, universe_size=resolved_universe, name=name)
+    if items:
+        low, high = min(items), max(items)
+        if low < 0 or high >= resolved_universe:
+            offending = low if low < 0 else high
+            raise ValueError(
+                f"stream file {path!r} contains item {offending} outside the resolved "
+                f"universe [0, {resolved_universe})"
+            )
+    return Stream(items=items, universe_size=resolved_universe, name=name, metadata=metadata)
 
 
 def save_election(election: Election, path: str) -> None:

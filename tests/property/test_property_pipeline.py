@@ -1,0 +1,80 @@
+"""Property tests: queue-backed pipelined replay equals eager replay, always.
+
+The pipeline contract (see :mod:`repro.pipeline`) says pipelining changes *when*
+parsing happens, never *what* the sketches see: for any stream, chunk size, queue
+depth and shard count, the queue-backed replay must deliver exactly the same item
+sequence — and therefore, for a deterministic sketch, exactly the same state — as an
+eager in-process replay.
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactCounter
+from repro.baselines.misra_gries import MisraGries
+from repro.pipeline import ChunkProducer, PipelinedExecutor
+from repro.primitives.rng import RandomSource
+from repro.sharding import ShardedExecutor
+from repro.sharding.router import chunk_stream
+
+UNIVERSE = 64
+
+items_strategy = st.lists(
+    st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=0, max_size=400
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=items_strategy, chunk_size=st.integers(1, 64), queue_depth=st.integers(1, 5))
+def test_producer_preserves_the_item_sequence(items, chunk_size, queue_depth):
+    chunks = list(ChunkProducer(iter(items), chunk_size=chunk_size, queue_depth=queue_depth))
+    delivered = np.concatenate(chunks).tolist() if chunks else []
+    assert delivered == items
+    assert all(chunk.size <= chunk_size for chunk in chunks)
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=items_strategy, chunk_size=st.integers(1, 64), queue_depth=st.integers(1, 4))
+def test_pipelined_single_sketch_equals_eager_replay(items, chunk_size, queue_depth):
+    eager = ExactCounter(UNIVERSE)
+    for chunk in chunk_stream(items, chunk_size):
+        eager.insert_many(chunk)
+    executor = PipelinedExecutor(
+        sketch=ExactCounter(UNIVERSE), chunk_size=chunk_size, queue_depth=queue_depth
+    )
+    result = executor.run(iter(items))
+    assert result.sketch.frequencies() == eager.frequencies()
+    assert result.sketch.frequencies() == dict(Counter(items))
+    assert result.items_processed == len(items)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=items_strategy,
+    chunk_size=st.integers(1, 64),
+    queue_depth=st.integers(1, 4),
+    shards=st.integers(1, 3),
+    seed=st.integers(0, 2**20),
+)
+def test_pipelined_sharded_equals_serial_sharded(items, chunk_size, queue_depth, shards, seed):
+    def build():
+        return ShardedExecutor(
+            factory=lambda shard: MisraGries(0.05, UNIVERSE),
+            num_shards=shards,
+            universe_size=UNIVERSE,
+            rng=RandomSource(seed),
+        )
+
+    serial = build().run_chunks(
+        chunk_stream(items, chunk_size), report_kwargs={"phi": 0.2}
+    )
+    pipelined = PipelinedExecutor(
+        executor=build(), chunk_size=chunk_size, queue_depth=queue_depth
+    )
+    result = pipelined.run(iter(items), report_kwargs={"phi": 0.2})
+    assert dict(result.report.items) == dict(serial.report.items)
+    assert result.shard_sizes == serial.shard_sizes
+    assert result.items_processed == sum(serial.shard_sizes)

@@ -107,6 +107,37 @@ class TestHeavyHitters:
         with pytest.raises(SystemExit):
             main(["heavy-hitters", planted_trace, "--parallel"])
 
+    def test_pipelined_single_matches_serial_batched(self, planted_trace, capsys):
+        # Same seed and same chunk boundaries: the pipelined replay must print
+        # exactly the same report lines as the serial batched replay.
+        args = ["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                "--algorithm", "simple", "--seed", "8", "--batch-size", "1024"]
+        assert main(args) == 0
+        serial_items = [line for line in capsys.readouterr().out.splitlines()
+                        if line.startswith(("item", "reported"))]
+        assert main(args + ["--pipelined", "--queue-depth", "2"]) == 0
+        out = capsys.readouterr().out
+        pipelined_items = [line for line in out.splitlines()
+                           if line.startswith(("item", "reported"))]
+        assert pipelined_items == serial_items
+        assert "pipelined: queue_depth=2" in out
+        assert "item 5" in out
+
+    def test_pipelined_sharded_run(self, planted_trace, capsys):
+        code = main(["heavy-hitters", planted_trace, "--epsilon", "0.05", "--phi", "0.1",
+                     "--algorithm", "optimal", "--seed", "6", "--shards", "3",
+                     "--batch-size", "2048", "--pipelined"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shards: 3" in out
+        assert "driver: pipelined" in out
+        assert "item 5" in out
+
+    def test_pipelined_rejects_parallel(self, planted_trace):
+        with pytest.raises(SystemExit):
+            main(["heavy-hitters", planted_trace, "--shards", "2",
+                  "--pipelined", "--parallel"])
+
 
 class TestMaximumMinimum:
     def test_maximum(self, planted_trace, capsys):

@@ -39,6 +39,85 @@ class TestStreamRoundTrip:
         loaded = load_stream(path, universe_size=100)
         assert loaded.universe_size == 100
 
+    def test_round_trip_preserves_metadata_exactly(self, tmp_path):
+        # Regression: load_stream used to silently drop the '# meta key: value'
+        # lines save_stream writes, breaking the documented round-trip contract.
+        metadata = {
+            "skew": 1.2,
+            "kind": "zipf",
+            "seed": 20160626,
+            "planted": {7: 0.25, 9: 0.1},
+            "tags": ("bench", "zipf"),
+            "validated": True,
+            "note": None,
+        }
+        stream = Stream(items=[0, 3, 3, 7], universe_size=16, name="meta", metadata=metadata)
+        path = os.path.join(tmp_path, "meta_roundtrip.txt")
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert loaded.metadata == metadata
+        assert loaded.name == "meta"
+        assert list(loaded) == list(stream)
+
+    def test_non_literal_metadata_degrades_to_repr_string(self, tmp_path):
+        stream = Stream(items=[0], universe_size=2, metadata={"rng": object()})
+        path = os.path.join(tmp_path, "odd_meta.txt")
+        save_stream(stream, path)
+        loaded = load_stream(path)
+        assert isinstance(loaded.metadata["rng"], str)
+        assert loaded.metadata["rng"].startswith("<object object")
+
+    def test_metadata_key_with_colon_rejected_at_save(self, tmp_path):
+        stream = Stream(items=[0], universe_size=2, metadata={"bad:key": 1})
+        with pytest.raises(ValueError):
+            save_stream(stream, os.path.join(tmp_path, "bad.txt"))
+
+    def test_multiline_repr_metadata_rejected_at_save(self, tmp_path):
+        import numpy as np
+
+        stream = Stream(items=[0], universe_size=2, metadata={"hist": np.arange(40)})
+        with pytest.raises(ValueError, match="multiline repr"):
+            save_stream(stream, os.path.join(tmp_path, "multi.txt"))
+
+    def test_bad_metadata_never_truncates_an_existing_file(self, tmp_path):
+        path = os.path.join(tmp_path, "precious.txt")
+        save_stream(Stream(items=[0, 1], universe_size=2, name="precious"), path)
+        before = open(path).read()
+        import numpy as np
+
+        # Strings with newlines are fine (repr escapes them); keys with ':' and
+        # values with genuinely multiline reprs are rejected before the file opens.
+        assert repr("line\nbreak") == "'line\\nbreak'"
+        for metadata in ({"bad:key": 1}, {"v": np.arange(40)}):
+            with pytest.raises(ValueError):
+                save_stream(Stream(items=[0], universe_size=2, metadata=metadata), path)
+            assert open(path).read() == before
+
+    def test_explicit_zero_universe_rejected(self, tmp_path):
+        # Regression: 'universe_size or header_universe' treated an explicit 0 as
+        # unset and silently fell back to the header.
+        stream = Stream(items=[0, 1, 2], universe_size=3)
+        path = os.path.join(tmp_path, "zero.txt")
+        save_stream(stream, path)
+        with pytest.raises(ValueError, match="universe_size must be positive"):
+            load_stream(path, universe_size=0)
+        with pytest.raises(ValueError, match="universe_size must be positive"):
+            load_stream(path, universe_size=-5)
+
+    def test_too_small_universe_fails_at_load_time(self, tmp_path):
+        stream = Stream(items=[0, 7, 3], universe_size=8)
+        path = os.path.join(tmp_path, "small.txt")
+        save_stream(stream, path)
+        with pytest.raises(ValueError, match="outside the resolved universe"):
+            load_stream(path, universe_size=4)
+
+    def test_corrupt_header_universe_fails_at_load_time(self, tmp_path):
+        path = os.path.join(tmp_path, "corrupt.txt")
+        with open(path, "w") as handle:
+            handle.write("# universe_size: 2\n5\n1\n")
+        with pytest.raises(ValueError, match="outside the resolved universe"):
+            load_stream(path)
+
     def test_load_headerless_file(self, tmp_path):
         path = os.path.join(tmp_path, "raw.txt")
         with open(path, "w") as handle:
