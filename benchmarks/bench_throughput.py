@@ -21,6 +21,14 @@ the trace is saved to disk and replayed twice per shard count — serially throu
 identical seeds, recording the ingest/combine time split and verifying the two
 reports are bit-for-bit identical.  Written to ``BENCH_async.json``.
 
+``--mode service`` measures the network service layer (:mod:`repro.service`): the
+trace is saved to disk, then per shard count replayed three ways with identical
+seeds — offline ``run_chunks``, pushed to a real :class:`~repro.service.IngestServer`
+over a loopback socket (``finish`` + ``query``), and served with a mid-stream
+``checkpoint`` → server restart → resumed push — recording socket push throughput
+and the two bit-for-bit equalities (``identical_report`` for served-vs-offline and
+resumed-vs-offline-round-trip).  Written to ``BENCH_service.json``.
+
 Run directly (the full 10^6-item stream takes a few minutes, dominated by the per-item
 reference path)::
 
@@ -336,9 +344,90 @@ def run_async(length: int, batch_size: int, output: str) -> dict:
     return results
 
 
+SERVICE_SHARD_COUNTS = (1, 4)
+SERVICE_CHUNK = 1 << 16
+SERVICE_PUSH_BATCH = 1 << 14  # deliberately != chunk size: exercises the re-chunker
+
+
+def run_service(length: int, batch_size: int, output: str) -> dict:
+    """Experiment SERVICE: offline vs socket-served vs checkpoint-resumed replay.
+
+    Delegates to :func:`repro.analysis.harness.run_service_comparison` (one real
+    server per leg on a loopback TCP socket), so the benchmark measures exactly
+    the equalities the service layer promises: the served report equals the
+    offline ``run_chunks`` replay bit for bit, and a mid-stream checkpoint →
+    restart → resume equals the offline replay that round-trips its state through
+    the same :class:`~repro.service.Checkpointer` at the same chunk boundary.
+    The push throughput is client-observed (frame encode + socket + server
+    ingest), so it is the number a deployment planning to feed the service over
+    localhost should look at; ``cpu_count`` is recorded as in the other modes.
+    """
+    import tempfile
+
+    from repro.analysis.harness import run_service_comparison  # noqa: E402
+    from repro.streams.io import save_stream  # noqa: E402
+    from repro.streams.truth import exact_frequencies  # noqa: E402
+
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    truth = exact_frequencies(stream)
+    results = {
+        "experiment": "service",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "chunk_size": SERVICE_CHUNK,
+            "push_batch": SERVICE_PUSH_BATCH, "sketch": "optimal (Thm 2)",
+            "shard_counts": list(SERVICE_SHARD_COUNTS),
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.txt")
+        save_stream(stream, path)
+        for shards in SERVICE_SHARD_COUNTS:
+            factory = _sharded_factory(SEED + 1, UNIVERSE, length)
+            offline, served, resumed = run_service_comparison(
+                factory, path, PHI, shards=shards, chunk_size=SERVICE_CHUNK,
+                push_batch=SERVICE_PUSH_BATCH, rng=RandomSource(SEED + 20 + shards),
+                true_frequencies=truth,
+            )
+            entry = {
+                "offline": _row_payload(offline, length),
+                "served": _row_payload(served, length),
+                "served_identical_report": bool(served.measurements["identical_report"]),
+                "served_symmetric_difference": int(
+                    served.measurements["report_symmetric_difference"]
+                ),
+                "push_seconds": served.measurements["push_seconds"],
+                "pushed_items_per_second": served.measurements["pushed_items_per_second"],
+                "resumed_identical_report": bool(resumed.measurements["identical_report"]),
+                "resumed_symmetric_difference": int(
+                    resumed.measurements["report_symmetric_difference"]
+                ),
+                "checkpoint_items": int(resumed.measurements["checkpoint_items"]),
+            }
+            results["runs"][str(shards)] = entry
+            print(
+                f"k={shards}  offline {entry['offline']['total_seconds']:6.2f}s   "
+                f"served {entry['served']['total_seconds']:6.2f}s   "
+                f"push {entry['pushed_items_per_second']:>12,.0f} it/s   "
+                f"served_identical {entry['served_identical_report']}   "
+                f"resumed_identical {entry['resumed_identical_report']}"
+            )
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["throughput", "sharded", "async"], default="throughput")
+    parser.add_argument("--mode", choices=["throughput", "sharded", "async", "service"],
+                        default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
     parser.add_argument("--output", default=None)
@@ -347,6 +436,8 @@ def main(argv=None) -> int:
         run_sharded(args.length, args.batch_size, args.output or "BENCH_sharding.json")
     elif args.mode == "async":
         run_async(args.length, args.batch_size, args.output or "BENCH_async.json")
+    elif args.mode == "service":
+        run_service(args.length, args.batch_size, args.output or "BENCH_service.json")
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json")
     return 0

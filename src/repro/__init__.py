@@ -22,6 +22,12 @@ The package is organized the way the paper is:
   updates, and a :class:`~repro.pipeline.PipelinedExecutor` drives a single sketch or
   the sharded fan-out, with consistent mid-ingest ``snapshot()`` queries — see that
   package's docstring for the backpressure/ordering/determinism contract.
+* :mod:`repro.service` — the network service layer: an
+  :class:`~repro.service.IngestServer` ingests item batches pushed by
+  :class:`~repro.service.ServiceClient` peers (TCP or Unix socket), answers
+  Definition 1 queries mid-ingest, and checkpoints/restores full sketch state via
+  :class:`~repro.service.Checkpointer` — see that package's docstring for the
+  served-equals-offline guarantee.
 * :mod:`repro.lowerbounds` — executable versions of the paper's lower-bound reductions
   and the Table 1 bound formulas.
 * :mod:`repro.analysis` — accuracy metrics and the experiment harness used by the
@@ -69,6 +75,7 @@ from repro.baselines import (
 )
 from repro.primitives import RandomSource, SpaceMeter
 from repro.pipeline import ChunkProducer, PipelinedExecutor, PipelinedRunResult
+from repro.service import Checkpointer, IngestServer, ServiceClient
 from repro.sharding import Mergeable, ShardRouter, ShardedExecutor, ShardedRunResult
 from repro.streams import (
     Stream,
@@ -111,6 +118,9 @@ __all__ = [
     "ChunkProducer",
     "PipelinedExecutor",
     "PipelinedRunResult",
+    "Checkpointer",
+    "IngestServer",
+    "ServiceClient",
     "Stream",
     "uniform_stream",
     "zipfian_stream",

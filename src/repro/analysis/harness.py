@@ -8,6 +8,7 @@ would run themselves.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
@@ -17,6 +18,7 @@ from repro.core.base import FrequencyEstimator
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
+from repro.service import Checkpointer, IngestServer, ServiceClient
 from repro.sharding import ShardedExecutor
 from repro.streams.io import iterate_stream_file, iterate_stream_file_chunks, stream_file_metadata
 from repro.streams.stream import Stream
@@ -352,6 +354,221 @@ def run_pipelined_comparison(
             },
         ),
     ]
+    return rows
+
+
+def run_service_comparison(
+    factory: Callable[[int], FrequencyEstimator],
+    path: str,
+    phi: float,
+    shards: int = 1,
+    chunk_size: int = 1 << 16,
+    queue_depth: int = 4,
+    push_batch: Optional[int] = None,
+    rng: Optional[RandomSource] = None,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+    true_frequencies: Optional[Mapping[int, int]] = None,
+    universe_size: Optional[int] = None,
+    checkpoint: bool = True,
+) -> List[ExperimentRow]:
+    """The service-changes-nothing experiment: socket-served vs offline replay.
+
+    The service layer's contract (see :mod:`repro.service`) is that crossing the
+    process boundary reorders *where* work happens, not *what* the sketches see:
+    pushed batches are re-chunked to the same ``chunk_size`` boundaries an offline
+    replay uses, so with identical seeds the served report must equal the offline
+    :meth:`~repro.sharding.ShardedExecutor.run_chunks` replay **bit for bit** —
+    and, when ``checkpoint`` is on, a served run that checkpoints mid-stream,
+    restarts from the file, and resumes must equal an offline replay that
+    round-trips its state through the same
+    :class:`~repro.service.Checkpointer` at the same chunk boundary.  This
+    experiment measures both equalities instead of assuming them.
+
+    Three rows come back (two with ``checkpoint=False``):
+
+    * ``offline`` — the serial ``run_chunks`` replay of the trace at ``path``;
+    * ``served`` — a real :class:`~repro.service.IngestServer` on a loopback
+      socket, a :class:`~repro.service.ServiceClient` pushing the same trace in
+      ``push_batch``-item batches (deliberately decoupled from ``chunk_size``;
+      default ``chunk_size`` itself), then ``finish`` + ``query``.  Extra
+      measurements: ``identical_report`` (1.0 when the (item → estimate) maps
+      match the offline row exactly), ``report_symmetric_difference``,
+      ``push_seconds`` and ``pushed_items_per_second`` (client-observed socket
+      throughput), and the server-side ingest/combine split;
+    * ``resumed`` — push half the trace (an exact multiple of ``chunk_size``),
+      ``flush``, ``checkpoint``, shut the server down, restore a fresh server
+      from the file, push the rest, ``finish`` + ``query``; compared bit for bit
+      (``identical_report``) against the offline checkpoint-round-trip replay of
+      the same boundary.
+
+    ``factory(instance_index)`` builds a fresh sketch, seeded per index as in
+    :func:`run_pipelined_comparison`; every leg uses indices ``0..shards-1`` and
+    one shared router seed, which is what makes the comparisons exact rather than
+    statistical.
+
+    Raises:
+        AssertionError: never — equality lands in the rows, not in an assert, so
+            benchmarks can *record* a failure; tests assert on the rows.
+    """
+    rng = rng if rng is not None else RandomSource()
+    metadata = stream_file_metadata(path)
+    length = metadata["length"]
+    universe = universe_size if universe_size is not None else metadata["universe_size"]
+    truth = (
+        true_frequencies
+        if true_frequencies is not None
+        else exact_frequencies(iterate_stream_file(path))
+    )
+    kwargs = dict(report_kwargs or {})
+    push_batch = push_batch if push_batch is not None else chunk_size
+    router_seed = rng.random_bits(62)
+
+    def build_executor() -> ShardedExecutor:
+        return ShardedExecutor(
+            factory=factory,
+            num_shards=shards,
+            universe_size=universe,
+            rng=RandomSource(router_seed),
+        )
+
+    name = os.path.basename(path)
+    parameters = {
+        "stream": name, "m": length, "n": universe, "phi": phi, "shards": shards,
+        "chunk_size": chunk_size, "queue_depth": queue_depth, "push_batch": push_batch,
+    }
+
+    def make_row(label: str, report, seconds: float, space_bits: float,
+                 extra: Optional[Dict[str, float]] = None) -> ExperimentRow:
+        measurements = _heavy_hitter_measurements(report, truth, length, seconds, space_bits)
+        measurements.update(extra or {})
+        return ExperimentRow(label=label, parameters=dict(parameters), measurements=measurements)
+
+    # -- offline reference ----------------------------------------------------------
+    offline_result = build_executor().run_chunks(
+        iterate_stream_file_chunks(path, chunk_size), report_kwargs=kwargs
+    )
+    rows = [
+        make_row(
+            "offline", offline_result.report, offline_result.seconds,
+            float(offline_result.space_bits()),
+            extra={
+                "ingest_seconds": offline_result.ingest_seconds,
+                "combine_seconds": offline_result.combine_seconds,
+            },
+        )
+    ]
+    offline_items = dict(offline_result.report.items)
+
+    def serve(pipeline: PipelinedExecutor) -> IngestServer:
+        return IngestServer(
+            pipeline, port=0, universe_size=universe, report_kwargs=kwargs,
+        ).start()
+
+    def push_chunks(client: ServiceClient, chunks: Iterable) -> float:
+        start = time.perf_counter()
+        for chunk in chunks:
+            client.push(chunk)
+        return time.perf_counter() - start
+
+    # -- served run -------------------------------------------------------------------
+    server = serve(PipelinedExecutor(
+        executor=build_executor(), chunk_size=chunk_size, queue_depth=queue_depth
+    ))
+    try:
+        with ServiceClient(server.endpoint) as client:
+            push_seconds = push_chunks(client, iterate_stream_file_chunks(path, push_batch))
+            finish = client.finish()
+            served = client.query()
+            client.shutdown()
+    finally:
+        server.close()
+    rows.append(
+        make_row(
+            "served", served.report, float(finish["seconds"]), float(finish["space_bits"]),
+            extra={
+                "ingest_seconds": float(finish["ingest_seconds"]),
+                "combine_seconds": float(finish["combine_seconds"]),
+                "push_seconds": push_seconds,
+                "pushed_items_per_second": length / push_seconds if push_seconds else float("inf"),
+                "identical_report": 1.0 if dict(served.report.items) == offline_items else 0.0,
+                "report_symmetric_difference": float(
+                    len(set(served.report.items).symmetric_difference(offline_items))
+                ),
+            },
+        )
+    )
+    if not checkpoint:
+        return rows
+
+    # -- checkpoint → restart → resume ------------------------------------------------
+    total_chunks = -(-length // chunk_size)
+    prefix_items = (total_chunks // 2) * chunk_size  # an exact chunk boundary
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "service.ckpt")
+        server = serve(PipelinedExecutor(
+            executor=build_executor(), chunk_size=chunk_size, queue_depth=queue_depth
+        ))
+        pushed = 0
+        resume_start = time.perf_counter()
+        try:
+            with ServiceClient(server.endpoint) as client:
+                for chunk in iterate_stream_file_chunks(path, chunk_size):
+                    if pushed >= prefix_items:
+                        break
+                    client.push(chunk)
+                    pushed += len(chunk)
+                client.flush()
+                client.checkpoint(ckpt)
+                client.shutdown()
+        finally:
+            server.close()
+        restored, _manifest = Checkpointer().restore_pipeline(ckpt)
+        server = serve(restored)
+        try:
+            with ServiceClient(server.endpoint) as client:
+                skipped = 0
+                for chunk in iterate_stream_file_chunks(path, chunk_size):
+                    if skipped < prefix_items:
+                        skipped += len(chunk)
+                        continue
+                    client.push(chunk)
+                finish = client.finish()
+                resumed = client.query()
+                client.shutdown()
+        finally:
+            server.close()
+        resume_seconds = time.perf_counter() - resume_start
+
+        # Offline replay that round-trips its state through the same Checkpointer
+        # at the same boundary — the reference the resumed run must equal exactly.
+        replay = PipelinedExecutor(executor=build_executor(), chunk_size=chunk_size)
+        tail_chunks: List = []
+        consumed = 0
+        for chunk in iterate_stream_file_chunks(path, chunk_size):
+            if consumed < prefix_items:
+                replay.ingest_chunk(chunk)
+                consumed += len(chunk)
+            else:
+                tail_chunks.append(chunk)
+        ckpt2 = os.path.join(tmp, "offline.ckpt")
+        Checkpointer().save(ckpt2, replay.sink_state())
+        resumed_replay, _ = Checkpointer().restore_pipeline(ckpt2, chunk_size=chunk_size)
+        for chunk in tail_chunks:
+            resumed_replay.ingest_chunk(chunk)
+        replay_result = resumed_replay.finalize(report_kwargs=kwargs)
+    replay_items = dict(replay_result.report.items)
+    rows.append(
+        make_row(
+            "resumed", resumed.report, resume_seconds, float(finish["space_bits"]),
+            extra={
+                "checkpoint_items": float(prefix_items),
+                "identical_report": 1.0 if dict(resumed.report.items) == replay_items else 0.0,
+                "report_symmetric_difference": float(
+                    len(set(resumed.report.items).symmetric_difference(replay_items))
+                ),
+            },
+        )
+    )
     return rows
 
 

@@ -11,9 +11,15 @@ on-disk traces without writing any Python:
 * ``maximum`` / ``minimum`` — the ε-Maximum / ε-Minimum problems over a stream file;
 * ``borda`` / ``maximin``   — the ranking problems over an election file (one vote per
   line, candidate ids in preference order);
-* ``bounds``         — evaluate the Table 1 space-bound formulas for given parameters.
+* ``bounds``         — evaluate the Table 1 space-bound formulas for given parameters;
+* ``serve``          — run the heavy-hitter service (:mod:`repro.service`): a long-lived
+  server ingesting pushed batches and answering live queries, with checkpoint/restore;
+* ``push`` / ``query`` / ``checkpoint`` — the client side: stream a trace file to a
+  server, print a (mid-ingest or final) report, write a server-side checkpoint.
 
-Every command prints a small, stable, line-oriented report so the CLI can be scripted.
+Every command prints a small, stable, line-oriented report so the CLI can be scripted;
+``query`` prints its ``item`` lines in exactly the ``heavy-hitters`` format so the two
+can be diffed (the service round-trip CI job does exactly that).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.misra_gries import MisraGries
+from repro.core.base import FrequencyEstimator
 from repro.core.borda import ListBorda
 from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
 from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
@@ -32,6 +39,7 @@ from repro.core.minimum import EpsilonMinimum
 from repro.lowerbounds.bounds import TABLE1_ROWS
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
+from repro.service import Checkpointer, IngestServer, ServiceClient
 from repro.sharding import ShardedExecutor
 from repro.streams.generators import (
     planted_heavy_hitters_stream,
@@ -83,7 +91,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ingest the stream in chunks of this many items through the "
                               "insert_many fast path (default: one item at a time)")
 
-    heavy = subparsers.add_parser("heavy-hitters", help="report the (eps, phi)-heavy hitters")
+    heavy = subparsers.add_parser(
+        "heavy-hitters",
+        help="report the (eps, phi)-heavy hitters",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "scaling flag interactions:\n"
+            "  --batch-size N   chunked insert_many ingestion; also sets the replay\n"
+            "                   chunk size of --shards / --pipelined runs (default\n"
+            "                   65536 items when only those flags are given).\n"
+            "  --shards K       hash-partition the stream across K sketches and merge\n"
+            "                   their summaries; serial unless --parallel.\n"
+            "  --parallel       consume the shards in worker processes. Requires\n"
+            "                   --shards (rejected alone: there is nothing to\n"
+            "                   parallelize). Materializes the partitioned trace in\n"
+            "                   memory, unlike the serial drivers' bounded replay.\n"
+            "  --pipelined      parse the trace on a background thread into a bounded\n"
+            "                   chunk queue while this process updates the sketches.\n"
+            "                   Combines with --shards (the pipeline drives the serial\n"
+            "                   fan-out chunk-atomically). Rejected with --parallel:\n"
+            "                   the pipeline's consistency contract (chunk-atomic\n"
+            "                   ingestion under one lock) is exactly what a process\n"
+            "                   pool would bypass.\n"
+            "  --queue-depth D  with --pipelined: the parse-ahead bound; memory is\n"
+            "                   about D x batch-size items. Ignored without\n"
+            "                   --pipelined.\n"
+            "\n"
+            "determinism: for a fixed --seed, serial runs (plain, --shards, and\n"
+            "--pipelined, any combination) are bit-for-bit reproducible, and\n"
+            "--pipelined output is bit-for-bit identical to the same serial replay;\n"
+            "--parallel is reproducible run-to-run but does not replay the serial\n"
+            "driver bit for bit (RandomSource re-seeds across process boundaries).\n"
+        ),
+    )
     add_stream_options(heavy)
     heavy.add_argument("--phi", type=float, default=0.05)
     heavy.add_argument(
@@ -140,6 +180,116 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--universe", type=int, default=1 << 20)
     bounds.add_argument("--stream-length", type=int, default=10 ** 6)
 
+    def add_connect_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--connect", required=True, metavar="ENDPOINT",
+            help="server endpoint: HOST:PORT (TCP) or unix:/path/to.sock",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the heavy-hitter service (network ingest + live queries)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "The server builds its sketch exactly as `heavy-hitters` would for the\n"
+            "same --algorithm/--epsilon/--phi/--seed/--shards, so a served run and an\n"
+            "offline replay of the same items with the same seed and chunk size\n"
+            "produce bit-for-bit identical reports (diff `repro query` against\n"
+            "`repro heavy-hitters --batch-size CHUNK_SIZE`).\n"
+            "\n"
+            "Length-parameterized sketches need the stream size up front, so\n"
+            "--stream-length and --universe are required unless --restore supplies\n"
+            "them from a checkpoint manifest. With --restore, sketch flags are\n"
+            "ignored: the checkpoint carries the full sketch/shard state and the\n"
+            "server resumes exactly where the checkpoint left off.\n"
+            "\n"
+            "The protocol trusts its network (no auth, server-side checkpoint\n"
+            "paths): bind to localhost, a Unix socket, or a private network only.\n"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port; 0 picks an ephemeral port (default)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="serve on a Unix domain socket instead of TCP")
+    serve.add_argument("--epsilon", type=float, default=0.01)
+    serve.add_argument("--phi", type=float, default=0.05)
+    serve.add_argument("--universe", type=int, default=None)
+    serve.add_argument("--stream-length", type=int, default=None,
+                       help="declared total stream length (sizes the sketches)")
+    serve.add_argument("--algorithm", choices=["simple", "optimal", "misra-gries"],
+                       default="simple")
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--shards", type=int, default=None, metavar="K")
+    serve.add_argument("--chunk-size", type=int, default=None, metavar="ITEMS",
+                       help="ingestion chunk granularity (default 65536; from the "
+                            "manifest under --restore)")
+    serve.add_argument("--queue-depth", type=int, default=None, metavar="CHUNKS")
+    serve.add_argument("--restore", default=None, metavar="CKPT",
+                       help="resume from a checkpoint file written by `repro checkpoint`")
+    serve.add_argument("--ready-file", default=None, metavar="PATH",
+                       help="write the bound endpoint to this file once listening "
+                            "(for scripts that need the ephemeral port)")
+
+    push = subparsers.add_parser(
+        "push",
+        help="stream a trace file to a running server",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "--skip/--limit slice the trace by item position, so a stream can be\n"
+            "pushed across several invocations (push --limit N, checkpoint, restart,\n"
+            "push --skip N). For a checkpoint you intend to resume bit-for-bit,\n"
+            "align the slice to the server's chunk size: the server checkpoints at\n"
+            "chunk boundaries.\n"
+        ),
+    )
+    push.add_argument("stream", help="path of the stream file (one integer item per line)")
+    add_connect_option(push)
+    push.add_argument("--batch-size", type=int, default=None, metavar="ITEMS",
+                      help="items per push frame (default 65536; the server re-chunks, "
+                           "so this only affects framing, never the report)")
+    push.add_argument("--skip", type=int, default=0, metavar="ITEMS",
+                      help="skip this many leading items of the trace")
+    push.add_argument("--limit", type=int, default=None, metavar="ITEMS",
+                      help="push at most this many items")
+    push.add_argument("--finish", action="store_true",
+                      help="declare end of stream after pushing (merges the shards "
+                           "and fixes the final report)")
+
+    query = subparsers.add_parser(
+        "query",
+        help="print a heavy-hitter report from a running server",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Mid-ingest, the report covers the chunk-aligned prefix ingested so far\n"
+            "(`items_processed`, `final: false`); after `push --finish` it is the\n"
+            "fixed end-of-stream report (`final: true`). Item lines are printed in\n"
+            "the `heavy-hitters` format so the two commands diff cleanly.\n"
+        ),
+    )
+    add_connect_option(query)
+    query.add_argument("--phi", type=float, default=None,
+                       help="report-time threshold override (only for sketches that "
+                            "take phi at report time, i.e. misra-gries)")
+    query.add_argument("--shutdown", action="store_true",
+                       help="stop the server after answering")
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint",
+        help="write the server's full sketch/shard state to a server-side file",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Flushes first (so the checkpoint covers every complete chunk pushed so\n"
+            "far), then serializes the un-merged sketch/shard state. The path is\n"
+            "interpreted by the *server* process. Resume with\n"
+            "`repro serve --restore PATH`, then push the remaining items.\n"
+        ),
+    )
+    checkpoint.add_argument("output", help="server-side path of the checkpoint file")
+    add_connect_option(checkpoint)
+    checkpoint.add_argument("--shutdown", action="store_true",
+                            help="stop the server after the checkpoint is written")
+
     return parser
 
 
@@ -178,40 +328,92 @@ def _replay_stream_file(algorithm, path: str, batch_size: Optional[int]) -> None
     algorithm.consume(iterate_stream_file(path), batch_size=batch_size)
 
 
+def _sketch_builder(algorithm: str, epsilon: float, phi: float, universe: int,
+                    stream_length: int):
+    """The one place CLI commands build heavy-hitter sketches.
+
+    Shared by ``heavy-hitters`` and ``serve`` so a served run and an offline
+    replay construct *identical* sketches from identical flags — the premise of
+    the service layer's served-equals-offline guarantee.  Returns a
+    ``build(instance_rng)`` callable; Misra–Gries ignores the rng (deterministic).
+    """
+
+    def build(instance_rng: RandomSource) -> FrequencyEstimator:
+        if algorithm == "simple":
+            return SimpleListHeavyHitters(
+                epsilon=epsilon, phi=phi, universe_size=universe,
+                stream_length=stream_length, rng=instance_rng,
+            )
+        if algorithm == "optimal":
+            return OptimalListHeavyHitters(
+                epsilon=epsilon, phi=phi, universe_size=universe,
+                stream_length=stream_length, rng=instance_rng,
+            )
+        return MisraGries(epsilon=epsilon, universe_size=universe,
+                          stream_length_hint=stream_length)
+
+    return build
+
+
+def _sharded_executor(build, rng: RandomSource, shards: int, universe: int) -> ShardedExecutor:
+    """The one place CLI commands wire a sharded executor.
+
+    Shared by ``heavy-hitters`` (both drivers) and ``serve`` so the seeding
+    order — router seed drawn first (``rng.spawn(-1)``), then one child per
+    shard index — can never drift between the offline and served paths; the
+    bit-for-bit diff between ``repro query`` and ``repro heavy-hitters``
+    depends on it.
+    """
+    return ShardedExecutor(
+        factory=lambda shard: build(rng.spawn(shard)),
+        num_shards=shards,
+        universe_size=universe,
+        rng=rng.spawn(-1),
+    )
+
+
+def _print_heavy_hitter_lines(report, stream_length: int) -> None:
+    """The shared ``reported:``/``item`` output block of ``heavy-hitters`` and ``query``.
+
+    One helper on purpose: the CI service-smoke job ``diff``s the two commands'
+    outputs, so the line format must be structurally shared, not coincidentally
+    equal.
+    """
+    print(f"reported: {len(report)}")
+    for item in report.reported_items():
+        estimate = report.estimated_frequency(item)
+        print(f"item {item}\testimate {estimate:.0f}\tshare {estimate / max(1, stream_length):.4f}")
+
+
+def _positive_or_default(value: Optional[int], default: int, flag: str) -> int:
+    """Resolve an optional positive-int flag without the falsy-zero trap.
+
+    ``value or default`` would silently turn an explicit ``0`` into the default
+    (the bug class PR 3 fixed for ``universe_size``); an explicit non-positive
+    value is rejected instead.
+    """
+    if value is None:
+        return default
+    if value <= 0:
+        raise SystemExit(f"{flag} must be positive, got {value}")
+    return value
+
+
 def _command_heavy_hitters(args: argparse.Namespace) -> int:
+    replay_chunk = _positive_or_default(args.batch_size, REPLAY_CHUNK_ITEMS, "--batch-size")
     metadata = stream_file_metadata(args.stream)
     length = metadata["length"]
     universe = args.universe if args.universe is not None else metadata["universe_size"]
     rng = RandomSource(args.seed)
-
-    def build(instance_rng: RandomSource):
-        if args.algorithm == "simple":
-            return SimpleListHeavyHitters(
-                epsilon=args.epsilon, phi=args.phi, universe_size=universe,
-                stream_length=length, rng=instance_rng,
-            )
-        if args.algorithm == "optimal":
-            return OptimalListHeavyHitters(
-                epsilon=args.epsilon, phi=args.phi, universe_size=universe,
-                stream_length=length, rng=instance_rng,
-            )
-        return MisraGries(epsilon=args.epsilon, universe_size=universe,
-                          stream_length_hint=length)
-
+    build = _sketch_builder(args.algorithm, args.epsilon, args.phi, universe, length)
     report_kwargs = {"phi": args.phi} if args.algorithm == "misra-gries" else {}
-    replay_chunk = args.batch_size or REPLAY_CHUNK_ITEMS
     if args.pipelined:
         if args.parallel:
             raise SystemExit("--pipelined is incompatible with --parallel (the async "
                              "pipeline drives the serial fan-out)")
         if args.shards is not None:
             pipelined = PipelinedExecutor(
-                executor=ShardedExecutor(
-                    factory=lambda shard: build(rng.spawn(shard)),
-                    num_shards=args.shards,
-                    universe_size=universe,
-                    rng=rng.spawn(-1),
-                ),
+                executor=_sharded_executor(build, rng, args.shards, universe),
                 chunk_size=replay_chunk,
                 queue_depth=args.queue_depth,
             )
@@ -234,12 +436,7 @@ def _command_heavy_hitters(args: argparse.Namespace) -> int:
                 f"sizes: {' '.join(map(str, result.shard_sizes))}"
             )
     elif args.shards is not None:
-        executor = ShardedExecutor(
-            factory=lambda shard: build(rng.spawn(shard)),
-            num_shards=args.shards,
-            universe_size=universe,
-            rng=rng.spawn(-1),
-        )
+        executor = _sharded_executor(build, rng, args.shards, universe)
         result = executor.run_chunks(
             iterate_stream_file_chunks(args.stream, replay_chunk),
             batch_size=args.batch_size,
@@ -266,10 +463,7 @@ def _command_heavy_hitters(args: argparse.Namespace) -> int:
     if shard_line is not None:
         print(shard_line)
     print(f"space_bits: {space_bits}")
-    print(f"reported: {len(report)}")
-    for item in report.reported_items():
-        estimate = report.estimated_frequency(item)
-        print(f"item {item}\testimate {estimate:.0f}\tshare {estimate / max(1, length):.4f}")
+    _print_heavy_hitter_lines(report, length)
     return 0
 
 
@@ -341,6 +535,127 @@ def _command_maximin(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_SERVICE_CHUNK = 1 << 16
+DEFAULT_SERVICE_QUEUE_DEPTH = 4
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    for flag, value in (("--chunk-size", args.chunk_size), ("--queue-depth", args.queue_depth)):
+        if value is not None and value <= 0:
+            raise SystemExit(f"{flag} must be positive, got {value}")
+    if args.restore is not None:
+        pipeline, manifest = Checkpointer().restore_pipeline(
+            args.restore, chunk_size=args.chunk_size, queue_depth=args.queue_depth
+        )
+        config = dict(manifest.get("config", {}))
+        universe = config.get("universe_size")
+        report_kwargs = dict(config.get("report_kwargs", {}))
+    else:
+        if args.universe is None or args.stream_length is None:
+            raise SystemExit("serve requires --universe and --stream-length "
+                             "(or --restore CKPT, whose manifest carries them)")
+        chunk_size = args.chunk_size if args.chunk_size is not None else DEFAULT_SERVICE_CHUNK
+        queue_depth = args.queue_depth if args.queue_depth is not None else DEFAULT_SERVICE_QUEUE_DEPTH
+        universe = args.universe
+        rng = RandomSource(args.seed)
+        build = _sketch_builder(args.algorithm, args.epsilon, args.phi, universe,
+                                args.stream_length)
+        report_kwargs = {"phi": args.phi} if args.algorithm == "misra-gries" else {}
+        if args.shards is not None:
+            pipeline = PipelinedExecutor(
+                executor=_sharded_executor(build, rng, args.shards, universe),
+                chunk_size=chunk_size,
+                queue_depth=queue_depth,
+            )
+        else:
+            pipeline = PipelinedExecutor(
+                sketch=build(rng), chunk_size=chunk_size, queue_depth=queue_depth
+            )
+        config = {
+            "algorithm": args.algorithm, "epsilon": args.epsilon, "phi": args.phi,
+            "universe_size": universe, "stream_length": args.stream_length,
+            "seed": args.seed, "shards": args.shards,
+            "report_kwargs": report_kwargs,
+        }
+    server = IngestServer(
+        pipeline,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.socket,
+        universe_size=universe,
+        config=config,
+        report_kwargs=report_kwargs,
+    )
+    server.start()
+    print(f"listening on {server.endpoint}", flush=True)
+    if args.ready_file:
+        with open(args.ready_file, "w", encoding="utf-8") as handle:
+            handle.write(server.endpoint + "\n")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.close()
+    return 0
+
+
+def _command_push(args: argparse.Namespace) -> int:
+    if args.skip < 0:
+        raise SystemExit("--skip cannot be negative")
+    if args.limit is not None and args.limit < 0:
+        raise SystemExit("--limit cannot be negative")
+    batch = _positive_or_default(args.batch_size, REPLAY_CHUNK_ITEMS, "--batch-size")
+    pushed = 0
+    skipped = 0
+    with ServiceClient(args.connect) as client:
+        for chunk in iterate_stream_file_chunks(args.stream, batch):
+            if skipped < args.skip:
+                take = min(len(chunk), args.skip - skipped)
+                skipped += take
+                chunk = chunk[take:]
+                if not len(chunk):
+                    continue
+            if args.limit is not None and pushed + len(chunk) > args.limit:
+                chunk = chunk[: args.limit - pushed]
+            if len(chunk):
+                client.push(chunk)
+                pushed += len(chunk)
+            if args.limit is not None and pushed >= args.limit:
+                break
+        flushed = client.flush()
+        print(f"pushed {pushed} items (skipped {skipped})")
+        print(f"items_received: {flushed['items_received']}")
+        print(f"items_processed: {flushed['items_processed']}")
+        if args.finish:
+            info = client.finish()
+            print(f"finished: {info['items_processed']} items in {info['chunks']} chunks")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    with ServiceClient(args.connect) as client:
+        result = client.query(phi=args.phi)
+        print(f"items_processed: {result.items_processed}")
+        print(f"final: {'true' if result.final else 'false'}")
+        print(f"space_bits: {result.space_bits}")
+        _print_heavy_hitter_lines(result.report, result.items_processed)
+        if args.shutdown:
+            client.shutdown()
+    return 0
+
+
+def _command_checkpoint(args: argparse.Namespace) -> int:
+    with ServiceClient(args.connect) as client:
+        client.flush()
+        info = client.checkpoint(args.output)
+        print(f"checkpoint: {info['path']}")
+        print(f"items_processed: {info['items_processed']}")
+        print(f"chunks: {info['chunks']}")
+        print(f"kind: {info['kind']}")
+        if args.shutdown:
+            client.shutdown()
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     parameters = {
         "epsilon": args.epsilon, "phi": args.phi, "n": args.universe, "m": args.stream_length,
@@ -362,6 +677,10 @@ _COMMANDS = {
     "borda": _command_borda,
     "maximin": _command_maximin,
     "bounds": _command_bounds,
+    "serve": _command_serve,
+    "push": _command_push,
+    "query": _command_query,
+    "checkpoint": _command_checkpoint,
 }
 
 

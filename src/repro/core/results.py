@@ -34,6 +34,15 @@ class HeavyHittersReport:
     ``items`` maps each reported item to its estimated absolute frequency.
     ``stream_length`` is the number of stream insertions the algorithm processed (or the
     algorithm's estimate of it, for unknown-length variants).
+
+    >>> report = HeavyHittersReport(items={7: 300.0, 2: 120.0}, stream_length=1000,
+    ...                             epsilon=0.01, phi=0.1)
+    >>> report.reported_items()
+    [7, 2]
+    >>> 7 in report, report.estimated_frequency(2)
+    (True, 120.0)
+    >>> len(report)
+    2
     """
 
     items: Dict[int, float]
@@ -88,6 +97,16 @@ class HeavyHittersReport:
         boundary.  Prefer merging *sketches* and reporting once when possible — that
         is what :class:`repro.sharding.ShardedExecutor` does — and merge reports when
         only reports survived (e.g. returned by remote workers).
+
+        >>> left = HeavyHittersReport(items={7: 300.0}, stream_length=1000,
+        ...                           epsilon=0.01, phi=0.1)
+        >>> right = HeavyHittersReport(items={2: 50.0}, stream_length=1000,
+        ...                            epsilon=0.01, phi=0.1)
+        >>> merged = left.merge(right)
+        >>> merged.stream_length, merged.reported_items()
+        (2000, [7])
+        >>> left.merge(right, rethreshold=False).reported_items()
+        [7, 2]
         """
         if not isinstance(other, HeavyHittersReport):
             raise TypeError(f"cannot merge HeavyHittersReport with {type(other).__name__}")

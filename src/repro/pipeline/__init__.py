@@ -60,12 +60,19 @@ Quickstart::
     print(result.report.reported_items(), result.ingest_seconds)
 """
 
-from repro.pipeline.executor import PipelinedExecutor, PipelinedRunResult, PipelineSnapshot
-from repro.pipeline.producer import ChunkProducer
+from repro.pipeline.executor import (
+    PipelinedExecutor,
+    PipelinedRunResult,
+    PipelineSnapshot,
+    SinkState,
+)
+from repro.pipeline.producer import ArrayBatchSource, ChunkProducer
 
 __all__ = [
+    "ArrayBatchSource",
     "ChunkProducer",
     "PipelinedExecutor",
     "PipelinedRunResult",
     "PipelineSnapshot",
+    "SinkState",
 ]

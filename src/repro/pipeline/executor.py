@@ -17,10 +17,44 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, List, Mapping, Optional
 
-from repro.pipeline.producer import DEFAULT_CHUNK_ITEMS, DEFAULT_QUEUE_DEPTH, ChunkProducer
+from repro.pipeline.producer import (
+    DEFAULT_CHUNK_ITEMS,
+    DEFAULT_QUEUE_DEPTH,
+    ArrayBatchSource,
+    ChunkProducer,
+)
 from repro.primitives.space import SpaceMeter
 from repro.sharding.executor import ShardedExecutor
 from repro.sharding.mergeable import merge_all
+
+
+@dataclass
+class SinkState:
+    """A chunk-aligned, self-contained copy of a pipelined run's ingestion state.
+
+    This is the unit of checkpointing: everything needed to resume ingestion in a
+    fresh process — the (un-merged) shard sketches, their router, and the prefix
+    accounting — captured atomically under the ingestion lock by
+    :meth:`PipelinedExecutor.sink_state` and adopted by
+    :meth:`PipelinedExecutor.from_sink_state`.  The service layer's
+    :class:`~repro.service.Checkpointer` pickles exactly this object (plus a config
+    manifest) to disk.
+
+    Note the randomness caveat: the capture deep-copies the sketches, and a
+    :class:`~repro.primitives.rng.RandomSource` deep-copies (and pickles) as a
+    deterministically *re-seeded* sibling — see :mod:`repro.primitives.rng`.  A
+    resumed run is therefore bit-for-bit reproducible (capturing the same state
+    twice yields identical resumptions) but does not replay the uninterrupted
+    original's future random draws; deterministic sketches (Misra–Gries and
+    friends) resume bit-for-bit identical to the uninterrupted run as well.
+    """
+
+    kind: str  # "single" or "sharded"
+    sketches: List[Any]
+    router: Any  # ShardRouter for "sharded", None for "single"
+    items_processed: int
+    shard_sizes: List[int]
+    chunks: int
 
 
 @dataclass
@@ -106,12 +140,34 @@ class PipelinedExecutor:
         self._lock = threading.Lock()
         self._started = False
         self._finished = False
+        self._chunks_ingested = 0
+        self._max_queue_depth = 0
+        self._ingest_started_at: Optional[float] = None
 
     # -- ingestion ----------------------------------------------------------------------
 
-    def _ingest_chunk(self, chunk) -> None:
-        """One chunk into the sink, atomically with respect to :meth:`snapshot`."""
+    def ingest_chunk(self, chunk) -> None:
+        """One chunk into the sink, atomically with respect to :meth:`snapshot`.
+
+        The single-chunk unit of :meth:`run`, public so an external loop (the
+        service layer's offline checkpoint replay, a test harness) can drive
+        ingestion chunk by chunk; call :meth:`finalize` when the stream is
+        exhausted.  Driving an executor manually claims it, so a later :meth:`run`
+        on the same instance refuses rather than double-ingesting.
+
+        Raises:
+            RuntimeError: if :meth:`finalize` (or :meth:`run`) already consumed
+                the sink.
+        """
         with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this PipelinedExecutor has already merged its sink; "
+                    "build a fresh one per run"
+                )
+            self._started = True
+            if self._ingest_started_at is None:
+                self._ingest_started_at = time.perf_counter()
             if self.executor is None:
                 self.sketch.insert_many(chunk)
                 self.shard_sizes[0] += len(chunk)
@@ -119,6 +175,60 @@ class PipelinedExecutor:
                 for shard, delivered in enumerate(self.executor.ingest_chunk(chunk)):
                     self.shard_sizes[shard] += delivered
             self.items_processed += len(chunk)
+            self._chunks_ingested += 1
+
+    def finalize(
+        self, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> PipelinedRunResult:
+        """Merge the sink, account space, and report — the end-of-stream step.
+
+        Called by :meth:`run` after the producer is exhausted, and directly by
+        external loops that drove :meth:`ingest_chunk` themselves.  Single-shot:
+        the merge consumes the shard state, so further ingestion, snapshots, and
+        finalizes all refuse afterwards.
+
+        Args:
+            report_kwargs: forwarded to the merged sketch's ``report()`` (e.g.
+                ``{"phi": 0.05}`` for sketches that take the threshold at report
+                time).
+
+        Returns:
+            The :class:`PipelinedRunResult` for everything ingested so far.
+
+        Raises:
+            RuntimeError: on a second finalize of the same executor.
+        """
+        now = time.perf_counter()
+        started = self._ingest_started_at if self._ingest_started_at is not None else now
+        ingest_seconds = now - started
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this PipelinedExecutor has already merged its sink; "
+                    "build a fresh one per run"
+                )
+            self._finished = True
+            if self.executor is None:
+                report = self.sketch.report(**dict(report_kwargs or {}))
+                self.sketch.refresh_space()
+                merged, space = self.sketch, self.sketch.space
+            else:
+                merged, report, space = self.executor.combine(report_kwargs)
+        combine_seconds = time.perf_counter() - now
+        return PipelinedRunResult(
+            sketch=merged,
+            report=report,
+            num_shards=self.num_shards,
+            shard_sizes=list(self.shard_sizes),
+            items_processed=self.items_processed,
+            chunks=self._chunks_ingested,
+            queue_depth=self.queue_depth,
+            max_queue_depth=self._max_queue_depth,
+            seconds=ingest_seconds + combine_seconds,
+            ingest_seconds=ingest_seconds,
+            combine_seconds=combine_seconds,
+            space=space,
+        )
 
     def run(
         self,
@@ -129,9 +239,15 @@ class PipelinedExecutor:
 
         ``source`` is anything :class:`ChunkProducer` accepts — a stream-file path
         (the motivating case: disk reads and ``int`` parsing overlap the sketch
-        updates), a ``Stream``, an array, or an iterable.  A producer-side
-        exception propagates out of this call as itself; the producer thread is
-        joined on every exit path.
+        updates), a ``Stream``, an array, an iterable, or an
+        :class:`~repro.pipeline.producer.ArrayBatchSource` of pre-built batches
+        (the network ingest case).  A producer-side exception propagates out of
+        this call as itself; the producer thread is joined on every exit path.
+
+        Raises:
+            RuntimeError: if this executor already ran (or was driven through
+                :meth:`ingest_chunk`) — the sketches hold that prefix, so
+                re-running would double-count.
         """
         if self._started or self._finished:
             # _started alone (no _finished) means a previous run died mid-ingest;
@@ -143,38 +259,20 @@ class PipelinedExecutor:
         producer = ChunkProducer(
             source, chunk_size=self.chunk_size, queue_depth=self.queue_depth
         )
-        chunks = 0
-        start = time.perf_counter()
+        if not isinstance(source, ArrayBatchSource):
+            # Replay sources (paths, streams, iterables): the producer starts
+            # parsing immediately, so the ingest span begins now.  Push-driven
+            # sources are paced by remote clients — idle time waiting for the
+            # first batch is not ingest work, so the stamp waits for the first
+            # chunk (ingest_chunk sets it lazily).
+            self._ingest_started_at = time.perf_counter()
         try:
             for chunk in producer:
-                self._ingest_chunk(chunk)
-                chunks += 1
+                self.ingest_chunk(chunk)
         finally:
             producer.close()
-        ingest_seconds = time.perf_counter() - start
-        with self._lock:
-            self._finished = True
-            if self.executor is None:
-                report = self.sketch.report(**dict(report_kwargs or {}))
-                self.sketch.refresh_space()
-                merged, space = self.sketch, self.sketch.space
-            else:
-                merged, report, space = self.executor.combine(report_kwargs)
-        combine_seconds = time.perf_counter() - start - ingest_seconds
-        return PipelinedRunResult(
-            sketch=merged,
-            report=report,
-            num_shards=self.num_shards,
-            shard_sizes=list(self.shard_sizes),
-            items_processed=self.items_processed,
-            chunks=chunks,
-            queue_depth=self.queue_depth,
-            max_queue_depth=producer.max_queue_depth,
-            seconds=ingest_seconds + combine_seconds,
-            ingest_seconds=ingest_seconds,
-            combine_seconds=combine_seconds,
-            space=space,
-        )
+        self._max_queue_depth = producer.max_queue_depth
+        return self.finalize(report_kwargs)
 
     # -- mid-ingest queries -------------------------------------------------------------
 
@@ -205,3 +303,90 @@ class PipelinedExecutor:
         merged = merge_all(copies)
         report = merged.report(**dict(report_kwargs or {}))
         return PipelineSnapshot(report=report, sketch=merged, items_processed=items)
+
+    # -- checkpoint / restore -----------------------------------------------------------
+
+    def sink_state(self) -> SinkState:
+        """Capture a chunk-aligned copy of the ingestion state for checkpointing.
+
+        Takes the ingestion lock and deep-copies the un-merged sink — the single
+        sketch, or the whole shard group *and* its router in one pass (so hash
+        functions shared across shards stay shared in the copy) — then releases the
+        lock; ingestion is paused only for the copy.  Unlike :meth:`snapshot`, the
+        copies are **not** merged: a checkpoint must be resumable, and the merge
+        consumes shard state.  See :class:`SinkState` for the randomness caveat.
+
+        Returns:
+            A :class:`SinkState` reflecting a chunk-aligned prefix of the stream.
+
+        Raises:
+            RuntimeError: after :meth:`finalize`/:meth:`run` — the merge has
+                consumed the shard state, so there is nothing left to checkpoint.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "ingestion has finished and the shards are merged; "
+                    "there is no resumable state left to checkpoint"
+                )
+            if self.executor is None:
+                sketches, router, kind = [copy.deepcopy(self.sketch)], None, "single"
+            else:
+                sketches, router = copy.deepcopy(
+                    (self.executor.sketches, self.executor.router)
+                )
+                kind = "sharded"
+            return SinkState(
+                kind=kind,
+                sketches=list(sketches),
+                router=router,
+                items_processed=self.items_processed,
+                shard_sizes=list(self.shard_sizes),
+                chunks=self._chunks_ingested,
+            )
+
+    @classmethod
+    def from_sink_state(
+        cls,
+        state: SinkState,
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> "PipelinedExecutor":
+        """Rebuild an executor around a captured :class:`SinkState` and resume.
+
+        The state's sketches/router are adopted as-is (not copied) — restore from
+        a pickled checkpoint, or pass a fresh :meth:`sink_state` capture to fork a
+        run in-process.  The returned executor continues exactly where the capture
+        left off: ``items_processed``/``shard_sizes`` carry over, and one
+        :meth:`run` (or :meth:`ingest_chunk` loop + :meth:`finalize`) over the
+        remaining stream produces a result whose report covers the whole stream.
+
+        Args:
+            state: a capture from :meth:`sink_state` (typically via
+                :class:`~repro.service.Checkpointer`).
+            chunk_size: chunk granularity for the resumed ingestion — use the
+                original run's value to keep resumed chunk boundaries aligned
+                with an uninterrupted replay.
+            queue_depth: producer queue bound for the resumed ingestion.
+
+        Raises:
+            ValueError: if the state's ``kind`` is unknown.
+        """
+        if state.kind == "single":
+            resumed = cls(
+                sketch=state.sketches[0], chunk_size=chunk_size, queue_depth=queue_depth
+            )
+        elif state.kind == "sharded":
+            resumed = cls(
+                executor=ShardedExecutor.from_shards(state.sketches, state.router),
+                chunk_size=chunk_size,
+                queue_depth=queue_depth,
+            )
+        else:
+            raise ValueError(f"unknown sink state kind {state.kind!r}")
+        resumed.items_processed = state.items_processed
+        resumed.shard_sizes = list(state.shard_sizes)
+        resumed._chunks_ingested = state.chunks
+        # _started stays False: the adopted prefix is accounted for, and the one
+        # permitted run()/finalize() on this instance is the resumed tail.
+        return resumed

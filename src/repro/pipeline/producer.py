@@ -30,7 +30,7 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.primitives.batching import iter_chunks
+from repro.primitives.batching import iter_chunks, rechunk_arrays
 from repro.streams.io import iterate_stream_file_chunks
 
 #: Default number of items per queued chunk (matches the CLI's replay chunking).
@@ -44,11 +44,34 @@ DEFAULT_QUEUE_DEPTH = 4
 _DONE = object()  # queue sentinel: the source is exhausted (or the producer died)
 
 
+class ArrayBatchSource:
+    """Mark a source as an iterable of *item batches* to re-chunk, not of items.
+
+    :class:`ChunkProducer` normally treats a non-path source as a flat iterable of
+    items.  A network ingest loop instead holds whole numpy batches (one per PUSH
+    frame) whose sizes the client chose; wrapping that iterable in this class makes
+    the producer re-chunk the batches to exact ``chunk_size`` boundaries via
+    :func:`repro.primitives.batching.rechunk_arrays`, so the consumer sees the same
+    chunk sequence an offline :func:`~repro.primitives.batching.iter_chunks` replay
+    of the concatenated items would produce — the property the service layer's
+    served-equals-offline guarantee rests on.
+
+    Args:
+        batches: an iterable (typically a generator draining a queue) of numpy
+            arrays or other int sequences.
+    """
+
+    def __init__(self, batches) -> None:
+        self.batches = batches
+
+
 class ChunkProducer:
     """Read a chunk source on a background thread into a bounded queue.
 
     ``source`` may be a path (``str``/``os.PathLike`` — replayed out of core via
-    :func:`repro.streams.io.iterate_stream_file_chunks`), or anything
+    :func:`repro.streams.io.iterate_stream_file_chunks`), an
+    :class:`ArrayBatchSource` (an iterable of item *batches*, re-chunked to exact
+    ``chunk_size`` boundaries — the network ingest case), or anything
     :func:`repro.primitives.batching.iter_chunks` accepts (a ``Stream``, a numpy
     array, any iterable of items).  Iterating the producer yields the chunks in
     source order; the concatenation of the yielded chunks is exactly the item
@@ -71,6 +94,8 @@ class ChunkProducer:
             raise ValueError("queue_depth must be positive")
         if isinstance(source, (str, os.PathLike)):
             self._chunks = iterate_stream_file_chunks(os.fspath(source), chunk_size)
+        elif isinstance(source, ArrayBatchSource):
+            self._chunks = rechunk_arrays(source.batches, chunk_size)
         else:
             self._chunks = iter_chunks(source, chunk_size)
         self.chunk_size = chunk_size

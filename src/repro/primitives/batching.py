@@ -44,7 +44,23 @@ def aggregate_counts(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def iter_chunks(items: Iterable[int], chunk_size: int) -> Iterator[np.ndarray]:
-    """Split a stream (array-backed or plain iterable) into int64 array chunks."""
+    """Split a stream (array-backed or plain iterable) into int64 array chunks.
+
+    Array-backed input (a :class:`~repro.streams.stream.Stream` or a numpy array) is
+    sliced without copying; a plain iterable is buffered ``chunk_size`` items at a
+    time.  Every yielded chunk except possibly the last has exactly ``chunk_size``
+    items, and their concatenation is exactly the input sequence.
+
+    Args:
+        items: the stream — a ``Stream``, a numpy array, or any iterable of ints.
+        chunk_size: items per yielded chunk; must be positive.
+
+    Raises:
+        ValueError: if ``chunk_size`` is not positive.
+
+    >>> [chunk.tolist() for chunk in iter_chunks([1, 2, 3, 4, 5], 2)]
+    [[1, 2], [3, 4], [5]]
+    """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
     backing = getattr(items, "array", None)
@@ -62,3 +78,49 @@ def iter_chunks(items: Iterable[int], chunk_size: int) -> Iterator[np.ndarray]:
             buffer = []
     if buffer:
         yield as_item_array(buffer)
+
+
+def rechunk_arrays(arrays: Iterable[Sequence[int]], chunk_size: int) -> Iterator[np.ndarray]:
+    """Re-chunk an iterable of item arrays into exact ``chunk_size`` boundaries.
+
+    The network ingest path receives item batches whose sizes are chosen by the
+    *client* (whatever each PUSH frame carried), but bit-for-bit equivalence with an
+    offline chunked replay requires the *sketches* to see the same chunk boundaries
+    as :func:`iter_chunks` over the concatenated sequence.  This helper restores
+    those boundaries: incoming arrays are split/coalesced so that every yielded
+    chunk except possibly the last has exactly ``chunk_size`` items, and the
+    concatenation of the yielded chunks equals the concatenation of the inputs.
+
+    Zero-length input arrays are skipped; yielded chunks are int64 (views of a
+    single input array where possible, freshly concatenated otherwise).
+
+    Args:
+        arrays: an iterable of item batches (numpy arrays or any sequences of ints).
+        chunk_size: items per yielded chunk; must be positive.
+
+    Raises:
+        ValueError: if ``chunk_size`` is not positive.
+
+    >>> batches = [[1, 2, 3], [4], [], [5, 6, 7, 8, 9]]
+    >>> [chunk.tolist() for chunk in rechunk_arrays(batches, 4)]
+    [[1, 2, 3, 4], [5, 6, 7, 8], [9]]
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    pending: list = []  # partial-chunk fragments, < chunk_size items in total
+    held = 0
+    for array in arrays:
+        array = as_item_array(array)
+        start = 0
+        while array.size - start + held >= chunk_size:
+            take = chunk_size - held
+            pending.append(array[start : start + take])
+            start += take
+            yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+            pending, held = [], 0
+        if start < array.size:
+            tail = array[start:]
+            pending.append(tail)
+            held += int(tail.size)
+    if held:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)

@@ -1,0 +1,65 @@
+"""The heavy-hitter service layer: network ingest + live queries + checkpoint/restore.
+
+This package is the fourth rung of the scaling ladder in ROADMAP.md — **batching**
+(one consumer made fast) → **sharding** (one stream across k mergeable sketches) →
+**async** (parsing overlaps compute) → **service** (this: the system crosses a
+process boundary).  The paper frames heavy hitters as a query answered *about* a
+stream; here the stream arrives from network clients and the query is answered by
+a long-running server, mid-ingest, with the same Definition 1 semantics as an
+offline run:
+
+* :mod:`repro.service.protocol` — length-prefixed JSON + raw-int64 frames; the
+  only hot-path command (``push``) moves item batches as numpy buffers;
+* :class:`IngestServer` / :class:`QueryHandler`
+  (:mod:`repro.service.server`) — accepts TCP or Unix-socket connections, feeds a
+  :class:`~repro.pipeline.PipelinedExecutor` (single sketch or sharded fan-out)
+  through a re-chunking push queue, and answers ``query``/``stats`` from
+  chunk-aligned snapshots while ingestion continues;
+* :class:`ServiceClient` (:mod:`repro.service.client`) — the blocking peer:
+  ``push`` / ``flush`` / ``query`` / ``stats`` / ``checkpoint`` / ``finish`` /
+  ``shutdown``;
+* :class:`Checkpointer` (:mod:`repro.service.checkpoint`) — full sketch/shard
+  state to disk (atomic, versioned), so a restarted server resumes where it left
+  off; see that module for the exact bit-for-bit resumption contract.
+
+The headline guarantee — **served equals offline** — is measured rather than
+assumed: with identical seeds and chunk size, the report served over the socket is
+bit-for-bit the offline ``run_chunks`` replay of the same items
+(:func:`repro.analysis.harness.run_service_comparison`, ``BENCH_service.json``,
+and the service round-trip tests all assert it).
+
+Quickstart (in-process; the CLI equivalents are ``repro serve`` / ``push`` /
+``query`` / ``checkpoint``)::
+
+    from repro import SimpleListHeavyHitters
+    from repro.pipeline import PipelinedExecutor
+    from repro.service import IngestServer, ServiceClient
+
+    sketch = SimpleListHeavyHitters(epsilon=0.01, phi=0.05,
+                                    universe_size=10_000, stream_length=100_000)
+    server = IngestServer(PipelinedExecutor(sketch=sketch), port=0).start()
+    with ServiceClient(server.endpoint) as client:
+        client.push(items)
+        print(client.query().report.reported_items())   # live, mid-ingest
+        client.finish()
+        client.shutdown()
+"""
+
+from repro.service.checkpoint import CheckpointError, Checkpointer, CHECKPOINT_FORMAT
+from repro.service.client import QueryResult, ServiceClient, ServiceError, parse_endpoint
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import IngestServer, QueryHandler
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointError",
+    "Checkpointer",
+    "IngestServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueryHandler",
+    "QueryResult",
+    "ServiceClient",
+    "ServiceError",
+    "parse_endpoint",
+]

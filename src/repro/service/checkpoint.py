@@ -1,0 +1,161 @@
+"""Checkpoint persistence: full sketch/shard state to disk, restore, resume.
+
+A checkpoint is one pickle file holding a manifest and a
+:class:`~repro.pipeline.SinkState` — the chunk-aligned, un-merged copy of a
+pipelined run's ingestion state that :meth:`repro.pipeline.PipelinedExecutor.sink_state`
+captures.  :class:`Checkpointer` adds exactly three things on top of the pipeline
+layer's capture/restore:
+
+* **a versioned on-disk format** — a ``format`` tag and the package version, so a
+  reader can refuse a checkpoint it does not understand instead of unpickling
+  garbage into a half-built server;
+* **a config manifest** — the sketch parameters the serving layer needs to rebuild
+  a compatible server (ε, ϕ, universe, stream length, chunk size, shard count)
+  without re-specifying them on restart;
+* **atomic writes** — the file is written to a temp sibling and ``os.replace``-d
+  into place, so a crash mid-checkpoint never leaves a truncated file where a
+  previous good checkpoint used to be.
+
+Determinism contract (what "resume bit-for-bit" means here)
+-----------------------------------------------------------
+
+Saving is a pure read: capturing and pickling never perturbs the live run.  A
+:class:`~repro.primitives.rng.RandomSource` serializes as a deterministically
+re-seeded sibling (see :mod:`repro.primitives.rng`), so restoring the same
+checkpoint file twice and resuming the same tail produces **identical** final
+reports — and a resumed run equals, bit for bit, an *offline* replay that
+round-trips its state through this same save/load at the same chunk boundary
+(:func:`repro.analysis.harness.run_service_comparison` measures exactly this).
+What a resumed randomized sketch does *not* replay is the uninterrupted original's
+future random draws; deterministic sketches (Misra–Gries, Space-Saving, Lossy
+Counting) resume bit-for-bit identical to the uninterrupted run as well.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from repro.pipeline import PipelinedExecutor, SinkState
+
+#: On-disk format version; bump on incompatible layout changes.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """An unreadable, unversioned, or incompatible checkpoint file."""
+
+
+class Checkpointer:
+    """Serialize and restore a pipelined run's full sketch/shard state.
+
+    Stateless — the two methods are the whole API.  The server's ``checkpoint``
+    command, the CLI, and the offline half of the service-equivalence harness all
+    go through this class, so every path that claims "same checkpoint semantics"
+    provably shares them.
+    """
+
+    def save(
+        self,
+        path: str,
+        state: SinkState,
+        config: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Write one checkpoint file atomically.
+
+        Args:
+            path: destination file; parent directories are created as needed.
+            state: a capture from
+                :meth:`repro.pipeline.PipelinedExecutor.sink_state`.
+            config: sketch/server parameters to carry in the manifest (stored
+                as-is; must be picklable).
+
+        Returns:
+            The manifest dict that was stored next to the state (``format``,
+            ``package_version``, ``kind``, ``items_processed``, ``config``).
+        """
+        from repro import __version__
+
+        manifest: Dict[str, object] = {
+            "format": CHECKPOINT_FORMAT,
+            "package_version": __version__,
+            "kind": state.kind,
+            "items_processed": state.items_processed,
+            "config": dict(config or {}),
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump({"manifest": manifest, "state": state}, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return manifest
+
+    def load(self, path: str) -> Tuple[SinkState, Dict[str, object]]:
+        """Read a checkpoint file back.
+
+        Returns:
+            ``(state, manifest)`` — the restorable :class:`SinkState` and the
+            manifest stored by :meth:`save`.
+
+        Raises:
+            CheckpointError: if the file is not a checkpoint, carries an unknown
+                format version, or its state is not a :class:`SinkState`.
+            FileNotFoundError: if ``path`` does not exist.
+        """
+        with open(path, "rb") as handle:
+            try:
+                payload = pickle.load(handle)
+            except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
+                raise CheckpointError(f"{path!r} is not a readable checkpoint: {exc}") from exc
+        if not isinstance(payload, dict) or "manifest" not in payload or "state" not in payload:
+            raise CheckpointError(f"{path!r} is not a checkpoint file")
+        manifest = payload["manifest"]
+        if manifest.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{path!r} has checkpoint format {manifest.get('format')!r}; "
+                f"this version reads format {CHECKPOINT_FORMAT}"
+            )
+        state = payload["state"]
+        if not isinstance(state, SinkState):
+            raise CheckpointError(
+                f"{path!r} holds a {type(state).__name__}, not a SinkState"
+            )
+        return state, manifest
+
+    def restore_pipeline(
+        self,
+        path: str,
+        chunk_size: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+    ) -> Tuple[PipelinedExecutor, Dict[str, object]]:
+        """Load a checkpoint and rebuild a resumable :class:`PipelinedExecutor`.
+
+        ``chunk_size``/``queue_depth`` default to the manifest's recorded values
+        (falling back to the pipeline defaults), so a plain restore keeps the
+        resumed chunk boundaries aligned with the original run.
+
+        Returns:
+            ``(executor, manifest)``; the executor's one permitted run covers the
+            remaining stream tail.
+        """
+        state, manifest = self.load(path)
+        config = manifest.get("config", {})
+        if chunk_size is None:
+            chunk_size = int(config.get("chunk_size", 1 << 16))
+        if queue_depth is None:
+            queue_depth = int(config.get("queue_depth", 4))
+        executor = PipelinedExecutor.from_sink_state(
+            state, chunk_size=chunk_size, queue_depth=queue_depth
+        )
+        return executor, manifest

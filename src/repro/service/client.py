@@ -1,0 +1,223 @@
+"""The client half of the heavy-hitter service: push batches, query, checkpoint.
+
+:class:`ServiceClient` speaks the frame protocol of :mod:`repro.service.protocol`
+over one blocking socket.  It is deliberately synchronous — every method sends one
+command frame and waits for its reply — because the *server* is where the
+concurrency lives (ingestion overlaps queries there); a pusher that wants overlap
+on its own side can simply run several clients.
+
+Connect strings:
+
+* ``"host:port"`` — TCP (``"127.0.0.1:7007"``);
+* ``"unix:/path/to.sock"`` — Unix domain socket.
+
+Quickstart::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1:7007") as client:
+        client.push([3, 1, 4, 1, 5, 9, 2, 6])   # as many times as you like
+        live = client.query()                    # mid-ingest snapshot
+        client.finish()                          # end of stream: merge + report
+        final = client.query()
+        print(final.report.reported_items())
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.core.results import HeavyHittersReport
+from repro.service.protocol import (
+    ProtocolError,
+    encode_items,
+    recv_frame,
+    report_from_payload,
+    send_frame,
+)
+
+
+class ServiceError(RuntimeError):
+    """The server answered a command with an error reply."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered query: the report, the prefix it covers, and its finality.
+
+    ``final`` is ``False`` for a mid-ingest snapshot (the report covers the
+    chunk-aligned prefix of ``items_processed`` items seen so far) and ``True``
+    once the server has merged the finished stream.  ``space_bits`` is the bit
+    footprint of the state that answered — the snapshot's merged copy
+    mid-ingest, the combined final accounting after ``finish``.
+    """
+
+    report: HeavyHittersReport
+    items_processed: int
+    final: bool
+    space_bits: int
+
+
+def parse_endpoint(endpoint: str) -> Union[Tuple[str, int], str]:
+    """Parse a connect string: ``host:port`` → tuple, ``unix:/path`` → path.
+
+    Raises:
+        ValueError: if the string is neither form.
+    """
+    if endpoint.startswith("unix:"):
+        path = endpoint[len("unix:"):]
+        if not path:
+            raise ValueError("unix: endpoint needs a socket path")
+        return path
+    host, separator, port_text = endpoint.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"endpoint {endpoint!r} is neither HOST:PORT nor unix:/path")
+    try:
+        port = int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"endpoint {endpoint!r} has a non-numeric port") from exc
+    return host, port
+
+
+class ServiceClient:
+    """A blocking client for one :class:`~repro.service.server.IngestServer`.
+
+    Args:
+        endpoint: a connect string (see :func:`parse_endpoint`) or an
+            ``(host, port)`` tuple.
+        timeout: socket timeout in seconds for connect and every reply; ``None``
+            blocks indefinitely (commands like ``finish`` can legitimately take
+            as long as the residual ingestion).
+
+    Raises:
+        ConnectionError: (from :meth:`connect` / the context manager) if the
+            server is not reachable.
+    """
+
+    def __init__(
+        self,
+        endpoint: Union[str, Tuple[str, int]],
+        timeout: Optional[float] = 120.0,
+    ) -> None:
+        self._target = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        self._timeout = timeout
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection ---------------------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the socket (idempotent); the context manager calls this."""
+        if self._sock is not None:
+            return self
+        if isinstance(self._target, str):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(self._timeout)
+        sock.connect(self._target)
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        """Close the socket; idempotent."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _round_trip(
+        self, header: Dict[str, object], payload: bytes = b"", eof_ok: bool = False
+    ) -> Dict[str, object]:
+        if self._sock is None:
+            self.connect()
+        send_frame(self._sock, header, payload)
+        frame = recv_frame(self._sock)
+        if frame is None:
+            if eof_ok:
+                return {"ok": True, "stopping": True}
+            raise ProtocolError("server closed the connection before replying")
+        reply, _ = frame
+        if not reply.get("ok", False):
+            raise ServiceError(str(reply.get("error", "unspecified server error")))
+        return reply
+
+    # -- commands -----------------------------------------------------------------------
+
+    def config(self) -> Dict[str, object]:
+        """The server's parameters and live counters."""
+        return self._round_trip({"cmd": "config"})
+
+    def push(self, items: Iterable[int]) -> int:
+        """Push one batch of item ids; returns the server's total received count.
+
+        Raises:
+            ServiceError: if the stream was already finished, or the batch
+                contains items outside the server's universe.
+        """
+        count, payload = encode_items(items)
+        reply = self._round_trip({"cmd": "push", "items": count}, payload)
+        return int(reply["items_received"])
+
+    def flush(self, timeout: float = 60.0) -> Dict[str, object]:
+        """Wait until every complete chunk pushed so far has been ingested.
+
+        Items past the last exact chunk boundary stay in the server's re-chunk
+        buffer (they ingest when more items or ``finish`` arrive); the reply's
+        ``flushed_to`` says how far the wait actually covered.
+        """
+        return self._round_trip({"cmd": "flush", "timeout": timeout})
+
+    def query(self, phi: Optional[float] = None) -> QueryResult:
+        """A Definition 1 heavy-hitter report — mid-ingest snapshot or final.
+
+        Args:
+            phi: report-time threshold override, only for sketches that take ϕ
+                at report time (Misra–Gries and friends).
+        """
+        request: Dict[str, object] = {"cmd": "query"}
+        if phi is not None:
+            request["phi"] = phi
+        reply = self._round_trip(request)
+        return QueryResult(
+            report=report_from_payload(reply["report"]),
+            items_processed=int(reply["items_processed"]),
+            final=bool(reply["final"]),
+            space_bits=int(reply["space_bits"]),
+        )
+
+    def stats(self) -> Dict[str, object]:
+        """Space accounting (bits, per-component breakdown) and progress counters."""
+        return self._round_trip({"cmd": "stats"})
+
+    def checkpoint(self, path: str) -> Dict[str, object]:
+        """Ask the server to write a checkpoint to a *server-side* path.
+
+        Returns the server's manifest summary (items_processed, chunks, kind).
+        """
+        return self._round_trip({"cmd": "checkpoint", "path": path})
+
+    def finish(self, timeout: float = 120.0) -> Dict[str, object]:
+        """Declare end of stream: residual batches ingest, shards merge, report fixes.
+
+        After this, :meth:`query` answers from the final result and further
+        pushes are rejected.
+        """
+        return self._round_trip({"cmd": "finish", "timeout": timeout})
+
+    def shutdown(self) -> None:
+        """Stop the server process-wide.  EOF instead of a reply counts as done."""
+        try:
+            self._round_trip({"cmd": "shutdown"}, eof_ok=True)
+        except (ConnectionError, OSError):
+            pass  # the teardown racing the reply is the expected shutdown path
+        finally:
+            self.close()

@@ -1,0 +1,191 @@
+"""The wire protocol of the heavy-hitter service: length-prefixed JSON + numpy frames.
+
+One frame is::
+
+    +----------------+---------------------+----------------------------+
+    | header length  | header (JSON bytes) | payload (raw bytes)        |
+    | 4 bytes, !I    | exactly that many   | header["payload_bytes"]    |
+    +----------------+---------------------+----------------------------+
+
+The header is a flat JSON object; its ``cmd`` key names the request (``config``,
+``push``, ``flush``, ``query``, ``stats``, ``checkpoint``, ``finish``,
+``shutdown``) and replies either echo data keys or carry an ``error`` string.  The
+only command with a payload is ``push``: ``header["items"]`` int64 item ids as raw
+little-endian bytes (``payload_bytes == 8 * items``), which both ends move with
+``ndarray.tobytes()`` / ``np.frombuffer`` — no per-item encoding on the hot path.
+
+The protocol is deliberately minimal and **trusts its network**: no authentication,
+no encryption, and the ``checkpoint`` command writes a server-side path.  Run it on
+localhost, a Unix socket, or an otherwise private network, as you would a plain
+memcached.  Frame sizes are capped (:data:`MAX_HEADER_BYTES`,
+:data:`MAX_PAYLOAD_BYTES`) so a malformed or hostile peer cannot make either end
+allocate unboundedly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.results import HeavyHittersReport
+
+#: Protocol version, exchanged in ``config`` replies; bump on incompatible changes.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a frame's JSON header (a header is a small command/reply object).
+MAX_HEADER_BYTES = 1 << 20
+
+#: Upper bound on a frame's payload (128 Mi items per push at 8 bytes each).
+MAX_PAYLOAD_BYTES = 1 << 30
+
+#: The dtype items travel as: little-endian int64, explicitly sized so both ends
+#: agree regardless of platform endianness.
+ITEM_DTYPE = np.dtype("<i8")
+
+
+class ProtocolError(ConnectionError):
+    """A malformed, truncated, or oversized frame (either direction)."""
+
+
+def _recv_exact(sock: socket.socket, num_bytes: int) -> Optional[bytes]:
+    """Read exactly ``num_bytes``; ``None`` on clean EOF at a frame boundary.
+
+    Raises:
+        ProtocolError: on EOF in the middle of a frame.
+    """
+    if num_bytes == 0:
+        return b""
+    pieces = []
+    remaining = num_bytes
+    while remaining:
+        piece = sock.recv(min(remaining, 1 << 20))
+        if not piece:
+            if remaining == num_bytes:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({num_bytes - remaining} of "
+                f"{num_bytes} bytes received)"
+            )
+        pieces.append(piece)
+        remaining -= len(piece)
+    return b"".join(pieces)
+
+
+def send_frame(sock: socket.socket, header: Dict[str, object], payload: bytes = b"") -> None:
+    """Send one frame: the header dict (plus its payload accounting) and the payload.
+
+    Args:
+        sock: a connected stream socket.
+        header: a JSON-serializable flat dict; ``payload_bytes`` is filled in here.
+        payload: raw bytes following the header (``push`` item buffers).
+
+    Raises:
+        ProtocolError: if the encoded header or the payload exceeds the caps.
+    """
+    body = dict(header)
+    body["payload_bytes"] = len(payload)
+    encoded = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    if len(encoded) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"frame header of {len(encoded)} bytes exceeds the cap")
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"frame payload of {len(payload)} bytes exceeds the cap")
+    # Two sendall calls instead of one concatenation: gluing the payload onto
+    # the header would memcpy the whole item buffer a second time on the push
+    # hot path (encode_items already paid the one unavoidable tobytes copy).
+    sock.sendall(struct.pack("!I", len(encoded)) + encoded)
+    if payload:
+        sock.sendall(payload)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, object], bytes]]:
+    """Receive one frame; ``None`` on clean EOF (peer closed between frames).
+
+    Returns:
+        ``(header, payload)`` — the decoded header dict and the raw payload bytes.
+
+    Raises:
+        ProtocolError: on truncation, oversized declarations, or undecodable JSON.
+    """
+    prefix = _recv_exact(sock, 4)
+    if prefix is None:
+        return None
+    (header_len,) = struct.unpack("!I", prefix)
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(f"declared header of {header_len} bytes exceeds the cap")
+    encoded = _recv_exact(sock, header_len)
+    if encoded is None:
+        raise ProtocolError("connection closed between frame prefix and header")
+    try:
+        header = json.loads(encoded.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(f"frame header must be a JSON object, got {type(header).__name__}")
+    payload_bytes = header.get("payload_bytes", 0)
+    if not isinstance(payload_bytes, int) or payload_bytes < 0:
+        raise ProtocolError(f"invalid payload_bytes {payload_bytes!r}")
+    if payload_bytes > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"declared payload of {payload_bytes} bytes exceeds the cap")
+    payload = _recv_exact(sock, payload_bytes)
+    if payload is None and payload_bytes:
+        raise ProtocolError("connection closed between frame header and payload")
+    return header, payload or b""
+
+
+# -- item batches -----------------------------------------------------------------------
+
+
+def encode_items(items) -> Tuple[int, bytes]:
+    """Encode a batch of item ids as a ``push`` payload.
+
+    Returns:
+        ``(count, payload)``; the matching header must carry ``{"items": count}``.
+    """
+    array = np.ascontiguousarray(np.asarray(items).reshape(-1), dtype=ITEM_DTYPE)
+    return int(array.size), array.tobytes()
+
+
+def decode_items(header: Dict[str, object], payload: bytes) -> np.ndarray:
+    """Decode a ``push`` payload back into an int64 item array.
+
+    The returned array is a zero-copy, read-only view of the payload bytes —
+    fine for every consumer in this package, which only reads item batches.
+
+    Raises:
+        ProtocolError: if the payload length disagrees with ``header["items"]``.
+    """
+    count = header.get("items")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError(f"push frame with invalid item count {count!r}")
+    if len(payload) != count * ITEM_DTYPE.itemsize:
+        raise ProtocolError(
+            f"push frame declares {count} items but carries {len(payload)} bytes"
+        )
+    return np.frombuffer(payload, dtype=ITEM_DTYPE)
+
+
+# -- report round-trip ------------------------------------------------------------------
+
+
+def report_to_payload(report: HeavyHittersReport) -> Dict[str, object]:
+    """Render a :class:`HeavyHittersReport` as a JSON-safe reply fragment."""
+    return {
+        "items": {str(item): estimate for item, estimate in report.items.items()},
+        "stream_length": report.stream_length,
+        "epsilon": report.epsilon,
+        "phi": report.phi,
+    }
+
+
+def report_from_payload(payload: Dict[str, object]) -> HeavyHittersReport:
+    """Invert :func:`report_to_payload` (JSON stringifies the item-id keys)."""
+    return HeavyHittersReport(
+        items={int(item): float(estimate) for item, estimate in payload["items"].items()},
+        stream_length=int(payload["stream_length"]),
+        epsilon=float(payload["epsilon"]),
+        phi=float(payload["phi"]),
+    )

@@ -1,0 +1,625 @@
+"""The long-running heavy-hitter server: network ingest, live queries, checkpoints.
+
+:class:`IngestServer` is the process boundary the scaling ladder (batching →
+sharding → async → **service**) crosses: item batches arrive from
+:class:`~repro.service.client.ServiceClient` peers over TCP or a Unix socket, flow
+through a bounded push queue into a :class:`~repro.pipeline.PipelinedExecutor`
+(single sketch or sharded fan-out — the server is sink-agnostic, exactly like the
+pipeline), and Definition 1 heavy-hitter queries are answered **mid-ingest** from
+chunk-aligned snapshots while ingestion continues.  A :class:`QueryHandler` owns
+the read-only commands; the server owns the ingestion lifecycle (push → flush →
+finish) and checkpointing via :class:`~repro.service.checkpoint.Checkpointer`.
+
+Equivalence contract
+--------------------
+
+The server re-chunks pushed batches to exact ``chunk_size`` boundaries
+(:class:`~repro.pipeline.producer.ArrayBatchSource`), so the sketches see the same
+chunk sequence an offline ``run_chunks`` replay of the concatenated pushes would
+see.  With identical seeds and chunk size, the final served report is therefore
+**bit-for-bit identical** to the offline replay — measured, not assumed, by
+:func:`repro.analysis.harness.run_service_comparison` and the service round-trip
+tests.  The guarantee is stated for a single pusher (or externally ordered
+pushes): concurrent pushers interleave batches nondeterministically, which keeps
+the (ε,ϕ) guarantee but not bit-for-bit replayability.
+
+Lifecycle
+---------
+
+``start()`` binds the socket and launches three kinds of thread: one acceptor, one
+ingestion loop (the pipeline's ``run`` over the push queue), and one handler per
+connection.  ``finish`` (the command) closes the push queue, waits for the
+end-of-stream merge, and leaves the final report serving; ``shutdown`` (the
+command) or :meth:`IngestServer.close` stops everything, joining every thread on
+every path.  A server whose ingestion failed (e.g. a sketch raised) keeps
+answering control commands with the failure message instead of hanging its
+clients.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.pipeline import ArrayBatchSource, PipelinedExecutor
+from repro.sharding.mergeable import merge_all
+from repro.service.checkpoint import Checkpointer
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_items,
+    recv_frame,
+    report_to_payload,
+    send_frame,
+)
+
+_FINISH = object()  # push-queue sentinel: no more batches will arrive
+
+#: How long ``flush``/``finish`` wait by default before giving up (seconds).
+DEFAULT_WAIT_TIMEOUT = 60.0
+
+
+class QueryHandler:
+    """Answers the read-only service commands: ``config``, ``query``, ``stats``.
+
+    Mid-ingest queries go through :meth:`PipelinedExecutor.snapshot` — a
+    chunk-aligned deep copy merged and reported on while ingestion continues — so
+    a served answer is exactly what a fresh run over the already-ingested prefix
+    would report (Definition 1 semantics on the prefix).  Once the server has
+    finished, the final run result answers instead, at zero copying cost.
+    """
+
+    def __init__(self, server: "IngestServer") -> None:
+        self._server = server
+
+    def config(self) -> Dict[str, object]:
+        """The server's parameters and live counters (the ``config`` reply)."""
+        server = self._server
+        reply: Dict[str, object] = {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "chunk_size": server.pipeline.chunk_size,
+            "queue_depth": server.pipeline.queue_depth,
+            "num_shards": server.pipeline.num_shards,
+            "items_received": server.items_received,
+            "items_processed": server.pipeline.items_processed,
+            "finished": server.finished,
+        }
+        reply.update(server.config)
+        return reply
+
+    def query(self, request: Mapping[str, object]) -> Dict[str, object]:
+        """A heavy-hitter report: mid-ingest snapshot or final result.
+
+        ``request["phi"]``, when present, is forwarded to the sketch's
+        ``report()`` — only meaningful for sketches that take the threshold at
+        report time (Misra–Gries and friends); the paper's algorithms fix ϕ at
+        construction and reject the override.
+        """
+        server = self._server
+        kwargs = dict(server.report_kwargs)
+        if "phi" in request:
+            kwargs["phi"] = float(request["phi"])  # type: ignore[arg-type]
+
+        def final_reply(result) -> Dict[str, object]:
+            if kwargs != dict(server.report_kwargs):
+                raise ValueError(
+                    "cannot re-report a finished run with different report "
+                    "arguments; query without overrides"
+                )
+            return {
+                "ok": True,
+                "final": True,
+                "items_processed": result.items_processed,
+                "space_bits": result.space_bits(),
+                "report": report_to_payload(result.report),
+            }
+
+        result = server.result
+        if result is not None:
+            return final_reply(result)
+        server.raise_if_failed()
+        try:
+            snapshot = server.pipeline.snapshot(report_kwargs=kwargs)
+        except RuntimeError:
+            # Lost the race with finalize: the final result is (about to be) set.
+            return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
+        return {
+            "ok": True,
+            "final": False,
+            "items_processed": snapshot.items_processed,
+            "space_bits": int(snapshot.sketch.space_bits()),
+            "report": report_to_payload(snapshot.report),
+        }
+
+    def stats(self) -> Dict[str, object]:
+        """Space accounting and progress counters (the ``stats`` reply).
+
+        Mid-ingest, the space numbers come from a merged copy of the sink state
+        (:meth:`~repro.pipeline.PipelinedExecutor.sink_state` + merge, no report
+        — a stats poll should not pay for heavy-hitter reporting it discards);
+        after ``finish`` they come from the final result's combined
+        :class:`~repro.primitives.space.SpaceMeter`.
+        """
+        server = self._server
+
+        def final_reply(result) -> Dict[str, object]:
+            return {
+                "ok": True,
+                "final": True,
+                "items_received": server.items_received,
+                "items_processed": result.items_processed,
+                "chunks": result.chunks,
+                "shard_sizes": result.shard_sizes,
+                "space_bits": result.space_bits(),
+                "space_breakdown": {k: int(v) for k, v in result.space.breakdown().items()},
+                "ingest_seconds": result.ingest_seconds,
+                "combine_seconds": result.combine_seconds,
+            }
+
+        result = server.result
+        if result is not None:
+            return final_reply(result)
+        server.raise_if_failed()
+        try:
+            state = server.pipeline.sink_state()
+        except RuntimeError:
+            # Same race as query(): finalize won; answer from the final result.
+            return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
+        sketch = merge_all(state.sketches)
+        return {
+            "ok": True,
+            "final": False,
+            "items_received": server.items_received,
+            "items_processed": state.items_processed,
+            "chunks": state.chunks,
+            "shard_sizes": list(state.shard_sizes),
+            "space_bits": int(sketch.space_bits()),
+            "space_breakdown": {k: int(v) for k, v in sketch.space_breakdown().items()},
+        }
+
+
+class IngestServer:
+    """Serve a heavy-hitter sketch over a socket: push batches, query live, checkpoint.
+
+    Args:
+        pipeline: a fresh (or checkpoint-restored) :class:`PipelinedExecutor`;
+            the server claims its one permitted run.
+        host / port: TCP endpoint (``port=0`` binds an ephemeral port, reread it
+            from :attr:`address` after :meth:`start`).  Ignored when
+            ``unix_socket`` is given.
+        unix_socket: filesystem path for an ``AF_UNIX`` endpoint instead of TCP.
+        universe_size: upper bound for eager validation of pushed items; invalid
+            batches are rejected at the socket instead of poisoning the
+            ingestion thread.  Inferred from the sink when omitted (the router's
+            universe, or the sketch's ``universe_size`` attribute).
+        config: parameter manifest echoed in ``config`` replies and stored in
+            checkpoints (ε, ϕ, algorithm name, seed, stream length, …).
+        report_kwargs: forwarded to every ``report()`` call — snapshot queries
+            and the final merge alike (e.g. ``{"phi": 0.05}`` for Misra–Gries).
+        push_queue_depth: bound on the queue of not-yet-ingested pushed batches;
+            a pusher outrunning ingestion blocks in its push round-trip once the
+            queue is full (backpressure over the socket), so server memory stays
+            at most this many batches plus the pipeline's chunk queue.
+
+    Raises:
+        ValueError: if ``pipeline`` was already run or finalized.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelinedExecutor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_socket: Optional[str] = None,
+        universe_size: Optional[int] = None,
+        config: Optional[Mapping[str, object]] = None,
+        report_kwargs: Optional[Mapping[str, object]] = None,
+        push_queue_depth: int = 64,
+    ) -> None:
+        if pipeline._started or pipeline._finished:
+            raise ValueError("IngestServer needs a fresh (or restored) PipelinedExecutor")
+        if push_queue_depth <= 0:
+            raise ValueError("push_queue_depth must be positive")
+        self.pipeline = pipeline
+        self.config: Dict[str, object] = dict(config or {})
+        self.report_kwargs: Dict[str, object] = dict(report_kwargs or {})
+        self._host, self._port = host, port
+        self._unix_socket = unix_socket
+        if universe_size is None:
+            if pipeline.executor is not None:
+                universe_size = pipeline.executor.router.universe_size
+            else:
+                universe_size = getattr(pipeline.sketch, "universe_size", None)
+        self.universe_size = universe_size
+
+        # Bounded: a client pushing faster than ingestion blocks in its push
+        # round-trip (see _enqueue) instead of growing server memory without
+        # limit.  Worst-case buffering is push_queue_depth batches of whatever
+        # size clients chose, plus the pipeline's queue_depth chunks.
+        self._push_queue: "queue.Queue" = queue.Queue(maxsize=push_queue_depth)
+        self._push_lock = threading.Lock()
+        self._items_received = pipeline.items_processed  # restored prefix counts
+        self._ingest_base = pipeline.items_processed  # where this run's re-chunking starts
+        self._finishing = False
+        self._stopping = threading.Event()
+        self._finished_event = threading.Event()
+        self._result = None
+        self._run_error: Optional[BaseException] = None
+        self._listen_sock: Optional[socket.socket] = None
+        self._unix_inode: Optional[Tuple[int, int]] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._run_thread: Optional[threading.Thread] = None
+        self._connections: set = set()
+        self._connections_lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self.query_handler = QueryHandler(self)
+        self.checkpointer = Checkpointer()
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def start(self) -> "IngestServer":
+        """Bind the endpoint and launch the acceptor and ingestion threads."""
+        if self._listen_sock is not None:
+            raise RuntimeError("this IngestServer has already been started")
+        if self._unix_socket is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            if os.path.exists(self._unix_socket):
+                os.unlink(self._unix_socket)
+            sock.bind(self._unix_socket)
+            # Remember which file *we* created: teardown may run long after a
+            # successor server re-bound the same path, and must only ever
+            # unlink its own socket file (see close()).
+            stat = os.stat(self._unix_socket)
+            self._unix_inode = (stat.st_dev, stat.st_ino)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self._host, self._port))
+            self._host, self._port = sock.getsockname()[:2]
+        sock.listen(16)
+        # Accept with a timeout: closing a listening socket from another thread
+        # does not reliably unblock a blocked accept() on Linux, so the acceptor
+        # polls the stop flag instead of trusting close() to wake it.
+        sock.settimeout(0.1)
+        self._listen_sock = sock
+        self._run_thread = threading.Thread(
+            target=self._run, name="repro-service-ingest", daemon=True
+        )
+        self._run_thread.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept, name="repro-service-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound TCP endpoint (host, port); meaningless for Unix sockets."""
+        return self._host, self._port
+
+    @property
+    def endpoint(self) -> str:
+        """The connect string clients use: ``host:port`` or ``unix:/path``."""
+        if self._unix_socket is not None:
+            return f"unix:{self._unix_socket}"
+        return f"{self._host}:{self._port}"
+
+    def serve_forever(self) -> None:
+        """Block until a ``shutdown`` command (or :meth:`close`) stops the server."""
+        self._stopping.wait()
+        self.close()
+
+    def close(self, join_timeout: float = 10.0) -> None:
+        """Stop serving and join every thread; idempotent, safe from any thread.
+
+        An unfinished ingestion run is finalized on whatever prefix arrived (the
+        merge result is discarded); established connections are closed, which
+        unblocks their handler threads.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stopping.set()
+        if self._listen_sock is not None:
+            try:
+                self._listen_sock.close()
+            except OSError:
+                pass
+        # Unlink the Unix-socket path only if it is still the file this server
+        # bound: a successor re-binding the same path during a delayed teardown
+        # must not have its live socket deleted out from under it.
+        if self._unix_socket is not None and self._unix_inode is not None:
+            try:
+                stat = os.stat(self._unix_socket)
+                if (stat.st_dev, stat.st_ino) == self._unix_inode:
+                    os.unlink(self._unix_socket)
+            except OSError:
+                pass
+        if self._run_thread is not None:
+            self._run_thread.join(timeout=join_timeout)
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None and threading.current_thread() is not self._accept_thread:
+            self._accept_thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "IngestServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    # -- ingestion loop -----------------------------------------------------------------
+
+    def _batch_source(self):
+        """Drain the push queue; ends on the finish sentinel or server stop."""
+        while True:
+            try:
+                batch = self._push_queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            if batch is _FINISH:
+                return
+            yield batch
+
+    def _run(self) -> None:
+        try:
+            self._result = self.pipeline.run(
+                ArrayBatchSource(self._batch_source()),
+                report_kwargs=self.report_kwargs,
+            )
+        except BaseException as exc:  # noqa: BLE001 - reported to clients
+            self._run_error = exc
+        finally:
+            self._finished_event.set()
+
+    # -- shared state accessors ---------------------------------------------------------
+
+    @property
+    def items_received(self) -> int:
+        """Total items accepted over the socket (plus any restored prefix)."""
+        with self._push_lock:
+            return self._items_received
+
+    @property
+    def finished(self) -> bool:
+        """Whether the end-of-stream merge has completed (or failed)."""
+        return self._finished_event.is_set()
+
+    @property
+    def result(self):
+        """The final :class:`~repro.pipeline.PipelinedRunResult`, or ``None``."""
+        return self._result
+
+    def raise_if_failed(self) -> None:
+        """Surface an ingestion-thread failure to the calling command handler."""
+        if self._run_error is not None:
+            raise RuntimeError(f"ingestion failed: {self._run_error!r}")
+
+    def wait_result(self, timeout: float = DEFAULT_WAIT_TIMEOUT):
+        """Wait for the final run result (used when a query races finalization)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self._result is not None:
+                return self._result
+            self.raise_if_failed()
+            if not self._finished_event.wait(timeout=0.05):
+                continue
+        if self._result is not None:
+            return self._result
+        self.raise_if_failed()
+        raise TimeoutError("timed out waiting for the final run result")
+
+    # -- command implementations --------------------------------------------------------
+
+    def _enqueue(self, batch) -> None:
+        """Put one batch (or the finish sentinel) with backpressure.
+
+        Blocks while the bounded push queue is full — that stalls the pushing
+        client's round-trip, which is the backpressure propagating to the socket
+        — but keeps checking for an ingestion failure or shutdown so a dead
+        consumer turns into an error reply instead of a hung handler thread.
+        """
+        while True:
+            try:
+                self._push_queue.put(batch, timeout=0.05)
+                return
+            except queue.Full:
+                self.raise_if_failed()
+                if self._stopping.is_set():
+                    raise RuntimeError("the server is shutting down")
+
+    def _handle_push(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        items = decode_items(dict(request), payload)
+        if self.universe_size is not None and items.size:
+            low, high = int(items.min()), int(items.max())
+            if low < 0 or high >= self.universe_size:
+                offending = low if low < 0 else high
+                raise ValueError(
+                    f"pushed batch contains item {offending} outside the universe "
+                    f"[0, {self.universe_size})"
+                )
+        with self._push_lock:
+            if self._finishing:
+                raise RuntimeError("the stream has been finished; no further pushes")
+            if self._stopping.is_set():
+                # Refuse rather than ack-and-drop: after shutdown begins the
+                # ingestion thread may already have drained and exited, so an
+                # enqueued batch would silently never ingest.
+                raise RuntimeError("the server is shutting down; push rejected")
+            self.raise_if_failed()
+            self._enqueue(items)
+            self._items_received += items.size
+            received = self._items_received
+        return {"ok": True, "items": int(items.size), "items_received": received}
+
+    def _flush_target(self) -> int:
+        """Items guaranteed ingestable right now: received, minus the re-chunk remainder.
+
+        Pushed items past the last exact ``chunk_size`` boundary sit in the
+        re-chunk buffer until more arrive (or ``finish`` flushes them), so a
+        flush can only wait for the complete-chunk prefix.  The re-chunker
+        counts from this run's starting point (``_ingest_base`` — nonzero for a
+        checkpoint-restored server, whose restored prefix need not be aligned to
+        the *current* chunk size), not from item zero.
+        """
+        received = self.items_received
+        return received - (received - self._ingest_base) % self.pipeline.chunk_size
+
+    def _handle_flush(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        timeout = float(request.get("timeout", DEFAULT_WAIT_TIMEOUT))
+        target = self._flush_target()
+        deadline = time.monotonic() + timeout
+        while self.pipeline.items_processed < target and not self._finished_event.is_set():
+            self.raise_if_failed()
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"flush timed out: {self.pipeline.items_processed} of {target} "
+                    "items ingested"
+                )
+            time.sleep(0.002)
+        self.raise_if_failed()
+        return {
+            "ok": True,
+            "items_received": self.items_received,
+            "items_processed": self.pipeline.items_processed,
+            "flushed_to": target,
+        }
+
+    def _handle_finish(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        timeout = float(request.get("timeout", DEFAULT_WAIT_TIMEOUT))
+        with self._push_lock:
+            if not self._finishing:
+                self._finishing = True
+                self._enqueue(_FINISH)
+        result = self.wait_result(timeout=timeout)
+        return {
+            "ok": True,
+            "items_processed": result.items_processed,
+            "chunks": result.chunks,
+            "seconds": result.seconds,
+            "ingest_seconds": result.ingest_seconds,
+            "combine_seconds": result.combine_seconds,
+            "space_bits": result.space_bits(),
+        }
+
+    def _handle_checkpoint(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        path = request.get("path")
+        if not isinstance(path, str) or not path:
+            raise ValueError("checkpoint requires a server-side 'path'")
+        state = self.pipeline.sink_state()  # raises after finish: nothing resumable
+        manifest = self.checkpointer.save(path, state, config=self._manifest_config())
+        return {
+            "ok": True,
+            "path": path,
+            "items_processed": state.items_processed,
+            "chunks": state.chunks,
+            "kind": state.kind,
+            "format": manifest["format"],
+        }
+
+    def _manifest_config(self) -> Dict[str, object]:
+        config = dict(self.config)
+        config.setdefault("chunk_size", self.pipeline.chunk_size)
+        config.setdefault("queue_depth", self.pipeline.queue_depth)
+        config.setdefault("num_shards", self.pipeline.num_shards)
+        if self.universe_size is not None:
+            config.setdefault("universe_size", self.universe_size)
+        if self.report_kwargs:
+            config.setdefault("report_kwargs", dict(self.report_kwargs))
+        return config
+
+    def _handle_shutdown(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        # The reply is sent by the dispatch loop; close() runs from a helper
+        # thread after a grace period so the reply usually beats the teardown
+        # (clients also tolerate EOF here — the teardown *is* the answer).
+        def _close_soon() -> None:
+            time.sleep(0.05)
+            self.close()
+
+        threading.Thread(target=_close_soon, name="repro-service-shutdown", daemon=True).start()
+        return {"ok": True, "stopping": True}
+
+    # -- connection plumbing ------------------------------------------------------------
+
+    def _accept(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._listen_sock.accept()
+            except socket.timeout:  # poll the stop flag (it subclasses OSError)
+                continue
+            except OSError:
+                return  # listening socket closed by close()
+            with self._connections_lock:
+                self._connections.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-service-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    frame = recv_frame(conn)
+                except (ProtocolError, OSError):
+                    return
+                if frame is None:
+                    return
+                request, payload = frame
+                reply = self._dispatch(request, payload)
+                try:
+                    send_frame(conn, reply)
+                except (ProtocolError, OSError):
+                    return
+        finally:
+            with self._connections_lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, request: Dict[str, object], payload: bytes) -> Dict[str, object]:
+        command = request.get("cmd")
+        try:
+            if command == "push":
+                return self._handle_push(request, payload)
+            if command == "flush":
+                return self._handle_flush(request, payload)
+            if command == "query":
+                return self.query_handler.query(request)
+            if command == "stats":
+                return self.query_handler.stats()
+            if command == "config":
+                return self.query_handler.config()
+            if command == "checkpoint":
+                return self._handle_checkpoint(request, payload)
+            if command == "finish":
+                return self._handle_finish(request, payload)
+            if command == "shutdown":
+                return self._handle_shutdown(request, payload)
+            raise ValueError(f"unknown command {command!r}")
+        except Exception as exc:  # noqa: BLE001 - every command error becomes a reply
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}

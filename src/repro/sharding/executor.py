@@ -137,6 +137,43 @@ class ShardedExecutor:
         self._started = False
         self._finished = False
 
+    @classmethod
+    def from_shards(cls, sketches: Sequence[StreamingAlgorithm], router: ShardRouter) -> "ShardedExecutor":
+        """Rebuild an executor around already-ingested shard sketches and their router.
+
+        The restore half of checkpointing (see
+        :meth:`repro.pipeline.PipelinedExecutor.from_sink_state`): the sketches and
+        router are adopted as-is — no factory call, no hash realignment, no fresh
+        randomness — so routing and per-shard state continue exactly where the
+        capture left off.  The executor comes back *started* (its sketches hold a
+        stream prefix), so :meth:`run`/:meth:`run_chunks` refuse; drive it with
+        :meth:`ingest_chunk` + :meth:`combine`, or through a pipelined executor.
+
+        Args:
+            sketches: the shard group, in shard order (index ``j`` receives what
+                ``router`` routes to shard ``j``).
+            router: the :class:`~repro.sharding.router.ShardRouter` the prefix was
+                routed with.
+
+        Raises:
+            ValueError: if ``sketches`` is empty or its length does not match the
+                router's shard count.
+        """
+        if not sketches:
+            raise ValueError("cannot restore an executor from an empty shard group")
+        if router.num_shards != len(sketches):
+            raise ValueError(
+                f"router routes to {router.num_shards} shards but "
+                f"{len(sketches)} sketches were given"
+            )
+        restored = cls.__new__(cls)
+        restored.num_shards = len(sketches)
+        restored.router = router
+        restored.sketches = list(sketches)
+        restored._started = True
+        restored._finished = False
+        return restored
+
     # -- drivers ------------------------------------------------------------------------
 
     def run(

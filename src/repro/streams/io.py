@@ -4,13 +4,23 @@ The benchmark workloads are synthetic, but a downstream user of the library will
 run the algorithms over their own traces (a packet log, a query log, a file of ballots).
 These helpers define two minimal, dependency-free on-disk formats:
 
-* **item streams** — one integer item id per line, with optional ``# key: value`` header
-  comments carrying the universe size and metadata;
+* **item streams** — one integer item id per line, preceded by header comment lines:
+  ``# universe_size: <int>`` and ``# name: <text>`` (always written), plus one
+  ``# meta <key>: <repr(value)>`` line per :attr:`Stream.metadata` entry (values are
+  Python reprs, parsed back with :func:`ast.literal_eval`);
 * **elections** — one vote per line, the candidate ids in preference order separated by
   spaces, with an optional ``# candidates: n`` header.
 
 Both formats round-trip exactly through :func:`save_stream`/:func:`load_stream` and
-:func:`save_election`/:func:`load_election`.
+:func:`save_election`/:func:`load_election` (for metadata: exactly for values whose
+repr is a literal — numbers, strings, bools, ``None``, tuples/lists/dicts of those —
+and degrading to the repr string otherwise).  Unknown ``#`` comment lines are
+ignored on read, so the files tolerate hand-added annotations.
+
+Three readers serve the three consumption patterns: :func:`load_stream` materializes
+a :class:`~repro.streams.stream.Stream`; :func:`iterate_stream_file` yields items
+one at a time with O(1) memory; :func:`iterate_stream_file_chunks` yields numpy
+batches for the ``insert_many``/sharded/pipelined fast paths.
 """
 
 from __future__ import annotations
@@ -35,6 +45,15 @@ def save_stream(stream: Stream, path: str) -> None:
     newlines and each value's ``repr`` must be a single line (a multiline repr
     would corrupt the line-oriented format).  Both are validated *before* the file
     is opened, so a bad entry never truncates an existing file at ``path``.
+
+    Args:
+        stream: the :class:`~repro.streams.stream.Stream` to persist (items,
+            universe size, name, and metadata all travel).
+        path: destination file; parent directories are created as needed.
+
+    Raises:
+        ValueError: if a metadata key contains ``:`` or a newline, or a metadata
+            value's repr spans multiple lines.
     """
     meta_lines: List[str] = []
     for key, value in stream.metadata.items():
@@ -76,10 +95,25 @@ def _parse_meta_value(text: str) -> object:
 def load_stream(path: str, universe_size: Optional[int] = None) -> Stream:
     """Read a stream written by :func:`save_stream` (or any file of one item per line).
 
-    ``universe_size`` overrides the file header when given; it must be positive, and
-    the loaded items are validated against the resolved universe here — a too-small
-    caller-supplied (or corrupted-header) universe fails at load time with the file
-    named, not later inside the ingestion path's ``validate_universe``.
+    Inverts the whole header: ``# universe_size`` and ``# name`` restore the
+    stream's attributes, and every ``# meta key: value`` line is parsed back into
+    :attr:`Stream.metadata` via :func:`ast.literal_eval` (non-literal reprs
+    degrade to the repr string; see :func:`save_stream` for what round-trips
+    exactly).  Blank lines and other ``#`` comments are ignored.
+
+    Args:
+        path: the stream file to read.
+        universe_size: overrides the file header when given; it must be positive.
+            Without it, the header value applies, falling back to ``max item + 1``.
+
+    Returns:
+        The materialized :class:`~repro.streams.stream.Stream`.
+
+    Raises:
+        ValueError: if ``universe_size`` is given but not positive, or any loaded
+            item falls outside the resolved universe — a too-small caller-supplied
+            (or corrupted-header) universe fails here, with the file named, not
+            later inside the ingestion path's ``validate_universe``.
     """
     if universe_size is not None and universe_size <= 0:
         raise ValueError(f"universe_size must be positive, got {universe_size}")
@@ -173,6 +207,15 @@ def iterate_stream_file_chunks(path: str, chunk_size: int = 1 << 16) -> Iterator
     while still ingesting through the batched fast path.  The concatenation of the
     yielded chunks is exactly the item sequence of the file — same comment/blank-line
     handling as the one-at-a-time iterator.
+
+    Args:
+        path: the stream file to replay.
+        chunk_size: items per yielded chunk (every chunk except possibly the last
+            has exactly this many); must be positive.
+
+    Raises:
+        ValueError: if ``chunk_size`` is not positive, or a non-comment line is not
+            an integer.
     """
     yield from iter_chunks(iterate_stream_file(path), chunk_size)
 
@@ -186,6 +229,10 @@ def stream_file_metadata(path: str) -> Dict[str, int]:
     size its sketches before replaying the file out of core: unlike
     :func:`stream_file_statistics` (which retains a distinct-item set), nothing is
     accumulated here, so the pass stays bounded-memory on high-cardinality traces.
+
+    Returns:
+        A dict with ``length`` (item count), ``max_item`` (−1 for an empty file),
+        and ``universe_size`` (header value, else ``max_item + 1``, else 1).
     """
     header_universe: Optional[int] = None
     length = 0

@@ -1,0 +1,494 @@
+"""Tests for the service layer (repro.service): protocol, server, client, checkpoints."""
+
+import os
+import pickle
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.baselines.misra_gries import MisraGries
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.results import HeavyHittersReport
+from repro.pipeline import ArrayBatchSource, ChunkProducer, PipelinedExecutor, SinkState
+from repro.primitives.batching import rechunk_arrays
+from repro.primitives.rng import RandomSource
+from repro.service import (
+    CheckpointError,
+    Checkpointer,
+    IngestServer,
+    ServiceClient,
+    ServiceError,
+    parse_endpoint,
+)
+from repro.service.protocol import (
+    ProtocolError,
+    decode_items,
+    encode_items,
+    recv_frame,
+    report_from_payload,
+    report_to_payload,
+    send_frame,
+)
+from repro.sharding import ShardedExecutor, ShardRouter
+
+UNIVERSE = 500
+LENGTH = 20_000
+
+
+def make_sketch(seed=1):
+    return SimpleListHeavyHitters(
+        epsilon=0.02, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(seed),
+    )
+
+
+def make_stream(seed=3):
+    rng = RandomSource(seed).numpy_generator()
+    heavy = np.full(LENGTH // 2, 7, dtype=np.int64)
+    rest = rng.integers(0, UNIVERSE, size=LENGTH - len(heavy))
+    items = np.concatenate([heavy, rest])
+    rng.shuffle(items)
+    return items.astype(np.int64)
+
+
+@pytest.fixture
+def server():
+    instance = IngestServer(
+        PipelinedExecutor(sketch=make_sketch(), chunk_size=1024),
+        port=0,
+        universe_size=UNIVERSE,
+    ).start()
+    yield instance
+    instance.close()
+
+
+class TestProtocol:
+    def test_frame_round_trip_over_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"cmd": "stats", "x": 3}, b"abc")
+            header, payload = recv_frame(right)
+            assert header["cmd"] == "stats" and header["x"] == 3
+            assert header["payload_bytes"] == 3 and payload == b"abc"
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_returns_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_mid_frame_eof_raises(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00\x00\x10partial")
+            left.close()
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_oversized_header_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_items_round_trip(self):
+        count, payload = encode_items([5, 0, 499])
+        assert count == 3
+        decoded = decode_items({"items": count}, payload)
+        assert decoded.tolist() == [5, 0, 499]
+
+    def test_items_length_mismatch_rejected(self):
+        _, payload = encode_items([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            decode_items({"items": 2}, payload)
+
+    def test_report_payload_round_trip(self):
+        report = HeavyHittersReport(items={7: 300.0, 2: 120.5}, stream_length=1000,
+                                    epsilon=0.01, phi=0.1)
+        back = report_from_payload(report_to_payload(report))
+        assert dict(back.items) == dict(report.items)
+        assert (back.stream_length, back.epsilon, back.phi) == (1000, 0.01, 0.1)
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("127.0.0.1:7007") == ("127.0.0.1", 7007)
+        assert parse_endpoint("unix:/tmp/x.sock") == "/tmp/x.sock"
+        with pytest.raises(ValueError):
+            parse_endpoint("no-port")
+        with pytest.raises(ValueError):
+            parse_endpoint("host:notaport")
+        with pytest.raises(ValueError):
+            parse_endpoint("unix:")
+
+
+class TestRechunking:
+    def test_rechunk_exact_boundaries(self):
+        batches = [np.arange(5), np.arange(5, 6), np.array([], dtype=np.int64), np.arange(6, 13)]
+        chunks = list(rechunk_arrays(batches, 4))
+        assert [c.tolist() for c in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12]]
+
+    def test_rechunk_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(rechunk_arrays([np.arange(3)], 0))
+
+    def test_array_batch_source_through_producer(self):
+        batches = [np.arange(i, i + 7) for i in range(0, 70, 7)]
+        producer = ChunkProducer(ArrayBatchSource(iter(batches)), chunk_size=16)
+        chunks = list(producer)
+        assert np.concatenate(chunks).tolist() == list(range(70))
+        assert all(len(c) == 16 for c in chunks[:-1])
+
+
+class TestPipelineCheckpointSeam:
+    """The pipeline-layer half of checkpointing: sink_state / from_sink_state."""
+
+    def test_manual_drive_matches_run(self):
+        items = make_stream()
+        via_run = PipelinedExecutor(sketch=make_sketch(11), chunk_size=2048)
+        run_result = via_run.run(items)
+        manual = PipelinedExecutor(sketch=make_sketch(11), chunk_size=2048)
+        from repro.primitives.batching import iter_chunks
+
+        for chunk in iter_chunks(items, 2048):
+            manual.ingest_chunk(chunk)
+        manual_result = manual.finalize()
+        assert dict(manual_result.report.items) == dict(run_result.report.items)
+        assert manual_result.items_processed == run_result.items_processed
+        assert manual_result.chunks == run_result.chunks
+
+    def test_run_refuses_after_manual_drive(self):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=64)
+        executor.ingest_chunk(np.arange(10))
+        with pytest.raises(RuntimeError):
+            executor.run(np.arange(10))
+
+    def test_ingest_and_sink_state_refused_after_finalize(self):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=64)
+        executor.ingest_chunk(np.arange(10))
+        executor.finalize()
+        with pytest.raises(RuntimeError):
+            executor.ingest_chunk(np.arange(10))
+        with pytest.raises(RuntimeError):
+            executor.finalize()
+        with pytest.raises(RuntimeError):
+            executor.sink_state()
+
+    def test_sink_state_is_a_pure_read_and_resumes(self):
+        items = make_stream()
+        half = 10 * 1024
+        executor = PipelinedExecutor(sketch=MisraGries(0.02, UNIVERSE), chunk_size=1024)
+        from repro.primitives.batching import iter_chunks
+
+        for chunk in iter_chunks(items[:half], 1024):
+            executor.ingest_chunk(chunk)
+        state = executor.sink_state()
+        assert state.kind == "single" and state.items_processed == half
+        # the original continues unperturbed
+        for chunk in iter_chunks(items[half:], 1024):
+            executor.ingest_chunk(chunk)
+        original = executor.finalize(report_kwargs={"phi": 0.1})
+        # the resumed copy sees the same tail and must agree (deterministic sketch)
+        resumed = PipelinedExecutor.from_sink_state(state, chunk_size=1024)
+        for chunk in iter_chunks(items[half:], 1024):
+            resumed.ingest_chunk(chunk)
+        resumed_result = resumed.finalize(report_kwargs={"phi": 0.1})
+        assert dict(resumed_result.report.items) == dict(original.report.items)
+        assert resumed_result.items_processed == original.items_processed
+
+    def test_from_sink_state_rejects_unknown_kind(self):
+        state = SinkState(kind="mystery", sketches=[make_sketch()], router=None,
+                          items_processed=0, shard_sizes=[0], chunks=0)
+        with pytest.raises(ValueError):
+            PipelinedExecutor.from_sink_state(state)
+
+    def test_from_shards_validates(self):
+        router = ShardRouter(2, UNIVERSE, rng=RandomSource(5))
+        with pytest.raises(ValueError):
+            ShardedExecutor.from_shards([], router)
+        with pytest.raises(ValueError):
+            ShardedExecutor.from_shards([make_sketch()], router)
+        restored = ShardedExecutor.from_shards([make_sketch(1), make_sketch(2)], router)
+        with pytest.raises(RuntimeError):
+            restored.run_chunks([np.arange(4)])
+        restored.ingest_chunk(np.arange(4))  # the supported resume path
+
+
+class TestCheckpointer:
+    def test_save_load_round_trip(self, tmp_path):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=256)
+        executor.ingest_chunk(np.arange(256))
+        path = os.path.join(tmp_path, "nested", "dir", "state.ckpt")
+        manifest = Checkpointer().save(path, executor.sink_state(), config={"epsilon": 0.02})
+        assert manifest["items_processed"] == 256
+        state, loaded_manifest = Checkpointer().load(path)
+        assert isinstance(state, SinkState)
+        assert loaded_manifest["config"]["epsilon"] == 0.02
+
+    def test_load_rejects_non_checkpoint_pickle(self, tmp_path):
+        path = os.path.join(tmp_path, "junk.ckpt")
+        with open(path, "wb") as handle:
+            pickle.dump({"not": "a checkpoint"}, handle)
+        with pytest.raises(CheckpointError):
+            Checkpointer().load(path)
+
+    def test_load_rejects_garbage_bytes(self, tmp_path):
+        path = os.path.join(tmp_path, "garbage.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a pickle")
+        with pytest.raises(CheckpointError):
+            Checkpointer().load(path)
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=256)
+        path = os.path.join(tmp_path, "future.ckpt")
+        Checkpointer().save(path, executor.sink_state())
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["manifest"]["format"] = 999
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+        with pytest.raises(CheckpointError):
+            Checkpointer().load(path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Checkpointer().load(os.path.join(tmp_path, "absent.ckpt"))
+
+
+class TestIngestServer:
+    def test_config_and_counters(self, server):
+        with ServiceClient(server.endpoint) as client:
+            config = client.config()
+            assert config["protocol"] == 1
+            assert config["chunk_size"] == 1024
+            assert config["items_received"] == 0
+            client.push([1, 2, 3])
+            assert client.config()["items_received"] == 3
+
+    def test_push_outside_universe_rejected_without_poisoning(self, server):
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ServiceError, match="outside the universe"):
+                client.push([UNIVERSE + 5])
+            with pytest.raises(ServiceError, match="outside the universe"):
+                client.push([-1])
+            # the server is still healthy
+            client.push([1, 2, 3])
+            client.finish()
+            assert client.query().items_processed == 3
+
+    def test_push_backpressure_with_tiny_queue(self):
+        """A depth-1 push queue must stall pushes, not drop or error them."""
+        instance = IngestServer(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=256),
+            port=0, universe_size=UNIVERSE, push_queue_depth=1,
+        ).start()
+        try:
+            with ServiceClient(instance.endpoint) as client:
+                for _ in range(20):
+                    client.push(np.zeros(512, dtype=np.int64))
+                client.finish()
+                assert client.query().items_processed == 20 * 512
+        finally:
+            instance.close()
+
+    def test_push_queue_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IngestServer(PipelinedExecutor(sketch=make_sketch()), port=0,
+                         push_queue_depth=0)
+
+    def test_flush_on_restored_server_with_different_chunk_size(self, tmp_path):
+        """The flush target counts from the restored prefix, not from item zero."""
+        first = PipelinedExecutor(sketch=MisraGries(0.02, UNIVERSE), chunk_size=1024)
+        first.ingest_chunk(np.zeros(1024, dtype=np.int64))
+        ckpt = os.path.join(tmp_path, "prefix.ckpt")
+        Checkpointer().save(ckpt, first.sink_state())
+        # restore with a chunk size the 1024-item prefix is NOT a multiple of
+        restored, _ = Checkpointer().restore_pipeline(ckpt, chunk_size=1000)
+        instance = IngestServer(restored, port=0, universe_size=UNIVERSE).start()
+        try:
+            with ServiceClient(instance.endpoint) as client:
+                client.push(np.zeros(2500, dtype=np.int64))
+                reply = client.flush(timeout=10.0)
+                assert reply["flushed_to"] == 1024 + 2000
+                assert reply["items_processed"] >= 1024 + 2000
+                client.finish()
+                assert client.query().items_processed == 1024 + 2500
+        finally:
+            instance.close()
+
+    def test_query_reports_space_bits(self, server):
+        with ServiceClient(server.endpoint) as client:
+            client.push(np.zeros(2048, dtype=np.int64))
+            client.flush()
+            assert client.query().space_bits > 0
+            client.finish()
+            assert client.query().space_bits > 0
+
+    def test_flush_covers_complete_chunks_only(self, server):
+        with ServiceClient(server.endpoint) as client:
+            client.push(np.zeros(1024 + 100, dtype=np.int64))
+            reply = client.flush()
+            assert reply["flushed_to"] == 1024
+            assert reply["items_processed"] >= 1024
+
+    def test_query_mid_ingest_then_final(self, server):
+        items = make_stream()
+        with ServiceClient(server.endpoint) as client:
+            client.push(items[:4096])
+            client.flush()
+            live = client.query()
+            assert live.final is False
+            assert live.items_processed == 4096
+            assert live.report.stream_length == 4096
+            client.push(items[4096:])
+            client.finish()
+            final = client.query()
+            assert final.final is True
+            assert final.items_processed == len(items)
+            assert 7 in final.report
+
+    def test_stats_mid_ingest_and_final(self, server):
+        with ServiceClient(server.endpoint) as client:
+            client.push(np.zeros(2048, dtype=np.int64))
+            client.flush()
+            stats = client.stats()
+            assert stats["final"] is False
+            assert stats["space_bits"] > 0
+            assert stats["items_processed"] == 2048
+            client.finish()
+            stats = client.stats()
+            assert stats["final"] is True
+            assert stats["space_bits"] > 0
+            assert "space_breakdown" in stats
+
+    def test_push_after_finish_rejected(self, server):
+        with ServiceClient(server.endpoint) as client:
+            client.push([1, 2])
+            client.finish()
+            with pytest.raises(ServiceError, match="finished"):
+                client.push([3])
+
+    def test_finish_is_idempotent(self, server):
+        with ServiceClient(server.endpoint) as client:
+            client.push([1, 2, 3])
+            first = client.finish()
+            second = client.finish()
+            assert first["items_processed"] == second["items_processed"] == 3
+
+    def test_unknown_command_is_an_error_reply(self, server):
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ServiceError, match="unknown command"):
+                client._round_trip({"cmd": "frobnicate"})
+
+    def test_query_empty_prefix(self, server):
+        with ServiceClient(server.endpoint) as client:
+            live = client.query()
+            assert live.items_processed == 0
+            assert len(live.report) == 0
+
+    def test_checkpoint_requires_path(self, server):
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ServiceError, match="path"):
+                client._round_trip({"cmd": "checkpoint"})
+
+    def test_checkpoint_after_finish_is_an_error(self, server, tmp_path):
+        with ServiceClient(server.endpoint) as client:
+            client.push([1, 2, 3])
+            client.finish()
+            with pytest.raises(ServiceError):
+                client.checkpoint(os.path.join(tmp_path, "late.ckpt"))
+
+    def test_two_concurrent_clients(self, server):
+        items = make_stream()
+        with ServiceClient(server.endpoint) as pusher, ServiceClient(server.endpoint) as reader:
+            pusher.push(items[:2048])
+            pusher.flush()
+            assert reader.query().items_processed == 2048
+            assert reader.config()["items_received"] == 2048
+
+    def test_shutdown_stops_serve_forever(self):
+        server = IngestServer(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=1024),
+            port=0, universe_size=UNIVERSE,
+        ).start()
+        waiter = threading.Thread(target=server.serve_forever, daemon=True)
+        waiter.start()
+        with ServiceClient(server.endpoint) as client:
+            client.push([1, 2, 3])
+            client.shutdown()
+        waiter.join(timeout=10.0)
+        assert not waiter.is_alive()
+
+    def test_unix_socket_endpoint(self, tmp_path):
+        path = os.path.join(tmp_path, "svc.sock")
+        server = IngestServer(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=1024),
+            unix_socket=path, universe_size=UNIVERSE,
+        ).start()
+        try:
+            assert server.endpoint == f"unix:{path}"
+            with ServiceClient(server.endpoint) as client:
+                client.push([4, 5, 6])
+                client.finish()
+                assert client.query().items_processed == 3
+        finally:
+            server.close()
+        assert not os.path.exists(path)
+
+    def test_unix_socket_successor_survives_predecessor_teardown(self, tmp_path):
+        """A late close() of an old server must not unlink a successor's socket."""
+        path = os.path.join(tmp_path, "hh.sock")
+
+        def make_server():
+            return IngestServer(
+                PipelinedExecutor(sketch=make_sketch(), chunk_size=64),
+                unix_socket=path, universe_size=UNIVERSE,
+            ).start()
+
+        first = make_server()
+        with ServiceClient(first.endpoint) as client:
+            client.push([1, 2, 3])
+            client.shutdown()   # deferred teardown races the successor's bind
+        second = make_server()
+        first.close()           # late explicit close: must leave second's file alone
+        with ServiceClient(second.endpoint) as client:
+            client.push([4, 5, 6])
+            client.finish()
+            assert client.query().items_processed == 3
+        second.close()
+        assert not os.path.exists(path)
+
+    def test_requires_fresh_pipeline(self):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=64)
+        executor.run(np.arange(10))
+        with pytest.raises(ValueError):
+            IngestServer(executor, port=0)
+
+    def test_sketch_failure_surfaces_as_error_reply(self):
+        # No universe hint: validation happens inside the sketch, on the
+        # ingestion thread; the failure must surface in replies, not hang.
+        server = IngestServer(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=8),
+            port=0, universe_size=None,
+        )
+        server.universe_size = None
+        server.start()
+        try:
+            with ServiceClient(server.endpoint) as client:
+                client.push(np.full(64, UNIVERSE + 7, dtype=np.int64))
+                with pytest.raises(ServiceError, match="ingestion failed"):
+                    client.flush()
+        finally:
+            server.close()
