@@ -22,12 +22,17 @@ identical seeds, recording the ingest/combine time split and verifying the two
 reports are bit-for-bit identical.  Written to ``BENCH_async.json``.
 
 ``--mode service`` measures the network service layer (:mod:`repro.service`): the
-trace is saved to disk, then per shard count replayed three ways with identical
+trace is saved to disk, then per shard count replayed four ways with identical
 seeds — offline ``run_chunks``, pushed to a real :class:`~repro.service.IngestServer`
-over a loopback socket (``finish`` + ``query``), and served with a mid-stream
-``checkpoint`` → server restart → resumed push — recording socket push throughput
-and the two bit-for-bit equalities (``identical_report`` for served-vs-offline and
-resumed-vs-offline-round-trip).  Written to ``BENCH_service.json``.
+over a loopback socket one round-trip per batch (``finish`` + ``query``), pushed
+through the credit-windowed ``push_stream`` pipeline (plus a mid-ingest
+query-latency series against the snapshot cache), and served with a mid-stream
+``checkpoint`` → server restart → resumed push — recording both push throughputs
+and the three bit-for-bit equalities (``identical_report`` for served-, pipelined-,
+and resumed-vs-offline).  Written to ``BENCH_service.json``.
+
+Every mode runs ``--warmup`` discarded passes plus ``--repeats`` recorded passes
+and stores median/min/max, so the recorded numbers are not single-shot noise.
 
 Run directly (the full 10^6-item stream takes a few minutes, dominated by the per-item
 reference path)::
@@ -44,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 
@@ -97,18 +103,44 @@ def sketch_factories(universe: int, stream_length: int):
     }
 
 
-def measure(algorithm, stream, batch_size=None) -> dict:
-    start = time.perf_counter()
-    algorithm.consume(stream, batch_size=batch_size)
-    elapsed = time.perf_counter() - start
+def spread(values) -> dict:
+    """Median/min/max of a repeat series — the shape every ``BENCH_*.json`` records."""
     return {
-        "total_seconds": elapsed,
-        "items_per_second": len(stream) / elapsed if elapsed > 0 else float("inf"),
-        "space_bits": int(algorithm.space_bits()),
+        "median": statistics.median(values),
+        "min": min(values),
+        "max": max(values),
     }
 
 
-def run(length: int, batch_size: int, output: str) -> dict:
+def measure(build, stream, batch_size=None, warmup=1, repeats=3) -> dict:
+    """Warmed, repeated timing of one ingestion path; a fresh sketch per run.
+
+    Warmup runs are discarded (they pay import/JIT/allocator effects); the
+    recorded numbers are the median across ``repeats`` timed runs, with the
+    min/max spread alongside so single-shot noise is visible for what it is.
+    """
+    elapsed: list = []
+    algorithm = None
+    for index in range(warmup + repeats):
+        algorithm = build(1)
+        start = time.perf_counter()
+        algorithm.consume(stream, batch_size=batch_size)
+        seconds = time.perf_counter() - start
+        if index >= warmup:
+            elapsed.append(seconds)
+    rates = [len(stream) / s if s > 0 else float("inf") for s in elapsed]
+    return {
+        "total_seconds": statistics.median(elapsed),
+        "items_per_second": statistics.median(rates),
+        "space_bits": int(algorithm.space_bits()),
+        "repeats": repeats,
+        "warmup": warmup,
+        "total_seconds_stats": spread(elapsed),
+        "items_per_second_stats": spread(rates),
+    }
+
+
+def run(length: int, batch_size: int, output: str, warmup: int = 1, repeats: int = 3) -> dict:
     stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
     results = {
         "experiment": "throughput",
@@ -118,12 +150,13 @@ def run(length: int, batch_size: int, output: str) -> dict:
         },
         "parameters": {
             "epsilon": EPSILON, "phi": PHI, "delta": DELTA, "batch_size": batch_size,
+            "warmup": warmup, "repeats": repeats,
         },
         "sketches": {},
     }
     for label, build in sketch_factories(UNIVERSE, length).items():
-        per_item = measure(build(1), stream)
-        batched = measure(build(1), stream, batch_size=batch_size)
+        per_item = measure(build, stream, warmup=warmup, repeats=repeats)
+        batched = measure(build, stream, batch_size=batch_size, warmup=warmup, repeats=repeats)
         speedup = batched["items_per_second"] / per_item["items_per_second"]
         results["sketches"][label] = {
             "per_item": per_item,
@@ -182,13 +215,27 @@ def _row_payload(row, length: int) -> dict:
     return payload
 
 
-def run_sharded(length: int, batch_size: int, output: str) -> dict:
+def _merge_timing(payloads: list) -> dict:
+    """One payload out of a repeat series: last run's values + median/min/max stats."""
+    merged = dict(payloads[-1])
+    merged["timing_stats"] = {
+        "repeats": len(payloads),
+        "total_seconds": spread([p["total_seconds"] for p in payloads]),
+        "items_per_second": spread([p["items_per_second"] for p in payloads]),
+    }
+    return merged
+
+
+def run_sharded(length: int, batch_size: int, output: str,
+                warmup: int = 1, repeats: int = 3) -> dict:
     """Experiment SHARDING: serial vs parallel sharded drivers + merged accuracy.
 
     Delegates the actual sharded-vs-single comparison to
     ``repro.analysis.harness.run_sharded_comparison`` (the combine-phase accuracy
     experiment the ROADMAP cites), once per driver, so the benchmark and the harness
-    can never measure different things.
+    can never measure different things.  The whole comparison runs ``warmup``
+    discarded times plus ``repeats`` recorded times (identical seeds every pass, so
+    only the timing varies); each payload carries median/min/max ``timing_stats``.
     """
     from repro.analysis.harness import run_sharded_comparison, run_single_reference  # noqa: E402
     from repro.streams.truth import exact_frequencies  # noqa: E402
@@ -205,35 +252,50 @@ def run_sharded(length: int, batch_size: int, output: str) -> dict:
         "parameters": {
             "epsilon": EPSILON, "phi": PHI, "batch_size": batch_size,
             "sketch": "optimal (Thm 2)", "shard_counts": list(SHARD_COUNTS),
+            "warmup": warmup, "repeats": repeats,
         },
         "cpu_count": os.cpu_count(),
         "single": None,
         "sharded": {str(shards): {} for shards in SHARD_COUNTS},
     }
-    # One reference run, shared by both drivers' comparisons.
-    single_row, single_report = run_single_reference(
-        factory, stream, PHI, batch_size=batch_size, true_frequencies=truth
-    )
-    results["single"] = _row_payload(single_row, length)
-    # Parallel first: the fork-based driver pays copy-on-write for every object on
-    # the parent heap.  The reference run above is unavoidable pre-fork heap (the
-    # comparison needs its report), but ordering parallel before the serial sharded
-    # runs at least keeps k more consumed sketches off the heap when forking.
-    for parallel in (True, False):
-        rows = run_sharded_comparison(
-            factory=factory,
-            stream=stream,
-            phi=PHI,
-            shard_counts=SHARD_COUNTS,
-            batch_size=batch_size,
-            parallel=parallel,
-            rng=RandomSource(SEED + (2 if parallel else 3)),
-            reference_report=single_report,
-            true_frequencies=truth,
+    single_payloads: list = []
+    sharded_payloads: dict = {
+        str(shards): {"serial": [], "parallel": []} for shards in SHARD_COUNTS
+    }
+    for index in range(warmup + max(1, repeats)):
+        record = index >= warmup
+        # One reference run, shared by both drivers' comparisons.
+        single_row, single_report = run_single_reference(
+            factory, stream, PHI, batch_size=batch_size, true_frequencies=truth
         )
-        driver = "parallel" if parallel else "serial"
-        for shards, row in zip(SHARD_COUNTS, rows):
-            results["sharded"][str(shards)][driver] = _row_payload(row, length)
+        if record:
+            single_payloads.append(_row_payload(single_row, length))
+        # Parallel first: the fork-based driver pays copy-on-write for every object on
+        # the parent heap.  The reference run above is unavoidable pre-fork heap (the
+        # comparison needs its report), but ordering parallel before the serial sharded
+        # runs at least keeps k more consumed sketches off the heap when forking.
+        for parallel in (True, False):
+            rows = run_sharded_comparison(
+                factory=factory,
+                stream=stream,
+                phi=PHI,
+                shard_counts=SHARD_COUNTS,
+                batch_size=batch_size,
+                parallel=parallel,
+                rng=RandomSource(SEED + (2 if parallel else 3)),
+                reference_report=single_report,
+                true_frequencies=truth,
+            )
+            driver = "parallel" if parallel else "serial"
+            for shards, row in zip(SHARD_COUNTS, rows):
+                if record:
+                    sharded_payloads[str(shards)][driver].append(_row_payload(row, length))
+    results["single"] = _merge_timing(single_payloads)
+    for shards in SHARD_COUNTS:
+        for driver in ("serial", "parallel"):
+            results["sharded"][str(shards)][driver] = _merge_timing(
+                sharded_payloads[str(shards)][driver]
+            )
     single = results["single"]
     print(
         f"single          {single['total_seconds']:7.2f}s   "
@@ -266,7 +328,8 @@ ASYNC_CHUNK = 1 << 16
 ASYNC_QUEUE_DEPTH = 4
 
 
-def run_async(length: int, batch_size: int, output: str) -> dict:
+def run_async(length: int, batch_size: int, output: str,
+              warmup: int = 1, repeats: int = 3) -> dict:
     """Experiment ASYNC: serial vs queue-pipelined disk replay + report equality.
 
     The trace is written to disk first (the pipeline exists to overlap *file replay*
@@ -297,6 +360,7 @@ def run_async(length: int, batch_size: int, output: str) -> dict:
             "epsilon": EPSILON, "phi": PHI, "chunk_size": ASYNC_CHUNK,
             "queue_depth": ASYNC_QUEUE_DEPTH, "sketch": "optimal (Thm 2)",
             "shard_counts": list(ASYNC_SHARD_COUNTS),
+            "warmup": warmup, "repeats": repeats,
         },
         "cpu_count": os.cpu_count(),
         "runs": {},
@@ -306,19 +370,34 @@ def run_async(length: int, batch_size: int, output: str) -> dict:
         save_stream(stream, path)
         for shards in ASYNC_SHARD_COUNTS:
             factory = _sharded_factory(SEED + 1, UNIVERSE, length)
-            rows = run_pipelined_comparison(
-                factory, path, PHI, shards=shards, chunk_size=ASYNC_CHUNK,
-                queue_depth=ASYNC_QUEUE_DEPTH, rng=RandomSource(SEED + 10 + shards),
-                true_frequencies=truth,
-            )
-            serial, pipelined = rows
+            serial_payloads: list = []
+            pipelined_payloads: list = []
+            identical_every_repeat = True
+            symmetric_differences: list = []
+            pipelined = None
+            for index in range(warmup + max(1, repeats)):
+                rows = run_pipelined_comparison(
+                    factory, path, PHI, shards=shards, chunk_size=ASYNC_CHUNK,
+                    queue_depth=ASYNC_QUEUE_DEPTH, rng=RandomSource(SEED + 10 + shards),
+                    true_frequencies=truth,
+                )
+                serial, pipelined = rows
+                if index >= warmup:
+                    serial_payloads.append(_row_payload(serial, length))
+                    pipelined_payloads.append(_row_payload(pipelined, length))
+                    identical_every_repeat &= bool(
+                        pipelined.measurements["identical_report"]
+                    )
+                    symmetric_differences.append(
+                        int(pipelined.measurements["report_symmetric_difference"])
+                    )
             entry = {
-                "serial": _row_payload(serial, length),
-                "pipelined": _row_payload(pipelined, length),
-                "identical_report": bool(pipelined.measurements["identical_report"]),
-                "report_symmetric_difference": int(
-                    pipelined.measurements["report_symmetric_difference"]
-                ),
+                "serial": _merge_timing(serial_payloads),
+                "pipelined": _merge_timing(pipelined_payloads),
+                "identical_report": identical_every_repeat,
+                # worst repeat, so a transient mismatch stays diagnosable next
+                # to the ANDed identical_report flag
+                "report_symmetric_difference": max(symmetric_differences),
                 "max_queue_depth": int(pipelined.measurements["max_queue_depth"]),
             }
             entry["pipelined_speedup_over_serial"] = (
@@ -347,20 +426,31 @@ def run_async(length: int, batch_size: int, output: str) -> dict:
 SERVICE_SHARD_COUNTS = (1, 4)
 SERVICE_CHUNK = 1 << 16
 SERVICE_PUSH_BATCH = 1 << 14  # deliberately != chunk size: exercises the re-chunker
+SERVICE_PUSH_WINDOW = 32  # un-acked frames in flight on the pipelined-push leg
+
+# The round-trip push throughput BENCH_service.json recorded before the
+# zero-copy framing + credit-windowed pipelining landed (PR 4, full 10^6-item
+# run on this container) — kept in the JSON so the before/after is one artifact.
+PR4_ROUNDTRIP_ITEMS_PER_SECOND = {"1": 925_881.0, "4": 875_414.0}
 
 
-def run_service(length: int, batch_size: int, output: str) -> dict:
+def run_service(length: int, batch_size: int, output: str,
+                warmup: int = 1, repeats: int = 3) -> dict:
     """Experiment SERVICE: offline vs socket-served vs checkpoint-resumed replay.
 
     Delegates to :func:`repro.analysis.harness.run_service_comparison` (one real
     server per leg on a loopback TCP socket), so the benchmark measures exactly
-    the equalities the service layer promises: the served report equals the
-    offline ``run_chunks`` replay bit for bit, and a mid-stream checkpoint →
+    the equalities the service layer promises: the served report — via the
+    round-trip push path *and* the credit-windowed ``push_stream`` path — equals
+    the offline ``run_chunks`` replay bit for bit, and a mid-stream checkpoint →
     restart → resume equals the offline replay that round-trips its state through
     the same :class:`~repro.service.Checkpointer` at the same chunk boundary.
     The push throughput is client-observed (frame encode + socket + server
     ingest), so it is the number a deployment planning to feed the service over
-    localhost should look at; ``cpu_count`` is recorded as in the other modes.
+    localhost should look at; the pipelined leg additionally records the
+    mid-ingest query latency series (first query builds the snapshot, the rest
+    hit the executor's versioned cache).  ``cpu_count`` is recorded as in the
+    other modes, and every timing carries median/min/max across ``repeats``.
     """
     import tempfile
 
@@ -378,8 +468,9 @@ def run_service(length: int, batch_size: int, output: str) -> dict:
         },
         "parameters": {
             "epsilon": EPSILON, "phi": PHI, "chunk_size": SERVICE_CHUNK,
-            "push_batch": SERVICE_PUSH_BATCH, "sketch": "optimal (Thm 2)",
-            "shard_counts": list(SERVICE_SHARD_COUNTS),
+            "push_batch": SERVICE_PUSH_BATCH, "push_window": SERVICE_PUSH_WINDOW,
+            "sketch": "optimal (Thm 2)", "shard_counts": list(SERVICE_SHARD_COUNTS),
+            "warmup": warmup, "repeats": repeats,
         },
         "cpu_count": os.cpu_count(),
         "runs": {},
@@ -389,33 +480,91 @@ def run_service(length: int, batch_size: int, output: str) -> dict:
         save_stream(stream, path)
         for shards in SERVICE_SHARD_COUNTS:
             factory = _sharded_factory(SEED + 1, UNIVERSE, length)
-            offline, served, resumed = run_service_comparison(
-                factory, path, PHI, shards=shards, chunk_size=SERVICE_CHUNK,
-                push_batch=SERVICE_PUSH_BATCH, rng=RandomSource(SEED + 20 + shards),
-                true_frequencies=truth,
-            )
+            payloads: dict = {"offline": [], "served": [], "pipelined": []}
+            push_rates: dict = {"served": [], "pipelined": []}
+            push_times: dict = {"served": [], "pipelined": []}
+            identical = {"served": True, "pipelined": True, "resumed": True}
+            # worst repeat per leg, kept next to the ANDed identical flags so a
+            # transient mismatch stays diagnosable in the artifact
+            sym_diff = {"served": 0, "pipelined": 0, "resumed": 0}
+            served = pipelined = resumed = None
+            for index in range(warmup + max(1, repeats)):
+                offline, served, pipelined, resumed = run_service_comparison(
+                    factory, path, PHI, shards=shards, chunk_size=SERVICE_CHUNK,
+                    push_batch=SERVICE_PUSH_BATCH, rng=RandomSource(SEED + 20 + shards),
+                    push_window=SERVICE_PUSH_WINDOW, true_frequencies=truth,
+                )
+                if index < warmup:
+                    continue
+                payloads["offline"].append(_row_payload(offline, length))
+                payloads["served"].append(_row_payload(served, length))
+                payloads["pipelined"].append(_row_payload(pipelined, length))
+                for label, row in (
+                    ("served", served), ("pipelined", pipelined), ("resumed", resumed)
+                ):
+                    identical[label] &= bool(row.measurements["identical_report"])
+                    sym_diff[label] = max(
+                        sym_diff[label],
+                        int(row.measurements["report_symmetric_difference"]),
+                    )
+                for label, row in (("served", served), ("pipelined", pipelined)):
+                    push_rates[label].append(row.measurements["pushed_items_per_second"])
+                    push_times[label].append(row.measurements["push_seconds"])
             entry = {
-                "offline": _row_payload(offline, length),
-                "served": _row_payload(served, length),
-                "served_identical_report": bool(served.measurements["identical_report"]),
-                "served_symmetric_difference": int(
-                    served.measurements["report_symmetric_difference"]
+                "offline": _merge_timing(payloads["offline"]),
+                "served": _merge_timing(payloads["served"]),
+                "pipelined": _merge_timing(payloads["pipelined"]),
+                "served_identical_report": identical["served"],
+                "served_symmetric_difference": sym_diff["served"],
+                "push_seconds": statistics.median(push_times["served"]),
+                "pushed_items_per_second": statistics.median(push_rates["served"]),
+                "pushed_items_per_second_stats": spread(push_rates["served"]),
+                "pipelined_identical_report": identical["pipelined"],
+                "pipelined_symmetric_difference": sym_diff["pipelined"],
+                "pipelined_push_seconds": statistics.median(push_times["pipelined"]),
+                "pipelined_pushed_items_per_second": statistics.median(
+                    push_rates["pipelined"]
                 ),
-                "push_seconds": served.measurements["push_seconds"],
-                "pushed_items_per_second": served.measurements["pushed_items_per_second"],
-                "resumed_identical_report": bool(resumed.measurements["identical_report"]),
-                "resumed_symmetric_difference": int(
-                    resumed.measurements["report_symmetric_difference"]
+                "pipelined_pushed_items_per_second_stats": spread(push_rates["pipelined"]),
+                "query_latency_series": list(
+                    pipelined.measurements["query_latency_series"]
                 ),
+                "query_first_seconds": pipelined.measurements["query_first_seconds"],
+                "query_cached_seconds_median": pipelined.measurements[
+                    "query_cached_seconds_median"
+                ],
+                "snapshot_cache_hits": int(pipelined.measurements["snapshot_cache_hits"]),
+                "snapshot_cache_misses": int(
+                    pipelined.measurements["snapshot_cache_misses"]
+                ),
+                "resumed_identical_report": identical["resumed"],
+                "resumed_symmetric_difference": sym_diff["resumed"],
                 "checkpoint_items": int(resumed.measurements["checkpoint_items"]),
             }
+            entry["pipelined_push_speedup"] = (
+                entry["pipelined_pushed_items_per_second"]
+                / entry["pushed_items_per_second"]
+                if entry["pushed_items_per_second"]
+                else float("inf")
+            )
+            baseline = PR4_ROUNDTRIP_ITEMS_PER_SECOND.get(str(shards))
+            if baseline and length == DEFAULT_LENGTH:
+                # The baseline is a full-length run on this container; comparing
+                # a shortened smoke run against it would be apples to oranges.
+                entry["pr4_roundtrip_items_per_second"] = baseline
+                entry["speedup_vs_pr4_roundtrip"] = (
+                    entry["pipelined_pushed_items_per_second"] / baseline
+                )
             results["runs"][str(shards)] = entry
             print(
                 f"k={shards}  offline {entry['offline']['total_seconds']:6.2f}s   "
-                f"served {entry['served']['total_seconds']:6.2f}s   "
-                f"push {entry['pushed_items_per_second']:>12,.0f} it/s   "
-                f"served_identical {entry['served_identical_report']}   "
-                f"resumed_identical {entry['resumed_identical_report']}"
+                f"round-trip push {entry['pushed_items_per_second']:>12,.0f} it/s   "
+                f"pipelined push {entry['pipelined_pushed_items_per_second']:>12,.0f} it/s "
+                f"({entry['pipelined_push_speedup']:.1f}x)   "
+                f"query cached {entry['query_cached_seconds_median'] * 1e3:.2f} ms   "
+                f"identical: served {entry['served_identical_report']} "
+                f"pipelined {entry['pipelined_identical_report']} "
+                f"resumed {entry['resumed_identical_report']}"
             )
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -430,16 +579,29 @@ def main(argv=None) -> int:
                         default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="discarded warmup passes before the timed repeats (default 1)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="recorded timed passes; BENCH_*.json carries their "
+                             "median/min/max (default 3)")
     parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
+    if args.warmup < 0:
+        parser.error("--warmup cannot be negative")
+    if args.repeats <= 0:
+        parser.error("--repeats must be positive")
     if args.mode == "sharded":
-        run_sharded(args.length, args.batch_size, args.output or "BENCH_sharding.json")
+        run_sharded(args.length, args.batch_size, args.output or "BENCH_sharding.json",
+                    warmup=args.warmup, repeats=args.repeats)
     elif args.mode == "async":
-        run_async(args.length, args.batch_size, args.output or "BENCH_async.json")
+        run_async(args.length, args.batch_size, args.output or "BENCH_async.json",
+                  warmup=args.warmup, repeats=args.repeats)
     elif args.mode == "service":
-        run_service(args.length, args.batch_size, args.output or "BENCH_service.json")
+        run_service(args.length, args.batch_size, args.output or "BENCH_service.json",
+                    warmup=args.warmup, repeats=args.repeats)
     else:
-        run(args.length, args.batch_size, args.output or "BENCH_throughput.json")
+        run(args.length, args.batch_size, args.output or "BENCH_throughput.json",
+            warmup=args.warmup, repeats=args.repeats)
     return 0
 
 

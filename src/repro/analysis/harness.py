@@ -8,6 +8,7 @@ would run themselves.
 from __future__ import annotations
 
 import os
+import statistics
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -370,6 +371,8 @@ def run_service_comparison(
     true_frequencies: Optional[Mapping[int, int]] = None,
     universe_size: Optional[int] = None,
     checkpoint: bool = True,
+    push_window: int = 32,
+    query_repeats: int = 5,
 ) -> List[ExperimentRow]:
     """The service-changes-nothing experiment: socket-served vs offline replay.
 
@@ -384,7 +387,7 @@ def run_service_comparison(
     :class:`~repro.service.Checkpointer` at the same chunk boundary.  This
     experiment measures both equalities instead of assuming them.
 
-    Three rows come back (two with ``checkpoint=False``):
+    Four rows come back (three with ``checkpoint=False``):
 
     * ``offline`` — the serial ``run_chunks`` replay of the trace at ``path``;
     * ``served`` — a real :class:`~repro.service.IngestServer` on a loopback
@@ -395,6 +398,17 @@ def run_service_comparison(
       match the offline row exactly), ``report_symmetric_difference``,
       ``push_seconds`` and ``pushed_items_per_second`` (client-observed socket
       throughput), and the server-side ingest/combine split;
+    * ``pipelined`` — the same served run, but pushed through
+      :meth:`~repro.service.ServiceClient.push_stream` with a ``push_window``
+      window of un-acked frames in flight (credit-capped by the server).  After
+      the pushes, the prefix is flushed and held fixed while ``query_repeats``
+      mid-ingest queries are timed back to back — the first builds the merged
+      snapshot, the rest must hit the executor's versioned snapshot cache.
+      Extra measurements beyond the ``served`` set:
+      ``query_first_seconds`` / ``query_cached_seconds_median`` (and min/max),
+      ``query_latency_series`` (the raw per-query seconds, a list), and
+      ``snapshot_cache_hits`` / ``snapshot_cache_misses`` read from the
+      server's executor;
     * ``resumed`` — push half the trace (an exact multiple of ``chunk_size``),
       ``flush``, ``checkpoint``, shut the server down, restore a fresh server
       from the file, push the rest, ``finish`` + ``query``; compared bit for bit
@@ -470,13 +484,19 @@ def run_service_comparison(
             client.push(chunk)
         return time.perf_counter() - start
 
+    # Materialize the push batches once, outside every timed push loop: the
+    # pushed-items/s numbers measure the socket path (frame encode + TCP +
+    # server receive/validate/enqueue), not the text-trace parsing that an
+    # on-line pusher would not be doing per batch.
+    push_batches = list(iterate_stream_file_chunks(path, push_batch))
+
     # -- served run -------------------------------------------------------------------
     server = serve(PipelinedExecutor(
         executor=build_executor(), chunk_size=chunk_size, queue_depth=queue_depth
     ))
     try:
         with ServiceClient(server.endpoint) as client:
-            push_seconds = push_chunks(client, iterate_stream_file_chunks(path, push_batch))
+            push_seconds = push_chunks(client, push_batches)
             finish = client.finish()
             served = client.query()
             client.shutdown()
@@ -494,6 +514,65 @@ def run_service_comparison(
                 "report_symmetric_difference": float(
                     len(set(served.report.items).symmetric_difference(offline_items))
                 ),
+            },
+        )
+    )
+
+    # -- pipelined-push run -------------------------------------------------------------
+    # Same trace, same seeds, but pushed with a window of un-acked frames in
+    # flight (push_stream); the report must still equal the offline replay bit
+    # for bit — pipelining changes when acks are read, never what the server's
+    # re-chunker sees.  The flushed prefix is then held fixed while repeated
+    # queries measure the snapshot cache: one deepcopy-merge on the first, O(1)
+    # on the rest.
+    server = serve(PipelinedExecutor(
+        executor=build_executor(), chunk_size=chunk_size, queue_depth=queue_depth
+    ))
+    query_latencies: List[float] = []
+    try:
+        with ServiceClient(server.endpoint) as client:
+            client.config()  # prefetch the credit grant outside the timed span
+            push_start = time.perf_counter()
+            client.push_stream(iter(push_batches), window=push_window)
+            pipelined_push_seconds = time.perf_counter() - push_start
+            client.flush()
+            for _ in range(max(1, query_repeats)):
+                query_start = time.perf_counter()
+                client.query()
+                query_latencies.append(time.perf_counter() - query_start)
+            cache_hits = server.pipeline.snapshot_cache_hits
+            cache_misses = server.pipeline.snapshot_cache_misses
+            finish = client.finish()
+            pipelined_served = client.query()
+            client.shutdown()
+    finally:
+        server.close()
+    cached = query_latencies[1:] or query_latencies
+    rows.append(
+        make_row(
+            "pipelined", pipelined_served.report, float(finish["seconds"]),
+            float(finish["space_bits"]),
+            extra={
+                "ingest_seconds": float(finish["ingest_seconds"]),
+                "combine_seconds": float(finish["combine_seconds"]),
+                "push_seconds": pipelined_push_seconds,
+                "pushed_items_per_second": (
+                    length / pipelined_push_seconds if pipelined_push_seconds else float("inf")
+                ),
+                "push_window": float(push_window),
+                "identical_report": (
+                    1.0 if dict(pipelined_served.report.items) == offline_items else 0.0
+                ),
+                "report_symmetric_difference": float(
+                    len(set(pipelined_served.report.items).symmetric_difference(offline_items))
+                ),
+                "query_first_seconds": query_latencies[0],
+                "query_cached_seconds_median": statistics.median(cached),
+                "query_cached_seconds_min": min(cached),
+                "query_cached_seconds_max": max(cached),
+                "query_latency_series": list(query_latencies),  # list on purpose
+                "snapshot_cache_hits": float(cache_hits),
+                "snapshot_cache_misses": float(cache_misses),
             },
         )
     )

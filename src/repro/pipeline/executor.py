@@ -15,7 +15,7 @@ import copy
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.pipeline.producer import (
     DEFAULT_CHUNK_ITEMS,
@@ -143,6 +143,16 @@ class PipelinedExecutor:
         self._chunks_ingested = 0
         self._max_queue_depth = 0
         self._ingest_started_at: Optional[float] = None
+        # Versioned snapshot cache: the merged copy (and its reports) produced by
+        # the last snapshot(), tagged with the _chunks_ingested it reflects.  A
+        # repeated query at an unchanged prefix reuses it (no deepcopy, no merge);
+        # ingestion advancing invalidates it lazily (copy-on-write: the next
+        # query pays the copy again).  Guarded by _snapshot_lock, not _lock, so
+        # cache bookkeeping never extends the ingestion pause.
+        self._snapshot_lock = threading.Lock()
+        self._snapshot_cache: Optional[Dict[str, Any]] = None
+        self.snapshot_cache_hits = 0
+        self.snapshot_cache_misses = 0
 
     # -- ingestion ----------------------------------------------------------------------
 
@@ -208,6 +218,7 @@ class PipelinedExecutor:
                     "build a fresh one per run"
                 )
             self._finished = True
+            self._snapshot_cache = None  # snapshots are refused from here on
             if self.executor is None:
                 report = self.sketch.report(**dict(report_kwargs or {}))
                 self.sketch.refresh_space()
@@ -288,21 +299,87 @@ class PipelinedExecutor:
         the stream; with a deterministic sketch (or within the (ε,ϕ) guarantee for
         the randomized ones) the report is exactly what a fresh run over that
         prefix would answer.
+
+        Snapshots are **cached by prefix version**: each merged copy is tagged
+        with the ``chunks_ingested`` count it reflects, and while no further
+        chunk has landed, repeated calls reuse it — a repeated query at a fixed
+        prefix costs one small report copy instead of a sketch deepcopy, and a
+        call with different ``report_kwargs`` re-reports on the cached merged
+        sketch without re-copying.  Once ingestion advances, the next call pays
+        the copy again (copy-on-write invalidation).  The consistency rule: a
+        cached snapshot is served if and only if it describes exactly the
+        current chunk-aligned prefix, so caching is invisible in the answers —
+        including under mutation, because every returned ``report`` is a
+        private copy.  ``snapshot.sketch`` *is* the shared cached merge: treat
+        it as read-only (copying it would be the deepcopy the cache avoids).
+        Concurrent snapshot calls are serialized on the cache lock; they never
+        extend the ingestion pause beyond the one deep copy.
         """
-        with self._lock:
-            if self._finished:
-                raise RuntimeError(
-                    "ingestion has finished and the shards are merged; "
-                    "use the run result's report"
-                )
-            items = self.items_processed
-            if self.executor is None:
-                copies = [copy.deepcopy(self.sketch)]
+        kwargs = dict(report_kwargs or {})
+        try:
+            key: Optional[Tuple] = tuple(sorted(kwargs.items()))
+            hash(key)  # an unhashable kwarg *value* only surfaces here
+        except TypeError:  # unhashable report kwargs: skip the report-level cache
+            key = None
+        with self._snapshot_lock:
+            copies = None
+            with self._lock:
+                if self._finished:
+                    raise RuntimeError(
+                        "ingestion has finished and the shards are merged; "
+                        "use the run result's report"
+                    )
+                version = self._chunks_ingested
+                items = self.items_processed
+                cache = self._snapshot_cache
+                if cache is not None and cache["version"] == version:
+                    cached_report = cache["reports"].get(key) if key is not None else None
+                    if cached_report is not None:
+                        self.snapshot_cache_hits += 1
+                        # Deep-copy the handed-out report (it is small — the
+                        # reported heavy hitters): a caller mutating its answer
+                        # must never change what later queries are served.  The
+                        # merged sketch stays shared — copying it would be the
+                        # very deepcopy the cache exists to avoid — so treat
+                        # snapshot.sketch as read-only.
+                        return PipelineSnapshot(
+                            report=copy.deepcopy(cached_report),
+                            sketch=cache["sketch"],
+                            items_processed=cache["items"],
+                        )
+                else:
+                    cache = None
+                    if self.executor is None:
+                        copies = [copy.deepcopy(self.sketch)]
+                    else:
+                        copies = copy.deepcopy(self.executor.sketches)
+            # Merge and report outside the ingestion lock: ingestion continues.
+            if cache is None:
+                self.snapshot_cache_misses += 1
+                cache = {
+                    "version": version,
+                    "items": items,
+                    "sketch": merge_all(copies),
+                    "reports": {},
+                }
+                with self._lock:
+                    # A finalize() racing this merge already cleared the cache;
+                    # storing ours would resurrect a merged copy nobody can ever
+                    # read again (snapshots refuse after finish).
+                    if not self._finished:
+                        self._snapshot_cache = cache
             else:
-                copies = copy.deepcopy(self.executor.sketches)
-        merged = merge_all(copies)
-        report = merged.report(**dict(report_kwargs or {}))
-        return PipelineSnapshot(report=report, sketch=merged, items_processed=items)
+                # Same prefix, new report kwargs: reuse the merged copy, only
+                # the report is recomputed — still no deepcopy.
+                self.snapshot_cache_hits += 1
+            report = cache["sketch"].report(**kwargs)
+            if key is not None:
+                cache["reports"][key] = report
+            return PipelineSnapshot(
+                report=copy.deepcopy(report),
+                sketch=cache["sketch"],
+                items_processed=cache["items"],
+            )
 
     # -- checkpoint / restore -----------------------------------------------------------
 

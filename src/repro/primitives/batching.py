@@ -91,8 +91,15 @@ def rechunk_arrays(arrays: Iterable[Sequence[int]], chunk_size: int) -> Iterator
     chunk except possibly the last has exactly ``chunk_size`` items, and the
     concatenation of the yielded chunks equals the concatenation of the inputs.
 
-    Zero-length input arrays are skipped; yielded chunks are int64 (views of a
-    single input array where possible, freshly concatenated otherwise).
+    Zero-length input arrays are skipped; yielded chunks are int64.  When the
+    staging buffer is empty and an input array covers one or more whole chunks,
+    those chunks are yielded as zero-copy *views* of the input; fragments that
+    straddle a boundary land exactly once in a preallocated ``chunk_size``-sized
+    staging buffer — there is no fragment list and no ``np.concatenate`` pass
+    per boundary.  Each assembled chunk is handed off and a fresh buffer takes
+    its place rather than being reused in a ring, because the consumers of this
+    generator (the pipelined ingest queue) legitimately hold several yielded
+    chunks at once; reusing the buffer would overwrite chunks still in flight.
 
     Args:
         arrays: an iterable of item batches (numpy arrays or any sequences of ints).
@@ -107,20 +114,29 @@ def rechunk_arrays(arrays: Iterable[Sequence[int]], chunk_size: int) -> Iterator
     """
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
-    pending: list = []  # partial-chunk fragments, < chunk_size items in total
+    buffer = np.empty(chunk_size, dtype=np.int64)  # staging for boundary-straddlers
     held = 0
     for array in arrays:
         array = as_item_array(array)
+        size = int(array.size)
         start = 0
-        while array.size - start + held >= chunk_size:
-            take = chunk_size - held
-            pending.append(array[start : start + take])
-            start += take
-            yield pending[0] if len(pending) == 1 else np.concatenate(pending)
-            pending, held = [], 0
-        if start < array.size:
-            tail = array[start:]
-            pending.append(tail)
-            held += int(tail.size)
+        if held:
+            take = min(chunk_size - held, size)
+            buffer[held : held + take] = array[:take]
+            held += take
+            start = take
+            if held == chunk_size:
+                yield buffer
+                buffer = np.empty(chunk_size, dtype=np.int64)
+                held = 0
+            else:
+                continue  # the whole input fit below one boundary
+        # Staging is empty here: whole chunks stream through as uncopied views.
+        while size - start >= chunk_size:
+            yield array[start : start + chunk_size]
+            start += chunk_size
+        if start < size:
+            held = size - start
+            buffer[:held] = array[start:]
     if held:
-        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+        yield buffer[:held]

@@ -1,10 +1,13 @@
 """The client half of the heavy-hitter service: push batches, query, checkpoint.
 
 :class:`ServiceClient` speaks the frame protocol of :mod:`repro.service.protocol`
-over one blocking socket.  It is deliberately synchronous — every method sends one
-command frame and waits for its reply — because the *server* is where the
-concurrency lives (ingestion overlaps queries there); a pusher that wants overlap
-on its own side can simply run several clients.
+over one blocking socket.  Control commands are synchronous — one command frame,
+one reply — because the *server* is where the concurrency lives (ingestion
+overlaps queries there).  The ingest hot path has two speeds: :meth:`push` (one
+round-trip per batch, simplest possible) and :meth:`push_stream` (credit-based
+pipelining — a window of un-acked push frames stays in flight, sized to the
+server's ``push_queue_depth`` credit grant, so throughput is no longer bounded by
+per-batch latency while the bounded-buffer backpressure contract is preserved).
 
 Connect strings:
 
@@ -104,6 +107,7 @@ class ServiceClient:
         self._target = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         self._timeout = timeout
         self._sock: Optional[socket.socket] = None
+        self._credits: Optional[int] = None  # cached push_stream credit grant
 
     # -- connection ---------------------------------------------------------------------
 
@@ -115,6 +119,10 @@ class ServiceClient:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            # Frames are written whole (one vectored send each); Nagle would
+            # only add latency — fatally so for pipelined windows, where small
+            # back-to-back ack frames otherwise stall on delayed ACKs.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(self._timeout)
         sock.connect(self._target)
         self._sock = sock
@@ -127,6 +135,7 @@ class ServiceClient:
                 self._sock.close()
             finally:
                 self._sock = None
+                self._credits = None
 
     def __enter__(self) -> "ServiceClient":
         return self.connect()
@@ -154,18 +163,132 @@ class ServiceClient:
 
     def config(self) -> Dict[str, object]:
         """The server's parameters and live counters."""
-        return self._round_trip({"cmd": "config"})
+        reply = self._round_trip({"cmd": "config"})
+        credits = reply.get("push_credits")
+        if isinstance(credits, int) and credits > 0:
+            self._credits = credits
+        return reply
 
     def push(self, items: Iterable[int]) -> int:
         """Push one batch of item ids; returns the server's total received count.
 
+        The batch's dtype is validated before encoding: non-integer dtypes and
+        values that overflow int64 raise ``ValueError`` instead of being
+        silently truncated or wrapped.
+
         Raises:
+            ValueError: on a non-integer batch dtype or an int64 overflow.
             ServiceError: if the stream was already finished, or the batch
                 contains items outside the server's universe.
         """
         count, payload = encode_items(items)
         reply = self._round_trip({"cmd": "push", "items": count}, payload)
         return int(reply["items_received"])
+
+    def push_stream(self, batches: Iterable[Iterable[int]], window: Optional[int] = None) -> int:
+        """Push many batches with a window of un-acked frames in flight.
+
+        :meth:`push` pays one full round-trip per batch — the client stalls for
+        the server's ack before framing the next batch, so loopback pushes are
+        latency-bound, not bandwidth-bound.  This method pipelines instead: up
+        to ``window`` push frames are written before the first ack is read, and
+        from then on one ack is drained per frame sent, keeping ``window``
+        frames in flight until the input is exhausted.
+
+        The window is **credit-based**: the server grants credits equal to its
+        ``push_queue_depth`` (the bound on batches it will buffer ahead of
+        ingestion, reported as ``push_credits`` in the ``config`` reply), and
+        the effective window is ``min(window, push_credits)``.  Un-acked frames
+        therefore never exceed what the server is prepared to buffer, so the
+        bounded-queue backpressure contract is preserved: a server whose queue
+        is full stops reading the socket, the client's send eventually blocks,
+        and memory on both ends stays bounded exactly as in the round-trip
+        path.  Acks are processed in order; a rejected batch (universe
+        violation, finished stream) surfaces as :class:`ServiceError` as soon
+        as its ack is drained.
+
+        Args:
+            batches: an iterable of item batches (numpy arrays or int
+                sequences); each batch becomes one push frame.
+            window: maximum un-acked frames in flight; ``None`` uses the
+                server's full credit grant.
+
+        Returns:
+            The server's total received count after the last ack.
+
+        Raises:
+            ValueError: if ``window`` is not positive, or a batch fails dtype
+                validation (see :meth:`push`).
+            ServiceError: if the server rejected any pushed batch.
+        """
+        if window is not None and window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if self._sock is None:
+            self.connect()
+        credits = self._push_credits()
+        effective_window = credits if window is None else min(window, credits)
+        outstanding = 0
+        received = 0
+        error: Optional[ServiceError] = None
+        try:
+            for batch in batches:
+                count, payload = encode_items(batch)
+                send_frame(self._sock, {"cmd": "push", "items": count}, payload)
+                outstanding += 1
+                if outstanding >= effective_window:
+                    reply = self._drain_push_ack()
+                    outstanding -= 1
+                    if reply.get("ok", False):
+                        received = int(reply["items_received"])
+                    else:
+                        error = ServiceError(str(reply.get("error", "unspecified server error")))
+                        break  # stop sending; drain the in-flight acks below
+            while outstanding:
+                reply = self._drain_push_ack()
+                outstanding -= 1
+                if reply.get("ok", False):
+                    received = int(reply["items_received"])
+                elif error is None:
+                    error = ServiceError(str(reply.get("error", "unspecified server error")))
+        except BaseException:
+            # A local failure mid-window (a bad batch in encode_items, a dead
+            # socket, the batches iterable itself raising) must not leave the
+            # connection desynchronized: any un-acked push replies still in
+            # flight would be read as the *next* command's reply.  Drain them;
+            # if the connection is too broken to drain, drop it so the next
+            # command reconnects cleanly.
+            try:
+                while outstanding:
+                    self._drain_push_ack()
+                    outstanding -= 1
+            except (ConnectionError, OSError):
+                self.close()
+            raise
+        if error is not None:
+            # Every in-flight ack was drained above, so the connection is back
+            # at a frame boundary and stays usable for further commands.
+            raise error
+        return received
+
+    def _push_credits(self) -> int:
+        """The server's push-window credit grant (its ``push_queue_depth``).
+
+        Fetched once per connection (any :meth:`config` call caches it), so a
+        pipelined push after a warm-up command pays no extra round-trip.
+        """
+        if self._credits is None:
+            self.config()
+        if self._credits is None:
+            self._credits = 1  # pre-credit server: degrade to the round-trip path
+        return self._credits
+
+    def _drain_push_ack(self) -> Dict[str, object]:
+        """Read one in-order push ack (the raw reply; ok-ness judged by the caller)."""
+        frame = recv_frame(self._sock)
+        if frame is None:
+            raise ProtocolError("server closed the connection mid push window")
+        reply, _ = frame
+        return reply
 
     def flush(self, timeout: float = 60.0) -> Dict[str, object]:
         """Wait until every complete chunk pushed so far has been ingested.

@@ -25,6 +25,7 @@ allocate unboundedly.
 from __future__ import annotations
 
 import json
+import operator
 import socket
 import struct
 from typing import Dict, Optional, Tuple
@@ -51,61 +52,92 @@ class ProtocolError(ConnectionError):
     """A malformed, truncated, or oversized frame (either direction)."""
 
 
-def _recv_exact(sock: socket.socket, num_bytes: int) -> Optional[bytes]:
-    """Read exactly ``num_bytes``; ``None`` on clean EOF at a frame boundary.
+def _recv_exact(sock: socket.socket, num_bytes: int) -> Optional[bytearray]:
+    """Read exactly ``num_bytes`` into one preallocated buffer; ``None`` on clean EOF.
+
+    Built on ``socket.recv_into`` over a ``memoryview`` so each received piece
+    lands directly in its final position — no per-piece ``bytes`` object and no
+    ``b"".join`` concatenation pass over megabyte payloads.  The returned
+    ``bytearray`` is the only allocation.
 
     Raises:
         ProtocolError: on EOF in the middle of a frame.
     """
     if num_bytes == 0:
-        return b""
-    pieces = []
-    remaining = num_bytes
-    while remaining:
-        piece = sock.recv(min(remaining, 1 << 20))
-        if not piece:
-            if remaining == num_bytes:
+        return bytearray()
+    buffer = bytearray(num_bytes)
+    view = memoryview(buffer)
+    received = 0
+    while received < num_bytes:
+        count = sock.recv_into(view[received:])
+        if count == 0:
+            if received == 0:
                 return None
             raise ProtocolError(
-                f"connection closed mid-frame ({num_bytes - remaining} of "
-                f"{num_bytes} bytes received)"
+                f"connection closed mid-frame ({received} of {num_bytes} bytes received)"
             )
-        pieces.append(piece)
-        remaining -= len(piece)
-    return b"".join(pieces)
+        received += count
+    return buffer
 
 
-def send_frame(sock: socket.socket, header: Dict[str, object], payload: bytes = b"") -> None:
+def _send_vectored(sock: socket.socket, header_bytes: bytes, payload) -> None:
+    """Write header and payload with one vectored ``sendmsg`` — no gluing copy.
+
+    ``sendmsg`` (like ``send``) may accept only part of the buffers, so the
+    remainder is retried via advancing memoryviews; sockets without ``sendmsg``
+    fall back to two ``sendall`` calls, which still avoids concatenating the
+    payload onto the header.
+    """
+    sendmsg = getattr(sock, "sendmsg", None)
+    if sendmsg is None:
+        sock.sendall(header_bytes)
+        if payload:
+            sock.sendall(payload)
+        return
+    views = [memoryview(header_bytes)]
+    if payload:
+        views.append(memoryview(payload).cast("B"))
+    while views:
+        sent = sendmsg(views)
+        while sent:
+            if sent >= len(views[0]):
+                sent -= len(views[0])
+                views.pop(0)
+            else:
+                views[0] = views[0][sent:]
+                sent = 0
+
+
+def send_frame(sock: socket.socket, header: Dict[str, object], payload=b"") -> None:
     """Send one frame: the header dict (plus its payload accounting) and the payload.
 
     Args:
         sock: a connected stream socket.
         header: a JSON-serializable flat dict; ``payload_bytes`` is filled in here.
-        payload: raw bytes following the header (``push`` item buffers).
+        payload: raw bytes-like payload following the header (``push`` item
+            buffers); a ``memoryview`` of an int64 array is sent as-is, uncopied.
 
     Raises:
         ProtocolError: if the encoded header or the payload exceeds the caps.
     """
     body = dict(header)
-    body["payload_bytes"] = len(payload)
+    payload_bytes = payload.nbytes if isinstance(payload, memoryview) else len(payload)
+    body["payload_bytes"] = payload_bytes
     encoded = json.dumps(body, separators=(",", ":")).encode("utf-8")
     if len(encoded) > MAX_HEADER_BYTES:
         raise ProtocolError(f"frame header of {len(encoded)} bytes exceeds the cap")
-    if len(payload) > MAX_PAYLOAD_BYTES:
-        raise ProtocolError(f"frame payload of {len(payload)} bytes exceeds the cap")
-    # Two sendall calls instead of one concatenation: gluing the payload onto
-    # the header would memcpy the whole item buffer a second time on the push
-    # hot path (encode_items already paid the one unavoidable tobytes copy).
-    sock.sendall(struct.pack("!I", len(encoded)) + encoded)
-    if payload:
-        sock.sendall(payload)
+    if payload_bytes > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(f"frame payload of {payload_bytes} bytes exceeds the cap")
+    _send_vectored(sock, struct.pack("!I", len(encoded)) + encoded, payload)
 
 
 def recv_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, object], bytes]]:
     """Receive one frame; ``None`` on clean EOF (peer closed between frames).
 
     Returns:
-        ``(header, payload)`` — the decoded header dict and the raw payload bytes.
+        ``(header, payload)`` — the decoded header dict and the raw payload as a
+        bytes-like buffer (a ``bytearray`` filled in place by ``recv_into``;
+        :func:`decode_items` views it without copying).
 
     Raises:
         ProtocolError: on truncation, oversized declarations, or undecodable JSON.
@@ -138,22 +170,74 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, object], bytes]]
 
 # -- item batches -----------------------------------------------------------------------
 
+_INT64_MAX = np.iinfo(np.int64).max
 
-def encode_items(items) -> Tuple[int, bytes]:
-    """Encode a batch of item ids as a ``push`` payload.
+
+def encode_items(items) -> Tuple[int, memoryview]:
+    """Encode a batch of item ids as a ``push`` payload, validating the dtype.
+
+    Only integer inputs are accepted: floating, boolean, string, and other
+    non-integer dtypes raise ``ValueError`` instead of being silently truncated
+    or reinterpreted, and unsigned or Python ints beyond ``int64`` surface as a
+    clear overflow error rather than wrapping.
 
     Returns:
         ``(count, payload)``; the matching header must carry ``{"items": count}``.
+        The payload is a ``memoryview`` of the (contiguous int64) array's bytes,
+        so an already-int64 batch is framed without any copy.
+
+    Raises:
+        ValueError: on a non-integer dtype or a value that does not fit int64.
     """
-    array = np.ascontiguousarray(np.asarray(items).reshape(-1), dtype=ITEM_DTYPE)
-    return int(array.size), array.tobytes()
+    try:
+        array = np.asarray(items)
+    except OverflowError as exc:
+        raise ValueError(f"item batch contains values that overflow int64: {exc}") from None
+    if array.ndim != 1:
+        array = array.reshape(-1)
+    if array.dtype != np.int64 and array.size:
+        kind = array.dtype.kind
+        if kind == "u":
+            if int(array.max()) > _INT64_MAX:
+                raise ValueError(
+                    f"item batch contains {int(array.max())}, which overflows int64"
+                )
+        elif kind == "O":
+            # Element-wise __index__, not astype: astype would silently
+            # truncate object-dtype floats, the exact failure mode this
+            # validation exists to surface.
+            try:
+                array = np.fromiter(
+                    (operator.index(value) for value in array),
+                    dtype=np.int64,
+                    count=array.size,
+                )
+            except TypeError:
+                raise ValueError(
+                    "item batch contains non-integer objects; convert item ids "
+                    "to integers explicitly before pushing"
+                ) from None
+            except (OverflowError, ValueError) as exc:
+                raise ValueError(
+                    f"item batch contains values that do not fit int64: {exc}"
+                ) from None
+        elif kind != "i":
+            raise ValueError(
+                f"item batch has non-integer dtype {array.dtype}; convert item ids "
+                "to integers explicitly before pushing"
+            )
+    array = np.ascontiguousarray(array, dtype=ITEM_DTYPE)
+    return int(array.size), memoryview(array).cast("B")
 
 
-def decode_items(header: Dict[str, object], payload: bytes) -> np.ndarray:
+def decode_items(header: Dict[str, object], payload) -> np.ndarray:
     """Decode a ``push`` payload back into an int64 item array.
 
-    The returned array is a zero-copy, read-only view of the payload bytes —
-    fine for every consumer in this package, which only reads item batches.
+    The returned array is a zero-copy, **read-only** view of the payload buffer
+    (``np.frombuffer``, then ``writeable`` cleared for mutable buffers such as
+    the ``bytearray`` :func:`recv_frame` fills) — it flows into ``insert_many``
+    uncopied, and every sketch's batched path accepts read-only input without
+    mutating it (held by ``tests/unit/test_insert_many_readonly.py``).
 
     Raises:
         ProtocolError: if the payload length disagrees with ``header["items"]``.
@@ -165,7 +249,9 @@ def decode_items(header: Dict[str, object], payload: bytes) -> np.ndarray:
         raise ProtocolError(
             f"push frame declares {count} items but carries {len(payload)} bytes"
         )
-    return np.frombuffer(payload, dtype=ITEM_DTYPE)
+    array = np.frombuffer(payload, dtype=ITEM_DTYPE)
+    array.flags.writeable = False
+    return array
 
 
 # -- report round-trip ------------------------------------------------------------------

@@ -38,6 +38,7 @@ clients.
 
 from __future__ import annotations
 
+import logging
 import os
 import queue
 import socket
@@ -58,6 +59,8 @@ from repro.service.protocol import (
     report_to_payload,
     send_frame,
 )
+
+logger = logging.getLogger("repro.service")
 
 _FINISH = object()  # push-queue sentinel: no more batches will arrive
 
@@ -87,6 +90,11 @@ class QueryHandler:
             "chunk_size": server.pipeline.chunk_size,
             "queue_depth": server.pipeline.queue_depth,
             "num_shards": server.pipeline.num_shards,
+            # The credit grant for pipelined pushes (ServiceClient.push_stream):
+            # the client may keep this many un-acked push frames in flight, which
+            # is exactly the bound on batches the server will buffer ahead of
+            # ingestion, so pipelining never outruns the backpressure contract.
+            "push_credits": server.push_queue_depth,
             "items_received": server.items_received,
             "items_processed": server.pipeline.items_processed,
             "finished": server.finished,
@@ -242,7 +250,9 @@ class IngestServer:
         # Bounded: a client pushing faster than ingestion blocks in its push
         # round-trip (see _enqueue) instead of growing server memory without
         # limit.  Worst-case buffering is push_queue_depth batches of whatever
-        # size clients chose, plus the pipeline's queue_depth chunks.
+        # size clients chose, plus the pipeline's queue_depth chunks.  The same
+        # number is the credit grant for pipelined pushes (config reply).
+        self.push_queue_depth = push_queue_depth
         self._push_queue: "queue.Queue" = queue.Queue(maxsize=push_queue_depth)
         self._push_lock = threading.Lock()
         self._items_received = pipeline.items_processed  # restored prefix counts
@@ -569,6 +579,15 @@ class IngestServer:
                 continue
             except OSError:
                 return  # listening socket closed by close()
+            if conn.family == socket.AF_INET:
+                # Ack frames are tiny and sent back-to-back under pipelined
+                # pushes; Nagle + delayed ACK would serialize them at ~40ms
+                # each.  Every frame is one vectored send, so there is nothing
+                # for Nagle to coalesce anyway.
+                try:
+                    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
             with self._connections_lock:
                 self._connections.add(conn)
             threading.Thread(
@@ -583,7 +602,16 @@ class IngestServer:
             while not self._stopping.is_set():
                 try:
                     frame = recv_frame(conn)
-                except (ProtocolError, OSError):
+                except ProtocolError as exc:
+                    # Log-and-drop: a truncated, oversized, or undecodable frame
+                    # (including a disconnect mid-way through a pipelined push
+                    # window) kills only this connection.  Complete frames
+                    # received before the fault were already dispatched, so the
+                    # sink holds exactly the fully-received batches — never a
+                    # partial one.
+                    logger.warning("dropping connection after protocol error: %s", exc)
+                    return
+                except OSError:
                     return
                 if frame is None:
                     return

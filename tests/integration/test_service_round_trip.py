@@ -177,17 +177,49 @@ def test_run_service_comparison_rows(stream, tmp_path):
     save_stream(stream, path)
     rows = run_service_comparison(
         sketch_factory, path, 0.05, shards=2, chunk_size=CHUNK,
-        push_batch=1_500, rng=RandomSource(13),
+        push_batch=1_500, rng=RandomSource(13), push_window=8, query_repeats=4,
     )
-    assert [row.label for row in rows] == ["offline", "served", "resumed"]
-    served, resumed = rows[1], rows[2]
+    assert [row.label for row in rows] == ["offline", "served", "pipelined", "resumed"]
+    served, pipelined, resumed = rows[1], rows[2], rows[3]
     assert served.measurements["identical_report"] == 1.0
     assert served.measurements["report_symmetric_difference"] == 0.0
     assert served.measurements["pushed_items_per_second"] > 0
+    # the credit-windowed push must be as invisible in the report as the
+    # round-trip push: same seeds, same re-chunker, bit-for-bit equal
+    assert pipelined.measurements["identical_report"] == 1.0
+    assert pipelined.measurements["report_symmetric_difference"] == 0.0
+    assert pipelined.measurements["pushed_items_per_second"] > 0
+    # the repeated mid-ingest queries at a fixed prefix must hit the snapshot
+    # cache: one miss (the first query builds the merged copy), hits afterwards
+    assert pipelined.measurements["snapshot_cache_misses"] == 1.0
+    assert pipelined.measurements["snapshot_cache_hits"] >= 3.0
+    assert len(pipelined.measurements["query_latency_series"]) == 4
+    assert pipelined.measurements["query_cached_seconds_median"] > 0
     assert resumed.measurements["identical_report"] == 1.0
     assert resumed.measurements["checkpoint_items"] % CHUNK == 0
     for row in rows:
         assert row.measurements["recall"] == 1.0
+
+
+def test_push_stream_served_equals_offline(stream):
+    """push_stream with a deep window reproduces the offline replay bit for bit."""
+    offline = build_executor(2).run_chunks(iter_chunks(stream.array, CHUNK))
+    server = IngestServer(
+        PipelinedExecutor(executor=build_executor(2), chunk_size=CHUNK),
+        port=0, universe_size=UNIVERSE, push_queue_depth=16,
+    ).start()
+    try:
+        with ServiceClient(server.endpoint) as client:
+            batches = (stream.array[start:start + 1_111]
+                       for start in range(0, LENGTH, 1_111))
+            received = client.push_stream(batches, window=64)  # capped to 16 credits
+            assert received == LENGTH
+            client.finish()
+            served = client.query()
+    finally:
+        server.close()
+    assert served.items_processed == offline.items_processed == LENGTH
+    assert dict(served.report.items) == dict(offline.report.items)
 
 
 class TestServiceCLI:
@@ -269,6 +301,35 @@ class TestServiceCLI:
             main(["push", trace, "--connect", "127.0.0.1:1", "--skip", "-1"])
         with pytest.raises(SystemExit):
             main(["push", trace, "--connect", "127.0.0.1:1", "--limit", "-2"])
+
+    def test_push_rejects_non_positive_window(self, tmp_path):
+        trace = os.path.join(tmp_path, "t.txt")
+        with pytest.raises(SystemExit, match="window"):
+            main(["push", trace, "--connect", "127.0.0.1:1", "--window", "0"])
+
+    def test_cli_windowed_push_matches_offline(self, tmp_path, capsys, stream):
+        """push --window W must diff clean against the offline CLI replay."""
+        trace = os.path.join(tmp_path, "trace.txt")
+        save_stream(stream, trace)
+        assert main(["heavy-hitters", trace, "--epsilon", "0.02", "--phi", "0.05",
+                     "--seed", "5", "--batch-size", str(CHUNK)]) == 0
+        offline_lines = [line for line in capsys.readouterr().out.splitlines()
+                         if line.startswith(("item\t", "item ", "reported:"))]
+        thread, endpoint = self._serve_in_thread(
+            tmp_path,
+            extra_args=["--universe", str(UNIVERSE), "--stream-length", str(LENGTH),
+                        "--epsilon", "0.02", "--phi", "0.05", "--seed", "5",
+                        "--chunk-size", str(CHUNK)],
+            name="ready_window.txt",
+        )
+        assert main(["push", trace, "--connect", endpoint,
+                     "--batch-size", "3000", "--window", "8", "--finish"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--connect", endpoint, "--shutdown"]) == 0
+        served_lines = [line for line in capsys.readouterr().out.splitlines()
+                        if line.startswith(("item\t", "item ", "reported:"))]
+        assert served_lines == offline_lines
+        thread.join(timeout=10.0)
 
     def test_explicit_zero_sizes_rejected_not_defaulted(self, tmp_path):
         """An explicit 0 must error, never silently become the default."""

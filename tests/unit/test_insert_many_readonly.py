@@ -1,0 +1,88 @@
+"""Regression guard for the zero-copy ingest path: read-only batches are fine.
+
+The service layer's ``decode_items`` hands ``insert_many`` a **read-only**
+``np.frombuffer`` view of the received frame (no copy anywhere between the socket
+and the sketch).  That optimization is only sound if every sketch's batched path
+(a) accepts an array it cannot write to and (b) never mutates its input even when
+the array *is* writable.  These tests hold all eight sketches (plus the
+unknown-length wrapper and the shard router) to both properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.sticky_sampling import StickySampling
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.unknown_length import UnknownLengthWrapper
+from repro.primitives.rng import RandomSource
+from repro.sharding import ShardRouter
+
+UNIVERSE = 512
+LENGTH = 4_096
+
+SKETCH_FACTORIES = {
+    "optimal": lambda: OptimalListHeavyHitters(
+        epsilon=0.05, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(11),
+    ),
+    "simple": lambda: SimpleListHeavyHitters(
+        epsilon=0.05, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(11),
+    ),
+    "misra-gries": lambda: MisraGries(0.05, UNIVERSE),
+    "space-saving": lambda: SpaceSaving(0.05, UNIVERSE),
+    "count-min": lambda: CountMinSketch(0.05, 0.1, UNIVERSE, rng=RandomSource(11)),
+    "count-sketch": lambda: CountSketch(0.1, 0.1, UNIVERSE, rng=RandomSource(11)),
+    "lossy-counting": lambda: LossyCounting(0.05, UNIVERSE),
+    "sticky-sampling": lambda: StickySampling(0.05, 0.1, 0.1, UNIVERSE, rng=RandomSource(11)),
+    "unknown-length": lambda: UnknownLengthWrapper(
+        lambda m: MisraGries(0.05, UNIVERSE, stream_length_hint=m),
+        epsilon=0.05,
+        rng=RandomSource(11),
+    ),
+}
+
+
+def make_batch(writeable: bool) -> np.ndarray:
+    rng = RandomSource(3).numpy_generator()
+    heavy = np.full(LENGTH // 2, 7, dtype=np.int64)  # keep the sketches non-empty
+    rest = rng.integers(0, UNIVERSE, size=LENGTH - len(heavy))
+    array = np.concatenate([heavy, rest]).astype(np.int64)
+    rng.shuffle(array)
+    array.flags.writeable = writeable
+    return array
+
+
+@pytest.mark.parametrize("label", sorted(SKETCH_FACTORIES))
+def test_insert_many_accepts_read_only_input(label):
+    """A frombuffer-style read-only batch must ingest without error."""
+    batch = make_batch(writeable=False)
+    sketch = SKETCH_FACTORIES[label]()
+    sketch.insert_many(batch)  # must not raise "assignment destination is read-only"
+    assert sketch.space_bits() > 0
+
+
+@pytest.mark.parametrize("label", sorted(SKETCH_FACTORIES))
+def test_insert_many_never_mutates_its_input(label):
+    """Even a writable batch must come back bit-identical after ingestion."""
+    batch = make_batch(writeable=True)
+    original = batch.copy()
+    sketch = SKETCH_FACTORIES[label]()
+    sketch.insert_many(batch)
+    np.testing.assert_array_equal(batch, original)
+
+
+def test_router_accepts_and_preserves_read_only_chunks():
+    """ShardRouter.partition is on the served ingest path too."""
+    router = ShardRouter(4, UNIVERSE, rng=RandomSource(5))
+    batch = make_batch(writeable=False)
+    original = batch.copy()
+    partitioned = router.partition(batch)
+    assert sum(len(part) for part in partitioned) == len(batch)
+    np.testing.assert_array_equal(batch, original)

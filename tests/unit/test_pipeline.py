@@ -240,6 +240,106 @@ class TestPipelinedExecutor:
         assert len(snapshot.report) == 0
 
 
+class TestSnapshotCache:
+    """The versioned snapshot cache: O(1) repeats, copy-on-write invalidation."""
+
+    def _executor(self) -> PipelinedExecutor:
+        return PipelinedExecutor(sketch=MisraGries(0.02, 512), chunk_size=1000)
+
+    def test_repeated_snapshot_at_fixed_prefix_hits_the_cache(self):
+        executor = self._executor()
+        executor.ingest_chunk(np.arange(1000) % 512)
+        first = executor.snapshot(report_kwargs={"phi": 0.1})
+        assert (executor.snapshot_cache_misses, executor.snapshot_cache_hits) == (1, 0)
+        for _ in range(5):
+            repeat = executor.snapshot(report_kwargs={"phi": 0.1})
+            # same merged sketch (no deepcopy), same answer — but the report is
+            # a private copy, so a caller mutating it cannot poison the cache
+            assert repeat.sketch is first.sketch
+            assert repeat.report is not first.report
+            assert dict(repeat.report.items) == dict(first.report.items)
+            assert repeat.items_processed == first.items_processed
+        assert (executor.snapshot_cache_misses, executor.snapshot_cache_hits) == (1, 5)
+
+    def test_mutating_a_served_report_does_not_poison_the_cache(self):
+        executor = self._executor()
+        executor.ingest_chunk(np.zeros(1000, dtype=np.int64))
+        tampered = executor.snapshot(report_kwargs={"phi": 0.1})
+        assert 0 in tampered.report
+        tampered.report.items[499] = 999.0  # a hostile/buggy caller
+        clean = executor.snapshot(report_kwargs={"phi": 0.1})
+        assert 499 not in clean.report.items
+
+    def test_ingestion_advancing_invalidates_the_cache(self):
+        executor = self._executor()
+        executor.ingest_chunk(np.zeros(1000, dtype=np.int64))
+        stale = executor.snapshot(report_kwargs={"phi": 0.1})
+        executor.ingest_chunk(np.ones(1000, dtype=np.int64))
+        fresh = executor.snapshot(report_kwargs={"phi": 0.1})
+        assert executor.snapshot_cache_misses == 2
+        assert fresh.items_processed == 2000
+        assert stale.items_processed == 1000  # the old snapshot is unperturbed
+        assert fresh.report is not stale.report
+
+    def test_new_report_kwargs_reuse_the_merged_copy(self):
+        executor = self._executor()
+        executor.ingest_chunk(np.zeros(1000, dtype=np.int64))
+        low = executor.snapshot(report_kwargs={"phi": 0.1})
+        high = executor.snapshot(report_kwargs={"phi": 0.9})
+        # second call re-reports on the cached merged sketch: a hit, not a copy
+        assert executor.snapshot_cache_misses == 1
+        assert executor.snapshot_cache_hits == 1
+        assert high.sketch is low.sketch
+        assert high.report is not low.report
+        # and both kwargs are now report-cached: further calls are hits
+        assert dict(executor.snapshot(report_kwargs={"phi": 0.1}).report.items) == dict(
+            low.report.items
+        )
+        assert dict(executor.snapshot(report_kwargs={"phi": 0.9}).report.items) == dict(
+            high.report.items
+        )
+        assert executor.snapshot_cache_misses == 1
+        assert executor.snapshot_cache_hits == 3
+
+    def test_unhashable_report_kwargs_bypass_the_report_cache(self):
+        """Unhashable kwarg values degrade gracefully: re-report, never crash."""
+
+        class UnhashablePhi:  # numeric enough for report(), but not hashable
+            __hash__ = None
+
+            def __sub__(self, other):
+                return 0.1 - other
+
+        executor = self._executor()
+        executor.ingest_chunk(np.zeros(1000, dtype=np.int64))
+        weird = {"phi": UnhashablePhi()}
+        first = executor.snapshot(report_kwargs=weird)
+        again = executor.snapshot(report_kwargs=weird)
+        assert dict(first.report.items) == dict(again.report.items)
+        # merged sketch was still reused (one miss), reports recomputed each time
+        assert executor.snapshot_cache_misses == 1
+
+    def test_cached_snapshot_answers_match_a_fresh_run_on_the_prefix(self):
+        stream = zipfian_stream(8_000, 256, skew=1.3, rng=RandomSource(9))
+        executor = PipelinedExecutor(sketch=MisraGries(0.02, 256), chunk_size=2000)
+        for start in range(0, 4000, 2000):
+            executor.ingest_chunk(stream.array[start:start + 2000])
+        cached = [executor.snapshot(report_kwargs={"phi": 0.05}) for _ in range(3)][-1]
+        reference = MisraGries(0.02, 256)
+        reference.insert_many(stream.array[:4000])
+        assert dict(cached.report.items) == dict(reference.report(phi=0.05).items)
+
+    def test_cache_is_dropped_on_finalize(self):
+        executor = self._executor()
+        executor.ingest_chunk(np.zeros(1000, dtype=np.int64))
+        executor.snapshot(report_kwargs={"phi": 0.1})
+        assert executor._snapshot_cache is not None
+        executor.finalize(report_kwargs={"phi": 0.1})
+        assert executor._snapshot_cache is None
+        with pytest.raises(RuntimeError):
+            executor.snapshot(report_kwargs={"phi": 0.1})
+
+
 class TestShardedTimingSplit:
     def test_ingest_and_combine_seconds_sum_to_total(self):
         stream = zipfian_stream(10_000, 256, skew=1.2, rng=RandomSource(6))

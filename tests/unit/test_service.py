@@ -115,6 +115,115 @@ class TestProtocol:
         with pytest.raises(ProtocolError):
             decode_items({"items": 2}, payload)
 
+    def test_encode_items_int64_is_zero_copy(self):
+        """An already-int64 batch is framed as a view of its own buffer."""
+        array = np.arange(16, dtype=np.int64)
+        _, payload = encode_items(array)
+        assert isinstance(payload, memoryview)
+        assert payload.obj is array or np.shares_memory(
+            np.frombuffer(payload, dtype=np.int64), array
+        )
+
+    def test_decode_items_is_read_only_and_zero_copy(self):
+        """The decoded array views the received buffer and cannot be written."""
+        array = np.arange(8, dtype=np.int64)
+        buffer = bytearray(array.tobytes())  # what recv_frame's recv_into fills
+        decoded = decode_items({"items": 8}, buffer)
+        assert decoded.flags.writeable is False
+        assert np.shares_memory(decoded, np.frombuffer(buffer, dtype=np.int64))
+        with pytest.raises(ValueError):
+            decoded[0] = 99
+
+    def test_encode_items_rejects_float_dtype(self):
+        with pytest.raises(ValueError, match="non-integer dtype"):
+            encode_items(np.array([1.5, 2.0]))
+        with pytest.raises(ValueError, match="non-integer dtype"):
+            encode_items(np.array([True, False]))
+
+    def test_encode_items_surfaces_int64_overflow(self):
+        with pytest.raises(ValueError, match="int64"):
+            encode_items(np.array([2**63], dtype=np.uint64))
+        with pytest.raises(ValueError, match="int64"):
+            encode_items([2**70, 1])
+
+    def test_encode_items_rejects_floats_hidden_in_object_arrays(self):
+        """Object-dtype floats must error, not silently truncate to ints."""
+        with pytest.raises(ValueError, match="non-integer"):
+            encode_items(np.array([1.5, 2.5], dtype=object))
+        # honest object-dtype ints still pass
+        count, payload = encode_items(np.array([3, 2**40], dtype=object))
+        assert decode_items({"items": count}, payload).tolist() == [3, 2**40]
+
+    def test_encode_items_casts_safe_integer_dtypes(self):
+        count, payload = encode_items(np.array([1, 2, 3], dtype=np.uint16))
+        assert count == 3
+        assert decode_items({"items": 3}, payload).tolist() == [1, 2, 3]
+        count, payload = encode_items(np.array([7], dtype=np.int32))
+        assert decode_items({"items": 1}, payload).tolist() == [7]
+
+    def test_encode_items_empty_batch(self):
+        count, payload = encode_items([])
+        assert count == 0
+        assert decode_items({"items": 0}, payload).size == 0
+
+    def test_oversized_payload_declaration_rejected(self):
+        """A header declaring a payload beyond the cap is refused before reading it."""
+        from repro.service.protocol import MAX_PAYLOAD_BYTES
+        import json as json_module
+        import struct as struct_module
+
+        left, right = socket.socketpair()
+        try:
+            header = json_module.dumps(
+                {"cmd": "push", "items": 1, "payload_bytes": MAX_PAYLOAD_BYTES + 8}
+            ).encode()
+            left.sendall(struct_module.pack("!I", len(header)) + header)
+            with pytest.raises(ProtocolError, match="exceeds the cap"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_send_frame_rejects_oversized_payload(self):
+        left, right = socket.socketpair()
+        try:
+            import repro.service.protocol as protocol_module
+
+            huge = memoryview(bytes(8))  # stand-in; cap checked against nbytes
+            original = protocol_module.MAX_PAYLOAD_BYTES
+            protocol_module.MAX_PAYLOAD_BYTES = 4
+            try:
+                with pytest.raises(ProtocolError, match="exceeds the cap"):
+                    send_frame(left, {"cmd": "push", "items": 1}, huge)
+            finally:
+                protocol_module.MAX_PAYLOAD_BYTES = original
+        finally:
+            left.close()
+            right.close()
+
+    def test_vectored_send_large_frame_round_trip(self):
+        """sendmsg-based framing survives payloads larger than one syscall's worth."""
+        payload = np.arange(300_000, dtype=np.int64)
+        left, right = socket.socketpair()
+        try:
+            received = {}
+
+            def reader():
+                received["frame"] = recv_frame(right)
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            count, buffer = encode_items(payload)
+            send_frame(left, {"cmd": "push", "items": count}, buffer)
+            thread.join(timeout=10.0)
+        finally:
+            left.close()
+            right.close()
+        header, body = received["frame"]
+        decoded = decode_items(header, body)
+        assert decoded.size == payload.size
+        assert decoded[0] == 0 and int(decoded[-1]) == payload.size - 1
+
     def test_report_payload_round_trip(self):
         report = HeavyHittersReport(items={7: 300.0, 2: 120.5}, stream_length=1000,
                                     epsilon=0.01, phi=0.1)
@@ -475,6 +584,139 @@ class TestIngestServer:
         executor.run(np.arange(10))
         with pytest.raises(ValueError):
             IngestServer(executor, port=0)
+
+    def test_config_grants_push_credits(self, server):
+        with ServiceClient(server.endpoint) as client:
+            assert client.config()["push_credits"] == 64  # the default queue depth
+
+    def test_push_stream_pipelines_and_counts(self, server):
+        items = make_stream()
+        batches = [items[start:start + 700] for start in range(0, len(items), 700)]
+        with ServiceClient(server.endpoint) as client:
+            received = client.push_stream(iter(batches), window=8)
+            assert received == len(items)
+            client.finish()
+            final = client.query()
+            assert final.items_processed == len(items)
+            assert 7 in final.report
+
+    def test_push_stream_equals_push_bit_for_bit(self):
+        """Windowed and round-trip pushes must produce identical reports."""
+        items = make_stream()
+        reports = []
+        for window in (None, 1):
+            instance = IngestServer(
+                PipelinedExecutor(sketch=make_sketch(31), chunk_size=1024),
+                port=0, universe_size=UNIVERSE,
+            ).start()
+            try:
+                with ServiceClient(instance.endpoint) as client:
+                    batches = [items[s:s + 999] for s in range(0, len(items), 999)]
+                    if window is None:
+                        client.push_stream(iter(batches))
+                    else:
+                        for batch in batches:
+                            client.push(batch)
+                    client.finish()
+                    reports.append(dict(client.query().report.items))
+            finally:
+                instance.close()
+        assert reports[0] == reports[1]
+
+    def test_push_stream_respects_credit_cap_with_tiny_queue(self):
+        """window >> push_queue_depth must still complete (credits cap the window)."""
+        instance = IngestServer(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=256),
+            port=0, universe_size=UNIVERSE, push_queue_depth=2,
+        ).start()
+        try:
+            with ServiceClient(instance.endpoint) as client:
+                assert client.config()["push_credits"] == 2
+                batches = [np.zeros(512, dtype=np.int64) for _ in range(30)]
+                received = client.push_stream(iter(batches), window=1000)
+                assert received == 30 * 512
+                client.finish()
+                assert client.query().items_processed == 30 * 512
+        finally:
+            instance.close()
+
+    def test_push_stream_error_mid_window_drains_and_raises(self, server):
+        """A rejected batch surfaces as ServiceError and the connection stays usable."""
+        good = np.zeros(100, dtype=np.int64)
+        bad = np.full(100, UNIVERSE + 3, dtype=np.int64)  # outside the universe
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ServiceError, match="outside the universe"):
+                client.push_stream(iter([good, bad, good, good]), window=4)
+            # in-flight acks were drained: the same connection keeps working
+            client.push(good)
+            client.finish()
+            # 3 good batches were accepted before/around the bad one, +1 after
+            assert client.query().items_processed == 4 * 100
+
+    def test_push_stream_local_failure_mid_window_keeps_connection_usable(self, server):
+        """A bad batch raising in encode_items mid-window must not desync the socket."""
+        good = np.zeros(100, dtype=np.int64)
+        bad_local = np.array([1.5, 2.5])  # rejected client-side, never sent
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ValueError, match="non-integer dtype"):
+                client.push_stream(iter([good, good, bad_local, good]), window=8)
+            # the two sent frames' acks were drained, so the next command gets
+            # its own reply — not a stale push ack
+            flushed = client.flush()
+            assert flushed["items_received"] == 2 * 100
+            client.finish()
+            assert client.query().items_processed == 2 * 100
+
+    def test_push_stream_rejects_bad_window(self, server):
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ValueError, match="window"):
+                client.push_stream(iter([[1]]), window=0)
+
+    def test_push_rejects_float_and_overflow_before_sending(self, server):
+        with ServiceClient(server.endpoint) as client:
+            with pytest.raises(ValueError, match="non-integer dtype"):
+                client.push(np.array([1.25, 2.5]))
+            with pytest.raises(ValueError, match="int64"):
+                client.push([2**70])
+            # nothing was sent: the server still works and counted nothing
+            assert client.config()["items_received"] == 0
+
+    def test_mid_window_disconnect_drops_connection_without_corrupting_sink(
+        self, server, caplog
+    ):
+        """A client dying mid-frame loses only the partial frame; complete ones land."""
+        import logging as logging_module
+        import struct as struct_module
+        import json as json_module
+
+        complete = np.arange(300, dtype=np.int64)
+        with caplog.at_level(logging_module.WARNING, logger="repro.service"):
+            raw = socket.create_connection(server.address)
+            try:
+                # two complete push frames, unacked (a pipelined window)...
+                for _ in range(2):
+                    count, payload = encode_items(complete)
+                    send_frame(raw, {"cmd": "push", "items": count}, payload)
+                # ...then a frame that dies half-way through its declared payload:
+                # a half-close (FIN) mid-payload is EOF mid-frame on the server
+                header = json_module.dumps(
+                    {"cmd": "push", "items": 300, "payload_bytes": 2400}
+                ).encode()
+                raw.sendall(struct_module.pack("!I", len(header)) + header)
+                raw.sendall(b"\x01" * 100)  # 100 of 2400 payload bytes
+                raw.shutdown(socket.SHUT_WR)
+                # the handler thread logs asynchronously; wait for it
+                for _ in range(200):
+                    if any("protocol error" in message for message in caplog.messages):
+                        break
+                    threading.Event().wait(0.02)
+            finally:
+                raw.close()
+            # the server dropped that connection but stays healthy for others
+            with ServiceClient(server.endpoint) as client:
+                client.finish()
+                assert client.query().items_processed == 2 * 300
+        assert any("protocol error" in message for message in caplog.messages)
 
     def test_sketch_failure_surfaces_as_error_reply(self):
         # No universe hint: validation happens inside the sketch, on the
