@@ -31,6 +31,17 @@ query-latency series against the snapshot cache), and served with a mid-stream
 and the three bit-for-bit equalities (``identical_report`` for served-, pipelined-,
 and resumed-vs-offline).  Written to ``BENCH_service.json``.
 
+``--mode replication`` measures the replicated-fault-tolerance layer
+(:mod:`repro.replication`): for R ∈ {1, 3, 5} the trace is replayed through a
+:class:`~repro.replication.ReplicaGroup` of independently-seeded replicas,
+recording the R× ingest overhead versus a single instance, the bit-for-bit
+equality of replica 0 against the unreplicated run, and — for R >= 3 — a
+scripted kill of one replica mid-ingest: the degraded-window answers are
+checked against the exact prefix frequencies (Definition 1 on the survivors),
+the supervisor's re-seeded replacement is compared bit for bit against an
+uninterrupted equal-seed reference, and the quarantine-to-re-admit failover
+time is recorded.  Written to ``BENCH_replication.json``.
+
 Every mode runs ``--warmup`` discarded passes plus ``--repeats`` recorded passes
 and stores median/min/max, so the recorded numbers are not single-shot noise.
 
@@ -573,9 +584,145 @@ def run_service(length: int, batch_size: int, output: str,
     return results
 
 
+REPLICATION_COUNTS = (1, 3, 5)
+REPLICATION_CHUNK = 1 << 16
+REPLICATION_KILL_REPLICA = 1
+REPLICATION_HEAL_AFTER_CHUNKS = 2
+
+
+def run_replication(length: int, batch_size: int, output: str,
+                    warmup: int = 1, repeats: int = 3) -> dict:
+    """Experiment REPLICATION: quorum groups, failover time, degraded-window validity.
+
+    Delegates to :func:`repro.analysis.harness.run_replication_comparison` once per
+    replica count and repeat, so the benchmark asserts exactly the invariants the
+    replication layer promises: replica 0 of a fault-free group equals the
+    unreplicated run bit for bit, the degraded window after a scripted kill still
+    answers Definition 1 from the survivors (flagged ``degraded``), and the
+    supervisor's re-seeded replacement equals an uninterrupted equal-seed reference
+    bit for bit.  The headline costs are ``ingest_overhead_vs_single`` (the R× tax
+    of the fan-out) and ``failover_seconds`` (quarantine to re-admit).  Correctness
+    flags are ANDed across repeats; timings carry median/min/max.
+    """
+    import tempfile
+
+    from repro.analysis.harness import run_replication_comparison  # noqa: E402
+    from repro.streams.io import save_stream  # noqa: E402
+    from repro.streams.truth import exact_frequencies  # noqa: E402
+
+    # The failover leg needs enough chunk boundaries for kill + heal + a tail;
+    # shrink the chunk on short (smoke) streams instead of silently not healing.
+    chunk = REPLICATION_CHUNK
+    if length // chunk < 12:
+        chunk = max(1024, length // 12)
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    truth = exact_frequencies(stream)
+    results = {
+        "experiment": "replication",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "chunk_size": chunk,
+            "sketch": "optimal (Thm 2)", "replica_counts": list(REPLICATION_COUNTS),
+            "kill_replica": REPLICATION_KILL_REPLICA,
+            "heal_after_chunks": REPLICATION_HEAL_AFTER_CHUNKS,
+            "warmup": warmup, "repeats": repeats,
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "trace.txt")
+        save_stream(stream, path)
+        for replicas in REPLICATION_COUNTS:
+            factory = _sharded_factory(SEED + 1, UNIVERSE, length)
+            kill = REPLICATION_KILL_REPLICA if replicas >= 3 else None
+            payloads: dict = {"single": [], "replicated": [], "failover": []}
+            overheads: list = []
+            failover_seconds: list = []
+            flags = {
+                "replica0_identical_to_single": True, "shape_ok": True,
+                "identical_report": True, "identical_to_donor": True,
+                "degraded_queries_valid": True,
+            }
+            failover_row = None
+            degraded_queries = 0
+            for index in range(warmup + max(1, repeats)):
+                rows = run_replication_comparison(
+                    factory, path, PHI, replicas=replicas, chunk_size=chunk,
+                    kill_replica=kill,
+                    heal_after_chunks=REPLICATION_HEAL_AFTER_CHUNKS,
+                    true_frequencies=truth,
+                )
+                if index < warmup:
+                    continue
+                single, replicated = rows[0], rows[1]
+                payloads["single"].append(_row_payload(single, length))
+                payloads["replicated"].append(_row_payload(replicated, length))
+                overheads.append(replicated.measurements["ingest_overhead_vs_single"])
+                for flag in ("replica0_identical_to_single", "shape_ok"):
+                    flags[flag] &= bool(replicated.measurements[flag])
+                if kill is not None:
+                    failover_row = rows[2]
+                    payloads["failover"].append(_row_payload(failover_row, length))
+                    failover_seconds.append(
+                        failover_row.measurements["failover_seconds"]
+                    )
+                    degraded_queries = int(
+                        failover_row.measurements["degraded_queries"]
+                    )
+                    for flag in ("identical_report", "identical_to_donor",
+                                 "degraded_queries_valid"):
+                        flags[flag] &= bool(failover_row.measurements[flag])
+            entry = {
+                "single": _merge_timing(payloads["single"]),
+                "replicated": _merge_timing(payloads["replicated"]),
+                "ingest_overhead_vs_single": statistics.median(overheads),
+                "ingest_overhead_vs_single_stats": spread(overheads),
+                "replica0_identical_to_single": flags["replica0_identical_to_single"],
+                "shape_ok": flags["shape_ok"],
+                "quorum": int(replicated.measurements["quorum"]),
+            }
+            if kill is not None:
+                entry.update({
+                    "failover": _merge_timing(payloads["failover"]),
+                    "failover_seconds": statistics.median(failover_seconds),
+                    "failover_seconds_stats": spread(failover_seconds),
+                    "identical_report": flags["identical_report"],
+                    "identical_to_donor": flags["identical_to_donor"],
+                    "degraded_queries": degraded_queries,
+                    "degraded_queries_valid": flags["degraded_queries_valid"],
+                    "kill_chunk": int(failover_row.measurements["kill_chunk"]),
+                    "heal_chunk": int(failover_row.measurements["heal_chunk"]),
+                })
+            results["runs"][str(replicas)] = entry
+            line = (
+                f"R={replicas}  ingest overhead "
+                f"{entry['ingest_overhead_vs_single']:5.2f}x   "
+                f"replica0==single {entry['replica0_identical_to_single']}"
+            )
+            if kill is not None:
+                line += (
+                    f"   failover {entry['failover_seconds'] * 1e3:7.1f} ms   "
+                    f"identical_report {entry['identical_report']}   "
+                    f"degraded valid {entry['degraded_queries_valid']} "
+                    f"({entry['degraded_queries']} queries)"
+                )
+            print(line)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--mode", choices=["throughput", "sharded", "async", "service"],
+    parser.add_argument("--mode",
+                        choices=["throughput", "sharded", "async", "service",
+                                 "replication"],
                         default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
@@ -599,6 +746,10 @@ def main(argv=None) -> int:
     elif args.mode == "service":
         run_service(args.length, args.batch_size, args.output or "BENCH_service.json",
                     warmup=args.warmup, repeats=args.repeats)
+    elif args.mode == "replication":
+        run_replication(args.length, args.batch_size,
+                        args.output or "BENCH_replication.json",
+                        warmup=args.warmup, repeats=args.repeats)
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json",
             warmup=args.warmup, repeats=args.repeats)

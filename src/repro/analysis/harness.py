@@ -11,14 +11,18 @@ import os
 import statistics
 import tempfile
 import time
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.metrics import HeavyHitterAccuracy, evaluate_heavy_hitters
 from repro.core.base import FrequencyEstimator
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
+from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor
 from repro.service import Checkpointer, IngestServer, ServiceClient
 from repro.sharding import ShardedExecutor
 from repro.streams.io import iterate_stream_file, iterate_stream_file_chunks, stream_file_metadata
@@ -645,6 +649,208 @@ def run_service_comparison(
                 "report_symmetric_difference": float(
                     len(set(resumed.report.items).symmetric_difference(replay_items))
                 ),
+            },
+        )
+    )
+    return rows
+
+
+def run_replication_comparison(
+    factory: Callable[[int], FrequencyEstimator],
+    path: str,
+    phi: float,
+    replicas: int = 3,
+    chunk_size: int = 1 << 16,
+    kill_replica: Optional[int] = 1,
+    kill_after_chunk: Optional[int] = None,
+    heal_after_chunks: int = 2,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+    true_frequencies: Optional[Mapping[int, int]] = None,
+    universe_size: Optional[int] = None,
+) -> List[ExperimentRow]:
+    """The replication-survives-failure experiment: quorum groups vs one sketch.
+
+    Three legs over the same trace (two with ``kill_replica=None``):
+
+    * ``single`` — one :class:`~repro.pipeline.PipelinedExecutor` over
+      ``factory(0)``, the unreplicated reference;
+    * ``replicated(r=R)`` — a fault-free :class:`~repro.replication.ReplicaGroup`
+      over ``factory(0..R-1)``.  Replica 0 shares the single leg's seed and
+      sees the identical chunk sequence, so its individual report must equal
+      the single run **bit for bit** (``replica0_identical_to_single``) — the
+      fan-out provably does not perturb any replica.  ``shape_ok`` checks the
+      quorum-merged report carries the same (ε, ϕ, m) contract as the single
+      report, and ``ingest_overhead_vs_single`` records the R× fan-out cost;
+    * ``failover(r=R)`` — the same group, but a scripted
+      :class:`~repro.replication.FaultPlan` kills replica ``kill_replica``
+      mid-ingest.  While the group is degraded, every chunk boundary is
+      queried and each answer is checked against the exact frequencies of the
+      ingested *prefix* (``degraded_queries_valid``: Definition 1 holds on the
+      survivors, with the reply flagged ``degraded``).  After the supervisor
+      re-seeds the replacement from a survivor at chunk boundary ``H``, the
+      run completes and the replacement's final report is compared bit for bit
+      (``identical_report``) against an **uninterrupted equal-seed reference**:
+      a fresh run with the donor's seed whose state is round-tripped through
+      ``sink_state()``/``from_sink_state`` at the same boundary ``H`` — by the
+      re-seed determinism contract (see :mod:`repro.replication.supervisor`)
+      that reference is exactly what the clone must replay.
+      ``identical_to_donor`` additionally compares against the donor's own
+      uninterrupted report (equal only for sketches that draw no randomness
+      after construction).  ``failover_seconds`` is the quarantine-to-re-admit
+      wall clock from the group's event log.
+
+    ``factory(instance_index)`` builds a fresh sketch, seeded per index as in
+    the other comparisons.  ``kill_after_chunk`` defaults to roughly a third
+    of the trace, clamped so the heal lands before the stream ends.
+    """
+    metadata = stream_file_metadata(path)
+    length = metadata["length"]
+    universe = universe_size if universe_size is not None else metadata["universe_size"]
+    truth = (
+        true_frequencies
+        if true_frequencies is not None
+        else exact_frequencies(iterate_stream_file(path))
+    )
+    kwargs = dict(report_kwargs or {})
+    chunks = list(iterate_stream_file_chunks(path, chunk_size))
+    name = os.path.basename(path)
+    parameters = {
+        "stream": name, "m": length, "n": universe, "phi": phi,
+        "replicas": replicas, "chunk_size": chunk_size,
+    }
+
+    def make_row(label: str, result, extra: Optional[Dict[str, float]] = None) -> ExperimentRow:
+        measurements = _heavy_hitter_measurements(
+            result.report, truth, length, result.seconds, float(result.space_bits())
+        )
+        measurements["ingest_seconds"] = result.ingest_seconds
+        measurements["combine_seconds"] = result.combine_seconds
+        measurements.update(extra or {})
+        return ExperimentRow(label=label, parameters=dict(parameters),
+                             measurements=measurements)
+
+    def run_group(fault_plan, observe: bool):
+        """Ingest the trace into a fresh group; optionally query degraded windows."""
+        group = ReplicaGroup(
+            [PipelinedExecutor(sketch=factory(index), chunk_size=chunk_size)
+             for index in range(replicas)],
+            chunk_size=chunk_size,
+            supervisor=ReplicaSupervisor(heal_after_chunks=heal_after_chunks),
+            fault_plan=fault_plan,
+        )
+        prefix_truth: Counter = Counter()
+        degraded_queries = 0
+        degraded_valid = True
+        for chunk in chunks:
+            group.ingest_chunk(chunk)
+            if observe:
+                values, counts = np.unique(chunk, return_counts=True)
+                prefix_truth.update(dict(zip(values.tolist(), counts.tolist())))
+                if group.degraded:
+                    snapshot = group.snapshot(report_kwargs=kwargs)
+                    degraded_queries += 1
+                    degraded_valid = (
+                        degraded_valid
+                        and snapshot.degraded
+                        and snapshot.report.satisfies_definition(prefix_truth)
+                    )
+        return group.finalize(report_kwargs=kwargs), degraded_queries, degraded_valid
+
+    # -- single-instance reference ------------------------------------------------------
+    single = PipelinedExecutor(sketch=factory(0), chunk_size=chunk_size)
+    for chunk in chunks:
+        single.ingest_chunk(chunk)
+    single_result = single.finalize(report_kwargs=kwargs)
+    rows = [make_row("single", single_result)]
+    single_items = dict(single_result.report.items)
+
+    # -- fault-free replicated run ------------------------------------------------------
+    replicated_result, _, _ = run_group(fault_plan=None, observe=False)
+    replica0 = replicated_result.replica_report(0)
+    quorum_report = replicated_result.report
+    shape_ok = (
+        quorum_report.stream_length == single_result.report.stream_length
+        and abs(quorum_report.epsilon - single_result.report.epsilon) <= 1e-12
+        and abs(quorum_report.phi - single_result.report.phi) <= 1e-12
+    )
+    single_ingest = max(single_result.ingest_seconds, 1e-9)
+    rows.append(
+        make_row(
+            f"replicated(r={replicas})", replicated_result,
+            extra={
+                "shape_ok": 1.0 if shape_ok else 0.0,
+                "replica0_identical_to_single": (
+                    1.0 if dict(replica0.items) == single_items else 0.0
+                ),
+                "report_symmetric_difference": float(
+                    len(set(quorum_report.items).symmetric_difference(single_items))
+                ),
+                "ingest_overhead_vs_single": (
+                    replicated_result.ingest_seconds / single_ingest
+                ),
+                "quorum": float(replicated_result.quorum),
+            },
+        )
+    )
+    if kill_replica is None:
+        return rows
+
+    # -- failover run -------------------------------------------------------------------
+    if not 0 <= kill_replica < replicas:
+        raise ValueError(f"kill_replica must be in [0, {replicas}), got {kill_replica}")
+    if kill_after_chunk is None:
+        # Leave room for the heal AND a post-heal tail; a heal that never
+        # happens would make the identical_report comparison meaningless.
+        kill_after_chunk = max(0, min(len(chunks) // 3,
+                                      len(chunks) - heal_after_chunks - 2))
+    failover_result, degraded_queries, degraded_valid = run_group(
+        fault_plan=FaultPlan.kill_replica(kill_replica, after_chunk=kill_after_chunk),
+        observe=True,
+    )
+    heals = [event for event in failover_result.events
+             if event["event"] == "replica-healed" and event["replica"] == kill_replica]
+    if not heals:
+        raise RuntimeError(
+            f"the killed replica never healed (kill at chunk {kill_after_chunk}, "
+            f"heal_after_chunks={heal_after_chunks}, {len(chunks)} chunks); "
+            "use a longer trace or an earlier kill"
+        )
+    heal = heals[0]
+    heal_chunk = int(heal["chunk"])
+    donor = int(heal["donor"])
+
+    # The uninterrupted equal-seed reference: the donor's seed, state
+    # round-tripped at exactly the heal boundary — what the re-seeded
+    # replacement must replay bit for bit.
+    reference = PipelinedExecutor(sketch=factory(donor), chunk_size=chunk_size)
+    for chunk in chunks[:heal_chunk]:
+        reference.ingest_chunk(chunk)
+    resumed = PipelinedExecutor.from_sink_state(reference.sink_state(),
+                                                chunk_size=chunk_size)
+    for chunk in chunks[heal_chunk:]:
+        resumed.ingest_chunk(chunk)
+    reference_report = resumed.finalize(report_kwargs=kwargs).report
+
+    replacement_report = failover_result.replica_report(kill_replica)
+    donor_report = failover_result.replica_report(donor)
+    rows.append(
+        make_row(
+            f"failover(r={replicas})", failover_result,
+            extra={
+                "identical_report": (
+                    1.0 if dict(replacement_report.items) == dict(reference_report.items)
+                    else 0.0
+                ),
+                "identical_to_donor": (
+                    1.0 if dict(replacement_report.items) == dict(donor_report.items)
+                    else 0.0
+                ),
+                "kill_chunk": float(kill_after_chunk),
+                "heal_chunk": float(heal_chunk),
+                "failover_seconds": float(heal["failover_seconds"]),
+                "degraded_queries": float(degraded_queries),
+                "degraded_queries_valid": 1.0 if degraded_valid else 0.0,
+                "quorum": float(failover_result.quorum),
             },
         )
     )

@@ -13,7 +13,10 @@ on-disk traces without writing any Python:
   line, candidate ids in preference order);
 * ``bounds``         — evaluate the Table 1 space-bound formulas for given parameters;
 * ``serve``          — run the heavy-hitter service (:mod:`repro.service`): a long-lived
-  server ingesting pushed batches and answering live queries, with checkpoint/restore;
+  server ingesting pushed batches and answering live queries, with checkpoint/restore,
+  optional replication (``--replicas R``: quorum queries, failover, self-healing), a
+  graceful signal path (SIGTERM/SIGINT drain + final checkpoint), and deterministic
+  fault injection (``--fault``) for chaos testing;
 * ``push`` / ``query`` / ``checkpoint`` — the client side: stream a trace file to a
   server, print a (mid-ingest or final) report, write a server-side checkpoint.
 
@@ -25,7 +28,10 @@ can be diffed (the service round-trip CI job does exactly that).
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.misra_gries import MisraGries
@@ -39,7 +45,8 @@ from repro.core.minimum import EpsilonMinimum
 from repro.lowerbounds.bounds import TABLE1_ROWS
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
-from repro.service import Checkpointer, IngestServer, ServiceClient
+from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor, corrupt_file
+from repro.service import Checkpointer, IngestServer, RetryPolicy, ServiceClient
 from repro.sharding import ShardedExecutor
 from repro.streams.generators import (
     planted_heavy_hitters_stream,
@@ -225,8 +232,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ingestion chunk granularity (default 65536; from the "
                             "manifest under --restore)")
     serve.add_argument("--queue-depth", type=int, default=None, metavar="CHUNKS")
+    serve.add_argument("--replicas", type=int, default=None, metavar="R",
+                       help="run R independently-seeded replicas of the sketch behind "
+                            "the push queue; queries answer by quorum/median and a "
+                            "crashed replica is quarantined and re-seeded from a "
+                            "survivor (see repro.replication)")
+    serve.add_argument("--heal-after-chunks", type=int, default=0, metavar="CHUNKS",
+                       help="with --replicas, delay re-seeding a failed replica by "
+                            "this many ingested chunks (default 0: heal at the end "
+                            "of the failing chunk)")
     serve.add_argument("--restore", default=None, metavar="CKPT",
-                       help="resume from a checkpoint file written by `repro checkpoint`")
+                       help="resume from a checkpoint file written by `repro checkpoint` "
+                            "(single-sketch or full replica group)")
+    serve.add_argument("--checkpoint-path", default=None, metavar="PATH",
+                       help="on SIGTERM/SIGINT, drain acked pushes and write a final "
+                            "atomic checkpoint here before exiting")
+    serve.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                       help="deterministic fault injection (repeatable): "
+                            "kill:replica=I,after_chunk=C quarantines replica I "
+                            "mid-ingest (needs --replicas); corrupt byte-flips the "
+                            "final --checkpoint-path file after it is written "
+                            "(chaos testing only)")
     serve.add_argument("--ready-file", default=None, metavar="PATH",
                        help="write the bound endpoint to this file once listening "
                             "(for scripts that need the ephemeral port)")
@@ -264,6 +290,14 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument("--finish", action="store_true",
                       help="declare end of stream after pushing (merges the shards "
                            "and fixes the final report)")
+    push.add_argument("--retries", type=int, default=3, metavar="N",
+                      help="total connect/push attempts with exponential backoff + "
+                           "jitter; a dropped connection mid-push resumes from the "
+                           "server's acked count (default 3; 1 disables recovery)")
+    push.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                      help="deterministic fault injection (repeatable): "
+                           "drop:after_frame=F cuts the connection after F push "
+                           "frames to exercise reconnect-and-resume (chaos testing)")
 
     query = subparsers.add_parser(
         "query",
@@ -548,14 +582,63 @@ DEFAULT_SERVICE_CHUNK = 1 << 16
 DEFAULT_SERVICE_QUEUE_DEPTH = 4
 
 
+def _install_shutdown_handlers(server: IngestServer, checkpoint_path: Optional[str]) -> None:
+    """SIGTERM/SIGINT → drain acked pushes, final checkpoint, close the listener.
+
+    Without this a signal kills the process with the push queue undrained —
+    batches the server acked would silently never reach the sketch (let alone
+    a checkpoint).  The handler runs :meth:`IngestServer.graceful_stop` on a
+    helper thread (the drain can take seconds; a signal handler must return
+    promptly) and a second signal forces an immediate :meth:`close`.  Handlers
+    can only be installed from the main thread; elsewhere (tests driving
+    ``main()`` from a worker thread) this is a silent no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+    state = {"stopping": False}
+
+    def handler(signum, frame):
+        if state["stopping"]:
+            server.close()
+            return
+        state["stopping"] = True
+        threading.Thread(
+            target=server.graceful_stop,
+            kwargs={"checkpoint_path": checkpoint_path},
+            name="repro-service-graceful-stop",
+            daemon=True,
+        ).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main interpreter quirks
+            pass
+
+
 def _command_serve(args: argparse.Namespace) -> int:
-    for flag, value in (("--chunk-size", args.chunk_size), ("--queue-depth", args.queue_depth)):
+    for flag, value in (("--chunk-size", args.chunk_size), ("--queue-depth", args.queue_depth),
+                        ("--replicas", args.replicas)):
         if value is not None and value <= 0:
             raise SystemExit(f"{flag} must be positive, got {value}")
+    if args.heal_after_chunks < 0:
+        raise SystemExit("--heal-after-chunks cannot be negative")
+    try:
+        fault_plan = FaultPlan.parse(args.fault) if args.fault else None
+    except ValueError as exc:
+        raise SystemExit(f"--fault: {exc}")
+    if fault_plan is not None and args.replicas is None and any(
+        spec.kind == "kill-replica" for spec in fault_plan.specs
+    ):
+        raise SystemExit("--fault kill:... needs --replicas")
+    supervisor = ReplicaSupervisor(heal_after_chunks=args.heal_after_chunks)
     if args.restore is not None:
         pipeline, manifest = Checkpointer().restore_pipeline(
             args.restore, chunk_size=args.chunk_size, queue_depth=args.queue_depth
         )
+        if isinstance(pipeline, ReplicaGroup):
+            pipeline.supervisor = supervisor
+            pipeline.fault_plan = fault_plan
         config = dict(manifest.get("config", {}))
         universe = config.get("universe_size")
         report_kwargs = dict(config.get("report_kwargs", {}))
@@ -570,16 +653,32 @@ def _command_serve(args: argparse.Namespace) -> int:
         build = _sketch_builder(args.algorithm, args.epsilon, args.phi, universe,
                                 args.stream_length)
         report_kwargs = {"phi": args.phi} if args.algorithm == "misra-gries" else {}
-        if args.shards is not None:
-            pipeline = PipelinedExecutor(
-                executor=_sharded_executor(build, rng, args.shards, universe),
+
+        def build_sink(instance_rng: RandomSource) -> PipelinedExecutor:
+            """One replica (or the single sink): same wiring as `heavy-hitters`."""
+            if args.shards is not None:
+                return PipelinedExecutor(
+                    executor=_sharded_executor(build, instance_rng, args.shards, universe),
+                    chunk_size=chunk_size,
+                    queue_depth=queue_depth,
+                )
+            return PipelinedExecutor(
+                sketch=build(instance_rng), chunk_size=chunk_size, queue_depth=queue_depth
+            )
+
+        if args.replicas is not None:
+            # Replica i's whole seeding tree hangs off rng.spawn(i), so the
+            # replicas are independently seeded but each is individually
+            # reproducible from (--seed, i).
+            pipeline = ReplicaGroup(
+                [build_sink(rng.spawn(index)) for index in range(args.replicas)],
                 chunk_size=chunk_size,
                 queue_depth=queue_depth,
+                supervisor=supervisor,
+                fault_plan=fault_plan,
             )
         else:
-            pipeline = PipelinedExecutor(
-                sketch=build(rng), chunk_size=chunk_size, queue_depth=queue_depth
-            )
+            pipeline = build_sink(rng)
         config = {
             "algorithm": args.algorithm, "epsilon": args.epsilon, "phi": args.phi,
             "universe_size": universe, "stream_length": args.stream_length,
@@ -596,6 +695,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         report_kwargs=report_kwargs,
     )
     server.start()
+    _install_shutdown_handlers(server, args.checkpoint_path)
     print(f"listening on {server.endpoint}", flush=True)
     if args.ready_file:
         with open(args.ready_file, "w", encoding="utf-8") as handle:
@@ -603,7 +703,12 @@ def _command_serve(args: argparse.Namespace) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        server.close()
+        server.graceful_stop(checkpoint_path=args.checkpoint_path)
+    if (fault_plan is not None and fault_plan.should_corrupt()
+            and args.checkpoint_path and os.path.exists(args.checkpoint_path)):
+        offset = corrupt_file(args.checkpoint_path)
+        print(f"fault: corrupted checkpoint {args.checkpoint_path} at byte {offset}",
+              flush=True)
     return 0
 
 
@@ -634,7 +739,21 @@ def _command_push(args: argparse.Namespace) -> int:
             if args.limit is not None and counters["pushed"] >= args.limit:
                 return
 
-    with ServiceClient(args.connect) as client:
+    if args.retries <= 0:
+        raise SystemExit(f"--retries must be positive, got {args.retries}")
+    try:
+        fault_plan = FaultPlan.parse(args.fault) if args.fault else None
+    except ValueError as exc:
+        raise SystemExit(f"--fault: {exc}")
+    if fault_plan is not None and any(
+        spec.kind != "drop-connection" for spec in fault_plan.specs
+    ):
+        raise SystemExit("push --fault only takes drop:after_frame=F specs")
+    if fault_plan is not None and args.window <= 1:
+        raise SystemExit("push --fault needs --window > 1 (faults fire on the "
+                         "pipelined push path)")
+    with ServiceClient(args.connect, retry=RetryPolicy(attempts=args.retries),
+                       fault_plan=fault_plan) as client:
         if args.window > 1:
             client.push_stream(sliced_batches(), window=args.window)
         else:
@@ -655,6 +774,10 @@ def _command_query(args: argparse.Namespace) -> int:
         result = client.query(phi=args.phi)
         print(f"items_processed: {result.items_processed}")
         print(f"final: {'true' if result.final else 'false'}")
+        if result.degraded:
+            # Only printed when true: unreplicated servers keep their exact
+            # historical output (the CI service-smoke job diffs it).
+            print("degraded: true")
         print(f"space_bits: {result.space_bits}")
         _print_heavy_hitter_lines(result.report, result.items_processed)
         if args.shutdown:

@@ -9,6 +9,7 @@ phrased in terms of.
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
@@ -128,6 +129,80 @@ class HeavyHittersReport:
             stream_length=stream_length,
             epsilon=self.epsilon,
             phi=self.phi,
+        )
+
+    @classmethod
+    def quorum_merge(
+        cls,
+        reports: List["HeavyHittersReport"],
+        quorum: Optional[int] = None,
+    ) -> "HeavyHittersReport":
+        """Combine reports from R replicas over the **same** stream prefix.
+
+        Unlike :meth:`merge` (which combines shards over *disjoint* sub-streams,
+        adding estimates and lengths), replicas all saw the identical stream:
+        an item belongs in the combined answer iff at least ``quorum`` replicas
+        reported it (default: a majority, ``len(reports) // 2 + 1``), and its
+        estimate is the **median** of the reporting replicas' estimates.  Each
+        replica errs with probability δ independently, so a quorum answer is
+        wrong only when ⌈R/2⌉ replicas fail on the same item — failure
+        probability roughly δ^⌈R/2⌉ — and the median estimate is within ±εm
+        whenever a majority of the reporting estimates are.
+
+        All reports must carry the same (ε, ϕ) and the same ``stream_length``;
+        a length mismatch means the replicas diverged (they no longer hold the
+        same prefix) and quorum semantics would be meaningless, so it raises.
+
+        >>> a = HeavyHittersReport(items={7: 300.0, 2: 120.0}, stream_length=1000,
+        ...                        epsilon=0.01, phi=0.1)
+        >>> b = HeavyHittersReport(items={7: 302.0, 2: 118.0}, stream_length=1000,
+        ...                        epsilon=0.01, phi=0.1)
+        >>> c = HeavyHittersReport(items={7: 310.0, 9: 101.0}, stream_length=1000,
+        ...                        epsilon=0.01, phi=0.1)
+        >>> merged = HeavyHittersReport.quorum_merge([a, b, c])
+        >>> merged.reported_items()
+        [7, 2]
+        >>> merged.estimated_frequency(7), merged.estimated_frequency(2)
+        (302.0, 119.0)
+        >>> HeavyHittersReport.quorum_merge([a, b, c], quorum=1).reported_items()
+        [7, 2, 9]
+        """
+        if not reports:
+            raise ValueError("quorum_merge needs at least one report")
+        if quorum is None:
+            quorum = len(reports) // 2 + 1
+        if not 1 <= quorum <= len(reports):
+            raise ValueError(
+                f"quorum must be in [1, {len(reports)}], got {quorum}"
+            )
+        first = reports[0]
+        for report in reports[1:]:
+            if (abs(report.epsilon - first.epsilon) > 1e-12
+                    or abs(report.phi - first.phi) > 1e-12):
+                raise ValueError(
+                    "cannot quorum-merge reports with different guarantees: "
+                    f"(epsilon={first.epsilon}, phi={first.phi}) vs "
+                    f"(epsilon={report.epsilon}, phi={report.phi})"
+                )
+            if report.stream_length != first.stream_length:
+                raise ValueError(
+                    "cannot quorum-merge reports over different prefixes: "
+                    f"stream_length {first.stream_length} vs {report.stream_length}"
+                )
+        votes: Dict[int, List[float]] = {}
+        for report in reports:
+            for item, estimate in report.items.items():
+                votes.setdefault(item, []).append(estimate)
+        items = {
+            item: float(statistics.median(estimates))
+            for item, estimates in votes.items()
+            if len(estimates) >= quorum
+        }
+        return cls(
+            items=items,
+            stream_length=first.stream_length,
+            epsilon=first.epsilon,
+            phi=first.phi,
         )
 
     # -- correctness predicates (Definition 1 / Definition 3) ------------------------

@@ -1,0 +1,49 @@
+"""Replicated sketch groups: quorum queries, failover, and fault injection.
+
+Each sketch in this repo answers Definition 1 queries correctly only with
+probability 1−δ.  Running ``R`` independently-seeded replicas of the same
+configuration and answering by **quorum membership + median estimate**
+(:meth:`repro.core.results.HeavyHittersReport.quorum_merge`) tightens the
+effective failure probability to roughly δ^⌈R/2⌉ — a majority of replicas must
+fail *on the same item* for the merged answer to be wrong — and, operationally,
+lets the service survive a replica crash mid-ingest without losing the stream.
+
+Layout:
+
+* :mod:`~repro.replication.group` — :class:`ReplicaGroup`, the replicated sink
+  that fans every chunk to R :class:`~repro.pipeline.PipelinedExecutor`
+  replicas, plus its snapshot/result/checkpoint types.
+* :mod:`~repro.replication.supervisor` — :class:`ReplicaSupervisor`, the
+  quarantine-and-re-seed healing policy.
+* :mod:`~repro.replication.faults` — :class:`FaultPlan`, deterministic
+  scripted failures (kill a replica at a chunk, drop a connection at a frame,
+  corrupt a checkpoint) shared by tests, the CLI, and the chaos-smoke CI job.
+"""
+
+from repro.replication.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_file,
+)
+from repro.replication.group import (
+    GroupRunResult,
+    GroupSinkState,
+    GroupSnapshot,
+    ReplicaGroup,
+    ReplicaStatus,
+)
+from repro.replication.supervisor import ReplicaSupervisor
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "GroupRunResult",
+    "GroupSinkState",
+    "GroupSnapshot",
+    "InjectedFault",
+    "ReplicaGroup",
+    "ReplicaStatus",
+    "ReplicaSupervisor",
+    "corrupt_file",
+]

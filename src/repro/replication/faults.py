@@ -1,0 +1,197 @@
+"""Deterministic fault injection: scripted failures for the replication stack.
+
+A :class:`FaultPlan` is a list of one-shot :class:`FaultSpec` entries that the
+replication and service layers consult at well-defined points:
+
+* ``kill-replica`` — :meth:`FaultPlan.fire_kill` is checked by
+  :meth:`repro.replication.ReplicaGroup.ingest_chunk` before each replica
+  ingests a chunk; when it fires, the replica raises :class:`InjectedFault`
+  mid-ingest and is quarantined exactly as a real sketch failure would be.
+* ``drop-connection`` — :meth:`FaultPlan.fire_drop` is checked by
+  :meth:`repro.service.ServiceClient.push_stream` before each push frame; when
+  it fires, the client's socket is cut, exercising the reconnect-and-resume
+  path against a real server.
+* ``corrupt-checkpoint`` — :meth:`FaultPlan.should_corrupt` tells a harness to
+  byte-flip a checkpoint file (:func:`corrupt_file`) after it is written, so
+  restore-time rejection is tested against real corruption, not a mock.
+
+Every fault is **deterministic** (it fires at an exact chunk/frame index,
+exactly once) so a failover test is reproducible: the same plan against the
+same stream produces the same degraded window every run.  Plans are also
+parseable from compact CLI specs (:meth:`FaultPlan.parse`), so the chaos-smoke
+CI job scripts the same machinery the unit tests use::
+
+    repro serve  ... --replicas 3 --fault kill:replica=1,after_chunk=3
+    repro push   ... --fault drop:after_frame=5
+
+This module deliberately imports nothing heavy (no numpy, no service/pipeline
+modules) so both the client and the replica group can depend on it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+
+class InjectedFault(RuntimeError):
+    """A scripted failure raised by fault injection (never by real code paths)."""
+
+
+@dataclass
+class FaultSpec:
+    """One scripted fault; ``fired`` makes it one-shot.
+
+    ``kind`` is one of ``"kill-replica"`` (needs ``replica`` and
+    ``after_chunk``), ``"drop-connection"`` (needs ``after_frame``), or
+    ``"corrupt-checkpoint"`` (no operands).  Chunk and frame indices count
+    completed units: ``after_chunk=3`` kills the replica while it ingests the
+    chunk that would be its fourth (index 3, zero-based); ``after_frame=5``
+    cuts the connection once five push frames have been sent.
+    """
+
+    kind: str
+    replica: Optional[int] = None
+    after_chunk: Optional[int] = None
+    after_frame: Optional[int] = None
+    fired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind == "kill-replica":
+            if self.replica is None or self.after_chunk is None:
+                raise ValueError("kill-replica needs replica= and after_chunk=")
+            if self.replica < 0 or self.after_chunk < 0:
+                raise ValueError("kill-replica operands cannot be negative")
+        elif self.kind == "drop-connection":
+            if self.after_frame is None or self.after_frame < 0:
+                raise ValueError("drop-connection needs a non-negative after_frame=")
+        elif self.kind != "corrupt-checkpoint":
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of one-shot faults (see module docstring)."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------------------
+
+    @classmethod
+    def kill_replica(cls, replica: int, after_chunk: int) -> "FaultPlan":
+        """A plan with a single kill: replica ``replica`` dies at chunk ``after_chunk``."""
+        return cls([FaultSpec("kill-replica", replica=replica, after_chunk=after_chunk)])
+
+    @classmethod
+    def drop_connection(cls, after_frame: int) -> "FaultPlan":
+        """A plan with a single connection cut after ``after_frame`` push frames."""
+        return cls([FaultSpec("drop-connection", after_frame=after_frame)])
+
+    @classmethod
+    def corrupt_checkpoint(cls) -> "FaultPlan":
+        """A plan instructing the harness to corrupt the next checkpoint file."""
+        return cls([FaultSpec("corrupt-checkpoint")])
+
+    @staticmethod
+    def parse_spec(text: str) -> FaultSpec:
+        """Parse one CLI fault spec.
+
+        Grammar: ``KIND[:key=value[,key=value...]]`` with kinds ``kill``
+        (``replica=``, ``after_chunk=``), ``drop`` (``after_frame=``), and
+        ``corrupt`` (no operands)::
+
+            kill:replica=1,after_chunk=3
+            drop:after_frame=5
+            corrupt
+
+        Raises:
+            ValueError: on an unknown kind, unknown key, or malformed operand.
+        """
+        head, _, tail = text.strip().partition(":")
+        operands = {}
+        if tail:
+            for part in tail.split(","):
+                key, separator, value = part.partition("=")
+                if not separator:
+                    raise ValueError(f"fault operand {part!r} is not key=value")
+                try:
+                    operands[key.strip()] = int(value)
+                except ValueError as exc:
+                    raise ValueError(f"fault operand {part!r} needs an integer value") from exc
+        kinds = {"kill": "kill-replica", "drop": "drop-connection",
+                 "corrupt": "corrupt-checkpoint"}
+        if head not in kinds:
+            raise ValueError(
+                f"unknown fault kind {head!r}; expected kill, drop, or corrupt"
+            )
+        allowed = {"kill": {"replica", "after_chunk"}, "drop": {"after_frame"},
+                   "corrupt": set()}[head]
+        unknown = set(operands) - allowed
+        if unknown:
+            raise ValueError(f"fault {head!r} does not take {sorted(unknown)}")
+        return FaultSpec(kinds[head], **operands)
+
+    @classmethod
+    def parse(cls, texts: Iterable[str]) -> "FaultPlan":
+        """Parse several CLI fault specs into one plan."""
+        return cls([cls.parse_spec(text) for text in texts])
+
+    # -- firing points ------------------------------------------------------------------
+
+    def fire_kill(self, replica: int, chunk_index: int) -> bool:
+        """True (once) iff a kill is scheduled for this replica at this chunk."""
+        for spec in self.specs:
+            if (spec.kind == "kill-replica" and not spec.fired
+                    and spec.replica == replica and chunk_index >= spec.after_chunk):
+                spec.fired = True
+                return True
+        return False
+
+    def fire_drop(self, frames_sent: int) -> bool:
+        """True (once) iff a connection cut is scheduled at this frame count."""
+        for spec in self.specs:
+            if (spec.kind == "drop-connection" and not spec.fired
+                    and frames_sent >= spec.after_frame):
+                spec.fired = True
+                return True
+        return False
+
+    def should_corrupt(self) -> bool:
+        """True (once) iff the plan schedules checkpoint corruption."""
+        for spec in self.specs:
+            if spec.kind == "corrupt-checkpoint" and not spec.fired:
+                spec.fired = True
+                return True
+        return False
+
+    def pending(self) -> List[FaultSpec]:
+        """The faults that have not fired yet (for asserting a plan completed)."""
+        return [spec for spec in self.specs if not spec.fired]
+
+
+def corrupt_file(path: str, offset: Optional[int] = None) -> int:
+    """Flip one byte of ``path`` in place; returns the corrupted offset.
+
+    Deterministic: without an explicit ``offset`` the byte at the middle of the
+    file is flipped, so repeated runs corrupt the same position.  Used by the
+    crash-simulation tests and the chaos-smoke CI job to verify that
+    :class:`~repro.service.Checkpointer` *rejects* a damaged checkpoint instead
+    of unpickling garbage into a half-built server.
+
+    Raises:
+        ValueError: if the file is empty (nothing to corrupt).
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    position = size // 2 if offset is None else offset
+    if not 0 <= position < size:
+        raise ValueError(f"corrupt offset {position} outside file of {size} bytes")
+    with open(path, "r+b") as handle:
+        handle.seek(position)
+        byte = handle.read(1)
+        handle.seek(position)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    return position

@@ -1,0 +1,608 @@
+"""The replicated sink: fan every chunk to R independently-seeded executors.
+
+:class:`ReplicaGroup` mirrors the :class:`~repro.pipeline.PipelinedExecutor`
+surface the service layer drives (``ingest_chunk`` / ``finalize`` / ``run`` /
+``snapshot`` / ``sink_state`` / ``from_sink_state`` plus the progress counters),
+so an :class:`~repro.service.IngestServer` can put a whole quorum behind its
+push queue without the push/flush/finish plumbing changing at all.  See
+:mod:`repro.replication` for the failure model and the quorum/median guarantee.
+
+Consistency contract
+--------------------
+
+Chunk fan-out is atomic under the group lock: a chunk is delivered to every
+live replica (or the replica is quarantined trying) before any query can
+observe the new prefix.  All live replicas therefore always agree on
+``items_processed`` — which is what makes :meth:`snapshot`'s quorum merge
+well-defined (reports over the *same* prefix are combined, never a mix of
+prefixes) and what makes a replacement cloned from any survivor interchangeable
+with the others.
+
+Failure and healing
+-------------------
+
+A replica that raises during ingestion — a real sketch bug, poisoned state, or
+an injected :class:`~repro.replication.faults.InjectedFault` — is quarantined:
+its (possibly half-updated) state is never read again, queries continue from
+the survivors with ``degraded`` set, and the group's
+:class:`~repro.replication.supervisor.ReplicaSupervisor` decides when to
+re-seed a replacement from a survivor's :meth:`sink_state` capture (see the
+supervisor module for the re-seed determinism argument).  Only when *every*
+replica has failed does ingestion itself fail.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.results import HeavyHittersReport
+from repro.pipeline.executor import PipelinedExecutor, SinkState
+from repro.pipeline.producer import (
+    DEFAULT_CHUNK_ITEMS,
+    DEFAULT_QUEUE_DEPTH,
+    ArrayBatchSource,
+    ChunkProducer,
+)
+from repro.primitives.space import SpaceMeter
+from repro.replication.faults import FaultPlan, InjectedFault
+from repro.replication.supervisor import ReplicaSupervisor
+from repro.sharding.mergeable import merge_all
+
+
+@dataclass
+class ReplicaStatus:
+    """Health bookkeeping for one replica slot."""
+
+    healthy: bool = True
+    quarantined_chunk: Optional[int] = None  # chunk index the replica failed on
+    quarantined_at: Optional[float] = None  # time.monotonic() at quarantine
+    error: Optional[str] = None
+    heals: int = 0  # times this slot was re-seeded from a survivor
+
+    def as_payload(self, index: int) -> Dict[str, object]:
+        """JSON-safe summary for ``stats`` replies."""
+        return {
+            "replica": index,
+            "healthy": self.healthy,
+            "quarantined_chunk": self.quarantined_chunk,
+            "error": self.error,
+            "heals": self.heals,
+        }
+
+
+@dataclass
+class GroupSnapshot:
+    """A consistent mid-ingest quorum answer: one merged report over one prefix.
+
+    ``report`` is the :meth:`HeavyHittersReport.quorum_merge` of the live
+    replicas' snapshot reports; ``degraded`` is True while any replica slot is
+    quarantined (the answer then rests on fewer than the configured R replicas,
+    still valid under Definition 1 per surviving sketch, but with the weaker
+    single-replica failure probability).  ``space_bits`` sums the live
+    replicas' merged snapshot footprints.
+    """
+
+    report: HeavyHittersReport
+    items_processed: int
+    space_bits: int
+    degraded: bool
+    live_replicas: int
+    num_replicas: int
+    replica_reports: List[HeavyHittersReport] = field(default_factory=list)
+
+
+@dataclass
+class GroupRunResult:
+    """Everything a replicated run produces; the group analogue of
+    :class:`~repro.pipeline.PipelinedRunResult`.
+
+    ``report`` is the quorum merge across the live replicas' final reports;
+    ``replica_results`` holds each slot's individual
+    :class:`~repro.pipeline.PipelinedRunResult` (``None`` for a slot that was
+    still quarantined at finish).  ``space`` folds every live replica's meter
+    under a ``replica<i>/`` prefix, so the R× space cost of replication is
+    visible in the accounting rather than averaged away.
+    """
+
+    report: HeavyHittersReport
+    replica_results: List[Optional[Any]]
+    degraded: bool
+    num_replicas: int
+    live_replicas: int
+    quorum: int
+    num_shards: int
+    shard_sizes: List[int]
+    items_processed: int
+    chunks: int
+    queue_depth: int
+    max_queue_depth: int
+    seconds: float
+    ingest_seconds: float
+    combine_seconds: float
+    space: SpaceMeter = field(default_factory=SpaceMeter)
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    def space_bits(self) -> int:
+        """Combined space across every live replica, in bits."""
+        return self.space.total_bits()
+
+    def replica_report(self, index: int) -> Optional[HeavyHittersReport]:
+        """Replica ``index``'s individual final report (``None`` if it died)."""
+        result = self.replica_results[index]
+        return None if result is None else result.report
+
+
+@dataclass
+class GroupSinkState:
+    """A chunk-aligned checkpoint of a whole replica group.
+
+    ``states`` holds one :class:`~repro.pipeline.SinkState` per replica slot,
+    ``None`` for a slot that was quarantined at capture time.
+    :meth:`ReplicaGroup.from_sink_state` restores at **full strength**: missing
+    slots are re-seeded from the first healthy state's deep copy (the same
+    clone-at-a-boundary operation the supervisor uses live), so a restore is
+    also a heal.
+    """
+
+    kind: str  # always "replicated"
+    states: List[Optional[SinkState]]
+    items_processed: int
+    chunks: int
+    statuses: List[Dict[str, object]] = field(default_factory=list)
+
+
+class ReplicaGroup:
+    """Fan chunks to R :class:`~repro.pipeline.PipelinedExecutor` replicas;
+    answer by quorum.
+
+    Args:
+        replicas: R executors over the same sketch configuration but distinct
+            seeds.  All must be unconsumed and agree on ``items_processed``
+            (zero for fresh groups, the restored prefix for
+            :meth:`from_sink_state` groups) — disagreeing replicas would make
+            the quorum merge compare reports over different prefixes.
+        chunk_size / queue_depth: chunk granularity and producer bound for
+            :meth:`run`, mirrored from the executor surface so the service
+            layer can read them off the group.
+        supervisor: failure policy; defaults to immediate auto-heal
+            (:class:`~repro.replication.ReplicaSupervisor`).
+        fault_plan: optional :class:`~repro.replication.FaultPlan` whose
+            ``kill-replica`` entries fire during :meth:`ingest_chunk`.
+        quorum: reports appear in the merged answer iff at least this many
+            live replicas report them; defaults to a majority of the *live*
+            replicas at query time (⌈(live+1)/2⌉), so degraded groups keep a
+            meaningful quorum rule.
+
+    Raises:
+        ValueError: on an empty group, a consumed replica, or disagreeing
+            replica prefixes/shard counts.
+    """
+
+    def __init__(
+        self,
+        replicas: List[PipelinedExecutor],
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        supervisor: Optional[ReplicaSupervisor] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        quorum: Optional[int] = None,
+    ) -> None:
+        if not replicas:
+            raise ValueError("a ReplicaGroup needs at least one replica")
+        for index, replica in enumerate(replicas):
+            if replica._finished or (replica._started and replica.items_processed == 0):
+                raise ValueError(f"replica {index} has already been consumed")
+            if replica.items_processed != replicas[0].items_processed:
+                raise ValueError("replicas disagree on their ingested prefix")
+            if replica.num_shards != replicas[0].num_shards:
+                raise ValueError("replicas disagree on their shard count")
+        if quorum is not None and not 1 <= quorum <= len(replicas):
+            raise ValueError(f"quorum must be in [1, {len(replicas)}], got {quorum}")
+        self.replicas: List[PipelinedExecutor] = list(replicas)
+        self.num_replicas = len(self.replicas)
+        self.chunk_size = chunk_size
+        self.queue_depth = queue_depth
+        self.num_shards = self.replicas[0].num_shards
+        self.items_processed = self.replicas[0].items_processed
+        self.supervisor = supervisor if supervisor is not None else ReplicaSupervisor()
+        self.fault_plan = fault_plan
+        self._quorum = quorum
+        self._status: List[ReplicaStatus] = [ReplicaStatus() for _ in self.replicas]
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+        self._started = False
+        self._finished = False
+        self._chunks_ingested = self.replicas[0]._chunks_ingested
+        self._max_queue_depth = 0
+        self._ingest_started_at: Optional[float] = None
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while any replica slot is quarantined."""
+        return any(not status.healthy for status in self._status)
+
+    @property
+    def live_replicas(self) -> int:
+        """How many replica slots are currently healthy."""
+        return sum(1 for status in self._status if status.healthy)
+
+    @property
+    def snapshot_cache_hits(self) -> int:
+        return sum(replica.snapshot_cache_hits for replica in self.replicas)
+
+    @property
+    def snapshot_cache_misses(self) -> int:
+        return sum(replica.snapshot_cache_misses for replica in self.replicas)
+
+    def quorum_for(self, live: int) -> int:
+        """The membership quorum used when ``live`` replicas answer."""
+        if self._quorum is not None:
+            return min(self._quorum, live)
+        return live // 2 + 1
+
+    def replica_status_payload(self) -> List[Dict[str, object]]:
+        """JSON-safe per-slot health summaries (the ``stats`` reply's ``replicas``)."""
+        return [status.as_payload(index) for index, status in enumerate(self._status)]
+
+    def events_payload(self) -> List[Dict[str, object]]:
+        """JSON-safe copy of the failure/heal event log."""
+        return [dict(event) for event in self.events]
+
+    def infer_universe_size(self) -> Optional[int]:
+        """The universe bound of the replicas' sketches (for server validation)."""
+        first = self.replicas[0]
+        if first.executor is not None:
+            return first.executor.router.universe_size
+        return getattr(first.sketch, "universe_size", None)
+
+    # -- ingestion ----------------------------------------------------------------------
+
+    def _live_items(self) -> List:
+        return [(index, replica) for index, replica in enumerate(self.replicas)
+                if self._status[index].healthy]
+
+    def ingest_chunk(self, chunk) -> None:
+        """Deliver one chunk to every live replica, atomically vs :meth:`snapshot`.
+
+        A replica that raises (sketch failure or injected kill) is quarantined
+        mid-loop: the survivors still receive the chunk, so the group's prefix
+        advances as long as at least one replica lives.  At the end of the
+        chunk the supervisor gets a chance to heal quarantined slots from a
+        survivor (a chunk boundary is the only point at which a clone and its
+        donor provably hold the same prefix).
+
+        Raises:
+            RuntimeError: if the group was finalized, or every replica has
+                failed (the last error is chained).
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this ReplicaGroup has already merged its sinks; "
+                    "build a fresh one per run"
+                )
+            self._started = True
+            if self._ingest_started_at is None:
+                self._ingest_started_at = time.perf_counter()
+            chunk_index = self._chunks_ingested
+            last_error: Optional[BaseException] = None
+            for index, replica in self._live_items():
+                try:
+                    if self.fault_plan is not None and self.fault_plan.fire_kill(
+                        index, chunk_index
+                    ):
+                        raise InjectedFault(
+                            f"fault plan killed replica {index} at chunk {chunk_index}"
+                        )
+                    replica.ingest_chunk(chunk)
+                except Exception as exc:  # noqa: BLE001 - quarantine, don't crash the stream
+                    last_error = exc
+                    self._quarantine(index, chunk_index, exc)
+            if not any(status.healthy for status in self._status):
+                raise RuntimeError(
+                    f"all {self.num_replicas} replicas have failed; "
+                    f"last error: {last_error!r}"
+                ) from last_error
+            self._chunks_ingested += 1
+            self.items_processed += len(chunk)
+            self._maybe_heal()
+
+    def _quarantine(self, index: int, chunk_index: int, error: BaseException) -> None:
+        """Mark a replica failed; its state is never read again (it may be poisoned)."""
+        status = self._status[index]
+        status.healthy = False
+        status.quarantined_chunk = chunk_index
+        status.quarantined_at = time.monotonic()
+        status.error = f"{type(error).__name__}: {error}"
+        self.events.append({
+            "event": "replica-failed",
+            "replica": index,
+            "chunk": chunk_index,
+            "error": status.error,
+        })
+
+    def _maybe_heal(self) -> None:
+        """Re-seed quarantined slots whose heal is due (supervisor policy).
+
+        Called at the end of each chunk, under the group lock.  The donor is
+        the lowest-index healthy replica; its :meth:`sink_state` capture is a
+        pure read (the donor's own future is untouched) and the replacement
+        adopts the captured, deterministically re-seeded state — see
+        :mod:`repro.replication.supervisor` for why the replacement's future
+        is bit-for-bit reproducible.
+        """
+        live = self._live_items()
+        if not live:
+            return
+        donor_index, donor = live[0]
+        for index, status in enumerate(self._status):
+            if status.healthy:
+                continue
+            if not self.supervisor.should_heal(status, self._chunks_ingested):
+                continue
+            replacement = self.supervisor.build_replacement(
+                donor, chunk_size=self.chunk_size, queue_depth=self.queue_depth
+            )
+            failover_seconds = (
+                time.monotonic() - status.quarantined_at
+                if status.quarantined_at is not None else 0.0
+            )
+            self.replicas[index] = replacement
+            self._status[index] = ReplicaStatus(heals=status.heals + 1)
+            self.supervisor.record_heal()
+            self.events.append({
+                "event": "replica-healed",
+                "replica": index,
+                "donor": donor_index,
+                "chunk": self._chunks_ingested,
+                "failover_seconds": failover_seconds,
+            })
+
+    def run(
+        self,
+        source,
+        report_kwargs: Optional[Mapping[str, Any]] = None,
+    ) -> GroupRunResult:
+        """Replay ``source`` through a bounded chunk queue into every replica.
+
+        The group analogue of :meth:`PipelinedExecutor.run` — one producer
+        thread parses, every live replica consumes each chunk — so the service
+        layer's ingestion loop drives a group exactly as it drives a single
+        executor.
+
+        Raises:
+            RuntimeError: if the group already ran or was driven through
+                :meth:`ingest_chunk`.
+        """
+        if self._started or self._finished:
+            raise RuntimeError(
+                "this ReplicaGroup has already run; build a fresh one per run"
+            )
+        self._started = True
+        producer = ChunkProducer(
+            source, chunk_size=self.chunk_size, queue_depth=self.queue_depth
+        )
+        if not isinstance(source, ArrayBatchSource):
+            # Same stamp rule as PipelinedExecutor.run: replay sources begin
+            # ingesting now; push-driven sources stamp on the first chunk.
+            self._ingest_started_at = time.perf_counter()
+        try:
+            for chunk in producer:
+                self.ingest_chunk(chunk)
+        finally:
+            producer.close()
+        self._max_queue_depth = producer.max_queue_depth
+        return self.finalize(report_kwargs)
+
+    def finalize(
+        self, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> GroupRunResult:
+        """Merge every live replica, quorum-combine their reports, account space.
+
+        Raises:
+            RuntimeError: on a second finalize of the same group.
+        """
+        now = time.perf_counter()
+        started = self._ingest_started_at if self._ingest_started_at is not None else now
+        ingest_seconds = now - started
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this ReplicaGroup has already merged its sinks; "
+                    "build a fresh one per run"
+                )
+            self._finished = True
+            live = self._live_items()
+            if not live:
+                raise RuntimeError("cannot finalize a ReplicaGroup with no live replicas")
+            replica_results: List[Optional[Any]] = [None] * self.num_replicas
+            for index, replica in live:
+                replica_results[index] = replica.finalize(report_kwargs)
+            quorum = self.quorum_for(len(live))
+            report = HeavyHittersReport.quorum_merge(
+                [replica_results[index].report for index, _ in live], quorum=quorum
+            )
+            space = SpaceMeter()
+            for index, _ in live:
+                space.merge(replica_results[index].space, prefix=f"replica{index}/")
+            shard_sizes = list(replica_results[live[0][0]].shard_sizes)
+            degraded = len(live) < self.num_replicas
+        combine_seconds = time.perf_counter() - now
+        return GroupRunResult(
+            report=report,
+            replica_results=replica_results,
+            degraded=degraded,
+            num_replicas=self.num_replicas,
+            live_replicas=len(live),
+            quorum=quorum,
+            num_shards=self.num_shards,
+            shard_sizes=shard_sizes,
+            items_processed=self.items_processed,
+            chunks=self._chunks_ingested,
+            queue_depth=self.queue_depth,
+            max_queue_depth=self._max_queue_depth,
+            seconds=ingest_seconds + combine_seconds,
+            ingest_seconds=ingest_seconds,
+            combine_seconds=combine_seconds,
+            space=space,
+            events=self.events_payload(),
+        )
+
+    # -- mid-ingest queries -------------------------------------------------------------
+
+    def snapshot(
+        self, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> GroupSnapshot:
+        """A consistent quorum answer over the current chunk-aligned prefix.
+
+        Takes the group lock — freezing the fan-out, so every live replica's
+        snapshot reflects the *same* prefix — and quorum-merges their reports.
+        Each replica's own versioned snapshot cache still applies, so repeated
+        queries at an unchanged prefix cost one small merge of cached reports,
+        not R sketch deep-copies.
+
+        Raises:
+            RuntimeError: after :meth:`finalize` — use the run result.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "ingestion has finished and the replicas are merged; "
+                    "use the run result's report"
+                )
+            live = self._live_items()
+            if not live:
+                raise RuntimeError("no live replicas to answer from")
+            snapshots = [replica.snapshot(report_kwargs) for _, replica in live]
+            quorum = self.quorum_for(len(live))
+            report = HeavyHittersReport.quorum_merge(
+                [snap.report for snap in snapshots], quorum=quorum
+            )
+            return GroupSnapshot(
+                report=report,
+                items_processed=snapshots[0].items_processed,
+                space_bits=sum(int(snap.sketch.space_bits()) for snap in snapshots),
+                degraded=self.degraded,
+                live_replicas=len(live),
+                num_replicas=self.num_replicas,
+                replica_reports=[snap.report for snap in snapshots],
+            )
+
+    def live_stats(self) -> Dict[str, object]:
+        """Space accounting and per-replica health for a mid-ingest ``stats`` reply.
+
+        Like the single-executor stats path, the space numbers come from a
+        merged copy of each live replica's sink state (no report is built).
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError("the group has finished; answer from the result")
+            live = self._live_items()
+            replicas_payload = self.replica_status_payload()
+            total_bits = 0
+            breakdown: Dict[str, int] = {}
+            shard_sizes: List[int] = [0] * self.num_shards
+            for index, replica in live:
+                state = replica.sink_state()
+                sketch = merge_all(state.sketches)
+                bits = int(sketch.space_bits())
+                total_bits += bits
+                replicas_payload[index]["space_bits"] = bits
+                replicas_payload[index]["items_processed"] = state.items_processed
+                replicas_payload[index]["chunks"] = state.chunks
+                for name, value in sketch.space_breakdown().items():
+                    breakdown[f"replica{index}/{name}"] = int(value)
+                shard_sizes = list(state.shard_sizes)
+            return {
+                "items_processed": self.items_processed,
+                "chunks": self._chunks_ingested,
+                "shard_sizes": shard_sizes,
+                "space_bits": total_bits,
+                "space_breakdown": breakdown,
+                "replicas": replicas_payload,
+                "degraded": self.degraded,
+                "live_replicas": len(live),
+                "num_replicas": self.num_replicas,
+                "events": self.events_payload(),
+            }
+
+    # -- checkpoint / restore -----------------------------------------------------------
+
+    def sink_state(self) -> GroupSinkState:
+        """Capture every live replica's resumable state for checkpointing.
+
+        Quarantined slots are captured as ``None`` — their state may be
+        poisoned, and :meth:`from_sink_state` re-seeds them from a healthy
+        capture instead.
+
+        Raises:
+            RuntimeError: after :meth:`finalize`.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "ingestion has finished and the replicas are merged; "
+                    "there is no resumable state left to checkpoint"
+                )
+            states: List[Optional[SinkState]] = []
+            for index, replica in enumerate(self.replicas):
+                states.append(
+                    replica.sink_state() if self._status[index].healthy else None
+                )
+            if not any(state is not None for state in states):
+                raise RuntimeError("no live replica state to checkpoint")
+            return GroupSinkState(
+                kind="replicated",
+                states=states,
+                items_processed=self.items_processed,
+                chunks=self._chunks_ingested,
+                statuses=self.replica_status_payload(),
+            )
+
+    @classmethod
+    def from_sink_state(
+        cls,
+        state: GroupSinkState,
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        supervisor: Optional[ReplicaSupervisor] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> "ReplicaGroup":
+        """Rebuild a **full-strength** group from a captured :class:`GroupSinkState`.
+
+        Slots that were quarantined at capture time are restored from a deep
+        copy of the first healthy slot's state — the same
+        clone-at-a-boundary the live supervisor performs, with the same
+        determinism (the copy re-seeds its randomness deterministically), so a
+        restore doubles as a heal.
+
+        Raises:
+            ValueError: if the capture holds no healthy state at all.
+        """
+        donor = next((s for s in state.states if s is not None), None)
+        if donor is None:
+            raise ValueError("the group checkpoint holds no healthy replica state")
+        replicas = []
+        for slot in state.states:
+            adopted = slot if slot is not None else copy.deepcopy(donor)
+            replicas.append(PipelinedExecutor.from_sink_state(
+                adopted, chunk_size=chunk_size, queue_depth=queue_depth
+            ))
+        group = cls(
+            replicas,
+            chunk_size=chunk_size,
+            queue_depth=queue_depth,
+            supervisor=supervisor,
+            fault_plan=fault_plan,
+        )
+        group.items_processed = state.items_processed
+        group._chunks_ingested = state.chunks
+        # _started stays False, as in PipelinedExecutor.from_sink_state: the
+        # adopted prefix is accounted for and the one permitted run is the tail.
+        return group

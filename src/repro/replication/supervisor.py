@@ -1,0 +1,95 @@
+"""Healing policy: when and how a quarantined replica slot is re-seeded.
+
+The :class:`~repro.replication.group.ReplicaGroup` does the detection and the
+quarantining itself (a replica that raises during ingestion is never read
+again); the :class:`ReplicaSupervisor` only decides *when* a quarantined slot
+is re-admitted and *how* the replacement is built.
+
+Why cloning a survivor is sound
+-------------------------------
+
+``RandomSource`` guarantees that serializing — or ``copy.deepcopy``-ing — a
+sketch yields a sibling whose randomness is deterministically re-seeded from
+the original's seed material, and that capturing the *same* state twice yields
+*identical* resumptions.  :meth:`PipelinedExecutor.sink_state` captures a deep
+copy at a chunk boundary, so a replacement built from a survivor's capture:
+
+* holds exactly the survivor's ingested prefix (no items lost or doubled), and
+* has a bit-for-bit reproducible future: re-run the experiment with the
+  donor's seed, capture at the same boundary, feed the same tail, and the two
+  final reports are identical.  The ``identical_report`` acceptance check in
+  :func:`repro.analysis.harness.run_replication_comparison` verifies exactly
+  this.
+
+The replacement does **not** replay the donor's own uninterrupted future unless
+the sketch is deterministic — the donor keeps its live randomness while the
+clone re-seeds — which is why the harness also records a separate
+``identical_to_donor`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.pipeline.executor import PipelinedExecutor
+from repro.pipeline.producer import DEFAULT_CHUNK_ITEMS, DEFAULT_QUEUE_DEPTH
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.replication.group import ReplicaStatus
+
+
+@dataclass
+class ReplicaSupervisor:
+    """Failure-handling policy consulted by the group at chunk boundaries.
+
+    Args:
+        auto_heal: when False, quarantined slots stay out of the quorum until
+            a checkpoint/restore cycle heals them (useful for observing the
+            degraded window in tests).
+        heal_after_chunks: how many whole chunks the group must ingest past
+            the failure before re-seeding — a deliberate delay that keeps the
+            degraded window open long enough to observe and query (0 heals at
+            the end of the chunk the replica died on).
+        max_heals: total heals the supervisor will perform across all slots
+            (``None`` = unbounded); a crash-looping replica then stays
+            quarantined instead of thrashing.
+    """
+
+    auto_heal: bool = True
+    heal_after_chunks: int = 0
+    max_heals: Optional[int] = None
+    heals_performed: int = 0
+
+    def should_heal(self, status: "ReplicaStatus", chunks_ingested: int) -> bool:
+        """Is this quarantined slot's re-seed due at the current chunk boundary?"""
+        if not self.auto_heal:
+            return False
+        if self.max_heals is not None and self.heals_performed >= self.max_heals:
+            return False
+        if status.quarantined_chunk is None:
+            return False
+        # The failure chunk itself completes at quarantined_chunk + 1; the
+        # heal is due heal_after_chunks whole chunks later.
+        return chunks_ingested >= status.quarantined_chunk + 1 + self.heal_after_chunks
+
+    def build_replacement(
+        self,
+        donor: PipelinedExecutor,
+        chunk_size: int = DEFAULT_CHUNK_ITEMS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ) -> PipelinedExecutor:
+        """Clone a survivor into a fresh replica holding the same prefix.
+
+        ``sink_state()`` already hands back a deep copy (the donor's live
+        state is untouched), and adopting it re-seeds the copy's randomness
+        deterministically per the ``RandomSource`` contract — see the module
+        docstring for why the replacement's future is then reproducible.
+        """
+        return PipelinedExecutor.from_sink_state(
+            donor.sink_state(), chunk_size=chunk_size, queue_depth=queue_depth
+        )
+
+    def record_heal(self) -> None:
+        """Count a performed heal against ``max_heals``."""
+        self.heals_performed += 1

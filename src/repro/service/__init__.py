@@ -17,10 +17,20 @@ offline run:
   chunk-aligned snapshots while ingestion continues;
 * :class:`ServiceClient` (:mod:`repro.service.client`) — the blocking peer:
   ``push`` / ``flush`` / ``query`` / ``stats`` / ``checkpoint`` / ``finish`` /
-  ``shutdown``;
+  ``shutdown``; connects and idempotent commands retry with exponential
+  backoff + jitter (:class:`RetryPolicy`), ``push_stream`` survives dropped
+  connections by resuming from the server's acked count, and expired command
+  deadlines surface as the typed :class:`ServiceTimeout`;
 * :class:`Checkpointer` (:mod:`repro.service.checkpoint`) — full sketch/shard
   state to disk (atomic, versioned), so a restarted server resumes where it left
   off; see that module for the exact bit-for-bit resumption contract.
+
+For fault tolerance beyond one process, put a
+:class:`~repro.replication.ReplicaGroup` behind the server (``repro serve
+--replicas R``): every pushed chunk fans out to R independently-seeded
+replicas, queries answer by quorum/median, a crashed replica is quarantined
+and re-seeded from a survivor, and degraded-window replies carry
+``degraded: true`` — see :mod:`repro.replication`.
 
 The headline guarantee — **served equals offline** — is measured rather than
 assumed: with identical seeds and chunk size, the report served over the socket is
@@ -46,7 +56,15 @@ Quickstart (in-process; the CLI equivalents are ``repro serve`` / ``push`` /
 """
 
 from repro.service.checkpoint import CheckpointError, Checkpointer, CHECKPOINT_FORMAT
-from repro.service.client import QueryResult, ServiceClient, ServiceError, parse_endpoint
+from repro.service.client import (
+    NO_RETRY,
+    QueryResult,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    parse_endpoint,
+)
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.server import IngestServer, QueryHandler
 
@@ -55,11 +73,14 @@ __all__ = [
     "CheckpointError",
     "Checkpointer",
     "IngestServer",
+    "NO_RETRY",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "QueryHandler",
     "QueryResult",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceTimeout",
     "parse_endpoint",
 ]

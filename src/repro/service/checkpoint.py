@@ -6,9 +6,12 @@ pipelined run's ingestion state that :meth:`repro.pipeline.PipelinedExecutor.sin
 captures.  :class:`Checkpointer` adds exactly three things on top of the pipeline
 layer's capture/restore:
 
-* **a versioned on-disk format** — a ``format`` tag and the package version, so a
-  reader can refuse a checkpoint it does not understand instead of unpickling
-  garbage into a half-built server;
+* **a versioned, checksummed on-disk format** — a ``format`` tag and the package
+  version, so a reader can refuse a checkpoint it does not understand instead of
+  unpickling garbage into a half-built server, plus a SHA-256 digest over the
+  pickled state so *any* flipped or truncated byte is rejected deterministically
+  (a corrupted pickle does not reliably fail to parse: a flip inside a sketch's
+  array buffer would otherwise be adopted silently);
 * **a config manifest** — the sketch parameters the serving layer needs to rebuild
   a compatible server (ε, ϕ, universe, stream length, chunk size, shard count)
   without re-specifying them on restart;
@@ -33,15 +36,19 @@ Counting) resume bit-for-bit identical to the uninterrupted run as well.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
 from typing import Dict, Optional, Tuple
 
 from repro.pipeline import PipelinedExecutor, SinkState
+from repro.replication import GroupSinkState, ReplicaGroup
 
 #: On-disk format version; bump on incompatible layout changes.
-CHECKPOINT_FORMAT = 1
+#: Format 2 wraps the pickled ``{manifest, state}`` payload in a small outer
+#: envelope carrying a SHA-256 digest of the payload bytes.
+CHECKPOINT_FORMAT = 2
 
 
 class CheckpointError(RuntimeError):
@@ -60,15 +67,16 @@ class Checkpointer:
     def save(
         self,
         path: str,
-        state: SinkState,
+        state: "SinkState | GroupSinkState",
         config: Optional[Dict[str, object]] = None,
     ) -> Dict[str, object]:
-        """Write one checkpoint file atomically.
+        """Write one checkpoint file atomically and durably.
 
         Args:
             path: destination file; parent directories are created as needed.
             state: a capture from
-                :meth:`repro.pipeline.PipelinedExecutor.sink_state`.
+                :meth:`repro.pipeline.PipelinedExecutor.sink_state` or
+                :meth:`repro.replication.ReplicaGroup.sink_state`.
             config: sketch/server parameters to carry in the manifest (stored
                 as-is; must be picklable).
 
@@ -85,14 +93,26 @@ class Checkpointer:
             "items_processed": state.items_processed,
             "config": dict(config or {}),
         }
+        payload = pickle.dumps({"manifest": manifest, "state": state},
+                               protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "format": CHECKPOINT_FORMAT,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".ckpt.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump({"manifest": manifest, "state": state}, handle,
-                            protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                # Durability, not just atomicity: the rename below only
+                # guarantees readers see old-or-new; without fsyncing the data
+                # first, a power loss can surface a *new* name holding zeroes.
+                os.fsync(handle.fileno())
             os.replace(temp_path, path)
+            self._fsync_directory(directory)
         except BaseException:
             try:
                 os.unlink(temp_path)
@@ -100,6 +120,29 @@ class Checkpointer:
                 pass
             raise
         return manifest
+
+    @staticmethod
+    def _fsync_directory(directory: str) -> None:
+        """Persist the rename itself: fsync the parent directory entry.
+
+        ``os.replace`` makes the swap atomic for concurrent readers, but the
+        new directory entry still lives in the page cache until the directory
+        inode is flushed — a crash right after "checkpoint ok" was reported
+        could otherwise roll the file back to the previous version (or to
+        nothing).  Platforms whose directories cannot be opened or fsynced
+        (e.g. Windows) skip this silently; they get atomicity without the
+        rename-durability guarantee.
+        """
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def load(self, path: str) -> Tuple[SinkState, Dict[str, object]]:
         """Read a checkpoint file back.
@@ -109,27 +152,60 @@ class Checkpointer:
             manifest stored by :meth:`save`.
 
         Raises:
-            CheckpointError: if the file is not a checkpoint, carries an unknown
-                format version, or its state is not a :class:`SinkState`.
+            CheckpointError: if the file is not a checkpoint, is corrupted or
+                truncated (the envelope's SHA-256 digest no longer matches the
+                payload), carries an unknown format version, or its state is
+                neither a :class:`SinkState` nor a
+                :class:`~repro.replication.GroupSinkState`.
             FileNotFoundError: if ``path`` does not exist.
         """
         with open(path, "rb") as handle:
             try:
-                payload = pickle.load(handle)
-            except (pickle.UnpicklingError, EOFError, AttributeError, ImportError) as exc:
-                raise CheckpointError(f"{path!r} is not a readable checkpoint: {exc}") from exc
+                envelope = pickle.load(handle)
+            except Exception as exc:
+                # A flipped byte in a pickle stream can raise nearly anything
+                # (UnpicklingError, EOFError, UnicodeDecodeError, ValueError,
+                # MemoryError from a corrupted length, ...).  Whatever the
+                # mode, the caller's contract is the same: a clean typed
+                # rejection, never garbage adopted into a half-built server.
+                raise CheckpointError(
+                    f"{path!r} is not a readable checkpoint: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+        if (
+            not isinstance(envelope, dict)
+            or not isinstance(envelope.get("payload"), bytes)
+            or "sha256" not in envelope
+        ):
+            raise CheckpointError(f"{path!r} is not a checkpoint file")
+        if envelope.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{path!r} has checkpoint format {envelope.get('format')!r}; "
+                f"this version reads format {CHECKPOINT_FORMAT}"
+            )
+        digest = hashlib.sha256(envelope["payload"]).hexdigest()
+        if digest != envelope["sha256"]:
+            # The structural checks above only catch corruption that breaks
+            # the pickle grammar; a flip inside an array buffer would parse
+            # fine and silently change counts.  The digest catches every byte.
+            raise CheckpointError(
+                f"{path!r} is corrupted: payload SHA-256 {digest} does not "
+                f"match the recorded {envelope['sha256']}"
+            )
+        try:
+            payload = pickle.loads(envelope["payload"])
+        except Exception as exc:
+            raise CheckpointError(
+                f"{path!r} is not a readable checkpoint: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         if not isinstance(payload, dict) or "manifest" not in payload or "state" not in payload:
             raise CheckpointError(f"{path!r} is not a checkpoint file")
         manifest = payload["manifest"]
-        if manifest.get("format") != CHECKPOINT_FORMAT:
-            raise CheckpointError(
-                f"{path!r} has checkpoint format {manifest.get('format')!r}; "
-                f"this version reads format {CHECKPOINT_FORMAT}"
-            )
         state = payload["state"]
-        if not isinstance(state, SinkState):
+        if not isinstance(state, (SinkState, GroupSinkState)):
             raise CheckpointError(
-                f"{path!r} holds a {type(state).__name__}, not a SinkState"
+                f"{path!r} holds a {type(state).__name__}, not a sink state"
             )
         return state, manifest
 
@@ -138,15 +214,19 @@ class Checkpointer:
         path: str,
         chunk_size: Optional[int] = None,
         queue_depth: Optional[int] = None,
-    ) -> Tuple[PipelinedExecutor, Dict[str, object]]:
-        """Load a checkpoint and rebuild a resumable :class:`PipelinedExecutor`.
+    ) -> Tuple["PipelinedExecutor | ReplicaGroup", Dict[str, object]]:
+        """Load a checkpoint and rebuild a resumable sink.
 
         ``chunk_size``/``queue_depth`` default to the manifest's recorded values
         (falling back to the pipeline defaults), so a plain restore keeps the
         resumed chunk boundaries aligned with the original run.
 
         Returns:
-            ``(executor, manifest)``; the executor's one permitted run covers the
+            ``(sink, manifest)`` — a :class:`PipelinedExecutor` for a
+            single-sink checkpoint, or a full-strength
+            :class:`~repro.replication.ReplicaGroup` for a ``"replicated"``
+            one (quarantined slots are re-seeded from a healthy capture during
+            restore).  Either way, the sink's one permitted run covers the
             remaining stream tail.
         """
         state, manifest = self.load(path)
@@ -155,6 +235,11 @@ class Checkpointer:
             chunk_size = int(config.get("chunk_size", 1 << 16))
         if queue_depth is None:
             queue_depth = int(config.get("queue_depth", 4))
+        if isinstance(state, GroupSinkState):
+            group = ReplicaGroup.from_sink_state(
+                state, chunk_size=chunk_size, queue_depth=queue_depth
+            )
+            return group, manifest
         executor = PipelinedExecutor.from_sink_state(
             state, chunk_size=chunk_size, queue_depth=queue_depth
         )

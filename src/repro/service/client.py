@@ -9,6 +9,17 @@ pipelining — a window of un-acked push frames stays in flight, sized to the
 server's ``push_queue_depth`` credit grant, so throughput is no longer bounded by
 per-batch latency while the bounded-buffer backpressure contract is preserved).
 
+Robustness: connects and the idempotent commands (``config`` / ``query`` /
+``stats``) retry transient connection failures with exponential backoff and
+jitter (:class:`RetryPolicy`); :meth:`push_stream` additionally survives a
+dropped connection mid-window by reconnecting and **resuming from the server's
+acked count** — the server reports ``items_received`` authoritatively, so the
+client re-sends exactly the frames that never landed, no batch lost or doubled
+(single-pusher streams; batches land atomically server-side).  Commands that
+take their own timeout (``flush`` / ``finish``) derive the socket deadline from
+that timeout plus a margin, and an expired deadline surfaces as the typed
+:class:`ServiceTimeout` (never retried — the command may still be in flight).
+
 Connect strings:
 
 * ``"host:port"`` — TCP (``"127.0.0.1:7007"``);
@@ -28,11 +39,15 @@ Quickstart::
 
 from __future__ import annotations
 
+import collections
+import random
 import socket
+import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.results import HeavyHittersReport
+from repro.replication.faults import FaultPlan
 from repro.service.protocol import (
     ProtocolError,
     encode_items,
@@ -41,9 +56,56 @@ from repro.service.protocol import (
     send_frame,
 )
 
+#: Slack added to a command's own timeout when it becomes the socket deadline,
+#: so the server-side wait always expires (with a proper error reply) before
+#: the client gives up on the socket.
+REPLY_TIMEOUT_MARGIN = 5.0
+
 
 class ServiceError(RuntimeError):
     """The server answered a command with an error reply."""
+
+
+class ServiceTimeout(ServiceError):
+    """No reply arrived within the command's deadline.
+
+    Deliberately **not** an ``OSError``: retry logic treats connection failures
+    as retryable but a timeout as final — the command may still be executing
+    server-side (a ``finish`` that merely outran its timeout must not be
+    resent).  The socket is closed when this is raised, because a late reply
+    would otherwise desynchronize the frame stream for the next command.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transient connection failures.
+
+    ``attempts`` counts total tries (1 = no retry).  The delay before retry
+    ``k`` (zero-based) is ``min(max_delay, base_delay · 2^k)``, stretched by a
+    uniformly random factor in ``[1, 1 + jitter]`` so a herd of clients
+    recovering from the same server restart does not reconnect in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter cannot be negative")
+
+    def delay(self, retry_index: int) -> float:
+        """Seconds to sleep before zero-based retry ``retry_index``."""
+        base = min(self.max_delay, self.base_delay * (2 ** retry_index))
+        return base * (1.0 + self.jitter * random.random())
+
+
+#: Retry disabled: a single attempt, no backoff.
+NO_RETRY = RetryPolicy(attempts=1)
 
 
 @dataclass(frozen=True)
@@ -54,13 +116,17 @@ class QueryResult:
     chunk-aligned prefix of ``items_processed`` items seen so far) and ``True``
     once the server has merged the finished stream.  ``space_bits`` is the bit
     footprint of the state that answered — the snapshot's merged copy
-    mid-ingest, the combined final accounting after ``finish``.
+    mid-ingest, the combined final accounting after ``finish``.  ``degraded``
+    is ``True`` when a replicated server answered from fewer than its
+    configured replicas (a quarantined replica has not been re-seeded yet);
+    the report is still a valid Definition 1 answer from the survivors.
     """
 
     report: HeavyHittersReport
     items_processed: int
     final: bool
     space_bits: int
+    degraded: bool = False
 
 
 def parse_endpoint(endpoint: str) -> Union[Tuple[str, int], str]:
@@ -92,29 +158,59 @@ class ServiceClient:
             ``(host, port)`` tuple.
         timeout: socket timeout in seconds for connect and every reply; ``None``
             blocks indefinitely (commands like ``finish`` can legitimately take
-            as long as the residual ingestion).
+            as long as the residual ingestion).  Commands carrying their own
+            timeout (``flush``/``finish``) override this per round-trip.
+        retry: backoff policy for connects, the idempotent read commands, and
+            :meth:`push_stream` recovery; defaults to three attempts with
+            exponential backoff + jitter.  Pass :data:`NO_RETRY` to fail fast.
+        fault_plan: deterministic fault injection
+            (:class:`~repro.replication.FaultPlan`); its ``drop-connection``
+            entries cut the socket mid-:meth:`push_stream` to exercise the
+            reconnect-and-resume path in tests and the chaos-smoke CI job.
 
     Raises:
         ConnectionError: (from :meth:`connect` / the context manager) if the
-            server is not reachable.
+            server is not reachable after every attempt.
     """
 
     def __init__(
         self,
         endpoint: Union[str, Tuple[str, int]],
         timeout: Optional[float] = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self._target = parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         self._timeout = timeout
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._fault_plan = fault_plan
+        self._push_frames_sent = 0  # lifetime counter the fault plan indexes
         self._sock: Optional[socket.socket] = None
         self._credits: Optional[int] = None  # cached push_stream credit grant
 
     # -- connection ---------------------------------------------------------------------
 
     def connect(self) -> "ServiceClient":
-        """Open the socket (idempotent); the context manager calls this."""
+        """Open the socket (idempotent); the context manager calls this.
+
+        Retries per the client's :class:`RetryPolicy` — a server restarting
+        (or a listener briefly over its backlog) looks like a refused or reset
+        connection, which backoff absorbs.
+        """
         if self._sock is not None:
             return self
+        attempts = self._retry.attempts
+        for attempt in range(attempts):
+            try:
+                self._connect_once()
+                return self
+            except (ConnectionError, OSError):
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(self._retry.delay(attempt))
+        return self  # unreachable; keeps the type checker honest
+
+    def _connect_once(self) -> None:
         if isinstance(self._target, str):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         else:
@@ -124,9 +220,12 @@ class ServiceClient:
             # back-to-back ack frames otherwise stall on delayed ACKs.
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         sock.settimeout(self._timeout)
-        sock.connect(self._target)
+        try:
+            sock.connect(self._target)
+        except BaseException:
+            sock.close()
+            raise
         self._sock = sock
-        return self
 
     def close(self) -> None:
         """Close the socket; idempotent."""
@@ -144,12 +243,40 @@ class ServiceClient:
         self.close()
 
     def _round_trip(
-        self, header: Dict[str, object], payload: bytes = b"", eof_ok: bool = False
+        self,
+        header: Dict[str, object],
+        payload: bytes = b"",
+        eof_ok: bool = False,
+        reply_timeout: Optional[float] = None,
     ) -> Dict[str, object]:
+        """One command frame, one reply.
+
+        ``reply_timeout`` is the *command's* own deadline (``flush``/``finish``
+        pass theirs): the socket deadline becomes that plus
+        :data:`REPLY_TIMEOUT_MARGIN` for exactly this round-trip — overriding
+        the constructor default in both directions, including a constructor
+        ``timeout=None`` — so a long-running command is never cut off early by
+        the handshake default, and a short one never waits the full default.
+        An expired deadline surfaces as :class:`ServiceTimeout` and closes the
+        socket (a late reply would desynchronize the frame stream).
+        """
         if self._sock is None:
             self.connect()
-        send_frame(self._sock, header, payload)
-        frame = recv_frame(self._sock)
+        sock = self._sock
+        if reply_timeout is not None:
+            sock.settimeout(reply_timeout + REPLY_TIMEOUT_MARGIN)
+        try:
+            send_frame(sock, header, payload)
+            frame = recv_frame(sock)
+        except socket.timeout as exc:
+            self.close()
+            raise ServiceTimeout(
+                f"no reply to {header.get('cmd')!r} within "
+                f"{sock.gettimeout():.1f}s"
+            ) from exc
+        finally:
+            if reply_timeout is not None and self._sock is sock:
+                sock.settimeout(self._timeout)
         if frame is None:
             if eof_ok:
                 return {"ok": True, "stopping": True}
@@ -159,15 +286,41 @@ class ServiceClient:
             raise ServiceError(str(reply.get("error", "unspecified server error")))
         return reply
 
+    def _retry_idempotent(self, call: Callable[[], Dict[str, object]]) -> Dict[str, object]:
+        """Run a read-only command, retrying transient connection failures.
+
+        Only ``config``/``query``/``stats`` go through here: they are
+        idempotent, so resending after a reconnect cannot double-apply
+        anything.  :class:`ServiceTimeout` is *not* retried (the command may
+        still be running server-side), and neither are error replies — only
+        connection-level failures, after which the socket is dropped so the
+        next attempt reconnects from scratch.
+        """
+        attempts = self._retry.attempts
+        for attempt in range(attempts):
+            try:
+                return call()
+            except ServiceTimeout:
+                raise
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt + 1 >= attempts:
+                    raise
+                time.sleep(self._retry.delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # -- commands -----------------------------------------------------------------------
 
     def config(self) -> Dict[str, object]:
-        """The server's parameters and live counters."""
-        reply = self._round_trip({"cmd": "config"})
-        credits = reply.get("push_credits")
-        if isinstance(credits, int) and credits > 0:
-            self._credits = credits
-        return reply
+        """The server's parameters and live counters (retried; idempotent)."""
+        def call() -> Dict[str, object]:
+            reply = self._round_trip({"cmd": "config"})
+            credits = reply.get("push_credits")
+            if isinstance(credits, int) and credits > 0:
+                self._credits = credits
+            return reply
+
+        return self._retry_idempotent(call)
 
     def push(self, items: Iterable[int]) -> int:
         """Push one batch of item ids; returns the server's total received count.
@@ -185,7 +338,12 @@ class ServiceClient:
         reply = self._round_trip({"cmd": "push", "items": count}, payload)
         return int(reply["items_received"])
 
-    def push_stream(self, batches: Iterable[Iterable[int]], window: Optional[int] = None) -> int:
+    def push_stream(
+        self,
+        batches: Iterable[Iterable[int]],
+        window: Optional[int] = None,
+        resume: Optional[bool] = None,
+    ) -> int:
         """Push many batches with a window of un-acked frames in flight.
 
         :meth:`push` pays one full round-trip per batch — the client stalls for
@@ -207,11 +365,23 @@ class ServiceClient:
         violation, finished stream) surfaces as :class:`ServiceError` as soon
         as its ack is drained.
 
+        Recovery: when the client's retry policy allows it (``resume`` defaults
+        to ``attempts > 1``), a connection failure mid-window reconnects with
+        backoff and **resumes from the server's acked count**.  Every sent but
+        un-acked frame is kept (with its cumulative item offset); after the
+        reconnect the server's ``items_received`` says exactly how many items
+        landed, frames entirely below that mark are dropped as delivered, and
+        the rest are re-sent.  Batches land atomically server-side and this
+        guarantee assumes a single pusher — concurrent pushers would make the
+        received count unattributable.
+
         Args:
             batches: an iterable of item batches (numpy arrays or int
                 sequences); each batch becomes one push frame.
             window: maximum un-acked frames in flight; ``None`` uses the
                 server's full credit grant.
+            resume: reconnect-and-resume on connection failure; ``None``
+                enables it iff the retry policy has more than one attempt.
 
         Returns:
             The server's total received count after the last ack.
@@ -220,55 +390,115 @@ class ServiceClient:
             ValueError: if ``window`` is not positive, or a batch fails dtype
                 validation (see :meth:`push`).
             ServiceError: if the server rejected any pushed batch.
+            ConnectionError: if the connection died and recovery was disabled
+                or exhausted its attempts.
         """
         if window is not None and window <= 0:
             raise ValueError(f"window must be positive, got {window}")
+        if resume is None:
+            resume = self._retry.attempts > 1
         if self._sock is None:
             self.connect()
+        # The resume cursor needs the server's count *before* this stream adds
+        # to it; the config round-trip also warms the credit cache.
+        start_received = int(self.config()["items_received"]) if resume else 0
         credits = self._push_credits()
         effective_window = credits if window is None else min(window, credits)
-        outstanding = 0
+        batch_iter = iter(batches)
+        # Sent-but-unacked frames as (count, payload, cumulative_end): payload
+        # is kept alive for re-send, cumulative_end is the stream offset (in
+        # items, relative to start_received) once this frame lands.
+        pending: Deque[Tuple[int, memoryview, int]] = collections.deque()
+        cumulative_sent = 0
         received = 0
+        exhausted = False
+        recoveries = 0
         error: Optional[ServiceError] = None
-        try:
-            for batch in batches:
-                count, payload = encode_items(batch)
-                send_frame(self._sock, {"cmd": "push", "items": count}, payload)
-                outstanding += 1
-                if outstanding >= effective_window:
-                    reply = self._drain_push_ack()
-                    outstanding -= 1
-                    if reply.get("ok", False):
-                        received = int(reply["items_received"])
-                    else:
-                        error = ServiceError(str(reply.get("error", "unspecified server error")))
-                        break  # stop sending; drain the in-flight acks below
-            while outstanding:
-                reply = self._drain_push_ack()
-                outstanding -= 1
-                if reply.get("ok", False):
-                    received = int(reply["items_received"])
-                elif error is None:
-                    error = ServiceError(str(reply.get("error", "unspecified server error")))
-        except BaseException:
-            # A local failure mid-window (a bad batch in encode_items, a dead
-            # socket, the batches iterable itself raising) must not leave the
-            # connection desynchronized: any un-acked push replies still in
-            # flight would be read as the *next* command's reply.  Drain them;
-            # if the connection is too broken to drain, drop it so the next
-            # command reconnects cleanly.
+        while True:
             try:
-                while outstanding:
-                    self._drain_push_ack()
-                    outstanding -= 1
+                while not exhausted and error is None:
+                    while len(pending) >= effective_window and error is None:
+                        error, received = self._take_push_ack(pending, received, error)
+                    if error is not None:
+                        break
+                    try:
+                        batch = next(batch_iter)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    count, payload = encode_items(batch)
+                    cumulative_sent += count
+                    pending.append((count, payload, cumulative_sent))
+                    self._send_push_frame(count, payload)
+                while pending:
+                    error, received = self._take_push_ack(pending, received, error)
+                break
             except (ConnectionError, OSError):
+                if not resume or error is not None or recoveries + 1 >= self._retry.attempts:
+                    self.close()
+                    raise
+                recoveries += 1
                 self.close()
-            raise
+                time.sleep(self._retry.delay(recoveries - 1))
+                self.connect()
+                # The server's count is authoritative: frames at or below the
+                # landed mark were delivered (their acks were lost with the
+                # socket); everything above must be re-sent.
+                landed = int(self.config()["items_received"]) - start_received
+                while pending and pending[0][2] <= landed:
+                    pending.popleft()
+                received = start_received + landed
+                for count, payload, _ in pending:
+                    self._send_push_frame(count, payload)
+            except BaseException:
+                # A local failure mid-window (a bad batch in encode_items or
+                # the batches iterable itself raising) must not leave the
+                # connection desynchronized: any un-acked push replies still in
+                # flight would be read as the *next* command's reply.  Drain
+                # them; if the connection is too broken to drain, drop it so
+                # the next command reconnects cleanly.
+                try:
+                    while pending:
+                        self._drain_push_ack()
+                        pending.popleft()
+                except (ConnectionError, OSError):
+                    self.close()
+                raise
         if error is not None:
             # Every in-flight ack was drained above, so the connection is back
             # at a frame boundary and stays usable for further commands.
             raise error
         return received
+
+    def _take_push_ack(
+        self,
+        pending: "Deque[Tuple[int, memoryview, int]]",
+        received: int,
+        error: Optional[ServiceError],
+    ) -> Tuple[Optional[ServiceError], int]:
+        """Drain one in-order ack and retire its pending frame."""
+        reply = self._drain_push_ack()
+        pending.popleft()
+        if reply.get("ok", False):
+            received = int(reply["items_received"])
+        elif error is None:
+            error = ServiceError(str(reply.get("error", "unspecified server error")))
+        return error, received
+
+    def _send_push_frame(self, count: int, payload: memoryview) -> None:
+        """Send one push frame, honoring any scripted connection drop."""
+        if self._fault_plan is not None and self._fault_plan.fire_drop(
+            self._push_frames_sent
+        ):
+            # Cut our own socket: the next send/recv raises and the normal
+            # recovery path takes over — the fault is injected *below* the
+            # resume logic, so the test exercises the real code path.
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        send_frame(self._sock, {"cmd": "push", "items": count}, payload)
+        self._push_frames_sent += 1
 
     def _push_credits(self) -> int:
         """The server's push-window credit grant (its ``push_queue_depth``).
@@ -295,9 +525,13 @@ class ServiceClient:
 
         Items past the last exact chunk boundary stay in the server's re-chunk
         buffer (they ingest when more items or ``finish`` arrive); the reply's
-        ``flushed_to`` says how far the wait actually covered.
+        ``flushed_to`` says how far the wait actually covered.  The socket
+        deadline follows ``timeout`` (plus margin), not the constructor
+        default, so a long flush is never cut off mid-wait.
         """
-        return self._round_trip({"cmd": "flush", "timeout": timeout})
+        return self._round_trip(
+            {"cmd": "flush", "timeout": timeout}, reply_timeout=timeout
+        )
 
     def query(self, phi: Optional[float] = None) -> QueryResult:
         """A Definition 1 heavy-hitter report — mid-ingest snapshot or final.
@@ -309,17 +543,18 @@ class ServiceClient:
         request: Dict[str, object] = {"cmd": "query"}
         if phi is not None:
             request["phi"] = phi
-        reply = self._round_trip(request)
+        reply = self._retry_idempotent(lambda: self._round_trip(request))
         return QueryResult(
             report=report_from_payload(reply["report"]),
             items_processed=int(reply["items_processed"]),
             final=bool(reply["final"]),
             space_bits=int(reply["space_bits"]),
+            degraded=bool(reply.get("degraded", False)),
         )
 
     def stats(self) -> Dict[str, object]:
         """Space accounting (bits, per-component breakdown) and progress counters."""
-        return self._round_trip({"cmd": "stats"})
+        return self._retry_idempotent(lambda: self._round_trip({"cmd": "stats"}))
 
     def checkpoint(self, path: str) -> Dict[str, object]:
         """Ask the server to write a checkpoint to a *server-side* path.
@@ -332,9 +567,13 @@ class ServiceClient:
         """Declare end of stream: residual batches ingest, shards merge, report fixes.
 
         After this, :meth:`query` answers from the final result and further
-        pushes are rejected.
+        pushes are rejected.  Like :meth:`flush`, the socket deadline follows
+        ``timeout`` plus margin; expiry raises :class:`ServiceTimeout` and is
+        never retried — the merge may still complete server-side.
         """
-        return self._round_trip({"cmd": "finish", "timeout": timeout})
+        return self._round_trip(
+            {"cmd": "finish", "timeout": timeout}, reply_timeout=timeout
+        )
 
     def shutdown(self) -> None:
         """Stop the server process-wide.  EOF instead of a reply counts as done."""

@@ -49,6 +49,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.pipeline import ArrayBatchSource, PipelinedExecutor
+from repro.replication import ReplicaGroup
 from repro.sharding.mergeable import merge_all
 from repro.service.checkpoint import Checkpointer
 from repro.service.protocol import (
@@ -98,6 +99,8 @@ class QueryHandler:
             "items_received": server.items_received,
             "items_processed": server.pipeline.items_processed,
             "finished": server.finished,
+            "replicas": server.num_replicas,
+            "degraded": server.degraded,
         }
         reply.update(server.config)
         return reply
@@ -126,6 +129,7 @@ class QueryHandler:
                 "final": True,
                 "items_processed": result.items_processed,
                 "space_bits": result.space_bits(),
+                "degraded": bool(getattr(result, "degraded", False)),
                 "report": report_to_payload(result.report),
             }
 
@@ -138,11 +142,16 @@ class QueryHandler:
         except RuntimeError:
             # Lost the race with finalize: the final result is (about to be) set.
             return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
+        # A single-sink snapshot carries the merged sketch; a replicated
+        # GroupSnapshot carries the summed footprint directly.
+        sketch = getattr(snapshot, "sketch", None)
+        space_bits = int(sketch.space_bits()) if sketch is not None else snapshot.space_bits
         return {
             "ok": True,
             "final": False,
             "items_processed": snapshot.items_processed,
-            "space_bits": int(snapshot.sketch.space_bits()),
+            "space_bits": space_bits,
+            "degraded": bool(getattr(snapshot, "degraded", False)),
             "report": report_to_payload(snapshot.report),
         }
 
@@ -158,7 +167,7 @@ class QueryHandler:
         server = self._server
 
         def final_reply(result) -> Dict[str, object]:
-            return {
+            reply = {
                 "ok": True,
                 "final": True,
                 "items_received": server.items_received,
@@ -170,11 +179,30 @@ class QueryHandler:
                 "ingest_seconds": result.ingest_seconds,
                 "combine_seconds": result.combine_seconds,
             }
+            group = server.group
+            if group is not None:
+                reply["degraded"] = bool(getattr(result, "degraded", False))
+                reply["replicas"] = group.replica_status_payload()
+                reply["live_replicas"] = getattr(result, "live_replicas", group.live_replicas)
+                reply["num_replicas"] = group.num_replicas
+                reply["events"] = group.events_payload()
+            return reply
 
         result = server.result
         if result is not None:
             return final_reply(result)
         server.raise_if_failed()
+        group = server.group
+        if group is not None:
+            # The group owns the per-replica accounting (health, events,
+            # per-replica space under a replica<i>/ prefix).
+            try:
+                live = group.live_stats()
+            except RuntimeError:
+                return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
+            live.update({"ok": True, "final": False,
+                         "items_received": server.items_received})
+            return live
         try:
             state = server.pipeline.sink_state()
         except RuntimeError:
@@ -197,8 +225,11 @@ class IngestServer:
     """Serve a heavy-hitter sketch over a socket: push batches, query live, checkpoint.
 
     Args:
-        pipeline: a fresh (or checkpoint-restored) :class:`PipelinedExecutor`;
-            the server claims its one permitted run.
+        pipeline: a fresh (or checkpoint-restored) :class:`PipelinedExecutor`
+            — or a :class:`~repro.replication.ReplicaGroup`, which exposes the
+            same ingestion surface; the server claims its one permitted run.
+            With a group, query/stats replies carry ``degraded`` and
+            per-replica health, and checkpoints capture the whole quorum.
         host / port: TCP endpoint (``port=0`` binds an ephemeral port, reread it
             from :attr:`address` after :meth:`start`).  Ignored when
             ``unix_socket`` is given.
@@ -222,7 +253,7 @@ class IngestServer:
 
     def __init__(
         self,
-        pipeline: PipelinedExecutor,
+        pipeline: "PipelinedExecutor | ReplicaGroup",
         host: str = "127.0.0.1",
         port: int = 0,
         unix_socket: Optional[str] = None,
@@ -240,8 +271,13 @@ class IngestServer:
         self.report_kwargs: Dict[str, object] = dict(report_kwargs or {})
         self._host, self._port = host, port
         self._unix_socket = unix_socket
+        self._group: Optional[ReplicaGroup] = (
+            pipeline if isinstance(pipeline, ReplicaGroup) else None
+        )
         if universe_size is None:
-            if pipeline.executor is not None:
+            if self._group is not None:
+                universe_size = self._group.infer_universe_size()
+            elif pipeline.executor is not None:
                 universe_size = pipeline.executor.router.universe_size
             else:
                 universe_size = getattr(pipeline.sketch, "universe_size", None)
@@ -258,6 +294,7 @@ class IngestServer:
         self._items_received = pipeline.items_processed  # restored prefix counts
         self._ingest_base = pipeline.items_processed  # where this run's re-chunking starts
         self._finishing = False
+        self._draining = False  # graceful_stop in progress: refuse new pushes
         self._stopping = threading.Event()
         self._finished_event = threading.Event()
         self._result = None
@@ -370,6 +407,53 @@ class IngestServer:
         if self._accept_thread is not None and threading.current_thread() is not self._accept_thread:
             self._accept_thread.join(timeout=join_timeout)
 
+    def graceful_stop(
+        self,
+        checkpoint_path: Optional[str] = None,
+        drain_timeout: float = 30.0,
+    ) -> Optional[Dict[str, object]]:
+        """Stop cleanly: refuse new work, drain acked batches, checkpoint, close.
+
+        The signal-handler path of ``repro serve``: every batch a client was
+        told ``ok`` for is ingested (up to the chunk-aligned flush target)
+        before the final checkpoint is taken, so the checkpoint never loses
+        acked data.  New pushes are refused with an error reply the moment the
+        drain starts; the listener stops accepting as part of :meth:`close`.
+
+        Args:
+            checkpoint_path: when set, write a final atomic checkpoint of the
+                sink (single executor or whole replica group) after draining.
+                Skipped silently if the stream already finished (a finished
+                sink has no resumable state — the final report stands instead).
+            drain_timeout: bound on waiting for the push queue to drain; on
+                expiry whatever was ingested so far is checkpointed.
+
+        Returns:
+            The checkpoint manifest when one was written, else ``None``.
+        """
+        with self._push_lock:
+            self._draining = True
+        deadline = time.monotonic() + drain_timeout
+        target = self._flush_target()
+        while (self.pipeline.items_processed < target
+               and not self._finished_event.is_set()
+               and self._run_error is None
+               and time.monotonic() < deadline):
+            time.sleep(0.002)
+        manifest: Optional[Dict[str, object]] = None
+        if checkpoint_path is not None and self._run_error is None:
+            try:
+                state = self.pipeline.sink_state()
+                manifest = self.checkpointer.save(
+                    checkpoint_path, state, config=self._manifest_config()
+                )
+                logger.info("final checkpoint written to %s (%d items)",
+                            checkpoint_path, state.items_processed)
+            except RuntimeError:
+                pass  # already finished: the final result stands, nothing to resume
+        self.close()
+        return manifest
+
     def __enter__(self) -> "IngestServer":
         return self.start()
 
@@ -409,6 +493,24 @@ class IngestServer:
         """Total items accepted over the socket (plus any restored prefix)."""
         with self._push_lock:
             return self._items_received
+
+    @property
+    def group(self) -> Optional[ReplicaGroup]:
+        """The replicated sink, or ``None`` for a single-executor server."""
+        return self._group
+
+    @property
+    def num_replicas(self) -> int:
+        """Replica count behind the push queue (1 for a single-executor server)."""
+        return 1 if self._group is None else self._group.num_replicas
+
+    @property
+    def degraded(self) -> bool:
+        """True while a replicated sink is serving with a quarantined replica."""
+        if self._group is not None:
+            return self._group.degraded
+        result = self._result
+        return bool(getattr(result, "degraded", False))
 
     @property
     def finished(self) -> bool:
@@ -471,6 +573,8 @@ class IngestServer:
         with self._push_lock:
             if self._finishing:
                 raise RuntimeError("the stream has been finished; no further pushes")
+            if self._draining:
+                raise RuntimeError("the server is draining for shutdown; push rejected")
             if self._stopping.is_set():
                 # Refuse rather than ack-and-drop: after shutdown begins the
                 # ingestion thread may already have drained and exited, so an
@@ -552,6 +656,7 @@ class IngestServer:
         config.setdefault("chunk_size", self.pipeline.chunk_size)
         config.setdefault("queue_depth", self.pipeline.queue_depth)
         config.setdefault("num_shards", self.pipeline.num_shards)
+        config.setdefault("replicas", self.num_replicas)
         if self.universe_size is not None:
             config.setdefault("universe_size", self.universe_size)
         if self.report_kwargs:

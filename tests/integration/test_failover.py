@@ -1,0 +1,225 @@
+"""End-to-end failover tests: replicated serving, degraded answers, clean shutdown."""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import run_replication_comparison
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.pipeline import PipelinedExecutor
+from repro.primitives.rng import RandomSource
+from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor
+from repro.service import Checkpointer, IngestServer, RetryPolicy, ServiceClient
+from repro.streams.generators import zipfian_stream
+from repro.streams.io import save_stream
+from repro.streams.truth import exact_frequencies
+
+UNIVERSE = 1000
+LENGTH = 30_000
+CHUNK = 2000
+
+
+def make_sketch(seed):
+    return SimpleListHeavyHitters(
+        epsilon=0.02, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(seed),
+    )
+
+
+def factory(index):
+    return make_sketch(900 + index)
+
+
+@pytest.fixture(scope="module")
+def trace(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("failover") / "trace.txt")
+    stream = zipfian_stream(LENGTH, UNIVERSE, skew=1.2, rng=RandomSource(11))
+    save_stream(stream, path)
+    return path
+
+
+class TestReplicationComparison:
+    """The acceptance criteria of the replication harness, asserted end to end."""
+
+    @pytest.fixture(scope="class")
+    def rows(self, trace):
+        return run_replication_comparison(
+            factory, trace, phi=0.1, replicas=3, chunk_size=CHUNK,
+            kill_replica=1, heal_after_chunks=2,
+        )
+
+    def test_three_legs_reported(self, rows):
+        assert [row.label for row in rows] == [
+            "single", "replicated(r=3)", "failover(r=3)",
+        ]
+
+    def test_full_quorum_report_matches_single_shape(self, rows):
+        replicated = rows[1].measurements
+        assert replicated["shape_ok"] == 1.0
+        assert replicated["replica0_identical_to_single"] == 1.0
+        assert replicated["satisfies_definition"] == 1.0
+        assert replicated["quorum"] == 2.0
+
+    def test_reseeded_replacement_equals_uninterrupted_reference(self, rows):
+        failover = rows[2].measurements
+        assert failover["identical_report"] == 1.0
+        assert failover["heal_chunk"] > failover["kill_chunk"]
+        assert failover["failover_seconds"] > 0.0
+
+    def test_degraded_window_answers_satisfy_definition(self, rows):
+        failover = rows[2].measurements
+        assert failover["degraded_queries"] > 0
+        assert failover["degraded_queries_valid"] == 1.0
+        assert failover["satisfies_definition"] == 1.0
+
+    def test_no_failover_leg_for_single_replica(self, trace):
+        rows = run_replication_comparison(
+            factory, trace, phi=0.1, replicas=1, chunk_size=CHUNK,
+            kill_replica=None,
+        )
+        assert [row.label for row in rows] == ["single", "replicated(r=1)"]
+
+
+class TestServedDegradedQueries:
+    def test_replica_loss_mid_push_serves_degraded_then_heals(self, trace):
+        replicas = [
+            PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)
+            for index in range(3)
+        ]
+        group = ReplicaGroup(
+            replicas, chunk_size=CHUNK,
+            supervisor=ReplicaSupervisor(heal_after_chunks=3),
+            fault_plan=FaultPlan.kill_replica(1, after_chunk=4),
+        )
+        server = IngestServer(group, port=0, universe_size=UNIVERSE).start()
+        truth_items = np.fromiter(
+            (item for item in open(trace) if not item.startswith("#")),
+            dtype=np.int64,
+        )
+        degraded_seen = []
+        try:
+            with ServiceClient(server.endpoint) as client:
+                assert client.config()["replicas"] == 3
+                for start in range(0, LENGTH, CHUNK):
+                    client.push(truth_items[start:start + CHUNK])
+                    client.flush()  # ingestion is async; pin the chunk boundary
+                    result = client.query()
+                    degraded_seen.append(result.degraded)
+                    if result.degraded:
+                        # Still a valid Definition 1 answer from the survivors.
+                        truth = exact_frequencies(truth_items[:start + CHUNK])
+                        assert result.report.satisfies_definition(truth)
+                stats = client.stats()
+                events = [event["event"] for event in stats["events"]]
+                assert events == ["replica-failed", "replica-healed"]
+                assert stats["live_replicas"] == 3
+                client.finish()
+                final = client.query()
+                assert final.final and not final.degraded
+                assert final.report.satisfies_definition(
+                    exact_frequencies(truth_items)
+                )
+        finally:
+            server.close()
+        assert any(degraded_seen), "the degraded window was never observed"
+        assert not degraded_seen[-1], "the heal never cleared the degraded flag"
+
+    def test_group_checkpoint_restore_round_trips_through_server(self, trace, tmp_path):
+        group = ReplicaGroup(
+            [PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)
+             for index in range(3)],
+            chunk_size=CHUNK,
+        )
+        server = IngestServer(group, port=0, universe_size=UNIVERSE).start()
+        items = np.fromiter(
+            (item for item in open(trace) if not item.startswith("#")),
+            dtype=np.int64,
+        )
+        half = (LENGTH // 2) // CHUNK * CHUNK
+        ckpt = str(tmp_path / "group.ckpt")
+        try:
+            with ServiceClient(server.endpoint) as client:
+                client.push(items[:half])
+                client.flush()
+                reply = client.checkpoint(ckpt)
+                assert reply["kind"] == "replicated"
+        finally:
+            server.close()
+        restored, manifest = Checkpointer().restore_pipeline(ckpt, chunk_size=CHUNK)
+        assert isinstance(restored, ReplicaGroup)
+        assert restored.items_processed == half
+        assert manifest["config"]["replicas"] == 3
+        resumed_server = IngestServer(restored, port=0, universe_size=UNIVERSE).start()
+        try:
+            with ServiceClient(resumed_server.endpoint) as client:
+                client.push(items[half:])
+                client.finish()
+                result = client.query()
+        finally:
+            resumed_server.close()
+        # The resumed replicated run equals the uninterrupted offline group.
+        baseline = ReplicaGroup(
+            [PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)
+             for index in range(3)],
+            chunk_size=CHUNK,
+        )
+        for start in range(0, LENGTH, CHUNK):
+            baseline.ingest_chunk(items[start:start + CHUNK])
+        assert dict(result.report.items) == dict(baseline.finalize().report.items)
+
+
+class TestSigtermShutdown:
+    def test_sigterm_writes_final_checkpoint_and_exits(self, trace, tmp_path):
+        ready = str(tmp_path / "ready.txt")
+        ckpt = str(tmp_path / "final.ckpt")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--universe", str(UNIVERSE), "--stream-length", str(LENGTH),
+             "--epsilon", "0.02", "--phi", "0.1", "--seed", "900",
+             "--chunk-size", str(CHUNK), "--replicas", "2",
+             "--checkpoint-path", ckpt, "--ready-file", ready],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if os.path.exists(ready) and os.path.getsize(ready):
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("server never wrote its ready file")
+            with open(ready, "r", encoding="utf-8") as handle:
+                endpoint = handle.read().strip()
+            items = np.fromiter(
+                (item for item in open(trace) if not item.startswith("#")),
+                dtype=np.int64,
+            )
+            pushed = (LENGTH // 2) // CHUNK * CHUNK
+            with ServiceClient(endpoint) as client:
+                client.push(items[:pushed])
+                client.flush()
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30.0)
+            assert process.returncode == 0, output.decode()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert os.path.exists(ckpt), "SIGTERM did not write the final checkpoint"
+        state, manifest = Checkpointer().load(ckpt)
+        assert state.kind == "replicated"
+        assert state.items_processed == pushed
+        assert manifest["config"]["replicas"] == 2
+        # The listener really closed: the endpoint must refuse connections.
+        with pytest.raises((ConnectionError, OSError)):
+            ServiceClient(endpoint, retry=RetryPolicy(attempts=1)).connect()

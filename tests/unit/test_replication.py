@@ -1,0 +1,377 @@
+"""Tests for the replication layer: fault plans, quorum merges, groups, healing."""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.core.results import HeavyHittersReport
+from repro.pipeline import PipelinedExecutor
+from repro.primitives.rng import RandomSource
+from repro.replication import (
+    FaultPlan,
+    FaultSpec,
+    GroupSinkState,
+    InjectedFault,
+    ReplicaGroup,
+    ReplicaSupervisor,
+    corrupt_file,
+)
+
+UNIVERSE = 400
+LENGTH = 12_000
+CHUNK = 1000
+
+
+def make_sketch(seed):
+    return SimpleListHeavyHitters(
+        epsilon=0.02, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(seed),
+    )
+
+
+def make_executor(seed, chunk_size=CHUNK):
+    return PipelinedExecutor(sketch=make_sketch(seed), chunk_size=chunk_size)
+
+
+def make_group(replicas=3, chunk_size=CHUNK, **kwargs):
+    return ReplicaGroup(
+        [make_executor(100 + index, chunk_size) for index in range(replicas)],
+        chunk_size=chunk_size,
+        **kwargs,
+    )
+
+
+def make_chunks(length=LENGTH, chunk=CHUNK, seed=3):
+    rng = RandomSource(seed).numpy_generator()
+    heavy = np.full(length // 2, 7, dtype=np.int64)
+    rest = rng.integers(0, UNIVERSE, size=length - len(heavy))
+    items = np.concatenate([heavy, rest])
+    rng.shuffle(items)
+    items = items.astype(np.int64)
+    return [items[start:start + chunk] for start in range(0, length, chunk)]
+
+
+def report(items, stream_length=1000, epsilon=0.01, phi=0.1):
+    return HeavyHittersReport(items=dict(items), stream_length=stream_length,
+                              epsilon=epsilon, phi=phi)
+
+
+class TestFaultPlan:
+    def test_parse_kill_spec(self):
+        spec = FaultPlan.parse_spec("kill:replica=1,after_chunk=3")
+        assert spec.kind == "kill-replica"
+        assert spec.replica == 1 and spec.after_chunk == 3
+
+    def test_parse_drop_and_corrupt(self):
+        assert FaultPlan.parse_spec("drop:after_frame=5").after_frame == 5
+        assert FaultPlan.parse_spec("corrupt").kind == "corrupt-checkpoint"
+
+    @pytest.mark.parametrize("text", [
+        "explode",                      # unknown kind
+        "kill:replica=1",               # missing after_chunk
+        "kill:replica=1,after_frame=2",  # key belongs to drop
+        "drop:after_frame=x",           # non-integer operand
+        "drop:after_frame",             # not key=value
+        "kill:replica=-1,after_chunk=0",  # negative operand
+    ])
+    def test_parse_rejects_malformed_specs(self, text):
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec(text)
+
+    def test_fire_kill_is_one_shot_and_index_matched(self):
+        plan = FaultPlan.kill_replica(1, after_chunk=3)
+        assert not plan.fire_kill(1, 2)      # too early
+        assert not plan.fire_kill(0, 3)      # wrong replica
+        assert plan.fire_kill(1, 3)          # fires exactly once
+        assert not plan.fire_kill(1, 4)
+        assert plan.pending() == []
+
+    def test_fire_drop_and_corrupt_are_one_shot(self):
+        plan = FaultPlan.parse(["drop:after_frame=2", "corrupt"])
+        assert not plan.fire_drop(1)
+        assert plan.fire_drop(2) and not plan.fire_drop(3)
+        assert plan.should_corrupt() and not plan.should_corrupt()
+
+    def test_unknown_kind_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            FaultSpec("explode")
+
+    def test_corrupt_file_flips_middle_byte(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes(range(10)))
+        offset = corrupt_file(str(path))
+        assert offset == 5
+        data = path.read_bytes()
+        assert data[5] == 5 ^ 0xFF
+        assert data[:5] == bytes(range(5))
+
+    def test_corrupt_file_rejects_empty_and_bad_offset(self, tmp_path):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError):
+            corrupt_file(str(empty))
+        blob = tmp_path / "blob.bin"
+        blob.write_bytes(b"abc")
+        with pytest.raises(ValueError):
+            corrupt_file(str(blob), offset=3)
+
+
+class TestQuorumMerge:
+    def test_majority_quorum_takes_median_estimates(self):
+        reports = [
+            report({7: 300.0, 2: 118.0}),
+            report({7: 302.0, 2: 119.0, 9: 101.0}),
+            report({7: 305.0, 2: 120.0}),
+        ]
+        merged = HeavyHittersReport.quorum_merge(reports)
+        assert merged.reported_items() == [7, 2]     # 9 has 1 vote < quorum 2
+        assert merged.estimated_frequency(7) == 302.0
+        assert merged.estimated_frequency(2) == 119.0
+        assert merged.stream_length == 1000
+
+    def test_quorum_one_keeps_every_reported_item(self):
+        reports = [report({7: 300.0}), report({9: 101.0})]
+        merged = HeavyHittersReport.quorum_merge(reports, quorum=1)
+        assert merged.reported_items() == [7, 9]
+
+    def test_single_report_round_trips(self):
+        only = report({7: 300.0})
+        merged = HeavyHittersReport.quorum_merge([only])
+        assert dict(merged.items) == dict(only.items)
+
+    def test_rejects_empty_and_bad_quorum(self):
+        with pytest.raises(ValueError):
+            HeavyHittersReport.quorum_merge([])
+        with pytest.raises(ValueError):
+            HeavyHittersReport.quorum_merge([report({})], quorum=2)
+        with pytest.raises(ValueError):
+            HeavyHittersReport.quorum_merge([report({})], quorum=0)
+
+    def test_rejects_mismatched_guarantees_and_prefixes(self):
+        with pytest.raises(ValueError):
+            HeavyHittersReport.quorum_merge(
+                [report({7: 1.0}), report({7: 1.0}, epsilon=0.02)]
+            )
+        with pytest.raises(ValueError):
+            HeavyHittersReport.quorum_merge(
+                [report({7: 1.0}), report({7: 1.0}, stream_length=999)]
+            )
+
+
+class TestReplicaGroup:
+    def test_constructor_validates_replicas(self):
+        with pytest.raises(ValueError):
+            ReplicaGroup([])
+        consumed = make_executor(1)
+        consumed.ingest_chunk(np.arange(10, dtype=np.int64))
+        consumed.finalize()
+        with pytest.raises(ValueError):
+            ReplicaGroup([consumed, make_executor(2)])
+        with pytest.raises(ValueError):
+            make_group(quorum=4)
+
+    def test_fault_free_run_matches_single_replica(self):
+        chunks = make_chunks()
+        group = make_group()
+        for chunk in chunks:
+            group.ingest_chunk(chunk)
+        result = group.finalize()
+        assert not result.degraded
+        assert result.live_replicas == result.num_replicas == 3
+        assert result.quorum == 2
+        assert result.items_processed == LENGTH
+
+        single = make_executor(100)  # same seed as replica 0
+        for chunk in chunks:
+            single.ingest_chunk(chunk)
+        assert dict(result.replica_report(0).items) == dict(
+            single.finalize().report.items
+        )
+
+    def test_kill_quarantines_and_survivors_answer_degraded(self):
+        chunks = make_chunks()
+        group = make_group(
+            fault_plan=FaultPlan.kill_replica(1, after_chunk=4),
+            supervisor=ReplicaSupervisor(auto_heal=False),
+        )
+        for index, chunk in enumerate(chunks[:8]):
+            group.ingest_chunk(chunk)
+            if index >= 4:
+                assert group.degraded and group.live_replicas == 2
+                snapshot = group.snapshot()
+                assert snapshot.degraded
+                assert snapshot.live_replicas == 2
+                assert snapshot.items_processed == (index + 1) * CHUNK
+        (event,) = group.events_payload()
+        assert event["event"] == "replica-failed"
+        assert event["replica"] == 1 and event["chunk"] == 4
+        payload = group.replica_status_payload()
+        assert not payload[1]["healthy"] and "InjectedFault" in payload[1]["error"]
+
+    def test_heal_reseeds_from_survivor_and_future_is_deterministic(self):
+        chunks = make_chunks()
+        kill_at, heal_after = 3, 2
+        group = make_group(
+            fault_plan=FaultPlan.kill_replica(1, after_chunk=kill_at),
+            supervisor=ReplicaSupervisor(heal_after_chunks=heal_after),
+        )
+        for chunk in chunks:
+            group.ingest_chunk(chunk)
+        events = group.events_payload()
+        assert [event["event"] for event in events] == [
+            "replica-failed", "replica-healed",
+        ]
+        heal = events[1]
+        heal_chunk = heal["chunk"]
+        assert heal_chunk == kill_at + 1 + heal_after
+        assert heal["donor"] == 0 and heal["failover_seconds"] >= 0.0
+        result = group.finalize()
+        assert not result.degraded and result.live_replicas == 3
+
+        # The re-seed determinism contract: the replacement equals a fresh
+        # donor-seed run whose state round-trips sink_state at the boundary.
+        reference = make_executor(100)  # donor's seed
+        for chunk in chunks[:heal_chunk]:
+            reference.ingest_chunk(chunk)
+        resumed = PipelinedExecutor.from_sink_state(
+            reference.sink_state(), chunk_size=CHUNK
+        )
+        for chunk in chunks[heal_chunk:]:
+            resumed.ingest_chunk(chunk)
+        assert dict(result.replica_report(1).items) == dict(
+            resumed.finalize().report.items
+        )
+
+    def test_all_replicas_dead_raises(self):
+        plan = FaultPlan([
+            FaultSpec("kill-replica", replica=0, after_chunk=1),
+            FaultSpec("kill-replica", replica=1, after_chunk=1),
+        ])
+        group = make_group(replicas=2, fault_plan=plan,
+                           supervisor=ReplicaSupervisor(auto_heal=False))
+        chunks = make_chunks()
+        group.ingest_chunk(chunks[0])
+        with pytest.raises(RuntimeError, match="all 2 replicas have failed"):
+            group.ingest_chunk(chunks[1])
+
+    def test_supervisor_max_heals_caps_reseeding(self):
+        plan = FaultPlan([
+            FaultSpec("kill-replica", replica=1, after_chunk=1),
+            FaultSpec("kill-replica", replica=1, after_chunk=4),
+        ])
+        group = make_group(
+            fault_plan=plan, supervisor=ReplicaSupervisor(max_heals=1),
+        )
+        for chunk in make_chunks():
+            group.ingest_chunk(chunk)
+        heals = [e for e in group.events_payload() if e["event"] == "replica-healed"]
+        assert len(heals) == 1
+        assert group.degraded and group.live_replicas == 2
+        result = group.finalize()
+        assert result.degraded and result.quorum == 2
+
+    def test_quorum_rule_follows_live_count(self):
+        group = make_group(replicas=5)
+        assert group.quorum_for(5) == 3
+        assert group.quorum_for(4) == 3
+        assert group.quorum_for(2) == 2
+        explicit = make_group(replicas=3, quorum=3)
+        assert explicit.quorum_for(3) == 3
+        assert explicit.quorum_for(2) == 2  # clamped to the live count
+
+    def test_snapshot_and_finalize_reject_wrong_phase(self):
+        group = make_group()
+        group.ingest_chunk(make_chunks()[0])
+        group.finalize()
+        with pytest.raises(RuntimeError):
+            group.snapshot()
+        with pytest.raises(RuntimeError):
+            group.sink_state()
+        with pytest.raises(RuntimeError):
+            group.finalize()
+        with pytest.raises(RuntimeError):
+            group.ingest_chunk(make_chunks()[0])
+
+    def test_live_stats_reports_per_replica_space(self):
+        group = make_group()
+        group.ingest_chunk(make_chunks()[0])
+        stats = group.live_stats()
+        assert stats["items_processed"] == CHUNK
+        assert stats["live_replicas"] == stats["num_replicas"] == 3
+        assert not stats["degraded"]
+        assert len(stats["replicas"]) == 3
+        assert stats["space_bits"] == sum(
+            entry["space_bits"] for entry in stats["replicas"]
+        )
+        assert any(key.startswith("replica2/") for key in stats["space_breakdown"])
+
+
+class TestGroupSinkState:
+    def test_round_trip_preserves_reports(self):
+        chunks = make_chunks()
+        group = make_group()
+        for chunk in chunks[:6]:
+            group.ingest_chunk(chunk)
+        state = group.sink_state()
+        assert state.kind == "replicated" and state.chunks == 6
+        restored = ReplicaGroup.from_sink_state(
+            pickle.loads(pickle.dumps(state)), chunk_size=CHUNK
+        )
+        baseline = make_group()
+        for chunk in chunks[:6]:
+            baseline.ingest_chunk(chunk)
+        for chunk in chunks[6:]:
+            restored.ingest_chunk(chunk)
+            baseline.ingest_chunk(chunk)
+        assert dict(restored.finalize().report.items) == dict(
+            baseline.finalize().report.items
+        )
+
+    def test_restore_heals_quarantined_slot_to_full_strength(self):
+        chunks = make_chunks()
+        group = make_group(
+            fault_plan=FaultPlan.kill_replica(2, after_chunk=2),
+            supervisor=ReplicaSupervisor(auto_heal=False),
+        )
+        for chunk in chunks[:5]:
+            group.ingest_chunk(chunk)
+        state = group.sink_state()
+        assert state.states[2] is None
+        assert not state.statuses[2]["healthy"]
+        restored = ReplicaGroup.from_sink_state(state, chunk_size=CHUNK)
+        assert restored.live_replicas == 3 and not restored.degraded
+        for chunk in chunks[5:]:
+            restored.ingest_chunk(chunk)
+        result = restored.finalize()
+        assert not result.degraded
+        # The healed slot is the donor's deep copy: same prefix, deterministic
+        # re-seeded future, so it must agree with replica 0 bit for bit.
+        assert dict(result.replica_report(2).items) == dict(
+            result.replica_report(0).items
+        )
+
+    def test_restore_with_no_healthy_state_rejected(self):
+        state = GroupSinkState(kind="replicated", states=[None, None],
+                               items_processed=0, chunks=0)
+        with pytest.raises(ValueError):
+            ReplicaGroup.from_sink_state(state)
+
+    def test_deepcopy_of_executor_state_is_deterministic_sibling(self):
+        chunks = make_chunks()
+        donor = make_executor(100)
+        for chunk in chunks[:4]:
+            donor.ingest_chunk(chunk)
+        captured = donor.sink_state()
+        first = PipelinedExecutor.from_sink_state(copy.deepcopy(captured),
+                                                  chunk_size=CHUNK)
+        second = PipelinedExecutor.from_sink_state(copy.deepcopy(captured),
+                                                   chunk_size=CHUNK)
+        for chunk in chunks[4:]:
+            first.ingest_chunk(chunk)
+            second.ingest_chunk(chunk)
+        assert dict(first.finalize().report.items) == dict(
+            second.finalize().report.items
+        )

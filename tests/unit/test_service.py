@@ -364,10 +364,10 @@ class TestCheckpointer:
         path = os.path.join(tmp_path, "future.ckpt")
         Checkpointer().save(path, executor.sink_state())
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-        payload["manifest"]["format"] = 999
+            envelope = pickle.load(handle)
+        envelope["format"] = 999
         with open(path, "wb") as handle:
-            pickle.dump(payload, handle)
+            pickle.dump(envelope, handle)
         with pytest.raises(CheckpointError):
             Checkpointer().load(path)
 

@@ -1,0 +1,406 @@
+"""Robustness tests for the service layer: timeouts, retries, resume, durability."""
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.pipeline import PipelinedExecutor
+from repro.primitives.rng import RandomSource
+from repro.replication import FaultPlan, corrupt_file
+from repro.service import (
+    NO_RETRY,
+    CheckpointError,
+    Checkpointer,
+    IngestServer,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+)
+
+UNIVERSE = 500
+LENGTH = 20_000
+CHUNK = 1024
+
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.05, jitter=0.0)
+
+
+def make_sketch(seed=1):
+    return SimpleListHeavyHitters(
+        epsilon=0.02, phi=0.1, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(seed),
+    )
+
+
+def make_items(length=LENGTH, seed=3):
+    rng = RandomSource(seed).numpy_generator()
+    heavy = np.full(length // 2, 7, dtype=np.int64)
+    rest = rng.integers(0, UNIVERSE, size=length - len(heavy))
+    items = np.concatenate([heavy, rest])
+    rng.shuffle(items)
+    return items.astype(np.int64)
+
+
+def start_server(**kwargs):
+    return IngestServer(
+        PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK),
+        port=0,
+        universe_size=UNIVERSE,
+        **kwargs,
+    ).start()
+
+
+@pytest.fixture
+def mute_server():
+    """A listener that accepts and reads but never replies — a hung server."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(8)
+    accepted = []
+    stop = threading.Event()
+
+    def accept_loop():
+        listener.settimeout(0.1)
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(0.1)
+            accepted.append(conn)
+
+    thread = threading.Thread(target=accept_loop, daemon=True)
+    thread.start()
+    yield f"127.0.0.1:{listener.getsockname()[1]}"
+    stop.set()
+    thread.join(timeout=2.0)
+    for conn in accepted:
+        conn.close()
+    listener.close()
+
+
+class TestRetryPolicy:
+    def test_delay_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, max_delay=0.5, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.5)  # capped
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        for retry in range(20):
+            assert 0.1 <= policy.delay(0) <= 0.15
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_no_retry_is_single_attempt(self):
+        assert NO_RETRY.attempts == 1
+
+
+class TestServiceTimeout:
+    def test_flush_deadline_expiry_raises_typed_timeout(self, mute_server, monkeypatch):
+        monkeypatch.setattr("repro.service.client.REPLY_TIMEOUT_MARGIN", 0.05)
+        with ServiceClient(mute_server, timeout=5.0, retry=NO_RETRY) as client:
+            with pytest.raises(ServiceTimeout):
+                client.flush(timeout=0.05)
+            # The socket is closed: a late reply must not desynchronize frames.
+            assert client._sock is None
+
+    def test_command_deadline_overrides_blocking_constructor_default(
+        self, mute_server, monkeypatch
+    ):
+        monkeypatch.setattr("repro.service.client.REPLY_TIMEOUT_MARGIN", 0.05)
+        # timeout=None blocks forever by default; finish's own deadline must win.
+        with ServiceClient(mute_server, timeout=None, retry=NO_RETRY) as client:
+            start = time.monotonic()
+            with pytest.raises(ServiceTimeout):
+                client.finish(timeout=0.05)
+            assert time.monotonic() - start < 2.0
+
+    def test_timeout_on_idempotent_command_is_not_retried(self, mute_server):
+        client = ServiceClient(mute_server, timeout=0.2,
+                               retry=RetryPolicy(attempts=3, base_delay=5.0))
+        client.connect()
+        start = time.monotonic()
+        with pytest.raises(ServiceTimeout):
+            client.query()
+        # A retried timeout would sleep the 5s backoff at least once.
+        assert time.monotonic() - start < 2.0
+        client.close()
+
+    def test_timeout_is_not_an_os_error(self):
+        assert issubclass(ServiceTimeout, ServiceError)
+        assert not issubclass(ServiceTimeout, OSError)
+
+
+class TestConnectRetry:
+    def test_connect_retries_until_listener_appears(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # free the port; nothing listens until the thread binds
+
+        listener_ready = threading.Event()
+
+        def late_listener():
+            time.sleep(0.15)
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", port))
+            listener.listen(1)
+            listener_ready.set()
+            try:
+                conn, _ = listener.accept()
+                conn.close()
+            finally:
+                listener.close()
+
+        thread = threading.Thread(target=late_listener, daemon=True)
+        thread.start()
+        client = ServiceClient(
+            f"127.0.0.1:{port}",
+            retry=RetryPolicy(attempts=20, base_delay=0.02, max_delay=0.1, jitter=0.0),
+        )
+        client.connect()  # would raise without the retry loop
+        assert listener_ready.is_set()
+        client.close()
+        thread.join(timeout=2.0)
+
+    def test_no_retry_fails_fast(self):
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"127.0.0.1:{port}", retry=NO_RETRY)
+        with pytest.raises((ConnectionError, OSError)):
+            client.connect()
+
+
+class TestPushStreamResume:
+    def test_dropped_connection_resumes_without_loss_or_doubling(self):
+        items = make_items()
+        batches = [items[start:start + 500] for start in range(0, len(items), 500)]
+        server = start_server()
+        try:
+            plan = FaultPlan.drop_connection(after_frame=5)
+            with ServiceClient(server.endpoint, retry=FAST_RETRY,
+                               fault_plan=plan) as client:
+                received = client.push_stream(batches, window=4)
+                assert received == len(items)
+                assert plan.pending() == []  # the drop really fired
+                client.finish()
+                served = client.query()
+        finally:
+            server.close()
+
+        offline = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        for start in range(0, len(items), CHUNK):  # the server's re-chunk boundaries
+            offline.ingest_chunk(items[start:start + CHUNK])
+        report = offline.finalize().report
+        assert dict(served.report.items) == dict(report.items)
+
+    def test_resume_disabled_raises_on_drop(self):
+        items = make_items(4000)
+        batches = [items[start:start + 200] for start in range(0, len(items), 200)]
+        server = start_server()
+        try:
+            with ServiceClient(server.endpoint, retry=NO_RETRY,
+                               fault_plan=FaultPlan.drop_connection(5)) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.push_stream(batches, window=4)
+        finally:
+            server.close()
+
+    def test_repeated_drops_exhaust_recovery_attempts(self):
+        items = make_items(8000)
+        batches = [items[start:start + 200] for start in range(0, len(items), 200)]
+        plan = FaultPlan([
+            FaultPlan.drop_connection(3).specs[0],
+            FaultPlan.drop_connection(8).specs[0],
+            FaultPlan.drop_connection(13).specs[0],
+        ])
+        server = start_server()
+        try:
+            client = ServiceClient(server.endpoint, fault_plan=plan,
+                                   retry=RetryPolicy(attempts=3, base_delay=0.01,
+                                                     jitter=0.0))
+            with client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.push_stream(batches, window=4)
+        finally:
+            server.close()
+
+
+class TestConnectionStorm:
+    def test_storm_leaks_no_fds_and_loses_no_acked_batches(self):
+        server = start_server()
+        errors = []
+        acked = [0] * 8
+        queries_done = threading.Event()
+
+        def pusher(index):
+            try:
+                items = make_items(1000, seed=50 + index)
+                for start in range(0, len(items), 250):
+                    with ServiceClient(server.endpoint, retry=FAST_RETRY) as client:
+                        client.push(items[start:start + 250])
+                        acked[index] += 250
+                # One extra connect/disconnect with no traffic at all.
+                with ServiceClient(server.endpoint, retry=FAST_RETRY):
+                    pass
+            except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+                errors.append(exc)
+
+        def querier():
+            try:
+                with ServiceClient(server.endpoint, retry=FAST_RETRY) as client:
+                    while not queries_done.is_set():
+                        client.stats()
+                        time.sleep(0.005)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        fd_dir = "/proc/self/fd"
+        before = len(os.listdir(fd_dir))
+        threads = [threading.Thread(target=pusher, args=(i,)) for i in range(8)]
+        query_thread = threading.Thread(target=querier)
+        query_thread.start()
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "pusher deadlocked"
+        finally:
+            queries_done.set()
+            query_thread.join(timeout=10.0)
+        assert not query_thread.is_alive(), "querier deadlocked"
+        assert errors == []
+
+        try:
+            with ServiceClient(server.endpoint) as client:
+                assert client.config()["items_received"] == sum(acked)
+                client.finish()
+                result = client.query()
+                assert result.final
+                assert result.items_processed == sum(acked)
+            # Handler threads close their sockets on EOF; give them a moment.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if len(os.listdir(fd_dir)) <= before + 4:
+                    break
+                time.sleep(0.05)
+            assert len(os.listdir(fd_dir)) <= before + 4, "file descriptors leaked"
+        finally:
+            server.close()
+
+
+class TestGracefulStop:
+    def test_graceful_stop_drains_checkpoints_and_closes(self, tmp_path):
+        items = make_items(8000)
+        path = str(tmp_path / "final.ckpt")
+        server = start_server()
+        try:
+            with ServiceClient(server.endpoint) as client:
+                client.push(items)
+                manifest = server.graceful_stop(checkpoint_path=path)
+        finally:
+            server.close()
+        assert manifest is not None and os.path.exists(path)
+        state, loaded = Checkpointer().load(path)
+        # Drained to the last complete chunk boundary before capturing.
+        assert state.items_processed == len(items) - len(items) % CHUNK
+        assert loaded["config"]["replicas"] == 1
+        restored, _ = Checkpointer().restore_pipeline(path, chunk_size=CHUNK)
+        assert restored.items_processed == state.items_processed
+
+    def test_graceful_stop_without_checkpoint_path_just_closes(self):
+        server = start_server()
+        assert server.graceful_stop() is None
+        with pytest.raises((ConnectionError, OSError)):
+            ServiceClient(server.endpoint, retry=NO_RETRY).connect()
+
+    def test_draining_server_rejects_new_pushes(self):
+        server = start_server()
+        try:
+            with ServiceClient(server.endpoint) as client:
+                client.push(make_items(2000))
+                server._draining = True  # what graceful_stop sets before waiting
+                with pytest.raises(ServiceError, match="draining"):
+                    client.push(make_items(100))
+        finally:
+            server.close()
+
+
+class TestCheckpointDurability:
+    def test_save_fsyncs_data_file_and_parent_directory(self, tmp_path, monkeypatch):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd),
+                                                     real_fsync(fd))[1])
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        executor.ingest_chunk(make_items(2048))
+        path = str(tmp_path / "state.ckpt")
+        Checkpointer().save(path, executor.sink_state())
+        # One fsync for the temp data file, one for the directory rename.
+        assert len(synced) >= 2
+
+    def test_truncated_checkpoint_rejected_cleanly(self, tmp_path):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        executor.ingest_chunk(make_items(2048))
+        path = str(tmp_path / "state.ckpt")
+        Checkpointer().save(path, executor.sink_state())
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:  # a crash mid-write leaves a prefix
+            handle.truncate(size // 2)
+        with pytest.raises(CheckpointError):
+            Checkpointer().load(path)
+
+    def test_byte_flipped_checkpoint_rejected_cleanly(self, tmp_path):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        executor.ingest_chunk(make_items(2048))
+        path = str(tmp_path / "state.ckpt")
+        Checkpointer().save(path, executor.sink_state())
+        corrupt_file(path)
+        with pytest.raises(CheckpointError):
+            Checkpointer().load(path)
+
+    def test_every_byte_flip_is_rejected(self, tmp_path):
+        # A flip deep inside an array buffer still parses as valid pickle —
+        # only the envelope's SHA-256 digest catches it. Sweep the whole file.
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        executor.ingest_chunk(make_items(2048))
+        path = str(tmp_path / "state.ckpt")
+        Checkpointer().save(path, executor.sink_state())
+        original = open(path, "rb").read()
+        step = max(1, len(original) // 64)  # 64 evenly-spread sample offsets
+        for offset in range(0, len(original), step):
+            corrupt_file(path, offset=offset)
+            with pytest.raises(CheckpointError):
+                Checkpointer().load(path)
+            with open(path, "wb") as handle:
+                handle.write(original)
+
+    def test_save_failure_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        executor = PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK)
+        executor.ingest_chunk(make_items(2048))
+        path = str(tmp_path / "state.ckpt")
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            Checkpointer().save(path, executor.sink_state())
+        monkeypatch.undo()
+        assert os.listdir(tmp_path) == []
