@@ -42,6 +42,18 @@ the supervisor's re-seeded replacement is compared bit for bit against an
 uninterrupted equal-seed reference, and the quarantine-to-re-admit failover
 time is recorded.  Written to ``BENCH_replication.json``.
 
+``--mode observability`` measures the observability layer itself
+(:mod:`repro.observability`): the identical stream is pushed through the
+credit-windowed service pipeline twice per pass — once into a disabled
+:class:`~repro.observability.MetricRegistry`, once enabled — asserting the two
+final reports are bit-for-bit identical and recording the throughput tax of
+metrics-on (claimed and checked < 5%); a second leg replays the replicated
+fault-injection scenario with the Prometheus HTTP sidecar up and asserts a live
+scrape surfaces the failover counter and populated latency histograms.  Written
+to ``BENCH_observability.json``.  Every mode additionally embeds a compact
+``metrics`` section (queue-depth high-water mark, chunk/items totals,
+snapshot-cache hits/misses) in its artifact.
+
 Every mode runs ``--warmup`` discarded passes plus ``--repeats`` recorded passes
 and stores median/min/max, so the recorded numbers are not single-shot noise.
 
@@ -179,6 +191,7 @@ def run(length: int, batch_size: int, output: str, warmup: int = 1, repeats: int
             f"insert_many {batched['items_per_second']:>12,.0f} it/s   "
             f"speedup {speedup:5.1f}x"
         )
+    results["metrics"] = _metrics_section()
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -327,6 +340,7 @@ def run_sharded(length: int, batch_size: int, output: str,
             f"recall {row['serial']['accuracy']['recall']:.2f}   "
             f"precision {row['serial']['accuracy']['precision']:.2f}"
         )
+    results["metrics"] = _metrics_section()
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -427,6 +441,7 @@ def run_async(length: int, batch_size: int, output: str,
                 f"speedup {entry['pipelined_speedup_over_serial']:4.2f}x   "
                 f"identical_report {entry['identical_report']}"
             )
+    results["metrics"] = _metrics_section()
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -577,6 +592,7 @@ def run_service(length: int, batch_size: int, output: str,
                 f"pipelined {entry['pipelined_identical_report']} "
                 f"resumed {entry['resumed_identical_report']}"
             )
+    results["metrics"] = _metrics_section()
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -711,6 +727,242 @@ def run_replication(length: int, batch_size: int, output: str,
                     f"({entry['degraded_queries']} queries)"
                 )
             print(line)
+    results["metrics"] = _metrics_section()
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
+OBSERVABILITY_CHUNK = 1 << 16
+OBSERVABILITY_PUSH_BATCH = 1 << 14
+OBSERVABILITY_PUSH_WINDOW = 32
+OBSERVABILITY_REPLICAS = 3
+OBSERVABILITY_KILL_REPLICA = 1
+OBSERVABILITY_MAX_OVERHEAD = 0.05  # the <5% metrics-on claim this mode measures
+
+
+def _metrics_section(registry=None) -> dict:
+    """A compact metrics snapshot embedded in every ``BENCH_*.json`` artifact.
+
+    Reads the process-wide registry (the one every un-parameterized executor
+    records into), so the recorded JSONs double as metric fixtures: the
+    queue-depth high-water mark, chunk/items totals, and snapshot-cache
+    hit/miss counts of the runs that produced the numbers ride along.
+    """
+    from repro.observability import get_registry  # noqa: E402
+
+    snapshot = (registry if registry is not None else get_registry()).snapshot()
+    families = snapshot["metrics"]
+
+    def series(name: str) -> dict:
+        family = families.get(name)
+        if not family or not family["series"]:
+            return {}
+        return family["series"][0]
+
+    def value(name: str) -> float:
+        return float(series(name).get("value", 0.0))
+
+    def histogram(name: str) -> dict:
+        entry = series(name)
+        return {"count": int(entry.get("count", 0)), "sum": float(entry.get("sum", 0.0))}
+
+    return {
+        "metrics_schema": snapshot["metrics_schema"],
+        "pipeline_chunks_total": value("repro_pipeline_chunks_total"),
+        "pipeline_items_total": value("repro_pipeline_items_total"),
+        "queue_depth_max": float(series("repro_pipeline_queue_depth").get("max", 0.0)),
+        "chunk_ingest_seconds": histogram("repro_pipeline_chunk_ingest_seconds"),
+        "snapshot_cache_hits_total": value("repro_pipeline_snapshot_cache_hits_total"),
+        "snapshot_cache_misses_total": value(
+            "repro_pipeline_snapshot_cache_misses_total"
+        ),
+    }
+
+
+def run_observability(length: int, batch_size: int, output: str,
+                      warmup: int = 1, repeats: int = 3) -> dict:
+    """Experiment OBSERVABILITY: the metrics-on tax and a scraped fault run.
+
+    Two legs, both against a real :class:`~repro.service.IngestServer` on a
+    loopback socket with the credit-windowed ``push_stream`` pipeline:
+
+    * **overhead** — every pass pushes the identical stream twice with
+      identical seeds, once into a *disabled* :class:`MetricRegistry` and once
+      into an enabled one, asserts the two final reports are bit-for-bit
+      identical (instrumentation must never perturb ingestion), and records
+      the client-observed push throughput of each.  The headline number is
+      ``overhead_fraction`` (1 − enabled/disabled median throughput), claimed
+      and checked < 5%;
+    * **fault_scrape** — one replicated run (R=3) with a scripted mid-ingest
+      kill and the Prometheus HTTP sidecar up, scraped over live HTTP after
+      the failure: the scrape must surface ``repro_replication_failovers_total
+      >= 1``, a heal, nonzero degraded seconds, and populated latency
+      histograms — the same assertions CI's ``observability-smoke`` job makes
+      from the CLI.
+    """
+    import urllib.request
+
+    from repro.observability import MetricRegistry, MetricsHTTPServer  # noqa: E402
+    from repro.pipeline import PipelinedExecutor  # noqa: E402
+    from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor  # noqa: E402
+    from repro.service import IngestServer, ServiceClient  # noqa: E402
+
+    chunk = OBSERVABILITY_CHUNK
+    if length // chunk < 12:
+        chunk = max(1024, length // 12)
+    push_batch = min(OBSERVABILITY_PUSH_BATCH, chunk)
+    stream = zipfian_stream(length, UNIVERSE, skew=SKEW, rng=RandomSource(SEED))
+    items = stream.array
+    batches = [items[start:start + push_batch]
+               for start in range(0, len(items), push_batch)]
+
+    def build_sketch():
+        return OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=length, rng=RandomSource(SEED + 1),
+        )
+
+    def push_once(registry):
+        """One served pipelined push into ``registry``; returns (seconds, report)."""
+        executor = PipelinedExecutor(
+            sketch=build_sketch(), chunk_size=chunk, registry=registry,
+        )
+        server = IngestServer(executor, port=0, registry=registry)
+        server.start()
+        try:
+            with ServiceClient(server.endpoint) as client:
+                started = time.perf_counter()
+                client.push_stream(batches, window=OBSERVABILITY_PUSH_WINDOW)
+                client.finish()
+                seconds = time.perf_counter() - started
+                report = client.query()
+        finally:
+            server.close()
+        return seconds, report
+
+    results = {
+        "experiment": "observability",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length": length, "universe": UNIVERSE,
+            "seed": SEED,
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "chunk_size": chunk,
+            "push_batch": push_batch, "push_window": OBSERVABILITY_PUSH_WINDOW,
+            "sketch": "optimal (Thm 2)", "replicas": OBSERVABILITY_REPLICAS,
+            "kill_replica": OBSERVABILITY_KILL_REPLICA,
+            "max_overhead_fraction": OBSERVABILITY_MAX_OVERHEAD,
+            "warmup": warmup, "repeats": repeats,
+        },
+        "cpu_count": os.cpu_count(),
+    }
+
+    rates = {"disabled": [], "enabled": []}
+    identical_every_repeat = True
+    enabled_registry = None
+    for index in range(warmup + max(1, repeats)):
+        reports = {}
+        for label, enabled in (("disabled", False), ("enabled", True)):
+            registry = MetricRegistry(enabled=enabled)
+            seconds, reports[label] = push_once(registry)
+            if index >= warmup:
+                rates[label].append(length / seconds if seconds else float("inf"))
+            if enabled:
+                enabled_registry = registry
+        identical_every_repeat &= (
+            reports["disabled"].report.items == reports["enabled"].report.items
+        )
+    overhead = 1.0 - (
+        statistics.median(rates["enabled"]) / statistics.median(rates["disabled"])
+    )
+    results["overhead"] = {
+        "disabled_items_per_second": statistics.median(rates["disabled"]),
+        "disabled_items_per_second_stats": spread(rates["disabled"]),
+        "enabled_items_per_second": statistics.median(rates["enabled"]),
+        "enabled_items_per_second_stats": spread(rates["enabled"]),
+        "overhead_fraction": overhead,
+        "within_claimed_bound": overhead < OBSERVABILITY_MAX_OVERHEAD,
+        "identical_report": identical_every_repeat,
+    }
+    results["metrics"] = _metrics_section(enabled_registry)
+    print(
+        f"metrics off {results['overhead']['disabled_items_per_second']:>12,.0f} it/s   "
+        f"on {results['overhead']['enabled_items_per_second']:>12,.0f} it/s   "
+        f"overhead {overhead * 100:5.2f}%   "
+        f"identical_report {identical_every_repeat}"
+    )
+
+    # Leg 2: replicated fault injection with a live HTTP scrape mid-story.
+    registry = MetricRegistry(enabled=True)
+    rng = RandomSource(SEED + 2)
+    group = ReplicaGroup(
+        [PipelinedExecutor(sketch=OptimalListHeavyHitters(
+            epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+            stream_length=length, rng=rng.spawn(index)),
+            chunk_size=chunk, registry=registry)
+         for index in range(OBSERVABILITY_REPLICAS)],
+        chunk_size=chunk,
+        supervisor=ReplicaSupervisor(heal_after_chunks=1),
+        fault_plan=FaultPlan.parse(
+            [f"kill:replica={OBSERVABILITY_KILL_REPLICA},after_chunk=2"]
+        ),
+        registry=registry,
+    )
+    server = IngestServer(group, port=0, registry=registry)
+    server.start()
+    sidecar = MetricsHTTPServer(registry, port=0).start()
+    try:
+        with ServiceClient(server.endpoint) as client:
+            client.push_stream(batches, window=OBSERVABILITY_PUSH_WINDOW)
+            client.finish()
+        with urllib.request.urlopen(sidecar.url, timeout=30) as response:
+            scraped = response.read().decode("utf-8")
+    finally:
+        sidecar.close()
+        server.close()
+
+    def scraped_value(name: str) -> float:
+        for line in scraped.splitlines():
+            if line.startswith(name + " "):
+                return float(line.split()[-1])
+        return 0.0
+
+    snapshot = registry.snapshot()["metrics"]
+    ingest_hist = snapshot["repro_pipeline_chunk_ingest_seconds"]["series"][0]
+    command_series = snapshot["repro_service_command_seconds"]["series"]
+    results["fault_scrape"] = {
+        "failovers_total": scraped_value("repro_replication_failovers_total"),
+        "heals_total": scraped_value("repro_replication_heals_total"),
+        "degraded_seconds_total": scraped_value(
+            "repro_replication_degraded_seconds_total"
+        ),
+        "live_replicas": scraped_value("repro_replication_live_replicas"),
+        "chunk_ingest_observations": int(ingest_hist["count"]),
+        "command_latency_observations": int(
+            sum(entry["count"] for entry in command_series)
+        ),
+        "scrape_surfaced_failover": scraped_value(
+            "repro_replication_failovers_total"
+        ) >= 1.0,
+        "histograms_populated": ingest_hist["count"] > 0
+        and sum(entry["count"] for entry in command_series) > 0,
+    }
+    fault = results["fault_scrape"]
+    print(
+        f"fault scrape: failovers {fault['failovers_total']:.0f}   "
+        f"heals {fault['heals_total']:.0f}   "
+        f"degraded {fault['degraded_seconds_total'] * 1e3:.1f} ms   "
+        f"histograms populated {fault['histograms_populated']}"
+    )
+    if not fault["scrape_surfaced_failover"] or not fault["histograms_populated"]:
+        raise SystemExit("observability fault leg failed: scrape did not surface "
+                         "the failover or histograms stayed empty")
+    if not identical_every_repeat:
+        raise SystemExit("observability overhead leg failed: metrics-enabled "
+                         "report diverged from metrics-off")
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -722,7 +974,7 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
                         choices=["throughput", "sharded", "async", "service",
-                                 "replication"],
+                                 "replication", "observability"],
                         default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
@@ -750,6 +1002,10 @@ def main(argv=None) -> int:
         run_replication(args.length, args.batch_size,
                         args.output or "BENCH_replication.json",
                         warmup=args.warmup, repeats=args.repeats)
+    elif args.mode == "observability":
+        run_observability(args.length, args.batch_size,
+                          args.output or "BENCH_observability.json",
+                          warmup=args.warmup, repeats=args.repeats)
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json",
             warmup=args.warmup, repeats=args.repeats)

@@ -18,11 +18,19 @@ on-disk traces without writing any Python:
   graceful signal path (SIGTERM/SIGINT drain + final checkpoint), and deterministic
   fault injection (``--fault``) for chaos testing;
 * ``push`` / ``query`` / ``checkpoint`` — the client side: stream a trace file to a
-  server, print a (mid-ingest or final) report, write a server-side checkpoint.
+  server, print a (mid-ingest or final) report, write a server-side checkpoint;
+* ``metrics``        — scrape a running server's metric registry over the frame
+  protocol and print it in Prometheus text exposition format (or raw JSON).
 
 Every command prints a small, stable, line-oriented report so the CLI can be scripted;
 ``query`` prints its ``item`` lines in exactly the ``heavy-hitters`` format so the two
 can be diffed (the service round-trip CI job does exactly that).
+
+Observability flags (see docs/OBSERVABILITY.md): the global ``--log-level`` /
+``--log-json`` pair configures the ``repro.*`` logger hierarchy for every command;
+``serve --metrics-port P`` starts a Prometheus-text HTTP sidecar next to the frame
+listener, and ``serve --trace-log PATH`` appends one JSON line per pipeline span
+(produce → enqueue → ingest → combine → snapshot) and served command.
 """
 
 from __future__ import annotations
@@ -35,6 +43,13 @@ import threading
 from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.misra_gries import MisraGries
+from repro.observability import (
+    MetricsHTTPServer,
+    Tracer,
+    configure_logging,
+    get_registry,
+    render_prometheus,
+)
 from repro.core.base import FrequencyEstimator
 from repro.core.borda import ListBorda
 from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
@@ -73,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Optimal l1-heavy hitters in insertion streams (PODS 2016) - command line",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="threshold for the repro.* logger hierarchy (replica failover/heal, "
+             "client retries, checkpoint rejections; default warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as one JSON object per line instead of human text",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -256,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ready-file", default=None, metavar="PATH",
                        help="write the bound endpoint to this file once listening "
                             "(for scripts that need the ephemeral port)")
+    serve.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                       help="serve Prometheus text metrics over HTTP on this port "
+                            "(GET /metrics; 0 picks an ephemeral port). The sidecar "
+                            "scrapes the same registry the `metrics` command reads.")
+    serve.add_argument("--trace-log", default=None, metavar="PATH",
+                       help="append chunk-level trace spans (produce/enqueue/ingest/"
+                            "combine/snapshot) and served commands to this JSONL file")
 
     push = subparsers.add_parser(
         "push",
@@ -332,6 +364,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_connect_option(checkpoint)
     checkpoint.add_argument("--shutdown", action="store_true",
                             help="stop the server after the checkpoint is written")
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="print a running server's metrics in Prometheus text format",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Fetches the server's metric registry snapshot over the frame protocol\n"
+            "(the `metrics` command) and renders it in Prometheus text exposition\n"
+            "format — byte-identical to what `serve --metrics-port` serves over\n"
+            "HTTP, since both render the same snapshot. --json prints the raw\n"
+            "snapshot (schema: metrics_schema / enabled / metrics) instead.\n"
+        ),
+    )
+    add_connect_option(metrics)
+    metrics.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the raw JSON snapshot instead of Prometheus text")
 
     return parser
 
@@ -631,10 +679,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         spec.kind == "kill-replica" for spec in fault_plan.specs
     ):
         raise SystemExit("--fault kill:... needs --replicas")
+    if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
+        raise SystemExit(f"--metrics-port must be in [0, 65535], got {args.metrics_port}")
+    # One process-wide registry: the pipeline, the server, the checkpointer, the
+    # replica group, the `metrics` command, and the HTTP sidecar all read/write
+    # the same instruments.
+    registry = get_registry()
+    tracer = Tracer(args.trace_log) if args.trace_log else None
     supervisor = ReplicaSupervisor(heal_after_chunks=args.heal_after_chunks)
     if args.restore is not None:
-        pipeline, manifest = Checkpointer().restore_pipeline(
-            args.restore, chunk_size=args.chunk_size, queue_depth=args.queue_depth
+        pipeline, manifest = Checkpointer(registry=registry).restore_pipeline(
+            args.restore, chunk_size=args.chunk_size, queue_depth=args.queue_depth,
+            registry=registry, tracer=tracer,
         )
         if isinstance(pipeline, ReplicaGroup):
             pipeline.supervisor = supervisor
@@ -661,9 +717,12 @@ def _command_serve(args: argparse.Namespace) -> int:
                     executor=_sharded_executor(build, instance_rng, args.shards, universe),
                     chunk_size=chunk_size,
                     queue_depth=queue_depth,
+                    registry=registry,
+                    tracer=tracer,
                 )
             return PipelinedExecutor(
-                sketch=build(instance_rng), chunk_size=chunk_size, queue_depth=queue_depth
+                sketch=build(instance_rng), chunk_size=chunk_size, queue_depth=queue_depth,
+                registry=registry, tracer=tracer,
             )
 
         if args.replicas is not None:
@@ -676,6 +735,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 queue_depth=queue_depth,
                 supervisor=supervisor,
                 fault_plan=fault_plan,
+                registry=registry,
+                tracer=tracer,
             )
         else:
             pipeline = build_sink(rng)
@@ -693,17 +754,34 @@ def _command_serve(args: argparse.Namespace) -> int:
         universe_size=universe,
         config=config,
         report_kwargs=report_kwargs,
+        registry=registry,
+        tracer=tracer,
     )
-    server.start()
-    _install_shutdown_handlers(server, args.checkpoint_path)
-    print(f"listening on {server.endpoint}", flush=True)
-    if args.ready_file:
-        with open(args.ready_file, "w", encoding="utf-8") as handle:
-            handle.write(server.endpoint + "\n")
+    metrics_server = None
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        server.graceful_stop(checkpoint_path=args.checkpoint_path)
+        server.start()
+        if args.metrics_port is not None:
+            metrics_server = MetricsHTTPServer(
+                registry, host=args.host if args.socket is None else "127.0.0.1",
+                port=args.metrics_port,
+            )
+            metrics_server.start()
+        _install_shutdown_handlers(server, args.checkpoint_path)
+        print(f"listening on {server.endpoint}", flush=True)
+        if metrics_server is not None:
+            print(f"metrics on {metrics_server.url}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(server.endpoint + "\n")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            server.graceful_stop(checkpoint_path=args.checkpoint_path)
+    finally:
+        if metrics_server is not None:
+            metrics_server.close()
+        if tracer is not None:
+            tracer.close()
     if (fault_plan is not None and fault_plan.should_corrupt()
             and args.checkpoint_path and os.path.exists(args.checkpoint_path)):
         offset = corrupt_file(args.checkpoint_path)
@@ -798,6 +876,21 @@ def _command_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_metrics(args: argparse.Namespace) -> int:
+    with ServiceClient(args.connect) as client:
+        snapshot = client.metrics()
+    if args.as_json:
+        import json
+
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        # render_prometheus reads only the snapshot's "metrics" section, so the
+        # reply's transport keys ("ok") ride along harmlessly — the output is
+        # byte-identical to the server's own --metrics-port sidecar.
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     parameters = {
         "epsilon": args.epsilon, "phi": args.phi, "n": args.universe, "m": args.stream_length,
@@ -823,12 +916,14 @@ _COMMANDS = {
     "push": _command_push,
     "query": _command_query,
     "checkpoint": _command_checkpoint,
+    "metrics": _command_metrics,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_format=args.log_json)
     return _COMMANDS[args.command](args)
 
 

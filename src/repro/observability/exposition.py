@@ -1,0 +1,203 @@
+"""Exposing the metric catalog: Prometheus text rendering + an HTTP sidecar.
+
+Both exposure paths of the observability layer render the *same* JSON-safe
+:meth:`~repro.observability.metrics.MetricRegistry.snapshot`:
+
+* the ``metrics`` frame-protocol command ships the snapshot to
+  :meth:`repro.service.ServiceClient.metrics`, and ``repro metrics --connect``
+  renders it client-side with :func:`render_prometheus`;
+* :class:`MetricsHTTPServer` (``repro serve --metrics-port P``) serves
+  ``GET /metrics`` by rendering the server process's registry with the same
+  function, plus ``GET /metrics.json`` with the raw snapshot.
+
+One renderer for both on purpose (the repo's usual one-shared-helper rule): a
+scrape and a CLI dump of the same process can differ only in recording time,
+never in format.  The text format follows the Prometheus exposition conventions
+— ``# HELP`` / ``# TYPE`` comments, cumulative ``_bucket{le=...}`` histogram
+series with ``_sum``/``_count``, escaped label values — and is pinned by a
+golden test, so a format regression is a test diff, not a broken dashboard.
+
+The sidecar is stdlib ``http.server`` on a daemon thread: no web framework, no
+new dependency, good enough for a scrape endpoint that serves one small text
+document per poll interval.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.observability.metrics import MetricRegistry
+
+#: The Content-Type Prometheus expects from a text-format scrape target.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integral floats as integers, the rest as repr.
+
+    Deterministic (no locale, no rounding surprises) so the golden format test
+    can pin exact output.
+    """
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"' for name, value in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """Render a :meth:`MetricRegistry.snapshot` dict as Prometheus text format.
+
+    Takes the JSON-safe snapshot (not the registry) so the CLI can render a
+    snapshot it received over the wire with byte-identical output to the
+    serving process's own ``/metrics``.
+    """
+    lines = []
+    for name, family in snapshot.get("metrics", {}).items():
+        kind = family["type"]
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                for bucket in series["buckets"]:
+                    le = bucket["le"]
+                    le_text = le if isinstance(le, str) else _format_value(le)
+                    lines.append(
+                        f"{name}_bucket{_label_text(labels, {'le': le_text})} "
+                        f"{_format_value(bucket['count'])}"
+                    )
+                lines.append(f"{name}_sum{_label_text(labels)} {_format_value(series['sum'])}")
+                lines.append(f"{name}_count{_label_text(labels)} {_format_value(series['count'])}")
+            else:
+                lines.append(f"{name}{_label_text(labels)} {_format_value(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+class _MetricsRequestHandler(BaseHTTPRequestHandler):
+    """``GET /metrics`` (Prometheus text) and ``GET /metrics.json`` (raw snapshot)."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        registry: MetricRegistry = self.server.registry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_prometheus(registry.snapshot()).encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        elif path == "/metrics.json":
+            body = (json.dumps(registry.snapshot(), sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
+        else:
+            self.send_error(404, "try /metrics or /metrics.json")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Scrapes are periodic; routing them to stderr would drown the server's
+        # own log lines.  The access log is a metric, not a log line.
+        pass
+
+
+class MetricsHTTPServer:
+    """The Prometheus scrape sidecar: a daemon-thread HTTP server over one registry.
+
+    Args:
+        registry: the :class:`MetricRegistry` to expose (typically the serving
+            process's default registry).
+        host: bind address; default localhost, matching the frame protocol's
+            trust-its-network posture.
+        port: TCP port; ``0`` binds an ephemeral port — read it back from
+            :attr:`port` after :meth:`start`.
+
+    Usage::
+
+        sidecar = MetricsHTTPServer(get_registry(), port=9109).start()
+        ... # GET http://127.0.0.1:9109/metrics
+        sidecar.close()
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsHTTPServer":
+        """Bind and serve on a daemon thread; idempotent against double starts."""
+        if self._httpd is not None:
+            raise RuntimeError("this MetricsHTTPServer has already been started")
+        httpd = ThreadingHTTPServer((self._host, self._port), _MetricsRequestHandler)
+        httpd.daemon_threads = True
+        httpd.registry = self._registry  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._host, self._port = httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved after :meth:`start` when 0 was asked)."""
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """The scrape URL: ``http://host:port/metrics``."""
+        return f"http://{self._host}:{self._port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and join the thread; idempotent."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

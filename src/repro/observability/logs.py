@@ -1,0 +1,98 @@
+"""The unified ``repro.*`` logger hierarchy and its CLI configuration.
+
+Every module in the repo logs under one namespace — ``repro.service``,
+``repro.service.client``, ``repro.service.checkpoint``, ``repro.replication``,
+``repro.pipeline`` — so one :func:`configure_logging` call controls the whole
+stack, and a deployment can raise just ``repro.replication`` to DEBUG while the
+rest stays at WARNING, with plain stdlib ``logging`` semantics.
+
+Two rules the hierarchy enforces by convention:
+
+* **failure paths log**: a quarantined replica, a client reconnect-and-resume,
+  and a checkpoint integrity rejection each emit exactly one WARNING/INFO line
+  at the point of decision (they were previously visible only in return values
+  and event lists);
+* **libraries do not configure**: this module's :func:`configure_logging` is
+  called by the CLI (``--log-level`` / ``--log-json``) and by nothing else, so
+  embedding :mod:`repro` in a larger application never fights over handlers.
+
+``--log-json`` emits one JSON object per line (ts/level/logger/message, plus
+exception text when present) — the same line-oriented, greppable shape as the
+trace log, so the two interleave cleanly in a collector.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+#: The root of the hierarchy; ``logging.getLogger("repro.<layer>")`` everywhere.
+ROOT_LOGGER_NAME = "repro"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line: ``{"ts", "level", "logger", "message"}``.
+
+    ``exc_info``, when present, is rendered into an ``exception`` string field
+    so a traceback stays one (long) line — collectors ingest line-oriented
+    streams, and a multi-line traceback would shear into orphan records.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        event = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            event["exception"] = self.formatException(record.exc_info)
+        return json.dumps(event, separators=(",", ":"))
+
+
+def configure_logging(
+    level: str = "info",
+    json_format: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Attach one handler to the ``repro`` root logger (replacing any previous one).
+
+    Args:
+        level: standard level name, case-insensitive (``debug`` .. ``critical``).
+        json_format: emit :class:`JsonLogFormatter` lines instead of the
+            human-oriented ``HH:MM:SS level logger: message`` format.
+        stream: destination text stream; defaults to ``sys.stderr`` (stdout is
+            the CLI's structured, diffable output — logs must not pollute it).
+
+    Returns:
+        The configured ``repro`` logger (mostly for tests).
+
+    Raises:
+        SystemExit: on an unknown level name, so the CLI surfaces a clean
+            usage error instead of a traceback.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise SystemExit(f"unknown log level {level!r}; use debug/info/warning/error")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(numeric)
+    # Replace rather than append: configure_logging is idempotent, and a CLI
+    # command that configures twice (tests invoking main() repeatedly) must not
+    # duplicate every line.
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_format:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s",
+                              datefmt="%H:%M:%S")
+        )
+    logger.addHandler(handler)
+    # Stop at the hierarchy root: the application's own root logger config (or
+    # lastResort stderr) must not double-print every repro record.
+    logger.propagate = False
+    return logger

@@ -1,0 +1,116 @@
+"""Chunk-level trace spans as a JSONL event log.
+
+Metrics aggregate; traces *sequence*.  When a pipelined push stalls, the
+question is rarely "what was the median chunk latency" but "which stage was the
+chunk stuck in" — so the pipeline emits one JSON line per stage transition
+(``produce`` → ``enqueue`` → ``ingest`` → ``combine`` and the query-side
+``snapshot``/per-command spans), each carrying the chunk index, the item count,
+and the stage duration.  The log is plain JSONL: one self-contained JSON object
+per line, appendable from multiple threads (writes are serialized on a lock and
+each line is written with a single ``write`` call), greppable, and loadable
+with two lines of pandas.
+
+Line shape (field order is not guaranteed; presence is)::
+
+    {"ts": <time.time() at emit>, "span": "<stage>", "seconds": <duration>, ...}
+
+plus whatever keyword fields the emitting stage attached (``chunk``, ``items``,
+``command``, ``queue_depth``, ...).  ``ts`` is wall-clock for cross-process
+correlation; ``seconds`` is measured with ``time.perf_counter`` for precision.
+
+The disabled path is a null object, not an ``if`` at every call site: the
+module-level :data:`NULL_TRACER` reports ``enabled = False`` and components
+skip even the ``perf_counter`` calls when they see it, so tracing costs nothing
+unless a sink was configured (``repro serve --trace-log PATH``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import IO, Optional, Union
+
+
+class Tracer:
+    """Append JSONL trace events to a file (or any text file-like sink).
+
+    Args:
+        sink: a path (opened in append mode, line-buffered) or an open text
+            file-like object (not closed by :meth:`close` — the caller owns it).
+
+    Thread-safe: concurrent emitters serialize on one lock, and every event is
+    one ``write`` of one complete line, so lines never interleave.
+    """
+
+    enabled = True
+
+    def __init__(self, sink: Union[str, IO[str]]) -> None:
+        if isinstance(sink, str):
+            self._file: IO[str] = open(sink, "a", encoding="utf-8", buffering=1)
+            self._owns_file = True
+        else:
+            self._file = sink
+            self._owns_file = False
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def emit(self, span: str, seconds: Optional[float] = None, **fields: object) -> None:
+        """Write one event line: ``{"ts": ..., "span": span, "seconds": ..., **fields}``."""
+        event = {"ts": time.time(), "span": span}
+        if seconds is not None:
+            event["seconds"] = seconds
+        event.update(fields)
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            self._file.write(line)
+
+    def close(self) -> None:
+        """Flush and close an owned file sink; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.flush()
+            except (OSError, ValueError):
+                pass
+            if self._owns_file:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+
+class _NullTracer:
+    """The disabled tracer: ``enabled`` is False and every call is a no-op.
+
+    Components test ``tracer.enabled`` before even reading the clock, so an
+    untraced run pays one attribute read per stage, nothing more.
+    """
+
+    enabled = False
+
+    def emit(self, span: str, seconds: Optional[float] = None, **fields: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared disabled tracer; components default their ``tracer=None``
+#: argument to this.
+NULL_TRACER = _NullTracer()
+
+
+def resolve_tracer(tracer) -> "Tracer | _NullTracer":
+    """The constructor-argument convention: ``None`` means no tracing."""
+    return tracer if tracer is not None else NULL_TRACER

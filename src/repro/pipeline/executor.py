@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.observability.metrics import MetricRegistry, resolve_registry
+from repro.observability.tracing import resolve_tracer
 from repro.pipeline.producer import (
     DEFAULT_CHUNK_ITEMS,
     DEFAULT_QUEUE_DEPTH,
@@ -127,9 +129,35 @@ class PipelinedExecutor:
         executor: Optional[ShardedExecutor] = None,
         chunk_size: int = DEFAULT_CHUNK_ITEMS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if (sketch is None) == (executor is None):
             raise ValueError("provide exactly one of sketch= or executor=")
+        self._registry = resolve_registry(registry)
+        self._tracer = resolve_tracer(tracer)
+        self._metric_chunks = self._registry.counter(
+            "repro_pipeline_chunks_total", "Chunks ingested into pipelined sinks."
+        )
+        self._metric_items = self._registry.counter(
+            "repro_pipeline_items_total", "Stream items ingested into pipelined sinks."
+        )
+        self._metric_ingest_seconds = self._registry.histogram(
+            "repro_pipeline_chunk_ingest_seconds",
+            "Per-chunk sketch-update latency (time spent in ingest_chunk).",
+        )
+        self._metric_cache_hits = self._registry.counter(
+            "repro_pipeline_snapshot_cache_hits_total",
+            "Mid-ingest snapshot queries served from the versioned cache.",
+        )
+        self._metric_cache_misses = self._registry.counter(
+            "repro_pipeline_snapshot_cache_misses_total",
+            "Mid-ingest snapshot queries that paid the deepcopy + merge.",
+        )
+        self._metric_snapshot_seconds = self._registry.histogram(
+            "repro_pipeline_snapshot_seconds",
+            "Mid-ingest snapshot latency (copy + merge + report, or cache hit).",
+        )
         self.sketch = sketch
         self.executor = executor
         self.chunk_size = chunk_size
@@ -169,6 +197,10 @@ class PipelinedExecutor:
             RuntimeError: if :meth:`finalize` (or :meth:`run`) already consumed
                 the sink.
         """
+        # One flag read decides whether to read the clock: with metrics disabled
+        # and no tracer this method is byte-for-byte the pre-observability path.
+        observe = self._registry.enabled or self._tracer.enabled
+        started = time.perf_counter() if observe else 0.0
         with self._lock:
             if self._finished:
                 raise RuntimeError(
@@ -186,6 +218,16 @@ class PipelinedExecutor:
                     self.shard_sizes[shard] += delivered
             self.items_processed += len(chunk)
             self._chunks_ingested += 1
+            index = self._chunks_ingested - 1
+        if observe:
+            seconds = time.perf_counter() - started
+            self._metric_chunks.inc()
+            self._metric_items.inc(len(chunk))
+            self._metric_ingest_seconds.observe(seconds)
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "ingest", seconds=seconds, chunk=index, items=len(chunk)
+                )
 
     def finalize(
         self, report_kwargs: Optional[Mapping[str, Any]] = None
@@ -226,6 +268,13 @@ class PipelinedExecutor:
             else:
                 merged, report, space = self.executor.combine(report_kwargs)
         combine_seconds = time.perf_counter() - now
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "combine",
+                seconds=combine_seconds,
+                chunks=self._chunks_ingested,
+                items=self.items_processed,
+            )
         return PipelinedRunResult(
             sketch=merged,
             report=report,
@@ -268,7 +317,11 @@ class PipelinedExecutor:
             )
         self._started = True
         producer = ChunkProducer(
-            source, chunk_size=self.chunk_size, queue_depth=self.queue_depth
+            source,
+            chunk_size=self.chunk_size,
+            queue_depth=self.queue_depth,
+            registry=self._registry,
+            tracer=self._tracer,
         )
         if not isinstance(source, ArrayBatchSource):
             # Replay sources (paths, streams, iterables): the producer starts
@@ -315,6 +368,26 @@ class PipelinedExecutor:
         Concurrent snapshot calls are serialized on the cache lock; they never
         extend the ingestion pause beyond the one deep copy.
         """
+        observe = self._registry.enabled or self._tracer.enabled
+        if not observe:
+            return self._snapshot_impl(report_kwargs)
+        started = time.perf_counter()
+        hits_before = self.snapshot_cache_hits
+        snap = self._snapshot_impl(report_kwargs)
+        seconds = time.perf_counter() - started
+        self._metric_snapshot_seconds.observe(seconds)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "snapshot",
+                seconds=seconds,
+                items=snap.items_processed,
+                cached=self.snapshot_cache_hits > hits_before,
+            )
+        return snap
+
+    def _snapshot_impl(
+        self, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> PipelineSnapshot:
         kwargs = dict(report_kwargs or {})
         try:
             key: Optional[Tuple] = tuple(sorted(kwargs.items()))
@@ -336,6 +409,7 @@ class PipelinedExecutor:
                     cached_report = cache["reports"].get(key) if key is not None else None
                     if cached_report is not None:
                         self.snapshot_cache_hits += 1
+                        self._metric_cache_hits.inc()
                         # Deep-copy the handed-out report (it is small — the
                         # reported heavy hitters): a caller mutating its answer
                         # must never change what later queries are served.  The
@@ -356,6 +430,7 @@ class PipelinedExecutor:
             # Merge and report outside the ingestion lock: ingestion continues.
             if cache is None:
                 self.snapshot_cache_misses += 1
+                self._metric_cache_misses.inc()
                 cache = {
                     "version": version,
                     "items": items,
@@ -372,6 +447,7 @@ class PipelinedExecutor:
                 # Same prefix, new report kwargs: reuse the merged copy, only
                 # the report is recomputed — still no deepcopy.
                 self.snapshot_cache_hits += 1
+                self._metric_cache_hits.inc()
             report = cache["sketch"].report(**kwargs)
             if key is not None:
                 cache["reports"][key] = report
@@ -428,6 +504,8 @@ class PipelinedExecutor:
         state: SinkState,
         chunk_size: int = DEFAULT_CHUNK_ITEMS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> "PipelinedExecutor":
         """Rebuild an executor around a captured :class:`SinkState` and resume.
 
@@ -451,13 +529,19 @@ class PipelinedExecutor:
         """
         if state.kind == "single":
             resumed = cls(
-                sketch=state.sketches[0], chunk_size=chunk_size, queue_depth=queue_depth
+                sketch=state.sketches[0],
+                chunk_size=chunk_size,
+                queue_depth=queue_depth,
+                registry=registry,
+                tracer=tracer,
             )
         elif state.kind == "sharded":
             resumed = cls(
                 executor=ShardedExecutor.from_shards(state.sketches, state.router),
                 chunk_size=chunk_size,
                 queue_depth=queue_depth,
+                registry=registry,
+                tracer=tracer,
             )
         else:
             raise ValueError(f"unknown sink state kind {state.kind!r}")

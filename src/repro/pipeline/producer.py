@@ -26,10 +26,13 @@ from __future__ import annotations
 import os
 import queue
 import threading
+import time
 from typing import Iterator, Optional
 
 import numpy as np
 
+from repro.observability.metrics import resolve_registry
+from repro.observability.tracing import resolve_tracer
 from repro.primitives.batching import iter_chunks, rechunk_arrays
 from repro.streams.io import iterate_stream_file_chunks
 
@@ -87,11 +90,19 @@ class ChunkProducer:
         source,
         chunk_size: int = DEFAULT_CHUNK_ITEMS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        registry=None,
+        tracer=None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         if queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
+        self._registry = resolve_registry(registry)
+        self._tracer = resolve_tracer(tracer)
+        self._metric_queue_depth = self._registry.gauge(
+            "repro_pipeline_queue_depth",
+            "Chunks queued between the producer thread and the ingesting sink.",
+        )
         if isinstance(source, (str, os.PathLike)):
             self._chunks = iterate_stream_file_chunks(os.fspath(source), chunk_size)
         elif isinstance(source, ArrayBatchSource):
@@ -124,14 +135,43 @@ class ChunkProducer:
         return False
 
     def _produce(self) -> None:
+        tracer = self._tracer
+        # One flag read per chunk decides whether to touch the clock at all: the
+        # untraced, metrics-disabled path stays exactly the pre-observability loop.
+        observe = self._registry.enabled or tracer.enabled
+        iterator = iter(self._chunks)
         try:
-            for chunk in self._chunks:
+            while True:
+                started = time.perf_counter() if observe else 0.0
+                try:
+                    chunk = next(iterator)
+                except StopIteration:
+                    return
+                index = self.chunks_produced
                 self.chunks_produced += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        "produce",
+                        seconds=time.perf_counter() - started,
+                        chunk=index,
+                        items=len(chunk),
+                    )
+                enqueue_started = time.perf_counter() if observe else 0.0
                 if not self._put(chunk):
                     return  # closed mid-stream: drop the rest, no sentinel needed
                 depth = self._queue.qsize()
                 if depth > self.max_queue_depth:
                     self.max_queue_depth = depth
+                if observe:
+                    self._metric_queue_depth.set(depth)
+                    if tracer.enabled:
+                        tracer.emit(
+                            "enqueue",
+                            seconds=time.perf_counter() - enqueue_started,
+                            chunk=index,
+                            items=len(chunk),
+                            queue_depth=depth,
+                        )
         except BaseException as exc:  # noqa: BLE001 - re-raised on the consumer side
             self._error = exc
         finally:

@@ -34,12 +34,15 @@ replica has failed does ingestion itself fail.
 from __future__ import annotations
 
 import copy
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.core.results import HeavyHittersReport
+from repro.observability.metrics import MetricRegistry, resolve_registry
+from repro.observability.tracing import resolve_tracer
 from repro.pipeline.executor import PipelinedExecutor, SinkState
 from repro.pipeline.producer import (
     DEFAULT_CHUNK_ITEMS,
@@ -51,6 +54,8 @@ from repro.primitives.space import SpaceMeter
 from repro.replication.faults import FaultPlan, InjectedFault
 from repro.replication.supervisor import ReplicaSupervisor
 from repro.sharding.mergeable import merge_all
+
+logger = logging.getLogger("repro.replication")
 
 
 @dataclass
@@ -176,6 +181,12 @@ class ReplicaGroup:
             live replicas report them; defaults to a majority of the *live*
             replicas at query time (⌈(live+1)/2⌉), so degraded groups keep a
             meaningful quorum rule.
+        registry: the :class:`~repro.observability.MetricRegistry` recording
+            the ``repro_replication_*`` instruments (live-replica gauge,
+            failover/heal counters, degraded-time accumulation); ``None`` means
+            the process-wide default.
+        tracer: a :class:`~repro.observability.Tracer` for the group's
+            producer-side spans during :meth:`run`; ``None`` disables tracing.
 
     Raises:
         ValueError: on an empty group, a consumed replica, or disagreeing
@@ -190,6 +201,8 @@ class ReplicaGroup:
         supervisor: Optional[ReplicaSupervisor] = None,
         fault_plan: Optional[FaultPlan] = None,
         quorum: Optional[int] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if not replicas:
             raise ValueError("a ReplicaGroup needs at least one replica")
@@ -219,6 +232,26 @@ class ReplicaGroup:
         self._chunks_ingested = self.replicas[0]._chunks_ingested
         self._max_queue_depth = 0
         self._ingest_started_at: Optional[float] = None
+        self._registry = resolve_registry(registry)
+        self._tracer = resolve_tracer(tracer)
+        self._metric_live_replicas = self._registry.gauge(
+            "repro_replication_live_replicas",
+            "Healthy replica slots in the group (R minus quarantined).",
+        )
+        self._metric_failovers = self._registry.counter(
+            "repro_replication_failovers_total",
+            "Replica quarantines (the group failed over to the survivors).",
+        )
+        self._metric_heals = self._registry.counter(
+            "repro_replication_heals_total",
+            "Quarantined slots re-seeded from a healthy donor.",
+        )
+        self._metric_degraded_seconds = self._registry.counter(
+            "repro_replication_degraded_seconds_total",
+            "Cumulative wall-clock seconds replica slots spent quarantined "
+            "(accumulated per slot at heal or finalize time).",
+        )
+        self._metric_live_replicas.set(self.live_replicas)
 
     # -- introspection ------------------------------------------------------------------
 
@@ -326,6 +359,15 @@ class ReplicaGroup:
             "chunk": chunk_index,
             "error": status.error,
         })
+        self._metric_failovers.inc()
+        self._metric_live_replicas.set(
+            sum(1 for entry in self._status if entry.healthy)
+        )
+        logger.warning(
+            "replica %d quarantined at chunk %d (%s); serving from %d of %d replicas",
+            index, chunk_index, status.error,
+            sum(1 for entry in self._status if entry.healthy), self.num_replicas,
+        )
 
     def _maybe_heal(self) -> None:
         """Re-seed quarantined slots whose heal is due (supervisor policy).
@@ -363,6 +405,15 @@ class ReplicaGroup:
                 "chunk": self._chunks_ingested,
                 "failover_seconds": failover_seconds,
             })
+            self._metric_heals.inc()
+            self._metric_degraded_seconds.inc(failover_seconds)
+            self._metric_live_replicas.set(
+                sum(1 for entry in self._status if entry.healthy)
+            )
+            logger.info(
+                "replica %d healed from donor %d at chunk %d after %.3fs quarantined",
+                index, donor_index, self._chunks_ingested, failover_seconds,
+            )
 
     def run(
         self,
@@ -386,7 +437,11 @@ class ReplicaGroup:
             )
         self._started = True
         producer = ChunkProducer(
-            source, chunk_size=self.chunk_size, queue_depth=self.queue_depth
+            source,
+            chunk_size=self.chunk_size,
+            queue_depth=self.queue_depth,
+            registry=self._registry,
+            tracer=self._tracer,
         )
         if not isinstance(source, ArrayBatchSource):
             # Same stamp rule as PipelinedExecutor.run: replay sources begin
@@ -433,6 +488,15 @@ class ReplicaGroup:
                 space.merge(replica_results[index].space, prefix=f"replica{index}/")
             shard_sizes = list(replica_results[live[0][0]].shard_sizes)
             degraded = len(live) < self.num_replicas
+            # Close the degraded-time books: slots still quarantined at the end
+            # of the run contribute their open interval now (a healed slot
+            # already contributed at heal time).
+            finished_at = time.monotonic()
+            for status in self._status:
+                if not status.healthy and status.quarantined_at is not None:
+                    self._metric_degraded_seconds.inc(
+                        finished_at - status.quarantined_at
+                    )
         combine_seconds = time.perf_counter() - now
         return GroupRunResult(
             report=report,
@@ -573,6 +637,8 @@ class ReplicaGroup:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         supervisor: Optional[ReplicaSupervisor] = None,
         fault_plan: Optional[FaultPlan] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> "ReplicaGroup":
         """Rebuild a **full-strength** group from a captured :class:`GroupSinkState`.
 
@@ -600,6 +666,8 @@ class ReplicaGroup:
             queue_depth=queue_depth,
             supervisor=supervisor,
             fault_plan=fault_plan,
+            registry=registry,
+            tracer=tracer,
         )
         group.items_processed = state.items_processed
         group._chunks_ingested = state.chunks

@@ -65,7 +65,11 @@ from repro.service.client import (
     ServiceTimeout,
     parse_endpoint,
 )
-from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    STATS_SCHEMA_VERSION,
+    ProtocolError,
+)
 from repro.service.server import IngestServer, QueryHandler
 
 __all__ = [
@@ -79,6 +83,7 @@ __all__ = [
     "QueryHandler",
     "QueryResult",
     "RetryPolicy",
+    "STATS_SCHEMA_VERSION",
     "ServiceClient",
     "ServiceError",
     "ServiceTimeout",

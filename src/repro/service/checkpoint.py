@@ -37,13 +37,22 @@ Counting) resume bit-for-bit identical to the uninterrupted run as well.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
+import time
 from typing import Dict, Optional, Tuple
 
+from repro.observability.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    MetricRegistry,
+    resolve_registry,
+)
 from repro.pipeline import PipelinedExecutor, SinkState
 from repro.replication import GroupSinkState, ReplicaGroup
+
+logger = logging.getLogger("repro.service.checkpoint")
 
 #: On-disk format version; bump on incompatible layout changes.
 #: Format 2 wraps the pickled ``{manifest, state}`` payload in a small outer
@@ -58,11 +67,34 @@ class CheckpointError(RuntimeError):
 class Checkpointer:
     """Serialize and restore a pipelined run's full sketch/shard state.
 
-    Stateless — the two methods are the whole API.  The server's ``checkpoint``
-    command, the CLI, and the offline half of the service-equivalence harness all
-    go through this class, so every path that claims "same checkpoint semantics"
-    provably shares them.
+    The server's ``checkpoint`` command, the CLI, and the offline half of the
+    service-equivalence harness all go through this class, so every path that
+    claims "same checkpoint semantics" provably shares them.  The only state it
+    carries is observability: a :class:`~repro.observability.MetricRegistry`
+    recording checkpoint duration, size, and fsync time (``repro_checkpoint_*``
+    — ``None`` means the process-wide default), and integrity rejections are
+    both counted and logged under ``repro.service.checkpoint``.
     """
+
+    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+        self._registry = resolve_registry(registry)
+        self._metric_seconds = self._registry.histogram(
+            "repro_checkpoint_seconds",
+            "End-to-end checkpoint save latency (pickle + write + fsync + rename).",
+        )
+        self._metric_bytes = self._registry.histogram(
+            "repro_checkpoint_bytes",
+            "Pickled checkpoint payload size.",
+            buckets=DEFAULT_SIZE_BUCKETS,
+        )
+        self._metric_fsync_seconds = self._registry.histogram(
+            "repro_checkpoint_fsync_seconds",
+            "Time spent in fsync (data file + directory entry) per checkpoint.",
+        )
+        self._metric_integrity_rejections = self._registry.counter(
+            "repro_checkpoint_integrity_rejections_total",
+            "Checkpoint loads rejected as corrupt, truncated, or incompatible.",
+        )
 
     def save(
         self,
@@ -86,6 +118,10 @@ class Checkpointer:
         """
         from repro import __version__
 
+        # Checkpoints are rare (seconds apart at most), so the clock reads are
+        # unconditional — unlike the per-chunk hot paths, nothing to shave here.
+        save_started = time.perf_counter()
+        fsync_seconds = 0.0
         manifest: Dict[str, object] = {
             "format": CHECKPOINT_FORMAT,
             "package_version": __version__,
@@ -110,15 +146,22 @@ class Checkpointer:
                 # Durability, not just atomicity: the rename below only
                 # guarantees readers see old-or-new; without fsyncing the data
                 # first, a power loss can surface a *new* name holding zeroes.
+                fsync_started = time.perf_counter()
                 os.fsync(handle.fileno())
+                fsync_seconds += time.perf_counter() - fsync_started
             os.replace(temp_path, path)
+            fsync_started = time.perf_counter()
             self._fsync_directory(directory)
+            fsync_seconds += time.perf_counter() - fsync_started
         except BaseException:
             try:
                 os.unlink(temp_path)
             except OSError:
                 pass
             raise
+        self._metric_seconds.observe(time.perf_counter() - save_started)
+        self._metric_bytes.observe(float(len(payload)))
+        self._metric_fsync_seconds.observe(fsync_seconds)
         return manifest
 
     @staticmethod
@@ -144,6 +187,18 @@ class Checkpointer:
         finally:
             os.close(fd)
 
+    def _reject(self, message: str, cause: Optional[BaseException] = None) -> None:
+        """Refuse a checkpoint: count it, log it, raise the typed error.
+
+        Every load-side rejection funnels through here so the failure is never
+        silent — it surfaces as a ``repro.service.checkpoint`` WARNING and as
+        the ``repro_checkpoint_integrity_rejections_total`` counter, on top of
+        the :class:`CheckpointError` the caller handles.
+        """
+        self._metric_integrity_rejections.inc()
+        logger.warning("checkpoint rejected: %s", message)
+        raise CheckpointError(message) from cause
+
     def load(self, path: str) -> Tuple[SinkState, Dict[str, object]]:
         """Read a checkpoint file back.
 
@@ -168,18 +223,19 @@ class Checkpointer:
                 # MemoryError from a corrupted length, ...).  Whatever the
                 # mode, the caller's contract is the same: a clean typed
                 # rejection, never garbage adopted into a half-built server.
-                raise CheckpointError(
+                self._reject(
                     f"{path!r} is not a readable checkpoint: "
-                    f"{type(exc).__name__}: {exc}"
-                ) from exc
+                    f"{type(exc).__name__}: {exc}",
+                    cause=exc,
+                )
         if (
             not isinstance(envelope, dict)
             or not isinstance(envelope.get("payload"), bytes)
             or "sha256" not in envelope
         ):
-            raise CheckpointError(f"{path!r} is not a checkpoint file")
+            self._reject(f"{path!r} is not a checkpoint file")
         if envelope.get("format") != CHECKPOINT_FORMAT:
-            raise CheckpointError(
+            self._reject(
                 f"{path!r} has checkpoint format {envelope.get('format')!r}; "
                 f"this version reads format {CHECKPOINT_FORMAT}"
             )
@@ -188,23 +244,24 @@ class Checkpointer:
             # The structural checks above only catch corruption that breaks
             # the pickle grammar; a flip inside an array buffer would parse
             # fine and silently change counts.  The digest catches every byte.
-            raise CheckpointError(
+            self._reject(
                 f"{path!r} is corrupted: payload SHA-256 {digest} does not "
                 f"match the recorded {envelope['sha256']}"
             )
         try:
             payload = pickle.loads(envelope["payload"])
         except Exception as exc:
-            raise CheckpointError(
+            self._reject(
                 f"{path!r} is not a readable checkpoint: "
-                f"{type(exc).__name__}: {exc}"
-            ) from exc
+                f"{type(exc).__name__}: {exc}",
+                cause=exc,
+            )
         if not isinstance(payload, dict) or "manifest" not in payload or "state" not in payload:
-            raise CheckpointError(f"{path!r} is not a checkpoint file")
+            self._reject(f"{path!r} is not a checkpoint file")
         manifest = payload["manifest"]
         state = payload["state"]
         if not isinstance(state, (SinkState, GroupSinkState)):
-            raise CheckpointError(
+            self._reject(
                 f"{path!r} holds a {type(state).__name__}, not a sink state"
             )
         return state, manifest
@@ -214,12 +271,16 @@ class Checkpointer:
         path: str,
         chunk_size: Optional[int] = None,
         queue_depth: Optional[int] = None,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> Tuple["PipelinedExecutor | ReplicaGroup", Dict[str, object]]:
         """Load a checkpoint and rebuild a resumable sink.
 
         ``chunk_size``/``queue_depth`` default to the manifest's recorded values
         (falling back to the pipeline defaults), so a plain restore keeps the
         resumed chunk boundaries aligned with the original run.
+        ``registry``/``tracer`` are handed to the rebuilt sink so a restored
+        server is instrumented exactly like a fresh one.
 
         Returns:
             ``(sink, manifest)`` — a :class:`PipelinedExecutor` for a
@@ -237,10 +298,12 @@ class Checkpointer:
             queue_depth = int(config.get("queue_depth", 4))
         if isinstance(state, GroupSinkState):
             group = ReplicaGroup.from_sink_state(
-                state, chunk_size=chunk_size, queue_depth=queue_depth
+                state, chunk_size=chunk_size, queue_depth=queue_depth,
+                registry=registry, tracer=tracer,
             )
             return group, manifest
         executor = PipelinedExecutor.from_sink_state(
-            state, chunk_size=chunk_size, queue_depth=queue_depth
+            state, chunk_size=chunk_size, queue_depth=queue_depth,
+            registry=registry, tracer=tracer,
         )
         return executor, manifest

@@ -40,6 +40,7 @@ Quickstart::
 from __future__ import annotations
 
 import collections
+import logging
 import random
 import socket
 import time
@@ -55,6 +56,8 @@ from repro.service.protocol import (
     report_from_payload,
     send_frame,
 )
+
+logger = logging.getLogger("repro.service.client")
 
 #: Slack added to a command's own timeout when it becomes the socket deadline,
 #: so the server-side wait always expires (with a proper error reply) before
@@ -204,9 +207,13 @@ class ServiceClient:
             try:
                 self._connect_once()
                 return self
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
                 if attempt + 1 >= attempts:
                     raise
+                logger.warning(
+                    "connect to %s failed (%s); retry %d of %d",
+                    self._target, exc, attempt + 1, attempts - 1,
+                )
                 time.sleep(self._retry.delay(attempt))
         return self  # unreachable; keeps the type checker honest
 
@@ -302,10 +309,14 @@ class ServiceClient:
                 return call()
             except ServiceTimeout:
                 raise
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
                 self.close()
                 if attempt + 1 >= attempts:
                     raise
+                logger.warning(
+                    "idempotent command failed (%s); reconnect retry %d of %d",
+                    exc, attempt + 1, attempts - 1,
+                )
                 time.sleep(self._retry.delay(attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -433,12 +444,16 @@ class ServiceClient:
                 while pending:
                     error, received = self._take_push_ack(pending, received, error)
                 break
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
                 if not resume or error is not None or recoveries + 1 >= self._retry.attempts:
                     self.close()
                     raise
                 recoveries += 1
                 self.close()
+                logger.warning(
+                    "push window lost its connection (%s); recovery %d of %d",
+                    exc, recoveries, self._retry.attempts - 1,
+                )
                 time.sleep(self._retry.delay(recoveries - 1))
                 self.connect()
                 # The server's count is authoritative: frames at or below the
@@ -448,6 +463,10 @@ class ServiceClient:
                 while pending and pending[0][2] <= landed:
                     pending.popleft()
                 received = start_received + landed
+                logger.info(
+                    "resumed push stream at %d landed items; re-sending %d frames",
+                    landed, len(pending),
+                )
                 for count, payload, _ in pending:
                     self._send_push_frame(count, payload)
             except BaseException:
@@ -553,8 +572,25 @@ class ServiceClient:
         )
 
     def stats(self) -> Dict[str, object]:
-        """Space accounting (bits, per-component breakdown) and progress counters."""
+        """Space accounting (bits, per-component breakdown) and progress counters.
+
+        The reply follows stats schema v2 (it carries its own ``stats_schema``
+        tag): uniform ``degraded`` and ``pipeline`` keys whatever the server's
+        sink, plus per-replica health for replicated servers.  See
+        docs/OBSERVABILITY.md for the schema.
+        """
         return self._retry_idempotent(lambda: self._round_trip({"cmd": "stats"}))
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's metric-registry snapshot (the ``metrics`` command).
+
+        The reply is the JSON-safe
+        :meth:`~repro.observability.MetricRegistry.snapshot` shape (plus the
+        protocol's ``ok`` flag) — render it with
+        :func:`repro.observability.render_prometheus` for the same text the
+        server's ``/metrics`` sidecar serves.  Retried; idempotent.
+        """
+        return self._retry_idempotent(lambda: self._round_trip({"cmd": "metrics"}))
 
     def checkpoint(self, path: str) -> Dict[str, object]:
         """Ask the server to write a checkpoint to a *server-side* path.

@@ -8,8 +8,9 @@ One frame is::
     +----------------+---------------------+----------------------------+
 
 The header is a flat JSON object; its ``cmd`` key names the request (``config``,
-``push``, ``flush``, ``query``, ``stats``, ``checkpoint``, ``finish``,
-``shutdown``) and replies either echo data keys or carry an ``error`` string.  The
+``push``, ``flush``, ``query``, ``stats``, ``metrics``, ``checkpoint``,
+``finish``, ``shutdown``) and replies either echo data keys or carry an
+``error`` string.  The
 only command with a payload is ``push``: ``header["items"]`` int64 item ids as raw
 little-endian bytes (``payload_bytes == 8 * items``), which both ends move with
 ``ndarray.tobytes()`` / ``np.frombuffer`` — no per-item encoding on the hot path.
@@ -36,6 +37,13 @@ from repro.core.results import HeavyHittersReport
 
 #: Protocol version, exchanged in ``config`` replies; bump on incompatible changes.
 PROTOCOL_VERSION = 1
+
+#: Version of the ``stats`` reply schema, carried as ``stats_schema`` in every
+#: stats reply; bump when keys change meaning or move.  Version 2 normalized the
+#: single/replicated shapes: every reply tags itself, carries a ``degraded``
+#: boolean and a ``pipeline`` section, and group replies list per-replica
+#: ``space_bits`` in both mid-ingest and final form (see docs/OBSERVABILITY.md).
+STATS_SCHEMA_VERSION = 2
 
 #: Upper bound on a frame's JSON header (a header is a small command/reply object).
 MAX_HEADER_BYTES = 1 << 20
@@ -108,7 +116,9 @@ def _send_vectored(sock: socket.socket, header_bytes: bytes, payload) -> None:
                 sent = 0
 
 
-def send_frame(sock: socket.socket, header: Dict[str, object], payload=b"") -> None:
+def send_frame(
+    sock: socket.socket, header: Dict[str, object], payload=b"", on_bytes=None
+) -> None:
     """Send one frame: the header dict (plus its payload accounting) and the payload.
 
     Args:
@@ -116,6 +126,10 @@ def send_frame(sock: socket.socket, header: Dict[str, object], payload=b"") -> N
         header: a JSON-serializable flat dict; ``payload_bytes`` is filled in here.
         payload: raw bytes-like payload following the header (``push`` item
             buffers); a ``memoryview`` of an int64 array is sent as-is, uncopied.
+        on_bytes: optional callable receiving the frame's total wire size (prefix
+            + header + payload) — the server's bytes-sent counter hook.  The
+            count is computed from lengths already in hand, so the zero-copy
+            send path is unchanged.
 
     Raises:
         ProtocolError: if the encoded header or the payload exceeds the caps.
@@ -129,10 +143,20 @@ def send_frame(sock: socket.socket, header: Dict[str, object], payload=b"") -> N
     if payload_bytes > MAX_PAYLOAD_BYTES:
         raise ProtocolError(f"frame payload of {payload_bytes} bytes exceeds the cap")
     _send_vectored(sock, struct.pack("!I", len(encoded)) + encoded, payload)
+    if on_bytes is not None:
+        on_bytes(4 + len(encoded) + payload_bytes)
 
 
-def recv_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, object], bytes]]:
+def recv_frame(
+    sock: socket.socket, on_bytes=None
+) -> Optional[Tuple[Dict[str, object], bytes]]:
     """Receive one frame; ``None`` on clean EOF (peer closed between frames).
+
+    Args:
+        sock: a connected stream socket.
+        on_bytes: optional callable receiving the frame's total wire size (prefix
+            + header + payload) once the frame is fully received — the server's
+            bytes-received counter hook.  Not called on clean EOF.
 
     Returns:
         ``(header, payload)`` — the decoded header dict and the raw payload as a
@@ -165,6 +189,8 @@ def recv_frame(sock: socket.socket) -> Optional[Tuple[Dict[str, object], bytes]]
     payload = _recv_exact(sock, payload_bytes)
     if payload is None and payload_bytes:
         raise ProtocolError("connection closed between frame header and payload")
+    if on_bytes is not None:
+        on_bytes(4 + header_len + payload_bytes)
     return header, payload or b""
 
 

@@ -48,12 +48,15 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.observability.metrics import MetricRegistry, resolve_registry
+from repro.observability.tracing import resolve_tracer
 from repro.pipeline import ArrayBatchSource, PipelinedExecutor
 from repro.replication import ReplicaGroup
 from repro.sharding.mergeable import merge_all
 from repro.service.checkpoint import Checkpointer
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    STATS_SCHEMA_VERSION,
     ProtocolError,
     decode_items,
     recv_frame,
@@ -155,6 +158,29 @@ class QueryHandler:
             "report": report_to_payload(snapshot.report),
         }
 
+    def _stats_common(self) -> Dict[str, object]:
+        """The schema-v2 keys every ``stats`` reply carries, whatever its shape.
+
+        ``stats_schema`` versions the reply the way ``protocol`` versions the
+        frame layer (:data:`~repro.service.protocol.STATS_SCHEMA_VERSION`);
+        ``pipeline`` surfaces the ingestion seam's own accounting — chunking
+        parameters and the snapshot-cache hit/miss counters — uniformly for
+        single and replicated sinks (a :class:`~repro.replication.ReplicaGroup`
+        sums its replicas' cache counters).
+        """
+        server = self._server
+        pipeline = server.pipeline
+        return {
+            "stats_schema": STATS_SCHEMA_VERSION,
+            "pipeline": {
+                "chunk_size": pipeline.chunk_size,
+                "queue_depth": pipeline.queue_depth,
+                "push_queue_depth": server.push_queue_depth,
+                "snapshot_cache_hits": int(pipeline.snapshot_cache_hits),
+                "snapshot_cache_misses": int(pipeline.snapshot_cache_misses),
+            },
+        }
+
     def stats(self) -> Dict[str, object]:
         """Space accounting and progress counters (the ``stats`` reply).
 
@@ -163,6 +189,12 @@ class QueryHandler:
         — a stats poll should not pay for heavy-hitter reporting it discards);
         after ``finish`` they come from the final result's combined
         :class:`~repro.primitives.space.SpaceMeter`.
+
+        Every reply follows stats schema v2: it tags itself with
+        ``stats_schema``, always carries ``degraded`` (``False`` for a
+        single-executor server) and a ``pipeline`` section, and replicated
+        final replies list per-replica ``space_bits`` exactly like the
+        mid-ingest shape.  See docs/OBSERVABILITY.md for the full schema.
         """
         server = self._server
 
@@ -170,6 +202,7 @@ class QueryHandler:
             reply = {
                 "ok": True,
                 "final": True,
+                "degraded": bool(getattr(result, "degraded", False)),
                 "items_received": server.items_received,
                 "items_processed": result.items_processed,
                 "chunks": result.chunks,
@@ -179,10 +212,18 @@ class QueryHandler:
                 "ingest_seconds": result.ingest_seconds,
                 "combine_seconds": result.combine_seconds,
             }
+            reply.update(self._stats_common())
             group = server.group
             if group is not None:
-                reply["degraded"] = bool(getattr(result, "degraded", False))
-                reply["replicas"] = group.replica_status_payload()
+                replicas = group.replica_status_payload()
+                # Schema v2: the final shape lists per-replica space like the
+                # mid-ingest shape, so a dashboard reads one key either way.
+                replica_results = getattr(result, "replica_results", None)
+                if replica_results is not None:
+                    for index, replica_result in enumerate(replica_results):
+                        if replica_result is not None:
+                            replicas[index]["space_bits"] = replica_result.space_bits()
+                reply["replicas"] = replicas
                 reply["live_replicas"] = getattr(result, "live_replicas", group.live_replicas)
                 reply["num_replicas"] = group.num_replicas
                 reply["events"] = group.events_payload()
@@ -202,6 +243,7 @@ class QueryHandler:
                 return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
             live.update({"ok": True, "final": False,
                          "items_received": server.items_received})
+            live.update(self._stats_common())
             return live
         try:
             state = server.pipeline.sink_state()
@@ -209,9 +251,10 @@ class QueryHandler:
             # Same race as query(): finalize won; answer from the final result.
             return final_reply(server.wait_result(timeout=DEFAULT_WAIT_TIMEOUT))
         sketch = merge_all(state.sketches)
-        return {
+        reply = {
             "ok": True,
             "final": False,
+            "degraded": False,
             "items_received": server.items_received,
             "items_processed": state.items_processed,
             "chunks": state.chunks,
@@ -219,6 +262,8 @@ class QueryHandler:
             "space_bits": int(sketch.space_bits()),
             "space_breakdown": {k: int(v) for k, v in sketch.space_breakdown().items()},
         }
+        reply.update(self._stats_common())
+        return reply
 
 
 class IngestServer:
@@ -246,6 +291,14 @@ class IngestServer:
             a pusher outrunning ingestion blocks in its push round-trip once the
             queue is full (backpressure over the socket), so server memory stays
             at most this many batches plus the pipeline's chunk queue.
+        registry: the :class:`~repro.observability.MetricRegistry` recording the
+            ``repro_service_*`` instruments (per-command latency and errors,
+            bytes in/out, in-flight connections, push-queue depth); defaults to
+            the process-wide registry — which the ``metrics`` command and the
+            ``--metrics-port`` sidecar expose, so pass the *same* registry the
+            pipeline uses for one unified catalog.
+        tracer: a :class:`~repro.observability.Tracer` receiving one ``command``
+            span per dispatched frame; ``None`` disables tracing.
 
     Raises:
         ValueError: if ``pipeline`` was already run or finalized.
@@ -261,11 +314,47 @@ class IngestServer:
         config: Optional[Mapping[str, object]] = None,
         report_kwargs: Optional[Mapping[str, object]] = None,
         push_queue_depth: int = 64,
+        registry: Optional[MetricRegistry] = None,
+        tracer=None,
     ) -> None:
         if pipeline._started or pipeline._finished:
             raise ValueError("IngestServer needs a fresh (or restored) PipelinedExecutor")
         if push_queue_depth <= 0:
             raise ValueError("push_queue_depth must be positive")
+        self._registry = resolve_registry(registry)
+        self._tracer = resolve_tracer(tracer)
+        self._metric_commands = self._registry.counter(
+            "repro_service_commands_total",
+            "Frames dispatched, by command.",
+            labels=("command",),
+        )
+        self._metric_command_errors = self._registry.counter(
+            "repro_service_command_errors_total",
+            "Frames answered with an error reply, by command.",
+            labels=("command",),
+        )
+        self._metric_command_seconds = self._registry.histogram(
+            "repro_service_command_seconds",
+            "Per-command dispatch latency (request decode to reply built).",
+            labels=("command",),
+        )
+        self._metric_bytes_in = self._registry.counter(
+            "repro_service_bytes_received_total",
+            "Wire bytes received across all connections (prefix + header + payload).",
+        )
+        self._metric_bytes_out = self._registry.counter(
+            "repro_service_bytes_sent_total",
+            "Wire bytes sent across all connections (prefix + header + payload).",
+        )
+        self._metric_connections = self._registry.gauge(
+            "repro_service_connections_in_flight",
+            "Currently served client connections.",
+        )
+        self._metric_push_queue_depth = self._registry.gauge(
+            "repro_service_push_queue_depth",
+            "Accepted batches waiting in the bounded push queue (credit-window "
+            "occupancy: the credit grant equals the queue bound).",
+        )
         self.pipeline = pipeline
         self.config: Dict[str, object] = dict(config or {})
         self.report_kwargs: Dict[str, object] = dict(report_kwargs or {})
@@ -308,7 +397,7 @@ class IngestServer:
         self._close_lock = threading.Lock()
         self._closed = False
         self.query_handler = QueryHandler(self)
-        self.checkpointer = Checkpointer()
+        self.checkpointer = Checkpointer(registry=self._registry)
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -584,6 +673,9 @@ class IngestServer:
             self._enqueue(items)
             self._items_received += items.size
             received = self._items_received
+        # qsize is advisory (the ingest loop drains concurrently) — exactly what
+        # a credit-window occupancy gauge wants to show.
+        self._metric_push_queue_depth.set(self._push_queue.qsize())
         return {"ok": True, "items": int(items.size), "items_received": received}
 
     def _flush_target(self) -> int:
@@ -703,10 +795,15 @@ class IngestServer:
             ).start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
+        # Counter.inc/Gauge.inc short-circuit on a disabled registry, so wiring
+        # the byte hooks unconditionally costs one no-op call per frame.
+        self._metric_connections.inc()
+        on_bytes_in = self._metric_bytes_in.inc
+        on_bytes_out = self._metric_bytes_out.inc
         try:
             while not self._stopping.is_set():
                 try:
-                    frame = recv_frame(conn)
+                    frame = recv_frame(conn, on_bytes=on_bytes_in)
                 except ProtocolError as exc:
                     # Log-and-drop: a truncated, oversized, or undecodable frame
                     # (including a disconnect mid-way through a pipelined push
@@ -723,10 +820,11 @@ class IngestServer:
                 request, payload = frame
                 reply = self._dispatch(request, payload)
                 try:
-                    send_frame(conn, reply)
+                    send_frame(conn, reply, on_bytes=on_bytes_out)
                 except (ProtocolError, OSError):
                     return
         finally:
+            self._metric_connections.dec()
             with self._connections_lock:
                 self._connections.discard(conn)
             try:
@@ -734,8 +832,44 @@ class IngestServer:
             except OSError:
                 pass
 
+    #: Label values for the per-command instruments; an unrecognized ``cmd``
+    #: records as ``"invalid"`` so a misbehaving peer cannot grow the label set.
+    _KNOWN_COMMANDS = frozenset(
+        {"push", "flush", "query", "stats", "metrics", "config",
+         "checkpoint", "finish", "shutdown"}
+    )
+
+    def _handle_metrics(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        """The ``metrics`` command: the registry snapshot as a JSON-safe reply.
+
+        The same shape the sidecar's ``/metrics.json`` serves;
+        :meth:`~repro.service.client.ServiceClient.metrics` returns it verbatim
+        and ``repro metrics`` renders it with the shared Prometheus renderer.
+        """
+        reply: Dict[str, object] = {"ok": True}
+        reply.update(self._registry.snapshot())
+        return reply
+
     def _dispatch(self, request: Dict[str, object], payload: bytes) -> Dict[str, object]:
         command = request.get("cmd")
+        observe = self._registry.enabled or self._tracer.enabled
+        started = time.perf_counter() if observe else 0.0
+        reply = self._dispatch_inner(command, request, payload)
+        if observe:
+            seconds = time.perf_counter() - started
+            name = command if command in self._KNOWN_COMMANDS else "invalid"
+            ok = bool(reply.get("ok", False))
+            self._metric_commands.labels(command=name).inc()
+            self._metric_command_seconds.labels(command=name).observe(seconds)
+            if not ok:
+                self._metric_command_errors.labels(command=name).inc()
+            if self._tracer.enabled:
+                self._tracer.emit("command", seconds=seconds, command=name, ok=ok)
+        return reply
+
+    def _dispatch_inner(
+        self, command: object, request: Dict[str, object], payload: bytes
+    ) -> Dict[str, object]:
         try:
             if command == "push":
                 return self._handle_push(request, payload)
@@ -745,6 +879,8 @@ class IngestServer:
                 return self.query_handler.query(request)
             if command == "stats":
                 return self.query_handler.stats()
+            if command == "metrics":
+                return self._handle_metrics(request, payload)
             if command == "config":
                 return self.query_handler.config()
             if command == "checkpoint":

@@ -26,7 +26,7 @@ DOCTEST_MODULES = [
 ]
 
 MARKDOWN_WITH_CODE = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md",
-                      "examples/README.md"]
+                      "docs/OBSERVABILITY.md", "examples/README.md"]
 
 
 @pytest.mark.parametrize("name", DOCTEST_MODULES)
@@ -56,7 +56,10 @@ def test_markdown_docs_exist_and_crosslink():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/BENCHMARKS.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
     assert "examples/README.md" in readme
+    architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "OBSERVABILITY.md" in architecture
 
 
 def test_examples_index_points_at_real_files():
