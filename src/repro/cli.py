@@ -381,6 +381,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true", dest="as_json",
                          help="print the raw JSON snapshot instead of Prometheus text")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST-based invariant checker (repro.lint)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Checks the invariants no test can fully police: RNG discipline\n"
+            "(all randomness through RandomSource), lock discipline in the\n"
+            "threaded layers, determinism of report/merge/serialization paths,\n"
+            "hot-path hygiene (no per-item loops or copies in the batch kernels),\n"
+            "protocol-surface consistency (server commands == client methods ==\n"
+            "docs; repro_-prefixed metrics), and thread resource safety.\n"
+            "\n"
+            "Suppress an intentional violation in place with\n"
+            "`# repro: lint-ignore[rule-id] -- reason` (the reason is mandatory).\n"
+            "Exit codes: 0 clean, 1 findings, 2 usage error.\n"
+            "See docs/STATIC_ANALYSIS.md for the rule catalog.\n"
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=None, metavar="PATH",
+                      help="files or directories to lint (default: src/ if present, else .)")
+    lint.add_argument("--rule", action="append", default=None, metavar="RULE-ID",
+                      help="activate only this rule (repeatable; default: all rules)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable findings (lint_schema 1) instead of text")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule ids and one-line descriptions, then exit")
+
     return parser
 
 
@@ -891,6 +918,37 @@ def _command_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the linter is a dev-facing tool and the
+    # service/stream commands should not pay its import on their startup path.
+    from pathlib import Path
+
+    from repro.lint import (
+        EXIT_USAGE,
+        all_rules,
+        render_json,
+        render_text,
+        run_lint,
+    )
+
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    if args.paths:
+        paths = [Path(path) for path in args.paths]
+    else:
+        paths = [Path("src") if Path("src").is_dir() else Path(".")]
+    try:
+        result = run_lint(paths, rules, rule_ids=args.rule)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(render_json(result) if args.as_json else render_text(result))
+    return result.exit_code
+
+
 def _command_bounds(args: argparse.Namespace) -> int:
     parameters = {
         "epsilon": args.epsilon, "phi": args.phi, "n": args.universe, "m": args.stream_length,
@@ -917,6 +975,7 @@ _COMMANDS = {
     "query": _command_query,
     "checkpoint": _command_checkpoint,
     "metrics": _command_metrics,
+    "lint": _command_lint,
 }
 
 

@@ -71,6 +71,7 @@ class StreamingAlgorithm(abc.ABC):
         This default loops over :meth:`insert` and is therefore exactly equivalent to
         sequential insertion; subclasses override it with vectorized fast paths.
         """
+        # repro: lint-ignore[hot-path] -- reference semantics: the per-item loop IS the contract subclasses' vectorized overrides are property-tested against
         for item in items:
             self.insert(item)
 
@@ -155,6 +156,7 @@ class RankingStreamingAlgorithm(abc.ABC):
 
     def insert_many(self, rankings: Iterable[Any]) -> None:
         """Process a batch of votes (default: exact sequential loop over insert)."""
+        # repro: lint-ignore[hot-path] -- reference semantics: votes are rankings (small objects), no vectorized path exists for them yet
         for ranking in rankings:
             self.insert(ranking)
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, List, Optional
 
-from repro.core.base import StreamingAlgorithm
 from repro.core.borda import ListBorda
 from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
 from repro.core.maximin import ListMaximin

@@ -1,0 +1,44 @@
+"""``repro lint`` — AST-based invariant checking for the reproduction.
+
+A pluggable static-analysis framework (:mod:`repro.lint.engine`) plus six
+repo-specific rules (:mod:`repro.lint.rules`) that machine-check the invariants
+the test suite cannot fully police: RNG discipline, lock discipline in the
+threaded layers, determinism of report/merge/serialization paths, hot-path
+hygiene, protocol-surface consistency, and thread resource safety.
+
+CLI: ``repro lint [paths] [--rule RULE] [--json] [--list-rules]`` — see
+docs/STATIC_ANALYSIS.md for the rule catalog and the pragma syntax
+(``# repro: lint-ignore[rule-id] -- reason``).
+"""
+
+from repro.lint.engine import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    LINT_SCHEMA_VERSION,
+    Finding,
+    LintResult,
+    ProjectRule,
+    Rule,
+    SourceFile,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "LINT_SCHEMA_VERSION",
+    "Finding",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

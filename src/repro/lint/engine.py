@@ -1,0 +1,334 @@
+"""The ``repro lint`` engine: AST-walking rules, findings, and pragma suppression.
+
+The repo's correctness story rests on invariants no unit test can fully police —
+every source of randomness flowing through :class:`~repro.primitives.rng.RandomSource`
+(the served==offline bit-for-bit guarantee), consistent lock discipline in the
+threaded layers, determinism of report/merge/serialization paths, and the
+allocation-free hot paths PR 5 engineered.  This module machine-checks them:
+
+* a :class:`Rule` inspects one parsed :class:`SourceFile` and yields
+  :class:`Finding`\\ s (``file:line``, rule id, message, fix hint);
+* a :class:`ProjectRule` sees *all* files at once (cross-file surface checks);
+* ``# repro: lint-ignore[rule-id] -- reason`` on (or immediately above) a line
+  suppresses matching findings — the reason is mandatory, a pragma without one
+  is itself reported (``bad-pragma``, never suppressible);
+* :func:`run_lint` walks paths, applies rules, resolves suppressions, and
+  returns a :class:`LintResult`; :func:`render_text` / :func:`render_json`
+  produce the two output formats.
+
+Exit-code contract (used by the CLI and CI): 0 = clean, 1 = findings,
+2 = usage error (unknown rule, missing path).  See docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Version tag carried in the JSON output so CI consumers can detect format changes.
+LINT_SCHEMA_VERSION = 1
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``lint-ignore`` pragma."""
+
+    line: int
+    rules: Tuple[str, ...]  # ("*",) for a bare lint-ignore[*]
+    reason: str
+    file_wide: bool
+
+    def matches(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+#: ``# repro: lint-ignore[rule-a, rule-b] -- reason`` (or ``lint-ignore-file``).
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?P<file>-file)?\s*"
+    r"\[(?P<rules>[^\]]*)\]\s*"
+    r"(?:--\s*(?P<reason>\S.*))?$"
+)
+#: Anything that *looks* like an attempted pragma, for bad-pragma reporting.
+_PRAGMA_ATTEMPT_RE = re.compile(r"#\s*repro:\s*lint-ignore")
+
+
+class SourceFile:
+    """One parsed Python file plus the context rules need.
+
+    ``rel`` is the path rules scope on: the part after ``src/repro/`` when the
+    file lives inside the package (so ``pipeline/executor.py`` reads the same
+    from any checkout location), otherwise the path relative to the lint root
+    (which is what makes fixture trees in tests behave like package paths).
+    """
+
+    def __init__(self, path: Path, root: Path, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        self.rel = self._relative_name(path, root)
+        self.suppressions: List[Suppression] = []
+        self.bad_pragmas: List[Finding] = []
+        self._parse_pragmas()
+
+    @staticmethod
+    def _relative_name(path: Path, root: Path) -> str:
+        parts = path.as_posix().split("/")
+        for anchor in range(len(parts) - 1, 0, -1):
+            if parts[anchor - 1] == "repro" and anchor >= 2 and parts[anchor - 2] == "src":
+                return "/".join(parts[anchor:])
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            return path.name
+
+    def _parse_pragmas(self) -> None:
+        for index, line in enumerate(self.lines, start=1):
+            if not _PRAGMA_ATTEMPT_RE.search(line):
+                continue
+            match = _PRAGMA_RE.search(line.rstrip())
+            if match is None:
+                self.bad_pragmas.append(Finding(
+                    rule="bad-pragma", path=str(self.path), line=index,
+                    message="malformed lint-ignore pragma",
+                    hint="write `# repro: lint-ignore[rule-id] -- reason`",
+                ))
+                continue
+            rules = tuple(
+                name.strip() for name in match.group("rules").split(",") if name.strip()
+            )
+            reason = (match.group("reason") or "").strip()
+            if not rules:
+                self.bad_pragmas.append(Finding(
+                    rule="bad-pragma", path=str(self.path), line=index,
+                    message="lint-ignore pragma names no rule",
+                    hint="list the rule ids to suppress, e.g. lint-ignore[rng-discipline]",
+                ))
+                continue
+            if not reason:
+                self.bad_pragmas.append(Finding(
+                    rule="bad-pragma", path=str(self.path), line=index,
+                    message="lint-ignore pragma without a written reason",
+                    hint="append ` -- why this violation is intentional`",
+                ))
+                continue
+            self.suppressions.append(Suppression(
+                line=index, rules=rules, reason=reason,
+                file_wide=match.group("file") is not None,
+            ))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """A finding is suppressed by a pragma on its line, the pragma-only line
+        directly above it, or a file-wide pragma anywhere in the file."""
+        for suppression in self.suppressions:
+            if not suppression.matches(finding.rule):
+                continue
+            if suppression.file_wide:
+                return True
+            if suppression.line == finding.line:
+                return True
+            if (
+                suppression.line == finding.line - 1
+                and self.lines[suppression.line - 1].lstrip().startswith("#")
+            ):
+                return True
+        return False
+
+
+class Rule:
+    """Base class for single-file rules; subclasses set ``rule_id`` and ``check``."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, source: SourceFile, node: ast.AST, message: str, hint: str = "") -> Finding:
+        return Finding(
+            rule=self.rule_id, path=str(source.path),
+            line=getattr(node, "lineno", 1), message=message, hint=hint,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that sees every linted file at once (cross-file consistency)."""
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, sources: Sequence[SourceFile], root: Path) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]
+    files_checked: int
+    suppressed: int
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_FINDINGS if self.findings else EXIT_CLEAN
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Tuple[Path, Path]]:
+    """Yield ``(file, root)`` for every ``.py`` under the given paths, sorted."""
+    for path in paths:
+        if path.is_file():
+            yield path, path.parent
+        elif path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                yield file, path
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    *,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` with the given rules.
+
+    Args:
+        paths: files or directories to walk.
+        rules: rule instances to apply (see :mod:`repro.lint.rules`).
+        rule_ids: optional subset of rule ids to activate; unknown ids raise
+            ``ValueError`` (the CLI turns that into exit code 2).
+
+    Returns:
+        A :class:`LintResult`; ``findings`` are sorted by (path, line, rule)
+        and already exclude pragma-suppressed ones (counted in ``suppressed``).
+        Unparseable files surface as ``parse-error`` findings rather than
+        crashing the run.
+    """
+    if rule_ids is not None:
+        known = {rule.rule_id for rule in rules}
+        unknown = [rule_id for rule_id in rule_ids if rule_id not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(known))}"
+            )
+        rules = [rule for rule in rules if rule.rule_id in rule_ids]
+
+    sources: List[SourceFile] = []
+    findings: List[Finding] = []
+    files_checked = 0
+    roots: Dict[str, Path] = {}
+    seen: Set[Path] = set()
+    for file, root in iter_python_files(paths):
+        resolved = file.resolve()
+        if resolved in seen:
+            continue
+        seen.add(resolved)
+        files_checked += 1
+        text = file.read_text(encoding="utf-8")
+        try:
+            source = SourceFile(file, root, text)
+        except SyntaxError as exc:
+            findings.append(Finding(
+                rule="parse-error", path=str(file), line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            ))
+            continue
+        sources.append(source)
+        roots[str(file)] = root
+
+    raw: List[Tuple[SourceFile, Finding]] = []
+    for source in sources:
+        for rule in rules:
+            for finding in rule.check(source):
+                raw.append((source, finding))
+    by_path = {str(source.path): source for source in sources}
+    project_root = paths[0] if paths else Path(".")
+    for rule in rules:
+        if isinstance(rule, ProjectRule):
+            for finding in rule.check_project(sources, project_root):
+                owner = by_path.get(finding.path)
+                if owner is not None:
+                    raw.append((owner, finding))
+                else:
+                    findings.append(finding)
+
+    suppressed = 0
+    for source, finding in raw:
+        if source.is_suppressed(finding):
+            suppressed += 1
+        else:
+            findings.append(finding)
+    for source in sources:
+        findings.extend(source.bad_pragmas)  # never suppressible
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return LintResult(
+        findings=findings,
+        files_checked=files_checked,
+        suppressed=suppressed,
+        rules=[rule.rule_id for rule in rules],
+    )
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one block per finding plus a summary line."""
+    blocks = [finding.render() for finding in result.findings]
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_checked} file(s) "
+        f"({result.suppressed} suppressed by pragma; "
+        f"rules: {', '.join(result.rules)})"
+    )
+    return "\n".join(blocks + [summary])
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI consumer's format)."""
+    return json.dumps(
+        {
+            "lint_schema": LINT_SCHEMA_VERSION,
+            "files_checked": result.files_checked,
+            "suppressed": result.suppressed,
+            "rules": result.rules,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "message": finding.message,
+                    "hint": finding.hint,
+                }
+                for finding in result.findings
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )

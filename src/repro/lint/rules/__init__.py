@@ -1,0 +1,47 @@
+"""The rule registry for ``repro lint``.
+
+Adding a rule is three steps (see docs/STATIC_ANALYSIS.md):
+
+1. subclass :class:`repro.lint.engine.Rule` (or :class:`ProjectRule` for
+   cross-file checks) in a new module here, grounding the rule in a documented
+   repo invariant;
+2. register an instance in :data:`ALL_RULES`;
+3. add positive / negative / pragma-suppressed fixtures to
+   ``tests/unit/test_lint.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.hotpath import HotPathRule
+from repro.lint.rules.locks import LockDisciplineRule
+from repro.lint.rules.protocol_surface import ProtocolSurfaceRule
+from repro.lint.rules.resources import ResourceSafetyRule
+from repro.lint.rules.rng import RngDisciplineRule
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in stable id order."""
+    rules: List[Rule] = [
+        DeterminismRule(),
+        HotPathRule(),
+        LockDisciplineRule(),
+        ProtocolSurfaceRule(),
+        ResourceSafetyRule(),
+        RngDisciplineRule(),
+    ]
+    return sorted(rules, key=lambda rule: rule.rule_id)
+
+
+__all__ = [
+    "DeterminismRule",
+    "HotPathRule",
+    "LockDisciplineRule",
+    "ProtocolSurfaceRule",
+    "ResourceSafetyRule",
+    "RngDisciplineRule",
+    "all_rules",
+]

@@ -1,0 +1,119 @@
+"""Shared AST helpers for the repro lint rules.
+
+Rules resolve names against each file's import aliases so ``np.random`` and
+``numpy.random`` (or ``from time import time``) read as the same canonical
+dotted path, and they walk function/class bodies with enough context (enclosing
+class, enclosing function, lock state) to state findings precisely.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the canonical dotted module/attribute they import.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import time`` → ``{"time": "time.time"}``;
+    ``from datetime import datetime`` → ``{"datetime": "datetime.datetime"}``.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def canonical_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """The dotted name with its leading segment resolved through the imports.
+
+    ``np.random.default_rng`` → ``numpy.random.default_rng``; a bare name
+    imported via ``from x import y`` resolves to ``x.y``.
+    """
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def walk_functions(tree: ast.Module) -> Iterator[Tuple[FunctionNode, Optional[ast.ClassDef]]]:
+    """Yield every function with its enclosing class (``None`` at module level)."""
+
+    def visit(node: ast.AST, owner: Optional[ast.ClassDef]) -> Iterator[
+        Tuple[FunctionNode, Optional[ast.ClassDef]]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                yield from visit(child, owner)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, child)
+            else:
+                yield from visit(child, owner)
+
+    yield from visit(tree, None)
+
+
+def function_param_names(function: FunctionNode) -> List[str]:
+    """Positional/keyword parameter names, excluding ``self``/``cls``."""
+    args = function.args
+    names = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    return [name for name in names if name not in ("self", "cls")]
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``attr`` when the node is exactly ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def assignment_targets(node: ast.AST) -> Iterator[ast.expr]:
+    """The target expressions of any assignment statement node, flattened."""
+    if isinstance(node, ast.Assign):
+        targets: List[ast.expr] = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return
+    stack = targets
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+        else:
+            yield target

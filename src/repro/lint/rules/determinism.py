@@ -1,0 +1,137 @@
+"""determinism: report/merge/serialization paths must not depend on hash order or clocks.
+
+Two checks guard the bit-for-bit equality flags (`identical_report`) every
+benchmark asserts:
+
+* **unordered iteration** — iterating a ``set`` (literal, ``set(...)`` call, or
+  set-typed expression) or ``dict.keys()`` without ``sorted(...)`` inside a
+  function on a report/merge/serialization path makes the output depend on hash
+  seeding and insertion history.  Two runs (or two replicas) that hold the same
+  *logical* state can then serialize differently, so equality checks and quorum
+  merges break without any numeric bug.
+* **wall clocks in sketch/pipeline modules** — ``time.time()`` and friends in
+  ``core/``, ``baselines/``, ``primitives/``, ``pipeline/``, ``sharding/`` make
+  state or output time-dependent.  Monotonic timing (``perf_counter`` /
+  ``monotonic``) is fine — it never feeds state; observability modules are
+  allowlisted (timestamps are their job).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, Rule, SourceFile
+from repro.lint.rules.base import canonical_name, import_aliases, walk_functions
+
+#: Function names on report/merge/serialization paths.
+_ORDER_SENSITIVE = re.compile(
+    r"(report|merge|serial|getstate|to_json|to_payload|payload|render|"
+    r"save|snapshot|checkpoint|sink_state)",
+    re.IGNORECASE,
+)
+
+#: Modules where any wall-clock read is suspect (sketch + ingest layers).
+_CLOCK_SCOPES = ("core/", "baselines/", "primitives/", "pipeline/", "sharding/")
+
+_WALL_CLOCK = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.ctime": "time.ctime()",
+    "time.localtime": "time.localtime()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+
+def _is_sorted_wrapped(node: ast.AST, parents: dict) -> bool:
+    """True when the iterable is directly inside sorted(...)/min/max/sum."""
+    parent = parents.get(id(node))
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id in ("sorted", "min", "max", "sum", "len", "frozenset", "set")
+    )
+
+
+class DeterminismRule(Rule):
+    rule_id = "determinism"
+    description = (
+        "flag unsorted set/dict.keys() iteration in report/merge/serialization "
+        "functions and wall-clock reads in sketch/pipeline modules"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        aliases = import_aliases(source.tree)
+        findings: List[Finding] = []
+        findings.extend(self._check_iteration(source))
+        if source.rel.startswith(_CLOCK_SCOPES):
+            findings.extend(self._check_clocks(source, aliases))
+        return findings
+
+    # -- unordered iteration -------------------------------------------------------
+
+    def _check_iteration(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for function, _owner in walk_functions(source.tree):
+            if not _ORDER_SENSITIVE.search(function.name):
+                continue
+            parents = {}
+            for node in ast.walk(function):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            iterables: List[ast.expr] = []
+            for node in ast.walk(function):
+                if isinstance(node, ast.For):
+                    iterables.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                    iterables.extend(gen.iter for gen in node.generators)
+            for iterable in iterables:
+                label = self._unordered_label(iterable)
+                if label is None or _is_sorted_wrapped(iterable, parents):
+                    continue
+                findings.append(self.finding(
+                    source, iterable,
+                    f"iteration over {label} in order-sensitive function "
+                    f"`{function.name}` depends on hash/insertion order",
+                    "wrap the iterable in sorted(...) so serialized/merged output "
+                    "is identical across runs and replicas",
+                ))
+        return findings
+
+    @staticmethod
+    def _unordered_label(node: ast.expr) -> "str | None":
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return f"`{node.func.id}(...)`"
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+                return "`.keys()`"
+        if isinstance(node, (ast.BinOp,)) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            # `seen_a | seen_b` etc. — only flag when an operand is visibly a set.
+            for side in (node.left, node.right):
+                label = DeterminismRule._unordered_label(side)
+                if label is not None:
+                    return f"a set expression ({label})"
+        return None
+
+    # -- wall clocks ---------------------------------------------------------------
+
+    def _check_clocks(self, source: SourceFile, aliases) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                name = canonical_name(node.func, aliases)
+                label = _WALL_CLOCK.get(name or "")
+                if label is not None:
+                    findings.append(self.finding(
+                        source, node,
+                        f"wall-clock read `{label}` in a sketch/pipeline module",
+                        "use time.perf_counter()/time.monotonic() for durations; "
+                        "wall-clock state breaks replay determinism",
+                    ))
+        return findings

@@ -1,0 +1,121 @@
+"""lock-discipline: an attribute written under a lock is written under it everywhere.
+
+The threaded layers (``pipeline/``, ``service/``, ``replication/``,
+``observability/``) follow one convention: shared mutable state on a class is
+guarded by a ``self._lock``-style lock, and every mutation outside ``__init__``
+happens inside ``with self._lock:``.  This rule infers, per class, which
+``self._*`` attributes are written under a lock somewhere, and flags writes to
+those same attributes that happen *outside* any lock in a non-``__init__``
+method — the classic half-guarded race, where a torn or stale write only
+surfaces under multi-worker load where it is hardest to reproduce.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.engine import Finding, Rule, SourceFile
+from repro.lint.rules.base import assignment_targets, self_attribute
+
+#: Only the threaded layers have a lock convention to enforce.
+_SCOPES = ("pipeline/", "service/", "replication/", "observability/")
+
+#: Methods where unguarded writes are construction, not racing.
+_SETUP_METHODS = {"__init__", "__new__", "__setstate__"}
+
+
+def _is_self_lock(node: ast.AST) -> bool:
+    attr = self_attribute(node)
+    return attr is not None and "lock" in attr.lower()
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Collect (attribute, line, under_lock) writes within one method."""
+
+    def __init__(self) -> None:
+        self.writes: List[Tuple[str, int, bool]] = []
+        self._lock_depth = 0
+
+    def visit_With(self, node: ast.With) -> None:
+        holds_lock = any(_is_self_lock(item.context_expr) for item in node.items)
+        if holds_lock:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if holds_lock:
+            self._lock_depth -= 1
+
+    def _record(self, node: ast.AST) -> None:
+        for target in assignment_targets(node):
+            attr = self_attribute(target)
+            if attr is not None and "lock" not in attr.lower():
+                self.writes.append((attr, target.lineno, self._lock_depth > 0))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested functions (thread targets, closures) keep the enclosing lock
+        # state only lexically; conservatively treat their writes as unlocked.
+        depth, self._lock_depth = self._lock_depth, 0
+        self.generic_visit(node)
+        self._lock_depth = depth
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    description = (
+        "flag self._x attributes mutated both with and without `with self._lock` "
+        "in threaded modules (outside __init__)"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        if not source.rel.startswith(_SCOPES):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(source, node))
+        return findings
+
+    def _check_class(self, source: SourceFile, cls: ast.ClassDef) -> Iterable[Finding]:
+        locked: Set[str] = set()
+        unlocked: Dict[str, List[Tuple[int, str]]] = {}
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            walker = _MethodWalker()
+            for statement in item.body:
+                walker.visit(statement)
+            for attr, line, under_lock in walker.writes:
+                if under_lock:
+                    locked.add(attr)
+                elif item.name not in _SETUP_METHODS:
+                    unlocked.setdefault(attr, []).append((line, item.name))
+        findings: List[Finding] = []
+        for attr in sorted(locked):
+            for line, method in unlocked.get(attr, []):
+                findings.append(Finding(
+                    rule=self.rule_id, path=str(source.path), line=line,
+                    message=(
+                        f"`self.{attr}` is written under a lock elsewhere in "
+                        f"`{cls.name}` but mutated without one in `{method}`"
+                    ),
+                    hint=(
+                        "take the same `with self._lock:` here, or pragma-suppress "
+                        "with the reason the unguarded write is safe (e.g. "
+                        "single-threaded setup before the threads start)"
+                    ),
+                ))
+        return findings

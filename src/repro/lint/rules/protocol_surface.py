@@ -1,0 +1,194 @@
+"""protocol-surface: the command set and metric names stay consistent everywhere.
+
+The frame protocol's command surface is declared four times — the server's
+``_KNOWN_COMMANDS`` label set, the ``_dispatch_inner`` if-chain,
+:class:`~repro.service.client.ServiceClient`'s methods, and the prose docs —
+and PRs 5–7 showed how easily they drift as the command set grows.  This
+project-wide rule cross-checks all four: every dispatched command must be in
+``_KNOWN_COMMANDS`` (and vice versa), have a same-named ``ServiceClient``
+method, and appear in the docs (README.md / docs/*.md next to the source
+tree).  It also enforces the exposition layer's naming contract: every metric
+registered through the registry (``counter`` / ``gauge`` / ``histogram``)
+carries the ``repro_`` prefix, so dashboards and the CI scrape can rely on one
+namespace.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.engine import Finding, ProjectRule, SourceFile
+
+_REGISTRY_METHODS = {"counter", "gauge", "histogram"}
+_METRIC_PREFIX = "repro_"
+
+#: Commands implemented by a differently-named client method (none today; the
+#: mapping exists so a rename needs one entry here, not a rule rewrite).
+_CLIENT_METHOD_FOR = {}
+
+
+def _string_set(node: ast.AST) -> Optional[Set[str]]:
+    """The string elements of a set/frozenset literal, or ``None``."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "frozenset" and node.args:
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values = set()
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            values.add(element.value)
+        return values
+    return None
+
+
+class ProtocolSurfaceRule(ProjectRule):
+    rule_id = "protocol-surface"
+    description = (
+        "server dispatch table, _KNOWN_COMMANDS, ServiceClient methods, and docs "
+        "must agree; metric names must carry the repro_ prefix"
+    )
+
+    # -- per-file: metric naming ---------------------------------------------------
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _REGISTRY_METHODS or not node.args:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                name = first.value
+                looks_like_metric = re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name)
+                if looks_like_metric and not name.startswith(_METRIC_PREFIX):
+                    findings.append(self.finding(
+                        source, node,
+                        f"metric `{name}` lacks the `{_METRIC_PREFIX}` prefix",
+                        "every instrument shares the repro_ namespace so the "
+                        "Prometheus exposition and CI scrape can rely on it",
+                    ))
+        return findings
+
+    # -- project-wide: command surface ---------------------------------------------
+
+    def check_project(self, sources: Sequence[SourceFile], root: Path) -> Iterable[Finding]:
+        server = self._find(sources, "service/server.py")
+        client = self._find(sources, "service/client.py")
+        if server is None:
+            return []
+        findings: List[Finding] = []
+        known, known_line = self._known_commands(server)
+        dispatched: Dict[str, int] = self._dispatched_commands(server)
+        if known is not None:
+            for command in sorted(set(dispatched) - known):
+                findings.append(Finding(
+                    rule=self.rule_id, path=str(server.path), line=dispatched[command],
+                    message=(
+                        f"command `{command}` is dispatched but missing from "
+                        "_KNOWN_COMMANDS (its metrics will record as \"invalid\")"
+                    ),
+                    hint="add it to the _KNOWN_COMMANDS label set",
+                ))
+            for command in sorted(known - set(dispatched)):
+                findings.append(Finding(
+                    rule=self.rule_id, path=str(server.path), line=known_line,
+                    message=(
+                        f"command `{command}` is in _KNOWN_COMMANDS but never "
+                        "dispatched"
+                    ),
+                    hint="remove the stale entry or wire the handler",
+                ))
+        if client is not None:
+            methods = self._client_methods(client)
+            for command, line in sorted(dispatched.items()):
+                wanted = _CLIENT_METHOD_FOR.get(command, command)
+                if wanted not in methods:
+                    findings.append(Finding(
+                        rule=self.rule_id, path=str(server.path), line=line,
+                        message=(
+                            f"server command `{command}` has no matching "
+                            f"ServiceClient.{wanted}() method"
+                        ),
+                        hint="every wire command needs a first-class client method",
+                    ))
+        doc_text = self._docs_text(server.path)
+        if doc_text is not None:
+            for command, line in sorted(dispatched.items()):
+                if re.search(rf"\b{re.escape(command)}\b", doc_text) is None:
+                    findings.append(Finding(
+                        rule=self.rule_id, path=str(server.path), line=line,
+                        message=f"server command `{command}` is undocumented",
+                        hint="mention it in README.md or docs/ (rule scans both)",
+                    ))
+        return findings
+
+    @staticmethod
+    def _find(sources: Sequence[SourceFile], rel: str) -> Optional[SourceFile]:
+        for source in sources:
+            if source.rel == rel:
+                return source
+        return None
+
+    @staticmethod
+    def _known_commands(server: SourceFile):
+        for node in ast.walk(server.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = getattr(target, "id", getattr(target, "attr", None))
+                    if name == "_KNOWN_COMMANDS":
+                        return _string_set(node.value), node.lineno
+        return None, 1
+
+    @staticmethod
+    def _dispatched_commands(server: SourceFile) -> Dict[str, int]:
+        """Constants compared against the command in the dispatch function."""
+        commands: Dict[str, int] = {}
+        for node in ast.walk(server.tree):
+            if not (isinstance(node, ast.FunctionDef) and "dispatch" in node.name):
+                continue
+            for compare in ast.walk(node):
+                if not isinstance(compare, ast.Compare):
+                    continue
+                for side in [compare.left] + list(compare.comparators):
+                    if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                        commands.setdefault(side.value, compare.lineno)
+        return commands
+
+    @staticmethod
+    def _client_methods(client: SourceFile) -> Set[str]:
+        for node in ast.walk(client.tree):
+            if isinstance(node, ast.ClassDef) and node.name == "ServiceClient":
+                return {
+                    item.name for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+        return set()
+
+    @staticmethod
+    def _docs_text(server_path: Path) -> Optional[str]:
+        """README.md + docs/*.md found by walking up from the server module.
+
+        Returns ``None`` (doc check skipped) when no docs exist — fixture trees
+        in tests opt in by creating a ``docs/`` directory or README.md.
+        """
+        directory = server_path.resolve().parent
+        for _ in range(6):
+            readme = directory / "README.md"
+            docs_dir = directory / "docs"
+            if readme.exists() or docs_dir.is_dir():
+                chunks: List[str] = []
+                if readme.exists():
+                    chunks.append(readme.read_text(encoding="utf-8"))
+                if docs_dir.is_dir():
+                    for doc in sorted(docs_dir.glob("*.md")):
+                        chunks.append(doc.read_text(encoding="utf-8"))
+                return "\n".join(chunks)
+            if directory.parent == directory:
+                break
+            directory = directory.parent
+        return None

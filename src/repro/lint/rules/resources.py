@@ -1,0 +1,169 @@
+"""resource-safety: every thread created is joined, daemonized, or owned by a shutdown.
+
+The pipeline producer, the service accept/run loops, and the metrics sidecar
+all follow the same discipline (established in PR 3's join-on-every-exit-path
+producer): a ``threading.Thread`` is either
+
+* created ``daemon=True`` (explicitly fire-and-forget — process exit reaps it),
+* a local joined in the same function on every exit path, or
+* stored on ``self`` with a paired method in the same class that joins it
+  (``close`` / ``stop`` / ``shutdown`` / ``join`` — any method calling
+  ``.join()`` counts).
+
+A thread that is none of these leaks on error paths: tests hang at interpreter
+exit, servers never release their sockets, and the failure reproduces only
+under load.  This rule flags such creations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.engine import Finding, Rule, SourceFile
+from repro.lint.rules.base import canonical_name, import_aliases, self_attribute, walk_functions
+
+_HINT = (
+    "join the thread on every exit path, pass daemon=True if it is deliberately "
+    "fire-and-forget, or store it on self with a shutdown method that joins it"
+)
+
+
+def _is_daemon_call(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "daemon" and isinstance(keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+class ResourceSafetyRule(Rule):
+    rule_id = "resource-safety"
+    description = (
+        "flag threading.Thread creations that are neither daemonized, joined in "
+        "the same function, nor joined by a paired method of the same class"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        aliases = import_aliases(source.tree)
+        _annotate_bindings(source.tree)
+        findings: List[Finding] = []
+        class_joins = self._class_joined_attributes(source)
+        for function, owner in walk_functions(source.tree):
+            local_joins = self._local_joined_names(function)
+            daemon_sets = self._daemon_assignments(function)
+            for statement in ast.walk(function):
+                call = self._thread_call(statement, aliases)
+                if call is None or _is_daemon_call(call):
+                    continue
+                binding = self._binding(statement, call)
+                if binding is None:
+                    findings.append(self.finding(
+                        source, call,
+                        "thread created without a binding: it can never be joined",
+                        _HINT,
+                    ))
+                    continue
+                kind, name = binding
+                if kind == "local" and (name in local_joins or name in daemon_sets):
+                    continue
+                if kind == "self":
+                    owner_name = owner.name if owner is not None else None
+                    if owner_name is not None and name in class_joins.get(owner_name, set()):
+                        continue
+                where = f"self.{name}" if kind == "self" else f"`{name}`"
+                scope = (
+                    "no method of the class joins it"
+                    if kind == "self" else "it is never joined in this function"
+                )
+                findings.append(self.finding(
+                    source, call,
+                    f"thread stored in {where} but {scope}",
+                    _HINT,
+                ))
+        return findings
+
+    @staticmethod
+    def _thread_call(statement: ast.AST, aliases) -> Optional[ast.Call]:
+        if not isinstance(statement, ast.Call):
+            return None
+        name = canonical_name(statement.func, aliases)
+        return statement if name == "threading.Thread" else None
+
+    @staticmethod
+    def _binding(statement: ast.AST, call: ast.Call):
+        """How the Thread(...) value is bound: ('local', name) / ('self', attr) / None.
+
+        Walks up is not possible without parent links, so instead the rule
+        re-scans assignments whose value (or value's chain head, for
+        ``Thread(...).start()``) is this call.
+        """
+        # The statement *is* the call here; bindings are found by the caller's
+        # enclosing-assign scan below.
+        return getattr(call, "_repro_binding", None)
+
+    def _local_joined_names(self, function) -> Set[str]:
+        joined: Set[str] = set()
+        for node in ast.walk(function):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                joined.add(node.func.value.id)
+        return joined
+
+    def _daemon_assignments(self, function) -> Set[str]:
+        """Names whose `.daemon` is assigned True in this function."""
+        names: Set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "daemon"
+                        and isinstance(target.value, ast.Name)
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value
+                    ):
+                        names.add(target.value.id)
+        return names
+
+    def _class_joined_attributes(self, source: SourceFile):
+        """Per class name: the set of self._x attributes some method joins."""
+        joins = {}
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            attrs: Set[str] = set()
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "join"
+                ):
+                    attr = self_attribute(inner.func.value)
+                    if attr is not None:
+                        attrs.add(attr)
+            joins[node.name] = attrs
+        return joins
+
+
+def _annotate_bindings(tree: ast.Module) -> None:
+    """Tag Thread(...) calls with how their value is bound (pre-pass).
+
+    ``x = threading.Thread(...)`` tags the call ``('local', 'x')``;
+    ``self._t = threading.Thread(...)`` tags ``('self', '_t')``;
+    ``threading.Thread(...).start()`` and bare expression calls stay untagged
+    (reported as unbound unless daemonized).
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            call = node.value
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    call._repro_binding = ("local", target.id)  # type: ignore[attr-defined]
+                else:
+                    attr = self_attribute(target)
+                    if attr is not None:
+                        call._repro_binding = ("self", attr)  # type: ignore[attr-defined]

@@ -1,0 +1,109 @@
+"""rng-discipline: every source of randomness must flow through RandomSource.
+
+The served==offline ``identical_report`` guarantee (and the re-seed-on-serialize
+checkpoint contract from PR 4/6) holds only because every random draw in
+``src/repro/`` comes from a seeded :class:`~repro.primitives.rng.RandomSource`
+hierarchy.  One stray ``import random``, ``np.random.*`` draw, or wall-clock
+seed silently breaks bit-for-bit reproducibility everywhere downstream, in a
+way no equality test can localize.  Only ``primitives/rng.py`` — the choke
+point itself — may touch the underlying generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, Rule, SourceFile
+from repro.lint.rules.base import canonical_name, import_aliases
+
+#: The one module allowed to touch the raw generators.
+_ALLOWED = ("primitives/rng.py",)
+
+#: Wall-clock calls that must never feed a seed.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+}
+
+_HINT = (
+    "draw from a RandomSource (repro.primitives.rng) passed in by the caller; "
+    "module-global or wall-clock randomness breaks the served==offline "
+    "bit-for-bit contract"
+)
+
+
+class RngDisciplineRule(Rule):
+    rule_id = "rng-discipline"
+    description = (
+        "flag `import random`, `np.random.*`, and wall-clock-derived seeds "
+        "outside primitives/rng.py"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        if source.rel in _ALLOWED:
+            return []
+        aliases = import_aliases(source.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("numpy.random"):
+                        findings.append(self.finding(
+                            source, node,
+                            f"direct import of `{alias.name}` outside primitives/rng.py",
+                            _HINT,
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in ("random", "numpy.random"):
+                    findings.append(self.finding(
+                        source, node,
+                        f"direct import from `{node.module}` outside primitives/rng.py",
+                        _HINT,
+                    ))
+            elif isinstance(node, ast.Attribute):
+                name = canonical_name(node, aliases)
+                if name is not None and (
+                    name == "numpy.random" or name.startswith("numpy.random.")
+                ):
+                    findings.append(self.finding(
+                        source, node,
+                        f"`{name}` draws from numpy's global/ad-hoc RNG state",
+                        "use RandomSource.numpy_generator() so the draw is seeded "
+                        "from the deterministic hierarchy",
+                    ))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.keyword)):
+                findings.extend(self._wall_clock_seed(source, node, aliases))
+        return findings
+
+    def _wall_clock_seed(self, source: SourceFile, node: ast.AST, aliases) -> Iterable[Finding]:
+        """A wall-clock call assigned to a `seed`-named target or keyword."""
+        if isinstance(node, ast.keyword):
+            seedish = node.arg is not None and "seed" in node.arg.lower()
+            value = node.value
+        else:
+            names = []
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.append(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.append(target.attr)
+            seedish = any("seed" in name.lower() for name in names)
+            value = node.value
+        if not seedish or value is None:
+            return []
+        for call in ast.walk(value):
+            if isinstance(call, ast.Call):
+                name = canonical_name(call.func, aliases)
+                if name in _WALL_CLOCK:
+                    return [self.finding(
+                        source, call,
+                        f"seed derived from wall clock (`{name}()`)",
+                        "seeds must be explicit (CLI flag, config, or spawned from "
+                        "a parent RandomSource) so runs are reproducible",
+                    )]
+        return []

@@ -15,10 +15,13 @@ import copy
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.observability.metrics import MetricRegistry, resolve_registry
-from repro.observability.tracing import resolve_tracer
+from repro.observability.tracing import Tracer, resolve_tracer
+
+if TYPE_CHECKING:  # only for annotations: the executor itself never builds arrays
+    import numpy as np
 from repro.pipeline.producer import (
     DEFAULT_CHUNK_ITEMS,
     DEFAULT_QUEUE_DEPTH,
@@ -130,7 +133,7 @@ class PipelinedExecutor:
         chunk_size: int = DEFAULT_CHUNK_ITEMS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         registry: Optional[MetricRegistry] = None,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if (sketch is None) == (executor is None):
             raise ValueError("provide exactly one of sketch= or executor=")
@@ -184,7 +187,7 @@ class PipelinedExecutor:
 
     # -- ingestion ----------------------------------------------------------------------
 
-    def ingest_chunk(self, chunk) -> None:
+    def ingest_chunk(self, chunk: Union[np.ndarray, Sequence[int]]) -> None:
         """One chunk into the sink, atomically with respect to :meth:`snapshot`.
 
         The single-chunk unit of :meth:`run`, public so an external loop (the
@@ -292,7 +295,7 @@ class PipelinedExecutor:
 
     def run(
         self,
-        source,
+        source: Any,
         report_kwargs: Optional[Mapping[str, Any]] = None,
     ) -> PipelinedRunResult:
         """Replay ``source`` through the queue, then merge and report.
@@ -309,13 +312,16 @@ class PipelinedExecutor:
                 :meth:`ingest_chunk`) — the sketches hold that prefix, so
                 re-running would double-count.
         """
-        if self._started or self._finished:
-            # _started alone (no _finished) means a previous run died mid-ingest;
-            # the sketches hold that run's prefix, so re-running would double-count.
-            raise RuntimeError(
-                "this PipelinedExecutor has already run; build a fresh one per run"
-            )
-        self._started = True
+        with self._lock:
+            # Check-and-claim atomically: two threads racing run() must see
+            # exactly one winner, or both would ingest into the same sketches.
+            if self._started or self._finished:
+                # _started alone (no _finished) means a previous run died mid-ingest;
+                # the sketches hold that run's prefix, so re-running would double-count.
+                raise RuntimeError(
+                    "this PipelinedExecutor has already run; build a fresh one per run"
+                )
+            self._started = True
         producer = ChunkProducer(
             source,
             chunk_size=self.chunk_size,
@@ -328,8 +334,9 @@ class PipelinedExecutor:
             # parsing immediately, so the ingest span begins now.  Push-driven
             # sources are paced by remote clients — idle time waiting for the
             # first batch is not ingest work, so the stamp waits for the first
-            # chunk (ingest_chunk sets it lazily).
-            self._ingest_started_at = time.perf_counter()
+            # chunk (ingest_chunk sets it lazily, under the same lock).
+            with self._lock:
+                self._ingest_started_at = time.perf_counter()
         try:
             for chunk in producer:
                 self.ingest_chunk(chunk)
@@ -390,12 +397,12 @@ class PipelinedExecutor:
     ) -> PipelineSnapshot:
         kwargs = dict(report_kwargs or {})
         try:
-            key: Optional[Tuple] = tuple(sorted(kwargs.items()))
+            key: Optional[Tuple[Tuple[str, Any], ...]] = tuple(sorted(kwargs.items()))
             hash(key)  # an unhashable kwarg *value* only surfaces here
         except TypeError:  # unhashable report kwargs: skip the report-level cache
             key = None
         with self._snapshot_lock:
-            copies = None
+            copies: Optional[List[Any]] = None
             with self._lock:
                 if self._finished:
                     raise RuntimeError(
@@ -429,6 +436,7 @@ class PipelinedExecutor:
                         copies = copy.deepcopy(self.executor.sketches)
             # Merge and report outside the ingestion lock: ingestion continues.
             if cache is None:
+                assert copies is not None  # cleared and copied together under the lock
                 self.snapshot_cache_misses += 1
                 self._metric_cache_misses.inc()
                 cache = {
@@ -505,7 +513,7 @@ class PipelinedExecutor:
         chunk_size: int = DEFAULT_CHUNK_ITEMS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         registry: Optional[MetricRegistry] = None,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> "PipelinedExecutor":
         """Rebuild an executor around a captured :class:`SinkState` and resume.
 

@@ -19,7 +19,7 @@ import math
 from typing import Generic, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.primitives.rng import RandomSource
-from repro.primitives.space import SpaceMeter, bits_for_value
+from repro.primitives.space import bits_for_value
 
 T = TypeVar("T")
 

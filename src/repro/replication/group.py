@@ -431,11 +431,14 @@ class ReplicaGroup:
             RuntimeError: if the group already ran or was driven through
                 :meth:`ingest_chunk`.
         """
-        if self._started or self._finished:
-            raise RuntimeError(
-                "this ReplicaGroup has already run; build a fresh one per run"
-            )
-        self._started = True
+        with self._lock:
+            # Check-and-claim atomically: two threads racing run() must see
+            # exactly one winner, or both would fan chunks into the replicas.
+            if self._started or self._finished:
+                raise RuntimeError(
+                    "this ReplicaGroup has already run; build a fresh one per run"
+                )
+            self._started = True
         producer = ChunkProducer(
             source,
             chunk_size=self.chunk_size,
@@ -445,8 +448,10 @@ class ReplicaGroup:
         )
         if not isinstance(source, ArrayBatchSource):
             # Same stamp rule as PipelinedExecutor.run: replay sources begin
-            # ingesting now; push-driven sources stamp on the first chunk.
-            self._ingest_started_at = time.perf_counter()
+            # ingesting now; push-driven sources stamp on the first chunk
+            # (ingest_chunk sets it lazily, under the same lock).
+            with self._lock:
+                self._ingest_started_at = time.perf_counter()
         try:
             for chunk in producer:
                 self.ingest_chunk(chunk)

@@ -41,15 +41,17 @@ from __future__ import annotations
 
 import collections
 import logging
+# repro: lint-ignore[rng-discipline] -- retry-backoff jitter only: never touches sketch state, so it cannot perturb served==offline report equality
 import random
 import socket
 import time
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterable, Optional, Tuple, Union
+from typing import Any, Callable, Deque, Dict, Iterable, Mapping, Optional, Tuple, Union
 
 from repro.core.results import HeavyHittersReport
 from repro.replication.faults import FaultPlan
 from repro.service.protocol import (
+    BytesLike,
     ProtocolError,
     encode_items,
     recv_frame,
@@ -246,16 +248,16 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self.connect()
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
     def _round_trip(
         self,
-        header: Dict[str, object],
-        payload: bytes = b"",
+        header: Mapping[str, Any],
+        payload: BytesLike = b"",
         eof_ok: bool = False,
         reply_timeout: Optional[float] = None,
-    ) -> Dict[str, object]:
+    ) -> Dict[str, Any]:
         """One command frame, one reply.
 
         ``reply_timeout`` is the *command's* own deadline (``flush``/``finish``
@@ -270,6 +272,7 @@ class ServiceClient:
         if self._sock is None:
             self.connect()
         sock = self._sock
+        assert sock is not None  # connect() either set it or raised
         if reply_timeout is not None:
             sock.settimeout(reply_timeout + REPLY_TIMEOUT_MARGIN)
         try:
@@ -293,7 +296,7 @@ class ServiceClient:
             raise ServiceError(str(reply.get("error", "unspecified server error")))
         return reply
 
-    def _retry_idempotent(self, call: Callable[[], Dict[str, object]]) -> Dict[str, object]:
+    def _retry_idempotent(self, call: Callable[[], Dict[str, Any]]) -> Dict[str, Any]:
         """Run a read-only command, retrying transient connection failures.
 
         Only ``config``/``query``/``stats`` go through here: they are
@@ -322,9 +325,9 @@ class ServiceClient:
 
     # -- commands -----------------------------------------------------------------------
 
-    def config(self) -> Dict[str, object]:
+    def config(self) -> Dict[str, Any]:
         """The server's parameters and live counters (retried; idempotent)."""
-        def call() -> Dict[str, object]:
+        def call() -> Dict[str, Any]:
             reply = self._round_trip({"cmd": "config"})
             credits = reply.get("push_credits")
             if isinstance(credits, int) and credits > 0:
@@ -506,6 +509,8 @@ class ServiceClient:
 
     def _send_push_frame(self, count: int, payload: memoryview) -> None:
         """Send one push frame, honoring any scripted connection drop."""
+        sock = self._sock
+        assert sock is not None  # push_stream connects before framing
         if self._fault_plan is not None and self._fault_plan.fire_drop(
             self._push_frames_sent
         ):
@@ -513,10 +518,10 @@ class ServiceClient:
             # recovery path takes over — the fault is injected *below* the
             # resume logic, so the test exercises the real code path.
             try:
-                self._sock.shutdown(socket.SHUT_RDWR)
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-        send_frame(self._sock, {"cmd": "push", "items": count}, payload)
+        send_frame(sock, {"cmd": "push", "items": count}, payload)
         self._push_frames_sent += 1
 
     def _push_credits(self) -> int:
@@ -531,15 +536,17 @@ class ServiceClient:
             self._credits = 1  # pre-credit server: degrade to the round-trip path
         return self._credits
 
-    def _drain_push_ack(self) -> Dict[str, object]:
+    def _drain_push_ack(self) -> Dict[str, Any]:
         """Read one in-order push ack (the raw reply; ok-ness judged by the caller)."""
-        frame = recv_frame(self._sock)
+        sock = self._sock
+        assert sock is not None  # acks are only drained on a live push window
+        frame = recv_frame(sock)
         if frame is None:
             raise ProtocolError("server closed the connection mid push window")
         reply, _ = frame
         return reply
 
-    def flush(self, timeout: float = 60.0) -> Dict[str, object]:
+    def flush(self, timeout: float = 60.0) -> Dict[str, Any]:
         """Wait until every complete chunk pushed so far has been ingested.
 
         Items past the last exact chunk boundary stay in the server's re-chunk
@@ -559,7 +566,7 @@ class ServiceClient:
             phi: report-time threshold override, only for sketches that take ϕ
                 at report time (Misra–Gries and friends).
         """
-        request: Dict[str, object] = {"cmd": "query"}
+        request: Dict[str, Any] = {"cmd": "query"}
         if phi is not None:
             request["phi"] = phi
         reply = self._retry_idempotent(lambda: self._round_trip(request))
@@ -571,7 +578,7 @@ class ServiceClient:
             degraded=bool(reply.get("degraded", False)),
         )
 
-    def stats(self) -> Dict[str, object]:
+    def stats(self) -> Dict[str, Any]:
         """Space accounting (bits, per-component breakdown) and progress counters.
 
         The reply follows stats schema v2 (it carries its own ``stats_schema``
@@ -581,7 +588,7 @@ class ServiceClient:
         """
         return self._retry_idempotent(lambda: self._round_trip({"cmd": "stats"}))
 
-    def metrics(self) -> Dict[str, object]:
+    def metrics(self) -> Dict[str, Any]:
         """The server's metric-registry snapshot (the ``metrics`` command).
 
         The reply is the JSON-safe
@@ -592,14 +599,14 @@ class ServiceClient:
         """
         return self._retry_idempotent(lambda: self._round_trip({"cmd": "metrics"}))
 
-    def checkpoint(self, path: str) -> Dict[str, object]:
+    def checkpoint(self, path: str) -> Dict[str, Any]:
         """Ask the server to write a checkpoint to a *server-side* path.
 
         Returns the server's manifest summary (items_processed, chunks, kind).
         """
         return self._round_trip({"cmd": "checkpoint", "path": path})
 
-    def finish(self, timeout: float = 120.0) -> Dict[str, object]:
+    def finish(self, timeout: float = 120.0) -> Dict[str, Any]:
         """Declare end of stream: residual batches ingest, shards merge, report fixes.
 
         After this, :meth:`query` answers from the final result and further

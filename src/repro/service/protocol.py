@@ -29,11 +29,19 @@ import json
 import operator
 import socket
 import struct
-from typing import Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.results import HeavyHittersReport
+
+#: Buffer types a frame payload may travel as.  ``memoryview`` covers the
+#: zero-copy send path (a view of an int64 array); ``bytearray`` covers the
+#: ``recv_into``-filled receive path.
+BytesLike = Union[bytes, bytearray, memoryview]
+
+#: Signature of the optional per-frame byte-counter hooks.
+ByteHook = Optional[Callable[[int], None]]
 
 #: Protocol version, exchanged in ``config`` replies; bump on incompatible changes.
 PROTOCOL_VERSION = 1
@@ -88,7 +96,7 @@ def _recv_exact(sock: socket.socket, num_bytes: int) -> Optional[bytearray]:
     return buffer
 
 
-def _send_vectored(sock: socket.socket, header_bytes: bytes, payload) -> None:
+def _send_vectored(sock: socket.socket, header_bytes: bytes, payload: BytesLike) -> None:
     """Write header and payload with one vectored ``sendmsg`` — no gluing copy.
 
     ``sendmsg`` (like ``send``) may accept only part of the buffers, so the
@@ -117,7 +125,10 @@ def _send_vectored(sock: socket.socket, header_bytes: bytes, payload) -> None:
 
 
 def send_frame(
-    sock: socket.socket, header: Dict[str, object], payload=b"", on_bytes=None
+    sock: socket.socket,
+    header: Mapping[str, Any],
+    payload: BytesLike = b"",
+    on_bytes: ByteHook = None,
 ) -> None:
     """Send one frame: the header dict (plus its payload accounting) and the payload.
 
@@ -148,8 +159,8 @@ def send_frame(
 
 
 def recv_frame(
-    sock: socket.socket, on_bytes=None
-) -> Optional[Tuple[Dict[str, object], bytes]]:
+    sock: socket.socket, on_bytes: ByteHook = None
+) -> Optional[Tuple[Dict[str, Any], BytesLike]]:
     """Receive one frame; ``None`` on clean EOF (peer closed between frames).
 
     Args:
@@ -199,7 +210,7 @@ def recv_frame(
 _INT64_MAX = np.iinfo(np.int64).max
 
 
-def encode_items(items) -> Tuple[int, memoryview]:
+def encode_items(items: Any) -> Tuple[int, memoryview]:
     """Encode a batch of item ids as a ``push`` payload, validating the dtype.
 
     Only integer inputs are accepted: floating, boolean, string, and other
@@ -256,7 +267,7 @@ def encode_items(items) -> Tuple[int, memoryview]:
     return int(array.size), memoryview(array).cast("B")
 
 
-def decode_items(header: Dict[str, object], payload) -> np.ndarray:
+def decode_items(header: Mapping[str, Any], payload: BytesLike) -> np.ndarray:
     """Decode a ``push`` payload back into an int64 item array.
 
     The returned array is a zero-copy, **read-only** view of the payload buffer
@@ -283,7 +294,7 @@ def decode_items(header: Dict[str, object], payload) -> np.ndarray:
 # -- report round-trip ------------------------------------------------------------------
 
 
-def report_to_payload(report: HeavyHittersReport) -> Dict[str, object]:
+def report_to_payload(report: HeavyHittersReport) -> Dict[str, Any]:
     """Render a :class:`HeavyHittersReport` as a JSON-safe reply fragment."""
     return {
         "items": {str(item): estimate for item, estimate in report.items.items()},
@@ -293,7 +304,7 @@ def report_to_payload(report: HeavyHittersReport) -> Dict[str, object]:
     }
 
 
-def report_from_payload(payload: Dict[str, object]) -> HeavyHittersReport:
+def report_from_payload(payload: Mapping[str, Any]) -> HeavyHittersReport:
     """Invert :func:`report_to_payload` (JSON stringifies the item-id keys)."""
     return HeavyHittersReport(
         items={int(item): float(estimate) for item, estimate in payload["items"].items()},

@@ -44,7 +44,7 @@ import queue
 import socket
 import threading
 import time
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 

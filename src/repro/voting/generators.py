@@ -16,7 +16,6 @@ The ranking-based benchmarks need elections with known structure:
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 from repro.primitives.rng import RandomSource

@@ -4,7 +4,6 @@ import os
 import signal
 import subprocess
 import sys
-import threading
 import time
 
 import numpy as np

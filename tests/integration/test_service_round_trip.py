@@ -10,7 +10,6 @@ state through the same Checkpointer at the same chunk boundary.
 import os
 import threading
 
-import numpy as np
 import pytest
 
 from repro.baselines.misra_gries import MisraGries

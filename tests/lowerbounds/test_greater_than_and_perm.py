@@ -6,10 +6,8 @@ from repro.core.borda import ListBorda
 from repro.core.maximum import EpsilonMaximum
 from repro.lowerbounds.greater_than import GreaterThanInstance, GreaterThanReduction
 from repro.lowerbounds.perm import BordaPermReduction, PermInstance
-from repro.lowerbounds.protocols import StreamingChannel
 from repro.primitives.rng import RandomSource
 from repro.voting.elections import Election
-from repro.voting.scores import borda_scores
 
 
 class TestGreaterThanInstance:

@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.exact import ExactCounter
 from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
 from repro.core.maximum import EpsilonMaximum
-from repro.core.minimum import EpsilonMinimum
 from repro.lowerbounds.indexing import (
     HeavyHittersIndexingReduction,
     IndexingInstance,

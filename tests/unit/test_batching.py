@@ -5,8 +5,6 @@ vectorized Carter–Wegman hashing, the batched accelerated counters, and the ba
 normalization helpers.
 """
 
-import math
-
 import numpy as np
 import pytest
 

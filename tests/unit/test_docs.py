@@ -26,7 +26,8 @@ DOCTEST_MODULES = [
 ]
 
 MARKDOWN_WITH_CODE = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md",
-                      "docs/OBSERVABILITY.md", "examples/README.md"]
+                      "docs/OBSERVABILITY.md", "docs/STATIC_ANALYSIS.md",
+                      "examples/README.md"]
 
 
 @pytest.mark.parametrize("name", DOCTEST_MODULES)
@@ -57,9 +58,11 @@ def test_markdown_docs_exist_and_crosslink():
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/BENCHMARKS.md" in readme
     assert "docs/OBSERVABILITY.md" in readme
+    assert "docs/STATIC_ANALYSIS.md" in readme
     assert "examples/README.md" in readme
     architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
     assert "OBSERVABILITY.md" in architecture
+    assert "STATIC_ANALYSIS.md" in architecture
 
 
 def test_examples_index_points_at_real_files():

@@ -1,0 +1,536 @@
+"""Tests for the ``repro lint`` static-analysis framework.
+
+Each rule gets three fixture cases — caught (a violation the rule must flag),
+clean (the disciplined idiom it must not flag), and suppressed (the violation
+under a reasoned pragma) — plus engine-level tests for pragma parsing, output
+formats, the exit-code contract, and the meta-test that the shipped tree is
+lint-clean under every rule.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    LINT_SCHEMA_VERSION,
+    all_rules,
+    render_json,
+    render_text,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def write(root, rel, text):
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(text))
+    return path
+
+
+def lint(root, *rule_ids):
+    return run_lint([root], all_rules(), rule_ids=rule_ids or None)
+
+
+def rules_hit(result):
+    return {finding.rule for finding in result.findings}
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, tmp_path):
+        write(tmp_path, "mod.py",
+              "import random  # repro: lint-ignore[rng-discipline] -- test fixture\n")
+        result = lint(tmp_path, "rng-discipline")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_line_above_suppresses(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            # repro: lint-ignore[rng-discipline] -- test fixture
+            import random
+        """)
+        result = lint(tmp_path, "rng-discipline")
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_file_wide_pragma_suppresses_everywhere(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            # repro: lint-ignore-file[rng-discipline] -- test fixture
+            import random
+
+            import numpy.random
+        """)
+        result = lint(tmp_path, "rng-discipline")
+        assert result.findings == []
+        assert result.suppressed == 2
+
+    def test_pragma_without_reason_is_reported_and_does_not_suppress(self, tmp_path):
+        write(tmp_path, "mod.py",
+              "import random  # repro: lint-ignore[rng-discipline]\n")
+        result = lint(tmp_path, "rng-discipline")
+        assert rules_hit(result) == {"bad-pragma", "rng-discipline"}
+        assert result.suppressed == 0
+
+    def test_pragma_naming_no_rule_is_reported(self, tmp_path):
+        write(tmp_path, "mod.py",
+              "x = 1  # repro: lint-ignore[] -- the reason\n")
+        result = lint(tmp_path)
+        assert rules_hit(result) == {"bad-pragma"}
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        write(tmp_path, "mod.py",
+              "import random  # repro: lint-ignore[hot-path] -- wrong rule\n")
+        result = lint(tmp_path, "rng-discipline", "hot-path")
+        assert rules_hit(result) == {"rng-discipline"}
+
+
+class TestEngine:
+    def test_unknown_rule_id_raises(self, tmp_path):
+        write(tmp_path, "mod.py", "x = 1\n")
+        with pytest.raises(ValueError, match="unknown rule"):
+            run_lint([tmp_path], all_rules(), rule_ids=["no-such-rule"])
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            run_lint([tmp_path / "nowhere"], all_rules())
+
+    def test_rule_selection_restricts_active_rules(self, tmp_path):
+        write(tmp_path, "mod.py", "import random\n")
+        result = lint(tmp_path, "hot-path")
+        assert result.findings == []
+        assert result.rules == ["hot-path"]
+
+    def test_syntax_error_surfaces_as_parse_error_finding(self, tmp_path):
+        write(tmp_path, "broken.py", "def broken(:\n")
+        result = lint(tmp_path)
+        assert rules_hit(result) == {"parse-error"}
+        assert result.exit_code == EXIT_FINDINGS
+
+    def test_exit_codes(self, tmp_path):
+        write(tmp_path, "clean.py", "x = 1\n")
+        assert lint(tmp_path).exit_code == EXIT_CLEAN
+        write(tmp_path, "dirty.py", "import random\n")
+        assert lint(tmp_path).exit_code == EXIT_FINDINGS
+
+    def test_json_output_schema(self, tmp_path):
+        write(tmp_path, "mod.py", "import random\n")
+        payload = json.loads(render_json(lint(tmp_path, "rng-discipline")))
+        assert payload["lint_schema"] == LINT_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        assert payload["rules"] == ["rng-discipline"]
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "rng-discipline"
+        assert finding["line"] == 1
+        assert finding["path"].endswith("mod.py")
+        assert set(finding) == {"rule", "path", "line", "message", "hint"}
+
+    def test_text_output_has_location_rule_and_summary(self, tmp_path):
+        write(tmp_path, "mod.py", "import random\n")
+        text = render_text(lint(tmp_path, "rng-discipline"))
+        assert "mod.py:1: [rng-discipline]" in text
+        assert "1 finding(s) in 1 file(s)" in text
+        assert "hint:" in text
+
+
+class TestRngDiscipline:
+    def test_catches_import_random_np_random_and_wall_clock_seed(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import random
+            import numpy as np
+            import time
+
+            def draw():
+                return np.random.rand()
+
+            def pick_seed():
+                seed = time.time()
+                return seed
+        """)
+        result = lint(tmp_path, "rng-discipline")
+        messages = "\n".join(f.message for f in result.findings)
+        assert "import of `random`" in messages
+        assert "numpy.random" in messages
+        assert "wall clock" in messages
+
+    def test_clean_inside_primitives_rng_and_for_random_source_use(self, tmp_path):
+        write(tmp_path, "primitives/rng.py", "import random\nimport numpy.random\n")
+        write(tmp_path, "core/mod.py", """\
+            def draw(rng):
+                return rng.numpy_generator().integers(0, 10)
+        """)
+        assert lint(tmp_path, "rng-discipline").findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        write(tmp_path, "mod.py",
+              "import random  # repro: lint-ignore[rng-discipline] -- jitter only\n")
+        result = lint(tmp_path, "rng-discipline")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestLockDiscipline:
+    CAUGHT = """\
+        import threading
+
+        class Worker:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._count = 0
+
+            def locked_add(self):
+                with self._lock:
+                    self._count += 1
+
+            def racy_add(self):
+                self._count += 1
+    """
+
+    def test_catches_half_guarded_attribute(self, tmp_path):
+        write(tmp_path, "pipeline/mod.py", self.CAUGHT)
+        result = lint(tmp_path, "lock-discipline")
+        (finding,) = result.findings
+        assert "_count" in finding.message
+        assert finding.line == 13  # the unlocked write, not the locked one
+
+    def test_clean_when_every_write_is_locked_or_in_init(self, tmp_path):
+        write(tmp_path, "service/mod.py", """\
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+
+                def add(self):
+                    with self._lock:
+                        self._count += 1
+
+                def reset(self):
+                    with self._lock:
+                        self._count = 0
+        """)
+        assert lint(tmp_path, "lock-discipline").findings == []
+
+    def test_out_of_scope_modules_are_not_checked(self, tmp_path):
+        write(tmp_path, "analysis/mod.py", self.CAUGHT)
+        assert lint(tmp_path, "lock-discipline").findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        caught = self.CAUGHT.replace(
+            "    def racy_add(self):\n",
+            "    def racy_add(self):\n"
+            "        # repro: lint-ignore[lock-discipline] -- benign stat\n",
+        )
+        result = lint(write(tmp_path, "pipeline/mod.py", caught).parent.parent,
+                      "lock-discipline")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestDeterminism:
+    def test_catches_set_iteration_in_report_function(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def report(entries):
+                return [item for item in set(entries)]
+        """)
+        result = lint(tmp_path, "determinism")
+        (finding,) = result.findings
+        assert "hash/insertion order" in finding.message
+
+    def test_catches_dict_keys_iteration_in_merge(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def merge(table):
+                out = []
+                for key in table.keys():
+                    out.append(key)
+                return out
+        """)
+        assert rules_hit(lint(tmp_path, "determinism")) == {"determinism"}
+
+    def test_sorted_wrapping_and_other_functions_are_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def report(entries):
+                return [item for item in sorted(set(entries))]
+
+            def scan(entries):
+                return [item for item in set(entries)]  # not order-sensitive
+        """)
+        assert lint(tmp_path, "determinism").findings == []
+
+    def test_catches_wall_clock_in_sketch_module_but_not_observability(self, tmp_path):
+        body = """\
+            import time
+
+            def stamp():
+                return time.time()
+
+            def duration():
+                return time.perf_counter()
+        """
+        write(tmp_path, "core/mod.py", body)
+        write(tmp_path, "observability/mod.py", body)
+        result = lint(tmp_path, "determinism")
+        assert [f.path for f in result.findings] == [str(tmp_path / "core/mod.py")]
+        assert "wall-clock" in result.findings[0].message
+
+    def test_suppressed_with_reason(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def report(entries):
+                # repro: lint-ignore[determinism] -- singleton set, order moot
+                return [item for item in set(entries)]
+        """)
+        result = lint(tmp_path, "determinism")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestHotPath:
+    def test_catches_per_item_loop_over_parameter(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            class Sketch:
+                def insert_many(self, items):
+                    for item in items:
+                        self.insert(item)
+        """)
+        (finding,) = lint(tmp_path, "hot-path").findings
+        assert "per-item Python loop" in finding.message
+
+    def test_catches_concatenate_join_and_bytes_copy(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import numpy as np
+
+            def ingest_chunk(self, chunk):
+                self.buffer = np.concatenate([self.buffer, chunk])
+
+            def recv_frame(sock):
+                pieces = [sock.recv(4096)]
+                return b"".join(pieces)
+
+            def encode_items(items):
+                return bytes(memoryview(items))
+        """)
+        messages = "\n".join(f.message for f in lint(tmp_path, "hot-path").findings)
+        assert "np.concatenate" in messages
+        assert "join" in messages
+        assert "bytes(memoryview" in messages
+
+    def test_derived_local_loops_and_cold_functions_are_clean(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import numpy as np
+
+            class Sketch:
+                def insert_many(self, items):
+                    distinct, counts = np.unique(items, return_counts=True)
+                    for item, count in zip(distinct, counts):
+                        self._bump(int(item), int(count))
+
+            def helper(items):
+                for item in items:
+                    print(item)
+        """)
+        assert lint(tmp_path, "hot-path").findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            class Sketch:
+                def insert_many(self, items):
+                    # repro: lint-ignore[hot-path] -- reference implementation
+                    for item in items:
+                        self.insert(item)
+        """)
+        result = lint(tmp_path, "hot-path")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestProtocolSurface:
+    def test_catches_unprefixed_metric_name(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def build(registry):
+                registry.counter("items_total", "Items.")
+                registry.gauge("repro_depth", "Depth.")
+        """)
+        (finding,) = lint(tmp_path, "protocol-surface").findings
+        assert "`items_total` lacks the `repro_` prefix" in finding.message
+
+    def _service_tree(self, tmp_path, client_methods=("push", "query"),
+                      documented=("push", "query")):
+        write(tmp_path, "service/server.py", """\
+            _KNOWN_COMMANDS = frozenset({"push", "query"})
+
+            def _dispatch(cmd):
+                if cmd == "push":
+                    return 1
+                if cmd == "query":
+                    return 2
+                return None
+        """)
+        methods = "\n".join(
+            f"    def {name}(self):\n        pass\n" for name in client_methods
+        )
+        write(tmp_path, "service/client.py",
+              f"class ServiceClient:\n{methods}")
+        write(tmp_path, "README.md",
+              "commands: " + ", ".join(documented) + "\n")
+        return tmp_path
+
+    def test_consistent_surface_is_clean(self, tmp_path):
+        root = self._service_tree(tmp_path)
+        assert lint(root, "protocol-surface").findings == []
+
+    def test_catches_dispatched_command_missing_from_known_set(self, tmp_path):
+        root = self._service_tree(tmp_path)
+        write(root, "service/server.py", """\
+            _KNOWN_COMMANDS = frozenset({"push", "query"})
+
+            def _dispatch(cmd):
+                if cmd == "push":
+                    return 1
+                if cmd == "query":
+                    return 2
+                if cmd == "flush":
+                    return 3
+                return None
+        """)
+        messages = "\n".join(f.message for f in lint(root, "protocol-surface").findings)
+        assert "`flush` is dispatched but missing from _KNOWN_COMMANDS" in messages
+
+    def test_catches_missing_client_method_and_undocumented_command(self, tmp_path):
+        root = self._service_tree(
+            tmp_path, client_methods=("push",), documented=("push",)
+        )
+        messages = "\n".join(f.message for f in lint(root, "protocol-surface").findings)
+        assert "no matching ServiceClient.query() method" in messages
+        assert "`query` is undocumented" in messages
+
+    def test_suppressed_with_reason(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            def build(registry):
+                # repro: lint-ignore[protocol-surface] -- legacy dashboard name
+                registry.counter("items_total", "Items.")
+        """)
+        result = lint(tmp_path, "protocol-surface")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestResourceSafety:
+    def test_catches_unjoined_local_thread(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import threading
+
+            def fire(target):
+                worker = threading.Thread(target=target)
+                worker.start()
+        """)
+        (finding,) = lint(tmp_path, "resource-safety").findings
+        assert "never joined" in finding.message
+
+    def test_catches_unbound_thread(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import threading
+
+            def fire(target):
+                threading.Thread(target=target).start()
+        """)
+        (finding,) = lint(tmp_path, "resource-safety").findings
+        assert "without a binding" in finding.message
+
+    def test_clean_when_joined_daemonized_or_shutdown_paired(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import threading
+
+            def run(target):
+                worker = threading.Thread(target=target)
+                worker.start()
+                worker.join()
+
+            def fire_and_forget(target):
+                worker = threading.Thread(target=target, daemon=True)
+                worker.start()
+
+            def fire_and_forget_late(target):
+                worker = threading.Thread(target=target)
+                worker.daemon = True
+                worker.start()
+
+            class Server:
+                def start(self, target):
+                    self._thread = threading.Thread(target=target)
+                    self._thread.start()
+
+                def close(self):
+                    self._thread.join()
+        """)
+        assert lint(tmp_path, "resource-safety").findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        write(tmp_path, "mod.py", """\
+            import threading
+
+            def fire(target):
+                # repro: lint-ignore[resource-safety] -- reaped by the harness
+                worker = threading.Thread(target=target)
+                worker.start()
+        """)
+        result = lint(tmp_path, "resource-safety")
+        assert result.findings == [] and result.suppressed == 1
+
+
+class TestCli:
+    def test_lint_cli_reports_and_exits_nonzero(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "import random\n")
+        code = main(["lint", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == EXIT_FINDINGS
+        assert "[rng-discipline]" in out
+
+    def test_lint_cli_json_output(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        code = main(["lint", str(tmp_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == EXIT_CLEAN
+        assert payload["lint_schema"] == LINT_SCHEMA_VERSION
+
+    def test_lint_cli_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        write(tmp_path, "mod.py", "x = 1\n")
+        code = main(["lint", str(tmp_path), "--rule", "no-such-rule"])
+        assert code == 2
+
+    def test_lint_cli_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == EXIT_CLEAN
+        for rule in all_rules():
+            assert rule.rule_id in out
+
+
+class TestShippedTree:
+    def test_repo_source_tree_is_lint_clean(self):
+        result = run_lint([REPO_ROOT / "src"], all_rules())
+        assert len(result.rules) >= 6
+        assert result.files_checked > 50
+        assert result.findings == [], render_text(result)
+
+    def test_every_shipped_pragma_carries_a_reason(self):
+        # The engine enforces this (a reasonless pragma is a bad-pragma
+        # finding), so a clean tree implies it; this spells the contract out.
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            for line in path.read_text().splitlines():
+                if "# repro: lint-ignore" in line:
+                    assert "--" in line, f"{path}: pragma without reason: {line}"
+
+    @pytest.mark.skipif(
+        shutil.which("mypy") is None, reason="mypy not installed in this environment"
+    )
+    def test_typed_modules_pass_mypy(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stdout + completed.stderr

@@ -161,6 +161,35 @@ class TestPipelinedExecutor:
         with pytest.raises(RuntimeError):
             executor.snapshot()
 
+    def test_concurrent_runs_have_exactly_one_winner(self):
+        # Regression for the lock-discipline sweep: the started-flag check and
+        # claim in run() must be one atomic step under the ingestion lock, or
+        # two threads racing run() both pass the check and ingest into the
+        # same sketches.  Whatever the interleaving, exactly one run() wins.
+        for _ in range(10):
+            executor = PipelinedExecutor(
+                sketch=ExactCounter(1024), chunk_size=64, queue_depth=2
+            )
+            barrier = threading.Barrier(2)
+            outcomes = []
+
+            def attempt():
+                barrier.wait()
+                try:
+                    result = executor.run(iter(range(512)))
+                except RuntimeError:
+                    outcomes.append("refused")
+                else:
+                    outcomes.append(result.items_processed)
+
+            threads = [threading.Thread(target=attempt) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outcomes.count("refused") == 1
+            assert 512 in outcomes  # the winner saw every item exactly once
+
     def test_producer_exception_propagates_through_run(self):
         def bad_source():
             yield from range(100)

@@ -2,6 +2,7 @@
 
 import copy
 import pickle
+import threading
 
 import numpy as np
 import pytest
@@ -14,7 +15,6 @@ from repro.replication import (
     FaultPlan,
     FaultSpec,
     GroupSinkState,
-    InjectedFault,
     ReplicaGroup,
     ReplicaSupervisor,
     corrupt_file,
@@ -172,6 +172,33 @@ class TestReplicaGroup:
             ReplicaGroup([consumed, make_executor(2)])
         with pytest.raises(ValueError):
             make_group(quorum=4)
+
+    def test_concurrent_runs_have_exactly_one_winner(self):
+        # Regression for the lock-discipline sweep: like PipelinedExecutor.run,
+        # the group's started-flag check and claim must be atomic under the
+        # group lock — two racing run() calls once both passed the check and
+        # fanned the same stream into the replicas twice.
+        for _ in range(5):
+            group = make_group(replicas=2)
+            barrier = threading.Barrier(2)
+            outcomes = []
+
+            def attempt():
+                barrier.wait()
+                try:
+                    result = group.run(iter(range(300)))
+                except RuntimeError:
+                    outcomes.append("refused")
+                else:
+                    outcomes.append(result.items_processed)
+
+            threads = [threading.Thread(target=attempt) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outcomes.count("refused") == 1
+            assert 300 in outcomes  # the winner saw every item exactly once
 
     def test_fault_free_run_matches_single_replica(self):
         chunks = make_chunks()
