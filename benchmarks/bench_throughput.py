@@ -50,7 +50,18 @@ final reports are bit-for-bit identical and recording the throughput tax of
 metrics-on (claimed and checked < 5%); a second leg replays the replicated
 fault-injection scenario with the Prometheus HTTP sidecar up and asserts a live
 scrape surfaces the failover counter and populated latency histograms.  Written
-to ``BENCH_observability.json``.  Every mode additionally embeds a compact
+to ``BENCH_observability.json``.
+
+``--mode tenancy`` measures the multi-stream service layer
+(:class:`~repro.service.StreamRegistry`): one server hosts four independently
+generated Zipf traces as named streams with ``max_live_streams`` capped below
+the stream count, so round-robin pushes force every stream through the LRU
+evict → checkpoint-spill → lazily-restore path; for a deterministic
+(Misra–Gries) and a randomized (optimal, Thm 2) sketch it records the per-stream
+bit-for-bit equality against each stream's solo offline replay
+(``identical_report``), the forced eviction/restore counts, and the aggregate
+push throughput with eviction churn in the loop.  Written to
+``BENCH_tenancy.json``.  Every mode additionally embeds a compact
 ``metrics`` section (queue-depth high-water mark, chunk/items totals,
 snapshot-cache hits/misses) in its artifact.
 
@@ -970,11 +981,164 @@ def run_observability(length: int, batch_size: int, output: str,
     return results
 
 
+TENANCY_STREAM_COUNT = 4
+TENANCY_MAX_LIVE = 2
+TENANCY_CHUNK = 1 << 16
+
+
+def run_tenancy(length: int, batch_size: int, output: str,
+                warmup: int = 1, repeats: int = 3) -> dict:
+    """Experiment TENANCY: k named streams under forced LRU checkpoint-eviction.
+
+    Delegates to :func:`repro.analysis.harness.run_tenancy_comparison`: one real
+    :class:`~repro.service.IngestServer` hosts ``TENANCY_STREAM_COUNT``
+    independently generated Zipf traces as named streams with
+    ``--max-live-streams`` capped at ``TENANCY_MAX_LIVE`` (< stream count), so
+    the round-robin pushes force every stream through the evict → spill →
+    lazily-restore path.  Two sketches run per pass — deterministic Misra–Gries
+    and the paper's randomized optimal (Thm 2) sketch — and the headline check
+    is the same for both: every stream's served report is bit-for-bit the solo
+    offline replay of just that stream's trace at equal seeds
+    (``identical_report`` per stream, ANDed across repeats; the randomized
+    reference round-trips through the Checkpointer at each recorded eviction
+    boundary, which the RNG serialize contract makes exact).  Costs recorded:
+    aggregate push throughput with eviction churn in the loop, and per-stream
+    eviction/restore counts.
+    """
+    import tempfile
+
+    from repro.analysis.harness import run_tenancy_comparison  # noqa: E402
+    from repro.streams.io import save_stream  # noqa: E402
+
+    per_stream = max(1, length // TENANCY_STREAM_COUNT)
+    # Eviction churn needs several chunk boundaries per stream; shrink the chunk
+    # on short (smoke) streams instead of silently never evicting.
+    chunk = TENANCY_CHUNK
+    if per_stream // chunk < 4:
+        chunk = max(1024, per_stream // 4)
+    sketches = {
+        "misra-gries": {
+            "factory": lambda rng: MisraGries(EPSILON, UNIVERSE),
+            "report_kwargs": {"phi": PHI},
+            "deterministic": True,
+        },
+        "optimal (Thm 2)": {
+            "factory": lambda rng: OptimalListHeavyHitters(
+                epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE,
+                stream_length=per_stream, rng=rng,
+            ),
+            "report_kwargs": {},
+            "deterministic": False,
+        },
+    }
+    results = {
+        "experiment": "tenancy",
+        "stream": {
+            "kind": "zipf", "skew": SKEW, "length_per_stream": per_stream,
+            "universe": UNIVERSE, "seeds": [SEED + 100 + i
+                                            for i in range(TENANCY_STREAM_COUNT)],
+        },
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "chunk_size": chunk,
+            "push_batch": chunk, "streams": TENANCY_STREAM_COUNT,
+            "max_live_streams": TENANCY_MAX_LIVE, "stream_seed": SEED,
+            "warmup": warmup, "repeats": repeats,
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for index in range(TENANCY_STREAM_COUNT):
+            stream = zipfian_stream(per_stream, UNIVERSE, skew=SKEW,
+                                    rng=RandomSource(SEED + 100 + index))
+            path = os.path.join(tmp, f"trace{index}.txt")
+            save_stream(stream, path)
+            paths.append(path)
+        total_items = per_stream * TENANCY_STREAM_COUNT
+        for label, spec in sketches.items():
+            per_stream_payload: dict = {}
+            push_rates: list = []
+            all_identical = True
+            for index in range(warmup + max(1, repeats)):
+                rows = run_tenancy_comparison(
+                    spec["factory"], paths, PHI, chunk_size=chunk,
+                    max_live_streams=TENANCY_MAX_LIVE, seed=SEED,
+                    report_kwargs=spec["report_kwargs"],
+                )
+                if index < warmup:
+                    continue
+                push_rates.append(
+                    total_items / rows[0].measurements["push_seconds"]
+                    if rows[0].measurements["push_seconds"] else float("inf")
+                )
+                for row in rows:
+                    name = row.label.split(":", 1)[1]
+                    entry = per_stream_payload.setdefault(
+                        name,
+                        {
+                            "identical_report": True,
+                            "report_symmetric_difference": 0,
+                            "evictions": 0, "restores": 0,
+                            "recall": row.measurements["recall"],
+                            "precision": row.measurements["precision"],
+                            "space_bits": row.measurements["space_bits"],
+                        },
+                    )
+                    entry["identical_report"] &= bool(
+                        row.measurements["identical_report"]
+                    )
+                    entry["report_symmetric_difference"] = max(
+                        entry["report_symmetric_difference"],
+                        int(row.measurements["report_symmetric_difference"]),
+                    )
+                    entry["evictions"] = max(
+                        entry["evictions"], int(row.measurements["evictions"])
+                    )
+                    entry["restores"] = max(
+                        entry["restores"], int(row.measurements["restores"])
+                    )
+                    all_identical &= bool(row.measurements["identical_report"])
+            entry = {
+                "deterministic_sketch": spec["deterministic"],
+                "streams": per_stream_payload,
+                "all_identical": all_identical,
+                "evictions_forced": all(
+                    stream_entry["evictions"] > 0
+                    for stream_entry in per_stream_payload.values()
+                ),
+                "push_seconds": statistics.median(
+                    total_items / rate for rate in push_rates
+                ),
+                "pushed_items_per_second": statistics.median(push_rates),
+                "pushed_items_per_second_stats": spread(push_rates),
+            }
+            results["runs"][label] = entry
+            print(
+                f"{label:<16} push {entry['pushed_items_per_second']:>12,.0f} it/s "
+                f"(evictions per stream: "
+                f"{[stream_entry['evictions'] for stream_entry in per_stream_payload.values()]})   "
+                f"identical per stream: {all_identical}"
+            )
+    results["metrics"] = _metrics_section()
+    if not all(entry["all_identical"] for entry in results["runs"].values()):
+        raise SystemExit("tenancy bench failed: a served stream diverged from "
+                         "its solo offline replay")
+    if not all(entry["evictions_forced"] for entry in results["runs"].values()):
+        raise SystemExit("tenancy bench failed: eviction churn was not forced "
+                         "on every stream")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
                         choices=["throughput", "sharded", "async", "service",
-                                 "replication", "observability"],
+                                 "replication", "observability", "tenancy"],
                         default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
@@ -1006,6 +1170,10 @@ def main(argv=None) -> int:
         run_observability(args.length, args.batch_size,
                           args.output or "BENCH_observability.json",
                           warmup=args.warmup, repeats=args.repeats)
+    elif args.mode == "tenancy":
+        run_tenancy(args.length, args.batch_size,
+                    args.output or "BENCH_tenancy.json",
+                    warmup=args.warmup, repeats=args.repeats)
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json",
             warmup=args.warmup, repeats=args.repeats)

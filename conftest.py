@@ -13,3 +13,41 @@ import sys
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture
+def service_server(tmp_path):
+    """Boot-factory for :class:`~repro.service.IngestServer` instances.
+
+    Calling the fixture boots a started server and registers it for teardown,
+    so tests never repeat the ``start()``/``try``/``finally: close()`` dance::
+
+        def test_something(service_server):
+            server = service_server(PipelinedExecutor(sketch=...), universe_size=N)
+            with ServiceClient(server.endpoint) as client:
+                ...
+
+    By default the server listens on a Unix socket under ``tmp_path`` (no TCP
+    port consumed, no loopback dependency); pass ``tcp=True`` for an ephemeral
+    TCP port, or explicit ``port``/``unix_socket`` keywords for full control.
+    Every remaining keyword is forwarded to ``IngestServer``.  All servers the
+    test booted are closed on teardown, even when the test fails.
+    """
+    from repro.service import IngestServer
+
+    started = []
+
+    def boot(pipeline, *, tcp=False, **kwargs):
+        if not tcp and "port" not in kwargs and "unix_socket" not in kwargs:
+            kwargs["unix_socket"] = str(tmp_path / f"service{len(started)}.sock")
+        elif tcp and "port" not in kwargs:
+            kwargs["port"] = 0
+        server = IngestServer(pipeline, **kwargs)
+        started.append(server)
+        return server.start()
+
+    yield boot
+    for server in reversed(started):
+        server.close()

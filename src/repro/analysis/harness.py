@@ -23,7 +23,7 @@ from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
 from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor
-from repro.service import Checkpointer, IngestServer, ServiceClient
+from repro.service import Checkpointer, IngestServer, ServiceClient, derive_stream_seed
 from repro.sharding import ShardedExecutor
 from repro.streams.io import iterate_stream_file, iterate_stream_file_chunks, stream_file_metadata
 from repro.streams.stream import Stream
@@ -652,6 +652,155 @@ def run_service_comparison(
             },
         )
     )
+    return rows
+
+
+def run_tenancy_comparison(
+    factory: Callable[[RandomSource], FrequencyEstimator],
+    paths: Sequence[str],
+    phi: float,
+    chunk_size: int = 1 << 16,
+    queue_depth: int = 4,
+    push_batch: Optional[int] = None,
+    max_live_streams: int = 2,
+    seed: int = 0,
+    report_kwargs: Optional[Mapping[str, object]] = None,
+) -> List[ExperimentRow]:
+    """The tenancy-changes-nothing experiment: k evicted streams vs k solo replays.
+
+    One :class:`~repro.service.IngestServer` hosts ``len(paths)`` named streams
+    (``s0``, ``s1``, …), each fed its own trace, with ``max_live_streams`` set
+    *below* the stream count so the LRU checkpoint-eviction path is exercised
+    for real: pushing round-robin forces every stream to be evicted to disk and
+    lazily restored at least once.  The contract under test (see
+    :mod:`repro.service.registry`) is that tenancy reorders *where* a stream's
+    sink lives, never *what* it computes: each stream's served report must be
+    bit-for-bit the report of a solo offline replay of just that stream's trace
+    at the same seed and chunk size.
+
+    ``factory(stream_rng)`` builds one fresh sketch from the stream's own
+    :class:`~repro.primitives.rng.RandomSource`; the server seeds stream
+    ``name`` with ``derive_stream_seed(seed, name)``, and the offline reference
+    reuses the identical seed.  For a **deterministic** sketch the solo replay
+    is the reference outright.  For a **randomized** sketch, eviction's
+    save/restore re-seeds the RNG (the serialize contract in
+    :mod:`repro.primitives.rng`), so the reference replay round-trips its state
+    through the same :class:`~repro.service.Checkpointer` at every recorded
+    eviction boundary (``eviction_boundaries`` from the stream's ``stats``) —
+    after which equality is again exact, not statistical.
+
+    One row per stream comes back, labelled ``stream:<name>``, carrying the
+    usual accuracy/space measurements against that trace's exact frequencies
+    plus ``identical_report`` / ``report_symmetric_difference`` vs the solo
+    replay, and the observed ``evictions`` / ``restores`` counts.
+    """
+    if len(paths) == 0:
+        raise ValueError("run_tenancy_comparison needs at least one trace")
+    if max_live_streams <= 0:
+        raise ValueError("max_live_streams must be positive")
+    kwargs = dict(report_kwargs or {})
+    push_batch = push_batch if push_batch is not None else chunk_size
+    names = [f"s{index}" for index in range(len(paths))]
+    universe = max(stream_file_metadata(path)["universe_size"] for path in paths)
+
+    def stream_sink(name: str) -> PipelinedExecutor:
+        stream_rng = RandomSource(derive_stream_seed(seed, name))
+        return PipelinedExecutor(
+            sketch=factory(stream_rng), chunk_size=chunk_size, queue_depth=queue_depth
+        )
+
+    # The default-stream sink is required by IngestServer but never pushed to.
+    server = IngestServer(
+        stream_sink("default-sink"), port=0, universe_size=universe,
+        report_kwargs=kwargs, stream_factory=stream_sink,
+        max_live_streams=max_live_streams,
+    ).start()
+    served: Dict[str, object] = {}
+    finishes: Dict[str, Dict[str, object]] = {}
+    stats: Dict[str, Dict[str, object]] = {}
+    try:
+        with ServiceClient(server.endpoint) as client:
+            batches = {
+                name: list(iterate_stream_file_chunks(path, push_batch))
+                for name, path in zip(names, paths)
+            }
+            push_start = time.perf_counter()
+            rounds = max(len(stream_batches) for stream_batches in batches.values())
+            for round_index in range(rounds):
+                for name in names:
+                    if round_index < len(batches[name]):
+                        client.push(batches[name][round_index], stream=name)
+            push_seconds = time.perf_counter() - push_start
+            for name in names:
+                finishes[name] = client.finish(stream=name)
+                served[name] = client.query(stream=name)
+                stats[name] = client.stats(stream=name)
+            client.shutdown()
+    finally:
+        server.close()
+
+    rows: List[ExperimentRow] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, path in zip(names, paths):
+            length = stream_file_metadata(path)["length"]
+            truth = exact_frequencies(iterate_stream_file(path))
+            boundaries = [int(b) for b in stats[name].get("eviction_boundaries", [])]
+
+            # Solo offline replay at the stream's own seed, round-tripping
+            # through the Checkpointer at each recorded eviction boundary so a
+            # randomized sketch's re-seed points line up with the served run.
+            replay = stream_sink(name)
+            pending = list(boundaries)
+
+            def round_trip_due(replay: PipelinedExecutor) -> PipelinedExecutor:
+                while pending and replay.items_processed == pending[0]:
+                    pending.pop(0)
+                    ckpt = os.path.join(tmp, f"replay-{name}.ckpt")
+                    Checkpointer().save(ckpt, replay.sink_state())
+                    replay, _ = Checkpointer().restore_pipeline(
+                        ckpt, chunk_size=chunk_size, queue_depth=queue_depth
+                    )
+                return replay
+
+            for chunk in iterate_stream_file_chunks(path, chunk_size):
+                replay = round_trip_due(replay)
+                replay.ingest_chunk(chunk)
+            replay = round_trip_due(replay)
+            replay_result = replay.finalize(report_kwargs=kwargs)
+            replay_items = dict(replay_result.report.items)
+
+            result = served[name]
+            finish = finishes[name]
+            measurements = _heavy_hitter_measurements(
+                result.report, truth, length,
+                float(finish["seconds"]), float(finish["space_bits"]),
+            )
+            measurements.update(
+                {
+                    "push_seconds": push_seconds,
+                    "identical_report": (
+                        1.0 if dict(result.report.items) == replay_items else 0.0
+                    ),
+                    "report_symmetric_difference": float(
+                        len(set(result.report.items).symmetric_difference(replay_items))
+                    ),
+                    "evictions": float(stats[name].get("evictions", 0)),
+                    "restores": float(stats[name].get("restores", 0)),
+                }
+            )
+            rows.append(
+                ExperimentRow(
+                    label=f"stream:{name}",
+                    parameters={
+                        "stream": os.path.basename(path), "m": length, "n": universe,
+                        "phi": phi, "chunk_size": chunk_size,
+                        "queue_depth": queue_depth, "push_batch": push_batch,
+                        "streams": len(names),
+                        "max_live_streams": max_live_streams,
+                    },
+                    measurements=measurements,
+                )
+            )
     return rows
 
 

@@ -61,7 +61,13 @@ from repro.lowerbounds.bounds import TABLE1_ROWS
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
 from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor, corrupt_file
-from repro.service import Checkpointer, IngestServer, RetryPolicy, ServiceClient
+from repro.service import (
+    Checkpointer,
+    IngestServer,
+    RetryPolicy,
+    ServiceClient,
+    derive_stream_seed,
+)
 from repro.sharding import ShardedExecutor
 from repro.streams.generators import (
     planted_heavy_hitters_stream,
@@ -266,6 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --replicas, delay re-seeding a failed replica by "
                             "this many ingested chunks (default 0: heal at the end "
                             "of the failing chunk)")
+    serve.add_argument("--max-live-streams", type=int, default=None, metavar="N",
+                       help="bound on named streams kept resident in memory; beyond "
+                            "it the least-recently-used stream is checkpoint-evicted "
+                            "to --stream-spill-dir and lazily restored (bit-for-bit) "
+                            "on its next push/query")
+    serve.add_argument("--stream-spill-dir", default=None, metavar="DIR",
+                       help="directory for named-stream eviction spill files "
+                            "(default: a private temporary directory)")
     serve.add_argument("--restore", default=None, metavar="CKPT",
                        help="resume from a checkpoint file written by `repro checkpoint` "
                             "(single-sketch or full replica group)")
@@ -319,9 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip this many leading items of the trace")
     push.add_argument("--limit", type=int, default=None, metavar="ITEMS",
                       help="push at most this many items")
+    push.add_argument("--stream", dest="stream_name", default=None, metavar="NAME",
+                      help="push into this named stream (created on first push) "
+                           "instead of the server's default stream")
     push.add_argument("--finish", action="store_true",
                       help="declare end of stream after pushing (merges the shards "
-                           "and fixes the final report)")
+                           "and fixes the final report; with --stream, seals that "
+                           "named stream)")
     push.add_argument("--retries", type=int, default=3, metavar="N",
                       help="total connect/push attempts with exponential backoff + "
                            "jitter; a dropped connection mid-push resumes from the "
@@ -346,6 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--phi", type=float, default=None,
                        help="report-time threshold override (only for sketches that "
                             "take phi at report time, i.e. misra-gries)")
+    query.add_argument("--stream", dest="stream_name", default=None, metavar="NAME",
+                       help="query this named stream's own sketch (restoring it "
+                            "from its eviction spill if needed)")
     query.add_argument("--shutdown", action="store_true",
                        help="stop the server after answering")
 
@@ -362,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     checkpoint.add_argument("output", help="server-side path of the checkpoint file")
     add_connect_option(checkpoint)
+    checkpoint.add_argument("--stream", dest="stream_name", default=None, metavar="NAME",
+                            help="checkpoint this named stream's sink instead of the "
+                                 "default stream")
     checkpoint.add_argument("--shutdown", action="store_true",
                             help="stop the server after the checkpoint is written")
 
@@ -693,7 +717,8 @@ def _install_shutdown_handlers(server: IngestServer, checkpoint_path: Optional[s
 
 def _command_serve(args: argparse.Namespace) -> int:
     for flag, value in (("--chunk-size", args.chunk_size), ("--queue-depth", args.queue_depth),
-                        ("--replicas", args.replicas)):
+                        ("--replicas", args.replicas),
+                        ("--max-live-streams", args.max_live_streams)):
         if value is not None and value <= 0:
             raise SystemExit(f"{flag} must be positive, got {value}")
     if args.heal_after_chunks < 0:
@@ -725,6 +750,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         config = dict(manifest.get("config", {}))
         universe = config.get("universe_size")
         report_kwargs = dict(config.get("report_kwargs", {}))
+        # Named streams on a restored server: the manifest carries the sketch
+        # parameters, so per-stream sinks can be rebuilt exactly as a fresh
+        # serve with the same flags would build them.
+        chunk_size = pipeline.chunk_size
+        queue_depth = pipeline.queue_depth
+        seed = config.get("seed")
+        shards = config.get("shards")
+        if (config.get("algorithm") in ("simple", "optimal", "misra-gries")
+                and universe is not None and config.get("stream_length") is not None):
+            build = _sketch_builder(
+                str(config["algorithm"]), float(config.get("epsilon", 0.01)),
+                float(config.get("phi", 0.05)), int(universe),
+                int(config["stream_length"]),
+            )
+        else:
+            build = None
     else:
         if args.universe is None or args.stream_length is None:
             raise SystemExit("serve requires --universe and --stream-length "
@@ -773,6 +814,37 @@ def _command_serve(args: argparse.Namespace) -> int:
             "seed": args.seed, "shards": args.shards,
             "report_kwargs": report_kwargs,
         }
+        seed = args.seed
+        shards = args.shards
+
+    if build is not None:
+        def stream_factory(name: str) -> PipelinedExecutor:
+            """A fresh sink for one named stream, seeded stably from its name.
+
+            The seed depends only on (--seed, name) — see derive_stream_seed —
+            so `repro heavy-hitters` can replay any single stream offline and
+            reproduce its served report bit for bit, independent of how many
+            other streams the server hosted or in what order.
+            """
+            stream_rng = RandomSource(derive_stream_seed(seed, name))
+            if shards is not None:
+                return PipelinedExecutor(
+                    executor=_sharded_executor(build, stream_rng, shards, universe),
+                    chunk_size=chunk_size, queue_depth=queue_depth,
+                    registry=registry, tracer=tracer,
+                )
+            return PipelinedExecutor(
+                sketch=build(stream_rng), chunk_size=chunk_size,
+                queue_depth=queue_depth, registry=registry, tracer=tracer,
+            )
+    else:
+        stream_factory = None
+        if args.max_live_streams is not None or args.stream_spill_dir is not None:
+            raise SystemExit(
+                "--max-live-streams/--stream-spill-dir need sketch parameters "
+                "for per-stream sinks; this checkpoint's manifest does not "
+                "carry them"
+            )
     server = IngestServer(
         pipeline,
         host=args.host,
@@ -783,6 +855,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         report_kwargs=report_kwargs,
         registry=registry,
         tracer=tracer,
+        stream_factory=stream_factory,
+        max_live_streams=args.max_live_streams,
+        stream_spill_dir=args.stream_spill_dir,
     )
     metrics_server = None
     try:
@@ -860,23 +935,24 @@ def _command_push(args: argparse.Namespace) -> int:
     with ServiceClient(args.connect, retry=RetryPolicy(attempts=args.retries),
                        fault_plan=fault_plan) as client:
         if args.window > 1:
-            client.push_stream(sliced_batches(), window=args.window)
+            client.push_stream(sliced_batches(), window=args.window,
+                               stream=args.stream_name)
         else:
             for chunk in sliced_batches():
-                client.push(chunk)
-        flushed = client.flush()
+                client.push(chunk, stream=args.stream_name)
+        flushed = client.flush(stream=args.stream_name)
         print(f"pushed {counters['pushed']} items (skipped {counters['skipped']})")
         print(f"items_received: {flushed['items_received']}")
         print(f"items_processed: {flushed['items_processed']}")
         if args.finish:
-            info = client.finish()
+            info = client.finish(stream=args.stream_name)
             print(f"finished: {info['items_processed']} items in {info['chunks']} chunks")
     return 0
 
 
 def _command_query(args: argparse.Namespace) -> int:
     with ServiceClient(args.connect) as client:
-        result = client.query(phi=args.phi)
+        result = client.query(phi=args.phi, stream=args.stream_name)
         print(f"items_processed: {result.items_processed}")
         print(f"final: {'true' if result.final else 'false'}")
         if result.degraded:
@@ -892,8 +968,8 @@ def _command_query(args: argparse.Namespace) -> int:
 
 def _command_checkpoint(args: argparse.Namespace) -> int:
     with ServiceClient(args.connect) as client:
-        client.flush()
-        info = client.checkpoint(args.output)
+        client.flush(stream=args.stream_name)
+        info = client.checkpoint(args.output, stream=args.stream_name)
         print(f"checkpoint: {info['path']}")
         print(f"items_processed: {info['items_processed']}")
         print(f"chunks: {info['chunks']}")

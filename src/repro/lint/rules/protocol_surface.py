@@ -7,7 +7,14 @@ and PRs 5–7 showed how easily they drift as the command set grows.  This
 project-wide rule cross-checks all four: every dispatched command must be in
 ``_KNOWN_COMMANDS`` (and vice versa), have a same-named ``ServiceClient``
 method, and appear in the docs (README.md / docs/*.md next to the source
-tree).  It also enforces the exposition layer's naming contract: every metric
+tree).  The named-stream lifecycle adds a fifth declaration site: the
+registry's ``_LIFECYCLE_COMMANDS`` set (``service/registry.py``) names the
+``stream_*`` wire commands, and this rule ties it to the other four — every
+declared lifecycle command must be dispatched by the server (which transitively
+demands the label-set entry, the client method, and the docs mention), and
+every dispatched ``stream_*`` command must be declared in the registry, so the
+two layers cannot drift apart silently.  It also enforces the exposition
+layer's naming contract: every metric
 registered through the registry (``counter`` / ``gauge`` / ``histogram``)
 carries the ``repro_`` prefix, so dashboards and the CI scrape can rely on one
 namespace.
@@ -48,8 +55,9 @@ def _string_set(node: ast.AST) -> Optional[Set[str]]:
 class ProtocolSurfaceRule(ProjectRule):
     rule_id = "protocol-surface"
     description = (
-        "server dispatch table, _KNOWN_COMMANDS, ServiceClient methods, and docs "
-        "must agree; metric names must carry the repro_ prefix"
+        "server dispatch table, _KNOWN_COMMANDS, the registry's stream "
+        "_LIFECYCLE_COMMANDS, ServiceClient methods, and docs must agree; "
+        "metric names must carry the repro_ prefix"
     )
 
     # -- per-file: metric naming ---------------------------------------------------
@@ -116,6 +124,41 @@ class ProtocolSurfaceRule(ProjectRule):
                         ),
                         hint="every wire command needs a first-class client method",
                     ))
+        registry = self._find(sources, "service/registry.py")
+        if registry is not None:
+            lifecycle, lifecycle_line = self._lifecycle_commands(registry)
+            if lifecycle is not None:
+                for command in sorted(lifecycle - set(dispatched)):
+                    findings.append(Finding(
+                        rule=self.rule_id, path=str(registry.path),
+                        line=lifecycle_line,
+                        message=(
+                            f"stream command `{command}` is declared in the "
+                            "registry's _LIFECYCLE_COMMANDS but never "
+                            "dispatched by the server"
+                        ),
+                        hint=(
+                            "wire a handler branch in the server's dispatch "
+                            "(the client-method and docs checks then follow)"
+                        ),
+                    ))
+                stream_dispatched = {
+                    command for command in dispatched
+                    if command.startswith("stream_")
+                }
+                for command in sorted(stream_dispatched - lifecycle):
+                    findings.append(Finding(
+                        rule=self.rule_id, path=str(server.path),
+                        line=dispatched[command],
+                        message=(
+                            f"stream command `{command}` is dispatched but "
+                            "missing from the registry's _LIFECYCLE_COMMANDS"
+                        ),
+                        hint=(
+                            "declare it in service/registry.py so the "
+                            "lifecycle surface stays in one place"
+                        ),
+                    ))
         doc_text = self._docs_text(server.path)
         if doc_text is not None:
             for command, line in sorted(dispatched.items()):
@@ -141,6 +184,17 @@ class ProtocolSurfaceRule(ProjectRule):
                 for target in node.targets:
                     name = getattr(target, "id", getattr(target, "attr", None))
                     if name == "_KNOWN_COMMANDS":
+                        return _string_set(node.value), node.lineno
+        return None, 1
+
+    @staticmethod
+    def _lifecycle_commands(registry: SourceFile):
+        """The registry's ``_LIFECYCLE_COMMANDS`` literal set, or ``None``."""
+        for node in ast.walk(registry.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    name = getattr(target, "id", getattr(target, "attr", None))
+                    if name == "_LIFECYCLE_COMMANDS":
                         return _string_set(node.value), node.lineno
         return None, 1
 

@@ -25,6 +25,15 @@ offline run:
   state to disk (atomic, versioned), so a restarted server resumes where it left
   off; see that module for the exact bit-for-bit resumption contract.
 
+One server can host many independent *named streams*
+(:class:`StreamRegistry`, :mod:`repro.service.registry`): every data command
+accepts a ``stream`` frame key (absent ⇒ the implicit ``"default"`` stream, so
+pre-tenancy clients keep working), streams are created/sealed/deleted with the
+``stream_create`` / ``stream_seal`` / ``stream_delete`` / ``stream_list``
+commands, and ``--max-live-streams`` bounds resident sinks with LRU
+checkpoint-eviction — an evicted stream spills through the
+:class:`Checkpointer` and lazily restores bit-for-bit on its next push/query.
+
 For fault tolerance beyond one process, put a
 :class:`~repro.replication.ReplicaGroup` behind the server (``repro serve
 --replicas R``): every pushed chunk fans out to R independently-seeded
@@ -70,12 +79,14 @@ from repro.service.protocol import (
     STATS_SCHEMA_VERSION,
     ProtocolError,
 )
+from repro.service.registry import DEFAULT_STREAM, StreamRegistry, derive_stream_seed
 from repro.service.server import IngestServer, QueryHandler
 
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CheckpointError",
     "Checkpointer",
+    "DEFAULT_STREAM",
     "IngestServer",
     "NO_RETRY",
     "PROTOCOL_VERSION",
@@ -87,5 +98,7 @@ __all__ = [
     "ServiceClient",
     "ServiceError",
     "ServiceTimeout",
+    "StreamRegistry",
+    "derive_stream_seed",
     "parse_endpoint",
 ]

@@ -325,10 +325,21 @@ class ServiceClient:
 
     # -- commands -----------------------------------------------------------------------
 
-    def config(self) -> Dict[str, Any]:
-        """The server's parameters and live counters (retried; idempotent)."""
+    @staticmethod
+    def _with_stream(header: Dict[str, Any], stream: Optional[str]) -> Dict[str, Any]:
+        """Address a command frame to a named stream (``None`` = the default)."""
+        if stream is not None:
+            header["stream"] = stream
+        return header
+
+    def config(self, stream: Optional[str] = None) -> Dict[str, Any]:
+        """The server's parameters and live counters (retried; idempotent).
+
+        With ``stream``, the ``items_received`` counter is scoped to that named
+        stream — the resume cursor :meth:`push_stream` needs.
+        """
         def call() -> Dict[str, Any]:
-            reply = self._round_trip({"cmd": "config"})
+            reply = self._round_trip(self._with_stream({"cmd": "config"}, stream))
             credits = reply.get("push_credits")
             if isinstance(credits, int) and credits > 0:
                 self._credits = credits
@@ -336,12 +347,14 @@ class ServiceClient:
 
         return self._retry_idempotent(call)
 
-    def push(self, items: Iterable[int]) -> int:
+    def push(self, items: Iterable[int], stream: Optional[str] = None) -> int:
         """Push one batch of item ids; returns the server's total received count.
 
         The batch's dtype is validated before encoding: non-integer dtypes and
         values that overflow int64 raise ``ValueError`` instead of being
-        silently truncated or wrapped.
+        silently truncated or wrapped.  With ``stream``, the batch lands in
+        that named stream (created implicitly on first push) and the returned
+        count is stream-scoped.
 
         Raises:
             ValueError: on a non-integer batch dtype or an int64 overflow.
@@ -349,7 +362,9 @@ class ServiceClient:
                 contains items outside the server's universe.
         """
         count, payload = encode_items(items)
-        reply = self._round_trip({"cmd": "push", "items": count}, payload)
+        reply = self._round_trip(
+            self._with_stream({"cmd": "push", "items": count}, stream), payload
+        )
         return int(reply["items_received"])
 
     def push_stream(
@@ -357,6 +372,7 @@ class ServiceClient:
         batches: Iterable[Iterable[int]],
         window: Optional[int] = None,
         resume: Optional[bool] = None,
+        stream: Optional[str] = None,
     ) -> int:
         """Push many batches with a window of un-acked frames in flight.
 
@@ -396,6 +412,10 @@ class ServiceClient:
                 server's full credit grant.
             resume: reconnect-and-resume on connection failure; ``None``
                 enables it iff the retry policy has more than one attempt.
+            stream: push into this named stream instead of the default one;
+                the resume cursor then follows the *stream-scoped*
+                ``items_received`` count, so recovery replays exactly the
+                frames that never landed in that stream.
 
         Returns:
             The server's total received count after the last ack.
@@ -415,7 +435,7 @@ class ServiceClient:
             self.connect()
         # The resume cursor needs the server's count *before* this stream adds
         # to it; the config round-trip also warms the credit cache.
-        start_received = int(self.config()["items_received"]) if resume else 0
+        start_received = int(self.config(stream=stream)["items_received"]) if resume else 0
         credits = self._push_credits()
         effective_window = credits if window is None else min(window, credits)
         batch_iter = iter(batches)
@@ -443,7 +463,7 @@ class ServiceClient:
                     count, payload = encode_items(batch)
                     cumulative_sent += count
                     pending.append((count, payload, cumulative_sent))
-                    self._send_push_frame(count, payload)
+                    self._send_push_frame(count, payload, stream=stream)
                 while pending:
                     error, received = self._take_push_ack(pending, received, error)
                 break
@@ -462,7 +482,7 @@ class ServiceClient:
                 # The server's count is authoritative: frames at or below the
                 # landed mark were delivered (their acks were lost with the
                 # socket); everything above must be re-sent.
-                landed = int(self.config()["items_received"]) - start_received
+                landed = int(self.config(stream=stream)["items_received"]) - start_received
                 while pending and pending[0][2] <= landed:
                     pending.popleft()
                 received = start_received + landed
@@ -471,7 +491,7 @@ class ServiceClient:
                     landed, len(pending),
                 )
                 for count, payload, _ in pending:
-                    self._send_push_frame(count, payload)
+                    self._send_push_frame(count, payload, stream=stream)
             except BaseException:
                 # A local failure mid-window (a bad batch in encode_items or
                 # the batches iterable itself raising) must not leave the
@@ -507,7 +527,9 @@ class ServiceClient:
             error = ServiceError(str(reply.get("error", "unspecified server error")))
         return error, received
 
-    def _send_push_frame(self, count: int, payload: memoryview) -> None:
+    def _send_push_frame(
+        self, count: int, payload: memoryview, stream: Optional[str] = None
+    ) -> None:
         """Send one push frame, honoring any scripted connection drop."""
         sock = self._sock
         assert sock is not None  # push_stream connects before framing
@@ -521,7 +543,9 @@ class ServiceClient:
                 sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-        send_frame(sock, {"cmd": "push", "items": count}, payload)
+        send_frame(
+            sock, self._with_stream({"cmd": "push", "items": count}, stream), payload
+        )
         self._push_frames_sent += 1
 
     def _push_credits(self) -> int:
@@ -546,27 +570,31 @@ class ServiceClient:
         reply, _ = frame
         return reply
 
-    def flush(self, timeout: float = 60.0) -> Dict[str, Any]:
+    def flush(self, timeout: float = 60.0, stream: Optional[str] = None) -> Dict[str, Any]:
         """Wait until every complete chunk pushed so far has been ingested.
 
         Items past the last exact chunk boundary stay in the server's re-chunk
         buffer (they ingest when more items or ``finish`` arrive); the reply's
         ``flushed_to`` says how far the wait actually covered.  The socket
         deadline follows ``timeout`` (plus margin), not the constructor
-        default, so a long flush is never cut off mid-wait.
+        default, so a long flush is never cut off mid-wait.  Named streams
+        ingest synchronously inside the push ack, so their flush never waits.
         """
         return self._round_trip(
-            {"cmd": "flush", "timeout": timeout}, reply_timeout=timeout
+            self._with_stream({"cmd": "flush", "timeout": timeout}, stream),
+            reply_timeout=timeout,
         )
 
-    def query(self, phi: Optional[float] = None) -> QueryResult:
+    def query(self, phi: Optional[float] = None, stream: Optional[str] = None) -> QueryResult:
         """A Definition 1 heavy-hitter report — mid-ingest snapshot or final.
 
         Args:
             phi: report-time threshold override, only for sketches that take ϕ
                 at report time (Misra–Gries and friends).
+            stream: query this named stream's own sketch instead of the
+                default stream (restoring it from its eviction spill if needed).
         """
-        request: Dict[str, Any] = {"cmd": "query"}
+        request: Dict[str, Any] = self._with_stream({"cmd": "query"}, stream)
         if phi is not None:
             request["phi"] = phi
         reply = self._retry_idempotent(lambda: self._round_trip(request))
@@ -578,15 +606,19 @@ class ServiceClient:
             degraded=bool(reply.get("degraded", False)),
         )
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self, stream: Optional[str] = None) -> Dict[str, Any]:
         """Space accounting (bits, per-component breakdown) and progress counters.
 
         The reply follows stats schema v2 (it carries its own ``stats_schema``
         tag): uniform ``degraded`` and ``pipeline`` keys whatever the server's
-        sink, plus per-replica health for replicated servers.  See
+        sink, plus per-replica health for replicated servers.  With ``stream``
+        the reply is that named stream's record instead: residency
+        (live/spilled/sealed), counters, and its eviction history.  See
         docs/OBSERVABILITY.md for the schema.
         """
-        return self._retry_idempotent(lambda: self._round_trip({"cmd": "stats"}))
+        return self._retry_idempotent(
+            lambda: self._round_trip(self._with_stream({"cmd": "stats"}, stream))
+        )
 
     def metrics(self) -> Dict[str, Any]:
         """The server's metric-registry snapshot (the ``metrics`` command).
@@ -599,24 +631,60 @@ class ServiceClient:
         """
         return self._retry_idempotent(lambda: self._round_trip({"cmd": "metrics"}))
 
-    def checkpoint(self, path: str) -> Dict[str, Any]:
+    def checkpoint(self, path: str, stream: Optional[str] = None) -> Dict[str, Any]:
         """Ask the server to write a checkpoint to a *server-side* path.
 
         Returns the server's manifest summary (items_processed, chunks, kind).
+        With ``stream``, the checkpoint captures that named stream's sink
+        (read straight from its spill file if the stream is evicted).
         """
-        return self._round_trip({"cmd": "checkpoint", "path": path})
+        return self._round_trip(
+            self._with_stream({"cmd": "checkpoint", "path": path}, stream)
+        )
 
-    def finish(self, timeout: float = 120.0) -> Dict[str, Any]:
+    def finish(self, timeout: float = 120.0, stream: Optional[str] = None) -> Dict[str, Any]:
         """Declare end of stream: residual batches ingest, shards merge, report fixes.
 
         After this, :meth:`query` answers from the final result and further
         pushes are rejected.  Like :meth:`flush`, the socket deadline follows
         ``timeout`` plus margin; expiry raises :class:`ServiceTimeout` and is
-        never retried — the merge may still complete server-side.
+        never retried — the merge may still complete server-side.  With
+        ``stream``, this seals that named stream (same as :meth:`stream_seal`).
         """
         return self._round_trip(
-            {"cmd": "finish", "timeout": timeout}, reply_timeout=timeout
+            self._with_stream({"cmd": "finish", "timeout": timeout}, stream),
+            reply_timeout=timeout,
         )
+
+    # -- named-stream lifecycle ---------------------------------------------------------
+
+    def stream_create(self, stream: str) -> Dict[str, Any]:
+        """Create a named stream explicitly; errors if it already exists.
+
+        Pushing to an unknown stream also creates it implicitly — this command
+        is for callers that want existence errors (and a creation point for
+        metrics) instead.
+        """
+        return self._round_trip({"cmd": "stream_create", "stream": stream})
+
+    def stream_seal(self, stream: str, timeout: float = 120.0) -> Dict[str, Any]:
+        """Seal a named stream: ingest its remainder, merge, fix the final report.
+
+        Idempotent like ``finish``; queries answer from the final result
+        afterwards and further pushes to the stream are rejected.
+        """
+        return self._round_trip(
+            {"cmd": "stream_seal", "stream": stream, "timeout": timeout},
+            reply_timeout=timeout,
+        )
+
+    def stream_delete(self, stream: str) -> Dict[str, Any]:
+        """Delete a named stream: its sink, spill file, and final result."""
+        return self._round_trip({"cmd": "stream_delete", "stream": stream})
+
+    def stream_list(self) -> Dict[str, Any]:
+        """Every named stream's record: residency, counters, eviction history."""
+        return self._round_trip({"cmd": "stream_list"})
 
     def shutdown(self) -> None:
         """Stop the server process-wide.  EOF instead of a reply counts as done."""

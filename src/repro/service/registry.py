@@ -1,0 +1,501 @@
+"""Named streams for the service layer: per-stream sinks with LRU checkpoint-eviction.
+
+:class:`StreamRegistry` maps a stream name to its own pipelined sink (a
+:class:`~repro.pipeline.PipelinedExecutor` or a
+:class:`~repro.replication.ReplicaGroup` — anything exposing the
+``ingest_chunk``/``snapshot``/``finalize``/``sink_state`` surface), so one
+:class:`~repro.service.server.IngestServer` process serves many independent
+logical streams.  The implicit ``"default"`` stream keeps the server's original
+queue-backed ingestion path; named streams never touch it, which is what keeps
+every pre-tenancy client and test byte-compatible.
+
+Ingestion model
+---------------
+
+Named streams are ingested *synchronously on the handler thread*: a push is
+re-chunked against the stream's remainder buffer and every complete
+``chunk_size`` chunk goes through ``ingest_chunk`` before the push is acked.
+There is no per-stream ingestion thread — ``ingest_chunk``-driven ingestion is
+proven bit-for-bit equal to a queue-backed ``run`` by the pipeline tests, and a
+synchronous ack means ``flush`` is trivially satisfied for named streams.  The
+cost is that a push round-trip pays sketch-update latency; the default stream
+remains the high-throughput pipelined path.
+
+Eviction contract
+-----------------
+
+With ``max_live_streams`` set, at most that many named streams keep a resident
+sink.  Pushing or querying a stream beyond the cap evicts the least-recently-used
+idle stream: its chunk-aligned sink state is written through
+:class:`~repro.service.checkpoint.Checkpointer` to a per-stream spill file and
+the sink is dropped; the next push/query lazily restores it.  Because a
+:class:`~repro.primitives.rng.RandomSource` serializes as a deterministically
+re-seeded sibling (see :mod:`repro.primitives.rng`), an evict→restore cycle is
+bit-for-bit equivalent to an *offline replay that round-trips its state through
+the same Checkpointer at the same chunk boundary* — and for deterministic
+sketches (Misra–Gries and friends) it is bit-for-bit equivalent to the
+uninterrupted run outright.  Each stream records its eviction boundaries
+(``items_processed`` at every evict) so harnesses can replay the exact
+round-trip schedule offline and assert identity.
+
+The remainder buffer (pushed items past the last chunk boundary) always stays
+in memory — it is bounded by ``chunk_size`` items per stream — so eviction never
+loses acked items and restore needs no partial-chunk bookkeeping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import tempfile
+import threading
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.observability.metrics import MetricRegistry, resolve_registry
+from repro.pipeline import PipelinedExecutor
+from repro.service.checkpoint import Checkpointer
+
+#: The implicit stream every pre-tenancy frame addresses; the server routes it
+#: to its original push-queue path, so the registry never manages it.
+DEFAULT_STREAM = "default"
+
+#: The stream lifecycle commands the service protocol carries.  The
+#: ``protocol-surface`` lint rule cross-checks this set against the server's
+#: ``_KNOWN_COMMANDS``, its dispatch chain, the client's methods, and the docs,
+#: so a lifecycle command cannot silently drop out of any layer.
+_LIFECYCLE_COMMANDS = frozenset(
+    {"stream_create", "stream_seal", "stream_delete", "stream_list"}
+)
+
+
+def derive_stream_seed(seed: Optional[int], name: str) -> int:
+    """A stable 62-bit seed for one named stream, derived from the server seed.
+
+    Hash-based (not drawn from an RNG stream) so the seed for a stream depends
+    only on ``(seed, name)`` — a solo offline replay of one stream can rebuild
+    the exact sketch the server built for it without knowing which other
+    streams existed or in what order they were created.
+    """
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & ((1 << 62) - 1)
+
+
+class _StreamState:
+    """One named stream's record; every field is guarded by the registry lock."""
+
+    __slots__ = (
+        "name", "sink", "remainder", "items_received", "items_processed",
+        "chunks", "sealed", "seal_kwargs", "result", "spilled", "spill_path",
+        "evictions", "restores", "eviction_boundaries", "last_used",
+    )
+
+    def __init__(self, name: str, sink: Any, spill_path: str) -> None:
+        self.name = name
+        self.sink = sink  # PipelinedExecutor | ReplicaGroup | None when spilled/sealed
+        self.remainder = np.empty(0, dtype=np.int64)
+        self.items_received = 0
+        self.items_processed = 0
+        self.chunks = 0
+        self.sealed = False
+        self.seal_kwargs: Optional[Dict[str, Any]] = None
+        self.result = None  # PipelinedRunResult | GroupRunResult after seal
+        self.spilled = False
+        self.spill_path = spill_path
+        self.evictions = 0
+        self.restores = 0
+        self.eviction_boundaries: List[int] = []
+        self.last_used = 0
+
+
+class StreamRegistry:
+    """Name → sink map with create/seal/delete lifecycle and LRU checkpoint-eviction.
+
+    Args:
+        build_sink: factory called with the stream name to build a fresh,
+            unconsumed sink for it.  Seed it deterministically from the name
+            (see :func:`derive_stream_seed`) so a solo offline replay of the
+            stream can reproduce the served report bit for bit.
+        chunk_size: re-chunk granularity for every named stream — use the same
+            value as the offline replay to keep chunk boundaries (and therefore
+            eviction boundaries and reports) aligned.
+        queue_depth: producer bound handed to restored executors (named streams
+            never run a producer, so this only matters for API symmetry).
+        max_live_streams: bound on named streams with a resident sink;
+            ``None`` disables eviction.  Must be >= 1 when set — the stream
+            being pushed or queried always needs its sink resident.
+        spill_dir: directory for eviction spill files; a private temporary
+            directory (removed by :meth:`close`) when omitted.
+        registry: metric registry for the ``repro_service_stream_*`` families
+            (per-stream labeled counters and the live-streams gauge).
+
+    Thread safety: one registry lock serializes every operation.  Named-stream
+    pushes are synchronous sketch updates, so cross-stream parallelism is not a
+    goal here; the lock is what makes push/evict/restore/query atomic with
+    respect to each other — a query acked after a push always reflects it.
+    """
+
+    def __init__(
+        self,
+        build_sink: Callable[[str], Any],
+        chunk_size: int,
+        queue_depth: int = 4,
+        max_live_streams: Optional[int] = None,
+        spill_dir: Optional[str] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if max_live_streams is not None and max_live_streams < 1:
+            raise ValueError("max_live_streams must be >= 1 (or None to disable)")
+        self._build_sink = build_sink
+        self._chunk_size = chunk_size
+        self._queue_depth = queue_depth
+        self._max_live = max_live_streams
+        self._metrics = resolve_registry(registry)
+        self._checkpointer = Checkpointer(registry=self._metrics)
+        self._lock = threading.Lock()
+        self._streams: Dict[str, _StreamState] = {}
+        self._clock = 0
+        self._closed = False
+        if spill_dir is None:
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-stream-spill-")
+            self._owns_spill_dir = True
+        else:
+            os.makedirs(spill_dir, exist_ok=True)
+            self._spill_dir = spill_dir
+            self._owns_spill_dir = False
+        self._metric_pushes = self._metrics.counter(
+            "repro_service_stream_pushes_total",
+            "Push frames accepted, by named stream.",
+            labels=("stream",),
+        )
+        self._metric_items = self._metrics.counter(
+            "repro_service_stream_items_total",
+            "Items accepted, by named stream.",
+            labels=("stream",),
+        )
+        self._metric_evictions = self._metrics.counter(
+            "repro_service_stream_evictions_total",
+            "LRU checkpoint-evictions of a resident stream sink, by stream.",
+            labels=("stream",),
+        )
+        self._metric_restores = self._metrics.counter(
+            "repro_service_stream_restores_total",
+            "Lazy restores of a spilled stream sink, by stream.",
+            labels=("stream",),
+        )
+        self._metric_live = self._metrics.gauge(
+            "repro_service_live_streams",
+            "Named streams with a resident (unspilled, unsealed) sink.",
+        )
+
+    # -- properties ---------------------------------------------------------------------
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    @property
+    def max_live_streams(self) -> Optional[int]:
+        return self._max_live
+
+    @property
+    def stream_count(self) -> int:
+        """Named streams currently registered (live, spilled, or sealed)."""
+        with self._lock:
+            return len(self._streams)
+
+    @property
+    def live_count(self) -> int:
+        """Named streams with a resident, unsealed sink."""
+        with self._lock:
+            return self._locked_live_count()
+
+    def _locked_live_count(self) -> int:
+        return sum(
+            1 for state in self._streams.values()
+            if state.sink is not None and not state.sealed
+        )
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def create(self, name: str) -> Dict[str, object]:
+        """Explicitly create a named stream; errors if it already exists."""
+        self._check_name(name)
+        with self._lock:
+            if name in self._streams:
+                raise ValueError(f"stream {name!r} already exists")
+            state = self._locked_create(name)
+            return self._locked_info(state)
+
+    def seal(
+        self, name: str, report_kwargs: Optional[Mapping[str, Any]] = None
+    ) -> Any:
+        """Finalize a stream: ingest its remainder, merge, report; idempotent.
+
+        A second seal with the same ``report_kwargs`` returns the stored
+        result (mirroring the default stream's idempotent ``finish``); a seal
+        with different kwargs is refused, exactly like re-reporting a finished
+        run.
+        """
+        kwargs = dict(report_kwargs or {})
+        with self._lock:
+            state = self._locked_get(name)
+            if state.sealed:
+                if kwargs != state.seal_kwargs:
+                    raise ValueError(
+                        f"stream {name!r} is already sealed; cannot re-report "
+                        "with different report arguments"
+                    )
+                return state.result
+            self._locked_ensure_live(state)
+            if state.remainder.size:
+                state.sink.ingest_chunk(state.remainder)
+                state.remainder = np.empty(0, dtype=np.int64)
+            state.result = state.sink.finalize(report_kwargs=kwargs)
+            state.items_processed = state.result.items_processed
+            state.chunks = state.result.chunks
+            state.sealed = True
+            state.seal_kwargs = kwargs
+            state.sink = None  # the merge consumed it; the result stands
+            self._locked_remove_spill(state)
+            self._metric_live.set(self._locked_live_count())
+            return state.result
+
+    def delete(self, name: str) -> Dict[str, object]:
+        """Drop a stream entirely: sink, spill file, result, accounting."""
+        with self._lock:
+            state = self._locked_get(name)
+            info = self._locked_info(state)
+            self._locked_remove_spill(state)
+            del self._streams[name]
+            self._metric_live.set(self._locked_live_count())
+            info["deleted"] = True
+            return info
+
+    def close(self) -> None:
+        """Drop every stream; remove the spill directory if this registry owns it."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._streams.clear()
+            if self._owns_spill_dir:
+                shutil.rmtree(self._spill_dir, ignore_errors=True)
+
+    # -- ingestion and queries ----------------------------------------------------------
+
+    def push(self, name: str, items: np.ndarray) -> int:
+        """Ingest one pushed batch synchronously; returns the stream's item total.
+
+        Creates the stream implicitly on first push (``stream_create`` remains
+        for callers that want existence errors).  The batch is re-chunked
+        against the stream's remainder buffer; every complete ``chunk_size``
+        chunk is ingested before this call returns, so the ack covers it.
+        """
+        batch = np.ascontiguousarray(items, dtype=np.int64)
+        with self._lock:
+            state = self._streams.get(name)
+            if state is None:
+                self._check_name(name)
+                state = self._locked_create(name)
+            if state.sealed:
+                raise RuntimeError(f"stream {name!r} has been sealed; no further pushes")
+            self._locked_ensure_live(state)
+            combined = (
+                np.concatenate([state.remainder, batch])
+                if state.remainder.size else batch
+            )
+            cut = combined.size - combined.size % self._chunk_size
+            for start in range(0, cut, self._chunk_size):
+                state.sink.ingest_chunk(combined[start:start + self._chunk_size])
+            state.remainder = combined[cut:].copy()
+            state.items_received += batch.size
+            state.items_processed = state.sink.items_processed
+            state.chunks += cut // self._chunk_size
+            received = state.items_received
+        self._metric_pushes.labels(stream=name).inc()
+        self._metric_items.labels(stream=name).inc(int(batch.size))
+        return received
+
+    def query(self, name: str, report_kwargs: Optional[Mapping[str, Any]] = None
+              ) -> Tuple[bool, Any]:
+        """``(final, result_or_snapshot)`` for one stream; restores it if spilled.
+
+        Mid-ingest the answer is a chunk-aligned
+        :class:`~repro.pipeline.executor.PipelineSnapshot` (the remainder
+        buffer is not included — exactly the default stream's mid-ingest
+        semantics); after seal it is the stored run result.
+        """
+        kwargs = dict(report_kwargs or {})
+        with self._lock:
+            state = self._locked_get(name)
+            if state.sealed:
+                if kwargs != state.seal_kwargs:
+                    raise ValueError(
+                        f"stream {name!r} is sealed; cannot re-report with "
+                        "different report arguments"
+                    )
+                return True, state.result
+            self._locked_ensure_live(state)
+            return False, state.sink.snapshot(report_kwargs=kwargs)
+
+    def flush_info(self, name: str) -> Dict[str, object]:
+        """The ``flush`` reply for a named stream — trivially already flushed.
+
+        Named-stream pushes ingest synchronously before acking, so everything
+        up to the last chunk boundary is always processed; only the remainder
+        (< ``chunk_size`` items) waits for more data or ``stream_seal``.
+        """
+        with self._lock:
+            state = self._locked_get(name)
+            return {
+                "items_received": state.items_received,
+                "items_processed": state.items_processed,
+                "flushed_to": state.items_received - int(state.remainder.size),
+            }
+
+    def items_received(self, name: str) -> int:
+        """The stream's accepted-item count (0 for a not-yet-created stream)."""
+        with self._lock:
+            state = self._streams.get(name)
+            return 0 if state is None else state.items_received
+
+    def checkpoint_state(self, name: str) -> Any:
+        """A chunk-aligned :class:`SinkState` copy of one stream, for checkpointing.
+
+        A spilled stream is read straight from its spill file — checkpointing
+        an idle stream must not force it resident.
+        """
+        with self._lock:
+            state = self._locked_get(name)
+            if state.sealed:
+                raise RuntimeError(
+                    f"stream {name!r} is sealed; there is no resumable state left"
+                )
+            if state.spilled:
+                return self._checkpointer.load(state.spill_path)[0]
+            return state.sink.sink_state()
+
+    # -- introspection ------------------------------------------------------------------
+
+    def stream_info(self, name: str) -> Dict[str, object]:
+        with self._lock:
+            return self._locked_info(self._locked_get(name))
+
+    def list_streams(self) -> List[Dict[str, object]]:
+        with self._lock:
+            return [
+                self._locked_info(state)
+                for _, state in sorted(self._streams.items())
+            ]
+
+    def _locked_info(self, state: _StreamState) -> Dict[str, object]:
+        return {
+            "stream": state.name,
+            "live": state.sink is not None and not state.sealed,
+            "spilled": state.spilled,
+            "sealed": state.sealed,
+            "items_received": state.items_received,
+            "items_processed": state.items_processed,
+            "chunks": state.chunks,
+            "remainder_items": int(state.remainder.size),
+            "evictions": state.evictions,
+            "restores": state.restores,
+            "eviction_boundaries": list(state.eviction_boundaries),
+        }
+
+    # -- internals (registry lock held) -------------------------------------------------
+
+    @staticmethod
+    def _check_name(name: str) -> None:
+        if not isinstance(name, str) or not name:
+            raise ValueError("stream name must be a non-empty string")
+        if name == DEFAULT_STREAM:
+            raise ValueError(
+                f"{DEFAULT_STREAM!r} is the implicit stream; it cannot be "
+                "created, sealed, or deleted"
+            )
+
+    def _locked_get(self, name: str) -> _StreamState:
+        state = self._streams.get(name)
+        if state is None:
+            raise KeyError(f"unknown stream {name!r}")
+        return state
+
+    def _locked_create(self, name: str) -> _StreamState:
+        # Spill files are keyed by a digest of the name: stream names are
+        # client-chosen and must never become path components.
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:16]
+        spill_path = os.path.join(self._spill_dir, f"stream-{digest}.ckpt")
+        state = _StreamState(name, self._build_sink(name), spill_path)
+        self._streams[name] = state
+        self._locked_touch(state)
+        self._locked_evict_to_cap(protect=state)
+        self._metric_live.set(self._locked_live_count())
+        return state
+
+    def _locked_touch(self, state: _StreamState) -> None:
+        self._clock += 1
+        state.last_used = self._clock
+
+    def _locked_ensure_live(self, state: _StreamState) -> None:
+        """Restore a spilled sink if needed, update LRU, enforce the cap."""
+        self._locked_touch(state)
+        if state.sink is None and not state.sealed:
+            sink, _ = self._checkpointer.restore_pipeline(
+                state.spill_path,
+                chunk_size=self._chunk_size,
+                queue_depth=self._queue_depth,
+                registry=self._metrics,
+            )
+            state.sink = sink
+            state.spilled = False
+            state.restores += 1
+            self._metric_restores.labels(stream=state.name).inc()
+        self._locked_evict_to_cap(protect=state)
+        self._metric_live.set(self._locked_live_count())
+
+    def _locked_evict_to_cap(self, protect: _StreamState) -> None:
+        if self._max_live is None:
+            return
+        while self._locked_live_count() > self._max_live:
+            victim = min(
+                (
+                    state for state in self._streams.values()
+                    if state.sink is not None
+                    and not state.sealed
+                    and state is not protect
+                ),
+                key=lambda state: state.last_used,
+                default=None,
+            )
+            if victim is None:
+                return  # only the protected stream is live; nothing to evict
+            self._locked_evict(victim)
+
+    def _locked_evict(self, state: _StreamState) -> None:
+        self._checkpointer.save(
+            state.spill_path,
+            state.sink.sink_state(),
+            config={
+                "stream": state.name,
+                "chunk_size": self._chunk_size,
+                "queue_depth": self._queue_depth,
+            },
+        )
+        state.sink = None
+        state.spilled = True
+        state.evictions += 1
+        state.eviction_boundaries.append(state.items_processed)
+        self._metric_evictions.labels(stream=state.name).inc()
+
+    def _locked_remove_spill(self, state: _StreamState) -> None:
+        state.spilled = False
+        try:
+            os.unlink(state.spill_path)
+        except OSError:
+            pass

@@ -54,6 +54,7 @@ from repro.pipeline import ArrayBatchSource, PipelinedExecutor
 from repro.replication import ReplicaGroup
 from repro.sharding.mergeable import merge_all
 from repro.service.checkpoint import Checkpointer
+from repro.service.registry import DEFAULT_STREAM, StreamRegistry
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     STATS_SCHEMA_VERSION,
@@ -105,6 +106,11 @@ class QueryHandler:
             "replicas": server.num_replicas,
             "degraded": server.degraded,
         }
+        streams = server.streams
+        if streams is not None:
+            reply["max_live_streams"] = streams.max_live_streams
+            reply["streams"] = streams.stream_count
+            reply["live_streams"] = streams.live_count
         reply.update(server.config)
         return reply
 
@@ -299,6 +305,17 @@ class IngestServer:
             pipeline uses for one unified catalog.
         tracer: a :class:`~repro.observability.Tracer` receiving one ``command``
             span per dispatched frame; ``None`` disables tracing.
+        stream_factory: factory called with a stream name to build a fresh sink
+            for that *named* stream (see :class:`~repro.service.StreamRegistry`);
+            enables the ``stream`` frame key and the ``stream_create`` /
+            ``stream_seal`` / ``stream_delete`` / ``stream_list`` commands.
+            ``None`` (the default) refuses named streams — the implicit
+            ``"default"`` stream always works either way.
+        max_live_streams: bound on named streams with a resident sink; beyond
+            it the least-recently-used stream is checkpoint-evicted to
+            ``stream_spill_dir`` and lazily restored on its next push/query.
+        stream_spill_dir: directory for eviction spill files; a private
+            temporary directory when omitted.
 
     Raises:
         ValueError: if ``pipeline`` was already run or finalized.
@@ -316,6 +333,9 @@ class IngestServer:
         push_queue_depth: int = 64,
         registry: Optional[MetricRegistry] = None,
         tracer=None,
+        stream_factory=None,
+        max_live_streams: Optional[int] = None,
+        stream_spill_dir: Optional[str] = None,
     ) -> None:
         if pipeline._started or pipeline._finished:
             raise ValueError("IngestServer needs a fresh (or restored) PipelinedExecutor")
@@ -398,6 +418,21 @@ class IngestServer:
         self._closed = False
         self.query_handler = QueryHandler(self)
         self.checkpointer = Checkpointer(registry=self._registry)
+        self.streams: Optional[StreamRegistry] = None
+        if stream_factory is not None:
+            self.streams = StreamRegistry(
+                stream_factory,
+                chunk_size=pipeline.chunk_size,
+                queue_depth=pipeline.queue_depth,
+                max_live_streams=max_live_streams,
+                spill_dir=stream_spill_dir,
+                registry=self._registry,
+            )
+        elif max_live_streams is not None or stream_spill_dir is not None:
+            raise ValueError(
+                "max_live_streams/stream_spill_dir need a stream_factory: "
+                "without one the server serves only the default stream"
+            )
 
     # -- lifecycle ----------------------------------------------------------------------
 
@@ -495,6 +530,8 @@ class IngestServer:
                 pass
         if self._accept_thread is not None and threading.current_thread() is not self._accept_thread:
             self._accept_thread.join(timeout=join_timeout)
+        if self.streams is not None:
+            self.streams.close()
 
     def graceful_stop(
         self,
@@ -649,7 +686,13 @@ class IngestServer:
                 if self._stopping.is_set():
                     raise RuntimeError("the server is shutting down")
 
-    def _handle_push(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+    def _validated_items(self, request: Mapping[str, object], payload: bytes) -> np.ndarray:
+        """Decode a push payload and validate it against the universe eagerly.
+
+        Shared by the default stream's queued path and the named-stream path:
+        an invalid batch is rejected at the socket either way, before it can
+        reach any sink.
+        """
         items = decode_items(dict(request), payload)
         if self.universe_size is not None and items.size:
             low, high = int(items.min()), int(items.max())
@@ -659,6 +702,10 @@ class IngestServer:
                     f"pushed batch contains item {offending} outside the universe "
                     f"[0, {self.universe_size})"
                 )
+        return items
+
+    def _handle_push(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        items = self._validated_items(request, payload)
         with self._push_lock:
             if self._finishing:
                 raise RuntimeError("the stream has been finished; no further pushes")
@@ -836,8 +883,169 @@ class IngestServer:
     #: records as ``"invalid"`` so a misbehaving peer cannot grow the label set.
     _KNOWN_COMMANDS = frozenset(
         {"push", "flush", "query", "stats", "metrics", "config",
-         "checkpoint", "finish", "shutdown"}
+         "checkpoint", "finish", "shutdown",
+         "stream_create", "stream_seal", "stream_delete", "stream_list"}
     )
+
+    # -- named streams ------------------------------------------------------------------
+
+    def _require_streams(self) -> StreamRegistry:
+        if self.streams is None:
+            raise RuntimeError(
+                "this server was started without named-stream support "
+                "(no stream_factory); only the default stream is served"
+            )
+        return self.streams
+
+    @staticmethod
+    def _stream_name(request: Mapping[str, object]) -> str:
+        name = request.get("stream")
+        if not isinstance(name, str) or not name:
+            raise ValueError("this command requires a 'stream' name")
+        if name == DEFAULT_STREAM:
+            raise ValueError(
+                f"{DEFAULT_STREAM!r} is the implicit stream; lifecycle "
+                "commands apply to named streams only"
+            )
+        return name
+
+    def _stream_report_kwargs(self, request: Mapping[str, object]) -> Dict[str, object]:
+        kwargs = dict(self.report_kwargs)
+        if "phi" in request:
+            kwargs["phi"] = float(request["phi"])  # type: ignore[arg-type]
+        return kwargs
+
+    def _handle_stream_create(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        info = self._require_streams().create(self._stream_name(request))
+        reply: Dict[str, object] = {"ok": True}
+        reply.update(info)
+        return reply
+
+    def _handle_stream_seal(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        name = self._stream_name(request)
+        result = self._require_streams().seal(
+            name, report_kwargs=self._stream_report_kwargs(request)
+        )
+        return {
+            "ok": True,
+            "stream": name,
+            "items_processed": result.items_processed,
+            "chunks": result.chunks,
+            "seconds": result.seconds,
+            "ingest_seconds": result.ingest_seconds,
+            "combine_seconds": result.combine_seconds,
+            "space_bits": result.space_bits(),
+        }
+
+    def _handle_stream_delete(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        info = self._require_streams().delete(self._stream_name(request))
+        reply: Dict[str, object] = {"ok": True}
+        reply.update(info)
+        return reply
+
+    def _handle_stream_list(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
+        streams = self._require_streams()
+        return {
+            "ok": True,
+            "streams": streams.list_streams(),
+            "max_live_streams": streams.max_live_streams,
+            "live_streams": streams.live_count,
+        }
+
+    def _dispatch_stream(
+        self, command: object, name: str, request: Dict[str, object], payload: bytes
+    ) -> Dict[str, object]:
+        """Route a data command addressed to a *named* stream.
+
+        Named streams ingest synchronously on the handler thread (see
+        :class:`~repro.service.StreamRegistry`): the push ack covers every
+        complete chunk, so ``flush`` never waits and replies instantly.
+        Replies mirror the default stream's shapes, plus a ``stream`` echo.
+        """
+        streams = self._require_streams()
+        if command == "push":
+            items = self._validated_items(request, payload)
+            received = streams.push(name, items)
+            return {
+                "ok": True,
+                "stream": name,
+                "items": int(items.size),
+                "items_received": received,
+            }
+        if command == "flush":
+            reply: Dict[str, object] = {"ok": True, "stream": name}
+            reply.update(streams.flush_info(name))
+            return reply
+        if command == "query":
+            final, answer = streams.query(
+                name, report_kwargs=self._stream_report_kwargs(request)
+            )
+            if final:
+                return {
+                    "ok": True,
+                    "final": True,
+                    "stream": name,
+                    "items_processed": answer.items_processed,
+                    "space_bits": answer.space_bits(),
+                    "degraded": bool(getattr(answer, "degraded", False)),
+                    "report": report_to_payload(answer.report),
+                }
+            sketch = getattr(answer, "sketch", None)
+            space_bits = (
+                int(sketch.space_bits()) if sketch is not None else answer.space_bits
+            )
+            return {
+                "ok": True,
+                "final": False,
+                "stream": name,
+                "items_processed": answer.items_processed,
+                "space_bits": space_bits,
+                "degraded": bool(getattr(answer, "degraded", False)),
+                "report": report_to_payload(answer.report),
+            }
+        if command == "stats":
+            reply = {"ok": True, "stats_schema": STATS_SCHEMA_VERSION}
+            reply.update(streams.stream_info(name))
+            return reply
+        if command == "config":
+            reply = self.query_handler.config()
+            # Stream-scoped counters so push_stream's resume cursor (and its
+            # credit warm-up) works per stream exactly as it does globally.
+            reply["stream"] = name
+            reply["items_received"] = streams.items_received(name)
+            return reply
+        if command == "checkpoint":
+            path = request.get("path")
+            if not isinstance(path, str) or not path:
+                raise ValueError("checkpoint requires a server-side 'path'")
+            state = streams.checkpoint_state(name)
+            config = self._manifest_config()
+            config["stream"] = name
+            manifest = self.checkpointer.save(path, state, config=config)
+            return {
+                "ok": True,
+                "stream": name,
+                "path": path,
+                "items_processed": state.items_processed,
+                "chunks": state.chunks,
+                "kind": state.kind,
+                "format": manifest["format"],
+            }
+        if command == "finish":
+            result = streams.seal(
+                name, report_kwargs=self._stream_report_kwargs(request)
+            )
+            return {
+                "ok": True,
+                "stream": name,
+                "items_processed": result.items_processed,
+                "chunks": result.chunks,
+                "seconds": result.seconds,
+                "ingest_seconds": result.ingest_seconds,
+                "combine_seconds": result.combine_seconds,
+                "space_bits": result.space_bits(),
+            }
+        raise ValueError(f"command {command!r} does not accept a stream")
 
     def _handle_metrics(self, request: Mapping[str, object], payload: bytes) -> Dict[str, object]:
         """The ``metrics`` command: the registry snapshot as a JSON-safe reply.
@@ -871,6 +1079,19 @@ class IngestServer:
         self, command: object, request: Dict[str, object], payload: bytes
     ) -> Dict[str, object]:
         try:
+            if command == "stream_create":
+                return self._handle_stream_create(request, payload)
+            if command == "stream_seal":
+                return self._handle_stream_seal(request, payload)
+            if command == "stream_delete":
+                return self._handle_stream_delete(request, payload)
+            if command == "stream_list":
+                return self._handle_stream_list(request, payload)
+            stream = request.get("stream", DEFAULT_STREAM)
+            if not isinstance(stream, str) or not stream:
+                raise ValueError("stream must be a non-empty string")
+            if stream != DEFAULT_STREAM and command in self._KNOWN_COMMANDS:
+                return self._dispatch_stream(command, stream, request, payload)
             if command == "push":
                 return self._handle_push(request, payload)
             if command == "flush":

@@ -14,7 +14,7 @@ from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
 from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor
-from repro.service import Checkpointer, IngestServer, RetryPolicy, ServiceClient
+from repro.service import Checkpointer, RetryPolicy, ServiceClient
 from repro.streams.generators import zipfian_stream
 from repro.streams.io import save_stream
 from repro.streams.truth import exact_frequencies
@@ -86,7 +86,7 @@ class TestReplicationComparison:
 
 
 class TestServedDegradedQueries:
-    def test_replica_loss_mid_push_serves_degraded_then_heals(self, trace):
+    def test_replica_loss_mid_push_serves_degraded_then_heals(self, trace, service_server):
         replicas = [
             PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)
             for index in range(3)
@@ -96,72 +96,63 @@ class TestServedDegradedQueries:
             supervisor=ReplicaSupervisor(heal_after_chunks=3),
             fault_plan=FaultPlan.kill_replica(1, after_chunk=4),
         )
-        server = IngestServer(group, port=0, universe_size=UNIVERSE).start()
+        server = service_server(group, universe_size=UNIVERSE)
         truth_items = np.fromiter(
             (item for item in open(trace) if not item.startswith("#")),
             dtype=np.int64,
         )
         degraded_seen = []
-        try:
-            with ServiceClient(server.endpoint) as client:
-                assert client.config()["replicas"] == 3
-                for start in range(0, LENGTH, CHUNK):
-                    client.push(truth_items[start:start + CHUNK])
-                    client.flush()  # ingestion is async; pin the chunk boundary
-                    result = client.query()
-                    degraded_seen.append(result.degraded)
-                    if result.degraded:
-                        # Still a valid Definition 1 answer from the survivors.
-                        truth = exact_frequencies(truth_items[:start + CHUNK])
-                        assert result.report.satisfies_definition(truth)
-                stats = client.stats()
-                events = [event["event"] for event in stats["events"]]
-                assert events == ["replica-failed", "replica-healed"]
-                assert stats["live_replicas"] == 3
-                client.finish()
-                final = client.query()
-                assert final.final and not final.degraded
-                assert final.report.satisfies_definition(
-                    exact_frequencies(truth_items)
-                )
-        finally:
-            server.close()
+        with ServiceClient(server.endpoint) as client:
+            assert client.config()["replicas"] == 3
+            for start in range(0, LENGTH, CHUNK):
+                client.push(truth_items[start:start + CHUNK])
+                client.flush()  # ingestion is async; pin the chunk boundary
+                result = client.query()
+                degraded_seen.append(result.degraded)
+                if result.degraded:
+                    # Still a valid Definition 1 answer from the survivors.
+                    truth = exact_frequencies(truth_items[:start + CHUNK])
+                    assert result.report.satisfies_definition(truth)
+            stats = client.stats()
+            events = [event["event"] for event in stats["events"]]
+            assert events == ["replica-failed", "replica-healed"]
+            assert stats["live_replicas"] == 3
+            client.finish()
+            final = client.query()
+            assert final.final and not final.degraded
+            assert final.report.satisfies_definition(
+                exact_frequencies(truth_items)
+            )
         assert any(degraded_seen), "the degraded window was never observed"
         assert not degraded_seen[-1], "the heal never cleared the degraded flag"
 
-    def test_group_checkpoint_restore_round_trips_through_server(self, trace, tmp_path):
+    def test_group_checkpoint_restore_round_trips_through_server(self, trace, tmp_path, service_server):
         group = ReplicaGroup(
             [PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)
              for index in range(3)],
             chunk_size=CHUNK,
         )
-        server = IngestServer(group, port=0, universe_size=UNIVERSE).start()
+        server = service_server(group, universe_size=UNIVERSE)
         items = np.fromiter(
             (item for item in open(trace) if not item.startswith("#")),
             dtype=np.int64,
         )
         half = (LENGTH // 2) // CHUNK * CHUNK
         ckpt = str(tmp_path / "group.ckpt")
-        try:
-            with ServiceClient(server.endpoint) as client:
-                client.push(items[:half])
-                client.flush()
-                reply = client.checkpoint(ckpt)
-                assert reply["kind"] == "replicated"
-        finally:
-            server.close()
+        with ServiceClient(server.endpoint) as client:
+            client.push(items[:half])
+            client.flush()
+            reply = client.checkpoint(ckpt)
+            assert reply["kind"] == "replicated"
         restored, manifest = Checkpointer().restore_pipeline(ckpt, chunk_size=CHUNK)
         assert isinstance(restored, ReplicaGroup)
         assert restored.items_processed == half
         assert manifest["config"]["replicas"] == 3
-        resumed_server = IngestServer(restored, port=0, universe_size=UNIVERSE).start()
-        try:
-            with ServiceClient(resumed_server.endpoint) as client:
-                client.push(items[half:])
-                client.finish()
-                result = client.query()
-        finally:
-            resumed_server.close()
+        resumed_server = service_server(restored, universe_size=UNIVERSE)
+        with ServiceClient(resumed_server.endpoint) as client:
+            client.push(items[half:])
+            client.finish()
+            result = client.query()
         # The resumed replicated run equals the uninterrupted offline group.
         baseline = ReplicaGroup(
             [PipelinedExecutor(sketch=factory(index), chunk_size=CHUNK)

@@ -19,7 +19,7 @@ from repro.analysis.harness import run_service_comparison
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
-from repro.service import Checkpointer, IngestServer, ServiceClient
+from repro.service import Checkpointer, ServiceClient
 from repro.sharding import ShardedExecutor
 from repro.streams.generators import zipfian_stream
 from repro.streams.io import save_stream
@@ -50,76 +50,64 @@ def stream():
 
 
 @pytest.mark.parametrize("shards", [1, 3])
-def test_served_equals_offline_bit_for_bit(stream, shards):
+def test_served_equals_offline_bit_for_bit(stream, shards, service_server):
     offline = build_executor(shards).run_chunks(iter_chunks(stream.array, CHUNK))
-    server = IngestServer(
+    server = service_server(
         PipelinedExecutor(executor=build_executor(shards), chunk_size=CHUNK),
-        port=0, universe_size=UNIVERSE,
-    ).start()
-    try:
-        with ServiceClient(server.endpoint) as client:
-            # push in batches deliberately misaligned with the chunk size
-            for start in range(0, LENGTH, 1_111):
-                client.push(stream.array[start:start + 1_111])
-            client.finish()
-            served = client.query()
-    finally:
-        server.close()
+        universe_size=UNIVERSE,
+    )
+    with ServiceClient(server.endpoint) as client:
+        # push in batches deliberately misaligned with the chunk size
+        for start in range(0, LENGTH, 1_111):
+            client.push(stream.array[start:start + 1_111])
+        client.finish()
+        served = client.query()
     assert served.items_processed == offline.items_processed == LENGTH
     assert dict(served.report.items) == dict(offline.report.items)
 
 
-def test_served_equals_offline_misra_gries(stream):
+def test_served_equals_offline_misra_gries(stream, service_server):
     offline = MisraGries(epsilon=0.02, universe_size=UNIVERSE, stream_length_hint=LENGTH)
     offline.consume(stream, batch_size=CHUNK)
     offline_report = offline.report(phi=0.05)
-    server = IngestServer(
+    server = service_server(
         PipelinedExecutor(
             sketch=MisraGries(epsilon=0.02, universe_size=UNIVERSE, stream_length_hint=LENGTH),
             chunk_size=CHUNK,
         ),
-        port=0, universe_size=UNIVERSE, report_kwargs={"phi": 0.05},
-    ).start()
-    try:
-        with ServiceClient(server.endpoint) as client:
-            client.push(stream.array)
-            client.finish()
-            served = client.query()
-    finally:
-        server.close()
+        universe_size=UNIVERSE, report_kwargs={"phi": 0.05},
+    )
+    with ServiceClient(server.endpoint) as client:
+        client.push(stream.array)
+        client.finish()
+        served = client.query()
     assert dict(served.report.items) == dict(offline_report.items)
 
 
 @pytest.mark.parametrize("shards", [1, 3])
-def test_checkpoint_restart_resume_bit_for_bit(stream, shards, tmp_path):
+def test_checkpoint_restart_resume_bit_for_bit(stream, shards, tmp_path, service_server):
     """Resume == offline replay that round-trips state at the same boundary."""
     half = (LENGTH // (2 * CHUNK)) * CHUNK
     ckpt = os.path.join(tmp_path, "served.ckpt")
 
-    server = IngestServer(
+    server = service_server(
         PipelinedExecutor(executor=build_executor(shards), chunk_size=CHUNK),
-        port=0, universe_size=UNIVERSE,
-    ).start()
-    try:
-        with ServiceClient(server.endpoint) as client:
-            client.push(stream.array[:half])
-            client.flush()
-            info = client.checkpoint(ckpt)
-            assert info["items_processed"] == half
-            client.shutdown()
-    finally:
-        server.close()
+        universe_size=UNIVERSE,
+    )
+    with ServiceClient(server.endpoint) as client:
+        client.push(stream.array[:half])
+        client.flush()
+        info = client.checkpoint(ckpt)
+        assert info["items_processed"] == half
+        client.shutdown()
 
     restored, manifest = Checkpointer().restore_pipeline(ckpt)
     assert manifest["items_processed"] == half
-    server = IngestServer(restored, port=0, universe_size=UNIVERSE).start()
-    try:
-        with ServiceClient(server.endpoint) as client:
-            client.push(stream.array[half:])
-            client.finish()
-            resumed = client.query()
-    finally:
-        server.close()
+    server = service_server(restored, universe_size=UNIVERSE)
+    with ServiceClient(server.endpoint) as client:
+        client.push(stream.array[half:])
+        client.finish()
+        resumed = client.query()
     assert resumed.items_processed == LENGTH
 
     # the offline reference: same seeds, same boundary, same Checkpointer round-trip
@@ -200,23 +188,20 @@ def test_run_service_comparison_rows(stream, tmp_path):
         assert row.measurements["recall"] == 1.0
 
 
-def test_push_stream_served_equals_offline(stream):
+def test_push_stream_served_equals_offline(stream, service_server):
     """push_stream with a deep window reproduces the offline replay bit for bit."""
     offline = build_executor(2).run_chunks(iter_chunks(stream.array, CHUNK))
-    server = IngestServer(
+    server = service_server(
         PipelinedExecutor(executor=build_executor(2), chunk_size=CHUNK),
-        port=0, universe_size=UNIVERSE, push_queue_depth=16,
-    ).start()
-    try:
-        with ServiceClient(server.endpoint) as client:
-            batches = (stream.array[start:start + 1_111]
-                       for start in range(0, LENGTH, 1_111))
-            received = client.push_stream(batches, window=64)  # capped to 16 credits
-            assert received == LENGTH
-            client.finish()
-            served = client.query()
-    finally:
-        server.close()
+        universe_size=UNIVERSE, push_queue_depth=16,
+    )
+    with ServiceClient(server.endpoint) as client:
+        batches = (stream.array[start:start + 1_111]
+                   for start in range(0, LENGTH, 1_111))
+        received = client.push_stream(batches, window=64)  # capped to 16 credits
+        assert received == LENGTH
+        client.finish()
+        served = client.query()
     assert served.items_processed == offline.items_processed == LENGTH
     assert dict(served.report.items) == dict(offline.report.items)
 

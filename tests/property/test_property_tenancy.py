@@ -1,0 +1,186 @@
+"""Property tests: k interleaved named streams each equal their solo replay, always.
+
+The tenancy contract (see :mod:`repro.service.registry`) says multi-tenancy
+changes *where* a stream's sink lives, never *what* it computes: for any
+interleaving of pushes across named streams, any chunk size, and any
+``max_live_streams`` cap (including caps that force LRU checkpoint-eviction on
+every push), each stream's sealed report must be bit-for-bit the report of a
+solo offline replay of just that stream's items at the same seed and chunk
+size.  Deterministic sketches make the equality checkable directly — eviction's
+save/restore round-trip must be completely invisible.
+"""
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactCounter
+from repro.baselines.misra_gries import MisraGries
+from repro.pipeline import PipelinedExecutor
+from repro.service import StreamRegistry
+from repro.sharding.router import chunk_stream
+
+UNIVERSE = 64
+
+items_strategy = st.lists(
+    st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=0, max_size=400
+)
+
+# Up to 4 named streams, each with its own item sequence.
+streams_strategy = st.lists(items_strategy, min_size=1, max_size=4)
+
+# How the pushes interleave: a sequence of (stream index, batch length) picks.
+# Indices are taken modulo the stream count; lengths carve each stream's items
+# into prefix batches, so every schedule is valid for every drawn stream list.
+schedule_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(1, 50)), min_size=0, max_size=60
+)
+
+
+def _registry(chunk_size: int, max_live, make_sketch) -> StreamRegistry:
+    return StreamRegistry(
+        lambda name: PipelinedExecutor(sketch=make_sketch(), chunk_size=chunk_size),
+        chunk_size=chunk_size,
+        max_live_streams=max_live,
+    )
+
+
+def _interleave(registry: StreamRegistry, streams, schedule) -> None:
+    """Push every stream's items according to the schedule, then drain the rest."""
+    cursors = [0] * len(streams)
+    for index in range(len(streams)):
+        # A zero-item push creates the stream, so empty drawn streams still
+        # exist (and can be sealed) like their non-empty siblings.
+        registry.push(f"s{index}", np.empty(0, dtype=np.int64))
+    for pick, length in schedule:
+        index = pick % len(streams)
+        items = streams[index]
+        cursor = cursors[index]
+        if cursor >= len(items):
+            continue
+        batch = np.asarray(items[cursor:cursor + length], dtype=np.int64)
+        registry.push(f"s{index}", batch)
+        cursors[index] += len(batch)
+    for index, items in enumerate(streams):
+        if cursors[index] < len(items):
+            tail = np.asarray(items[cursors[index]:], dtype=np.int64)
+            registry.push(f"s{index}", tail)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    streams=streams_strategy,
+    schedule=schedule_strategy,
+    chunk_size=st.integers(1, 64),
+    max_live=st.integers(1, 4),
+)
+def test_interleaved_streams_equal_solo_replay(streams, schedule, chunk_size, max_live):
+    registry = _registry(chunk_size, max_live, lambda: MisraGries(0.05, UNIVERSE))
+    try:
+        _interleave(registry, streams, schedule)
+        for index, items in enumerate(streams):
+            served = registry.seal(f"s{index}", report_kwargs={"phi": 0.2})
+            solo = PipelinedExecutor(
+                sketch=MisraGries(0.05, UNIVERSE), chunk_size=chunk_size
+            ).run(iter(items), report_kwargs={"phi": 0.2})
+            assert dict(served.report.items) == dict(solo.report.items)
+            assert served.items_processed == len(items)
+    finally:
+        registry.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    streams=streams_strategy,
+    schedule=schedule_strategy,
+    chunk_size=st.integers(1, 64),
+)
+def test_exact_counts_isolate_across_streams(streams, schedule, chunk_size):
+    # max_live_streams=1 is the harshest cap: every switch of the interleaving
+    # to another stream evicts the previous one.  Exact counters prove no item
+    # ever leaks between streams and none is lost to an evict/restore cycle.
+    registry = _registry(chunk_size, 1, lambda: ExactCounter(UNIVERSE))
+    try:
+        _interleave(registry, streams, schedule)
+        for index, items in enumerate(streams):
+            result = registry.seal(f"s{index}")
+            assert result.sketch.frequencies() == dict(Counter(items))
+    finally:
+        registry.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    streams=st.lists(items_strategy, min_size=2, max_size=3),
+    schedule=schedule_strategy,
+    chunk_size=st.integers(1, 64),
+    query_every=st.integers(1, 5),
+)
+def test_mid_ingest_queries_are_chunk_aligned_and_isolated(
+    streams, schedule, chunk_size, query_every
+):
+    # Interleave pushes with mid-ingest queries under the harshest cap; each
+    # query must answer from the queried stream's own chunk-aligned prefix,
+    # exactly as the default stream's snapshot semantics promise.
+    registry = _registry(chunk_size, 1, lambda: ExactCounter(UNIVERSE))
+    cursors = [0] * len(streams)
+    try:
+        for index in range(len(streams)):
+            registry.push(f"s{index}", np.empty(0, dtype=np.int64))
+        for step, (pick, length) in enumerate(schedule):
+            index = pick % len(streams)
+            items = streams[index]
+            cursor = cursors[index]
+            if cursor < len(items):
+                batch = np.asarray(items[cursor:cursor + length], dtype=np.int64)
+                registry.push(f"s{index}", batch)
+                cursors[index] += len(batch)
+            if step % query_every == 0:
+                final, snapshot = registry.query(f"s{index}")
+                assert final is False
+                prefix_length = (
+                    cursors[index] - cursors[index] % chunk_size
+                )
+                expected = Counter(items[:prefix_length])
+                assert snapshot.sketch.frequencies() == dict(expected)
+        for index, items in enumerate(streams):
+            if cursors[index] < len(items):
+                tail = np.asarray(items[cursors[index]:], dtype=np.int64)
+                registry.push(f"s{index}", tail)
+            result = registry.seal(f"s{index}")
+            assert result.sketch.frequencies() == dict(Counter(items))
+    finally:
+        registry.close()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    items=items_strategy,
+    chunk_size=st.integers(1, 64),
+    evict_every=st.integers(1, 8),
+)
+def test_forced_evict_restore_cycles_are_invisible(items, chunk_size, evict_every):
+    # Two streams under max_live_streams=1: touching the decoy after every
+    # ``evict_every`` batches forces the subject through a full evict→restore
+    # cycle mid-stream, repeatedly.  The sealed report must still equal the
+    # uninterrupted solo replay bit for bit.
+    registry = _registry(chunk_size, 1, lambda: MisraGries(0.05, UNIVERSE))
+    try:
+        registry.push("subject", np.empty(0, dtype=np.int64))
+        registry.push("decoy", np.asarray([0], dtype=np.int64))
+        for chunk in chunk_stream(items, evict_every):
+            registry.push("subject", np.asarray(chunk, dtype=np.int64))
+            registry.query("decoy")  # LRU-evicts "subject"
+        served = registry.seal("subject", report_kwargs={"phi": 0.2})
+        solo = PipelinedExecutor(
+            sketch=MisraGries(0.05, UNIVERSE), chunk_size=chunk_size
+        ).run(iter(items), report_kwargs={"phi": 0.2})
+        assert dict(served.report.items) == dict(solo.report.items)
+        info = registry.stream_info("subject")
+        if len(items) > 0:
+            assert info["evictions"] > 0
+            assert info["restores"] > 0
+    finally:
+        registry.close()

@@ -409,6 +409,59 @@ class TestProtocolSurface:
         assert "no matching ServiceClient.query() method" in messages
         assert "`query` is undocumented" in messages
 
+    def _stream_tree(self, tmp_path, lifecycle=("stream_create", "stream_seal"),
+                     dispatched=("stream_create", "stream_seal")):
+        """A service tree that also declares the registry's lifecycle surface."""
+        commands = ("push",) + tuple(dispatched)
+        known = ", ".join(f'"{command}"' for command in commands)
+        branches = "\n".join(
+            f'    if cmd == "{command}":\n        return 1'
+            for command in commands
+        )
+        write(tmp_path, "service/server.py",
+              f"_KNOWN_COMMANDS = frozenset({{{known}}})\n\n"
+              f"def _dispatch(cmd):\n{branches}\n    return None\n")
+        declared = ", ".join(f'"{command}"' for command in lifecycle)
+        write(tmp_path, "service/registry.py",
+              f"_LIFECYCLE_COMMANDS = frozenset({{{declared}}})\n")
+        methods = "\n".join(
+            f"    def {name}(self):\n        pass\n" for name in commands
+        )
+        write(tmp_path, "service/client.py",
+              f"class ServiceClient:\n{methods}")
+        write(tmp_path, "README.md", "commands: " + ", ".join(commands) + "\n")
+        return tmp_path
+
+    def test_consistent_stream_surface_is_clean(self, tmp_path):
+        root = self._stream_tree(tmp_path)
+        assert lint(root, "protocol-surface").findings == []
+
+    def test_catches_declared_stream_command_never_dispatched(self, tmp_path):
+        root = self._stream_tree(
+            tmp_path,
+            lifecycle=("stream_create", "stream_seal", "stream_delete"),
+            dispatched=("stream_create", "stream_seal"),
+        )
+        messages = "\n".join(f.message for f in lint(root, "protocol-surface").findings)
+        assert ("`stream_delete` is declared in the registry's "
+                "_LIFECYCLE_COMMANDS but never dispatched") in messages
+
+    def test_catches_dispatched_stream_command_never_declared(self, tmp_path):
+        root = self._stream_tree(
+            tmp_path,
+            lifecycle=("stream_create",),
+            dispatched=("stream_create", "stream_seal"),
+        )
+        messages = "\n".join(f.message for f in lint(root, "protocol-surface").findings)
+        assert ("`stream_seal` is dispatched but missing from the registry's "
+                "_LIFECYCLE_COMMANDS") in messages
+
+    def test_stream_check_skipped_without_registry_module(self, tmp_path):
+        # PR 4-era trees have no service/registry.py; the lifecycle
+        # cross-check must not demand one into existence.
+        root = self._service_tree(tmp_path)
+        assert lint(root, "protocol-surface").findings == []
+
     def test_suppressed_with_reason(self, tmp_path):
         write(tmp_path, "mod.py", """\
             def build(registry):

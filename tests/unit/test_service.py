@@ -54,14 +54,14 @@ def make_stream(seed=3):
 
 
 @pytest.fixture
-def server():
-    instance = IngestServer(
+def server(service_server):
+    # The shared boot-factory from conftest.py; TCP because several tests in
+    # this module exercise the length-prefixed framing over INET sockets.
+    return service_server(
         PipelinedExecutor(sketch=make_sketch(), chunk_size=1024),
-        port=0,
+        tcp=True,
         universe_size=UNIVERSE,
-    ).start()
-    yield instance
-    instance.close()
+    )
 
 
 class TestProtocol:
@@ -397,27 +397,26 @@ class TestIngestServer:
             client.finish()
             assert client.query().items_processed == 3
 
-    def test_push_backpressure_with_tiny_queue(self):
+    def test_push_backpressure_with_tiny_queue(self, service_server):
         """A depth-1 push queue must stall pushes, not drop or error them."""
-        instance = IngestServer(
+        instance = service_server(
             PipelinedExecutor(sketch=make_sketch(), chunk_size=256),
-            port=0, universe_size=UNIVERSE, push_queue_depth=1,
-        ).start()
-        try:
-            with ServiceClient(instance.endpoint) as client:
-                for _ in range(20):
-                    client.push(np.zeros(512, dtype=np.int64))
-                client.finish()
-                assert client.query().items_processed == 20 * 512
-        finally:
-            instance.close()
+            universe_size=UNIVERSE, push_queue_depth=1,
+        )
+        with ServiceClient(instance.endpoint) as client:
+            for _ in range(20):
+                client.push(np.zeros(512, dtype=np.int64))
+            client.finish()
+            assert client.query().items_processed == 20 * 512
 
     def test_push_queue_depth_must_be_positive(self):
         with pytest.raises(ValueError):
             IngestServer(PipelinedExecutor(sketch=make_sketch()), port=0,
                          push_queue_depth=0)
 
-    def test_flush_on_restored_server_with_different_chunk_size(self, tmp_path):
+    def test_flush_on_restored_server_with_different_chunk_size(
+        self, service_server, tmp_path
+    ):
         """The flush target counts from the restored prefix, not from item zero."""
         first = PipelinedExecutor(sketch=MisraGries(0.02, UNIVERSE), chunk_size=1024)
         first.ingest_chunk(np.zeros(1024, dtype=np.int64))
@@ -425,17 +424,14 @@ class TestIngestServer:
         Checkpointer().save(ckpt, first.sink_state())
         # restore with a chunk size the 1024-item prefix is NOT a multiple of
         restored, _ = Checkpointer().restore_pipeline(ckpt, chunk_size=1000)
-        instance = IngestServer(restored, port=0, universe_size=UNIVERSE).start()
-        try:
-            with ServiceClient(instance.endpoint) as client:
-                client.push(np.zeros(2500, dtype=np.int64))
-                reply = client.flush(timeout=10.0)
-                assert reply["flushed_to"] == 1024 + 2000
-                assert reply["items_processed"] >= 1024 + 2000
-                client.finish()
-                assert client.query().items_processed == 1024 + 2500
-        finally:
-            instance.close()
+        instance = service_server(restored, universe_size=UNIVERSE)
+        with ServiceClient(instance.endpoint) as client:
+            client.push(np.zeros(2500, dtype=np.int64))
+            reply = client.flush(timeout=10.0)
+            assert reply["flushed_to"] == 1024 + 2000
+            assert reply["items_processed"] >= 1024 + 2000
+            client.finish()
+            assert client.query().items_processed == 1024 + 2500
 
     def test_query_reports_space_bits(self, server):
         with ServiceClient(server.endpoint) as client:
@@ -527,11 +523,11 @@ class TestIngestServer:
             assert reader.query().items_processed == 2048
             assert reader.config()["items_received"] == 2048
 
-    def test_shutdown_stops_serve_forever(self):
-        server = IngestServer(
+    def test_shutdown_stops_serve_forever(self, service_server):
+        server = service_server(
             PipelinedExecutor(sketch=make_sketch(), chunk_size=1024),
-            port=0, universe_size=UNIVERSE,
-        ).start()
+            tcp=True, universe_size=UNIVERSE,
+        )
         waiter = threading.Thread(target=server.serve_forever, daemon=True)
         waiter.start()
         with ServiceClient(server.endpoint) as client:
@@ -600,45 +596,39 @@ class TestIngestServer:
             assert final.items_processed == len(items)
             assert 7 in final.report
 
-    def test_push_stream_equals_push_bit_for_bit(self):
+    def test_push_stream_equals_push_bit_for_bit(self, service_server):
         """Windowed and round-trip pushes must produce identical reports."""
         items = make_stream()
         reports = []
         for window in (None, 1):
-            instance = IngestServer(
+            instance = service_server(
                 PipelinedExecutor(sketch=make_sketch(31), chunk_size=1024),
-                port=0, universe_size=UNIVERSE,
-            ).start()
-            try:
-                with ServiceClient(instance.endpoint) as client:
-                    batches = [items[s:s + 999] for s in range(0, len(items), 999)]
-                    if window is None:
-                        client.push_stream(iter(batches))
-                    else:
-                        for batch in batches:
-                            client.push(batch)
-                    client.finish()
-                    reports.append(dict(client.query().report.items))
-            finally:
-                instance.close()
+                universe_size=UNIVERSE,
+            )
+            with ServiceClient(instance.endpoint) as client:
+                batches = [items[s:s + 999] for s in range(0, len(items), 999)]
+                if window is None:
+                    client.push_stream(iter(batches))
+                else:
+                    for batch in batches:
+                        client.push(batch)
+                client.finish()
+                reports.append(dict(client.query().report.items))
         assert reports[0] == reports[1]
 
-    def test_push_stream_respects_credit_cap_with_tiny_queue(self):
+    def test_push_stream_respects_credit_cap_with_tiny_queue(self, service_server):
         """window >> push_queue_depth must still complete (credits cap the window)."""
-        instance = IngestServer(
+        instance = service_server(
             PipelinedExecutor(sketch=make_sketch(), chunk_size=256),
-            port=0, universe_size=UNIVERSE, push_queue_depth=2,
-        ).start()
-        try:
-            with ServiceClient(instance.endpoint) as client:
-                assert client.config()["push_credits"] == 2
-                batches = [np.zeros(512, dtype=np.int64) for _ in range(30)]
-                received = client.push_stream(iter(batches), window=1000)
-                assert received == 30 * 512
-                client.finish()
-                assert client.query().items_processed == 30 * 512
-        finally:
-            instance.close()
+            universe_size=UNIVERSE, push_queue_depth=2,
+        )
+        with ServiceClient(instance.endpoint) as client:
+            assert client.config()["push_credits"] == 2
+            batches = [np.zeros(512, dtype=np.int64) for _ in range(30)]
+            received = client.push_stream(iter(batches), window=1000)
+            assert received == 30 * 512
+            client.finish()
+            assert client.query().items_processed == 30 * 512
 
     def test_push_stream_error_mid_window_drains_and_raises(self, server):
         """A rejected batch surfaces as ServiceError and the connection stays usable."""
@@ -718,19 +708,15 @@ class TestIngestServer:
                 assert client.query().items_processed == 2 * 300
         assert any("protocol error" in message for message in caplog.messages)
 
-    def test_sketch_failure_surfaces_as_error_reply(self):
+    def test_sketch_failure_surfaces_as_error_reply(self, service_server):
         # No universe hint: validation happens inside the sketch, on the
         # ingestion thread; the failure must surface in replies, not hang.
-        server = IngestServer(
+        server = service_server(
             PipelinedExecutor(sketch=make_sketch(), chunk_size=8),
-            port=0, universe_size=None,
+            universe_size=None,
         )
         server.universe_size = None
-        server.start()
-        try:
-            with ServiceClient(server.endpoint) as client:
-                client.push(np.full(64, UNIVERSE + 7, dtype=np.int64))
-                with pytest.raises(ServiceError, match="ingestion failed"):
-                    client.flush()
-        finally:
-            server.close()
+        with ServiceClient(server.endpoint) as client:
+            client.push(np.full(64, UNIVERSE + 7, dtype=np.int64))
+            with pytest.raises(ServiceError, match="ingestion failed"):
+                client.flush()

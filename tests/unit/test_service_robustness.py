@@ -16,7 +16,6 @@ from repro.service import (
     NO_RETRY,
     CheckpointError,
     Checkpointer,
-    IngestServer,
     RetryPolicy,
     ServiceClient,
     ServiceError,
@@ -46,13 +45,22 @@ def make_items(length=LENGTH, seed=3):
     return items.astype(np.int64)
 
 
-def start_server(**kwargs):
-    return IngestServer(
-        PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK),
-        port=0,
-        universe_size=UNIVERSE,
-        **kwargs,
-    ).start()
+@pytest.fixture
+def start_server(service_server):
+    """Module-standard server boot, on the shared conftest boot-factory.
+
+    TCP because every test here exercises retry/fault behaviour over INET
+    sockets; the factory's teardown closes whatever a test leaves running
+    (close is idempotent, so tests that stop servers themselves are fine).
+    """
+    def boot(**kwargs):
+        return service_server(
+            PipelinedExecutor(sketch=make_sketch(), chunk_size=CHUNK),
+            tcp=True,
+            universe_size=UNIVERSE,
+            **kwargs,
+        )
+    return boot
 
 
 @pytest.fixture
@@ -187,7 +195,7 @@ class TestConnectRetry:
 
 
 class TestPushStreamResume:
-    def test_dropped_connection_resumes_without_loss_or_doubling(self):
+    def test_dropped_connection_resumes_without_loss_or_doubling(self, start_server):
         items = make_items()
         batches = [items[start:start + 500] for start in range(0, len(items), 500)]
         server = start_server()
@@ -209,7 +217,7 @@ class TestPushStreamResume:
         report = offline.finalize().report
         assert dict(served.report.items) == dict(report.items)
 
-    def test_resume_disabled_raises_on_drop(self):
+    def test_resume_disabled_raises_on_drop(self, start_server):
         items = make_items(4000)
         batches = [items[start:start + 200] for start in range(0, len(items), 200)]
         server = start_server()
@@ -221,7 +229,7 @@ class TestPushStreamResume:
         finally:
             server.close()
 
-    def test_repeated_drops_exhaust_recovery_attempts(self):
+    def test_repeated_drops_exhaust_recovery_attempts(self, start_server):
         items = make_items(8000)
         batches = [items[start:start + 200] for start in range(0, len(items), 200)]
         plan = FaultPlan([
@@ -242,7 +250,7 @@ class TestPushStreamResume:
 
 
 class TestConnectionStorm:
-    def test_storm_leaks_no_fds_and_loses_no_acked_batches(self):
+    def test_storm_leaks_no_fds_and_loses_no_acked_batches(self, start_server):
         server = start_server()
         errors = []
         acked = [0] * 8
@@ -306,7 +314,7 @@ class TestConnectionStorm:
 
 
 class TestGracefulStop:
-    def test_graceful_stop_drains_checkpoints_and_closes(self, tmp_path):
+    def test_graceful_stop_drains_checkpoints_and_closes(self, start_server, tmp_path):
         items = make_items(8000)
         path = str(tmp_path / "final.ckpt")
         server = start_server()
@@ -324,13 +332,13 @@ class TestGracefulStop:
         restored, _ = Checkpointer().restore_pipeline(path, chunk_size=CHUNK)
         assert restored.items_processed == state.items_processed
 
-    def test_graceful_stop_without_checkpoint_path_just_closes(self):
+    def test_graceful_stop_without_checkpoint_path_just_closes(self, start_server):
         server = start_server()
         assert server.graceful_stop() is None
         with pytest.raises((ConnectionError, OSError)):
             ServiceClient(server.endpoint, retry=NO_RETRY).connect()
 
-    def test_draining_server_rejects_new_pushes(self):
+    def test_draining_server_rejects_new_pushes(self, start_server):
         server = start_server()
         try:
             with ServiceClient(server.endpoint) as client:
