@@ -61,8 +61,18 @@ evict → checkpoint-spill → lazily-restore path; for a deterministic
 bit-for-bit equality against each stream's solo offline replay
 (``identical_report``), the forced eviction/restore counts, and the aggregate
 push throughput with eviction churn in the loop.  Written to
-``BENCH_tenancy.json``.  Every mode additionally embeds a compact
-``metrics`` section (queue-depth high-water mark, chunk/items totals,
+``BENCH_tenancy.json``.
+
+``--mode durability`` measures the crash-durable ingest layer
+(:mod:`repro.durability`): the push path is timed unjournaled and under each
+write-ahead-log fsync policy (``off``, ``interval:8``, ``always``) asserting
+the journal never perturbs the report; recovery of the full-trace journal is
+timed; and a kill-9 chaos sweep crashes a real served subprocess (external
+``SIGKILL`` and the in-process ``crash:after_chunk`` torn-record fault) at
+several acked-batch counts, restarts it on the same WAL directory, and checks
+``no_acked_loss`` plus bit-for-bit equality against an uninterrupted offline
+replay.  Written to ``BENCH_durability.json``.  Every mode additionally embeds
+a compact ``metrics`` section (queue-depth high-water mark, chunk/items totals,
 snapshot-cache hits/misses) in its artifact.
 
 Every mode runs ``--warmup`` discarded passes plus ``--repeats`` recorded passes
@@ -1134,11 +1144,204 @@ def run_tenancy(length: int, batch_size: int, output: str,
     return results
 
 
+DURABILITY_CHUNK = 1 << 13
+DURABILITY_PUSH_BATCH = 1 << 12
+DURABILITY_POLICIES = ("off", "interval:8", "always")
+
+
+def run_durability(length: int, batch_size: int, output: str,
+                   warmup: int = 1, repeats: int = 3) -> dict:
+    """Experiment DURABILITY: the write-ahead journal's cost and its guarantee.
+
+    Three legs over one saved Zipf trace, all with the same ``serve`` sketch
+    recipe (``--algorithm simple``) so every comparison is bit-for-bit:
+
+    1. **write tax** — the in-process push path (journal append + chunk ingest)
+       timed unjournaled and under each fsync policy (``off``, ``interval:8``,
+       ``always``), asserting the final report is identical in all four cases
+       (the journal must never perturb the sketch) and recording each policy's
+       throughput ratio against the unjournaled baseline;
+    2. **recovery replay** — the full-trace journal is recovered repeatedly
+       with :func:`repro.durability.recover_sink`, timing the replay and
+       asserting the recovered snapshot equals the baseline bit for bit;
+    3. **kill-9 sweep** — :func:`repro.analysis.harness.run_crash_comparison`
+       crashes a real served subprocess at several acked-batch counts, once
+       with an external ``SIGKILL`` and once with the in-process
+       ``crash:after_chunk`` fault (torn half-record), restarts it on the same
+       WAL directory, and diffs the answer against an uninterrupted offline
+       replay.  The artifact's top-level ``no_acked_loss`` and
+       ``identical_report`` are the AND over every leg — the acceptance gates.
+
+    The bench refuses (``SystemExit``) if any gate fails.
+    """
+    import shutil
+    import tempfile
+
+    from repro.analysis.harness import run_crash_comparison  # noqa: E402
+    from repro.cli import _sketch_builder  # noqa: E402
+    from repro.durability import WriteAheadLog, recover_sink  # noqa: E402
+    from repro.pipeline import PipelinedExecutor  # noqa: E402
+    from repro.service.protocol import report_to_payload  # noqa: E402
+    from repro.streams.io import iterate_stream_file_chunks, save_stream  # noqa: E402
+
+    chunk = DURABILITY_CHUNK
+    if length // chunk < 4:
+        chunk = max(1024, length // 4)
+    build = _sketch_builder("simple", EPSILON, PHI, UNIVERSE, length)
+
+    results = {
+        "experiment": "durability",
+        "stream": {"kind": "zipf", "skew": SKEW, "length": length,
+                   "universe": UNIVERSE, "seed": SEED},
+        "parameters": {
+            "epsilon": EPSILON, "phi": PHI, "algorithm": "simple",
+            "chunk_size": chunk, "push_batch": DURABILITY_PUSH_BATCH,
+            "fsync_policies": list(DURABILITY_POLICIES),
+            "warmup": warmup, "repeats": repeats,
+        },
+        "cpu_count": os.cpu_count(),
+        "runs": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        trace = os.path.join(tmp, "trace.txt")
+        save_stream(zipfian_stream(length, UNIVERSE, skew=SKEW,
+                                   rng=RandomSource(SEED)), trace)
+        chunks = list(iterate_stream_file_chunks(trace, chunk))
+
+        def journaled_pass(policy):
+            """One timed pass of the push path; returns (seconds, payload, wal_dir)."""
+            wal_dir = tempfile.mkdtemp(prefix="wal-", dir=tmp)
+            executor = PipelinedExecutor(sketch=build(RandomSource(SEED)),
+                                         chunk_size=chunk)
+            wal = (WriteAheadLog(wal_dir, fsync=policy)
+                   if policy is not None else None)
+            started = time.perf_counter()
+            for piece in chunks:
+                if wal is not None:
+                    wal.append(piece)
+                executor.ingest_chunk(piece)
+            elapsed = time.perf_counter() - started
+            if wal is not None:
+                wal.close()
+            payload = report_to_payload(executor.snapshot().report)
+            return elapsed, payload, wal_dir
+
+        # Leg 1: write tax per fsync policy vs the unjournaled baseline.
+        all_identical = True
+        baseline_payload = None
+        baseline_rate = None
+        recovery_wal_dir = None
+        for policy in (None, *DURABILITY_POLICIES):
+            rates = []
+            for index in range(warmup + max(1, repeats)):
+                elapsed, payload, wal_dir = journaled_pass(policy)
+                if policy == "always" and index == warmup + max(1, repeats) - 1:
+                    recovery_wal_dir = wal_dir  # leg 2 replays this journal
+                elif policy is not None:
+                    shutil.rmtree(wal_dir, ignore_errors=True)
+                if index < warmup:
+                    continue
+                rates.append(length / elapsed if elapsed else float("inf"))
+                if baseline_payload is None:
+                    baseline_payload = payload
+                all_identical &= payload == baseline_payload
+            name = policy if policy is not None else "unjournaled"
+            rate = statistics.median(rates)
+            if policy is None:
+                baseline_rate = rate
+            results["runs"][name] = {
+                "items_per_second": rate,
+                "items_per_second_stats": spread(rates),
+                "throughput_vs_unjournaled": (rate / baseline_rate
+                                              if baseline_rate else 1.0),
+                "identical_report": bool(all_identical),
+            }
+            print(f"wal={name:<12} {rate:>12,.0f} it/s "
+                  f"({results['runs'][name]['throughput_vs_unjournaled']:.2f}x "
+                  f"unjournaled)   identical: {all_identical}")
+
+        # Leg 2: timed recovery replay of the full-trace journal.
+        recovery_seconds = []
+        recovery_identical = True
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            recovered = recover_sink(recovery_wal_dir,
+                                     lambda: PipelinedExecutor(
+                                         sketch=build(RandomSource(SEED)),
+                                         chunk_size=chunk),
+                                     chunk_size=chunk, fsync="off")
+            recovery_seconds.append(time.perf_counter() - started)
+            recovered.wal.close()
+            if recovered.tail.size:
+                # The sub-chunk remainder a live server would re-enqueue; the
+                # baseline ingested it as its (equal-sized) final piece.
+                recovered.sink.ingest_chunk(recovered.tail)
+            payload = report_to_payload(recovered.sink.snapshot().report)
+            recovery_identical &= payload == baseline_payload
+            recovery_identical &= recovered.recovered_items == length
+        results["runs"]["recovery"] = {
+            "recovery_seconds": statistics.median(recovery_seconds),
+            "recovery_seconds_stats": spread(recovery_seconds),
+            "replayed_items_per_second": statistics.median(
+                length / seconds for seconds in recovery_seconds),
+            "identical_report": bool(recovery_identical),
+        }
+        print(f"recovery         {statistics.median(recovery_seconds):.3f}s "
+              f"for {length:,} journaled items   identical: {recovery_identical}")
+
+        # Leg 3: the kill-9 sweep against real served subprocesses.
+        total_batches = max(1, length // DURABILITY_PUSH_BATCH)
+        kill_points = sorted({1, max(1, total_batches // 3),
+                              max(1, (2 * total_batches) // 3)})
+        no_acked_loss = True
+        sweep_identical = True
+        sweep_rows = []
+        for mode in ("sigkill", "crash"):
+            rows = run_crash_comparison(
+                trace, PHI, epsilon=EPSILON, algorithm="simple", seed=SEED,
+                chunk_size=chunk, push_batch=DURABILITY_PUSH_BATCH,
+                kill_after_batches=kill_points, mode=mode,
+            )
+            for row in rows:
+                no_acked_loss &= bool(row.measurements["no_acked_loss"])
+                sweep_identical &= bool(row.measurements["identical_report"])
+                sweep_rows.append(row.as_flat_dict())
+                print(f"{row.label:<24} acked {int(row.measurements['acked_items']):>8,} "
+                      f"recovered {int(row.measurements['recovered_items']):>8,}   "
+                      f"no_acked_loss: {bool(row.measurements['no_acked_loss'])}   "
+                      f"identical: {bool(row.measurements['identical_report'])}")
+        results["runs"]["crash_sweep"] = {
+            "kill_points": kill_points,
+            "legs": sweep_rows,
+            "no_acked_loss": bool(no_acked_loss),
+            "identical_report": bool(sweep_identical),
+            "restart_seconds": spread(
+                [leg["restart_seconds"] for leg in sweep_rows]),
+        }
+
+    results["no_acked_loss"] = bool(no_acked_loss)
+    results["identical_report"] = bool(
+        all_identical and recovery_identical and sweep_identical)
+    results["metrics"] = _metrics_section()
+    if not results["no_acked_loss"]:
+        raise SystemExit("durability bench failed: a crash leg lost acked items")
+    if not results["identical_report"]:
+        raise SystemExit("durability bench failed: a journaled, recovered or "
+                         "crash-restarted report diverged from the baseline")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mode",
                         choices=["throughput", "sharded", "async", "service",
-                                 "replication", "observability", "tenancy"],
+                                 "replication", "observability", "tenancy",
+                                 "durability"],
                         default="throughput")
     parser.add_argument("--length", type=int, default=DEFAULT_LENGTH)
     parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH)
@@ -1174,6 +1377,10 @@ def main(argv=None) -> int:
         run_tenancy(args.length, args.batch_size,
                     args.output or "BENCH_tenancy.json",
                     warmup=args.warmup, repeats=args.repeats)
+    elif args.mode == "durability":
+        run_durability(args.length, args.batch_size,
+                       args.output or "BENCH_durability.json",
+                       warmup=args.warmup, repeats=args.repeats)
     else:
         run(args.length, args.batch_size, args.output or "BENCH_throughput.json",
             warmup=args.warmup, repeats=args.repeats)

@@ -8,7 +8,10 @@ would run themselves.
 from __future__ import annotations
 
 import os
+import signal
 import statistics
+import subprocess
+import sys
 import tempfile
 import time
 from collections import Counter
@@ -23,7 +26,14 @@ from repro.pipeline import PipelinedExecutor
 from repro.primitives.batching import iter_chunks
 from repro.primitives.rng import RandomSource
 from repro.replication import FaultPlan, ReplicaGroup, ReplicaSupervisor
-from repro.service import Checkpointer, IngestServer, ServiceClient, derive_stream_seed
+from repro.service import (
+    Checkpointer,
+    IngestServer,
+    RetryPolicy,
+    ServiceClient,
+    derive_stream_seed,
+)
+from repro.service.protocol import report_to_payload
 from repro.sharding import ShardedExecutor
 from repro.streams.io import iterate_stream_file, iterate_stream_file_chunks, stream_file_metadata
 from repro.streams.stream import Stream
@@ -1035,6 +1045,221 @@ def run_space_scaling_experiment(
                 },
             )
         )
+    return rows
+
+
+def _spawn_served_process(
+    args: Sequence[str], ready_file: str, timeout: float = 60.0
+) -> "tuple[subprocess.Popen, str]":
+    """Start ``python -m repro serve ...`` and wait for its ready-file endpoint.
+
+    The child inherits this interpreter and a ``PYTHONPATH`` that resolves the
+    same ``repro`` package the harness imported, so in-tree runs and installed
+    runs both spawn the code under test.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH", "")) if p
+    )
+    if os.path.exists(ready_file):
+        os.unlink(ready_file)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + timeout
+    while True:
+        if os.path.exists(ready_file):
+            with open(ready_file, "r", encoding="utf-8") as handle:
+                endpoint = handle.read().strip()
+            if endpoint:
+                return process, endpoint
+        if process.poll() is not None:
+            output = process.stdout.read().decode("utf-8", "replace") if process.stdout else ""
+            raise RuntimeError(
+                f"served process exited with {process.returncode} before "
+                f"becoming ready:\n{output}"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            process.wait()
+            raise RuntimeError("served process never became ready")
+        time.sleep(0.02)
+
+
+def _reap(process: "subprocess.Popen") -> None:
+    """Wait for a served subprocess, escalating to SIGKILL if it lingers."""
+    try:
+        process.wait(timeout=60)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+
+
+def _offline_prefix_payload(
+    path: str,
+    algorithm: str,
+    epsilon: float,
+    phi: float,
+    universe: int,
+    length: int,
+    seed: int,
+    chunk_size: int,
+    items: int,
+) -> Dict[str, object]:
+    """The report payload of an uninterrupted replay of the trace's first ``items``.
+
+    Built exactly as ``repro serve`` builds its single sink (same
+    ``_sketch_builder`` recipe, same ``RandomSource(seed)``, same chunk
+    boundaries), so under the RNG contract this payload is the bit-for-bit
+    reference a crash-recovered server must reproduce.  ``items`` must be a
+    multiple of ``chunk_size`` — that is all a served query can have processed.
+    """
+    from repro.cli import _sketch_builder  # runtime import: cli pulls in argparse wiring
+
+    if items % chunk_size:
+        raise ValueError("offline replay needs a whole number of chunks")
+    build = _sketch_builder(algorithm, epsilon, phi, universe, length)
+    executor = PipelinedExecutor(sketch=build(RandomSource(seed)), chunk_size=chunk_size)
+    remaining = items
+    for chunk in iterate_stream_file_chunks(path, chunk_size):
+        if remaining <= 0:
+            break
+        executor.ingest_chunk(chunk[:remaining] if chunk.size > remaining else chunk)
+        remaining -= min(int(chunk.size), remaining)
+    report_kwargs = {"phi": phi} if algorithm == "misra-gries" else {}
+    snapshot = executor.snapshot(report_kwargs=report_kwargs)
+    return report_to_payload(snapshot.report)
+
+
+def run_crash_comparison(
+    path: str,
+    phi: float,
+    epsilon: float = 0.01,
+    algorithm: str = "simple",
+    seed: int = 42,
+    chunk_size: int = 1 << 12,
+    push_batch: int = 1 << 10,
+    kill_after_batches: Sequence[int] = (1, 3, 7),
+    wal_fsync: str = "always",
+    mode: str = "sigkill",
+    universe_size: Optional[int] = None,
+) -> List[ExperimentRow]:
+    """The kill-9 chaos sweep: crash a served ingest, restart it, diff the answer.
+
+    For each kill point ``K`` in ``kill_after_batches``, one leg:
+
+    1. serve a fresh :class:`~repro.service.IngestServer` as a **subprocess**
+       with ``--wal-dir`` (fsync policy ``wal_fsync``), push ``K`` batches of
+       ``push_batch`` items from the trace, counting the server's authoritative
+       acks;
+    2. kill it — ``mode="sigkill"`` sends an un-catchable ``SIGKILL`` after the
+       ``K``-th ack, ``mode="crash"`` arms ``--fault crash:after_chunk=K`` so
+       the server dies *inside* the ``K``-th journal append, leaving a torn
+       half-record for recovery to truncate (the ``K``-th batch is then never
+       acked, and must not be required after restart);
+    3. restart on the same WAL directory (timing ``restart_seconds``), flush,
+       and query.
+
+    Two verdicts per leg, the acceptance gates of the durability experiment:
+
+    * ``no_acked_loss`` — the restarted server's ``items_received`` covers
+      every item whose push was acked before the kill (recovery may hold
+      *more*: a batch journaled but killed before its ack is a legitimate
+      superset, never a loss);
+    * ``identical_report`` — the restarted server's query payload equals, bit
+      for bit, an uninterrupted in-process replay of the same trace prefix at
+      the same chunk boundaries (:func:`_offline_prefix_payload`), per the
+      recovery equivalence contract in docs/DURABILITY.md.
+
+    Every leg ends with a graceful shutdown so the sweep leaves no orphans.
+    """
+    if mode not in ("sigkill", "crash"):
+        raise ValueError(f"mode must be 'sigkill' or 'crash', got {mode!r}")
+    if push_batch <= 0 or chunk_size <= 0:
+        raise ValueError("push_batch and chunk_size must be positive")
+    metadata = stream_file_metadata(path)
+    length = int(metadata["length"])
+    universe = int(universe_size if universe_size is not None else metadata["universe_size"])
+    batches = list(iterate_stream_file_chunks(path, push_batch))
+    parameters = {
+        "stream": os.path.basename(path), "m": length, "n": universe,
+        "phi": phi, "epsilon": epsilon, "algorithm": algorithm,
+        "chunk_size": chunk_size, "push_batch": push_batch,
+        "wal_fsync": wal_fsync, "mode": mode,
+    }
+
+    rows: List[ExperimentRow] = []
+    for kill_after in kill_after_batches:
+        if not 1 <= kill_after <= len(batches):
+            raise ValueError(
+                f"kill_after_batches entry {kill_after} outside [1, {len(batches)}]"
+            )
+        with tempfile.TemporaryDirectory(prefix="repro-crash-") as tmp:
+            wal_dir = os.path.join(tmp, "wal")
+            ready = os.path.join(tmp, "ready")
+            serve_args = [
+                "serve", "--port", "0", "--universe", str(universe),
+                "--stream-length", str(length), "--epsilon", str(epsilon),
+                "--phi", str(phi), "--seed", str(seed), "--algorithm", algorithm,
+                "--chunk-size", str(chunk_size), "--wal-dir", wal_dir,
+                "--wal-fsync", wal_fsync, "--ready-file", ready,
+            ]
+            first_args = list(serve_args)
+            if mode == "crash":
+                first_args += ["--fault", f"crash:after_chunk={kill_after}"]
+            process, endpoint = _spawn_served_process(first_args, ready)
+            acked_items = 0
+            no_retry = RetryPolicy(attempts=1)
+            try:
+                with ServiceClient(endpoint, retry=no_retry) as client:
+                    for index in range(kill_after):
+                        try:
+                            acked_items = client.push(batches[index])
+                        except Exception:
+                            if mode != "crash" or index != kill_after - 1:
+                                raise
+                            # The armed fault killed the server mid-append of
+                            # this batch: it was never acked, by design.
+                            break
+                if mode == "sigkill":
+                    process.send_signal(signal.SIGKILL)
+            finally:
+                _reap(process)
+
+            restart_started = time.perf_counter()
+            process, endpoint = _spawn_served_process(serve_args, ready)
+            try:
+                with ServiceClient(endpoint) as client:
+                    recovered_items = int(client.config()["items_received"])
+                    restart_seconds = time.perf_counter() - restart_started
+                    client.flush(timeout=120.0)
+                    result = client.query()
+                    client.shutdown()
+            finally:
+                _reap(process)
+
+            served_payload = report_to_payload(result.report)
+            offline_payload = _offline_prefix_payload(
+                path, algorithm, epsilon, phi, universe, length, seed,
+                chunk_size, int(result.items_processed),
+            )
+            rows.append(
+                ExperimentRow(
+                    label=f"{mode}:after_batch={kill_after}",
+                    parameters=dict(parameters, kill_after_batches=kill_after),
+                    measurements={
+                        "acked_items": float(acked_items),
+                        "recovered_items": float(recovered_items),
+                        "items_processed": float(result.items_processed),
+                        "no_acked_loss": 1.0 if recovered_items >= acked_items else 0.0,
+                        "identical_report": 1.0 if served_payload == offline_payload else 0.0,
+                        "restart_seconds": restart_seconds,
+                    },
+                )
+            )
     return rows
 
 

@@ -57,6 +57,7 @@ from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
 from repro.core.maximin import ListMaximin
 from repro.core.maximum import EpsilonMaximum
 from repro.core.minimum import EpsilonMinimum
+from repro.durability import WriteAheadLog, recover_sink, tear_tail
 from repro.lowerbounds.bounds import TABLE1_ROWS
 from repro.pipeline import PipelinedExecutor
 from repro.primitives.rng import RandomSource
@@ -286,12 +287,29 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--checkpoint-path", default=None, metavar="PATH",
                        help="on SIGTERM/SIGINT, drain acked pushes and write a final "
                             "atomic checkpoint here before exiting")
+    serve.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="crash durability: journal every acked push to a "
+                            "write-ahead log under DIR before acking, and on start "
+                            "recover the acked prefix (newest checkpoint in DIR + "
+                            "journal replay, torn tail truncated). Named streams get "
+                            "per-stream journals under DIR/streams/. See "
+                            "docs/DURABILITY.md")
+    serve.add_argument("--wal-fsync", default="always", metavar="POLICY",
+                       help="WAL fsync policy: 'always' (every append survives power "
+                            "loss), 'interval:N' (fsync every N appends), or 'off' "
+                            "(survives kill -9 but not power loss); default always")
+    serve.add_argument("--wal-segment-bytes", type=int, default=None, metavar="BYTES",
+                       help="rotate WAL segment files at this size (default 64 MiB); "
+                            "checkpoints into --wal-dir compact obsolete segments")
     serve.add_argument("--fault", action="append", default=[], metavar="SPEC",
                        help="deterministic fault injection (repeatable): "
                             "kill:replica=I,after_chunk=C quarantines replica I "
                             "mid-ingest (needs --replicas); corrupt byte-flips the "
-                            "final --checkpoint-path file after it is written "
-                            "(chaos testing only)")
+                            "final --checkpoint-path file after it is written; "
+                            "crash:after_chunk=C os._exits mid-way through WAL "
+                            "append C (needs --wal-dir); torn:bytes=B truncates B "
+                            "bytes off the WAL tail after exit, or flips the final "
+                            "byte when B=0 (needs --wal-dir) (chaos testing only)")
     serve.add_argument("--ready-file", default=None, metavar="PATH",
                        help="write the bound endpoint to this file once listening "
                             "(for scripts that need the ephemeral port)")
@@ -723,6 +741,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             raise SystemExit(f"{flag} must be positive, got {value}")
     if args.heal_after_chunks < 0:
         raise SystemExit("--heal-after-chunks cannot be negative")
+    if args.wal_segment_bytes is not None and args.wal_segment_bytes <= 0:
+        raise SystemExit(f"--wal-segment-bytes must be positive, got {args.wal_segment_bytes}")
+    try:
+        WriteAheadLog.parse_fsync_policy(args.wal_fsync)
+    except ValueError as exc:
+        raise SystemExit(f"--wal-fsync: {exc}")
     try:
         fault_plan = FaultPlan.parse(args.fault) if args.fault else None
     except ValueError as exc:
@@ -731,6 +755,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         spec.kind == "kill-replica" for spec in fault_plan.specs
     ):
         raise SystemExit("--fault kill:... needs --replicas")
+    if fault_plan is not None and args.wal_dir is None and any(
+        spec.kind in ("crash-process", "torn-write") for spec in fault_plan.specs
+    ):
+        raise SystemExit("--fault crash:.../torn:... need --wal-dir")
+    if args.wal_dir is not None and args.restore is not None:
+        raise SystemExit(
+            "--restore and --wal-dir are mutually exclusive: the WAL directory "
+            "carries its own checkpoints and recovery restores the newest one"
+        )
     if args.metrics_port is not None and not 0 <= args.metrics_port <= 65535:
         raise SystemExit(f"--metrics-port must be in [0, 65535], got {args.metrics_port}")
     # One process-wide registry: the pipeline, the server, the checkpointer, the
@@ -740,6 +773,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     tracer = Tracer(args.trace_log) if args.trace_log else None
     supervisor = ReplicaSupervisor(heal_after_chunks=args.heal_after_chunks)
     if args.restore is not None:
+        recovered = None
         pipeline, manifest = Checkpointer(registry=registry).restore_pipeline(
             args.restore, chunk_size=args.chunk_size, queue_depth=args.queue_depth,
             registry=registry, tracer=tracer,
@@ -793,21 +827,53 @@ def _command_serve(args: argparse.Namespace) -> int:
                 registry=registry, tracer=tracer,
             )
 
-        if args.replicas is not None:
-            # Replica i's whole seeding tree hangs off rng.spawn(i), so the
-            # replicas are independently seeded but each is individually
-            # reproducible from (--seed, i).
-            pipeline = ReplicaGroup(
-                [build_sink(rng.spawn(index)) for index in range(args.replicas)],
+        def fresh_pipeline() -> "PipelinedExecutor | ReplicaGroup":
+            if args.replicas is not None:
+                # Replica i's whole seeding tree hangs off rng.spawn(i), so the
+                # replicas are independently seeded but each is individually
+                # reproducible from (--seed, i).
+                return ReplicaGroup(
+                    [build_sink(rng.spawn(index)) for index in range(args.replicas)],
+                    chunk_size=chunk_size,
+                    queue_depth=queue_depth,
+                    supervisor=supervisor,
+                    fault_plan=fault_plan,
+                    registry=registry,
+                    tracer=tracer,
+                )
+            return build_sink(rng)
+
+        if args.wal_dir is not None:
+            # Crash recovery IS the construction path: a fresh directory
+            # recovers to exactly fresh_pipeline(), a crashed server's
+            # directory recovers to the acked prefix (newest checkpoint +
+            # journal replay), and either way the journal is reopened so the
+            # first post-start ack is already durable.
+            recovered = recover_sink(
+                os.path.join(args.wal_dir, "default"),
+                fresh_pipeline,
                 chunk_size=chunk_size,
+                fsync=args.wal_fsync,
+                segment_bytes=args.wal_segment_bytes,
                 queue_depth=queue_depth,
-                supervisor=supervisor,
-                fault_plan=fault_plan,
                 registry=registry,
                 tracer=tracer,
+                fault_plan=fault_plan,
+            )
+            pipeline = recovered.sink
+            if isinstance(pipeline, ReplicaGroup):
+                pipeline.supervisor = supervisor
+                pipeline.fault_plan = fault_plan
+            print(
+                f"wal: recovered from {recovered.source} "
+                f"({recovered.recovered_chunks} chunk(s) + "
+                f"{int(recovered.tail.size)} tail item(s) replayed, "
+                f"{recovered.torn_bytes} torn byte(s) truncated)",
+                flush=True,
             )
         else:
-            pipeline = build_sink(rng)
+            recovered = None
+            pipeline = fresh_pipeline()
         config = {
             "algorithm": args.algorithm, "epsilon": args.epsilon, "phi": args.phi,
             "universe_size": universe, "stream_length": args.stream_length,
@@ -858,6 +924,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         stream_factory=stream_factory,
         max_live_streams=args.max_live_streams,
         stream_spill_dir=args.stream_spill_dir,
+        wal=recovered.wal if recovered is not None else None,
+        wal_tail=recovered.tail if recovered is not None else None,
+        stream_wal_dir=(
+            os.path.join(args.wal_dir, "streams")
+            if args.wal_dir is not None and stream_factory is not None else None
+        ),
+        wal_fsync=args.wal_fsync,
+        wal_segment_bytes=args.wal_segment_bytes,
     )
     metrics_server = None
     try:
@@ -889,6 +963,16 @@ def _command_serve(args: argparse.Namespace) -> int:
         offset = corrupt_file(args.checkpoint_path)
         print(f"fault: corrupted checkpoint {args.checkpoint_path} at byte {offset}",
               flush=True)
+    if fault_plan is not None and args.wal_dir is not None:
+        # Post-exit, like `corrupt`: the damage lands on the closed journal,
+        # exactly the shape a real torn write presents to the next recovery.
+        torn_bytes = fault_plan.pop_torn_bytes()
+        if torn_bytes is not None:
+            torn_path, torn_size = tear_tail(
+                os.path.join(args.wal_dir, "default"), torn_bytes
+            )
+            print(f"fault: tore WAL tail {torn_path} to {torn_size} bytes",
+                  flush=True)
     return 0
 
 

@@ -16,6 +16,7 @@ from typing import List
 
 from repro.lint.engine import Rule
 from repro.lint.rules.determinism import DeterminismRule
+from repro.lint.rules.durability import DurabilityDisciplineRule
 from repro.lint.rules.hotpath import HotPathRule
 from repro.lint.rules.locks import LockDisciplineRule
 from repro.lint.rules.protocol_surface import ProtocolSurfaceRule
@@ -27,6 +28,7 @@ def all_rules() -> List[Rule]:
     """Fresh instances of every shipped rule, in stable id order."""
     rules: List[Rule] = [
         DeterminismRule(),
+        DurabilityDisciplineRule(),
         HotPathRule(),
         LockDisciplineRule(),
         ProtocolSurfaceRule(),
@@ -38,6 +40,7 @@ def all_rules() -> List[Rule]:
 
 __all__ = [
     "DeterminismRule",
+    "DurabilityDisciplineRule",
     "HotPathRule",
     "LockDisciplineRule",
     "ProtocolSurfaceRule",

@@ -1,0 +1,101 @@
+"""durability-discipline: atomic replace means fsync the file AND its directory.
+
+The durability layers (:mod:`repro.service.checkpoint`,
+:mod:`repro.durability.wal`) promise that anything acknowledged survives a
+crash.  That promise rests on the full write-then-rename liturgy, established
+in ``Checkpointer.save`` and documented in docs/DURABILITY.md:
+
+1. write the new content to a temp sibling and ``os.fsync`` the **file** —
+   rename alone only guarantees readers see old-or-new; without the data
+   flush, a power loss can surface the *new* name holding zeroes;
+2. ``os.replace``/``os.rename`` into place;
+3. fsync the **directory** (``Checkpointer._fsync_directory``) — the new
+   directory entry lives in the page cache until the directory inode is
+   flushed, so a crash right after "ok" could roll the file back.
+
+Skipping either fsync is invisible in every test (the page cache serves reads
+coherently) and only bites on real power loss — exactly the kind of invariant
+only a machine check keeps honest.  This rule flags any function in the
+durability-critical modules (``service/``, ``durability/``) that renames a
+file into place without both flushes in the same function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.lint.engine import Finding, Rule, SourceFile
+from repro.lint.rules.base import canonical_name, import_aliases, walk_functions
+
+#: Modules whose writes carry a durability promise.
+_SCOPED_PREFIXES = ("service/", "durability/")
+
+#: Callee-name fragments that count as fsyncing the containing directory.
+_DIRECTORY_FSYNC_FRAGMENT = "fsync_directory"
+
+_HINT = (
+    "follow Checkpointer.save's liturgy: os.fsync(fd) the written file before "
+    "the rename, then fsync the directory (Checkpointer._fsync_directory) "
+    "after it, all in the same function"
+)
+
+
+def _callee_tail(call: ast.Call) -> str:
+    """The last attribute/name segment of the call target (e.g. ``_fsync_directory``)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class DurabilityDisciplineRule(Rule):
+    rule_id = "durability-discipline"
+    description = (
+        "flag os.replace/os.rename in the durability-critical modules without "
+        "both an os.fsync of the written file and a directory fsync in the "
+        "same function"
+    )
+
+    def check(self, source: SourceFile) -> Iterable[Finding]:
+        if not source.rel.startswith(_SCOPED_PREFIXES):
+            return []
+        aliases = import_aliases(source.tree)
+        findings: List[Finding] = []
+        for function, _owner in walk_functions(source.tree):
+            renames: List[ast.Call] = []
+            file_fsync = False
+            directory_fsync = False
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = canonical_name(node.func, aliases)
+                if name in ("os.replace", "os.rename"):
+                    renames.append(node)
+                elif name == "os.fsync":
+                    file_fsync = True
+                if _DIRECTORY_FSYNC_FRAGMENT in _callee_tail(node):
+                    directory_fsync = True
+            if not renames:
+                continue
+            # The directory-fsync helper itself calls os.fsync on a directory
+            # fd; a function delegating to it has flushed the *entry*, not the
+            # file contents, so both checks stay independent.
+            for call in renames:
+                if not file_fsync:
+                    findings.append(self.finding(
+                        source, call,
+                        "file renamed into place but never os.fsync-ed: a "
+                        "crash can surface the new name holding zeroes",
+                        _HINT,
+                    ))
+                if not directory_fsync:
+                    findings.append(self.finding(
+                        source, call,
+                        "rename without fsyncing the containing directory: a "
+                        "crash can roll the entry back after the ack",
+                        _HINT,
+                    ))
+        return findings

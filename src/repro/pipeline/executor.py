@@ -232,6 +232,30 @@ class PipelinedExecutor:
                     "ingest", seconds=seconds, chunk=index, items=len(chunk)
                 )
 
+    def resume_after_ingest(self) -> None:
+        """Re-arm the one permitted :meth:`run` after driver-side chunk replay.
+
+        :meth:`ingest_chunk` claims the executor so an accidental later ``run``
+        cannot double-ingest.  Crash recovery, however, replays journal chunks
+        through :meth:`ingest_chunk` *deliberately* and then hands the executor
+        to a server whose queue-driven run covers the remaining tail — the same
+        adopted-prefix situation :meth:`from_sink_state` produces, minus the
+        serialization round-trip.  Accounting is already correct (the replay
+        incremented ``items_processed``), so re-arming is just clearing the
+        claim.
+
+        Raises:
+            RuntimeError: if the sink was already merged — there is no tail
+                left to run.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this PipelinedExecutor has already merged its sink; "
+                    "there is nothing left to resume"
+                )
+            self._started = False
+
     def finalize(
         self, report_kwargs: Optional[Mapping[str, Any]] = None
     ) -> PipelinedRunResult:

@@ -14,6 +14,14 @@ replication and service layers consult at well-defined points:
 * ``corrupt-checkpoint`` — :meth:`FaultPlan.should_corrupt` tells a harness to
   byte-flip a checkpoint file (:func:`corrupt_file`) after it is written, so
   restore-time rejection is tested against real corruption, not a mock.
+* ``crash-process`` — :meth:`FaultPlan.fire_crash` is checked by
+  :meth:`repro.durability.WriteAheadLog.append`; when it fires, the process
+  writes *half* of the journal record and ``os._exit``\\ s — a deterministic
+  ``kill -9`` mid-append that leaves a real torn tail for recovery to repair.
+* ``torn-write`` — :meth:`FaultPlan.pop_torn_bytes` tells the serve command to
+  damage the journal's tail (:func:`repro.durability.wal.tear_tail`) after the
+  process exits: truncate ``bytes=B`` bytes, or flip the final byte when
+  ``B=0``, so torn-tail truncation is tested against real on-disk damage.
 
 Every fault is **deterministic** (it fires at an exact chunk/frame index,
 exactly once) so a failover test is reproducible: the same plan against the
@@ -45,17 +53,23 @@ class FaultSpec:
     """One scripted fault; ``fired`` makes it one-shot.
 
     ``kind`` is one of ``"kill-replica"`` (needs ``replica`` and
-    ``after_chunk``), ``"drop-connection"`` (needs ``after_frame``), or
-    ``"corrupt-checkpoint"`` (no operands).  Chunk and frame indices count
-    completed units: ``after_chunk=3`` kills the replica while it ingests the
-    chunk that would be its fourth (index 3, zero-based); ``after_frame=5``
-    cuts the connection once five push frames have been sent.
+    ``after_chunk``), ``"drop-connection"`` (needs ``after_frame``),
+    ``"corrupt-checkpoint"`` (no operands), ``"crash-process"`` (needs
+    ``after_chunk``), or ``"torn-write"`` (needs ``bytes``).  Chunk and frame
+    indices count completed units: ``after_chunk=3`` kills the replica while
+    it ingests the chunk that would be its fourth (index 3, zero-based);
+    ``after_frame=5`` cuts the connection once five push frames have been
+    sent.  For ``crash-process``, ``after_chunk=C`` fires during WAL append
+    number ``C`` (one-based, so ``C`` acked batches precede the crash); for
+    ``torn-write``, ``bytes=B`` truncates ``B`` bytes off the journal tail
+    after the serve exits (``B=0`` flips the final byte instead).
     """
 
     kind: str
     replica: Optional[int] = None
     after_chunk: Optional[int] = None
     after_frame: Optional[int] = None
+    bytes: Optional[int] = None
     fired: bool = False
 
     def __post_init__(self) -> None:
@@ -67,6 +81,12 @@ class FaultSpec:
         elif self.kind == "drop-connection":
             if self.after_frame is None or self.after_frame < 0:
                 raise ValueError("drop-connection needs a non-negative after_frame=")
+        elif self.kind == "crash-process":
+            if self.after_chunk is None or self.after_chunk < 1:
+                raise ValueError("crash-process needs a positive after_chunk=")
+        elif self.kind == "torn-write":
+            if self.bytes is None or self.bytes < 0:
+                raise ValueError("torn-write needs a non-negative bytes=")
         elif self.kind != "corrupt-checkpoint":
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
@@ -94,17 +114,30 @@ class FaultPlan:
         """A plan instructing the harness to corrupt the next checkpoint file."""
         return cls([FaultSpec("corrupt-checkpoint")])
 
+    @classmethod
+    def crash_process(cls, after_chunk: int) -> "FaultPlan":
+        """A plan with one process crash mid-way through WAL append ``after_chunk``."""
+        return cls([FaultSpec("crash-process", after_chunk=after_chunk)])
+
+    @classmethod
+    def torn_write(cls, bytes_count: int) -> "FaultPlan":
+        """A plan tearing ``bytes_count`` bytes off the WAL tail after serve exits."""
+        return cls([FaultSpec("torn-write", bytes=bytes_count)])
+
     @staticmethod
     def parse_spec(text: str) -> FaultSpec:
         """Parse one CLI fault spec.
 
         Grammar: ``KIND[:key=value[,key=value...]]`` with kinds ``kill``
-        (``replica=``, ``after_chunk=``), ``drop`` (``after_frame=``), and
-        ``corrupt`` (no operands)::
+        (``replica=``, ``after_chunk=``), ``drop`` (``after_frame=``),
+        ``corrupt`` (no operands), ``crash`` (``after_chunk=``), and ``torn``
+        (``bytes=``)::
 
             kill:replica=1,after_chunk=3
             drop:after_frame=5
             corrupt
+            crash:after_chunk=4
+            torn:bytes=7
 
         Raises:
             ValueError: on an unknown kind, unknown key, or malformed operand.
@@ -121,13 +154,16 @@ class FaultPlan:
                 except ValueError as exc:
                     raise ValueError(f"fault operand {part!r} needs an integer value") from exc
         kinds = {"kill": "kill-replica", "drop": "drop-connection",
-                 "corrupt": "corrupt-checkpoint"}
+                 "corrupt": "corrupt-checkpoint", "crash": "crash-process",
+                 "torn": "torn-write"}
         if head not in kinds:
             raise ValueError(
-                f"unknown fault kind {head!r}; expected kill, drop, or corrupt"
+                f"unknown fault kind {head!r}; expected kill, drop, corrupt, "
+                f"crash, or torn"
             )
         allowed = {"kill": {"replica", "after_chunk"}, "drop": {"after_frame"},
-                   "corrupt": set()}[head]
+                   "corrupt": set(), "crash": {"after_chunk"},
+                   "torn": {"bytes"}}[head]
         unknown = set(operands) - allowed
         if unknown:
             raise ValueError(f"fault {head!r} does not take {sorted(unknown)}")
@@ -157,6 +193,33 @@ class FaultPlan:
                 spec.fired = True
                 return True
         return False
+
+    def fire_crash(self, append_index: int) -> bool:
+        """True (once) iff a process crash is scheduled at this WAL append.
+
+        ``append_index`` is one-based (the append being attempted), so a spec
+        with ``after_chunk=C`` tears append ``C`` itself: ``C - 1`` batches
+        were journaled and acked before the process dies.
+        """
+        for spec in self.specs:
+            if (spec.kind == "crash-process" and not spec.fired
+                    and append_index >= spec.after_chunk):
+                spec.fired = True
+                return True
+        return False
+
+    def pop_torn_bytes(self) -> Optional[int]:
+        """The scheduled torn-write byte count (once), or ``None``.
+
+        Consumed by the serve command *after* the server exits, mirroring the
+        post-exit ``corrupt-checkpoint`` handling: the damage happens to a
+        closed journal, exactly like a real torn write surfaces to recovery.
+        """
+        for spec in self.specs:
+            if spec.kind == "torn-write" and not spec.fired:
+                spec.fired = True
+                return spec.bytes
+        return None
 
     def should_corrupt(self) -> bool:
         """True (once) iff the plan schedules checkpoint corruption."""

@@ -346,6 +346,28 @@ class ReplicaGroup:
             self.items_processed += len(chunk)
             self._maybe_heal()
 
+    def resume_after_ingest(self) -> None:
+        """Re-arm the one permitted :meth:`run` after driver-side chunk replay.
+
+        The group analogue of
+        :meth:`~repro.pipeline.PipelinedExecutor.resume_after_ingest`: crash
+        recovery replays journal chunks through :meth:`ingest_chunk`, then the
+        server's queue-driven run covers the tail.  Every live replica is
+        re-armed along with the group's own claim.
+
+        Raises:
+            RuntimeError: if the group was already finalized.
+        """
+        with self._lock:
+            if self._finished:
+                raise RuntimeError(
+                    "this ReplicaGroup has already merged its sinks; "
+                    "there is nothing left to resume"
+                )
+            for _, replica in self._live_items():
+                replica.resume_after_ingest()
+            self._started = False
+
     def _quarantine(self, index: int, chunk_index: int, error: BaseException) -> None:
         """Mark a replica failed; its state is never read again (it may be poisoned)."""
         status = self._status[index]

@@ -56,8 +56,16 @@ logger = logging.getLogger("repro.service.checkpoint")
 
 #: On-disk format version; bump on incompatible layout changes.
 #: Format 2 wraps the pickled ``{manifest, state}`` payload in a small outer
-#: envelope carrying a SHA-256 digest of the payload bytes.
-CHECKPOINT_FORMAT = 2
+#: envelope carrying a SHA-256 digest of the payload bytes.  Format 3 adds a
+#: ``wal_position`` field to the manifest — the absolute item position in the
+#: write-ahead log this checkpoint covers (``None`` when no WAL was active) —
+#: so recovery knows where journal replay must resume.  Readers accept both.
+CHECKPOINT_FORMAT = 3
+
+#: Format versions :meth:`Checkpointer.load` accepts.  Format 2 (PR 6–9
+#: checkpoints, no WAL position) restores exactly as before; recovery treats
+#: its missing ``wal_position`` as "replay from the checkpoint's item count".
+COMPATIBLE_FORMATS = frozenset({2, CHECKPOINT_FORMAT})
 
 
 class CheckpointError(RuntimeError):
@@ -101,6 +109,7 @@ class Checkpointer:
         path: str,
         state: "SinkState | GroupSinkState",
         config: Optional[Dict[str, object]] = None,
+        wal_position: Optional[int] = None,
     ) -> Dict[str, object]:
         """Write one checkpoint file atomically and durably.
 
@@ -111,10 +120,15 @@ class Checkpointer:
                 :meth:`repro.replication.ReplicaGroup.sink_state`.
             config: sketch/server parameters to carry in the manifest (stored
                 as-is; must be picklable).
+            wal_position: the write-ahead log's absolute item position this
+                state covers, when a WAL is active — recovery replays the
+                journal strictly past it.  ``None`` (no WAL) restores exactly
+                like a pre-WAL checkpoint.
 
         Returns:
             The manifest dict that was stored next to the state (``format``,
-            ``package_version``, ``kind``, ``items_processed``, ``config``).
+            ``package_version``, ``kind``, ``items_processed``,
+            ``wal_position``, ``config``).
         """
         from repro import __version__
 
@@ -127,6 +141,7 @@ class Checkpointer:
             "package_version": __version__,
             "kind": state.kind,
             "items_processed": state.items_processed,
+            "wal_position": wal_position,
             "config": dict(config or {}),
         }
         payload = pickle.dumps({"manifest": manifest, "state": state},
@@ -187,6 +202,35 @@ class Checkpointer:
         finally:
             os.close(fd)
 
+    @staticmethod
+    def sweep_stale_temp_files(directory: str) -> list:
+        """Unlink orphaned ``*.ckpt.tmp`` files a crash left behind.
+
+        :meth:`save` writes to a ``mkstemp``-named ``*.ckpt.tmp`` sibling and
+        renames it into place; its exception handler unlinks the temp on
+        failure, but a hard crash (``kill -9``, power loss) between the write
+        and the rename skips the handler and leaks the temp file forever.
+        Recovery and restore call this to reclaim them.  Only the
+        ``.ckpt.tmp`` suffix is swept — never live checkpoints, never files
+        this module did not create.  Returns the unlinked paths.
+        """
+        removed = []
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            return removed
+        for name in sorted(names):
+            if not name.endswith(".ckpt.tmp"):
+                continue
+            path = os.path.join(directory, name)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            logger.warning("swept stale checkpoint temp file %r", path)
+            removed.append(path)
+        return removed
+
     def _reject(self, message: str, cause: Optional[BaseException] = None) -> None:
         """Refuse a checkpoint: count it, log it, raise the typed error.
 
@@ -234,10 +278,11 @@ class Checkpointer:
             or "sha256" not in envelope
         ):
             self._reject(f"{path!r} is not a checkpoint file")
-        if envelope.get("format") != CHECKPOINT_FORMAT:
+        if envelope.get("format") not in COMPATIBLE_FORMATS:
             self._reject(
                 f"{path!r} has checkpoint format {envelope.get('format')!r}; "
-                f"this version reads format {CHECKPOINT_FORMAT}"
+                f"this version reads formats "
+                f"{sorted(COMPATIBLE_FORMATS)}"
             )
         digest = hashlib.sha256(envelope["payload"]).hexdigest()
         if digest != envelope["sha256"]:
@@ -290,6 +335,7 @@ class Checkpointer:
             restore).  Either way, the sink's one permitted run covers the
             remaining stream tail.
         """
+        self.sweep_stale_temp_files(os.path.dirname(os.path.abspath(path)))
         state, manifest = self.load(path)
         config = manifest.get("config", {})
         if chunk_size is None:

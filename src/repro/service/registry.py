@@ -46,6 +46,8 @@ loses acked items and restore needs no partial-chunk bookkeeping.
 from __future__ import annotations
 
 import hashlib
+import json
+import logging
 import os
 import shutil
 import tempfile
@@ -57,6 +59,8 @@ import numpy as np
 from repro.observability.metrics import MetricRegistry, resolve_registry
 from repro.pipeline import PipelinedExecutor
 from repro.service.checkpoint import Checkpointer
+
+logger = logging.getLogger("repro.service.registry")
 
 #: The implicit stream every pre-tenancy frame addresses; the server routes it
 #: to its original push-queue path, so the registry never manages it.
@@ -90,6 +94,7 @@ class _StreamState:
         "name", "sink", "remainder", "items_received", "items_processed",
         "chunks", "sealed", "seal_kwargs", "result", "spilled", "spill_path",
         "evictions", "restores", "eviction_boundaries", "last_used",
+        "wal", "wal_dir",
     )
 
     def __init__(self, name: str, sink: Any, spill_path: str) -> None:
@@ -108,6 +113,8 @@ class _StreamState:
         self.restores = 0
         self.eviction_boundaries: List[int] = []
         self.last_used = 0
+        self.wal = None  # WriteAheadLog | None when the registry journals
+        self.wal_dir: Optional[str] = None
 
 
 class StreamRegistry:
@@ -145,6 +152,9 @@ class StreamRegistry:
         max_live_streams: Optional[int] = None,
         spill_dir: Optional[str] = None,
         registry: Optional[MetricRegistry] = None,
+        wal_dir: Optional[str] = None,
+        wal_fsync: str = "always",
+        wal_segment_bytes: Optional[int] = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
@@ -160,6 +170,14 @@ class StreamRegistry:
         self._streams: Dict[str, _StreamState] = {}
         self._clock = 0
         self._closed = False
+        # Per-stream durability: with a wal_dir, each named stream gets its own
+        # journal under {wal_dir}/stream-{digest}/ (plus a meta.json mapping
+        # the digest back to the client-chosen name), pushes are journaled
+        # before ingest, eviction spills double as WAL checkpoints (driving
+        # compaction), and construction recovers every stream found on disk.
+        self._wal_dir = os.path.abspath(wal_dir) if wal_dir is not None else None
+        self._wal_fsync = wal_fsync
+        self._wal_segment_bytes = wal_segment_bytes
         if spill_dir is None:
             self._spill_dir = tempfile.mkdtemp(prefix="repro-stream-spill-")
             self._owns_spill_dir = True
@@ -191,6 +209,10 @@ class StreamRegistry:
             "repro_service_live_streams",
             "Named streams with a resident (unspilled, unsealed) sink.",
         )
+        if self._wal_dir is not None:
+            os.makedirs(self._wal_dir, exist_ok=True)
+            with self._lock:
+                self._locked_recover_streams()
 
     # -- properties ---------------------------------------------------------------------
 
@@ -266,11 +288,22 @@ class StreamRegistry:
             return state.result
 
     def delete(self, name: str) -> Dict[str, object]:
-        """Drop a stream entirely: sink, spill file, result, accounting."""
+        """Drop a stream entirely: sink, spill file, journal, result, accounting.
+
+        Disk is reclaimed, not leaked: the eviction spill file is unlinked and,
+        for a journaled stream, the WAL is closed and its whole directory
+        (segments, spill, meta.json) is removed — a deleted stream must not be
+        resurrected by the next restart's recovery scan.
+        """
         with self._lock:
             state = self._locked_get(name)
             info = self._locked_info(state)
             self._locked_remove_spill(state)
+            if state.wal is not None:
+                state.wal.close()
+                state.wal = None
+            if state.wal_dir is not None:
+                shutil.rmtree(state.wal_dir, ignore_errors=True)
             del self._streams[name]
             self._metric_live.set(self._locked_live_count())
             info["deleted"] = True
@@ -282,6 +315,9 @@ class StreamRegistry:
             if self._closed:
                 return
             self._closed = True
+            for state in self._streams.values():
+                if state.wal is not None:
+                    state.wal.close()
             self._streams.clear()
             if self._owns_spill_dir:
                 shutil.rmtree(self._spill_dir, ignore_errors=True)
@@ -305,6 +341,10 @@ class StreamRegistry:
             if state.sealed:
                 raise RuntimeError(f"stream {name!r} has been sealed; no further pushes")
             self._locked_ensure_live(state)
+            if state.wal is not None:
+                # Journal before ingest: a crash mid-update leaves the batch
+                # recoverable, and the ack this push returns covers it.
+                state.wal.append(batch)
             combined = (
                 np.concatenate([state.remainder, batch])
                 if state.remainder.size else batch
@@ -363,6 +403,19 @@ class StreamRegistry:
         with self._lock:
             state = self._streams.get(name)
             return 0 if state is None else state.items_received
+
+    def wal_position_for(self, name: str, state: Any) -> Optional[int]:
+        """The journal position a checkpoint of ``state`` covers, or ``None``.
+
+        Same currency argument as the server's default stream: WAL positions
+        are absolute stream items, so a chunk-aligned sink state at item ``N``
+        is covered by journal position ``N`` exactly.
+        """
+        with self._lock:
+            stream = self._streams.get(name)
+            if stream is None or stream.wal is None:
+                return None
+            return int(state.items_processed)
 
     def checkpoint_state(self, name: str) -> Any:
         """A chunk-aligned :class:`SinkState` copy of one stream, for checkpointing.
@@ -430,13 +483,96 @@ class StreamRegistry:
         # Spill files are keyed by a digest of the name: stream names are
         # client-chosen and must never become path components.
         digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:16]
-        spill_path = os.path.join(self._spill_dir, f"stream-{digest}.ckpt")
-        state = _StreamState(name, self._build_sink(name), spill_path)
+        if self._wal_dir is not None:
+            state = self._locked_create_journaled(name, digest)
+        else:
+            spill_path = os.path.join(self._spill_dir, f"stream-{digest}.ckpt")
+            state = _StreamState(name, self._build_sink(name), spill_path)
         self._streams[name] = state
         self._locked_touch(state)
         self._locked_evict_to_cap(protect=state)
         self._metric_live.set(self._locked_live_count())
         return state
+
+    def _locked_create_journaled(self, name: str, digest: str) -> _StreamState:
+        """Create (or crash-recover) one journaled stream's state.
+
+        The stream's WAL directory doubles as its spill directory, so an
+        eviction checkpoint is exactly what :func:`repro.durability.recover_sink`
+        restores after a crash — one file, one discovery rule, and the spill
+        save drives journal compaction for free.
+        """
+        from repro.durability import recover_sink
+
+        stream_dir = os.path.join(self._wal_dir, f"stream-{digest}")
+        recovered = recover_sink(
+            stream_dir,
+            lambda: self._build_sink(name),
+            chunk_size=self._chunk_size,
+            checkpointer=self._checkpointer,
+            fsync=self._wal_fsync,
+            segment_bytes=self._wal_segment_bytes,
+            queue_depth=self._queue_depth,
+            registry=self._metrics,
+        )
+        self._write_stream_meta(stream_dir, name)
+        state = _StreamState(
+            name, recovered.sink, os.path.join(stream_dir, "spill.ckpt")
+        )
+        state.wal = recovered.wal
+        state.wal_dir = stream_dir
+        state.items_processed = int(recovered.sink.items_processed)
+        state.chunks = state.items_processed // self._chunk_size
+        if recovered.tail.size:
+            state.remainder = np.ascontiguousarray(recovered.tail, dtype=np.int64)
+        state.items_received = state.items_processed + int(state.remainder.size)
+        return state
+
+    @staticmethod
+    def _write_stream_meta(stream_dir: str, name: str) -> None:
+        """Record the stream's client-chosen name next to its digest-keyed WAL.
+
+        Without it a restart could replay the journal but not know *which*
+        stream it belongs to.  Written once, durably (data then directory), on
+        first creation; create-then-crash without the meta only loses an empty
+        journal.
+        """
+        meta_path = os.path.join(stream_dir, "meta.json")
+        if os.path.exists(meta_path):
+            return
+        with open(meta_path, "w", encoding="utf-8") as handle:
+            json.dump({"stream": name}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        Checkpointer._fsync_directory(stream_dir)
+
+    def _locked_recover_streams(self) -> None:
+        """Re-register every journaled stream found in the WAL directory.
+
+        Runs once, at construction: each ``stream-*/meta.json`` names a stream
+        that existed before the crash (or clean stop); creating it through the
+        normal path replays its checkpoint + journal, so a restarted server
+        answers ``stream_list``/``query`` for it without waiting for a push.
+        """
+        for entry in sorted(os.listdir(self._wal_dir)):
+            meta_path = os.path.join(self._wal_dir, entry, "meta.json")
+            if not (entry.startswith("stream-") and os.path.isfile(meta_path)):
+                continue
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    name = json.load(handle)["stream"]
+            except (OSError, ValueError, KeyError) as exc:
+                logger.warning("skipping unreadable stream meta %r: %s",
+                               meta_path, exc)
+                continue
+            if name in self._streams:
+                continue
+            self._streams[name] = state = self._locked_create_journaled(
+                name, entry[len("stream-"):]
+            )
+            self._locked_touch(state)
+            self._locked_evict_to_cap(protect=state)
+        self._metric_live.set(self._locked_live_count())
 
     def _locked_touch(self, state: _StreamState) -> None:
         self._clock += 1
@@ -478,15 +614,24 @@ class StreamRegistry:
             self._locked_evict(victim)
 
     def _locked_evict(self, state: _StreamState) -> None:
+        sink_state = state.sink.sink_state()
         self._checkpointer.save(
             state.spill_path,
-            state.sink.sink_state(),
+            sink_state,
             config={
                 "stream": state.name,
                 "chunk_size": self._chunk_size,
                 "queue_depth": self._queue_depth,
             },
+            wal_position=(
+                int(sink_state.items_processed) if state.wal is not None else None
+            ),
         )
+        if state.wal is not None:
+            # The spill lives inside the stream's WAL directory, so recovery
+            # can restore it — which makes the journal's covered prefix safe
+            # to reclaim right now.
+            state.wal.compact(int(sink_state.items_processed))
         state.sink = None
         state.spilled = True
         state.evictions += 1

@@ -336,6 +336,11 @@ class IngestServer:
         stream_factory=None,
         max_live_streams: Optional[int] = None,
         stream_spill_dir: Optional[str] = None,
+        wal=None,
+        wal_tail=None,
+        stream_wal_dir: Optional[str] = None,
+        wal_fsync: str = "always",
+        wal_segment_bytes: Optional[int] = None,
     ) -> None:
         if pipeline._started or pipeline._finished:
             raise ValueError("IngestServer needs a fresh (or restored) PipelinedExecutor")
@@ -418,6 +423,19 @@ class IngestServer:
         self._closed = False
         self.query_handler = QueryHandler(self)
         self.checkpointer = Checkpointer(registry=self._registry)
+        # The default stream's write-ahead log: when set, _handle_push journals
+        # every batch under the push lock *before* enqueueing, so the ack that
+        # follows is a durability promise (see repro.durability).  The server
+        # adopts the journal (closes it in close()); a recovery tail — acked
+        # items recover_sink replayed that had not filled a chunk — is enqueued
+        # here exactly once and never re-journaled (it is already on disk).
+        self._wal = wal
+        self._shutdown_checkpoint_written = False
+        if wal_tail is not None:
+            tail = np.ascontiguousarray(wal_tail, dtype=np.int64)
+            if tail.size:
+                self._push_queue.put(tail)
+                self._items_received += int(tail.size)
         self.streams: Optional[StreamRegistry] = None
         if stream_factory is not None:
             self.streams = StreamRegistry(
@@ -427,11 +445,19 @@ class IngestServer:
                 max_live_streams=max_live_streams,
                 spill_dir=stream_spill_dir,
                 registry=self._registry,
+                wal_dir=stream_wal_dir,
+                wal_fsync=wal_fsync,
+                wal_segment_bytes=wal_segment_bytes,
             )
         elif max_live_streams is not None or stream_spill_dir is not None:
             raise ValueError(
                 "max_live_streams/stream_spill_dir need a stream_factory: "
                 "without one the server serves only the default stream"
+            )
+        elif stream_wal_dir is not None:
+            raise ValueError(
+                "stream_wal_dir needs a stream_factory: without one the "
+                "server serves only the default stream"
             )
 
     # -- lifecycle ----------------------------------------------------------------------
@@ -499,6 +525,9 @@ class IngestServer:
             if self._closed:
                 return
             self._closed = True
+        # Capture before the stop signal: once the run thread drains out it
+        # finalizes the pipeline, and a finalized sink has no resumable state.
+        self._write_shutdown_checkpoint()
         self._stopping.set()
         if self._listen_sock is not None:
             try:
@@ -532,6 +561,33 @@ class IngestServer:
             self._accept_thread.join(timeout=join_timeout)
         if self.streams is not None:
             self.streams.close()
+        if self._wal is not None:
+            self._wal.close()
+
+    def _write_shutdown_checkpoint(self) -> None:
+        """Leave a checkpoint inside the journal directory on any clean stop.
+
+        Every :meth:`close` is by definition clean (a crash never runs it), so
+        the restart can restore this checkpoint instead of replaying the whole
+        journal — and compaction reclaims the covered segments.  Written at
+        most once; skipped after a run error (the journal alone is the truth
+        then) or once the stream finished (nothing resumable remains).
+        """
+        if self._wal is None or self._run_error is not None:
+            return
+        if self._shutdown_checkpoint_written:
+            return
+        self._shutdown_checkpoint_written = True
+        shutdown_path = os.path.join(self._wal.directory, "shutdown.ckpt")
+        try:
+            state = self.pipeline.sink_state()
+            self.checkpointer.save(
+                shutdown_path, state, config=self._manifest_config(),
+                wal_position=self._wal_position_for(state),
+            )
+            self._maybe_compact_wal(shutdown_path, state.items_processed)
+        except RuntimeError:
+            pass  # finished stream: the WAL still holds the full history
 
     def graceful_stop(
         self,
@@ -571,12 +627,15 @@ class IngestServer:
             try:
                 state = self.pipeline.sink_state()
                 manifest = self.checkpointer.save(
-                    checkpoint_path, state, config=self._manifest_config()
+                    checkpoint_path, state, config=self._manifest_config(),
+                    wal_position=self._wal_position_for(state),
                 )
                 logger.info("final checkpoint written to %s (%d items)",
                             checkpoint_path, state.items_processed)
+                self._maybe_compact_wal(checkpoint_path, state.items_processed)
             except RuntimeError:
                 pass  # already finished: the final result stands, nothing to resume
+        self._write_shutdown_checkpoint()
         self.close()
         return manifest
 
@@ -717,6 +776,12 @@ class IngestServer:
                 # enqueued batch would silently never ingest.
                 raise RuntimeError("the server is shutting down; push rejected")
             self.raise_if_failed()
+            if self._wal is not None:
+                # Journal before enqueue, inside the lock: the WAL sees acked
+                # batches in ack order, and a failed append turns into an error
+                # reply before the batch can reach the pipeline — the client
+                # retries against a server that never claimed durability.
+                self._wal.append(items)
             self._enqueue(items)
             self._items_received += items.size
             received = self._items_received
@@ -780,7 +845,11 @@ class IngestServer:
         if not isinstance(path, str) or not path:
             raise ValueError("checkpoint requires a server-side 'path'")
         state = self.pipeline.sink_state()  # raises after finish: nothing resumable
-        manifest = self.checkpointer.save(path, state, config=self._manifest_config())
+        manifest = self.checkpointer.save(
+            path, state, config=self._manifest_config(),
+            wal_position=self._wal_position_for(state),
+        )
+        self._maybe_compact_wal(path, state.items_processed)
         return {
             "ok": True,
             "path": path,
@@ -789,6 +858,32 @@ class IngestServer:
             "kind": state.kind,
             "format": manifest["format"],
         }
+
+    def _wal_position_for(self, state) -> Optional[int]:
+        """The journal position a checkpoint of ``state`` covers, or ``None``.
+
+        The WAL numbers records in absolute stream items — the same currency as
+        ``SinkState.items_processed`` — so the position a checkpoint covers is
+        simply the item count of the state it holds.  Recording the journal's
+        *current* end instead would be wrong: batches acked after the state was
+        captured would be skipped by replay and lost.
+        """
+        if self._wal is None:
+            return None
+        return int(state.items_processed)
+
+    def _maybe_compact_wal(self, path: str, position: int) -> None:
+        """Compact the journal after a checkpoint *recovery can find*.
+
+        Only checkpoints written inside the WAL directory drive compaction:
+        recovery scans ``{wal_dir}/*.ckpt``, so deleting segments on the
+        strength of a checkpoint saved anywhere else could strand the only
+        copy of acked data behind a path no restart will look at.
+        """
+        if self._wal is None:
+            return
+        if os.path.dirname(os.path.abspath(path)) == self._wal.directory:
+            self._wal.compact(position)
 
     def _manifest_config(self) -> Dict[str, object]:
         config = dict(self.config)
@@ -1021,7 +1116,10 @@ class IngestServer:
             state = streams.checkpoint_state(name)
             config = self._manifest_config()
             config["stream"] = name
-            manifest = self.checkpointer.save(path, state, config=config)
+            manifest = self.checkpointer.save(
+                path, state, config=config,
+                wal_position=streams.wal_position_for(name, state),
+            )
             return {
                 "ok": True,
                 "stream": name,

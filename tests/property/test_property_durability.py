@@ -1,0 +1,200 @@
+"""Property tests: recovery equals an uninterrupted replay, for any crash point.
+
+The durability contract (see docs/DURABILITY.md) says a crash changes *when*
+ingestion happens, never *what* it computes: for any sketch, any chunk size,
+any batch carving, and any crash point — including one that tears the final
+journal record mid-write — :func:`repro.durability.recover_sink` must rebuild
+exactly the state an uninterrupted run over the journaled prefix would hold.
+WAL-only recovery performs no serialization round-trip (a fresh sink is built
+with the same constructor recipe and fed the same chunks), so the equality is
+bit-for-bit for *randomized* sketches too: same ``RandomSource`` seed, same
+draws, same report.
+
+The torn-write fuzz is exhaustive rather than sampled: the final record is
+truncated at **every** byte boundary (and its last byte flipped), and each
+damaged journal must repair to exactly the intact prefix — never an error,
+never a partial record leaking into the recovered state.
+"""
+
+import os
+import shutil
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.count_min import CountMinSketch
+from repro.baselines.count_sketch import CountSketch
+from repro.baselines.lossy_counting import LossyCounting
+from repro.baselines.misra_gries import MisraGries
+from repro.baselines.space_saving import SpaceSaving
+from repro.baselines.sticky_sampling import StickySampling
+from repro.core.heavy_hitters_optimal import OptimalListHeavyHitters
+from repro.core.heavy_hitters_simple import SimpleListHeavyHitters
+from repro.durability import WriteAheadLog, list_segments, recover_sink, replay, tear_tail
+from repro.pipeline import PipelinedExecutor
+from repro.primitives.rng import RandomSource
+
+UNIVERSE = 64
+LENGTH = 1_000  # nominal stream length for sketches that need it upfront
+EPSILON = 0.05
+PHI = 0.1
+DELTA = 0.1
+SEED = 11
+
+SKETCHES = {
+    "optimal": lambda: OptimalListHeavyHitters(
+        epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(SEED)),
+    "simple": lambda: SimpleListHeavyHitters(
+        epsilon=EPSILON, phi=PHI, universe_size=UNIVERSE, stream_length=LENGTH,
+        rng=RandomSource(SEED)),
+    "misra-gries": lambda: MisraGries(EPSILON, UNIVERSE),
+    "space-saving": lambda: SpaceSaving(EPSILON, UNIVERSE),
+    "count-min": lambda: CountMinSketch(
+        EPSILON, DELTA, UNIVERSE, rng=RandomSource(SEED)),
+    "count-sketch": lambda: CountSketch(
+        EPSILON, DELTA, UNIVERSE, rng=RandomSource(SEED)),
+    "lossy-counting": lambda: LossyCounting(EPSILON, UNIVERSE),
+    "sticky-sampling": lambda: StickySampling(
+        EPSILON, PHI, DELTA, UNIVERSE, rng=RandomSource(SEED)),
+}
+
+items_strategy = st.lists(
+    st.integers(min_value=0, max_value=UNIVERSE - 1), min_size=1, max_size=500
+)
+
+
+def journal(directory, items, batch_sizes):
+    """Append ``items`` carved into the drawn batch sizes; return the batches."""
+    batches = []
+    cursor = 0
+    with WriteAheadLog(str(directory), fsync="off") as wal:
+        for size in batch_sizes:
+            if cursor >= len(items):
+                break
+            batch = np.asarray(items[cursor:cursor + size], dtype=np.int64)
+            wal.append(batch)
+            batches.append(batch)
+            cursor += size
+        if cursor < len(items):
+            batch = np.asarray(items[cursor:], dtype=np.int64)
+            wal.append(batch)
+            batches.append(batch)
+    return batches
+
+
+def recovered_equals_offline(wal_dir, make_sketch, chunk_size, journaled):
+    """Assert recovery over ``wal_dir`` equals a plain replay of ``journaled``."""
+    recovered = recover_sink(
+        str(wal_dir), lambda: PipelinedExecutor(
+            sketch=make_sketch(), chunk_size=chunk_size),
+        chunk_size=chunk_size, fsync="off",
+    )
+    recovered.wal.close()
+    assert recovered.items_recovered_total == journaled.size
+    if recovered.tail.size:
+        recovered.sink.ingest_chunk(recovered.tail)
+
+    offline = PipelinedExecutor(sketch=make_sketch(), chunk_size=chunk_size)
+    for offset in range(0, journaled.size, chunk_size):
+        offline.ingest_chunk(journaled[offset:offset + chunk_size])
+
+    assert recovered.sink.items_processed == offline.items_processed == journaled.size
+    assert (dict(recovered.sink.snapshot().report.items)
+            == dict(offline.snapshot().report.items))
+
+
+@pytest.mark.parametrize("sketch_name", sorted(SKETCHES))
+@settings(max_examples=12, deadline=None)
+@given(
+    items=items_strategy,
+    chunk_size=st.sampled_from([1, 3, 16, 64]),
+    batch_sizes=st.lists(st.integers(1, 80), min_size=1, max_size=20),
+    crash_kind=st.sampled_from(["clean", "torn"]),
+    torn_bytes=st.integers(min_value=1, max_value=64),
+    data=st.data(),
+)
+def test_crash_point_sweep_recovers_the_acked_prefix(
+    tmp_path_factory, sketch_name, items, chunk_size, batch_sizes,
+    crash_kind, torn_bytes, data,
+):
+    """Any SIGKILL point — between appends or mid-append — recovers exactly."""
+    wal_dir = tmp_path_factory.mktemp(f"wal-{sketch_name}")
+    batches = journal(wal_dir, items, batch_sizes)
+    # The crash lands after a drawn number of acked appends...
+    keep = data.draw(st.integers(min_value=0, max_value=len(batches)),
+                     label="acked_appends")
+    survivors = batches[:keep]
+    rebuild = np.concatenate(survivors) if survivors else np.empty(0, np.int64)
+    shutil.rmtree(wal_dir)
+    journal(wal_dir, rebuild, [b.size for b in survivors] or [1])
+    # ... optionally mid-append: tear bytes off the journal's tail (possibly
+    # eating several records — a deep torn write).  Whatever replays after
+    # repair is the journal's surviving prefix; recovery must equal an
+    # uninterrupted run over exactly that prefix.
+    if crash_kind == "torn" and keep:
+        tear_tail(str(wal_dir), torn_bytes)
+        WriteAheadLog.repair(str(wal_dir))
+        pieces = [chunk for _, chunk in replay(str(wal_dir))]
+        rebuild = (np.concatenate(pieces) if pieces
+                   else np.empty(0, dtype=np.int64))
+    make_sketch = SKETCHES[sketch_name]
+    recovered_equals_offline(wal_dir, make_sketch, chunk_size, rebuild)
+
+
+def test_torn_write_fuzz_every_byte_of_the_final_record(tmp_path):
+    """Exhaustive: truncating the final record at any byte repairs cleanly."""
+    first = np.arange(10, dtype=np.int64)
+    last = np.arange(100, 106, dtype=np.int64)
+    pristine = tmp_path / "pristine"
+    with WriteAheadLog(str(pristine), fsync="off") as wal:
+        wal.append(first)
+        wal.append(last)
+    segment = list_segments(str(pristine))[-1].path
+    intact_size = os.path.getsize(segment)
+    final_record_bytes = 8 + last.size * 8  # record header + payload
+
+    for torn in range(1, final_record_bytes):
+        damaged = tmp_path / f"torn-{torn}"
+        shutil.copytree(pristine, damaged)
+        tear_tail(str(damaged), torn)
+        removed = WriteAheadLog.repair(str(damaged))
+        # Repair drops the whole torn record, down to the intact prefix...
+        assert removed == final_record_bytes - torn
+        pieces = [items for _, items in replay(str(damaged))]
+        np.testing.assert_array_equal(np.concatenate(pieces), first)
+        # ... and the repaired journal accepts appends again.
+        with WriteAheadLog(str(damaged), fsync="off") as wal:
+            assert wal.position == first.size
+            wal.append(last)
+        pieces = [items for _, items in replay(str(damaged))]
+        np.testing.assert_array_equal(
+            np.concatenate(pieces), np.concatenate([first, last]))
+        shutil.rmtree(damaged)
+
+    # Byte flip (torn:bytes=0): same file size, CRC catches it, record drops.
+    flipped = tmp_path / "flipped"
+    shutil.copytree(pristine, flipped)
+    tear_tail(str(flipped), 0)
+    assert os.path.getsize(list_segments(str(flipped))[-1].path) == intact_size
+    assert WriteAheadLog.repair(str(flipped)) == final_record_bytes
+    pieces = [items for _, items in replay(str(flipped))]
+    np.testing.assert_array_equal(np.concatenate(pieces), first)
+
+
+def test_sub_chunk_tail_never_leaks_into_the_sink(tmp_path):
+    """Replay hands back < chunk_size leftovers untouched, exactly once."""
+    items = np.arange(70, dtype=np.int64)
+    with WriteAheadLog(str(tmp_path / "wal"), fsync="off") as wal:
+        wal.append(items[:50])
+        wal.append(items[50:])
+    recovered = recover_sink(
+        str(tmp_path / "wal"), lambda: PipelinedExecutor(
+            sketch=MisraGries(EPSILON, 128), chunk_size=32),
+        chunk_size=32, fsync="off",
+    )
+    recovered.wal.close()
+    assert recovered.sink.items_processed == 64
+    np.testing.assert_array_equal(recovered.tail, items[64:])

@@ -26,8 +26,8 @@ DOCTEST_MODULES = [
 ]
 
 MARKDOWN_WITH_CODE = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md",
-                      "docs/OBSERVABILITY.md", "docs/STATIC_ANALYSIS.md",
-                      "examples/README.md"]
+                      "docs/DURABILITY.md", "docs/OBSERVABILITY.md",
+                      "docs/STATIC_ANALYSIS.md", "examples/README.md"]
 
 
 @pytest.mark.parametrize("name", DOCTEST_MODULES)
@@ -57,10 +57,12 @@ def test_markdown_docs_exist_and_crosslink():
     readme = (REPO / "README.md").read_text(encoding="utf-8")
     assert "docs/ARCHITECTURE.md" in readme
     assert "docs/BENCHMARKS.md" in readme
+    assert "docs/DURABILITY.md" in readme
     assert "docs/OBSERVABILITY.md" in readme
     assert "docs/STATIC_ANALYSIS.md" in readme
     assert "examples/README.md" in readme
     architecture = (REPO / "docs" / "ARCHITECTURE.md").read_text(encoding="utf-8")
+    assert "DURABILITY.md" in architecture
     assert "OBSERVABILITY.md" in architecture
     assert "STATIC_ANALYSIS.md" in architecture
 

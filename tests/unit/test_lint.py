@@ -535,6 +535,69 @@ class TestResourceSafety:
         assert result.findings == [] and result.suppressed == 1
 
 
+class TestDurabilityDiscipline:
+    CAUGHT = """\
+        import os
+
+        def publish(temp_path, path):
+            with open(temp_path, "w") as handle:
+                handle.write("state")
+            os.replace(temp_path, path)
+    """
+
+    def test_catches_rename_without_either_fsync(self, tmp_path):
+        write(tmp_path, "service/mod.py", self.CAUGHT)
+        result = lint(tmp_path, "durability-discipline")
+        messages = "\n".join(f.message for f in result.findings)
+        assert "never os.fsync-ed" in messages
+        assert "fsyncing the containing directory" in messages
+        assert len(result.findings) == 2
+
+    def test_catches_missing_directory_fsync_only(self, tmp_path):
+        write(tmp_path, "durability/mod.py", """\
+            import os
+
+            def publish(temp_path, path):
+                with open(temp_path, "w") as handle:
+                    handle.write("state")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.rename(temp_path, path)
+        """)
+        (finding,) = lint(tmp_path, "durability-discipline").findings
+        assert "fsyncing the containing directory" in finding.message
+
+    def test_clean_when_both_fsyncs_happen_in_the_same_function(self, tmp_path):
+        # The Checkpointer.save shape: write, fsync file, replace, fsync dir.
+        write(tmp_path, "service/mod.py", """\
+            import os
+
+            class Checkpointer:
+                def save(self, temp_path, path, directory):
+                    with open(temp_path, "w") as handle:
+                        handle.write("state")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(temp_path, path)
+                    self._fsync_directory(directory)
+        """)
+        assert lint(tmp_path, "durability-discipline").findings == []
+
+    def test_out_of_scope_modules_are_not_checked(self, tmp_path):
+        write(tmp_path, "analysis/mod.py", self.CAUGHT)
+        assert lint(tmp_path, "durability-discipline").findings == []
+
+    def test_suppressed_with_reason(self, tmp_path):
+        caught = self.CAUGHT.replace(
+            "os.replace(temp_path, path)",
+            "# repro: lint-ignore[durability-discipline] -- scratch file\n"
+            "            os.replace(temp_path, path)",
+        )
+        write(tmp_path, "service/mod.py", caught)
+        result = lint(tmp_path, "durability-discipline")
+        assert result.findings == [] and result.suppressed == 2
+
+
 class TestCli:
     def test_lint_cli_reports_and_exits_nonzero(self, tmp_path, capsys):
         write(tmp_path, "mod.py", "import random\n")
